@@ -1,0 +1,238 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (see DESIGN.md's experiment index). Each benchmark mirrors one
+// experiment: the figure benches run full parallel builds per partitioning
+// choice and report the modeled cluster time and communication volume as
+// custom metrics; the theorem benches exercise the validated analytic
+// machinery. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Paper-scale datasets (64^4 / 128^4) are exercised by cmd/cubebench -full;
+// benchmarks default to CI scale via internal/experiments.
+package parcube_test
+
+import (
+	"fmt"
+	"testing"
+
+	"parcube/internal/cluster"
+	"parcube/internal/core"
+	"parcube/internal/experiments"
+	"parcube/internal/nd"
+	"parcube/internal/parallel"
+	"parcube/internal/seq"
+	"parcube/internal/theory"
+	"parcube/internal/workload"
+)
+
+var benchCfg = experiments.Config{Seed: 42}
+
+// benchFigure runs one (sparsity, partition) cell of a figure as a
+// sub-benchmark, reporting modeled time and communication volume.
+func benchFigure(b *testing.B, id int) {
+	spec, err := experiments.Figure(id, benchCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, sparsity := range workload.PaperSparsities {
+		input, err := workload.Generate(workload.Spec{
+			Shape:           spec.Shape,
+			SparsityPercent: sparsity,
+			Seed:            benchCfg.Seed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, part := range spec.Partitions {
+			name := fmt.Sprintf("sparsity=%.0f%%/%s", sparsity, part.Name)
+			b.Run(name, func(b *testing.B) {
+				var makespan float64
+				var comm int64
+				for i := 0; i < b.N; i++ {
+					res, err := parallel.Build(input, parallel.Options{
+						K:       part.K,
+						Network: cluster.Cluster2003(),
+						Compute: cluster.UltraII(),
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					makespan = res.Stats.MakespanSec
+					comm = res.Stats.MeasuredVolumeElements
+				}
+				b.ReportMetric(makespan, "modeled-s")
+				b.ReportMetric(float64(comm), "comm-elems")
+			})
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7 (4-D dataset, 8 processors, sparsity
+// sweep over three partitioning choices).
+func BenchmarkFig7(b *testing.B) { benchFigure(b, 7) }
+
+// BenchmarkFig8 regenerates Figure 8 (larger 4-D dataset, 8 processors).
+func BenchmarkFig8(b *testing.B) { benchFigure(b, 8) }
+
+// BenchmarkFig9 regenerates Figure 9 (larger 4-D dataset, 16 processors,
+// five partitioning choices).
+func BenchmarkFig9(b *testing.B) { benchFigure(b, 9) }
+
+// BenchmarkSequential is the sequential baseline the figures' speedups are
+// measured against, at each sparsity level.
+func BenchmarkSequential(b *testing.B) {
+	shape := workload.Fig7Shape(false)
+	for _, sparsity := range workload.PaperSparsities {
+		input, err := workload.Generate(workload.Spec{
+			Shape:           shape,
+			SparsityPercent: sparsity,
+			Seed:            benchCfg.Seed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("sparsity=%.0f%%", sparsity), func(b *testing.B) {
+			var modeled float64
+			for i := 0; i < b.N; i++ {
+				res, err := seq.Build(input, seq.Options{Sink: &seq.CountingSink{}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				modeled = cluster.UltraII().CostSec(res.Stats.Updates)
+			}
+			b.ReportMetric(modeled, "modeled-s")
+		})
+	}
+}
+
+// BenchmarkMemoryBound regenerates the Theorem 1/2 table: sequential builds
+// whose peak held memory must equal the bound.
+func BenchmarkMemoryBound(b *testing.B) {
+	shape := nd.MustShape(16, 16, 16, 16)
+	input, err := workload.Generate(workload.Spec{Shape: shape, SparsityPercent: 10, Seed: benchCfg.Seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bound := core.MemoryBoundElements(core.SortedOrdering(shape).Apply(shape))
+	var peak int64
+	for i := 0; i < b.N; i++ {
+		res, err := seq.Build(input, seq.Options{Sink: &seq.CountingSink{}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		peak = res.Stats.PeakResultElements
+	}
+	if peak != bound {
+		b.Fatalf("peak %d != bound %d", peak, bound)
+	}
+	b.ReportMetric(float64(peak), "peak-elems")
+}
+
+// BenchmarkCommVolume regenerates the Lemma 1 / Theorem 3 cross-check: a
+// parallel build whose transport-measured volume must equal the closed
+// form (the engine re-verifies the equality on every run).
+func BenchmarkCommVolume(b *testing.B) {
+	shape := nd.MustShape(24, 12, 6)
+	input, err := workload.Generate(workload.Spec{Shape: shape, SparsityPercent: 15, Seed: benchCfg.Seed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var comm int64
+	for i := 0; i < b.N; i++ {
+		res, err := parallel.Build(input, parallel.Options{K: []int{2, 1, 0}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		comm = res.Stats.MeasuredVolumeElements
+	}
+	b.ReportMetric(float64(comm), "comm-elems")
+}
+
+// BenchmarkOrderingOptimality regenerates the Theorem 6/7 table: all 24
+// orderings of a 4-D shape, scored for volume and computation.
+func BenchmarkOrderingOptimality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.RunOrderingTable(benchCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 24 {
+			b.Fatalf("%d orderings", len(rows))
+		}
+	}
+}
+
+// BenchmarkGreedyPartition regenerates the Theorem 8 check: the Figure 6
+// greedy algorithm against the exhaustive optimum.
+func BenchmarkGreedyPartition(b *testing.B) {
+	shape := nd.MustShape(128, 64, 32, 16)
+	for i := 0; i < b.N; i++ {
+		k, err := theory.GreedyPartition(shape, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, bestV, err := theory.OptimalPartitionExhaustive(shape, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if theory.TotalVolumeClosedForm(shape, k) != bestV {
+			b.Fatal("greedy not optimal")
+		}
+	}
+}
+
+// BenchmarkAblationReduce regenerates A1: binomial vs flat-gather
+// reductions on the Figure 7 setup.
+func BenchmarkAblationReduce(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunReduceAblation(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationTree regenerates A2: aggregation tree vs eager and naive
+// spanning-tree baselines.
+func BenchmarkAblationTree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTreeAblation(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationOrder regenerates A3: full parallel builds under every
+// dimension ordering.
+func BenchmarkAblationOrder(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunOrderAblation(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScanKernel measures the multi-way aggregation kernel itself —
+// the inner loop every figure's compute model is calibrated on.
+func BenchmarkScanKernel(b *testing.B) {
+	input, err := workload.Generate(workload.Spec{
+		Shape:           nd.MustShape(32, 32, 32),
+		SparsityPercent: 25,
+		Seed:            benchCfg.Seed,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var updates int64
+	for i := 0; i < b.N; i++ {
+		res, err := seq.Build(input, seq.Options{Sink: &seq.CountingSink{}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		updates = res.Stats.Updates
+	}
+	if b.Elapsed() > 0 && b.N > 0 {
+		perUpdate := b.Elapsed().Seconds() / float64(b.N) / float64(updates)
+		b.ReportMetric(perUpdate*1e9, "ns/update")
+	}
+}

@@ -1,0 +1,202 @@
+// Command cubebench regenerates every table and figure of the paper's
+// evaluation, plus this reproduction's theorem-validation tables and
+// ablations.
+//
+// Usage:
+//
+//	cubebench -exp all                 # everything at test scale
+//	cubebench -exp fig7 -full          # Figure 7 at the paper's 64^4 scale
+//	cubebench -exp trees|memory|volume|ordering|partition|section2
+//	cubebench -exp fig7|fig8|fig9
+//	cubebench -exp ablation-reduce|ablation-tree|ablation-order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"parcube/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (all, trees, memory, memory-parallel, levels, volume, ordering, partition, section2, fig7, fig8, fig9, model, timeline, skew, straggler, dims, tiling, ablation-reduce, ablation-tree, ablation-order)")
+	full := flag.Bool("full", false, "use the paper-scale datasets (64^4 / 128^4); needs several GB of RAM and minutes of CPU")
+	seed := flag.Int64("seed", 42, "dataset generation seed")
+	flag.Parse()
+
+	cfg := experiments.Config{Full: *full, Seed: *seed}
+	if err := dispatch(os.Stdout, *exp, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "cubebench:", err)
+		os.Exit(1)
+	}
+}
+
+// dispatch runs one experiment (or all of them) against w.
+func dispatch(w io.Writer, exp string, cfg experiments.Config) error {
+	runners := map[string]func(io.Writer, experiments.Config) error{
+		"trees":           func(w io.Writer, _ experiments.Config) error { return experiments.PrintTrees(w) },
+		"memory":          runMemory,
+		"memory-parallel": runMemoryParallel,
+		"levels":          runLevels,
+		"volume":          runVolume,
+		"ordering":        runOrdering,
+		"partition":       runPartition,
+		"section2":        func(w io.Writer, _ experiments.Config) error { return experiments.PrintSection2(w) },
+		"fig7":            figureRunner(7),
+		"fig8":            figureRunner(8),
+		"fig9":            figureRunner(9),
+		"model":           runModel,
+		"timeline":        func(w io.Writer, cfg experiments.Config) error { return experiments.PrintTimeline(w, cfg) },
+		"skew":            runSkew,
+		"straggler":       runStraggler,
+		"dims":            runDims,
+		"tiling":          runTiling,
+		"ablation-reduce": runReduceAblation,
+		"ablation-tree":   runTreeAblation,
+		"ablation-order":  runOrderAblation,
+	}
+	if exp == "all" {
+		order := []string{
+			"trees", "section2", "memory", "memory-parallel", "levels", "volume", "ordering", "partition",
+			"fig7", "fig8", "fig9", "model", "timeline", "skew", "straggler", "dims", "tiling",
+			"ablation-reduce", "ablation-tree", "ablation-order",
+		}
+		for _, name := range order {
+			fmt.Fprintf(w, "==== %s ====\n", name)
+			if err := runners[name](w, cfg); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	}
+	runner, ok := runners[exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return runner(w, cfg)
+}
+
+func figureRunner(id int) func(io.Writer, experiments.Config) error {
+	return func(w io.Writer, cfg experiments.Config) error {
+		rows, err := experiments.RunFigure(id, cfg)
+		if err != nil {
+			return err
+		}
+		return experiments.PrintFigure(w, id, cfg, rows)
+	}
+}
+
+func runMemory(w io.Writer, cfg experiments.Config) error {
+	rows, err := experiments.RunMemoryTable(cfg)
+	if err != nil {
+		return err
+	}
+	return experiments.PrintMemoryTable(w, rows)
+}
+
+func runMemoryParallel(w io.Writer, cfg experiments.Config) error {
+	rows, err := experiments.RunParallelMemoryTable(cfg)
+	if err != nil {
+		return err
+	}
+	return experiments.PrintParallelMemoryTable(w, rows)
+}
+
+func runLevels(w io.Writer, cfg experiments.Config) error {
+	rows, denseFirst, err := experiments.RunLevelProfile(cfg)
+	if err != nil {
+		return err
+	}
+	return experiments.PrintLevelProfile(w, rows, denseFirst)
+}
+
+func runVolume(w io.Writer, cfg experiments.Config) error {
+	rows, err := experiments.RunVolumeTable(cfg)
+	if err != nil {
+		return err
+	}
+	return experiments.PrintVolumeTable(w, rows)
+}
+
+func runOrdering(w io.Writer, cfg experiments.Config) error {
+	rows, shape, err := experiments.RunOrderingTable(cfg)
+	if err != nil {
+		return err
+	}
+	return experiments.PrintOrderingTable(w, shape, rows)
+}
+
+func runPartition(w io.Writer, cfg experiments.Config) error {
+	rows, err := experiments.RunPartitionTable(cfg)
+	if err != nil {
+		return err
+	}
+	return experiments.PrintPartitionTable(w, rows)
+}
+
+func runModel(w io.Writer, cfg experiments.Config) error {
+	rows, err := experiments.RunModelValidation(cfg)
+	if err != nil {
+		return err
+	}
+	return experiments.PrintModelValidation(w, rows)
+}
+
+func runSkew(w io.Writer, cfg experiments.Config) error {
+	rows, err := experiments.RunSkew(cfg)
+	if err != nil {
+		return err
+	}
+	return experiments.PrintSkew(w, rows)
+}
+
+func runStraggler(w io.Writer, cfg experiments.Config) error {
+	rows, err := experiments.RunStragglerTable(cfg)
+	if err != nil {
+		return err
+	}
+	return experiments.PrintStragglerTable(w, rows)
+}
+
+func runDims(w io.Writer, cfg experiments.Config) error {
+	rows, err := experiments.RunDimScaling(cfg)
+	if err != nil {
+		return err
+	}
+	return experiments.PrintDimScaling(w, rows)
+}
+
+func runTiling(w io.Writer, cfg experiments.Config) error {
+	rows, err := experiments.RunTilingTable(cfg)
+	if err != nil {
+		return err
+	}
+	return experiments.PrintTilingTable(w, rows)
+}
+
+func runReduceAblation(w io.Writer, cfg experiments.Config) error {
+	rows, err := experiments.RunReduceAblation(cfg)
+	if err != nil {
+		return err
+	}
+	return experiments.PrintReduceAblation(w, rows)
+}
+
+func runTreeAblation(w io.Writer, cfg experiments.Config) error {
+	rows, err := experiments.RunTreeAblation(cfg)
+	if err != nil {
+		return err
+	}
+	return experiments.PrintTreeAblation(w, rows)
+}
+
+func runOrderAblation(w io.Writer, cfg experiments.Config) error {
+	rows, err := experiments.RunOrderAblation(cfg)
+	if err != nil {
+		return err
+	}
+	return experiments.PrintOrderAblation(w, rows)
+}

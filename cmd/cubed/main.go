@@ -1,0 +1,180 @@
+// Command cubed builds a data cube from a CSV fact table and serves it
+// over TCP with the library's line protocol (see internal/server).
+//
+// Usage:
+//
+//	cubegen -shape 16x16x16 > facts.csv
+//	cubed -shape 16x16x16 -in facts.csv -addr 127.0.0.1:7070
+//
+// then, e.g.:  printf 'TOTAL\nQUIT\n' | nc 127.0.0.1 7070
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+
+	"parcube"
+	"parcube/internal/server"
+)
+
+func main() {
+	shapeFlag := flag.String("shape", "", "dimension sizes of the fact table, e.g. 16x16x16 (required)")
+	in := flag.String("in", "-", "input CSV (default stdin)")
+	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	procs := flag.Int("parallel", 1, "simulated processors for the build (power of two)")
+	flag.Parse()
+
+	if err := run(*shapeFlag, *in, *addr, *procs); err != nil {
+		fmt.Fprintln(os.Stderr, "cubed:", err)
+		os.Exit(1)
+	}
+}
+
+func run(shapeStr, in, addr string, procs int) error {
+	if shapeStr == "" {
+		return fmt.Errorf("-shape is required")
+	}
+	sizes, names, err := parseSizes(shapeStr)
+	if err != nil {
+		return err
+	}
+	dims := make([]parcube.Dim, len(sizes))
+	for i := range sizes {
+		dims[i] = parcube.Dim{Name: names[i], Size: sizes[i]}
+	}
+	schema, err := parcube.NewSchema(dims...)
+	if err != nil {
+		return err
+	}
+
+	var r io.Reader = os.Stdin
+	if in != "-" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	ds, err := loadDataset(r, schema)
+	if err != nil {
+		return err
+	}
+
+	var cube *parcube.Cube
+	if procs > 1 {
+		var report *parcube.ParallelReport
+		cube, report, err = parcube.BuildParallel(ds, parcube.ClusterSpec{Processors: procs})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "built on %d simulated processors (partition %v, comm %d elements)\n",
+			procs, report.Partition, report.CommElements)
+	} else {
+		cube, _, err = parcube.Build(ds)
+		if err != nil {
+			return err
+		}
+	}
+
+	srv := server.New(cube)
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "serving %d group-bys on %s\n", cube.NumGroupBys(), bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	return srv.Close()
+}
+
+// loadDataset reads CSV rows (header then coordinates+value) into a
+// Dataset.
+func loadDataset(r io.Reader, schema *parcube.Schema) (*parcube.Dataset, error) {
+	ds := parcube.NewDataset(schema)
+	br := newLineReader(r)
+	// Skip the header.
+	if _, ok := br.next(); !ok {
+		return nil, fmt.Errorf("empty input")
+	}
+	n := schema.Dims()
+	coords := make([]int, n)
+	for {
+		line, ok := br.next()
+		if !ok {
+			break
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != n+1 {
+			return nil, fmt.Errorf("row %q has %d fields, want %d", line, len(parts), n+1)
+		}
+		for i := 0; i < n; i++ {
+			c, err := strconv.Atoi(strings.TrimSpace(parts[i]))
+			if err != nil {
+				return nil, fmt.Errorf("row %q: %w", line, err)
+			}
+			coords[i] = c
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(parts[n]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("row %q: %w", line, err)
+		}
+		if err := ds.Add(v, coords...); err != nil {
+			return nil, err
+		}
+	}
+	return ds, nil
+}
+
+// lineReader yields trimmed non-empty lines.
+type lineReader struct {
+	rest string
+	err  bool
+}
+
+func newLineReader(r io.Reader) *lineReader {
+	raw, err := io.ReadAll(r)
+	return &lineReader{rest: string(raw), err: err != nil}
+}
+
+func (l *lineReader) next() (string, bool) {
+	for {
+		if l.err || l.rest == "" {
+			return "", false
+		}
+		i := strings.IndexByte(l.rest, '\n')
+		var line string
+		if i < 0 {
+			line, l.rest = l.rest, ""
+		} else {
+			line, l.rest = l.rest[:i], l.rest[i+1:]
+		}
+		line = strings.TrimSpace(line)
+		if line != "" {
+			return line, true
+		}
+	}
+}
+
+// parseSizes parses "64x32" into sizes and default names A, B, ...
+func parseSizes(s string) ([]int, []string, error) {
+	parts := strings.Split(s, "x")
+	sizes := make([]int, 0, len(parts))
+	names := make([]string, 0, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad shape %q: %w", s, err)
+		}
+		sizes = append(sizes, v)
+		names = append(names, string(rune('A'+i)))
+	}
+	return sizes, names, nil
+}

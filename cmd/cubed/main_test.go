@@ -1,0 +1,80 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"parcube"
+)
+
+func TestParseSizes(t *testing.T) {
+	sizes, names, err := parseSizes("64x32x8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 3 || sizes[0] != 64 || sizes[2] != 8 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	if names[0] != "A" || names[2] != "C" {
+		t.Fatalf("names = %v", names)
+	}
+	if _, _, err := parseSizes("64xbogus"); err == nil {
+		t.Fatal("bad shape accepted")
+	}
+}
+
+func TestLoadDataset(t *testing.T) {
+	schema, err := parcube.NewSchema(
+		parcube.Dim{Name: "A", Size: 4},
+		parcube.Dim{Name: "B", Size: 3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := "A,B,value\n0,0,1.5\n\n3,2,2\n1,1,-1\n"
+	ds, err := loadDataset(strings.NewReader(in), schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Facts() != 3 {
+		t.Fatalf("facts = %d", ds.Facts())
+	}
+	cube, _, err := parcube.Build(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cube.Total() != 2.5 {
+		t.Fatalf("total = %v", cube.Total())
+	}
+}
+
+func TestLoadDatasetErrors(t *testing.T) {
+	schema, _ := parcube.NewSchema(parcube.Dim{Name: "A", Size: 4})
+	cases := []string{
+		"",               // empty
+		"A,value\nx,1\n", // bad coordinate
+		"A,value\n0\n",   // short row
+		"A,value\n0,z\n", // bad value
+		"A,value\n9,1\n", // out of range
+	}
+	for _, c := range cases {
+		if _, err := loadDataset(strings.NewReader(c), schema); err == nil {
+			t.Fatalf("accepted %q", c)
+		}
+	}
+}
+
+func TestLineReaderSkipsBlanks(t *testing.T) {
+	lr := newLineReader(strings.NewReader("a\n\n  \nb"))
+	got := []string{}
+	for {
+		line, ok := lr.next()
+		if !ok {
+			break
+		}
+		got = append(got, line)
+	}
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("lines = %v", got)
+	}
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestParseShape(t *testing.T) {
+	s, err := parseShape("16x8x4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rank() != 3 || s[0] != 16 || s[2] != 4 {
+		t.Fatalf("shape = %v", s)
+	}
+	for _, bad := range []string{"", "x", "4xx2", "4x-1", "0"} {
+		if _, err := parseShape(bad); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	if err := run("4x4", 10, 1, "nonsense", "csv"); err == nil {
+		t.Fatal("bad distribution accepted")
+	}
+	if err := run("bogus", 10, 1, "uniform", "csv"); err == nil {
+		t.Fatal("bad shape accepted")
+	}
+	if err := run("4x4", 0, 1, "uniform", "csv"); err == nil {
+		t.Fatal("bad sparsity accepted")
+	}
+	if err := run("4x4", 10, 1, "uniform", "xml"); err == nil {
+		t.Fatal("bad format accepted")
+	}
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"testing"
+
+	"parcube/internal/lattice"
+)
+
+func TestMaskOf(t *testing.T) {
+	names := []string{"A", "B", "C"}
+	mask, err := maskOf("A,C", names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mask != lattice.DimSet(0b101) {
+		t.Fatalf("mask = %b", mask)
+	}
+	if m, err := maskOf("", names); err != nil || m != 0 {
+		t.Fatalf("empty groupby: %b, %v", m, err)
+	}
+	if m, err := maskOf(" B ", names); err != nil || m != 0b010 {
+		t.Fatalf("trimmed: %b, %v", m, err)
+	}
+	if _, err := maskOf("A,Z", names); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestParseShapeQuery(t *testing.T) {
+	s, err := parseShape("9x9")
+	if err != nil || s.Size() != 81 {
+		t.Fatalf("parseShape: %v, %v", s, err)
+	}
+	if _, err := parseShape("9xq"); err == nil {
+		t.Fatal("bad shape accepted")
+	}
+}

@@ -1,0 +1,116 @@
+// Analytics: the OLAP query surface on top of a built cube — the query
+// language, slicing and dicing, drill-up through hierarchies, and range
+// totals. A year of daily sales over items and regions.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"parcube"
+)
+
+func main() {
+	schema, err := parcube.NewSchema(
+		parcube.Dim{Name: "item", Size: 96},
+		parcube.Dim{Name: "region", Size: 6},
+		parcube.Dim{Name: "day", Size: 364},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := parcube.NewDataset(schema)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 120000; i++ {
+		day := rng.Intn(364)
+		qty := float64(rng.Intn(8) + 1)
+		if day%7 >= 5 {
+			qty *= 1.8 // weekends sell more
+		}
+		if err := ds.Add(qty, rng.Intn(96), rng.Intn(6), day); err != nil {
+			log.Fatal(err)
+		}
+	}
+	cube, _, err := parcube.Build(ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Query language: top regions in the first quarter.
+	top, err := cube.QueryTop("GROUP BY region WHERE day BETWEEN 0 AND 90 TOP 3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Q1 top regions:")
+	for _, c := range top {
+		fmt.Printf("  region %d: %.0f units\n", c.Coords[0], c.Value)
+	}
+
+	// 2. Hierarchies: days -> weeks -> quarters.
+	byDay, err := cube.GroupBy("day")
+	if err != nil {
+		log.Fatal(err)
+	}
+	weeks, err := parcube.Uniform("week", 364, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	byWeek, err := byDay.RollupWith("day", weeks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	quarters, err := parcube.Uniform("quarter", 52, 13)
+	if err != nil {
+		log.Fatal(err)
+	}
+	byQuarter, err := byWeek.RollupWith("week", quarters)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sales by quarter:")
+	for q := 0; q < 4; q++ {
+		fmt.Printf("  Q%d: %.0f units\n", q+1, byQuarter.At(q))
+	}
+
+	// 3. Slice and dice: one region's item mix in December (days 334-363).
+	ir, err := cube.GroupBy("item", "region", "day")
+	if err != nil {
+		log.Fatal(err)
+	}
+	dec, err := ir.Dice(map[string]parcube.Range{"day": {Lo: 334, Hi: 364}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	region3, err := dec.Slice("region", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	decItems, err := region3.Rollup("day")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("region 3, December, top items:")
+	for _, c := range decItems.Top(3) {
+		fmt.Printf("  item %2d: %.0f units\n", c.Coords[0], c.Value)
+	}
+
+	// 4. Range totals: weekend vs weekday volume via parity hierarchy.
+	dow := parcube.Hierarchy{Name: "dow", Size: 7, Mapping: make([]int, 364)}
+	for d := range dow.Mapping {
+		dow.Mapping[d] = d % 7
+	}
+	byDow, err := byDay.RollupWith("day", dow)
+	if err != nil {
+		log.Fatal(err)
+	}
+	weekend, err := byDow.RangeTotal(map[string]parcube.Range{"dow": {Lo: 5, Hi: 7}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	weekday, err := byDow.RangeTotal(map[string]parcube.Range{"dow": {Lo: 0, Hi: 5}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("weekend vs weekday daily average: %.0f vs %.0f\n", weekend/2, weekday/5)
+}

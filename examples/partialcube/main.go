@@ -1,0 +1,69 @@
+// Partial materialization: when the full cube is too large to store, pick
+// the most beneficial group-bys under a budget (greedy view selection) and
+// answer everything else from the cheapest materialized ancestor — the
+// future-work direction the paper's conclusion sketches, built on the same
+// lattice machinery.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"parcube"
+)
+
+func main() {
+	schema, err := parcube.NewSchema(
+		parcube.Dim{Name: "item", Size: 256},
+		parcube.Dim{Name: "branch", Size: 32},
+		parcube.Dim{Name: "week", Size: 52},
+		parcube.Dim{Name: "channel", Size: 4},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ds := parcube.NewDataset(schema)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 60000; i++ {
+		err := ds.Add(float64(rng.Intn(12)+1),
+			rng.Intn(256), rng.Intn(32), rng.Intn(52), rng.Intn(4))
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Materialize only the five most beneficial group-bys.
+	cube, report, err := parcube.BuildPartial(ds, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("materialized %d views (of %d possible group-bys):\n",
+		len(report.Views), 1<<4-1)
+	for _, v := range report.Views {
+		fmt.Printf("  - %s\n", v)
+	}
+	fmt.Printf("storage: %d cells instead of %d (%.1f%% of the full cube)\n",
+		report.StorageCells, report.FullCubeCells,
+		100*float64(report.StorageCells)/float64(report.FullCubeCells))
+
+	// Queries route to the cheapest ancestor automatically.
+	for _, q := range [][]string{
+		{"branch", "week"},
+		{"week"},
+		{"item"},
+		{},
+	} {
+		tbl, info, err := cube.GroupBy(q...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := "(grand total)"
+		if len(q) > 0 {
+			label = fmt.Sprint(q)
+		}
+		fmt.Printf("query %-20s -> answered from %-22q scanning %7d cells (%d result cells)\n",
+			label, info.AnsweredFrom, info.ScannedCells, tbl.Size())
+	}
+}

@@ -1,0 +1,59 @@
+// Quickstart: build a small data cube sequentially and query it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"parcube"
+)
+
+func main() {
+	// A 3-D dataset: item x branch x time.
+	schema, err := parcube.NewSchema(
+		parcube.Dim{Name: "item", Size: 32},
+		parcube.Dim{Name: "branch", Size: 8},
+		parcube.Dim{Name: "time", Size: 16},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ds := parcube.NewDataset(schema)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		qty := float64(rng.Intn(20) + 1)
+		if err := ds.Add(qty, rng.Intn(32), rng.Intn(8), rng.Intn(16)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Build every group-by with the aggregation tree.
+	cube, stats, err := parcube.Build(ds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built %d group-bys in %d updates\n", cube.NumGroupBys(), stats.Updates)
+	fmt.Printf("peak intermediate memory: %d elements (Theorem 1 bound: %d)\n",
+		stats.PeakMemoryElements, stats.MemoryBoundElements)
+
+	// Query: total sales, per-branch sales, and one specific cell.
+	fmt.Printf("grand total: %.0f\n", cube.Total())
+	byBranch, err := cube.GroupBy("branch")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for b := 0; b < 3; b++ {
+		fmt.Printf("branch %d: %.0f\n", b, byBranch.At(b))
+	}
+	byItemTime, err := cube.GroupBy("item", "time")
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, err := byItemTime.Value(map[string]int{"item": 5, "time": 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("item 5 at time 3: %.0f\n", v)
+}

@@ -1,0 +1,78 @@
+// TCP cluster: the same parallel construction, but with every
+// interprocessor message traveling over real loopback TCP connections
+// through the library's binary wire protocol — demonstrating that the
+// communication layer is a genuine network transport, not only an
+// in-process simulation. Results are verified against a sequential build.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"parcube"
+)
+
+func main() {
+	schema, err := parcube.NewSchema(
+		parcube.Dim{Name: "item", Size: 24},
+		parcube.Dim{Name: "branch", Size: 12},
+		parcube.Dim{Name: "week", Size: 8},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	makeDataset := func() *parcube.Dataset {
+		ds := parcube.NewDataset(schema)
+		rng := rand.New(rand.NewSource(11))
+		for i := 0; i < 4000; i++ {
+			if err := ds.Add(float64(rng.Intn(10)+1), rng.Intn(24), rng.Intn(12), rng.Intn(8)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return ds
+	}
+
+	cube, report, err := parcube.BuildParallel(makeDataset(), parcube.ClusterSpec{
+		Processors: 8,
+		Transport:  parcube.TCPTransport,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built over TCP: %d messages, %d payload elements, %d wire bytes\n",
+		report.Messages, report.CommElements, report.CommBytes)
+	fmt.Printf("partition used: %v; predicted volume matched: %v\n",
+		report.Partition, report.CommElements == report.PredictedCommElements)
+
+	// Cross-check against the sequential build.
+	ref, _, err := parcube.Build(makeDataset())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, names := range [][]string{{"item"}, {"branch", "week"}, {}} {
+		a, err := cube.GroupBy(names...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, err := ref.GroupBy(names...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i := 0; i < a.Size(); i++ {
+			shape := a.Shape()
+			coords := make([]int, len(shape))
+			rem := i
+			for d := len(shape) - 1; d >= 0; d-- {
+				coords[d] = rem % shape[d]
+				rem /= shape[d]
+			}
+			if a.At(coords...) != b.At(coords...) {
+				log.Fatalf("mismatch in %v at %v", names, coords)
+			}
+		}
+		fmt.Printf("group-by %v: %d cells verified against sequential build\n", names, a.Size())
+	}
+	fmt.Println("OK")
+}

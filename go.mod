@@ -1,0 +1,3 @@
+module parcube
+
+go 1.22

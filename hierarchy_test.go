@@ -1,0 +1,111 @@
+package parcube
+
+import "testing"
+
+func TestUniformHierarchy(t *testing.T) {
+	h, err := Uniform("month", 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Size != 4 {
+		t.Fatalf("Size = %d", h.Size)
+	}
+	if h.Mapping[0] != 0 || h.Mapping[2] != 0 || h.Mapping[3] != 1 || h.Mapping[11] != 3 {
+		t.Fatalf("mapping = %v", h.Mapping)
+	}
+	// Uneven grouping rounds up.
+	h2, _ := Uniform("pair", 5, 2)
+	if h2.Size != 3 || h2.Mapping[4] != 2 {
+		t.Fatalf("uneven = %+v", h2)
+	}
+	if _, err := Uniform("bad", 0, 2); err == nil {
+		t.Fatal("zero fine size accepted")
+	}
+	if _, err := Uniform("bad", 4, 0); err == nil {
+		t.Fatal("zero group size accepted")
+	}
+}
+
+func TestHierarchyValidate(t *testing.T) {
+	cases := []Hierarchy{
+		{Name: "", Size: 2, Mapping: []int{0, 1}},
+		{Name: "x", Size: 0, Mapping: []int{0, 0}},
+		{Name: "x", Size: 2, Mapping: []int{0}},
+		{Name: "x", Size: 2, Mapping: []int{0, 5}},
+	}
+	for i, h := range cases {
+		if err := h.Validate(2); err == nil {
+			t.Fatalf("case %d validated", i)
+		}
+	}
+}
+
+func TestRollupWith(t *testing.T) {
+	ds := retailDataset(t, 50, 400)
+	cube, _, err := Build(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, _ := cube.GroupBy("item", "time") // 8 x 4
+
+	// Group the 4 time periods into 2 halves.
+	h, _ := Uniform("half", 4, 2)
+	coarse, err := it.RollupWith("time", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := coarse.Dims(); got[0] != "item" || got[1] != "half" {
+		t.Fatalf("dims = %v", got)
+	}
+	if got := coarse.Shape(); got[0] != 8 || got[1] != 2 {
+		t.Fatalf("shape = %v", got)
+	}
+	for i := 0; i < 8; i++ {
+		if coarse.At(i, 0) != it.At(i, 0)+it.At(i, 1) {
+			t.Fatalf("first half mismatch at item %d", i)
+		}
+		if coarse.At(i, 1) != it.At(i, 2)+it.At(i, 3) {
+			t.Fatalf("second half mismatch at item %d", i)
+		}
+	}
+
+	// Rolling the coarse dim fully away matches the plain rollup.
+	gone, err := coarse.Rollup("half")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byItem, _ := cube.GroupBy("item")
+	for i := 0; i < 8; i++ {
+		if gone.At(i) != byItem.At(i) {
+			t.Fatalf("full collapse mismatch at item %d", i)
+		}
+	}
+
+	// Errors.
+	if _, err := it.RollupWith("bogus", h); err == nil {
+		t.Fatal("bad dimension accepted")
+	}
+	bad := Hierarchy{Name: "x", Size: 1, Mapping: []int{0}}
+	if _, err := it.RollupWith("time", bad); err == nil {
+		t.Fatal("short mapping accepted")
+	}
+}
+
+func TestRollupWithNonContiguousMapping(t *testing.T) {
+	ds := NewDataset(retailSchema(t))
+	_ = ds.Add(1, 0, 0, 0)
+	_ = ds.Add(2, 0, 0, 1)
+	_ = ds.Add(4, 0, 0, 2)
+	_ = ds.Add(8, 0, 0, 3)
+	cube, _, _ := Build(ds)
+	byTime, _ := cube.GroupBy("time")
+	// Odd/even grouping: periods {0,2} -> 0, {1,3} -> 1.
+	h := Hierarchy{Name: "parity", Size: 2, Mapping: []int{0, 1, 0, 1}}
+	coarse, err := byTime.RollupWith("time", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coarse.At(0) != 5 || coarse.At(1) != 10 {
+		t.Fatalf("parity rollup = %v, %v", coarse.At(0), coarse.At(1))
+	}
+}

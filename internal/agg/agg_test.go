@@ -1,0 +1,132 @@
+package agg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+var allOps = []Op{Sum, Count, Max, Min}
+
+func TestStringAndParseRoundTrip(t *testing.T) {
+	for _, o := range allOps {
+		got, err := Parse(o.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", o.String(), err)
+		}
+		if got != o {
+			t.Fatalf("Parse(%q) = %v", o.String(), got)
+		}
+	}
+	if _, err := Parse("median"); err == nil {
+		t.Fatal("Parse accepted unknown operator")
+	}
+	if Op(99).String() == "" {
+		t.Fatal("unknown op String empty")
+	}
+	if Op(99).Valid() {
+		t.Fatal("Op(99) reported valid")
+	}
+}
+
+func TestIdentityIsNeutral(t *testing.T) {
+	for _, o := range allOps {
+		for _, v := range []float64{-3.5, 0, 1, 1e12} {
+			if got := o.Combine(o.Identity(), v); got != v {
+				t.Fatalf("%v: Combine(identity, %v) = %v", o, v, got)
+			}
+			if got := o.Combine(v, o.Identity()); got != v {
+				t.Fatalf("%v: Combine(%v, identity) = %v", o, v, got)
+			}
+		}
+	}
+}
+
+func TestApplySemantics(t *testing.T) {
+	if got := Sum.Apply(2, 3); got != 5 {
+		t.Fatalf("Sum.Apply = %v", got)
+	}
+	if got := Count.Apply(4, 123.45); got != 5 {
+		t.Fatalf("Count.Apply = %v", got)
+	}
+	if got := Max.Apply(2, 3); got != 3 {
+		t.Fatalf("Max.Apply = %v", got)
+	}
+	if got := Max.Apply(3, 2); got != 3 {
+		t.Fatalf("Max.Apply = %v", got)
+	}
+	if got := Min.Apply(2, 3); got != 2 {
+		t.Fatalf("Min.Apply = %v", got)
+	}
+	if got := Min.Apply(3, 2); got != 2 {
+		t.Fatalf("Min.Apply = %v", got)
+	}
+}
+
+func TestCombineSlices(t *testing.T) {
+	dst := []float64{1, 5, -2}
+	Sum.CombineSlices(dst, []float64{2, -1, 4})
+	want := []float64{3, 4, 2}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("Sum.CombineSlices = %v", dst)
+		}
+	}
+	dst = []float64{1, 5}
+	Max.CombineSlices(dst, []float64{4, 2})
+	if dst[0] != 4 || dst[1] != 5 {
+		t.Fatalf("Max.CombineSlices = %v", dst)
+	}
+	dst = []float64{1, 5}
+	Min.CombineSlices(dst, []float64{4, 2})
+	if dst[0] != 1 || dst[1] != 2 {
+		t.Fatalf("Min.CombineSlices = %v", dst)
+	}
+}
+
+func TestCombineSlicesLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	Sum.CombineSlices([]float64{1}, []float64{1, 2})
+}
+
+func TestFill(t *testing.T) {
+	buf := []float64{1, 2, 3}
+	Min.Fill(buf)
+	for _, v := range buf {
+		if !math.IsInf(v, 1) {
+			t.Fatalf("Min.Fill = %v", buf)
+		}
+	}
+	Sum.Fill(buf)
+	for _, v := range buf {
+		if v != 0 {
+			t.Fatalf("Sum.Fill = %v", buf)
+		}
+	}
+}
+
+// Property: Combine is associative and commutative for all operators, which
+// is the precondition for reassociating interprocessor reductions.
+func TestQuickCombineAlgebra(t *testing.T) {
+	for _, o := range allOps {
+		o := o
+		assoc := func(a, b, c float64) bool {
+			l := o.Combine(o.Combine(a, b), c)
+			r := o.Combine(a, o.Combine(b, c))
+			return l == r || math.Abs(l-r) <= 1e-9*(math.Abs(l)+math.Abs(r))
+		}
+		comm := func(a, b float64) bool {
+			return o.Combine(a, b) == o.Combine(b, a)
+		}
+		if err := quick.Check(assoc, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatalf("%v associativity: %v", o, err)
+		}
+		if err := quick.Check(comm, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatalf("%v commutativity: %v", o, err)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package array
+
+import (
+	"math/rand"
+	"testing"
+
+	"parcube/internal/agg"
+	"parcube/internal/nd"
+)
+
+// benchDense builds a deterministic dense 3-D array.
+func benchDense(b *testing.B, shape nd.Shape) *Dense {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, shape.Size())
+	for i := range vals {
+		vals[i] = float64(rng.Intn(100))
+	}
+	d, err := FromValues(shape, vals)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkScanThreeChildren measures the multi-way kernel: one pass over a
+// 64^3 parent updating all three children simultaneously.
+func BenchmarkScanThreeChildren(b *testing.B) {
+	shape := nd.MustShape(64, 64, 64)
+	parent := benchDense(b, shape)
+	b.ReportAllocs()
+	b.SetBytes(int64(shape.Size()) * 8)
+	for i := 0; i < b.N; i++ {
+		targets := []Target{
+			{Child: NewDense(shape.Drop(0), agg.Sum), DropAxis: 0},
+			{Child: NewDense(shape.Drop(1), agg.Sum), DropAxis: 1},
+			{Child: NewDense(shape.Drop(2), agg.Sum), DropAxis: 2},
+		}
+		Scan(parent, targets, agg.Sum, agg.FoldPartial)
+	}
+}
+
+// BenchmarkScanSingleChild is the one-target comparison point: three
+// separate passes would cost 3x this, which is what the simultaneous scan
+// saves in memory traffic.
+func BenchmarkScanSingleChild(b *testing.B) {
+	shape := nd.MustShape(64, 64, 64)
+	parent := benchDense(b, shape)
+	b.ReportAllocs()
+	b.SetBytes(int64(shape.Size()) * 8)
+	for i := 0; i < b.N; i++ {
+		targets := []Target{{Child: NewDense(shape.Drop(0), agg.Sum), DropAxis: 0}}
+		Scan(parent, targets, agg.Sum, agg.FoldPartial)
+	}
+}
+
+// BenchmarkScanSparse measures the sparse first-level kernel at 10%
+// density.
+func BenchmarkScanSparse(b *testing.B) {
+	shape := nd.MustShape(64, 64, 64)
+	rng := rand.New(rand.NewSource(2))
+	builder, _ := NewSparseBuilder(shape, nil)
+	for i := 0; i < shape.Size()/10; i++ {
+		_ = builder.Add([]int{rng.Intn(64), rng.Intn(64), rng.Intn(64)}, 1)
+	}
+	sp := builder.Build()
+	b.ReportAllocs()
+	b.SetBytes(int64(sp.NNZ()) * 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		targets := []Target{
+			{Child: NewDense(shape.Drop(0), agg.Sum), DropAxis: 0},
+			{Child: NewDense(shape.Drop(1), agg.Sum), DropAxis: 1},
+			{Child: NewDense(shape.Drop(2), agg.Sum), DropAxis: 2},
+		}
+		ScanSparse(sp, targets, agg.Sum, agg.FoldInput)
+	}
+}
+
+// BenchmarkAggregateAlong measures the single-axis dense collapse.
+func BenchmarkAggregateAlong(b *testing.B) {
+	d := benchDense(b, nd.MustShape(128, 128, 16))
+	b.SetBytes(int64(d.Size()) * 8)
+	for i := 0; i < b.N; i++ {
+		d.AggregateAlong(1, agg.Sum)
+	}
+}
+
+// BenchmarkCombineAt measures slab placement (the assembly path).
+func BenchmarkCombineAt(b *testing.B) {
+	dst := NewDense(nd.MustShape(128, 128), agg.Sum)
+	src := benchDense(b, nd.MustShape(64, 64))
+	b.SetBytes(int64(src.Size()) * 8)
+	for i := 0; i < b.N; i++ {
+		dst.CombineAt(src, []int{32, 32}, agg.Sum)
+	}
+}

@@ -1,0 +1,51 @@
+package array
+
+import (
+	"fmt"
+
+	"parcube/internal/agg"
+)
+
+// CombineAt folds src into d with op, placing src's origin at offset lo
+// within d: d[lo+c] = Combine(d[lo+c], src[c]) for every coordinate c of
+// src. This assembles partial results — tile sub-cubes into global
+// group-bys, or per-processor slabs into a collected array.
+func (d *Dense) CombineAt(src *Dense, lo []int, op agg.Op) {
+	rank := d.Rank()
+	if src.Rank() != rank || len(lo) != rank {
+		panic(fmt.Sprintf("array: CombineAt rank mismatch: dst %v, src %v, lo %v", d.shape, src.shape, lo))
+	}
+	for i := 0; i < rank; i++ {
+		if lo[i] < 0 || lo[i]+src.shape[i] > d.shape[i] {
+			panic(fmt.Sprintf("array: CombineAt region out of range: dst %v, src %v at %v", d.shape, src.shape, lo))
+		}
+	}
+	if rank == 0 {
+		d.data[0] = op.Combine(d.data[0], src.data[0])
+		return
+	}
+	dstStrides := d.shape.Strides()
+	base := 0
+	for i, l := range lo {
+		base += l * dstStrides[i]
+	}
+	// Walk src row-major; maintain the dst offset with an odometer.
+	coords := make([]int, rank)
+	doff := base
+	for soff := range src.data {
+		d.data[doff] = op.Combine(d.data[doff], src.data[soff])
+		i := rank - 1
+		for ; i >= 0; i-- {
+			coords[i]++
+			if coords[i] < src.shape[i] {
+				doff += dstStrides[i]
+				break
+			}
+			coords[i] = 0
+			doff -= (src.shape[i] - 1) * dstStrides[i]
+		}
+		if i < 0 {
+			break
+		}
+	}
+}

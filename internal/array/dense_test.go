@@ -1,0 +1,166 @@
+package array
+
+import (
+	"math"
+	"testing"
+
+	"parcube/internal/agg"
+	"parcube/internal/nd"
+)
+
+func seq(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i)
+	}
+	return out
+}
+
+func TestNewDenseIdentity(t *testing.T) {
+	d := NewDense(nd.MustShape(2, 2), agg.Min)
+	for _, v := range d.Data() {
+		if !math.IsInf(v, 1) {
+			t.Fatalf("Min dense not initialized to +Inf: %v", d.Data())
+		}
+	}
+	z := NewDense(nd.MustShape(3), agg.Sum)
+	for _, v := range z.Data() {
+		if v != 0 {
+			t.Fatalf("Sum dense not zeroed")
+		}
+	}
+}
+
+func TestFromValuesValidation(t *testing.T) {
+	if _, err := FromValues(nd.MustShape(2, 2), seq(3)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	d, err := FromValues(nd.MustShape(2, 2), seq(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.At(1, 0) != 2 {
+		t.Fatalf("At(1,0) = %v", d.At(1, 0))
+	}
+}
+
+func TestAtSetScalar(t *testing.T) {
+	d, _ := FromValues(nd.MustShape(2, 3), seq(6))
+	d.Set(42, 1, 2)
+	if d.At(1, 2) != 42 {
+		t.Fatalf("Set/At = %v", d.At(1, 2))
+	}
+	s := NewDense(nd.Shape{}, agg.Sum)
+	s.Data()[0] = 7
+	if s.Scalar() != 7 {
+		t.Fatalf("Scalar = %v", s.Scalar())
+	}
+}
+
+func TestScalarPanicsOnNonScalar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	d := NewDense(nd.MustShape(2), agg.Sum)
+	d.Scalar()
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	d := NewDense(nd.MustShape(2, 2), agg.Sum)
+	d.At(2, 0)
+}
+
+func TestCloneEqual(t *testing.T) {
+	d, _ := FromValues(nd.MustShape(2, 2), seq(4))
+	c := d.Clone()
+	if !d.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Set(99, 0, 0)
+	if d.Equal(c) {
+		t.Fatal("clone shares storage")
+	}
+	e := NewDense(nd.MustShape(4), agg.Sum)
+	if d.Equal(e) {
+		t.Fatal("different shapes equal")
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	a, _ := FromValues(nd.MustShape(2), []float64{1e9, 2})
+	b, _ := FromValues(nd.MustShape(2), []float64{1e9 + 1, 2})
+	if !a.AlmostEqual(b, 1e-6) {
+		t.Fatal("AlmostEqual too strict")
+	}
+	if a.AlmostEqual(b, 1e-12) {
+		t.Fatal("AlmostEqual too lax")
+	}
+}
+
+func TestCombine(t *testing.T) {
+	a, _ := FromValues(nd.MustShape(3), []float64{1, 5, 2})
+	b, _ := FromValues(nd.MustShape(3), []float64{4, 1, 2})
+	a.Combine(b, agg.Max)
+	want := []float64{4, 5, 2}
+	for i := range want {
+		if a.Data()[i] != want[i] {
+			t.Fatalf("Combine = %v", a.Data())
+		}
+	}
+}
+
+func TestAggregateAlong(t *testing.T) {
+	// 2x3 array: [[0,1,2],[3,4,5]]
+	d, _ := FromValues(nd.MustShape(2, 3), seq(6))
+	rows := d.AggregateAlong(1, agg.Sum) // collapse columns -> per-row sums
+	if rows.At(0) != 3 || rows.At(1) != 12 {
+		t.Fatalf("row sums = %v", rows.Data())
+	}
+	cols := d.AggregateAlong(0, agg.Sum)
+	if cols.At(0) != 3 || cols.At(1) != 5 || cols.At(2) != 7 {
+		t.Fatalf("col sums = %v", cols.Data())
+	}
+	mx := d.AggregateAlong(0, agg.Max)
+	if mx.At(2) != 5 {
+		t.Fatalf("col max = %v", mx.Data())
+	}
+}
+
+func TestAggregateAlongToScalarChain(t *testing.T) {
+	d, _ := FromValues(nd.MustShape(2, 2), []float64{1, 2, 3, 4})
+	s := d.AggregateAlong(0, agg.Sum).AggregateAlong(0, agg.Sum)
+	if s.Scalar() != 10 {
+		t.Fatalf("total = %v", s.Scalar())
+	}
+}
+
+func TestAggregateAlongMiddleAxis(t *testing.T) {
+	d, _ := FromValues(nd.MustShape(2, 3, 2), seq(12))
+	got := d.AggregateAlong(1, agg.Sum)
+	// manual reference
+	want := NewDense(nd.MustShape(2, 2), agg.Sum)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			for k := 0; k < 2; k++ {
+				want.Set(want.At(i, k)+d.At(i, j, k), i, k)
+			}
+		}
+	}
+	if !got.Equal(want) {
+		t.Fatalf("middle-axis aggregate = %v, want %v", got.Data(), want.Data())
+	}
+}
+
+func TestBytes(t *testing.T) {
+	d := NewDense(nd.MustShape(4, 4), agg.Sum)
+	if d.Bytes() != 128 {
+		t.Fatalf("Bytes = %d", d.Bytes())
+	}
+}

@@ -1,0 +1,164 @@
+package array
+
+import (
+	"fmt"
+
+	"parcube/internal/agg"
+	"parcube/internal/nd"
+)
+
+// Target pairs a child accumulator with the parent axis it collapses.
+// Scanning a parent with several targets updates every child in one pass —
+// the "compute all children of a node simultaneously" step that gives the
+// aggregation tree its maximal cache and memory reuse.
+type Target struct {
+	Child    *Dense // shape must equal parent shape with DropAxis removed
+	DropAxis int
+}
+
+// Scan folds every element of parent into each target child with op, in a
+// single row-major pass. Child offsets are maintained incrementally
+// (odometer-style), so the cost is O(size(parent) * len(targets)) updates
+// with no per-element coordinate decoding.
+//
+// It returns the number of accumulator updates performed, the unit the cost
+// model and the "98% of computation is at the first level" analysis use.
+func Scan(parent *Dense, targets []Target, op agg.Op, fold agg.Fold) int64 {
+	if len(targets) == 0 {
+		return 0
+	}
+	apply := fold.Func(op)
+	rank := parent.Rank()
+	for _, t := range targets {
+		if t.DropAxis < 0 || t.DropAxis >= rank {
+			panic(fmt.Sprintf("array: drop axis %d out of range for %v", t.DropAxis, parent.Shape()))
+		}
+		if !t.Child.Shape().Equal(parent.Shape().Drop(t.DropAxis)) {
+			panic(fmt.Sprintf("array: child shape %v does not match parent %v minus axis %d",
+				t.Child.Shape(), parent.Shape(), t.DropAxis))
+		}
+	}
+	if rank == 0 {
+		// Degenerate: parent is scalar, every child is scalar too.
+		for _, t := range targets {
+			t.Child.data[0] = apply(t.Child.data[0], parent.data[0])
+		}
+		return int64(len(targets))
+	}
+
+	// cstride[c][i]: how much target c's offset moves when parent coordinate
+	// i increments (zero along the collapsed axis).
+	nt := len(targets)
+	cstride := make([][]int, nt)
+	for c, t := range targets {
+		cs := make([]int, rank)
+		childStrides := t.Child.Shape().Strides()
+		j := 0
+		for i := 0; i < rank; i++ {
+			if i == t.DropAxis {
+				cs[i] = 0
+				continue
+			}
+			cs[i] = childStrides[j]
+			j++
+		}
+		cstride[c] = cs
+	}
+	// resetDelta[c][i]: offset change when coordinate i wraps from max back
+	// to zero: -(extent-1)*stride.
+	resetDelta := make([][]int, nt)
+	for c := range targets {
+		rd := make([]int, rank)
+		for i := 0; i < rank; i++ {
+			rd[i] = -(parent.shape[i] - 1) * cstride[c][i]
+		}
+		resetDelta[c] = rd
+	}
+
+	coords := make([]int, rank)
+	coff := make([]int, nt)
+	pdata := parent.data
+	var updates int64
+	for poff := range pdata {
+		v := pdata[poff]
+		for c := 0; c < nt; c++ {
+			cd := targets[c].Child.data
+			cd[coff[c]] = apply(cd[coff[c]], v)
+		}
+		updates += int64(nt)
+		// Advance the odometer.
+		i := rank - 1
+		for ; i >= 0; i-- {
+			coords[i]++
+			if coords[i] < parent.shape[i] {
+				for c := 0; c < nt; c++ {
+					coff[c] += cstride[c][i]
+				}
+				break
+			}
+			coords[i] = 0
+			for c := 0; c < nt; c++ {
+				coff[c] += resetDelta[c][i]
+			}
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return updates
+}
+
+// Source is anything that can stream (coordinate, value) cells of a known
+// shape: an in-memory Sparse, or a disk scanner reading one chunk at a
+// time. It is what the sequential engine's first level consumes, so the
+// initial array never needs to fit in memory.
+type Source interface {
+	Shape() nd.Shape
+	Iter(fn func(coords []int, v float64))
+}
+
+// ScanSource folds every streamed cell of src into each target child with
+// op, in one pass. Children must have the source's shape minus their
+// collapsed axis. Returns the number of accumulator updates.
+func ScanSource(src Source, targets []Target, op agg.Op, fold agg.Fold) int64 {
+	shape := src.Shape()
+	rank := shape.Rank()
+	apply := fold.Func(op)
+	for _, t := range targets {
+		if t.DropAxis < 0 || t.DropAxis >= rank {
+			panic(fmt.Sprintf("array: drop axis %d out of range for %v", t.DropAxis, shape))
+		}
+		if !t.Child.Shape().Equal(shape.Drop(t.DropAxis)) {
+			panic(fmt.Sprintf("array: child shape %v does not match source %v minus axis %d",
+				t.Child.Shape(), shape, t.DropAxis))
+		}
+	}
+	nt := len(targets)
+	childStrides := make([][]int, nt)
+	for c, t := range targets {
+		childStrides[c] = t.Child.Shape().Strides()
+	}
+	var updates int64
+	src.Iter(func(coords []int, v float64) {
+		for c := 0; c < nt; c++ {
+			t := targets[c]
+			off := 0
+			j := 0
+			for i := 0; i < rank; i++ {
+				if i == t.DropAxis {
+					continue
+				}
+				off += coords[i] * childStrides[c][j]
+				j++
+			}
+			t.Child.data[off] = apply(t.Child.data[off], v)
+		}
+		updates += int64(nt)
+	})
+	return updates
+}
+
+// ScanSparse is ScanSource specialized to an in-memory sparse array.
+func ScanSparse(parent *Sparse, targets []Target, op agg.Op, fold agg.Fold) int64 {
+	return ScanSource(parent, targets, op, fold)
+}

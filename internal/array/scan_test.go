@@ -1,0 +1,188 @@
+package array
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"parcube/internal/agg"
+	"parcube/internal/nd"
+)
+
+// refChildren computes the children via the reference single-axis kernel.
+func refChildren(parent *Dense, axes []int, op agg.Op) []*Dense {
+	out := make([]*Dense, len(axes))
+	for i, a := range axes {
+		out[i] = parent.AggregateAlong(a, op)
+	}
+	return out
+}
+
+func TestScanMatchesReference(t *testing.T) {
+	shape := nd.MustShape(4, 3, 5)
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]float64, shape.Size())
+	for i := range vals {
+		vals[i] = float64(rng.Intn(10))
+	}
+	parent, _ := FromValues(shape, vals)
+	for _, op := range []agg.Op{agg.Sum, agg.Max, agg.Min} {
+		axes := []int{0, 1, 2}
+		targets := make([]Target, len(axes))
+		for i, a := range axes {
+			targets[i] = Target{Child: NewDense(shape.Drop(a), op), DropAxis: a}
+		}
+		updates := Scan(parent, targets, op, agg.FoldPartial)
+		if updates != int64(shape.Size()*len(axes)) {
+			t.Fatalf("%v: updates = %d", op, updates)
+		}
+		want := refChildren(parent, axes, op)
+		for i := range axes {
+			if !targets[i].Child.Equal(want[i]) {
+				t.Fatalf("%v: child %d mismatch:\n got %v\nwant %v", op, i, targets[i].Child.Data(), want[i].Data())
+			}
+		}
+	}
+}
+
+func TestScanSubsetOfAxes(t *testing.T) {
+	shape := nd.MustShape(3, 4)
+	parent, _ := FromValues(shape, seq(12))
+	child := NewDense(shape.Drop(1), agg.Sum)
+	Scan(parent, []Target{{Child: child, DropAxis: 1}}, agg.Sum, agg.FoldPartial)
+	if !child.Equal(parent.AggregateAlong(1, agg.Sum)) {
+		t.Fatal("single-target scan mismatch")
+	}
+}
+
+func TestScanCountFoldModes(t *testing.T) {
+	shape := nd.MustShape(2, 2)
+	parent, _ := FromValues(shape, []float64{5, 5, 5, 5})
+	// FoldInput: every cell counts 1.
+	c1 := NewDense(shape.Drop(0), agg.Count)
+	Scan(parent, []Target{{Child: c1, DropAxis: 0}}, agg.Count, agg.FoldInput)
+	if c1.At(0) != 2 || c1.At(1) != 2 {
+		t.Fatalf("FoldInput count = %v", c1.Data())
+	}
+	// FoldPartial: cells are partial counts and must be summed.
+	partial, _ := FromValues(shape, []float64{1, 2, 3, 4})
+	c2 := NewDense(shape.Drop(0), agg.Count)
+	Scan(partial, []Target{{Child: c2, DropAxis: 0}}, agg.Count, agg.FoldPartial)
+	if c2.At(0) != 4 || c2.At(1) != 6 {
+		t.Fatalf("FoldPartial count = %v", c2.Data())
+	}
+}
+
+func TestScanScalarParent(t *testing.T) {
+	parent := NewDense(nd.Shape{}, agg.Sum)
+	parent.Data()[0] = 5
+	child := NewDense(nd.Shape{}, agg.Sum)
+	_ = child
+	// A scalar parent has no axes to drop; Scan with no targets is a no-op.
+	if n := Scan(parent, nil, agg.Sum, agg.FoldPartial); n != 0 {
+		t.Fatalf("no-target scan updates = %d", n)
+	}
+}
+
+func TestScanRankOneToScalar(t *testing.T) {
+	parent, _ := FromValues(nd.MustShape(4), []float64{1, 2, 3, 4})
+	child := NewDense(nd.Shape{}, agg.Sum)
+	Scan(parent, []Target{{Child: child, DropAxis: 0}}, agg.Sum, agg.FoldPartial)
+	if child.Scalar() != 10 {
+		t.Fatalf("scalar child = %v", child.Scalar())
+	}
+}
+
+func TestScanPanicsOnBadTarget(t *testing.T) {
+	parent := NewDense(nd.MustShape(2, 2), agg.Sum)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on shape mismatch")
+		}
+	}()
+	Scan(parent, []Target{{Child: NewDense(nd.MustShape(3), agg.Sum), DropAxis: 0}}, agg.Sum, agg.FoldPartial)
+}
+
+func TestScanPanicsOnBadAxis(t *testing.T) {
+	parent := NewDense(nd.MustShape(2, 2), agg.Sum)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on bad axis")
+		}
+	}()
+	Scan(parent, []Target{{Child: NewDense(nd.MustShape(2), agg.Sum), DropAxis: 2}}, agg.Sum, agg.FoldPartial)
+}
+
+func TestScanSparseMatchesDense(t *testing.T) {
+	shape := nd.MustShape(6, 5, 4)
+	rng := rand.New(rand.NewSource(3))
+	b, _ := NewSparseBuilder(shape, nd.MustShape(4, 2, 3))
+	for i := 0; i < 40; i++ {
+		_ = b.Add([]int{rng.Intn(6), rng.Intn(5), rng.Intn(4)}, float64(rng.Intn(5)+1))
+	}
+	sp := b.Build()
+	dn := sp.ToDense()
+
+	axes := []int{0, 1, 2}
+	spChildren := make([]Target, len(axes))
+	dnChildren := make([]Target, len(axes))
+	for i, a := range axes {
+		spChildren[i] = Target{Child: NewDense(shape.Drop(a), agg.Sum), DropAxis: a}
+		dnChildren[i] = Target{Child: NewDense(shape.Drop(a), agg.Sum), DropAxis: a}
+	}
+	nSparse := ScanSparse(sp, spChildren, agg.Sum, agg.FoldInput)
+	Scan(dn, dnChildren, agg.Sum, agg.FoldInput)
+	if nSparse != int64(sp.NNZ()*len(axes)) {
+		t.Fatalf("sparse updates = %d, want %d", nSparse, sp.NNZ()*len(axes))
+	}
+	for i := range axes {
+		if !spChildren[i].Child.Equal(dnChildren[i].Child) {
+			t.Fatalf("axis %d: sparse scan != dense scan", axes[i])
+		}
+	}
+}
+
+func TestScanSparsePanicsOnBadTarget(t *testing.T) {
+	b, _ := NewSparseBuilder(nd.MustShape(2, 2), nil)
+	sp := b.Build()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	ScanSparse(sp, []Target{{Child: NewDense(nd.MustShape(5), agg.Sum), DropAxis: 0}}, agg.Sum, agg.FoldInput)
+}
+
+// Property: scanning with Sum over a random dense 3-D array preserves the
+// grand total in every child.
+func TestQuickScanPreservesTotal(t *testing.T) {
+	f := func(seed int64, a, b, c uint8) bool {
+		shape := nd.MustShape(int(a%5)+1, int(b%5)+1, int(c%5)+1)
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]float64, shape.Size())
+		total := 0.0
+		for i := range vals {
+			vals[i] = float64(rng.Intn(7))
+			total += vals[i]
+		}
+		parent, _ := FromValues(shape, vals)
+		targets := []Target{
+			{Child: NewDense(shape.Drop(0), agg.Sum), DropAxis: 0},
+			{Child: NewDense(shape.Drop(2), agg.Sum), DropAxis: 2},
+		}
+		Scan(parent, targets, agg.Sum, agg.FoldPartial)
+		for _, tg := range targets {
+			sum := 0.0
+			for _, v := range tg.Child.Data() {
+				sum += v
+			}
+			if sum != total {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

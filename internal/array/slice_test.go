@@ -1,0 +1,216 @@
+package array
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parcube/internal/agg"
+	"parcube/internal/nd"
+)
+
+func TestSliceAxis(t *testing.T) {
+	// [[0,1,2],[3,4,5]] (2x3)
+	d, _ := FromValues(nd.MustShape(2, 3), seq(6))
+	row := d.SliceAxis(0, 1)
+	if !row.Shape().Equal(nd.MustShape(3)) {
+		t.Fatalf("row shape %v", row.Shape())
+	}
+	if row.At(0) != 3 || row.At(2) != 5 {
+		t.Fatalf("row = %v", row.Data())
+	}
+	col := d.SliceAxis(1, 2)
+	if col.At(0) != 2 || col.At(1) != 5 {
+		t.Fatalf("col = %v", col.Data())
+	}
+}
+
+func TestSliceAxisMiddle(t *testing.T) {
+	d, _ := FromValues(nd.MustShape(2, 3, 2), seq(12))
+	s := d.SliceAxis(1, 1)
+	want := NewDense(nd.MustShape(2, 2), agg.Sum)
+	for i := 0; i < 2; i++ {
+		for k := 0; k < 2; k++ {
+			want.Set(d.At(i, 1, k), i, k)
+		}
+	}
+	if !s.Equal(want) {
+		t.Fatalf("middle slice = %v, want %v", s.Data(), want.Data())
+	}
+}
+
+func TestSliceAxisToScalar(t *testing.T) {
+	d, _ := FromValues(nd.MustShape(4), []float64{7, 8, 9, 10})
+	s := d.SliceAxis(0, 2)
+	if s.Rank() != 0 || s.Scalar() != 9 {
+		t.Fatalf("scalar slice = %v", s.Data())
+	}
+}
+
+func TestSliceAxisIsCopy(t *testing.T) {
+	d, _ := FromValues(nd.MustShape(2, 2), seq(4))
+	s := d.SliceAxis(0, 0)
+	s.Set(99, 0)
+	if d.At(0, 0) == 99 {
+		t.Fatal("slice aliases parent")
+	}
+}
+
+func TestSliceAxisPanics(t *testing.T) {
+	d := NewDense(nd.MustShape(2, 2), agg.Sum)
+	for _, c := range [][2]int{{2, 0}, {-1, 0}, {0, 2}, {0, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("no panic for axis=%d index=%d", c[0], c[1])
+				}
+			}()
+			d.SliceAxis(c[0], c[1])
+		}()
+	}
+}
+
+// Property: summing a slice along the remaining axes equals the matching
+// cell of the aggregate along the sliced axis... i.e., slicing then
+// aggregating commutes with aggregating the complementary axes.
+func TestQuickSliceAggregateCommute(t *testing.T) {
+	f := func(vals [24]uint8, idx uint8) bool {
+		shape := nd.MustShape(4, 3, 2)
+		data := make([]float64, 24)
+		for i, v := range vals {
+			data[i] = float64(v)
+		}
+		d, _ := FromValues(shape, data)
+		i := int(idx) % 4
+		// Slice axis 0 at i, then total.
+		s := d.SliceAxis(0, i)
+		total := 0.0
+		for _, v := range s.Data() {
+			total += v
+		}
+		// Aggregate axes 1 and 2, then index.
+		agg0 := d.AggregateAlong(2, agg.Sum).AggregateAlong(1, agg.Sum)
+		return agg0.At(i) == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrop(t *testing.T) {
+	d, _ := FromValues(nd.MustShape(4, 5), seq(20))
+	c := d.Crop([]int{1, 2}, []int{3, 5})
+	if !c.Shape().Equal(nd.MustShape(2, 3)) {
+		t.Fatalf("crop shape = %v", c.Shape())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if c.At(i, j) != d.At(i+1, j+2) {
+				t.Fatalf("crop(%d,%d) = %v, want %v", i, j, c.At(i, j), d.At(i+1, j+2))
+			}
+		}
+	}
+	// Copy semantics.
+	c.Set(99, 0, 0)
+	if d.At(1, 2) == 99 {
+		t.Fatal("crop aliases parent")
+	}
+}
+
+func TestCropFullAndScalar(t *testing.T) {
+	d, _ := FromValues(nd.MustShape(3, 2), seq(6))
+	full := d.Crop([]int{0, 0}, []int{3, 2})
+	if !full.Equal(d) {
+		t.Fatal("full crop differs")
+	}
+	s := NewDense(nd.Shape{}, agg.Sum)
+	s.Data()[0] = 7
+	if got := s.Crop(nil, nil); got.Scalar() != 7 {
+		t.Fatalf("scalar crop = %v", got.Scalar())
+	}
+}
+
+func TestCropPanics(t *testing.T) {
+	d := NewDense(nd.MustShape(3, 3), agg.Sum)
+	cases := [][2][]int{
+		{{0}, {1}},        // rank mismatch
+		{{0, 0}, {4, 3}},  // hi out of range
+		{{-1, 0}, {2, 2}}, // lo negative
+		{{2, 0}, {2, 3}},  // empty range
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("no panic for %v", c)
+				}
+			}()
+			d.Crop(c[0], c[1])
+		}()
+	}
+}
+
+// Property: cropping then summing equals summing the region directly.
+func TestQuickCropSum(t *testing.T) {
+	f := func(vals [36]uint8, b uint8) bool {
+		shape := nd.MustShape(6, 6)
+		data := make([]float64, 36)
+		for i, v := range vals {
+			data[i] = float64(v)
+		}
+		d, _ := FromValues(shape, data)
+		lo := []int{int(b) % 5, int(b/5) % 5}
+		hi := []int{lo[0] + 1 + int(b/25)%(6-lo[0]), lo[1] + 1}
+		c := d.Crop(lo, hi)
+		sum := 0.0
+		for _, v := range c.Data() {
+			sum += v
+		}
+		want := 0.0
+		for i := lo[0]; i < hi[0]; i++ {
+			for j := lo[1]; j < hi[1]; j++ {
+				want += d.At(i, j)
+			}
+		}
+		return sum == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapAxis(t *testing.T) {
+	// 2x4: rows [0,1,2,3] and [4,5,6,7]; map columns {0,1}->0, {2,3}->1.
+	d, _ := FromValues(nd.MustShape(2, 4), seq(8))
+	m := MapAxis(d, 1, []int{0, 0, 1, 1}, 2, agg.Sum)
+	if !m.Shape().Equal(nd.MustShape(2, 2)) {
+		t.Fatalf("shape = %v", m.Shape())
+	}
+	if m.At(0, 0) != 1 || m.At(0, 1) != 5 || m.At(1, 0) != 9 || m.At(1, 1) != 13 {
+		t.Fatalf("mapped = %v", m.Data())
+	}
+	// Map the outer axis with Max.
+	mx := MapAxis(d, 0, []int{0, 0}, 1, agg.Max)
+	if mx.At(0, 3) != 7 {
+		t.Fatalf("max map = %v", mx.Data())
+	}
+}
+
+func TestMapAxisPanics(t *testing.T) {
+	d := NewDense(nd.MustShape(2, 2), agg.Sum)
+	cases := []func(){
+		func() { MapAxis(d, 5, []int{0, 0}, 1, agg.Sum) },
+		func() { MapAxis(d, 0, []int{0}, 1, agg.Sum) },
+		func() { MapAxis(d, 0, []int{0, 0}, 0, agg.Sum) },
+		func() { MapAxis(d, 0, []int{0, 9}, 2, agg.Sum) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: no panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,278 @@
+package array
+
+import (
+	"fmt"
+	"sort"
+
+	"parcube/internal/agg"
+	"parcube/internal/nd"
+)
+
+// Entry is one stored element of a sparse chunk: its row-major offset
+// within the chunk plus its value. This is the chunk-offset compression the
+// paper uses for initial arrays: "along with each non-zero element, its
+// offset within the chunk is also stored".
+type Entry struct {
+	Off uint32
+	Val float64
+}
+
+// entryBytes is the stored size of one entry (4-byte offset + 8-byte value).
+const entryBytes = 12
+
+// Chunk is one axis-aligned piece of a sparse array with its stored entries
+// ordered by offset.
+type Chunk struct {
+	Block   nd.Block // global region the chunk covers
+	Entries []Entry  // sorted by Off; Off is relative to Block's own shape
+}
+
+// Sparse is an n-dimensional sparse array stored as a grid of chunks with
+// chunk-offset compression. Only non-zero elements are stored; reading an
+// absent element yields zero.
+type Sparse struct {
+	shape      nd.Shape
+	chunkSides nd.Shape // requested chunk extent along each axis
+	grid       nd.Shape // number of chunks along each axis
+	chunks     []Chunk  // row-major over grid; empty chunks have nil Entries
+	nnz        int
+}
+
+// DefaultChunkSide is the per-axis chunk extent used when the caller does
+// not specify one. 16^4 elements per 4-D chunk keeps chunks cache-sized.
+const DefaultChunkSide = 16
+
+// NewSparseBuilder returns a builder that accumulates cells and produces a
+// Sparse. chunkSides gives the chunk extent per axis; pass nil for the
+// default. Duplicate coordinates are summed, matching fact-table semantics
+// where multiple records can land in the same cell.
+func NewSparseBuilder(shape nd.Shape, chunkSides nd.Shape) (*SparseBuilder, error) {
+	if chunkSides == nil {
+		chunkSides = make(nd.Shape, shape.Rank())
+		for i := range chunkSides {
+			chunkSides[i] = DefaultChunkSide
+		}
+	}
+	if len(chunkSides) != shape.Rank() {
+		return nil, fmt.Errorf("array: chunk sides %v do not match shape %v", chunkSides, shape)
+	}
+	grid := make(nd.Shape, shape.Rank())
+	for i := range chunkSides {
+		if chunkSides[i] < 1 {
+			return nil, fmt.Errorf("array: non-positive chunk side %d on axis %d", chunkSides[i], i)
+		}
+		if chunkSides[i] > shape[i] {
+			chunkSides[i] = shape[i]
+		}
+		grid[i] = (shape[i] + chunkSides[i] - 1) / chunkSides[i]
+	}
+	b := &SparseBuilder{
+		shape:      shape.Clone(),
+		chunkSides: chunkSides.Clone(),
+		grid:       grid,
+		cells:      make([]map[uint32]float64, grid.Size()),
+		blocks:     make([]nd.Block, grid.Size()),
+	}
+	for g := range b.blocks {
+		b.blocks[g] = chunkBlock(b.shape, b.chunkSides, b.grid, g)
+	}
+	return b, nil
+}
+
+// SparseBuilder accumulates cells for a Sparse array.
+type SparseBuilder struct {
+	shape      nd.Shape
+	chunkSides nd.Shape
+	grid       nd.Shape
+	cells      []map[uint32]float64
+	blocks     []nd.Block
+	nnz        int
+}
+
+// chunkBlock returns the global region of the chunk at grid offset gidx.
+func chunkBlock(shape, chunkSides, grid nd.Shape, gidx int) nd.Block {
+	gc := make([]int, grid.Rank())
+	grid.Coords(gidx, gc)
+	lo := make([]int, shape.Rank())
+	hi := make([]int, shape.Rank())
+	for i := range lo {
+		lo[i] = gc[i] * chunkSides[i]
+		hi[i] = lo[i] + chunkSides[i]
+		if hi[i] > shape[i] {
+			hi[i] = shape[i]
+		}
+	}
+	return nd.Block{Lo: lo, Hi: hi}
+}
+
+// Add accumulates v into the cell at coords (summing duplicates).
+func (b *SparseBuilder) Add(coords []int, v float64) error {
+	if !b.shape.Contains(coords) {
+		return fmt.Errorf("array: coords %v out of range for %v", coords, b.shape)
+	}
+	gidx := 0
+	for i, c := range coords {
+		gidx = gidx*b.grid[i] + c/b.chunkSides[i]
+	}
+	blk := b.blocks[gidx]
+	off := 0
+	for i, c := range coords {
+		off = off*(blk.Hi[i]-blk.Lo[i]) + (c - blk.Lo[i])
+	}
+	m := b.cells[gidx]
+	if m == nil {
+		m = make(map[uint32]float64)
+		b.cells[gidx] = m
+	}
+	if _, ok := m[uint32(off)]; !ok {
+		b.nnz++
+	}
+	m[uint32(off)] += v
+	return nil
+}
+
+// Build finalizes the builder into an immutable Sparse array. The builder
+// must not be used afterwards.
+func (b *SparseBuilder) Build() *Sparse {
+	s := &Sparse{
+		shape:      b.shape,
+		chunkSides: b.chunkSides,
+		grid:       b.grid,
+		chunks:     make([]Chunk, len(b.cells)),
+		nnz:        b.nnz,
+	}
+	for gidx, m := range b.cells {
+		s.chunks[gidx].Block = b.blocks[gidx]
+		if len(m) == 0 {
+			continue
+		}
+		entries := make([]Entry, 0, len(m))
+		for off, v := range m {
+			entries = append(entries, Entry{Off: off, Val: v})
+		}
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Off < entries[j].Off })
+		s.chunks[gidx].Entries = entries
+		b.cells[gidx] = nil
+	}
+	b.cells = nil
+	return s
+}
+
+// Shape returns the array's global shape.
+func (s *Sparse) Shape() nd.Shape { return s.shape }
+
+// NNZ returns the number of stored (non-zero) elements.
+func (s *Sparse) NNZ() int { return s.nnz }
+
+// Sparsity returns the fraction of cells stored, in [0, 1].
+func (s *Sparse) Sparsity() float64 { return float64(s.nnz) / float64(s.shape.Size()) }
+
+// Bytes returns the compressed payload size: 12 bytes per stored entry.
+func (s *Sparse) Bytes() int64 { return int64(s.nnz) * entryBytes }
+
+// NumChunks returns the number of chunks (including empty ones).
+func (s *Sparse) NumChunks() int { return len(s.chunks) }
+
+// Iter calls fn for every stored element with its global coordinates and
+// value, chunk by chunk — the disk-friendly access order the paper assumes.
+// The coords slice is reused; fn must not retain it.
+func (s *Sparse) Iter(fn func(coords []int, v float64)) {
+	rank := s.shape.Rank()
+	coords := make([]int, rank)
+	local := make([]int, rank)
+	for ci := range s.chunks {
+		ch := &s.chunks[ci]
+		if len(ch.Entries) == 0 {
+			continue
+		}
+		cshape := ch.Block.Shape()
+		for _, e := range ch.Entries {
+			cshape.Coords(int(e.Off), local)
+			for i := 0; i < rank; i++ {
+				coords[i] = ch.Block.Lo[i] + local[i]
+			}
+			fn(coords, e.Val)
+		}
+	}
+}
+
+// At returns the value stored at coords, or 0 if absent.
+func (s *Sparse) At(coords ...int) float64 {
+	if !s.shape.Contains(coords) {
+		panic(fmt.Sprintf("array: coords %v out of range for %v", coords, s.shape))
+	}
+	gidx := 0
+	for i, c := range coords {
+		gidx = gidx*s.grid[i] + c/s.chunkSides[i]
+	}
+	ch := &s.chunks[gidx]
+	cshape := ch.Block.Shape()
+	off := 0
+	for i, c := range coords {
+		off = off*cshape[i] + (c - ch.Block.Lo[i])
+	}
+	es := ch.Entries
+	lo, hi := 0, len(es)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if es[mid].Off < uint32(off) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(es) && es[lo].Off == uint32(off) {
+		return es[lo].Val
+	}
+	return 0
+}
+
+// ToDense materializes the sparse array densely (for verification and small
+// inputs only).
+func (s *Sparse) ToDense() *Dense {
+	d := NewDense(s.shape, agg.Sum)
+	s.Iter(func(coords []int, v float64) {
+		d.data[s.shape.Offset(coords)] = v
+	})
+	return d
+}
+
+// SubBlock extracts the portion of the array inside the given global block
+// as a new Sparse array whose shape is the block's shape and whose
+// coordinates are relative to the block origin. This is how the initial
+// array is partitioned among processors.
+func (s *Sparse) SubBlock(b nd.Block, chunkSides nd.Shape) (*Sparse, error) {
+	sub, err := NewSparseBuilder(b.Shape(), chunkSides)
+	if err != nil {
+		return nil, err
+	}
+	rank := s.shape.Rank()
+	local := make([]int, rank)
+	s.Iter(func(coords []int, v float64) {
+		if !b.Contains(coords) {
+			return
+		}
+		for i := 0; i < rank; i++ {
+			local[i] = coords[i] - b.Lo[i]
+		}
+		// Coords are in range by construction; Add cannot fail.
+		_ = sub.Add(local, v)
+	})
+	return sub.Build(), nil
+}
+
+// ChunkSides returns the per-axis chunk extents the array was built with.
+func (s *Sparse) ChunkSides() nd.Shape { return s.chunkSides }
+
+// IterChunks visits every chunk (including empty ones) with its global
+// block and stored entries, in row-major chunk order. The entries slice
+// aliases internal storage; fn must not modify or retain it.
+func (s *Sparse) IterChunks(fn func(block nd.Block, entries []Entry) error) error {
+	for ci := range s.chunks {
+		ch := &s.chunks[ci]
+		if err := fn(ch.Block, ch.Entries); err != nil {
+			return err
+		}
+	}
+	return nil
+}

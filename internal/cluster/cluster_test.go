@@ -1,0 +1,393 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"parcube/internal/agg"
+	"parcube/internal/comm"
+	"parcube/internal/lattice"
+)
+
+func TestGridRankLabelRoundTrip(t *testing.T) {
+	g, err := NewGrid([]int{2, 4, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 16 {
+		t.Fatalf("Size = %d", g.Size())
+	}
+	label := make([]int, 4)
+	for r := 0; r < g.Size(); r++ {
+		g.Label(r, label)
+		if got := g.Rank(label); got != r {
+			t.Fatalf("Rank(Label(%d)) = %d", r, got)
+		}
+		for i, l := range label {
+			if l < 0 || l >= g.Parts()[i] {
+				t.Fatalf("label %v out of range", label)
+			}
+		}
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	if _, err := NewGrid(nil); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+	if _, err := NewGrid([]int{2, 0}); err == nil {
+		t.Fatal("zero part accepted")
+	}
+}
+
+func TestGridIsLead(t *testing.T) {
+	g, _ := NewGrid([]int{2, 2, 2})
+	if !g.IsLead([]int{0, 1, 0}, lattice.DimSet(0b101)) {
+		t.Fatal("lead along {0,2} not recognized")
+	}
+	if g.IsLead([]int{0, 1, 0}, lattice.DimSet(0b010)) {
+		t.Fatal("non-lead along {1} accepted")
+	}
+	if !g.IsLead([]int{1, 1, 1}, 0) {
+		t.Fatal("every processor is lead along the empty set")
+	}
+}
+
+func TestGridGroupAlong(t *testing.T) {
+	g, _ := NewGrid([]int{2, 4})
+	group := g.GroupAlong([]int{1, 2}, 1)
+	if len(group) != 4 {
+		t.Fatalf("group = %v", group)
+	}
+	// Ranks of labels (1,0), (1,1), (1,2), (1,3).
+	want := []int{4, 5, 6, 7}
+	for i := range want {
+		if group[i] != want[i] {
+			t.Fatalf("group = %v, want %v", group, want)
+		}
+	}
+	// Lead is index 0 and the caller's index is its coordinate.
+	if group[2] != g.Rank([]int{1, 2}) {
+		t.Fatal("caller not at its coordinate index")
+	}
+}
+
+func TestNetworkProfile(t *testing.T) {
+	n := NetworkProfile{LatencySec: 1e-3, BandwidthBytesPerSec: 1e6}
+	if got := n.TransferSec(1e6); math.Abs(got-1.001) > 1e-12 {
+		t.Fatalf("TransferSec = %v", got)
+	}
+	if Ideal().TransferSec(1<<30) != 0 {
+		t.Fatal("ideal network charges time")
+	}
+	if Cluster2003().TransferSec(1) <= 0 || FastEthernet().TransferSec(1) <= 0 {
+		t.Fatal("profiles are free")
+	}
+	if UltraII().CostSec(1e6) <= 0 {
+		t.Fatal("compute profile is free")
+	}
+}
+
+func TestBarrierSynchronizesToMax(t *testing.T) {
+	b, err := NewBarrier(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	out := make([]float64, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = b.Await(float64(i * 10))
+		}(i)
+	}
+	wg.Wait()
+	for i, v := range out {
+		if v != 30 {
+			t.Fatalf("participant %d released at %v", i, v)
+		}
+	}
+}
+
+func TestBarrierReusableRounds(t *testing.T) {
+	b, _ := NewBarrier(2)
+	var wg sync.WaitGroup
+	res := make([][]float64, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for round := 0; round < 50; round++ {
+				res[i] = append(res[i], b.Await(float64(round*2+i)))
+			}
+		}(i)
+	}
+	wg.Wait()
+	for round := 0; round < 50; round++ {
+		want := float64(round*2 + 1)
+		if res[0][round] != want || res[1][round] != want {
+			t.Fatalf("round %d: %v / %v, want %v", round, res[0][round], res[1][round], want)
+		}
+	}
+}
+
+func TestNewBarrierValidation(t *testing.T) {
+	if _, err := NewBarrier(0); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+}
+
+func TestRunVirtualTimeDeterministic(t *testing.T) {
+	// Rank 0 computes 1000 updates then sends 100 elements to rank 1;
+	// rank 1 computes 100 updates then receives. The modeled times are
+	// exact, independent of host scheduling.
+	cfg := Config{
+		Parts:   []int{2},
+		Network: NetworkProfile{LatencySec: 1e-3, BandwidthBytesPerSec: 8e6},
+		Compute: ComputeProfile{SecondsPerUpdate: 1e-6},
+	}
+	for trial := 0; trial < 3; trial++ {
+		rep, err := Run(cfg, func(p *Proc) error {
+			if p.Rank() == 0 {
+				p.Compute(1000)
+				return p.Send(1, 1, make([]float64, 100))
+			}
+			p.Compute(100)
+			_, err := p.Recv(0, 1)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Rank 0: 1000us compute + wire occupancy (828B / 8MB/s = 103.5us).
+		bytes := comm.WireBytes(100)
+		wantSender := 1e-3 + float64(bytes)/8e6
+		if math.Abs(rep.Procs[0].ClockSec-wantSender) > 1e-12 {
+			t.Fatalf("sender clock = %v, want %v", rep.Procs[0].ClockSec, wantSender)
+		}
+		// Rank 1: max(100us, sendTime 1000us + 1ms latency + 103.5us).
+		wantRecv := 1e-3 + 1e-3 + float64(bytes)/8e6
+		if math.Abs(rep.Procs[1].ClockSec-wantRecv) > 1e-12 {
+			t.Fatalf("receiver clock = %v, want %v", rep.Procs[1].ClockSec, wantRecv)
+		}
+		if math.Abs(rep.MakespanSec-wantRecv) > 1e-12 {
+			t.Fatalf("makespan = %v", rep.MakespanSec)
+		}
+		if rep.TotalElementsSent != 100 || rep.TotalMessages != 1 {
+			t.Fatalf("totals = %+v", rep)
+		}
+		if rep.Fabric.Elements != 100 {
+			t.Fatalf("fabric elements = %d", rep.Fabric.Elements)
+		}
+	}
+}
+
+func TestRunBarrierAndStats(t *testing.T) {
+	cfg := Config{Parts: []int{4}, Compute: ComputeProfile{SecondsPerUpdate: 1}}
+	rep, err := Run(cfg, func(p *Proc) error {
+		p.Compute(int64(p.Rank()))
+		after := p.Barrier()
+		if after != 3 {
+			return fmt.Errorf("rank %d released at %v", p.Rank(), after)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MakespanSec != 3 {
+		t.Fatalf("makespan = %v", rep.MakespanSec)
+	}
+	if rep.TotalUpdates != 0+1+2+3 {
+		t.Fatalf("updates = %d", rep.TotalUpdates)
+	}
+	// CommSec accounts barrier skew; rank 0 waited 3 seconds.
+	if rep.Procs[0].CommSec != 3 {
+		t.Fatalf("rank 0 CommSec = %v", rep.Procs[0].CommSec)
+	}
+}
+
+func TestRunRejectsNonPowerOfTwo(t *testing.T) {
+	if _, err := Run(Config{Parts: []int{3}}, func(*Proc) error { return nil }); err == nil {
+		t.Fatal("3 processors accepted")
+	}
+}
+
+func TestRunPropagatesErrorsAndPanics(t *testing.T) {
+	if _, err := Run(Config{Parts: []int{2}}, func(p *Proc) error {
+		if p.Rank() == 1 {
+			return fmt.Errorf("boom")
+		}
+		return nil
+	}); err == nil {
+		t.Fatal("error not propagated")
+	}
+	if _, err := Run(Config{Parts: []int{2}}, func(p *Proc) error {
+		if p.Rank() == 0 {
+			panic("kaboom")
+		}
+		return nil
+	}); err == nil {
+		t.Fatal("panic not propagated")
+	}
+}
+
+func TestRunReduceWithVirtualTime(t *testing.T) {
+	// A 4-way binomial reduction on an ideal network with unit compute:
+	// correctness plus a sane makespan.
+	cfg := Config{Parts: []int{4}, Network: NetworkProfile{LatencySec: 1}}
+	rep, err := Run(cfg, func(p *Proc) error {
+		buf := []float64{float64(p.Rank() + 1)}
+		group := []int{0, 1, 2, 3}
+		if err := comm.Reduce(p, group, p.Rank(), buf, agg.Sum, 5, comm.Binomial); err != nil {
+			return err
+		}
+		if p.Rank() == 0 && buf[0] != 10 {
+			return fmt.Errorf("reduced = %v", buf[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two binomial rounds of 1-second latency at the root.
+	if math.Abs(rep.Procs[0].ClockSec-2) > 1e-9 {
+		t.Fatalf("root clock = %v", rep.Procs[0].ClockSec)
+	}
+	if rep.TotalElementsSent != 3 {
+		t.Fatalf("elements = %d", rep.TotalElementsSent)
+	}
+}
+
+// Property: grid rank/label is a bijection for random part vectors.
+func TestQuickGridBijection(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		parts := []int{int(a)%3 + 1, int(b)%3 + 1, int(c)%3 + 1}
+		g, err := NewGrid(parts)
+		if err != nil {
+			return false
+		}
+		seen := make(map[int]bool)
+		label := make([]int, 3)
+		for r := 0; r < g.Size(); r++ {
+			g.Label(r, label)
+			rr := g.Rank(label)
+			if rr != r || seen[rr] {
+				return false
+			}
+			seen[rr] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceRecordsEvents(t *testing.T) {
+	cfg := Config{
+		Parts:   []int{2},
+		Network: NetworkProfile{LatencySec: 1e-3, BandwidthBytesPerSec: 1e6},
+		Compute: ComputeProfile{SecondsPerUpdate: 1e-6},
+		Trace:   true,
+	}
+	rep, err := Run(cfg, func(p *Proc) error {
+		p.Compute(500)
+		if p.Rank() == 0 {
+			if err := p.Send(1, 1, make([]float64, 50)); err != nil {
+				return err
+			}
+		} else if _, err := p.Recv(0, 1); err != nil {
+			return err
+		}
+		p.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Events) != 2 {
+		t.Fatalf("events for %d ranks", len(rep.Events))
+	}
+	kinds := map[EventKind]bool{}
+	for _, evs := range rep.Events {
+		for _, ev := range evs {
+			kinds[ev.Kind] = true
+			if ev.EndSec <= ev.StartSec {
+				t.Fatalf("empty event %+v", ev)
+			}
+		}
+	}
+	for _, k := range []EventKind{EvCompute, EvSend, EvRecvWait} {
+		if !kinds[k] {
+			t.Fatalf("missing %v events (got %v)", k, kinds)
+		}
+	}
+	// Tracing off -> no events.
+	cfg.Trace = false
+	rep2, err := Run(cfg, func(p *Proc) error { p.Compute(10); p.Barrier(); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Events != nil {
+		t.Fatal("events recorded without tracing")
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	events := [][]Event{
+		{{Kind: EvCompute, StartSec: 0, EndSec: 0.5, Peer: -1}, {Kind: EvRecvWait, StartSec: 0.5, EndSec: 1, Peer: 1}},
+		{{Kind: EvCompute, StartSec: 0, EndSec: 1, Peer: -1}},
+	}
+	var buf strings.Builder
+	if err := RenderTimeline(&buf, events, 1.0, 20); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "P0") || !strings.Contains(out, "P1") {
+		t.Fatalf("timeline missing rows:\n%s", out)
+	}
+	if !strings.Contains(out, "~") || !strings.Contains(out, "#") {
+		t.Fatalf("timeline missing glyphs:\n%s", out)
+	}
+	// Degenerate cases do not crash.
+	if err := RenderTimeline(&buf, nil, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if EvCompute.String() != "compute" || EventKind(9).String() == "" {
+		t.Fatal("event kind names wrong")
+	}
+}
+
+func TestComputeScaleHeterogeneous(t *testing.T) {
+	cfg := Config{
+		Parts:        []int{2},
+		Compute:      ComputeProfile{SecondsPerUpdate: 1e-6},
+		ComputeScale: []float64{1, 3},
+	}
+	rep, err := Run(cfg, func(p *Proc) error {
+		p.Compute(1000)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Procs[0].ClockSec != 1e-3 || rep.Procs[1].ClockSec != 3e-3 {
+		t.Fatalf("clocks = %v, %v", rep.Procs[0].ClockSec, rep.Procs[1].ClockSec)
+	}
+	// Validation.
+	bad := cfg
+	bad.ComputeScale = []float64{1}
+	if _, err := Run(bad, func(*Proc) error { return nil }); err == nil {
+		t.Fatal("short scale accepted")
+	}
+	bad.ComputeScale = []float64{1, 0}
+	if _, err := Run(bad, func(*Proc) error { return nil }); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+}

@@ -1,0 +1,94 @@
+// Package cluster simulates the paper's shared-nothing parallel machine.
+// Simulated processors run as goroutines and really execute their share of
+// the computation; time, however, is *virtual*: each processor advances a
+// local clock by a calibrated cost per accumulator update, messages carry
+// their sender's clock and charge latency plus bytes/bandwidth at the
+// receiver, and barriers synchronize clocks to the maximum. The result is a
+// deterministic LogP-style performance model layered over a real, verified
+// computation — the documented substitution for the paper's 16-node
+// Sun/Myrinet cluster (this host has a single CPU, so wall-clock speedups
+// cannot be observed directly).
+package cluster
+
+import (
+	"fmt"
+
+	"parcube/internal/lattice"
+)
+
+// Grid maps processor labels to ranks. Dimension i of the array is split
+// into Parts[i] slices (the paper's 2^{k_i}); a processor's label
+// (l_0 .. l_{n-1}) with l_i in [0, Parts[i]) identifies its block, and its
+// rank is the mixed-radix encoding of the label.
+type Grid struct {
+	parts []int
+	size  int
+}
+
+// NewGrid builds a grid from per-dimension slice counts (all >= 1).
+func NewGrid(parts []int) (*Grid, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("cluster: empty grid")
+	}
+	size := 1
+	for i, p := range parts {
+		if p < 1 {
+			return nil, fmt.Errorf("cluster: non-positive part count %d on dimension %d", p, i)
+		}
+		size *= p
+	}
+	cp := make([]int, len(parts))
+	copy(cp, parts)
+	return &Grid{parts: cp, size: size}, nil
+}
+
+// Parts returns the per-dimension slice counts.
+func (g *Grid) Parts() []int { return g.parts }
+
+// Size returns the processor count.
+func (g *Grid) Size() int { return g.size }
+
+// Rank encodes a label as a rank.
+func (g *Grid) Rank(label []int) int {
+	r := 0
+	for i, l := range label {
+		r = r*g.parts[i] + l
+	}
+	return r
+}
+
+// Label decodes a rank into dst (length = dimensions) and returns it.
+func (g *Grid) Label(rank int, dst []int) []int {
+	for i := len(g.parts) - 1; i >= 0; i-- {
+		dst[i] = rank % g.parts[i]
+		rank /= g.parts[i]
+	}
+	return dst
+}
+
+// IsLead reports whether the label is a lead processor along every
+// dimension in dims — l_d == 0 for all d in dims. Aggregation results along
+// a dimension live on the lead processors of that dimension.
+func (g *Grid) IsLead(label []int, dims lattice.DimSet) bool {
+	for _, d := range dims.Dims() {
+		if label[d] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// GroupAlong returns the ranks of the processors that share label's
+// coordinates on every dimension except dim, ordered by their coordinate on
+// dim (so index 0 is the lead). This is the reduction group for
+// aggregating along dim.
+func (g *Grid) GroupAlong(label []int, dim int) []int {
+	tmp := make([]int, len(label))
+	copy(tmp, label)
+	group := make([]int, g.parts[dim])
+	for c := 0; c < g.parts[dim]; c++ {
+		tmp[dim] = c
+		group[c] = g.Rank(tmp)
+	}
+	return group
+}

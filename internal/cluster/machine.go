@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"runtime/debug"
+	"sync"
+
+	"parcube/internal/comm"
+)
+
+// Config describes a simulated machine.
+type Config struct {
+	// Parts is the per-dimension slice count (the paper's 2^{k_i}); the
+	// processor count is their product and must be a power of two.
+	Parts []int
+	// Network is the interconnect cost model. The zero value is ideal.
+	Network NetworkProfile
+	// Compute is the per-update cost model. The zero value makes
+	// computation free (volume-only runs).
+	Compute ComputeProfile
+	// Fabric optionally supplies the message transport; the default is a
+	// fresh in-process ChanFabric, closed when Run returns. A supplied
+	// fabric is left open unless a processor fails, in which case it is
+	// closed to release blocked peers.
+	Fabric comm.Fabric
+	// Trace records per-processor event timelines in the report.
+	Trace bool
+	// ComputeScale optionally slows (or speeds) individual ranks: rank r's
+	// per-update cost is multiplied by ComputeScale[r] (1.0 = nominal).
+	// Models heterogeneous nodes and stragglers. Nil means homogeneous.
+	ComputeScale []float64
+}
+
+// Report aggregates a finished SPMD run.
+type Report struct {
+	// Procs has one entry per rank.
+	Procs []ProcStats
+	// MakespanSec is the maximum final virtual clock — the modeled
+	// parallel execution time.
+	MakespanSec float64
+	// TotalElementsSent and TotalBytesSent sum processor send counters;
+	// elements are the unit of the paper's volume formulas.
+	TotalElementsSent int64
+	TotalBytesSent    int64
+	TotalMessages     int64
+	// TotalUpdates sums accumulator updates over all processors.
+	TotalUpdates int64
+	// Fabric is the transport's own accounting, a cross-check of the
+	// per-processor counters.
+	Fabric comm.Stats
+	// Events holds per-rank traces when Config.Trace was set.
+	Events [][]Event
+}
+
+// Run executes body once per processor, each on its own goroutine with its
+// own Proc, and waits for all of them. The first error (or panic, converted
+// to an error) aborts the report. Virtual clocks make the returned times
+// deterministic regardless of host scheduling.
+func Run(cfg Config, body func(p *Proc) error) (*Report, error) {
+	grid, err := NewGrid(cfg.Parts)
+	if err != nil {
+		return nil, err
+	}
+	size := grid.Size()
+	if bits.OnesCount(uint(size)) != 1 {
+		return nil, fmt.Errorf("cluster: processor count %d is not a power of two", size)
+	}
+	fabric := cfg.Fabric
+	if fabric == nil {
+		f, err := comm.NewChanFabric(size)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		fabric = f
+	}
+	barrier, err := NewBarrier(size)
+	if err != nil {
+		return nil, err
+	}
+
+	procs := make([]*Proc, size)
+	for r := 0; r < size; r++ {
+		ep, err := fabric.Endpoint(r)
+		if err != nil {
+			return nil, err
+		}
+		label := make([]int, len(cfg.Parts))
+		grid.Label(r, label)
+		compute := cfg.Compute
+		if cfg.ComputeScale != nil {
+			if len(cfg.ComputeScale) != size {
+				return nil, fmt.Errorf("cluster: ComputeScale has %d entries for %d ranks", len(cfg.ComputeScale), size)
+			}
+			if cfg.ComputeScale[r] <= 0 {
+				return nil, fmt.Errorf("cluster: non-positive compute scale for rank %d", r)
+			}
+			compute.SecondsPerUpdate *= cfg.ComputeScale[r]
+		}
+		procs[r] = &Proc{
+			rank:    r,
+			label:   label,
+			grid:    grid,
+			ep:      ep,
+			net:     cfg.Network,
+			compute: compute,
+			barrier: barrier,
+			trace:   cfg.Trace,
+		}
+	}
+
+	errs := make([]error, size)
+	var closeOnce sync.Once
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(p *Proc) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs[p.rank] = fmt.Errorf("cluster: rank %d panicked: %v\n%s", p.rank, rec, debug.Stack())
+				}
+				if errs[p.rank] != nil {
+					// A failed processor takes the fabric down so peers
+					// blocked in Recv fail fast instead of hanging — the
+					// machine cannot finish the build anyway.
+					closeOnce.Do(func() { _ = fabric.Close() })
+				}
+			}()
+			errs[p.rank] = body(p)
+		}(procs[r])
+	}
+	wg.Wait()
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		// Prefer the root cause over the ErrClosed cascade it triggers on
+		// the other ranks.
+		if !errors.Is(err, comm.ErrClosed) {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	rep := &Report{Procs: make([]ProcStats, size), Fabric: fabric.Stats()}
+	if cfg.Trace {
+		rep.Events = make([][]Event, size)
+		for r, p := range procs {
+			rep.Events[r] = p.Events()
+		}
+	}
+	for r, p := range procs {
+		s := p.Stats()
+		rep.Procs[r] = s
+		if s.ClockSec > rep.MakespanSec {
+			rep.MakespanSec = s.ClockSec
+		}
+		rep.TotalElementsSent += s.ElementsSent
+		rep.TotalBytesSent += s.BytesSent
+		rep.TotalMessages += s.MessagesSent
+		rep.TotalUpdates += s.Updates
+	}
+	return rep, nil
+}

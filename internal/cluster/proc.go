@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"parcube/internal/comm"
+)
+
+// Proc is one simulated processor: its fabric endpoint, its label on the
+// grid, and its virtual clock. A Proc is owned by exactly one goroutine.
+// Proc satisfies comm.Peer, so the collectives in package comm advance
+// virtual time transparently.
+type Proc struct {
+	rank    int
+	label   []int
+	grid    *Grid
+	ep      comm.Endpoint
+	net     NetworkProfile
+	compute ComputeProfile
+	barrier *Barrier
+
+	clock  float64
+	stats  ProcStats
+	trace  bool
+	events []Event
+}
+
+// ProcStats accumulates one processor's activity.
+type ProcStats struct {
+	Updates      int64
+	MessagesSent int64
+	ElementsSent int64
+	BytesSent    int64
+	// ComputeSec and CommSec split the final clock into time spent
+	// computing and time spent waiting on communication (including
+	// barrier skew).
+	ComputeSec float64
+	CommSec    float64
+	ClockSec   float64
+}
+
+// Rank returns the processor's rank.
+func (p *Proc) Rank() int { return p.rank }
+
+// Label returns the processor's grid label. Callers must not modify it.
+func (p *Proc) Label() []int { return p.label }
+
+// Grid returns the processor grid.
+func (p *Proc) Grid() *Grid { return p.grid }
+
+// Clock returns the current virtual time in seconds.
+func (p *Proc) Clock() float64 { return p.clock }
+
+// Stats returns the statistics accumulated so far.
+func (p *Proc) Stats() ProcStats {
+	s := p.stats
+	s.ClockSec = p.clock
+	return s
+}
+
+// Compute charges n accumulator updates to the virtual clock.
+func (p *Proc) Compute(n int64) {
+	cost := p.compute.CostSec(n)
+	p.record(EvCompute, p.clock, p.clock+cost, -1)
+	p.clock += cost
+	p.stats.Updates += n
+	p.stats.ComputeSec += cost
+}
+
+// Send transmits data to rank dst, stamping the message with the sender's
+// clock. The sender is charged the serialization time (bytes/bandwidth);
+// latency is charged at the receiver.
+func (p *Proc) Send(dst int, tag comm.Tag, data []float64) error {
+	bytes := comm.WireBytes(len(data))
+	if err := p.ep.Send(dst, tag, p.clock, data); err != nil {
+		return err
+	}
+	var occupancy float64
+	if p.net.BandwidthBytesPerSec > 0 {
+		occupancy = float64(bytes) / p.net.BandwidthBytesPerSec
+	}
+	p.record(EvSend, p.clock, p.clock+occupancy, dst)
+	p.clock += occupancy
+	p.stats.CommSec += occupancy
+	p.stats.MessagesSent++
+	p.stats.ElementsSent += int64(len(data))
+	p.stats.BytesSent += bytes
+	return nil
+}
+
+// Recv blocks for the message from src under tag and advances the clock to
+// the modeled completion time: the message reaches this processor's link at
+// sender clock + latency, and its bytes then occupy the link for
+// bytes/bandwidth — so concurrent arrivals serialize at the receiver, the
+// behaviour that separates flat gathers from binomial trees.
+func (p *Proc) Recv(src int, tag comm.Tag) ([]float64, error) {
+	msg, err := p.ep.Recv(src, tag)
+	if err != nil {
+		return nil, err
+	}
+	start := msg.Time + p.net.LatencySec
+	if p.clock > start {
+		start = p.clock
+	}
+	var transfer float64
+	if p.net.BandwidthBytesPerSec > 0 {
+		transfer = float64(comm.WireBytes(len(msg.Data))) / p.net.BandwidthBytesPerSec
+	}
+	end := start + transfer
+	if end > p.clock {
+		p.record(EvRecvWait, p.clock, end, src)
+		p.stats.CommSec += end - p.clock
+		p.clock = end
+	}
+	return msg.Data, nil
+}
+
+// Barrier synchronizes all processors of the machine: every clock advances
+// to the maximum. Returns the synchronized time.
+func (p *Proc) Barrier() float64 {
+	t := p.barrier.Await(p.clock)
+	if t > p.clock {
+		p.record(EvBarrier, p.clock, t, -1)
+		p.stats.CommSec += t - p.clock
+		p.clock = t
+	}
+	return p.clock
+}
+
+// Barrier synchronizes a fixed set of participants' virtual clocks,
+// releasing everyone at the maximum submitted time. It is reusable across
+// rounds (generation-counted).
+type Barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	waiting int
+	gen     int
+	max     float64
+	// release is double-buffered by generation parity: a sleeper from
+	// generation g reads release[g%2], which the earliest round that could
+	// overwrite it (g+2) cannot complete until that sleeper has left.
+	release [2]float64
+}
+
+// NewBarrier creates a barrier for n participants.
+func NewBarrier(n int) (*Barrier, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: barrier size %d", n)
+	}
+	b := &Barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b, nil
+}
+
+// Await blocks until all n participants have arrived, then returns the
+// maximum clock submitted in this round.
+func (b *Barrier) Await(clock float64) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gen := b.gen
+	if clock > b.max {
+		b.max = clock
+	}
+	b.waiting++
+	if b.waiting == b.n {
+		b.release[gen%2] = b.max
+		b.waiting = 0
+		b.max = 0
+		b.gen++
+		b.cond.Broadcast()
+		return b.release[gen%2]
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	return b.release[gen%2]
+}

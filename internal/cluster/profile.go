@@ -1,0 +1,57 @@
+package cluster
+
+// NetworkProfile models the interconnect with a per-message latency and a
+// point-to-point bandwidth — the alpha-beta cost a message of b bytes pays:
+// latency + b/bandwidth seconds. The zero value is an ideal (free) network,
+// useful when only communication *volume* matters.
+type NetworkProfile struct {
+	// LatencySec is the fixed per-message cost in seconds.
+	LatencySec float64
+	// BandwidthBytesPerSec is the link bandwidth; zero means infinite.
+	BandwidthBytesPerSec float64
+}
+
+// TransferSec returns the modeled time for a message of the given size.
+func (n NetworkProfile) TransferSec(bytes int64) float64 {
+	t := n.LatencySec
+	if n.BandwidthBytesPerSec > 0 {
+		t += float64(bytes) / n.BandwidthBytesPerSec
+	}
+	return t
+}
+
+// Ideal returns the free network (volume accounting only).
+func Ideal() NetworkProfile { return NetworkProfile{} }
+
+// Cluster2003 approximates the paper's testbed interconnect — Myrinet
+// (M2M-OCT-SW8) driven through a cluster middleware: ~60 microseconds
+// effective per-message overhead and ~50 MB/s effective point-to-point
+// bandwidth. These are calibration constants for reproducing the *shape*
+// of Figures 7-9, not measurements of the original hardware.
+func Cluster2003() NetworkProfile {
+	return NetworkProfile{LatencySec: 60e-6, BandwidthBytesPerSec: 50e6}
+}
+
+// FastEthernet is a slower alternative profile (~100 microseconds, 12 MB/s)
+// that stresses communication-bound regimes.
+func FastEthernet() NetworkProfile {
+	return NetworkProfile{LatencySec: 100e-6, BandwidthBytesPerSec: 12e6}
+}
+
+// ComputeProfile models a processor as a fixed cost per accumulator update.
+type ComputeProfile struct {
+	// SecondsPerUpdate is the virtual time one aggregation update costs.
+	SecondsPerUpdate float64
+}
+
+// UltraII approximates the paper's 250 MHz UltraSPARC-II nodes on this
+// workload: about one microsecond per sparse-array aggregation update
+// (index arithmetic, load, add, store through the memory hierarchy).
+// Chosen so modeled sequential times land in the paper's reported range
+// (tens of seconds at the paper's scales).
+func UltraII() ComputeProfile { return ComputeProfile{SecondsPerUpdate: 1e-6} }
+
+// CostSec returns the modeled time for n updates.
+func (c ComputeProfile) CostSec(n int64) float64 {
+	return float64(n) * c.SecondsPerUpdate
+}

@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// EventKind classifies a traced interval of a processor's virtual
+// timeline.
+type EventKind int
+
+const (
+	// EvCompute is local aggregation work.
+	EvCompute EventKind = iota
+	// EvSend is wire occupancy while pushing a message out.
+	EvSend
+	// EvRecvWait is time spent waiting for (and receiving) a message.
+	EvRecvWait
+	// EvBarrier is time absorbed synchronizing at a barrier.
+	EvBarrier
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvCompute:
+		return "compute"
+	case EvSend:
+		return "send"
+	case EvRecvWait:
+		return "recv"
+	case EvBarrier:
+		return "barrier"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// glyph is the Gantt character for the kind.
+func (k EventKind) glyph() byte {
+	switch k {
+	case EvCompute:
+		return '#'
+	case EvSend:
+		return '>'
+	case EvRecvWait:
+		return '~'
+	case EvBarrier:
+		return '|'
+	default:
+		return '?'
+	}
+}
+
+// Event is one traced interval on a processor's virtual clock.
+type Event struct {
+	Kind     EventKind
+	StartSec float64
+	EndSec   float64
+	// Peer is the other rank for send/recv events (-1 otherwise).
+	Peer int
+}
+
+// record appends an event when tracing is enabled and the interval is
+// non-empty.
+func (p *Proc) record(kind EventKind, start, end float64, peer int) {
+	if !p.trace || end <= start {
+		return
+	}
+	p.events = append(p.events, Event{Kind: kind, StartSec: start, EndSec: end, Peer: peer})
+}
+
+// Events returns the processor's trace (nil unless tracing was enabled).
+func (p *Proc) Events() []Event { return p.events }
+
+// RenderTimeline draws per-processor Gantt rows over the run's makespan:
+// '#' compute, '>' send occupancy, '~' receive wait, '|' barrier wait,
+// '.' idle. Width is the number of time buckets.
+func RenderTimeline(w io.Writer, events [][]Event, makespan float64, width int) error {
+	if width < 10 {
+		width = 10
+	}
+	if makespan <= 0 {
+		_, err := fmt.Fprintln(w, "(empty timeline)")
+		return err
+	}
+	for rank, evs := range events {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, ev := range evs {
+			lo := int(ev.StartSec / makespan * float64(width))
+			hi := int(ev.EndSec / makespan * float64(width))
+			if hi == lo {
+				hi = lo + 1
+			}
+			if hi > width {
+				hi = width
+			}
+			for i := lo; i < hi; i++ {
+				row[i] = ev.Kind.glyph()
+			}
+		}
+		if _, err := fmt.Fprintf(w, "P%-3d %s\n", rank, row); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s\nlegend: #=compute  >=send  ~=recv wait  |=barrier  .=idle  (span %.4fs)\n",
+		strings.Repeat("-", width+5), makespan)
+	return err
+}

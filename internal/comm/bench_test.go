@@ -1,0 +1,90 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+
+	"parcube/internal/agg"
+)
+
+// BenchmarkChanRoundTrip measures one in-process message hop.
+func BenchmarkChanRoundTrip(b *testing.B) {
+	f, err := NewChanFabric(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	e0, _ := f.Endpoint(0)
+	e1, _ := f.Endpoint(1)
+	payload := make([]float64, 1024)
+	b.SetBytes(8 * 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tag := Tag(i)
+		if err := e0.Send(1, tag, 0, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e1.Recv(0, tag); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTCPRoundTrip measures one loopback TCP message hop with framing.
+func BenchmarkTCPRoundTrip(b *testing.B) {
+	f, err := NewTCPFabric(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	e0, _ := f.Endpoint(0)
+	e1, _ := f.Endpoint(1)
+	payload := make([]float64, 1024)
+	b.SetBytes(8 * 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tag := Tag(i)
+		if err := e0.Send(1, tag, 0, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e1.Recv(0, tag); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchReduce runs one 8-way reduction of `width` elements per member.
+func benchReduce(b *testing.B, algo ReduceAlgorithm, width int) {
+	const g = 8
+	group := make([]int, g)
+	for i := range group {
+		group[i] = i
+	}
+	b.SetBytes(int64(8 * width * (g - 1)))
+	for i := 0; i < b.N; i++ {
+		f, err := NewChanFabric(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for m := 0; m < g; m++ {
+			ep, _ := f.Endpoint(m)
+			buf := make([]float64, width)
+			wg.Add(1)
+			go func(m int, ep Endpoint, buf []float64) {
+				defer wg.Done()
+				if err := Reduce(EndpointPeer{Ep: ep}, group, m, buf, agg.Sum, Tag(i), algo); err != nil {
+					b.Error(err)
+				}
+			}(m, ep, buf)
+		}
+		wg.Wait()
+		f.Close()
+	}
+}
+
+// BenchmarkReduceBinomial measures the default reduction shape.
+func BenchmarkReduceBinomial(b *testing.B) { benchReduce(b, Binomial, 4096) }
+
+// BenchmarkReduceFlat measures the flat-gather ablation shape.
+func BenchmarkReduceFlat(b *testing.B) { benchReduce(b, FlatGather, 4096) }

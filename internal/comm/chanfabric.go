@@ -1,0 +1,115 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ChanFabric is the in-process fabric: messages move through per-(src, dst,
+// tag) buffered channels, so a send never blocks and a receive waits only
+// for its own message. It is the default fabric for the cluster simulator.
+type ChanFabric struct {
+	size int
+
+	mu     sync.Mutex
+	boxes  map[mailKey]chan Message
+	closed chan struct{}
+	once   sync.Once
+
+	stats counters
+}
+
+// NewChanFabric creates an in-process fabric with the given rank count.
+func NewChanFabric(size int) (*ChanFabric, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("comm: fabric size %d", size)
+	}
+	return &ChanFabric{
+		size:   size,
+		boxes:  make(map[mailKey]chan Message),
+		closed: make(chan struct{}),
+	}, nil
+}
+
+// box returns the channel for a key, creating it on first use by either
+// side. Capacity 1 suffices because each (src, dst, tag) triple carries at
+// most one message per build.
+func (f *ChanFabric) box(k mailKey) chan Message {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	b, ok := f.boxes[k]
+	if !ok {
+		b = make(chan Message, 1)
+		f.boxes[k] = b
+	}
+	return b
+}
+
+// Endpoint returns the endpoint for a rank.
+func (f *ChanFabric) Endpoint(rank int) (Endpoint, error) {
+	if err := checkRank(rank, f.size); err != nil {
+		return nil, err
+	}
+	return &chanEndpoint{fabric: f, rank: rank}, nil
+}
+
+// Stats returns a snapshot of traffic counters.
+func (f *ChanFabric) Stats() Stats { return f.stats.snapshot() }
+
+// Close unblocks pending receives with ErrClosed.
+func (f *ChanFabric) Close() error {
+	f.once.Do(func() { close(f.closed) })
+	return nil
+}
+
+// chanEndpoint is one rank's view of a ChanFabric.
+type chanEndpoint struct {
+	fabric *ChanFabric
+	rank   int
+}
+
+// Rank returns the endpoint's rank.
+func (e *chanEndpoint) Rank() int { return e.rank }
+
+// Size returns the fabric's rank count.
+func (e *chanEndpoint) Size() int { return e.fabric.size }
+
+// Send places the message in the destination mailbox. The payload slice is
+// copied, so the caller may reuse its buffer immediately — the semantics a
+// blocking MPI send provides.
+func (e *chanEndpoint) Send(dst int, tag Tag, time float64, data []float64) error {
+	if err := checkRank(dst, e.fabric.size); err != nil {
+		return err
+	}
+	if dst == e.rank {
+		return fmt.Errorf("comm: rank %d sending to itself", dst)
+	}
+	select {
+	case <-e.fabric.closed:
+		return ErrClosed
+	default:
+	}
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	msg := Message{Src: e.rank, Dst: dst, Tag: tag, Time: time, Data: cp}
+	select {
+	case <-e.fabric.closed:
+		return ErrClosed
+	case e.fabric.box(mailKey{src: e.rank, dst: dst, tag: tag}) <- msg:
+	}
+	e.fabric.stats.record(len(data))
+	return nil
+}
+
+// Recv waits for the message from src under tag.
+func (e *chanEndpoint) Recv(src int, tag Tag) (Message, error) {
+	if err := checkRank(src, e.fabric.size); err != nil {
+		return Message{}, err
+	}
+	select {
+	case <-e.fabric.closed:
+		return Message{}, ErrClosed
+	case msg := <-e.fabric.box(mailKey{src: src, dst: e.rank, tag: tag}):
+		return msg, nil
+	}
+}

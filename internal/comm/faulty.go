@@ -1,0 +1,56 @@
+package comm
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// FaultyFabric wraps another fabric and injects a send failure on a chosen
+// rank after a chosen number of successful sends — the failure-injection
+// harness for verifying that the parallel engine surfaces transport faults
+// instead of hanging or corrupting results.
+type FaultyFabric struct {
+	// Inner is the real transport.
+	Inner Fabric
+	// FailRank is the rank whose sends start failing.
+	FailRank int
+	// FailAfter is how many of that rank's sends succeed first.
+	FailAfter int64
+
+	sent atomic.Int64
+}
+
+// ErrInjected is the error injected sends fail with.
+var ErrInjected = fmt.Errorf("comm: injected fault")
+
+// Endpoint wraps the inner endpoint with the failure rule.
+func (f *FaultyFabric) Endpoint(rank int) (Endpoint, error) {
+	ep, err := f.Inner.Endpoint(rank)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyEndpoint{Endpoint: ep, fabric: f}, nil
+}
+
+// Stats forwards to the inner fabric.
+func (f *FaultyFabric) Stats() Stats { return f.Inner.Stats() }
+
+// Close forwards to the inner fabric.
+func (f *FaultyFabric) Close() error { return f.Inner.Close() }
+
+// faultyEndpoint intercepts Send on the failing rank.
+type faultyEndpoint struct {
+	Endpoint
+	fabric *FaultyFabric
+}
+
+// Send fails with ErrInjected once the failing rank has used up its
+// successful-send budget.
+func (e *faultyEndpoint) Send(dst int, tag Tag, time float64, data []float64) error {
+	if e.Rank() == e.fabric.FailRank {
+		if e.fabric.sent.Add(1) > e.fabric.FailAfter {
+			return ErrInjected
+		}
+	}
+	return e.Endpoint.Send(dst, tag, time, data)
+}

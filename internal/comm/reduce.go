@@ -1,0 +1,176 @@
+package comm
+
+import (
+	"fmt"
+
+	"parcube/internal/agg"
+)
+
+// Peer is the minimal send/receive surface the collectives need. Endpoint
+// satisfies it through a trivial adapter; the cluster simulator supplies an
+// implementation that additionally advances virtual clocks.
+type Peer interface {
+	Send(dst int, tag Tag, data []float64) error
+	Recv(src int, tag Tag) ([]float64, error)
+}
+
+// EndpointPeer adapts an Endpoint to Peer with a fixed timestamp of zero
+// (for callers that do not simulate time).
+type EndpointPeer struct{ Ep Endpoint }
+
+// Send forwards to the endpoint with a zero timestamp.
+func (p EndpointPeer) Send(dst int, tag Tag, data []float64) error {
+	return p.Ep.Send(dst, tag, 0, data)
+}
+
+// Recv forwards to the endpoint, dropping the timestamp.
+func (p EndpointPeer) Recv(src int, tag Tag) ([]float64, error) {
+	msg, err := p.Ep.Recv(src, tag)
+	if err != nil {
+		return nil, err
+	}
+	return msg.Data, nil
+}
+
+// ReduceAlgorithm selects how a group reduction moves data.
+type ReduceAlgorithm int
+
+const (
+	// Binomial reduces along a binomial tree: ceil(log2 g) rounds, total
+	// volume (g-1) x len(data) elements. The default.
+	Binomial ReduceAlgorithm = iota
+	// FlatGather has every non-root send directly to the root: same total
+	// volume, g-1 sequential receives at the root. Kept as the latency
+	// ablation (experiment A1).
+	FlatGather
+)
+
+// String names the algorithm.
+func (a ReduceAlgorithm) String() string {
+	switch a {
+	case Binomial:
+		return "binomial"
+	case FlatGather:
+		return "flat"
+	default:
+		return fmt.Sprintf("ReduceAlgorithm(%d)", int(a))
+	}
+}
+
+// Reduce folds the data slices of all ranks in group onto group[0] (the
+// lead processor) with op. Every group member must call Reduce with its own
+// peer, the same group slice, the same tag, and a data slice of identical
+// length; me is the caller's index within group. On return the lead's data
+// holds the combined result; other members' buffers hold partially combined
+// values and must be treated as consumed.
+//
+// Both algorithms transfer exactly (len(group)-1) * len(data) payload
+// elements in total, matching the Lemma 1 volume for a group reducing along
+// one partitioned dimension.
+func Reduce(p Peer, group []int, me int, data []float64, op agg.Op, tag Tag, algo ReduceAlgorithm) error {
+	g := len(group)
+	if g == 0 {
+		return fmt.Errorf("comm: empty reduction group")
+	}
+	if me < 0 || me >= g {
+		return fmt.Errorf("comm: member index %d outside group of %d", me, g)
+	}
+	if g == 1 {
+		return nil
+	}
+	switch algo {
+	case Binomial:
+		if g&(g-1) != 0 {
+			return fmt.Errorf("comm: binomial reduction needs a power-of-two group, got %d", g)
+		}
+		for bit := 1; bit < g; bit <<= 1 {
+			if me&bit != 0 {
+				// Fold our partial into the partner below and leave.
+				return p.Send(group[me&^bit], tag, data)
+			}
+			partner := me | bit
+			if partner < g {
+				recv, err := p.Recv(group[partner], tag)
+				if err != nil {
+					return err
+				}
+				if len(recv) != len(data) {
+					return fmt.Errorf("comm: reduction length mismatch %d != %d", len(recv), len(data))
+				}
+				op.CombineSlices(data, recv)
+			}
+		}
+		return nil
+	case FlatGather:
+		if me != 0 {
+			return p.Send(group[0], tag, data)
+		}
+		for i := 1; i < g; i++ {
+			recv, err := p.Recv(group[i], tag)
+			if err != nil {
+				return err
+			}
+			if len(recv) != len(data) {
+				return fmt.Errorf("comm: reduction length mismatch %d != %d", len(recv), len(data))
+			}
+			op.CombineSlices(data, recv)
+		}
+		return nil
+	default:
+		return fmt.Errorf("comm: unknown reduction algorithm %d", algo)
+	}
+}
+
+// Broadcast distributes the root's data (group[0]) to every group member
+// along a binomial tree: ceil(log2 g) rounds, total volume (g-1) x
+// len(data) elements — the mirror image of Reduce. Every member calls
+// Broadcast with the same group and tag; on return every member's data
+// holds the root's values.
+func Broadcast(p Peer, group []int, me int, data []float64, tag Tag) error {
+	g := len(group)
+	if g == 0 {
+		return fmt.Errorf("comm: empty broadcast group")
+	}
+	if me < 0 || me >= g {
+		return fmt.Errorf("comm: member index %d outside group of %d", me, g)
+	}
+	if g == 1 {
+		return nil
+	}
+	if g&(g-1) != 0 {
+		return fmt.Errorf("comm: binomial broadcast needs a power-of-two group, got %d", g)
+	}
+	// Recursive doubling: after the round with offset `bit`, members
+	// 0..2*bit-1 hold the data. Member m receives exactly once, on the
+	// round where bit is m's highest set bit, from m - bit.
+	for bit := 1; bit < g; bit <<= 1 {
+		switch {
+		case me < bit:
+			if err := p.Send(group[me+bit], tag, data); err != nil {
+				return err
+			}
+		case me < bit<<1:
+			recv, err := p.Recv(group[me-bit], tag)
+			if err != nil {
+				return err
+			}
+			if len(recv) != len(data) {
+				return fmt.Errorf("comm: broadcast length mismatch %d != %d", len(recv), len(data))
+			}
+			copy(data, recv)
+		}
+	}
+	return nil
+}
+
+// AllReduce folds every member's data with op and leaves the combined
+// result on every member: a binomial reduce onto group[0] followed by a
+// binomial broadcast, moving exactly 2 x (g-1) x len(data) elements.
+func AllReduce(p Peer, group []int, me int, data []float64, op agg.Op, tag Tag, algo ReduceAlgorithm) error {
+	if err := Reduce(p, group, me, data, op, tag, algo); err != nil {
+		return err
+	}
+	// A distinct tag stream for the downward phase: reuse tag with the top
+	// bit flipped so the (src, dst, tag) triples stay unique.
+	return Broadcast(p, group, me, data, tag^Tag(1)<<63)
+}

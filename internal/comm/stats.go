@@ -1,0 +1,44 @@
+package comm
+
+import "sync/atomic"
+
+// Stats is a snapshot of fabric traffic. Volumes count payload elements
+// (the unit of the paper's formulas) and wire bytes (payload + headers).
+type Stats struct {
+	Messages int64
+	Elements int64
+	Bytes    int64
+}
+
+// Add returns the element-wise sum of two snapshots.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Messages: s.Messages + o.Messages,
+		Elements: s.Elements + o.Elements,
+		Bytes:    s.Bytes + o.Bytes,
+	}
+}
+
+// counters accumulates traffic with atomics so every endpoint can record
+// concurrently.
+type counters struct {
+	messages atomic.Int64
+	elements atomic.Int64
+	bytes    atomic.Int64
+}
+
+// record accounts one sent message.
+func (c *counters) record(elements int) {
+	c.messages.Add(1)
+	c.elements.Add(int64(elements))
+	c.bytes.Add(WireBytes(elements))
+}
+
+// snapshot returns the current totals.
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Messages: c.messages.Load(),
+		Elements: c.elements.Load(),
+		Bytes:    c.bytes.Load(),
+	}
+}

@@ -1,0 +1,212 @@
+// Package core implements the paper's primary contribution: the prefix tree
+// over dimension positions (Definition 2), the aggregation tree obtained by
+// complementing its nodes (Definition 3), the right-to-left depth-first
+// evaluation order that bounds intermediate memory (Theorem 1), and the
+// matching lower bound (Theorem 2).
+//
+// The tree is built over *positions* 0..n-1. An Ordering maps positions to
+// physical dimensions, which is how the tree is "parameterized by the
+// ordering of dimensions": position j of the tree operates on physical
+// dimension Ordering[j]. Theorems 6 and 7 concern which Ordering to pick.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"parcube/internal/lattice"
+	"parcube/internal/nd"
+)
+
+// Node is one node of the aggregation tree. Prefix is the set of positions
+// already aggregated away (the corresponding prefix-tree node); Retained is
+// its complement — the group-by this node holds. The root has an empty
+// Prefix and retains everything.
+type Node struct {
+	Prefix   lattice.DimSet // positions dropped so far (prefix-tree set)
+	Retained lattice.DimSet // positions surviving in this group-by
+	DropPos  int            // position aggregated to create this node; -1 for root
+	Children []*Node        // left-to-right, per Definition 2
+}
+
+// IsLeaf reports whether the node has no children in the aggregation tree.
+func (nd0 *Node) IsLeaf() bool { return len(nd0.Children) == 0 }
+
+// Tree is an aggregation tree over n positions.
+type Tree struct {
+	n    int
+	root *Node
+	node map[lattice.DimSet]*Node // by Retained mask
+}
+
+// Build constructs the aggregation tree for n dimensions (positions).
+// Per Definition 2, prefix node {x1 < ... < xm} has children {x1..xm, j}
+// for j = xm+1 .. n-1, ordered left to right; the aggregation-tree node for
+// prefix set S retains the complement of S.
+func Build(n int) (*Tree, error) {
+	if n < 1 || n > lattice.MaxDims {
+		return nil, fmt.Errorf("core: dimension count %d outside [1,%d]", n, lattice.MaxDims)
+	}
+	t := &Tree{n: n, node: make(map[lattice.DimSet]*Node, 1<<uint(n))}
+	t.root = t.build(0, -1, -1)
+	return t, nil
+}
+
+// build creates the subtree for prefix set "prefix" whose largest element is
+// maxPos (-1 for the empty prefix).
+func (t *Tree) build(prefix lattice.DimSet, maxPos, dropped int) *Node {
+	node := &Node{
+		Prefix:   prefix,
+		Retained: prefix.Complement(t.n),
+		DropPos:  dropped,
+	}
+	t.node[node.Retained] = node
+	for j := maxPos + 1; j < t.n; j++ {
+		node.Children = append(node.Children, t.build(prefix.With(j), j, j))
+	}
+	return node
+}
+
+// N returns the number of positions (dimensions).
+func (t *Tree) N() int { return t.n }
+
+// Root returns the root node (the original array).
+func (t *Tree) Root() *Node { return t.root }
+
+// NodeFor returns the aggregation-tree node retaining exactly the given
+// positions.
+func (t *Tree) NodeFor(retained lattice.DimSet) (*Node, bool) {
+	nd0, ok := t.node[retained]
+	return nd0, ok
+}
+
+// NumNodes returns the node count, 2^n.
+func (t *Tree) NumNodes() int { return len(t.node) }
+
+// EvalOrder returns the nodes in the exact order the sequential algorithm
+// (Figure 3) finalizes them: for each evaluated node, all children are
+// computed first, then children are visited right to left, and a node is
+// written back after its subtree completes. The returned slice is the
+// write-back order; the root (input array) is excluded.
+func (t *Tree) EvalOrder() []*Node {
+	var order []*Node
+	var eval func(nd0 *Node)
+	eval = func(nd0 *Node) {
+		for i := len(nd0.Children) - 1; i >= 0; i-- {
+			c := nd0.Children[i]
+			if c.IsLeaf() {
+				order = append(order, c)
+			} else {
+				eval(c)
+			}
+		}
+		if nd0 != t.root {
+			order = append(order, nd0)
+		}
+	}
+	eval(t.root)
+	return order
+}
+
+// SpanningTree converts the aggregation tree into a lattice spanning tree
+// over positions, for cost accounting and validation.
+func (t *Tree) SpanningTree() *lattice.SpanningTree {
+	st := lattice.NewSpanningTree(t.n)
+	var walk func(nd0 *Node)
+	walk = func(nd0 *Node) {
+		for _, c := range nd0.Children {
+			st.SetParent(c.Retained, nd0.Retained)
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return st
+}
+
+// Sprint renders the tree with the given position names, one node per line,
+// children indented — used by the golden test reproducing Figure 2.
+func (t *Tree) Sprint(names []string) string {
+	var b strings.Builder
+	var walk func(nd0 *Node, depth int)
+	walk = func(nd0 *Node, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(nd0.Retained.Label(names))
+		b.WriteByte('\n')
+		for _, c := range nd0.Children {
+			walk(c, depth+1)
+		}
+	}
+	walk(t.root, 0)
+	return b.String()
+}
+
+// Ordering maps aggregation-tree positions to physical dimensions:
+// position j of the tree works on physical dimension Ordering[j].
+type Ordering []int
+
+// IdentityOrdering returns the ordering that keeps physical dimension order.
+func IdentityOrdering(n int) Ordering {
+	o := make(Ordering, n)
+	for i := range o {
+		o[i] = i
+	}
+	return o
+}
+
+// SortedOrdering returns the ordering that places dimensions by descending
+// size (D1 >= D2 >= ... >= Dn) — the ordering Theorems 6 and 7 prove
+// optimal for both communication volume and computation. Ties keep the
+// lower physical index first, making the result deterministic.
+func SortedOrdering(sizes nd.Shape) Ordering {
+	o := IdentityOrdering(sizes.Rank())
+	sort.SliceStable(o, func(i, j int) bool { return sizes[o[i]] > sizes[o[j]] })
+	return o
+}
+
+// Validate checks that the ordering is a permutation of 0..n-1.
+func (o Ordering) Validate(n int) error {
+	if len(o) != n {
+		return fmt.Errorf("core: ordering %v has length %d, want %d", o, len(o), n)
+	}
+	seen := make([]bool, n)
+	for _, d := range o {
+		if d < 0 || d >= n || seen[d] {
+			return fmt.Errorf("core: ordering %v is not a permutation of 0..%d", o, n-1)
+		}
+		seen[d] = true
+	}
+	return nil
+}
+
+// Apply permutes physical sizes into position space: result[j] =
+// sizes[o[j]].
+func (o Ordering) Apply(sizes nd.Shape) nd.Shape {
+	out := make(nd.Shape, len(o))
+	for j, d := range o {
+		out[j] = sizes[d]
+	}
+	return out
+}
+
+// ToPhysical converts a position mask to the physical-dimension mask.
+func (o Ordering) ToPhysical(pos lattice.DimSet) lattice.DimSet {
+	var phys lattice.DimSet
+	for j, d := range o {
+		if pos.Has(j) {
+			phys = phys.With(d)
+		}
+	}
+	return phys
+}
+
+// FromPhysical converts a physical-dimension mask to a position mask.
+func (o Ordering) FromPhysical(phys lattice.DimSet) lattice.DimSet {
+	var pos lattice.DimSet
+	for j, d := range o {
+		if phys.Has(d) {
+			pos = pos.With(j)
+		}
+	}
+	return pos
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"parcube/internal/lattice"
+	"parcube/internal/nd"
+)
+
+func mustTree(t *testing.T, n int) *Tree {
+	t.Helper()
+	tr, err := Build(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := Build(lattice.MaxDims + 1); err == nil {
+		t.Fatal("oversized n accepted")
+	}
+}
+
+func TestTreeIsSpanning(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		tr := mustTree(t, n)
+		if tr.NumNodes() != 1<<uint(n) {
+			t.Fatalf("n=%d: %d nodes", n, tr.NumNodes())
+		}
+		if err := tr.SpanningTree().Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestTreeStructureN3(t *testing.T) {
+	// Figure 2(c) structure (positions 0,1,2 named A,B,C): the root's
+	// children are BC, AC, AB left to right; AB is a leaf; AC computes A;
+	// BC computes B and C; the deepest chain ends at the grand total.
+	tr := mustTree(t, 3)
+	root := tr.Root()
+	if len(root.Children) != 3 {
+		t.Fatalf("root children = %d", len(root.Children))
+	}
+	names := lattice.DefaultNames(3)
+	labels := make([]string, 3)
+	for i, c := range root.Children {
+		labels[i] = c.Retained.Label(names)
+	}
+	if labels[0] != "BC" || labels[1] != "AC" || labels[2] != "AB" {
+		t.Fatalf("root children = %v", labels)
+	}
+	ab, _ := tr.NodeFor(lattice.DimSet(0b011))
+	if !ab.IsLeaf() {
+		t.Fatal("AB is not a leaf")
+	}
+	ac, _ := tr.NodeFor(lattice.DimSet(0b101))
+	if len(ac.Children) != 1 || ac.Children[0].Retained != 0b001 {
+		t.Fatal("AC does not compute exactly A")
+	}
+	bc, _ := tr.NodeFor(lattice.DimSet(0b110))
+	if len(bc.Children) != 2 {
+		t.Fatal("BC does not compute two children")
+	}
+	a, _ := tr.NodeFor(lattice.DimSet(0b001))
+	if !a.IsLeaf() {
+		t.Fatal("A is not a leaf")
+	}
+	c, _ := tr.NodeFor(lattice.DimSet(0b100))
+	if len(c.Children) != 1 || c.Children[0].Retained != 0 {
+		t.Fatal("grand total not computed from C")
+	}
+}
+
+func TestEvalOrderN3(t *testing.T) {
+	// Right-to-left DFS (Figure 3): AB first (leaf), then A then AC, then
+	// C, then "all" via B's subtree... exact order checked against a hand
+	// trace: AB, A, AC, C, all, B... let the trace speak:
+	tr := mustTree(t, 3)
+	names := lattice.DefaultNames(3)
+	var got []string
+	for _, nd0 := range tr.EvalOrder() {
+		got = append(got, nd0.Retained.Label(names))
+	}
+	// Hand trace of Figure 3 on the Figure 2(c) tree:
+	// Evaluate(ABC): children BC, AC, AB; right-to-left:
+	//   AB leaf -> AB
+	//   Evaluate(AC): child A (leaf) -> A; -> AC
+	//   Evaluate(BC): children C, B; B leaf -> B;
+	//     Evaluate(C): child all (leaf) -> all; -> C; -> BC
+	want := []string{"AB", "A", "AC", "B", "all", "C", "BC"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("eval order = %v, want %v", got, want)
+	}
+	if len(got) != 7 {
+		t.Fatalf("eval order covers %d nodes", len(got))
+	}
+}
+
+func TestEvalOrderCoversAllOnce(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		tr := mustTree(t, n)
+		seen := make(map[lattice.DimSet]bool)
+		for _, nd0 := range tr.EvalOrder() {
+			if seen[nd0.Retained] {
+				t.Fatalf("n=%d: node %b finalized twice", n, nd0.Retained)
+			}
+			seen[nd0.Retained] = true
+		}
+		if len(seen) != 1<<uint(n)-1 {
+			t.Fatalf("n=%d: finalized %d nodes, want %d", n, len(seen), 1<<uint(n)-1)
+		}
+		if seen[lattice.Full(n)] {
+			t.Fatalf("n=%d: root finalized", n)
+		}
+	}
+}
+
+func TestEvalOrderChildrenAfterParentsComputed(t *testing.T) {
+	// A node must be written back only after every node in its subtree.
+	tr := mustTree(t, 5)
+	pos := make(map[lattice.DimSet]int)
+	for i, nd0 := range tr.EvalOrder() {
+		pos[nd0.Retained] = i
+	}
+	var walk func(nd0 *Node)
+	walk = func(nd0 *Node) {
+		for _, c := range nd0.Children {
+			if nd0 != tr.Root() && pos[c.Retained] > pos[nd0.Retained] {
+				t.Fatalf("child %b written after parent %b", c.Retained, nd0.Retained)
+			}
+			walk(c)
+		}
+	}
+	walk(tr.Root())
+}
+
+func TestSprintGoldenFigure2(t *testing.T) {
+	tr := mustTree(t, 3)
+	got := tr.Sprint(lattice.DefaultNames(3))
+	want := "ABC\n" +
+		"  BC\n" +
+		"    C\n" +
+		"      all\n" +
+		"    B\n" +
+		"  AC\n" +
+		"    A\n" +
+		"  AB\n"
+	if got != want {
+		t.Fatalf("Sprint:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestOrderings(t *testing.T) {
+	sizes := nd.MustShape(8, 64, 16)
+	o := SortedOrdering(sizes)
+	// Descending: dim 1 (64), dim 2 (16), dim 0 (8).
+	if o[0] != 1 || o[1] != 2 || o[2] != 0 {
+		t.Fatalf("SortedOrdering = %v", o)
+	}
+	if !o.Apply(sizes).SortedDescending() {
+		t.Fatal("applied ordering not descending")
+	}
+	if err := o.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Ordering{0, 0, 1}).Validate(3); err == nil {
+		t.Fatal("non-permutation validated")
+	}
+	if err := (Ordering{0, 1}).Validate(3); err == nil {
+		t.Fatal("short ordering validated")
+	}
+}
+
+func TestSortedOrderingStableTies(t *testing.T) {
+	o := SortedOrdering(nd.MustShape(4, 4, 4))
+	if o[0] != 0 || o[1] != 1 || o[2] != 2 {
+		t.Fatalf("tied ordering = %v", o)
+	}
+}
+
+func TestOrderingMaskConversion(t *testing.T) {
+	o := Ordering{2, 0, 1} // position 0 -> dim 2, etc.
+	pos := lattice.DimSet(0b011)
+	phys := o.ToPhysical(pos) // positions {0,1} -> dims {2,0}
+	if phys != 0b101 {
+		t.Fatalf("ToPhysical = %b", phys)
+	}
+	if o.FromPhysical(phys) != pos {
+		t.Fatalf("FromPhysical = %b", o.FromPhysical(phys))
+	}
+}
+
+// Property: mask conversion round-trips for random permutations and masks.
+func TestQuickOrderingRoundTrip(t *testing.T) {
+	f := func(m uint8, swap uint8) bool {
+		o := IdentityOrdering(8)
+		i, j := int(swap%8), int(swap/8%8)
+		o[i], o[j] = o[j], o[i]
+		if err := o.Validate(8); err != nil {
+			return false
+		}
+		pos := lattice.DimSet(m)
+		return o.FromPhysical(o.ToPhysical(pos)) == pos
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemoryBoundElements(t *testing.T) {
+	// n=3, sizes 4,3,2: bound = 3*2 + 4*2 + 4*3 = 26.
+	if got := MemoryBoundElements(nd.MustShape(4, 3, 2)); got != 26 {
+		t.Fatalf("bound = %d", got)
+	}
+	// n=1: bound = 1 (the scalar child).
+	if got := MemoryBoundElements(nd.MustShape(9)); got != 1 {
+		t.Fatalf("n=1 bound = %d", got)
+	}
+}
+
+func TestPerProcessorMemoryBound(t *testing.T) {
+	sizes := nd.MustShape(8, 8, 8)
+	parts := []int{2, 2, 2}
+	// local block 4x4x4: bound = 3 * 16 = 48.
+	if got := PerProcessorMemoryBoundElements(sizes, parts); got != 48 {
+		t.Fatalf("bound = %d", got)
+	}
+	// Uneven: 9 split in 2 -> ceil 5.
+	if got := PerProcessorMemoryBoundElements(nd.MustShape(9), []int{2}); got != 1 {
+		t.Fatalf("1-d bound = %d", got)
+	}
+}
+
+// Property: the memory bound shrinks (weakly) when any dimension shrinks,
+// and the per-processor bound never exceeds the global one.
+func TestQuickBoundsMonotone(t *testing.T) {
+	f := func(a, b, c uint8, cut uint8) bool {
+		s1 := nd.MustShape(int(a%14)+2, int(b%14)+2, int(c%14)+2)
+		s2 := s1.Clone()
+		s2[int(cut)%3]--
+		if s2[int(cut)%3] < 1 {
+			return true
+		}
+		if MemoryBoundElements(s2) > MemoryBoundElements(s1) {
+			return false
+		}
+		parts := []int{int(cut)%2 + 1, 1, 1}
+		return PerProcessorMemoryBoundElements(s1, parts) <= MemoryBoundElements(s1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,138 @@
+package cost
+
+import (
+	"math/rand"
+	"testing"
+
+	"parcube/internal/array"
+	"parcube/internal/cluster"
+	"parcube/internal/nd"
+	"parcube/internal/parallel"
+	"parcube/internal/seq"
+)
+
+func randomSparse(tb testing.TB, shape nd.Shape, nnz int, seed int64) *array.Sparse {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b, err := array.NewSparseBuilder(shape, nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	coords := make([]int, shape.Rank())
+	for i := 0; i < nnz; i++ {
+		for d := range coords {
+			coords[d] = rng.Intn(shape[d])
+		}
+		if err := b.Add(coords, 1); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestPredictSequentialExact(t *testing.T) {
+	shape := nd.MustShape(16, 12, 8)
+	input := randomSparse(t, shape, 300, 3)
+	ref, err := seq.Build(input, seq.Options{Sink: &seq.CountingSink{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Predict(Inputs{
+		Sizes:   shape, // already descending
+		K:       []int{1, 1, 0},
+		NNZ:     int64(input.NNZ()),
+		Compute: cluster.UltraII(),
+		Network: cluster.Cluster2003(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cluster.UltraII().CostSec(ref.Stats.Updates)
+	if diff := p.SequentialSec - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("sequential prediction %v != modeled %v", p.SequentialSec, want)
+	}
+}
+
+func TestPredictCloseToSimulation(t *testing.T) {
+	// The analytic critical-path estimate should land within a modest
+	// factor of the discrete-event simulation across partition choices.
+	shape := nd.MustShape(32, 32, 32, 32)
+	input := randomSparse(t, shape, 40000, 7)
+	for _, k := range [][]int{
+		{1, 1, 1, 0},
+		{2, 1, 0, 0},
+		{3, 0, 0, 0},
+		{1, 1, 1, 1},
+	} {
+		sim, err := parallel.Build(input, parallel.Options{
+			K:       k,
+			Network: cluster.Cluster2003(),
+			Compute: cluster.UltraII(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Predict(Inputs{
+			Sizes:   shape,
+			K:       k,
+			NNZ:     int64(input.NNZ()),
+			Network: cluster.Cluster2003(),
+			Compute: cluster.UltraII(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := p.ParallelSec / sim.Stats.MakespanSec
+		if ratio < 0.5 || ratio > 2 {
+			t.Fatalf("K=%v: prediction %v vs simulation %v (ratio %.2f)",
+				k, p.ParallelSec, sim.Stats.MakespanSec, ratio)
+		}
+		if p.Speedup <= 1 {
+			t.Fatalf("K=%v: predicted speedup %v", k, p.Speedup)
+		}
+	}
+}
+
+func TestPredictRankingMatchesTheory(t *testing.T) {
+	// The model must rank partitions the way Figures 7-9 do: more
+	// partitioned dimensions -> faster.
+	shape := nd.MustShape(24, 24, 24, 24)
+	base := Inputs{
+		Sizes:   shape,
+		NNZ:     30000,
+		Network: cluster.Cluster2003(),
+		Compute: cluster.UltraII(),
+	}
+	times := make([]float64, 0, 3)
+	for _, k := range [][]int{{1, 1, 1, 0}, {2, 1, 0, 0}, {3, 0, 0, 0}} {
+		in := base
+		in.K = k
+		p, err := Predict(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times = append(times, p.ParallelSec)
+	}
+	if !(times[0] < times[1] && times[1] < times[2]) {
+		t.Fatalf("model ranking wrong: %v", times)
+	}
+}
+
+func TestPredictSplitsComputeAndComm(t *testing.T) {
+	p, err := Predict(Inputs{
+		Sizes:   nd.MustShape(16, 16),
+		K:       []int{1, 1},
+		NNZ:     100,
+		Network: cluster.Cluster2003(),
+		Compute: cluster.UltraII(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ComputeSec <= 0 || p.CommSec <= 0 {
+		t.Fatalf("split = %+v", p)
+	}
+	if p.ParallelSec != p.ComputeSec+p.CommSec {
+		t.Fatalf("parallel %v != compute %v + comm %v", p.ParallelSec, p.ComputeSec, p.CommSec)
+	}
+}

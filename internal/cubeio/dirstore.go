@@ -1,0 +1,271 @@
+package cubeio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"parcube/internal/agg"
+	"parcube/internal/array"
+	"parcube/internal/lattice"
+	"parcube/internal/nd"
+	"parcube/internal/seq"
+)
+
+// DirStore is a disk-backed cube store: each finalized group-by is written
+// to its own file in a directory, named by the retained dimensions
+// (e.g. "gb_AB.bin", "gb_all.bin"), plus a manifest. It implements
+// seq.Sink, so both engines can stream write-backs straight to disk — the
+// literal "write-back to the disk" of the paper's Figure 3 — and group-bys
+// load back lazily on demand.
+type DirStore struct {
+	dir   string
+	names []string
+
+	mu     sync.Mutex
+	shapes map[lattice.DimSet]nd.Shape
+}
+
+// manifestName is the per-directory index file.
+const manifestName = "MANIFEST"
+
+// groupByFileVersion tags the per-group-by file format.
+const groupByFileVersion = uint32(1)
+
+// NewDirStore creates (or reuses) the directory and returns an empty store
+// writing into it. Dimension names label the files; they must be unique.
+func NewDirStore(dir string, names []string) (*DirStore, error) {
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		if n == "" || seen[n] {
+			return nil, fmt.Errorf("cubeio: invalid dimension names %v", names)
+		}
+		seen[n] = true
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cubeio: %w", err)
+	}
+	return &DirStore{
+		dir:    dir,
+		names:  append([]string(nil), names...),
+		shapes: make(map[lattice.DimSet]nd.Shape),
+	}, nil
+}
+
+// fileFor returns the group-by's file name.
+func (s *DirStore) fileFor(mask lattice.DimSet) string {
+	return filepath.Join(s.dir, "gb_"+mask.Label(s.names)+".bin")
+}
+
+// WriteBack persists one finalized group-by. It satisfies seq.Sink.
+func (s *DirStore) WriteBack(mask lattice.DimSet, a *array.Dense) error {
+	s.mu.Lock()
+	if _, dup := s.shapes[mask]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("cubeio: group-by %b written twice", mask)
+	}
+	s.shapes[mask] = a.Shape().Clone()
+	s.mu.Unlock()
+
+	f, err := os.Create(s.fileFor(mask))
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := writeGroupByFile(w, mask, a); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Flush writes the manifest; call it once after the build completes.
+func (s *DirStore) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	masks := make([]lattice.DimSet, 0, len(s.shapes))
+	for m := range s.shapes {
+		masks = append(masks, m)
+	}
+	sort.Slice(masks, func(i, j int) bool { return masks[i] < masks[j] })
+	var b strings.Builder
+	fmt.Fprintf(&b, "parcube-dirstore v1\ndims %s\n", strings.Join(s.names, ","))
+	for _, m := range masks {
+		fmt.Fprintf(&b, "groupby %d %s\n", uint32(m), m.Label(s.names))
+	}
+	return os.WriteFile(filepath.Join(s.dir, manifestName), []byte(b.String()), 0o644)
+}
+
+// Masks returns the group-bys present in the store.
+func (s *DirStore) Masks() []lattice.DimSet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]lattice.DimSet, 0, len(s.shapes))
+	for m := range s.shapes {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Load reads one group-by back from disk.
+func (s *DirStore) Load(mask lattice.DimSet) (*array.Dense, error) {
+	f, err := os.Open(s.fileFor(mask))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	gotMask, a, err := readGroupByFile(bufio.NewReader(f))
+	if err != nil {
+		return nil, fmt.Errorf("cubeio: %s: %w", s.fileFor(mask), err)
+	}
+	if gotMask != mask {
+		return nil, fmt.Errorf("cubeio: file %s holds group-by %b", s.fileFor(mask), gotMask)
+	}
+	return a, nil
+}
+
+// OpenDirStore opens an existing store directory by reading its manifest
+// and verifying every listed file is present.
+func OpenDirStore(dir string) (*DirStore, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("cubeio: %w", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 2 || lines[0] != "parcube-dirstore v1" {
+		return nil, fmt.Errorf("cubeio: %s: bad manifest", dir)
+	}
+	if !strings.HasPrefix(lines[1], "dims ") {
+		return nil, fmt.Errorf("cubeio: %s: manifest missing dims", dir)
+	}
+	names := strings.Split(strings.TrimPrefix(lines[1], "dims "), ",")
+	s, err := NewDirStore(dir, names)
+	if err != nil {
+		return nil, err
+	}
+	for _, line := range lines[2:] {
+		var maskVal uint32
+		var label string
+		if _, err := fmt.Sscanf(line, "groupby %d %s", &maskVal, &label); err != nil {
+			return nil, fmt.Errorf("cubeio: %s: bad manifest line %q", dir, line)
+		}
+		mask := lattice.DimSet(maskVal)
+		a, err := s.Load(mask)
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		s.shapes[mask] = a.Shape().Clone()
+		s.mu.Unlock()
+	}
+	return s, nil
+}
+
+// ToStore loads every group-by into an in-memory store.
+func (s *DirStore) ToStore() (*seq.Store, error) {
+	out := seq.NewStore()
+	for _, mask := range s.Masks() {
+		a, err := s.Load(mask)
+		if err != nil {
+			return nil, err
+		}
+		if err := out.WriteBack(mask, a); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Group-by file layout (little endian): version uint32, mask uint32,
+// rank uint32, sizes rank x uint32, data prod(sizes) x float64.
+
+// writeGroupByFile encodes one group-by.
+func writeGroupByFile(w *bufio.Writer, mask lattice.DimSet, a *array.Dense) error {
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], groupByFileVersion)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(mask))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(a.Shape().Rank()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, d := range a.Shape() {
+		var sz [4]byte
+		binary.LittleEndian.PutUint32(sz[:], uint32(d))
+		if _, err := w.Write(sz[:]); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, 8*a.Size())
+	for i, v := range a.Data() {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// readGroupByFile decodes one group-by.
+func readGroupByFile(r *bufio.Reader) (lattice.DimSet, *array.Dense, error) {
+	var hdr [12]byte
+	if _, err := readFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	if v := binary.LittleEndian.Uint32(hdr[0:4]); v != groupByFileVersion {
+		return 0, nil, fmt.Errorf("unsupported version %d", v)
+	}
+	mask := lattice.DimSet(binary.LittleEndian.Uint32(hdr[4:8]))
+	rank := binary.LittleEndian.Uint32(hdr[8:12])
+	if rank > lattice.MaxDims {
+		return 0, nil, fmt.Errorf("implausible rank %d", rank)
+	}
+	var shape nd.Shape
+	if rank == 0 {
+		shape = nd.Shape{}
+	} else {
+		sizes := make([]int, rank)
+		for i := range sizes {
+			var sz [4]byte
+			if _, err := readFull(r, sz[:]); err != nil {
+				return 0, nil, err
+			}
+			sizes[i] = int(binary.LittleEndian.Uint32(sz[:]))
+		}
+		var err error
+		shape, err = nd.NewShape(sizes...)
+		if err != nil {
+			return 0, nil, err
+		}
+	}
+	a := array.NewDense(shape, agg.Sum)
+	buf := make([]byte, 8*a.Size())
+	if _, err := readFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	for i := range a.Data() {
+		a.Data()[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return mask, a, nil
+}
+
+// readFull reads exactly len(p) bytes.
+func readFull(r *bufio.Reader, p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		m, err := r.Read(p[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

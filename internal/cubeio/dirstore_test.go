@@ -1,0 +1,166 @@
+package cubeio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"parcube/internal/lattice"
+	"parcube/internal/nd"
+	"parcube/internal/seq"
+)
+
+func TestDirStoreWriteLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewDirStore(dir, []string{"A", "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := sampleSparse(t) // 4x3 from csv tests
+	res, err := seq.Build(input, seq.Options{Sink: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	if err := store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Files exist with the expected names.
+	for _, f := range []string{"gb_A.bin", "gb_B.bin", "gb_all.bin", manifestName} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("missing %s: %v", f, err)
+		}
+	}
+	// Load matches an in-memory build.
+	ref, err := seq.Build(sampleSparse(t), seq.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mask := range store.Masks() {
+		got, err := store.Load(mask)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := ref.Cube.Get(mask)
+		if !got.Equal(want) {
+			t.Fatalf("group-by %b differs after disk round trip", mask)
+		}
+	}
+}
+
+func TestDirStoreOpenExisting(t *testing.T) {
+	dir := t.TempDir()
+	store, _ := NewDirStore(dir, []string{"A", "B"})
+	if _, err := seq.Build(sampleSparse(t), seq.Options{Sink: store}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := OpenDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reopened.Masks()) != 3 {
+		t.Fatalf("reopened store has %d group-bys", len(reopened.Masks()))
+	}
+	mem, err := reopened.ToStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem.Len() != 3 {
+		t.Fatalf("ToStore has %d group-bys", mem.Len())
+	}
+	total, ok := mem.Get(0)
+	if !ok || total.Scalar() != 0.5 { // 1.5 + 2 - 3
+		t.Fatalf("grand total = %v", total)
+	}
+}
+
+func TestDirStoreValidation(t *testing.T) {
+	if _, err := NewDirStore(t.TempDir(), []string{"A", "A"}); err == nil {
+		t.Fatal("duplicate names accepted")
+	}
+	if _, err := NewDirStore(t.TempDir(), []string{""}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	store, _ := NewDirStore(t.TempDir(), []string{"A", "B"})
+	res, err := seq.Build(sampleSparse(t), seq.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, _ := res.Cube.Get(0)
+	if err := store.WriteBack(0, arr); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.WriteBack(0, arr); err == nil {
+		t.Fatal("duplicate write accepted")
+	}
+}
+
+func TestOpenDirStoreErrors(t *testing.T) {
+	if _, err := OpenDirStore(t.TempDir()); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDirStore(dir); err == nil {
+		t.Fatal("garbage manifest accepted")
+	}
+	// Manifest referencing a missing file.
+	dir2 := t.TempDir()
+	manifest := "parcube-dirstore v1\ndims A,B\ngroupby 1 A\n"
+	if err := os.WriteFile(filepath.Join(dir2, manifestName), []byte(manifest), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDirStore(dir2); err == nil {
+		t.Fatal("missing group-by file accepted")
+	}
+}
+
+func TestDirStoreLoadRejectsWrongMask(t *testing.T) {
+	dir := t.TempDir()
+	store, _ := NewDirStore(dir, []string{"A", "B"})
+	input := sampleSparse(t)
+	if _, err := seq.Build(input, seq.Options{Sink: store}); err != nil {
+		t.Fatal(err)
+	}
+	// Swap two files: loading must detect the mask mismatch.
+	a := filepath.Join(dir, "gb_A.bin")
+	b := filepath.Join(dir, "gb_B.bin")
+	tmp := filepath.Join(dir, "tmp.bin")
+	if err := os.Rename(a, tmp); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(b, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Load(lattice.DimSet(0b01)); err == nil {
+		t.Fatal("swapped file accepted")
+	}
+}
+
+func TestDirStoreManifestShape(t *testing.T) {
+	dir := t.TempDir()
+	store, _ := NewDirStore(dir, []string{"A", "B"})
+	if _, err := seq.Build(sampleSparse(t), seq.Options{Sink: store}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "parcube-dirstore v1\ndims A,B\ngroupby 0 all\ngroupby 1 A\ngroupby 2 B\n"
+	if string(raw) != want {
+		t.Fatalf("manifest = %q", raw)
+	}
+	_ = nd.Shape{} // keep import for clarity of the package under test
+}

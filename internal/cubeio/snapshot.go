@@ -1,0 +1,126 @@
+package cubeio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"parcube/internal/agg"
+	"parcube/internal/array"
+	"parcube/internal/lattice"
+	"parcube/internal/nd"
+	"parcube/internal/seq"
+)
+
+// Snapshot format (little endian):
+//
+//	magic   [8]byte  "PARCUBE1"
+//	count   uint32   number of group-bys
+//	per group-by:
+//	  mask  uint32
+//	  rank  uint32
+//	  sizes rank x uint32
+//	  data  prod(sizes) x float64
+const snapshotMagic = "PARCUBE1"
+
+// WriteSnapshot serializes a cube store. Group-bys are written in ascending
+// mask order, so snapshots of equal cubes are byte-identical.
+func WriteSnapshot(w io.Writer, store *seq.Store) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+	masks := store.Masks()
+	sort.Slice(masks, func(i, j int) bool { return masks[i] < masks[j] })
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(masks))); err != nil {
+		return err
+	}
+	for _, mask := range masks {
+		a, _ := store.Get(mask)
+		shape := a.Shape()
+		if err := binary.Write(bw, binary.LittleEndian, uint32(mask)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(shape.Rank())); err != nil {
+			return err
+		}
+		for _, d := range shape {
+			if err := binary.Write(bw, binary.LittleEndian, uint32(d)); err != nil {
+				return err
+			}
+		}
+		buf := make([]byte, 8*a.Size())
+		for i, v := range a.Data() {
+			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot deserializes a cube store written by WriteSnapshot.
+func ReadSnapshot(r io.Reader) (*seq.Store, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("cubeio: reading magic: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("cubeio: bad magic %q", magic)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	if count > 1<<lattice.MaxDims {
+		return nil, fmt.Errorf("cubeio: implausible group-by count %d", count)
+	}
+	store := seq.NewStore()
+	for i := uint32(0); i < count; i++ {
+		var mask, rank uint32
+		if err := binary.Read(br, binary.LittleEndian, &mask); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(br, binary.LittleEndian, &rank); err != nil {
+			return nil, err
+		}
+		if rank > lattice.MaxDims {
+			return nil, fmt.Errorf("cubeio: implausible rank %d", rank)
+		}
+		var shape nd.Shape
+		if rank == 0 {
+			shape = nd.Shape{}
+		} else {
+			sizes := make([]int, rank)
+			for d := range sizes {
+				var s uint32
+				if err := binary.Read(br, binary.LittleEndian, &s); err != nil {
+					return nil, err
+				}
+				sizes[d] = int(s)
+			}
+			var err error
+			shape, err = nd.NewShape(sizes...)
+			if err != nil {
+				return nil, fmt.Errorf("cubeio: group-by %b: %w", mask, err)
+			}
+		}
+		a := array.NewDense(shape, agg.Sum)
+		buf := make([]byte, 8*a.Size())
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("cubeio: group-by %b data: %w", mask, err)
+		}
+		for j := range a.Data() {
+			a.Data()[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*j:]))
+		}
+		if err := store.WriteBack(lattice.DimSet(mask), a); err != nil {
+			return nil, err
+		}
+	}
+	return store, nil
+}

@@ -1,0 +1,176 @@
+package cubeio
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"parcube/internal/array"
+	"parcube/internal/nd"
+	"parcube/internal/seq"
+)
+
+func randSparse(t *testing.T, shape nd.Shape, nnz int, seed int64) *array.Sparse {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b, err := array.NewSparseBuilder(shape, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coords := make([]int, shape.Rank())
+	for i := 0; i < nnz; i++ {
+		for d := range coords {
+			coords[d] = rng.Intn(shape[d])
+		}
+		if err := b.Add(coords, float64(rng.Intn(9)+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestSparseBinaryRoundTrip(t *testing.T) {
+	s := randSparse(t, nd.MustShape(20, 15, 10), 120, 1)
+	var buf bytes.Buffer
+	if err := WriteSparseBinary(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewSparseScanner(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Shape().Equal(s.Shape()) {
+		t.Fatalf("shape = %v", sc.Shape())
+	}
+	count := 0
+	sum := 0.0
+	sc.Iter(func(coords []int, v float64) {
+		count++
+		sum += v
+		if s.At(coords...) != v {
+			t.Fatalf("cell %v = %v, want %v", coords, v, s.At(coords...))
+		}
+	})
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if count != s.NNZ() {
+		t.Fatalf("streamed %d cells, want %d", count, s.NNZ())
+	}
+	want := 0.0
+	s.Iter(func(_ []int, v float64) { want += v })
+	if sum != want {
+		t.Fatalf("sum %v != %v", sum, want)
+	}
+}
+
+func TestStreamingBuildMatchesInMemory(t *testing.T) {
+	// The out-of-core path: write the initial array to a file, stream it
+	// back through the scanner, and build the cube without ever holding
+	// the input in memory.
+	s := randSparse(t, nd.MustShape(12, 10, 8), 150, 2)
+	path := filepath.Join(t.TempDir(), "input.spar")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSparseBinary(f, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	in, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	sc, err := NewSparseScanner(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := seq.BuildFromSource(sc, seq.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := seq.Build(s, seq.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.Cube.Len() != ref.Cube.Len() {
+		t.Fatalf("streamed cube has %d group-bys", streamed.Cube.Len())
+	}
+	for _, mask := range ref.Cube.Masks() {
+		got, ok := streamed.Cube.Get(mask)
+		want, _ := ref.Cube.Get(mask)
+		if !ok || !got.Equal(want) {
+			t.Fatalf("group-by %b differs in streaming build", mask)
+		}
+	}
+	if streamed.Stats.Updates != ref.Stats.Updates {
+		t.Fatalf("updates %d != %d", streamed.Stats.Updates, ref.Stats.Updates)
+	}
+}
+
+func TestSparseScannerRejectsGarbage(t *testing.T) {
+	if _, err := NewSparseScanner(strings.NewReader("definitely not a file")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := NewSparseScanner(strings.NewReader("PARSPAR1")); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestSparseScannerDetectsTruncation(t *testing.T) {
+	s := randSparse(t, nd.MustShape(8, 8), 30, 3)
+	var buf bytes.Buffer
+	if err := WriteSparseBinary(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Chop mid-chunk: keep the header plus a few bytes.
+	cut := len(full) - 7
+	sc, err := NewSparseScanner(bytes.NewReader(full[:cut]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, _, ok := sc.Next(); !ok {
+			break
+		}
+	}
+	if sc.Err() == nil {
+		t.Fatal("truncation not detected")
+	}
+}
+
+func TestSparseScannerDetectsBogusChunk(t *testing.T) {
+	s := randSparse(t, nd.MustShape(8, 8), 10, 4)
+	var buf bytes.Buffer
+	if err := WriteSparseBinary(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Corrupt the first chunk's count field to something absurd. Header:
+	// 8 magic + 4 rank + 8 sizes + 8 chunkSides = 28; chunk header: 8 lo +
+	// 8 hi, count at offset 28+16.
+	pos := 28 + 16
+	raw[pos], raw[pos+1], raw[pos+2], raw[pos+3] = 0xff, 0xff, 0xff, 0x7f
+	sc, err := NewSparseScanner(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := sc.Next(); ok {
+		t.Fatal("bogus chunk accepted")
+	}
+	if sc.Err() == nil {
+		t.Fatal("no error for bogus chunk")
+	}
+}

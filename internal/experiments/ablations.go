@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"parcube/internal/cluster"
+	"parcube/internal/comm"
+	"parcube/internal/core"
+	"parcube/internal/nd"
+	"parcube/internal/parallel"
+	"parcube/internal/seq"
+	"parcube/internal/workload"
+)
+
+// ReduceAblationRow compares reduction algorithms for one partition.
+type ReduceAblationRow struct {
+	Partition   string
+	Algorithm   string
+	MakespanSec float64
+	Elements    int64
+}
+
+// RunReduceAblation (A1) compares binomial-tree and flat-gather reductions
+// on the Figure 7 setup: identical volume by construction, different
+// critical paths.
+func RunReduceAblation(cfg Config) ([]ReduceAblationRow, error) {
+	shape := workload.Fig7Shape(cfg.Full)
+	input, err := workload.Generate(workload.Spec{Shape: shape, SparsityPercent: 10, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	var rows []ReduceAblationRow
+	for _, part := range Figure7Partitions() {
+		for _, algo := range []comm.ReduceAlgorithm{comm.Binomial, comm.FlatGather} {
+			res, err := parallel.Build(input, parallel.Options{
+				K:       part.K,
+				Network: cluster.Cluster2003(),
+				Compute: cluster.UltraII(),
+				Reduce:  algo,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, ReduceAblationRow{
+				Partition:   part.Name,
+				Algorithm:   algo.String(),
+				MakespanSec: res.Stats.MakespanSec,
+				Elements:    res.Stats.MeasuredVolumeElements,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PrintReduceAblation renders A1.
+func PrintReduceAblation(w io.Writer, rows []ReduceAblationRow) error {
+	fmt.Fprintln(w, "Ablation A1: reduction algorithm (same volume, different latency structure)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "partition\talgorithm\ttime(s)\tcomm(elems)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.3f\t%d\n", r.Partition, r.Algorithm, r.MakespanSec, r.Elements)
+	}
+	return tw.Flush()
+}
+
+// TreeAblationRow compares construction strategies on one dataset.
+type TreeAblationRow struct {
+	Strategy     string
+	Updates      int64
+	PeakElements int64
+	InputScans   int
+	ModeledSec   float64
+}
+
+// RunTreeAblation (A2) compares the aggregation tree against the naive
+// root-fan and the eager minimal-parent baselines on a 4-D dataset.
+func RunTreeAblation(cfg Config) ([]TreeAblationRow, error) {
+	shape := nd.MustShape(24, 18, 12, 6)
+	if cfg.Full {
+		shape = workload.Fig7Shape(true)
+	}
+	input, err := workload.Generate(workload.Spec{Shape: shape, SparsityPercent: 10, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	type build struct {
+		name string
+		run  func() (*seq.Result, error)
+	}
+	builds := []build{
+		{"aggregation tree", func() (*seq.Result, error) {
+			return seq.Build(input, seq.Options{Sink: &seq.CountingSink{}})
+		}},
+		{"eager minimal-parent", func() (*seq.Result, error) {
+			return seq.BuildEager(input, seq.Options{Sink: &seq.CountingSink{}})
+		}},
+		{"naive root-fan", func() (*seq.Result, error) {
+			return seq.BuildNaive(input, seq.Options{Sink: &seq.CountingSink{}})
+		}},
+	}
+	var rows []TreeAblationRow
+	for _, b := range builds {
+		res, err := b.run()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, TreeAblationRow{
+			Strategy:     b.name,
+			Updates:      res.Stats.Updates,
+			PeakElements: res.Stats.PeakResultElements,
+			InputScans:   res.Stats.InputScans,
+			ModeledSec:   cluster.UltraII().CostSec(res.Stats.Updates),
+		})
+	}
+	return rows, nil
+}
+
+// PrintTreeAblation renders A2.
+func PrintTreeAblation(w io.Writer, rows []TreeAblationRow) error {
+	fmt.Fprintln(w, "Ablation A2: spanning-tree strategy (sequential)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "strategy\tupdates\tmodeled time(s)\tpeak memory (elems)\tinput scans")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%d\t%.3f\t%d\t%d\n", r.Strategy, r.Updates, r.ModeledSec, r.PeakElements, r.InputScans)
+	}
+	return tw.Flush()
+}
+
+// OrderAblationRow compares dimension orderings end to end.
+type OrderAblationRow struct {
+	Ordering     []int
+	Sorted       bool
+	MakespanSec  float64
+	CommElements int64
+	Updates      int64
+}
+
+// RunOrderAblation (A3) runs the full parallel build under every ordering
+// of a skewed 3-D shape: the sorted ordering should win on both volume and
+// modeled time.
+func RunOrderAblation(cfg Config) ([]OrderAblationRow, error) {
+	shape := nd.MustShape(128, 32, 8)
+	input, err := workload.Generate(workload.Spec{Shape: shape, SparsityPercent: 10, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	orderings := []core.Ordering{
+		{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0},
+	}
+	var rows []OrderAblationRow
+	for _, o := range orderings {
+		res, err := parallel.Build(input, parallel.Options{
+			Ordering: o,
+			LogProcs: 3,
+			Network:  cluster.Cluster2003(),
+			Compute:  cluster.UltraII(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, OrderAblationRow{
+			Ordering:     o,
+			Sorted:       o.Apply(shape).SortedDescending(),
+			MakespanSec:  res.Stats.MakespanSec,
+			CommElements: res.Stats.MeasuredVolumeElements,
+			Updates:      res.Stats.Updates,
+		})
+	}
+	return rows, nil
+}
+
+// PrintOrderAblation renders A3.
+func PrintOrderAblation(w io.Writer, rows []OrderAblationRow) error {
+	fmt.Fprintln(w, "Ablation A3: dimension ordering, full parallel build on 8 processors of 128x32x8")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ordering\tsorted desc\ttime(s)\tcomm(elems)\tupdates")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%v\t%v\t%.4f\t%d\t%d\n", r.Ordering, r.Sorted, r.MakespanSec, r.CommElements, r.Updates)
+	}
+	return tw.Flush()
+}

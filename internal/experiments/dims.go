@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"parcube/internal/cluster"
+	"parcube/internal/nd"
+	"parcube/internal/parallel"
+	"parcube/internal/workload"
+)
+
+// DimRow is one dimensionality point of the scaling study.
+type DimRow struct {
+	Shape        nd.Shape
+	GroupBys     int
+	K            []int
+	MakespanSec  float64
+	CommElements int64
+	Updates      int64
+}
+
+// RunDimScaling (D1, beyond the paper) holds the input size roughly
+// constant (~1M cells at 10% sparsity) while growing dimensionality from 2
+// to 5 on 8 processors: the cube doubles its group-by count per added
+// dimension, and both communication and deep-level computation grow with
+// it while the first-level work stays fixed.
+func RunDimScaling(cfg Config) ([]DimRow, error) {
+	shapes := []nd.Shape{
+		nd.MustShape(1024, 1024),
+		nd.MustShape(102, 102, 102),
+		nd.MustShape(32, 32, 32, 32),
+		nd.MustShape(16, 16, 16, 16, 16),
+	}
+	var rows []DimRow
+	for _, shape := range shapes {
+		input, err := workload.Generate(workload.Spec{
+			Shape:           shape,
+			SparsityPercent: 10,
+			Seed:            cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := parallel.Build(input, parallel.Options{
+			LogProcs: 3,
+			Network:  cluster.Cluster2003(),
+			Compute:  cluster.UltraII(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, DimRow{
+			Shape:        shape,
+			GroupBys:     1<<uint(shape.Rank()) - 1,
+			K:            res.K,
+			MakespanSec:  res.Stats.MakespanSec,
+			CommElements: res.Stats.MeasuredVolumeElements,
+			Updates:      res.Stats.Updates,
+		})
+	}
+	return rows, nil
+}
+
+// PrintDimScaling renders D1.
+func PrintDimScaling(w io.Writer, rows []DimRow) error {
+	fmt.Fprintln(w, "Dimensionality scaling D1 (beyond the paper): ~1M cells, 10% sparsity, 8 processors, greedy partitions")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "shape\tgroup-bys\tpartition k\ttime(s)\tcomm(elems)\tupdates")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%v\t%d\t%v\t%.4f\t%d\t%d\n",
+			r.Shape, r.GroupBys, r.K, r.MakespanSec, r.CommElements, r.Updates)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,420 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+var testCfg = Config{Seed: 42}
+
+func TestRunFigure7Shape(t *testing.T) {
+	rows, err := RunFigure(7, testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 sparsities x (sequential + 3 partitions).
+	if len(rows) != 12 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Within each sparsity: 3-d beats 2-d beats 1-d on both volume and
+	// modeled time; every parallel version beats sequential.
+	for s := 0; s < 3; s++ {
+		seqR, r3, r2, r1 := rows[4*s], rows[4*s+1], rows[4*s+2], rows[4*s+3]
+		if !(r3.CommElements < r2.CommElements && r2.CommElements < r1.CommElements) {
+			t.Fatalf("sparsity %v: volumes not ordered: %d, %d, %d",
+				seqR.SparsityPct, r3.CommElements, r2.CommElements, r1.CommElements)
+		}
+		if !(r3.MakespanSec < r2.MakespanSec && r2.MakespanSec < r1.MakespanSec) {
+			t.Fatalf("sparsity %v: times not ordered", seqR.SparsityPct)
+		}
+		if r3.Speedup <= 1 {
+			t.Fatalf("sparsity %v: best speedup %v", seqR.SparsityPct, r3.Speedup)
+		}
+		if r3.MakespanSec >= seqR.MakespanSec {
+			t.Fatalf("sparsity %v: no parallel benefit", seqR.SparsityPct)
+		}
+	}
+	var buf bytes.Buffer
+	if err := PrintFigure(&buf, 7, testCfg, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "3-dimensional") {
+		t.Fatalf("figure output missing versions:\n%s", buf.String())
+	}
+}
+
+func TestRunFigure9FivePartitions(t *testing.T) {
+	rows, err := RunFigure(9, testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3*6 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// The 4-dimensional partition must be the fastest parallel version at
+	// every sparsity; 1-dimensional the slowest.
+	for s := 0; s < 3; s++ {
+		group := rows[6*s : 6*s+6]
+		best, worst := group[1], group[5]
+		for _, r := range group[1:] {
+			if r.MakespanSec < best.MakespanSec {
+				best = r
+			}
+			if r.MakespanSec > worst.MakespanSec {
+				worst = r
+			}
+		}
+		if best.Version != "4-dimensional" {
+			t.Fatalf("sparsity %v: fastest is %q", group[0].SparsityPct, best.Version)
+		}
+		if worst.Version != "1-dimensional" {
+			t.Fatalf("sparsity %v: slowest is %q", group[0].SparsityPct, worst.Version)
+		}
+	}
+}
+
+func TestRunFigureUnknown(t *testing.T) {
+	if _, err := RunFigure(3, testCfg); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestPrintTrees(t *testing.T) {
+	var buf bytes.Buffer
+	if err := PrintTrees(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"ABC", "aggregation tree", "AB, A, AC, B, all, C, BC"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trees output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMemoryTableTight(t *testing.T) {
+	rows, err := RunMemoryTable(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.PeakElements != r.BoundElements {
+			t.Fatalf("shape %v: peak %d != bound %d", r.Shape, r.PeakElements, r.BoundElements)
+		}
+		if r.EagerPeak <= r.PeakElements {
+			t.Fatalf("shape %v: eager peak not larger", r.Shape)
+		}
+	}
+	var buf bytes.Buffer
+	if err := PrintMemoryTable(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVolumeTableExact(t *testing.T) {
+	rows, err := RunVolumeTable(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Measured != r.Theory {
+			t.Fatalf("shape %v k %v: %d != %d", r.Shape, r.K, r.Measured, r.Theory)
+		}
+	}
+	var buf bytes.Buffer
+	if err := PrintVolumeTable(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderingTableSortedWins(t *testing.T) {
+	rows, shape, err := RunOrderingTable(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 24 {
+		t.Fatalf("%d orderings", len(rows))
+	}
+	var bestVol, bestCost int64 = -1, -1
+	var sortedRow *OrderingRow
+	for i, r := range rows {
+		if bestVol < 0 || r.CommVolume < bestVol {
+			bestVol = r.CommVolume
+		}
+		if bestCost < 0 || r.ComputeCost < bestCost {
+			bestCost = r.ComputeCost
+		}
+		if r.Sorted {
+			sortedRow = &rows[i]
+		}
+	}
+	if sortedRow == nil {
+		t.Fatal("no sorted ordering found")
+	}
+	if sortedRow.CommVolume != bestVol || sortedRow.ComputeCost != bestCost {
+		t.Fatalf("sorted ordering not minimal: %+v (best %d / %d)", *sortedRow, bestVol, bestCost)
+	}
+	var buf bytes.Buffer
+	if err := PrintOrderingTable(&buf, shape, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionTableOptimal(t *testing.T) {
+	rows, err := RunPartitionTable(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.GreedyV != r.BestV {
+			t.Fatalf("shape %v: greedy %d != optimal %d", r.Shape, r.GreedyV, r.BestV)
+		}
+	}
+	var buf bytes.Buffer
+	if err := PrintPartitionTable(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrintSection2(t *testing.T) {
+	var buf bytes.Buffer
+	if err := PrintSection2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "largest dimension") {
+		t.Fatal("section 2 output incomplete")
+	}
+}
+
+func TestReduceAblation(t *testing.T) {
+	rows, err := RunReduceAblation(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// Per partition, the two algorithms move identical volume.
+	for i := 0; i < len(rows); i += 2 {
+		if rows[i].Elements != rows[i+1].Elements {
+			t.Fatalf("partition %s: volumes differ", rows[i].Partition)
+		}
+	}
+	var buf bytes.Buffer
+	if err := PrintReduceAblation(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeAblation(t *testing.T) {
+	rows, err := RunTreeAblation(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	tree, eager, naive := rows[0], rows[1], rows[2]
+	if tree.Updates > eager.Updates {
+		t.Fatal("aggregation tree does more updates than eager minimal-parent")
+	}
+	if naive.Updates <= tree.Updates {
+		t.Fatal("naive not more expensive")
+	}
+	if eager.PeakElements <= tree.PeakElements {
+		t.Fatal("eager peak not larger")
+	}
+	if naive.InputScans <= 1 {
+		t.Fatal("naive should rescan the input")
+	}
+	var buf bytes.Buffer
+	if err := PrintTreeAblation(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrderAblationSortedWins(t *testing.T) {
+	rows, err := RunOrderAblation(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sorted *OrderAblationRow
+	for i, r := range rows {
+		if r.Sorted {
+			sorted = &rows[i]
+		}
+	}
+	if sorted == nil {
+		t.Fatal("no sorted row")
+	}
+	for _, r := range rows {
+		if r.CommElements < sorted.CommElements {
+			t.Fatalf("ordering %v beats sorted on volume", r.Ordering)
+		}
+		if r.Updates < sorted.Updates {
+			t.Fatalf("ordering %v beats sorted on updates", r.Ordering)
+		}
+	}
+	var buf bytes.Buffer
+	if err := PrintOrderAblation(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelValidationWithinFactorTwo(t *testing.T) {
+	rows, err := RunModelValidation(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Ratio < 0.5 || r.Ratio > 2 {
+			t.Fatalf("%v %s: ratio %.2f out of range", r.SparsityPct, r.Partition, r.Ratio)
+		}
+	}
+	var buf bytes.Buffer
+	if err := PrintModelValidation(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkewIncreasesImbalanceAndTime(t *testing.T) {
+	rows, err := RunSkew(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	uniform, clustered := rows[0], rows[1]
+	if uniform.CommElements != clustered.CommElements {
+		t.Fatalf("comm volumes differ: %d vs %d", uniform.CommElements, clustered.CommElements)
+	}
+	if clustered.Imbalance <= uniform.Imbalance {
+		t.Fatalf("clustered imbalance %.3f not above uniform %.3f",
+			clustered.Imbalance, uniform.Imbalance)
+	}
+	if clustered.MakespanSec <= uniform.MakespanSec {
+		t.Fatalf("clustered makespan %.4f not above uniform %.4f",
+			clustered.MakespanSec, uniform.MakespanSec)
+	}
+	var buf bytes.Buffer
+	if err := PrintSkew(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDimScalingMonotonic(t *testing.T) {
+	rows, err := RunDimScaling(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].GroupBys <= rows[i-1].GroupBys {
+			t.Fatal("group-by counts not growing")
+		}
+		if rows[i].CommElements <= rows[i-1].CommElements {
+			t.Fatalf("volume not growing with dimensionality: %d -> %d",
+				rows[i-1].CommElements, rows[i].CommElements)
+		}
+	}
+	var buf bytes.Buffer
+	if err := PrintDimScaling(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTilingTableTradeoff(t *testing.T) {
+	rows, err := RunTilingTable(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].MaxPeakElements >= rows[i-1].MaxPeakElements {
+			t.Fatalf("row %d: working set not shrinking (%d -> %d)",
+				i, rows[i-1].MaxPeakElements, rows[i].MaxPeakElements)
+		}
+		if rows[i].CommElements <= rows[i-1].CommElements {
+			t.Fatalf("row %d: communication not growing", i)
+		}
+	}
+	var buf bytes.Buffer
+	if err := PrintTilingTable(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevelProfile(t *testing.T) {
+	rows, denseFirst, err := RunLevelProfile(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d levels", len(rows))
+	}
+	if rows[0].Share < 0.5 {
+		t.Fatalf("first-level share = %.2f", rows[0].Share)
+	}
+	if denseFirst < 0.9 {
+		t.Fatalf("dense first-level share = %.2f", denseFirst)
+	}
+	var buf bytes.Buffer
+	if err := PrintLevelProfile(&buf, rows, denseFirst); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelMemoryTableTight(t *testing.T) {
+	rows, err := RunParallelMemoryTable(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.MaxPeak > r.Bound {
+			t.Fatalf("k=%v: peak %d exceeds Theorem 4 bound %d", r.K, r.MaxPeak, r.Bound)
+		}
+		if r.MaxPeak != r.Bound {
+			t.Fatalf("k=%v: peak %d does not attain the bound %d (divisible extents)", r.K, r.MaxPeak, r.Bound)
+		}
+	}
+	var buf bytes.Buffer
+	if err := PrintParallelMemoryTable(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStragglerTable(t *testing.T) {
+	rows, err := RunStragglerTable(testCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i := 0; i < len(rows); i += 3 {
+		none, lead, worker := rows[i], rows[i+1], rows[i+2]
+		if lead.MakespanSec <= none.MakespanSec {
+			t.Fatalf("%s: slow lead did not slow the build", none.Partition)
+		}
+		if worker.MakespanSec < none.MakespanSec {
+			t.Fatalf("%s: slow worker sped the build up", none.Partition)
+		}
+		if lead.MakespanSec < worker.MakespanSec {
+			t.Fatalf("%s: slow lead (%.4f) hurt less than slow worker (%.4f)",
+				none.Partition, lead.MakespanSec, worker.MakespanSec)
+		}
+	}
+	var buf bytes.Buffer
+	if err := PrintStragglerTable(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+}

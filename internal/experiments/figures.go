@@ -1,0 +1,205 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (and this reproduction's theorem-validation tables and
+// ablations). Each experiment returns structured rows so benchmarks and
+// tests can assert on them, plus printers for human-readable tables.
+// Workloads default to CI scale; Full switches to the paper's scales
+// (64^4 and 128^4 arrays).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"parcube/internal/cluster"
+	"parcube/internal/nd"
+	"parcube/internal/parallel"
+	"parcube/internal/seq"
+	"parcube/internal/workload"
+)
+
+// Config controls workload scale and reproducibility.
+type Config struct {
+	// Full selects the paper-scale datasets (64^4 / 128^4); the default is
+	// a CI-sized reduction with the same shape ratios.
+	Full bool
+	// Seed drives dataset generation.
+	Seed int64
+}
+
+// Partition names one partitioning choice of a figure.
+type Partition struct {
+	Name string
+	K    []int // log2 slices per dimension
+}
+
+// Figure7Partitions are the three ways a 4-D array splits over 8
+// processors: three-, two-, and one-dimensional.
+func Figure7Partitions() []Partition {
+	return []Partition{
+		{Name: "3-dimensional", K: []int{1, 1, 1, 0}},
+		{Name: "2-dimensional", K: []int{2, 1, 0, 0}},
+		{Name: "1-dimensional", K: []int{3, 0, 0, 0}},
+	}
+}
+
+// Figure9Partitions are the five ways a 4-D array splits over 16
+// processors (two distinct two-dimensional options, as in the paper).
+func Figure9Partitions() []Partition {
+	return []Partition{
+		{Name: "4-dimensional", K: []int{1, 1, 1, 1}},
+		{Name: "3-dimensional", K: []int{2, 1, 1, 0}},
+		{Name: "2-dimensional (2+2)", K: []int{2, 2, 0, 0}},
+		{Name: "2-dimensional (3+1)", K: []int{3, 1, 0, 0}},
+		{Name: "1-dimensional", K: []int{4, 0, 0, 0}},
+	}
+}
+
+// FigRow is one measured point of a figure: a (sparsity, partition) cell.
+type FigRow struct {
+	SparsityPct  float64
+	Version      string
+	K            []int
+	MakespanSec  float64
+	CommElements int64
+	CommBytes    int64
+	SeqSec       float64
+	Speedup      float64
+}
+
+// FigureSpec identifies one of the paper's execution-time figures.
+type FigureSpec struct {
+	Name       string
+	Shape      nd.Shape
+	Procs      int
+	Partitions []Partition
+}
+
+// Figure returns the spec of figure 7, 8 or 9 at the configured scale.
+func Figure(id int, cfg Config) (FigureSpec, error) {
+	switch id {
+	case 7:
+		return FigureSpec{
+			Name:       "Figure 7: 64^4 dataset, 8 processors",
+			Shape:      workload.Fig7Shape(cfg.Full),
+			Procs:      8,
+			Partitions: Figure7Partitions(),
+		}, nil
+	case 8:
+		return FigureSpec{
+			Name:       "Figure 8: 128^4 dataset, 8 processors",
+			Shape:      workload.Fig8Shape(cfg.Full),
+			Procs:      8,
+			Partitions: Figure7Partitions(),
+		}, nil
+	case 9:
+		return FigureSpec{
+			Name:       "Figure 9: 128^4 dataset, 16 processors",
+			Shape:      workload.Fig8Shape(cfg.Full),
+			Procs:      16,
+			Partitions: Figure9Partitions(),
+		}, nil
+	default:
+		return FigureSpec{}, fmt.Errorf("experiments: no figure %d", id)
+	}
+}
+
+// RunFigure executes one execution-time figure: for each sparsity level and
+// partitioning choice, a full parallel build on the simulated cluster
+// (Cluster2003 network, UltraII compute), plus the sequential reference.
+func RunFigure(id int, cfg Config) ([]FigRow, error) {
+	spec, err := Figure(id, cfg)
+	if err != nil {
+		return nil, err
+	}
+	var rows []FigRow
+	for _, sparsity := range workload.PaperSparsities {
+		input, err := workload.Generate(workload.Spec{
+			Shape:           spec.Shape,
+			SparsityPercent: sparsity,
+			Seed:            cfg.Seed + int64(sparsity*1000),
+		})
+		if err != nil {
+			return nil, err
+		}
+		seqRes, err := seq.Build(input, seq.Options{Sink: &seq.CountingSink{}})
+		if err != nil {
+			return nil, err
+		}
+		seqSec := cluster.UltraII().CostSec(seqRes.Stats.Updates)
+		rows = append(rows, FigRow{
+			SparsityPct: sparsity,
+			Version:     "sequential",
+			SeqSec:      seqSec,
+			MakespanSec: seqSec,
+			Speedup:     1,
+		})
+		for _, part := range spec.Partitions {
+			res, err := parallel.Build(input, parallel.Options{
+				K:       part.K,
+				Network: cluster.Cluster2003(),
+				Compute: cluster.UltraII(),
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, FigRow{
+				SparsityPct:  sparsity,
+				Version:      part.Name,
+				K:            part.K,
+				MakespanSec:  res.Stats.MakespanSec,
+				CommElements: res.Stats.MeasuredVolumeElements,
+				CommBytes:    res.Report.TotalBytesSent,
+				SeqSec:       seqSec,
+				Speedup:      seqSec / res.Stats.MakespanSec,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PrintFigure renders figure rows as an aligned table with an ASCII bar per
+// row (bar length proportional to modeled execution time within the
+// figure).
+func PrintFigure(w io.Writer, id int, cfg Config, rows []FigRow) error {
+	spec, err := Figure(id, cfg)
+	if err != nil {
+		return err
+	}
+	scale := ""
+	if !cfg.Full {
+		scale = " [test scale: " + spec.Shape.String() + "]"
+	}
+	fmt.Fprintf(w, "%s%s\n", spec.Name, scale)
+	maxTime := 0.0
+	for _, r := range rows {
+		if r.MakespanSec > maxTime {
+			maxTime = r.MakespanSec
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "sparsity\tversion\ttime(s)\tspeedup\tcomm(elems)\tcomm(MB)\t")
+	for _, r := range rows {
+		bar := barString(r.MakespanSec, maxTime, 30)
+		commMB := float64(r.CommBytes) / 1e6
+		fmt.Fprintf(tw, "%.0f%%\t%s\t%.3f\t%.2f\t%d\t%.2f\t%s\n",
+			r.SparsityPct, r.Version, r.MakespanSec, r.Speedup, r.CommElements, commMB, bar)
+	}
+	return tw.Flush()
+}
+
+// barString renders a proportional ASCII bar.
+func barString(v, max float64, width int) string {
+	if max <= 0 {
+		return ""
+	}
+	n := int(v / max * float64(width))
+	if n < 1 && v > 0 {
+		n = 1
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"parcube/internal/cluster"
+	"parcube/internal/cost"
+	"parcube/internal/parallel"
+	"parcube/internal/workload"
+)
+
+// ModelRow compares the analytic prediction with the simulation for one
+// (sparsity, partition) point of the Figure 7 setup.
+type ModelRow struct {
+	SparsityPct  float64
+	Partition    string
+	PredictedSec float64
+	SimulatedSec float64
+	Ratio        float64
+}
+
+// RunModelValidation (M1) checks the closed-form critical-path cost model
+// of internal/cost against the discrete-event simulator across the
+// Figure 7 grid.
+func RunModelValidation(cfg Config) ([]ModelRow, error) {
+	shape := workload.Fig7Shape(cfg.Full)
+	var rows []ModelRow
+	for _, sparsity := range workload.PaperSparsities {
+		input, err := workload.Generate(workload.Spec{
+			Shape:           shape,
+			SparsityPercent: sparsity,
+			Seed:            cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, part := range Figure7Partitions() {
+			sim, err := parallel.Build(input, parallel.Options{
+				K:       part.K,
+				Network: cluster.Cluster2003(),
+				Compute: cluster.UltraII(),
+			})
+			if err != nil {
+				return nil, err
+			}
+			pred, err := cost.Predict(cost.Inputs{
+				Sizes:   shape, // equal extents: already in position order
+				K:       part.K,
+				NNZ:     int64(input.NNZ()),
+				Network: cluster.Cluster2003(),
+				Compute: cluster.UltraII(),
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, ModelRow{
+				SparsityPct:  sparsity,
+				Partition:    part.Name,
+				PredictedSec: pred.ParallelSec,
+				SimulatedSec: sim.Stats.MakespanSec,
+				Ratio:        pred.ParallelSec / sim.Stats.MakespanSec,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PrintModelValidation renders M1.
+func PrintModelValidation(w io.Writer, rows []ModelRow) error {
+	fmt.Fprintln(w, "Model validation M1: analytic critical-path prediction vs discrete-event simulation (Figure 7 setup)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "sparsity\tpartition\tpredicted(s)\tsimulated(s)\tratio")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%.0f%%\t%s\t%.4f\t%.4f\t%.3f\n",
+			r.SparsityPct, r.Partition, r.PredictedSec, r.SimulatedSec, r.Ratio)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"parcube/internal/cluster"
+	"parcube/internal/parallel"
+	"parcube/internal/workload"
+)
+
+// SkewRow compares one data distribution on the Figure 7 setup.
+type SkewRow struct {
+	Distribution string
+	MakespanSec  float64
+	CommElements int64
+	// Imbalance is max over processors of updates divided by the mean —
+	// 1.0 is perfect balance.
+	Imbalance float64
+}
+
+// RunSkew (S1, beyond the paper) measures sensitivity to data skew: the
+// paper's datasets scatter non-zeros uniformly, so block partitions are
+// balanced; clustered data concentrates cells in few blocks, and the
+// imbalance shows up directly as makespan because only per-processor
+// compute changes (communication volume is data-independent).
+func RunSkew(cfg Config) ([]SkewRow, error) {
+	shape := workload.Fig7Shape(cfg.Full)
+	var rows []SkewRow
+	for _, dist := range []workload.Distribution{workload.Uniform, workload.Clustered} {
+		input, err := workload.Generate(workload.Spec{
+			Shape:           shape,
+			SparsityPercent: 10,
+			Seed:            cfg.Seed,
+			Distribution:    dist,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := parallel.Build(input, parallel.Options{
+			K:       []int{1, 1, 1, 0},
+			Network: cluster.Cluster2003(),
+			Compute: cluster.UltraII(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		var maxU, sumU int64
+		for _, p := range res.Report.Procs {
+			if p.Updates > maxU {
+				maxU = p.Updates
+			}
+			sumU += p.Updates
+		}
+		mean := float64(sumU) / float64(len(res.Report.Procs))
+		rows = append(rows, SkewRow{
+			Distribution: dist.String(),
+			MakespanSec:  res.Stats.MakespanSec,
+			CommElements: res.Stats.MeasuredVolumeElements,
+			Imbalance:    float64(maxU) / mean,
+		})
+	}
+	return rows, nil
+}
+
+// PrintSkew renders S1.
+func PrintSkew(w io.Writer, rows []SkewRow) error {
+	fmt.Fprintln(w, "Skew sensitivity S1 (beyond the paper): uniform vs clustered data, 3-D partition, 8 processors")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "distribution\ttime(s)\tcomm(elems)\tupdate imbalance (max/mean)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.4f\t%d\t%.3f\n", r.Distribution, r.MakespanSec, r.CommElements, r.Imbalance)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Communication volume is identical (it depends only on shape and partition);")
+	fmt.Fprintln(w, "skewed placement slows the build purely through compute imbalance.")
+	return nil
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"parcube/internal/cluster"
+	"parcube/internal/parallel"
+	"parcube/internal/workload"
+)
+
+// StragglerRow is one (partition, straggler) configuration.
+type StragglerRow struct {
+	Partition   string
+	Straggler   string
+	MakespanSec float64
+	SlowdownPct float64
+}
+
+// RunStragglerTable (S2, beyond the paper) injects one 2x-slower node into
+// the Figure 7 machine and measures how each partitioning choice absorbs
+// it. The paper assumes homogeneous nodes; with the aggregation tree the
+// damage depends on whether the slow node is the all-zero lead (on the
+// critical path of every level) or a first-level-only worker.
+func RunStragglerTable(cfg Config) ([]StragglerRow, error) {
+	shape := workload.Fig7Shape(cfg.Full)
+	input, err := workload.Generate(workload.Spec{
+		Shape:           shape,
+		SparsityPercent: 10,
+		Seed:            cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	scenarios := []struct {
+		name string
+		rank int // -1 = none
+	}{
+		{"none", -1},
+		{"lead (rank 0)", 0},
+		{"worker (rank 7)", 7},
+	}
+	var rows []StragglerRow
+	for _, part := range Figure7Partitions() {
+		var baseline float64
+		for _, sc := range scenarios {
+			opts := parallel.Options{
+				K:       part.K,
+				Network: cluster.Cluster2003(),
+				Compute: cluster.UltraII(),
+			}
+			if sc.rank >= 0 {
+				scale := make([]float64, 8)
+				for i := range scale {
+					scale[i] = 1
+				}
+				scale[sc.rank] = 2
+				opts.ComputeScale = scale
+			}
+			res, err := parallel.Build(input, opts)
+			if err != nil {
+				return nil, err
+			}
+			if sc.rank < 0 {
+				baseline = res.Stats.MakespanSec
+			}
+			rows = append(rows, StragglerRow{
+				Partition:   part.Name,
+				Straggler:   sc.name,
+				MakespanSec: res.Stats.MakespanSec,
+				SlowdownPct: 100 * (res.Stats.MakespanSec/baseline - 1),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PrintStragglerTable renders S2.
+func PrintStragglerTable(w io.Writer, rows []StragglerRow) error {
+	fmt.Fprintln(w, "Straggler sensitivity S2 (beyond the paper): one 2x-slower node, 8 processors, 10% sparsity")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "partition\tstraggler\ttime(s)\tslowdown")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.4f\t%+.1f%%\n", r.Partition, r.Straggler, r.MakespanSec, r.SlowdownPct)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "A slow lead hurts more than a slow edge worker: the all-zero label sits on")
+	fmt.Fprintln(w, "the critical path of every level of the aggregation tree.")
+	return nil
+}

@@ -1,0 +1,304 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"parcube/internal/core"
+	"parcube/internal/lattice"
+	"parcube/internal/nd"
+	"parcube/internal/parallel"
+	"parcube/internal/seq"
+	"parcube/internal/theory"
+	"parcube/internal/workload"
+)
+
+// PrintTrees reproduces Figures 1 and 2: the data cube lattice for n=3 and
+// the prefix/aggregation trees.
+func PrintTrees(w io.Writer) error {
+	names := lattice.DefaultNames(3)
+	fmt.Fprintln(w, "Figure 1: data cube lattice (n=3), each node with its parents")
+	l, err := lattice.New(nd.MustShape(4, 3, 2))
+	if err != nil {
+		return err
+	}
+	for _, node := range l.Nodes() {
+		if node == lattice.Full(3) {
+			fmt.Fprintf(w, "  %s (original array)\n", node.Label(names))
+			continue
+		}
+		fmt.Fprintf(w, "  %s <-", node.Label(names))
+		for _, p := range l.Parents(node) {
+			fmt.Fprintf(w, " %s", p.Label(names))
+		}
+		fmt.Fprintln(w)
+	}
+	tr, err := core.Build(3)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nFigure 2(c): aggregation tree (n=3)")
+	fmt.Fprint(w, tr.Sprint(names))
+	fmt.Fprintln(w, "\nWrite-back order of the Figure 3 traversal:")
+	for i, node := range tr.EvalOrder() {
+		if i > 0 {
+			fmt.Fprint(w, ", ")
+		}
+		fmt.Fprint(w, node.Retained.Label(names))
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// MemoryRow is one shape's Theorem 1/2 validation.
+type MemoryRow struct {
+	Shape         nd.Shape
+	PeakElements  int64
+	BoundElements int64
+	NaivePeak     int64
+	EagerPeak     int64
+}
+
+// RunMemoryTable measures sequential peak result memory against the
+// Theorem 1 bound (which Theorem 2 shows is also the floor for
+// cache-optimal algorithms), alongside the baselines' peaks.
+func RunMemoryTable(cfg Config) ([]MemoryRow, error) {
+	shapes := []nd.Shape{
+		nd.MustShape(32, 16, 8),
+		nd.MustShape(16, 16, 16, 16),
+		nd.MustShape(24, 18, 12, 6),
+		nd.MustShape(8, 8, 8, 8, 8),
+	}
+	if cfg.Full {
+		shapes = append(shapes, nd.MustShape(64, 64, 64, 64))
+	}
+	var rows []MemoryRow
+	for _, shape := range shapes {
+		input, err := workload.Generate(workload.Spec{Shape: shape, SparsityPercent: 10, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		tree, err := seq.Build(input, seq.Options{Sink: &seq.CountingSink{}})
+		if err != nil {
+			return nil, err
+		}
+		naive, err := seq.BuildNaive(input, seq.Options{Sink: &seq.CountingSink{}})
+		if err != nil {
+			return nil, err
+		}
+		eager, err := seq.BuildEager(input, seq.Options{Sink: &seq.CountingSink{}})
+		if err != nil {
+			return nil, err
+		}
+		ordered := core.SortedOrdering(shape).Apply(shape)
+		rows = append(rows, MemoryRow{
+			Shape:         shape,
+			PeakElements:  tree.Stats.PeakResultElements,
+			BoundElements: core.MemoryBoundElements(ordered),
+			NaivePeak:     naive.Stats.PeakResultElements,
+			EagerPeak:     eager.Stats.PeakResultElements,
+		})
+	}
+	return rows, nil
+}
+
+// PrintMemoryTable renders the Theorem 1/2 validation.
+func PrintMemoryTable(w io.Writer, rows []MemoryRow) error {
+	fmt.Fprintln(w, "Theorems 1/2: peak result memory (elements) vs the bound sum_i prod_{j!=i} Dj")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "shape\taggregation tree\tbound\ttight\teager (level-order)\tnaive (one at a time)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%v\t%d\t%d\t%v\t%d\t%d\n",
+			r.Shape, r.PeakElements, r.BoundElements, r.PeakElements == r.BoundElements,
+			r.EagerPeak, r.NaivePeak)
+	}
+	return tw.Flush()
+}
+
+// VolumeRow is one (shape, partition) communication-volume cross-check.
+type VolumeRow struct {
+	Shape    nd.Shape
+	K        []int
+	Measured int64
+	Theory   int64
+}
+
+// RunVolumeTable verifies Lemma 1 / Theorem 3: the transport-measured
+// communication volume equals the closed form, across shapes and
+// partitions (including non-divisible extents).
+func RunVolumeTable(cfg Config) ([]VolumeRow, error) {
+	cases := []struct {
+		shape nd.Shape
+		k     []int
+	}{
+		{nd.MustShape(16, 16, 16), []int{1, 1, 1}},
+		{nd.MustShape(16, 16, 16), []int{3, 0, 0}},
+		{nd.MustShape(24, 12, 6), []int{2, 1, 0}},
+		{nd.MustShape(15, 9, 5), []int{1, 1, 0}},
+		{nd.MustShape(16, 12, 8, 4), []int{1, 1, 1, 1}},
+		{nd.MustShape(16, 12, 8, 4), []int{2, 2, 0, 0}},
+	}
+	var rows []VolumeRow
+	for _, c := range cases {
+		input, err := workload.Generate(workload.Spec{Shape: c.shape, SparsityPercent: 15, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		res, err := parallel.Build(input, parallel.Options{K: c.k})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, VolumeRow{
+			Shape:    c.shape,
+			K:        c.k,
+			Measured: res.Stats.MeasuredVolumeElements,
+			Theory:   res.Stats.TheoreticalVolumeElements,
+		})
+	}
+	return rows, nil
+}
+
+// PrintVolumeTable renders the Theorem 3 cross-check.
+func PrintVolumeTable(w io.Writer, rows []VolumeRow) error {
+	fmt.Fprintln(w, "Lemma 1 / Theorem 3: measured communication volume vs closed form (elements)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "shape\tpartition k\tmeasured\tclosed form\texact")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%v\t%v\t%d\t%d\t%v\n", r.Shape, r.K, r.Measured, r.Theory, r.Measured == r.Theory)
+	}
+	return tw.Flush()
+}
+
+// OrderingRow is one ordering's costs for the Theorem 6/7 table.
+type OrderingRow struct {
+	Ordering    []int
+	Sorted      bool
+	CommVolume  int64
+	ComputeCost int64
+}
+
+// RunOrderingTable enumerates all orderings of a 4-D shape and reports
+// communication volume (with the per-ordering optimal partition) and
+// computation cost — Theorems 6 and 7 predict the descending-size ordering
+// minimizes both.
+func RunOrderingTable(cfg Config) ([]OrderingRow, nd.Shape, error) {
+	shape := nd.MustShape(64, 32, 16, 8)
+	const logP = 4
+	var rows []OrderingRow
+	var err error
+	theory.Permutations(shape.Rank(), func(perm []int) {
+		if err != nil {
+			return
+		}
+		ordering := core.Ordering(append([]int(nil), perm...))
+		vol, _, verr := theory.VolumeForOrdering(shape, ordering, logP)
+		if verr != nil {
+			err = verr
+			return
+		}
+		ordered := ordering.Apply(shape)
+		rows = append(rows, OrderingRow{
+			Ordering:    ordering,
+			Sorted:      ordered.SortedDescending(),
+			CommVolume:  vol,
+			ComputeCost: theory.ComputationCost(ordered),
+		})
+	})
+	return rows, shape, err
+}
+
+// PrintOrderingTable renders the Theorem 6/7 table, flagging the sorted
+// ordering.
+func PrintOrderingTable(w io.Writer, shape nd.Shape, rows []OrderingRow) error {
+	fmt.Fprintf(w, "Theorems 6/7: all orderings of %v on 16 processors\n", shape)
+	var bestVol, bestCost int64 = -1, -1
+	for _, r := range rows {
+		if bestVol < 0 || r.CommVolume < bestVol {
+			bestVol = r.CommVolume
+		}
+		if bestCost < 0 || r.ComputeCost < bestCost {
+			bestCost = r.ComputeCost
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ordering\tsorted desc\tcomm volume\tcompute cost\tboth minimal")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%v\t%v\t%d\t%d\t%v\n", r.Ordering, r.Sorted, r.CommVolume, r.ComputeCost,
+			r.CommVolume == bestVol && r.ComputeCost == bestCost)
+	}
+	return tw.Flush()
+}
+
+// PartitionRow is one (shape, processors) greedy-vs-exhaustive comparison.
+type PartitionRow struct {
+	Shape   nd.Shape
+	LogP    int
+	GreedyK []int
+	GreedyV int64
+	BestV   int64
+}
+
+// RunPartitionTable verifies Theorem 8: the Figure 6 greedy partition
+// matches the exhaustive optimum.
+func RunPartitionTable(cfg Config) ([]PartitionRow, error) {
+	cases := []struct {
+		shape nd.Shape
+		logP  int
+	}{
+		{nd.MustShape(64, 64, 64, 64), 3},
+		{nd.MustShape(64, 64, 64, 64), 4},
+		{nd.MustShape(128, 64, 32, 16), 5},
+		{nd.MustShape(1024, 64, 4), 6},
+		{nd.MustShape(100, 90, 80), 4},
+	}
+	var rows []PartitionRow
+	for _, c := range cases {
+		k, err := theory.GreedyPartition(c.shape, c.logP)
+		if err != nil {
+			return nil, err
+		}
+		_, bestV, err := theory.OptimalPartitionExhaustive(c.shape, c.logP)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, PartitionRow{
+			Shape:   c.shape,
+			LogP:    c.logP,
+			GreedyK: k,
+			GreedyV: theory.TotalVolumeClosedForm(c.shape, k),
+			BestV:   bestV,
+		})
+	}
+	return rows, nil
+}
+
+// PrintPartitionTable renders the Theorem 8 validation.
+func PrintPartitionTable(w io.Writer, rows []PartitionRow) error {
+	fmt.Fprintln(w, "Theorem 8: greedy partition (Figure 6) vs exhaustive optimum")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "shape\tprocs\tgreedy k\tgreedy volume\toptimal volume\toptimal")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%v\t%d\t%v\t%d\t%d\t%v\n",
+			r.Shape, 1<<uint(r.LogP), r.GreedyK, r.GreedyV, r.BestV, r.GreedyV == r.BestV)
+	}
+	return tw.Flush()
+}
+
+// PrintSection2 reproduces the Section 2 worked example: single-dimension
+// partitioning volumes on a 3-D array.
+func PrintSection2(w io.Writer) error {
+	shape := nd.MustShape(64, 32, 16) // |A| >= |B| >= |C| in position space
+	fmt.Fprintf(w, "Section 2 example: first-level volumes, %v on 8 processors, single-dimension partitions\n", shape)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "partitioned dimension\ttotal comm volume (elements)")
+	names := lattice.DefaultNames(3)
+	for j := 0; j < 3; j++ {
+		fmt.Fprintf(tw, "%s (size %d)\t%d\n", names[j], shape[j], theory.SingleDimVolume(shape, j, 3))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Partitioning along the largest dimension minimizes the volume, as in the paper.")
+	return nil
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"parcube/internal/cluster"
+	"parcube/internal/parallel"
+	"parcube/internal/workload"
+)
+
+// TilingRow is one tiling configuration of the tradeoff table.
+type TilingRow struct {
+	Tiles           string
+	MakespanSec     float64
+	CommElements    int64
+	MaxPeakElements int64
+}
+
+// RunTilingTable (T2, extension) quantifies the tiled parallel build's
+// tradeoff on the Figure 7 dataset with the 3-D partition: more tiles
+// shrink every processor's Theorem 4 working set but pay extra
+// communication (each tile runs its own reductions) and extra makespan.
+func RunTilingTable(cfg Config) ([]TilingRow, error) {
+	shape := workload.Fig7Shape(cfg.Full)
+	input, err := workload.Generate(workload.Spec{
+		Shape:           shape,
+		SparsityPercent: 10,
+		Seed:            cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	opts := parallel.Options{
+		K:       []int{1, 1, 1, 0},
+		Network: cluster.Cluster2003(),
+		Compute: cluster.UltraII(),
+	}
+	var rows []TilingRow
+	whole, err := parallel.Build(input, opts)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, TilingRow{
+		Tiles:           "1 (untiled)",
+		MakespanSec:     whole.Stats.MakespanSec,
+		CommElements:    whole.Stats.MeasuredVolumeElements,
+		MaxPeakElements: whole.Stats.MaxPeakElements,
+	})
+	for _, tiles := range [][]int{{2, 1, 1, 1}, {2, 2, 1, 1}, {2, 2, 2, 1}} {
+		res, err := parallel.BuildTiled(input, tiles, opts)
+		if err != nil {
+			return nil, err
+		}
+		n := 1
+		for _, tc := range tiles {
+			n *= tc
+		}
+		rows = append(rows, TilingRow{
+			Tiles:           fmt.Sprintf("%d %v", n, tiles),
+			MakespanSec:     res.Stats.MakespanSec,
+			CommElements:    res.Stats.CommElements,
+			MaxPeakElements: res.Stats.MaxPeakElements,
+		})
+	}
+	return rows, nil
+}
+
+// PrintTilingTable renders T2.
+func PrintTilingTable(w io.Writer, rows []TilingRow) error {
+	fmt.Fprintln(w, "Tiling tradeoff T2 (extension): 3-D partition, 8 processors, 10% sparsity")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "tiles\ttime(s)\tcomm(elems)\tper-proc peak (elems)")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.4f\t%d\t%d\n", r.Tiles, r.MakespanSec, r.CommElements, r.MaxPeakElements)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "More tiles: smaller working set per processor, more communication and time —")
+	fmt.Fprintln(w, "the scaling lever when the Theorem 4 bound exceeds a node's memory.")
+	return nil
+}

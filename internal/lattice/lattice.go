@@ -1,0 +1,171 @@
+// Package lattice models the data-cube lattice (Figure 1 of the paper): one
+// node per subset of dimensions, with edges from each group-by to the
+// group-bys it can be computed from. It also provides spanning trees of the
+// lattice — the minimal-parent tree the paper's Theorem 7 characterizes and
+// a naive root-fan baseline — and their computation-cost accounting.
+package lattice
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"parcube/internal/nd"
+)
+
+// MaxDims bounds the cube dimensionality; 2^n lattice nodes must stay
+// enumerable.
+const MaxDims = 20
+
+// DimSet is a set of retained dimensions encoded as a bitmask: bit i set
+// means dimension i survives in the group-by. The full set is the original
+// array; the empty set is the grand total ("all" in the paper).
+type DimSet uint32
+
+// Full returns the set of all n dimensions.
+func Full(n int) DimSet { return DimSet(1<<uint(n)) - 1 }
+
+// Has reports whether dimension i is in the set.
+func (s DimSet) Has(i int) bool { return s&(1<<uint(i)) != 0 }
+
+// With returns the set with dimension i added.
+func (s DimSet) With(i int) DimSet { return s | 1<<uint(i) }
+
+// Without returns the set with dimension i removed.
+func (s DimSet) Without(i int) DimSet { return s &^ (1 << uint(i)) }
+
+// Count returns the number of dimensions in the set.
+func (s DimSet) Count() int { return bits.OnesCount32(uint32(s)) }
+
+// Dims returns the member dimensions in ascending order.
+func (s DimSet) Dims() []int {
+	out := make([]int, 0, s.Count())
+	for s != 0 {
+		i := bits.TrailingZeros32(uint32(s))
+		out = append(out, i)
+		s = s.Without(i)
+	}
+	return out
+}
+
+// Complement returns the set of dimensions NOT in s, within an n-dimensional
+// universe. This is the prefix-tree ↔ aggregation-tree correspondence of
+// Definition 3.
+func (s DimSet) Complement(n int) DimSet { return Full(n) &^ s }
+
+// Label renders the set using the given dimension names, e.g. "AB"; the
+// empty set renders as "all".
+func (s DimSet) Label(names []string) string {
+	if s == 0 {
+		return "all"
+	}
+	var b strings.Builder
+	for _, d := range s.Dims() {
+		if d < len(names) {
+			b.WriteString(names[d])
+		} else {
+			fmt.Fprintf(&b, "[%d]", d)
+		}
+	}
+	return b.String()
+}
+
+// DefaultNames returns single-letter dimension names A, B, C, ...
+func DefaultNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = string(rune('A' + i))
+	}
+	return names
+}
+
+// Lattice is the data-cube lattice over an n-dimensional array with the
+// given dimension sizes.
+type Lattice struct {
+	n     int
+	sizes nd.Shape
+}
+
+// New builds the lattice for the given dimension sizes.
+func New(sizes nd.Shape) (*Lattice, error) {
+	if sizes.Rank() < 1 || sizes.Rank() > MaxDims {
+		return nil, fmt.Errorf("lattice: rank %d outside [1,%d]", sizes.Rank(), MaxDims)
+	}
+	return &Lattice{n: sizes.Rank(), sizes: sizes.Clone()}, nil
+}
+
+// N returns the number of dimensions.
+func (l *Lattice) N() int { return l.n }
+
+// Sizes returns the dimension sizes.
+func (l *Lattice) Sizes() nd.Shape { return l.sizes }
+
+// Nodes returns every group-by, ordered by descending dimension count and
+// ascending mask within a level (root first, grand total last).
+func (l *Lattice) Nodes() []DimSet {
+	out := make([]DimSet, 0, 1<<uint(l.n))
+	for m := DimSet(0); m <= Full(l.n); m++ {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ci, cj := out[i].Count(), out[j].Count()
+		if ci != cj {
+			return ci > cj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// SizeOf returns the number of cells of the group-by: the product of the
+// retained dimension sizes (1 for the grand total).
+func (l *Lattice) SizeOf(s DimSet) int64 {
+	size := int64(1)
+	for _, d := range s.Dims() {
+		size *= int64(l.sizes[d])
+	}
+	return size
+}
+
+// Parents returns the group-bys s can be aggregated from: s plus one
+// dimension, in ascending order of the added dimension.
+func (l *Lattice) Parents(s DimSet) []DimSet {
+	var out []DimSet
+	for d := 0; d < l.n; d++ {
+		if !s.Has(d) {
+			out = append(out, s.With(d))
+		}
+	}
+	return out
+}
+
+// Children returns the group-bys computable from s in one aggregation: s
+// minus one dimension, in ascending order of the removed dimension.
+func (l *Lattice) Children(s DimSet) []DimSet {
+	var out []DimSet
+	for _, d := range s.Dims() {
+		out = append(out, s.Without(d))
+	}
+	return out
+}
+
+// MinimalParent returns the cheapest parent of s: the one adding the
+// dimension with the smallest size (ties broken by the lowest dimension
+// index). Aggregating from a parent costs one pass over the parent, so the
+// smallest parent minimizes computation ("using minimal parents", §1).
+func (l *Lattice) MinimalParent(s DimSet) DimSet {
+	if s == Full(l.n) {
+		panic("lattice: the original array has no parent")
+	}
+	best := -1
+	for d := 0; d < l.n; d++ {
+		if s.Has(d) {
+			continue
+		}
+		if best == -1 || l.sizes[d] < l.sizes[best] {
+			best = d
+		}
+	}
+	return s.With(best)
+}

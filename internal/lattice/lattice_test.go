@@ -1,0 +1,236 @@
+package lattice
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parcube/internal/nd"
+)
+
+func TestDimSetBasics(t *testing.T) {
+	s := DimSet(0).With(0).With(2)
+	if !s.Has(0) || s.Has(1) || !s.Has(2) {
+		t.Fatalf("membership wrong: %b", s)
+	}
+	if s.Count() != 2 {
+		t.Fatalf("Count = %d", s.Count())
+	}
+	d := s.Dims()
+	if len(d) != 2 || d[0] != 0 || d[1] != 2 {
+		t.Fatalf("Dims = %v", d)
+	}
+	if s.Without(0) != DimSet(0).With(2) {
+		t.Fatal("Without wrong")
+	}
+	if Full(3) != 0b111 {
+		t.Fatalf("Full(3) = %b", Full(3))
+	}
+	if s.Complement(3) != DimSet(0).With(1) {
+		t.Fatalf("Complement = %b", s.Complement(3))
+	}
+}
+
+func TestLabels(t *testing.T) {
+	names := DefaultNames(3)
+	if names[0] != "A" || names[2] != "C" {
+		t.Fatalf("DefaultNames = %v", names)
+	}
+	if got := (DimSet(0b101)).Label(names); got != "AC" {
+		t.Fatalf("Label = %q", got)
+	}
+	if got := DimSet(0).Label(names); got != "all" {
+		t.Fatalf("empty Label = %q", got)
+	}
+	if got := (DimSet(0b1000)).Label(names); got != "[3]" {
+		t.Fatalf("out-of-names Label = %q", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nd.Shape{}); err == nil {
+		t.Fatal("rank 0 accepted")
+	}
+	big := make(nd.Shape, MaxDims+1)
+	for i := range big {
+		big[i] = 2
+	}
+	if _, err := New(big); err == nil {
+		t.Fatal("over-rank accepted")
+	}
+}
+
+func mustLattice(t *testing.T, sizes ...int) *Lattice {
+	t.Helper()
+	l, err := New(nd.MustShape(sizes...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestNodesOrdering(t *testing.T) {
+	l := mustLattice(t, 4, 3, 2)
+	nodes := l.Nodes()
+	if len(nodes) != 8 {
+		t.Fatalf("|Nodes| = %d", len(nodes))
+	}
+	if nodes[0] != Full(3) {
+		t.Fatalf("first node = %b", nodes[0])
+	}
+	if nodes[len(nodes)-1] != 0 {
+		t.Fatalf("last node = %b", nodes[len(nodes)-1])
+	}
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i].Count() > nodes[i-1].Count() {
+			t.Fatalf("nodes not level-ordered at %d", i)
+		}
+	}
+}
+
+func TestSizeOf(t *testing.T) {
+	l := mustLattice(t, 4, 3, 2)
+	if l.SizeOf(Full(3)) != 24 {
+		t.Fatalf("SizeOf(ABC) = %d", l.SizeOf(Full(3)))
+	}
+	if l.SizeOf(DimSet(0b011)) != 12 { // AB
+		t.Fatalf("SizeOf(AB) = %d", l.SizeOf(0b011))
+	}
+	if l.SizeOf(0) != 1 {
+		t.Fatalf("SizeOf(all) = %d", l.SizeOf(0))
+	}
+}
+
+func TestParentsChildren(t *testing.T) {
+	l := mustLattice(t, 4, 3, 2)
+	a := DimSet(0b001) // {A}
+	ps := l.Parents(a)
+	if len(ps) != 2 || ps[0] != 0b011 || ps[1] != 0b101 {
+		t.Fatalf("Parents(A) = %v", ps)
+	}
+	cs := l.Children(DimSet(0b011))
+	if len(cs) != 2 || cs[0] != 0b010 || cs[1] != 0b001 {
+		t.Fatalf("Children(AB) = %v", cs)
+	}
+	if got := l.Children(DimSet(0)); got != nil {
+		t.Fatalf("Children(all) = %v", got)
+	}
+}
+
+func TestMinimalParent(t *testing.T) {
+	// Paper §2: with |B| < |C|, A's minimal parent is AB.
+	l := mustLattice(t, 8, 2, 4) // A=8, B=2, C=4
+	a := DimSet(0b001)
+	if got := l.MinimalParent(a); got != 0b011 {
+		t.Fatalf("MinimalParent(A) = %b, want AB", got)
+	}
+	// Ties break toward the lower dimension index.
+	l2 := mustLattice(t, 8, 4, 4)
+	if got := l2.MinimalParent(DimSet(0b001)); got != 0b011 {
+		t.Fatalf("tied MinimalParent = %b", got)
+	}
+}
+
+func TestMinimalParentPanicsOnRoot(t *testing.T) {
+	l := mustLattice(t, 2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	l.MinimalParent(Full(2))
+}
+
+func TestMinimalParentTreeValidatesAndCost(t *testing.T) {
+	l := mustLattice(t, 4, 3, 2) // sorted descending
+	mt := MinimalParentTree(l)
+	if err := mt.Validate(); err != nil {
+		t.Fatalf("minimal tree invalid: %v", err)
+	}
+	// Cost: AB,AC,BC from ABC (24*3); A,B from smallest 2-D parents; C
+	// likewise; all from smallest 1-D.
+	// Minimal parents with sizes A=4,B=3,C=2:
+	//  AB<-ABC(24) AC<-ABC(24) BC<-ABC(24)
+	//  A<-AC(8,C smallest) B<-BC(6) C<-BC(6)
+	//  all<-C(2)
+	want := int64(24+24+24) + 8 + 6 + 6 + 2
+	if got := mt.ComputationCost(l); got != want {
+		t.Fatalf("cost = %d, want %d", got, want)
+	}
+}
+
+func TestRootFanTreeCostsMore(t *testing.T) {
+	l := mustLattice(t, 4, 3, 2)
+	naive := RootFanTree(l)
+	minimal := MinimalParentTree(l)
+	if naive.ComputationCost(l) <= minimal.ComputationCost(l) {
+		t.Fatalf("naive %d not worse than minimal %d",
+			naive.ComputationCost(l), minimal.ComputationCost(l))
+	}
+	// The root fan is not a lattice-edge tree and must fail validation.
+	if err := naive.Validate(); err == nil {
+		t.Fatal("root fan validated as lattice-edge tree")
+	}
+}
+
+func TestValidateDetectsMissingAndBadEdges(t *testing.T) {
+	st := NewSpanningTree(2)
+	if err := st.Validate(); err == nil {
+		t.Fatal("empty tree validated")
+	}
+	st.SetParent(0b00, 0b01)
+	st.SetParent(0b01, 0b11)
+	st.SetParent(0b10, 0b01) // not a superset: invalid edge
+	if err := st.Validate(); err == nil {
+		t.Fatal("bad edge validated")
+	}
+}
+
+func TestChildrenOf(t *testing.T) {
+	l := mustLattice(t, 4, 3, 2)
+	mt := MinimalParentTree(l)
+	kids := mt.ChildrenOf(Full(3))
+	if len(kids) != 3 {
+		t.Fatalf("root children = %v", kids)
+	}
+}
+
+// Property: for random sizes, every node's minimal parent has the smallest
+// size among all its parents.
+func TestQuickMinimalParentIsSmallest(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		l := mustLatticeQuick(int(a%9)+1, int(b%9)+1, int(c%9)+1, int(d%9)+1)
+		for s := DimSet(0); s < Full(4); s++ {
+			mp := l.MinimalParent(s)
+			for _, p := range l.Parents(s) {
+				if l.SizeOf(p) < l.SizeOf(mp) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustLatticeQuick(sizes ...int) *Lattice {
+	l, err := New(nd.MustShape(sizes...))
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Property: complementation is an involution and partitions the universe.
+func TestQuickComplement(t *testing.T) {
+	f := func(m uint16) bool {
+		n := 12
+		s := DimSet(m) & Full(n)
+		c := s.Complement(n)
+		return c.Complement(n) == s && s&c == 0 && s|c == Full(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

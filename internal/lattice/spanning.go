@@ -1,0 +1,104 @@
+package lattice
+
+import "fmt"
+
+// SpanningTree assigns every group-by except the original array a parent it
+// is computed from. A cube construction algorithm corresponds to a choice
+// of spanning tree plus a traversal discipline.
+type SpanningTree struct {
+	n      int
+	parent map[DimSet]DimSet
+}
+
+// NewSpanningTree returns an empty spanning tree over n dimensions.
+func NewSpanningTree(n int) *SpanningTree {
+	return &SpanningTree{n: n, parent: make(map[DimSet]DimSet, 1<<uint(n))}
+}
+
+// N returns the number of dimensions.
+func (t *SpanningTree) N() int { return t.n }
+
+// SetParent records that node s is computed from parent p.
+func (t *SpanningTree) SetParent(s, p DimSet) { t.parent[s] = p }
+
+// Parent returns the parent of s; the original array has no parent
+// (ok == false).
+func (t *SpanningTree) Parent(s DimSet) (DimSet, bool) {
+	p, ok := t.parent[s]
+	return p, ok
+}
+
+// ChildrenOf returns the nodes computed from p, in ascending mask order.
+func (t *SpanningTree) ChildrenOf(p DimSet) []DimSet {
+	var out []DimSet
+	for s := DimSet(0); s < Full(t.n); s++ {
+		if sp, ok := t.parent[s]; ok && sp == p {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Validate checks that the tree spans the lattice: every node except the
+// root has a parent that is a true lattice parent (one extra dimension) and
+// every node reaches the root.
+func (t *SpanningTree) Validate() error {
+	root := Full(t.n)
+	for s := DimSet(0); s < root; s++ {
+		p, ok := t.parent[s]
+		if !ok {
+			return fmt.Errorf("lattice: node %b has no parent", s)
+		}
+		if p.Count() != s.Count()+1 || p&s != s {
+			return fmt.Errorf("lattice: %b -> %b is not a lattice edge", p, s)
+		}
+	}
+	if _, ok := t.parent[root]; ok {
+		return fmt.Errorf("lattice: root has a parent")
+	}
+	for s := DimSet(0); s < root; s++ {
+		cur, steps := s, 0
+		for cur != root {
+			next, ok := t.parent[cur]
+			if !ok || steps > t.n {
+				return fmt.Errorf("lattice: node %b does not reach the root", s)
+			}
+			cur, steps = next, steps+1
+		}
+	}
+	return nil
+}
+
+// ComputationCost returns the total number of accumulator updates to build
+// the cube with this tree: computing a child costs one update per parent
+// cell, so the cost is the sum of parent sizes over all edges.
+func (t *SpanningTree) ComputationCost(l *Lattice) int64 {
+	var total int64
+	for s := DimSet(0); s < Full(t.n); s++ {
+		total += l.SizeOf(t.parent[s])
+	}
+	return total
+}
+
+// MinimalParentTree returns the spanning tree in which every node is
+// computed from its minimal parent — the computation-optimal tree
+// (Theorem 7 shows the aggregation tree coincides with it exactly when
+// sizes are ordered D1 >= D2 >= ... >= Dn).
+func MinimalParentTree(l *Lattice) *SpanningTree {
+	t := NewSpanningTree(l.n)
+	for s := DimSet(0); s < Full(l.n); s++ {
+		t.SetParent(s, l.MinimalParent(s))
+	}
+	return t
+}
+
+// RootFanTree returns the naive spanning tree computing every group-by
+// directly from the original array — the maximal-computation baseline.
+func RootFanTree(l *Lattice) *SpanningTree {
+	t := NewSpanningTree(l.n)
+	root := Full(l.n)
+	for s := DimSet(0); s < root; s++ {
+		t.SetParent(s, root)
+	}
+	return t
+}

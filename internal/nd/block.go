@@ -1,0 +1,145 @@
+package nd
+
+import "fmt"
+
+// Block is an axis-aligned sub-box of an n-dimensional array: along each
+// axis it covers indices [Lo[i], Hi[i]).
+type Block struct {
+	Lo []int
+	Hi []int
+}
+
+// NewBlock returns the block covering [lo, hi) per axis.
+func NewBlock(lo, hi []int) Block {
+	l := make([]int, len(lo))
+	h := make([]int, len(hi))
+	copy(l, lo)
+	copy(h, hi)
+	return Block{Lo: l, Hi: h}
+}
+
+// FullBlock returns the block covering the entire shape.
+func FullBlock(s Shape) Block {
+	lo := make([]int, s.Rank())
+	hi := make([]int, s.Rank())
+	copy(hi, s)
+	return Block{Lo: lo, Hi: hi}
+}
+
+// Rank returns the dimensionality of the block.
+func (b Block) Rank() int { return len(b.Lo) }
+
+// Shape returns the extents of the block.
+func (b Block) Shape() Shape {
+	s := make(Shape, len(b.Lo))
+	for i := range b.Lo {
+		s[i] = b.Hi[i] - b.Lo[i]
+	}
+	return s
+}
+
+// Size returns the number of elements in the block.
+func (b Block) Size() int {
+	n := 1
+	for i := range b.Lo {
+		n *= b.Hi[i] - b.Lo[i]
+	}
+	return n
+}
+
+// Empty reports whether any axis has zero (or negative) extent.
+func (b Block) Empty() bool {
+	for i := range b.Lo {
+		if b.Hi[i] <= b.Lo[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether global coords lie inside the block.
+func (b Block) Contains(coords []int) bool {
+	if len(coords) != len(b.Lo) {
+		return false
+	}
+	for i, c := range coords {
+		if c < b.Lo[i] || c >= b.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the block as, e.g., "[0:32,16:32]".
+func (b Block) String() string {
+	out := "["
+	for i := range b.Lo {
+		if i > 0 {
+			out += ","
+		}
+		out += fmt.Sprintf("%d:%d", b.Lo[i], b.Hi[i])
+	}
+	return out + "]"
+}
+
+// BlockOf returns the sub-block owned by the processor at grid coordinates
+// grid (grid[i] in [0, parts[i])) when shape s is block-partitioned into
+// parts[i] nearly-equal pieces along each axis. Remainder elements are
+// spread over the leading pieces, so piece sizes differ by at most one.
+func BlockOf(s Shape, parts []int, grid []int) (Block, error) {
+	if len(parts) != s.Rank() || len(grid) != s.Rank() {
+		return Block{}, fmt.Errorf("nd: parts/grid rank mismatch with shape %v", s)
+	}
+	lo := make([]int, s.Rank())
+	hi := make([]int, s.Rank())
+	for i := range parts {
+		p, g := parts[i], grid[i]
+		if p < 1 || p > s[i] {
+			return Block{}, fmt.Errorf("nd: axis %d of extent %d cannot be split into %d parts", i, s[i], p)
+		}
+		if g < 0 || g >= p {
+			return Block{}, fmt.Errorf("nd: grid coordinate %d out of range [0,%d) on axis %d", g, p, i)
+		}
+		base := s[i] / p
+		rem := s[i] % p
+		if g < rem {
+			lo[i] = g * (base + 1)
+			hi[i] = lo[i] + base + 1
+		} else {
+			lo[i] = rem*(base+1) + (g-rem)*base
+			hi[i] = lo[i] + base
+		}
+	}
+	return Block{Lo: lo, Hi: hi}, nil
+}
+
+// Iter calls fn with every global coordinate in the block, in row-major
+// order. The coords slice is reused between calls; fn must not retain it.
+func (b Block) Iter(fn func(coords []int)) {
+	n := b.Rank()
+	if n == 0 {
+		fn(nil)
+		return
+	}
+	coords := make([]int, n)
+	copy(coords, b.Lo)
+	for i := range coords {
+		if b.Hi[i] <= b.Lo[i] {
+			return
+		}
+	}
+	for {
+		fn(coords)
+		i := n - 1
+		for ; i >= 0; i-- {
+			coords[i]++
+			if coords[i] < b.Hi[i] {
+				break
+			}
+			coords[i] = b.Lo[i]
+		}
+		if i < 0 {
+			return
+		}
+	}
+}

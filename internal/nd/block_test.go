@@ -1,0 +1,173 @@
+package nd
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFullBlock(t *testing.T) {
+	s := MustShape(4, 6)
+	b := FullBlock(s)
+	if !b.Shape().Equal(s) {
+		t.Fatalf("FullBlock shape = %v", b.Shape())
+	}
+	if b.Size() != 24 {
+		t.Fatalf("Size = %d", b.Size())
+	}
+	if b.Empty() {
+		t.Fatal("full block reported empty")
+	}
+}
+
+func TestBlockOfPartitionIsExact(t *testing.T) {
+	// Every element must be covered exactly once by the union of blocks.
+	s := MustShape(10, 7, 4)
+	parts := []int{4, 2, 3}
+	seen := make([]int, s.Size())
+	grid := make([]int, 3)
+	var walk func(axis int)
+	walk = func(axis int) {
+		if axis == 3 {
+			b, err := BlockOf(s, parts, grid)
+			if err != nil {
+				t.Fatalf("BlockOf(%v): %v", grid, err)
+			}
+			b.Iter(func(coords []int) {
+				seen[s.Offset(coords)]++
+			})
+			return
+		}
+		for g := 0; g < parts[axis]; g++ {
+			grid[axis] = g
+			walk(axis + 1)
+		}
+	}
+	walk(0)
+	for off, n := range seen {
+		if n != 1 {
+			t.Fatalf("offset %d covered %d times", off, n)
+		}
+	}
+}
+
+func TestBlockOfBalance(t *testing.T) {
+	// Piece sizes along one axis differ by at most one.
+	s := MustShape(13)
+	sizes := make([]int, 4)
+	for g := 0; g < 4; g++ {
+		b, err := BlockOf(s, []int{4}, []int{g})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[g] = b.Size()
+	}
+	min, max := sizes[0], sizes[0]
+	total := 0
+	for _, n := range sizes {
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+		total += n
+	}
+	if total != 13 || max-min > 1 {
+		t.Fatalf("piece sizes %v", sizes)
+	}
+}
+
+func TestBlockOfErrors(t *testing.T) {
+	s := MustShape(4, 4)
+	if _, err := BlockOf(s, []int{2}, []int{0, 0}); err == nil {
+		t.Fatal("rank mismatch accepted")
+	}
+	if _, err := BlockOf(s, []int{8, 1}, []int{0, 0}); err == nil {
+		t.Fatal("over-split accepted")
+	}
+	if _, err := BlockOf(s, []int{2, 2}, []int{2, 0}); err == nil {
+		t.Fatal("out-of-range grid coordinate accepted")
+	}
+}
+
+func TestBlockIterOrderAndContains(t *testing.T) {
+	b := NewBlock([]int{1, 2}, []int{3, 4})
+	var visited [][]int
+	b.Iter(func(c []int) {
+		cp := make([]int, len(c))
+		copy(cp, c)
+		visited = append(visited, cp)
+	})
+	want := [][]int{{1, 2}, {1, 3}, {2, 2}, {2, 3}}
+	if len(visited) != len(want) {
+		t.Fatalf("visited %d coords, want %d", len(visited), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if visited[i][j] != want[i][j] {
+				t.Fatalf("visit %d = %v, want %v", i, visited[i], want[i])
+			}
+		}
+		if !b.Contains(visited[i]) {
+			t.Fatalf("visited coord %v not contained", visited[i])
+		}
+	}
+	if b.Contains([]int{0, 2}) || b.Contains([]int{1, 4}) {
+		t.Fatal("Contains accepts outside coords")
+	}
+}
+
+func TestEmptyBlockIter(t *testing.T) {
+	b := NewBlock([]int{2, 0}, []int{2, 5})
+	if !b.Empty() {
+		t.Fatal("degenerate block not empty")
+	}
+	count := 0
+	b.Iter(func([]int) { count++ })
+	if count != 0 {
+		t.Fatalf("empty block iterated %d coords", count)
+	}
+}
+
+func TestScalarBlockIter(t *testing.T) {
+	b := NewBlock(nil, nil)
+	count := 0
+	b.Iter(func(c []int) {
+		if len(c) != 0 {
+			t.Fatalf("scalar coords = %v", c)
+		}
+		count++
+	})
+	if count != 1 {
+		t.Fatalf("scalar block iterated %d times, want 1", count)
+	}
+}
+
+// Property: for random shapes and splits, blocks tile the array exactly.
+func TestQuickBlockTiling(t *testing.T) {
+	f := func(e1, e2, p1, p2 uint8) bool {
+		s := MustShape(int(e1%12)+1, int(e2%12)+1)
+		parts := []int{int(p1)%s[0] + 1, int(p2)%s[1] + 1}
+		covered := 0
+		for g0 := 0; g0 < parts[0]; g0++ {
+			for g1 := 0; g1 < parts[1]; g1++ {
+				b, err := BlockOf(s, parts, []int{g0, g1})
+				if err != nil {
+					return false
+				}
+				covered += b.Size()
+			}
+		}
+		return covered == s.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockString(t *testing.T) {
+	b := NewBlock([]int{0, 3}, []int{2, 7})
+	if got := b.String(); got != "[0:2,3:7]" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,14 @@
+package nd
+
+// PieceOf returns which of the `parts` balanced pieces of an axis of the
+// given extent contains coordinate c — the inverse of BlockOf along one
+// axis. Remainder elements belong to the leading pieces, matching BlockOf.
+func PieceOf(extent, parts, c int) int {
+	base := extent / parts
+	rem := extent % parts
+	cut := rem * (base + 1)
+	if c < cut {
+		return c / (base + 1)
+	}
+	return rem + (c-cut)/base
+}

@@ -1,0 +1,45 @@
+package parallel
+
+import (
+	"fmt"
+	"testing"
+
+	"parcube/internal/cluster"
+	"parcube/internal/nd"
+)
+
+// BenchmarkParallelBuild measures the full simulated parallel construction
+// (partitioning, local scans, reductions, assembly) at several machine
+// sizes over a fixed 4-D input.
+func BenchmarkParallelBuild(b *testing.B) {
+	input := randomSparse(b, nd.MustShape(24, 24, 24, 24), 30000, 1)
+	for _, logP := range []int{0, 2, 3, 4} {
+		b.Run(fmt.Sprintf("procs=%d", 1<<uint(logP)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Build(input, Options{
+					LogProcs: logP,
+					Network:  cluster.Cluster2003(),
+					Compute:  cluster.UltraII(),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPartitionInput measures the single-pass input scatter.
+func BenchmarkPartitionInput(b *testing.B) {
+	input := randomSparse(b, nd.MustShape(32, 32, 32), 50000, 2)
+	grid, err := cluster.NewGrid([]int{2, 2, 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(input.NNZ()) * 12)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := PartitionInput(input, grid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

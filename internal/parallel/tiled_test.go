@@ -1,0 +1,124 @@
+package parallel
+
+import (
+	"errors"
+	"testing"
+
+	"parcube/internal/agg"
+	"parcube/internal/comm"
+	"parcube/internal/lattice"
+	"parcube/internal/nd"
+	"parcube/internal/seq"
+)
+
+func TestBuildTiledMatchesUntiled(t *testing.T) {
+	input := randomSparse(t, nd.MustShape(16, 12, 8), 200, 71)
+	ref, err := seq.Build(input, seq.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tiles := range [][]int{{1, 1, 1}, {2, 1, 1}, {2, 2, 2}} {
+		res, err := BuildTiled(input, tiles, Options{K: []int{1, 1, 0}})
+		if err != nil {
+			t.Fatalf("tiles %v: %v", tiles, err)
+		}
+		for mask := lattice.DimSet(0); mask < lattice.Full(3); mask++ {
+			got, ok := res.Cube.Get(mask)
+			if !ok {
+				t.Fatalf("tiles %v: group-by %b missing", tiles, mask)
+			}
+			want, _ := ref.Cube.Get(mask)
+			if !got.AlmostEqual(want, 1e-9) {
+				t.Fatalf("tiles %v: group-by %b differs", tiles, mask)
+			}
+		}
+		wantTiles := tiles[0] * tiles[1] * tiles[2]
+		if res.Stats.Tiles != wantTiles {
+			t.Fatalf("tiles = %d, want %d", res.Stats.Tiles, wantTiles)
+		}
+	}
+}
+
+func TestBuildTiledShrinksWorkingSetCostsComm(t *testing.T) {
+	input := randomSparse(t, nd.MustShape(16, 16, 16), 400, 73)
+	k := []int{1, 1, 1}
+	whole, err := Build(input, Options{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiled, err := BuildTiled(input, []int{2, 2, 2}, Options{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiled.Stats.MaxPeakElements >= whole.Stats.MaxPeakElements {
+		t.Fatalf("tiled peak %d not below untiled %d",
+			tiled.Stats.MaxPeakElements, whole.Stats.MaxPeakElements)
+	}
+	if tiled.Stats.CommElements <= whole.Stats.MeasuredVolumeElements {
+		t.Fatalf("tiled comm %d not above untiled %d — the memory/comm tradeoff vanished",
+			tiled.Stats.CommElements, whole.Stats.MeasuredVolumeElements)
+	}
+}
+
+func TestBuildTiledMaxOperator(t *testing.T) {
+	input := randomSparse(t, nd.MustShape(8, 8), 40, 79)
+	ref, _ := seq.Build(input, seq.Options{Op: agg.Max})
+	res, err := BuildTiled(input, []int{2, 2}, Options{Op: agg.Max, K: []int{1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mask := lattice.DimSet(0); mask < lattice.Full(2); mask++ {
+		got, _ := res.Cube.Get(mask)
+		want, _ := ref.Cube.Get(mask)
+		if !got.Equal(want) {
+			t.Fatalf("group-by %b differs", mask)
+		}
+	}
+}
+
+func TestBuildTiledValidation(t *testing.T) {
+	input := randomSparse(t, nd.MustShape(8, 8), 10, 83)
+	if _, err := BuildTiled(input, []int{2}, Options{}); err == nil {
+		t.Fatal("rank mismatch accepted")
+	}
+	if _, err := BuildTiled(input, []int{0, 1}, Options{}); err == nil {
+		t.Fatal("zero tiles accepted")
+	}
+	fab, _ := comm.NewChanFabric(2)
+	defer fab.Close()
+	if _, err := BuildTiled(input, []int{2, 2}, Options{Fabric: fab}); err == nil {
+		t.Fatal("external fabric accepted")
+	}
+}
+
+func TestInjectedFaultSurfacesWithoutHanging(t *testing.T) {
+	input := randomSparse(t, nd.MustShape(8, 8, 8), 100, 89)
+	inner, err := comm.NewChanFabric(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := &comm.FaultyFabric{Inner: inner, FailRank: 3, FailAfter: 0}
+	_, err = Build(input, Options{K: []int{1, 1, 1}, Fabric: faulty})
+	if err == nil {
+		t.Fatal("injected fault did not surface")
+	}
+	if !errors.Is(err, comm.ErrInjected) {
+		t.Fatalf("fault surfaced as %v, want the injected root cause", err)
+	}
+}
+
+func TestInjectedLateFaultAlsoSurfaces(t *testing.T) {
+	input := randomSparse(t, nd.MustShape(8, 8, 8), 100, 97)
+	inner, err := comm.NewChanFabric(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 1 (label 0,0,1) sends four times across the recursion levels:
+	// let two through, fail the third (mid-build, inside the lead
+	// sub-grid).
+	faulty := &comm.FaultyFabric{Inner: inner, FailRank: 1, FailAfter: 2}
+	_, err = Build(input, Options{K: []int{1, 1, 1}, Fabric: faulty})
+	if err == nil {
+		t.Fatal("late fault did not surface")
+	}
+}

@@ -1,0 +1,122 @@
+package seq
+
+import (
+	"fmt"
+	"time"
+
+	"parcube/internal/agg"
+	"parcube/internal/array"
+	"parcube/internal/lattice"
+)
+
+// BuildNaive constructs the cube by computing every group-by directly from
+// the initial array — the no-reuse baseline from the paper's Section 1
+// discussion ("avoid reading ABC several times"). It scans the input
+// 2^n - 1 times and performs one update per stored input cell per group-by,
+// but holds only one result at a time.
+func BuildNaive(input *array.Sparse, opts Options) (*Result, error) {
+	n := input.Shape().Rank()
+	if opts.Op != agg.Sum && !opts.Op.Valid() {
+		return nil, fmt.Errorf("seq: invalid operator %v", opts.Op)
+	}
+	res := &Result{}
+	sink := opts.Sink
+	if sink == nil {
+		res.Cube = NewStore()
+		sink = res.Cube
+	}
+	var tracker Tracker
+	start := time.Now()
+	for mask := lattice.Full(n) - 1; ; mask-- {
+		out, updates := array.ProjectSparse(input, mask.Dims(), opts.Op, agg.FoldInput)
+		tracker.Alloc(int64(out.Size()))
+		res.Stats.Updates += updates
+		if mask.Count() == n-1 {
+			res.Stats.FirstLevelUpdates += updates
+		}
+		res.Stats.InputScans++
+		if err := sink.WriteBack(mask, out); err != nil {
+			return nil, err
+		}
+		tracker.Free(int64(out.Size()))
+		res.Stats.WriteBackElements += int64(out.Size())
+		res.Stats.WriteBackArrays++
+		if mask == 0 {
+			break
+		}
+	}
+	res.Stats.PeakResultElements = tracker.Peak()
+	res.Stats.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// BuildEager constructs the cube level by level from minimal parents,
+// holding every computed group-by in memory until the build finishes — the
+// "no memory discipline" baseline. Its computation cost is optimal
+// (minimal parents), but its peak memory is the entire cube, far above the
+// Theorem 1 bound the aggregation tree guarantees.
+func BuildEager(input *array.Sparse, opts Options) (*Result, error) {
+	shape := input.Shape()
+	n := shape.Rank()
+	if opts.Op != agg.Sum && !opts.Op.Valid() {
+		return nil, fmt.Errorf("seq: invalid operator %v", opts.Op)
+	}
+	l, err := lattice.New(shape)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	sink := opts.Sink
+	if sink == nil {
+		res.Cube = NewStore()
+		sink = res.Cube
+	}
+	var tracker Tracker
+	held := make(map[lattice.DimSet]*array.Dense, 1<<uint(n))
+	start := time.Now()
+	res.Stats.InputScans = 1
+
+	full := lattice.Full(n)
+	for _, mask := range l.Nodes() {
+		if mask == full {
+			continue
+		}
+		parent := l.MinimalParent(mask)
+		dims := mask.Dims()
+		var out *array.Dense
+		var updates int64
+		if parent == full {
+			out, updates = array.ProjectSparse(input, dims, opts.Op, agg.FoldInput)
+		} else {
+			pa := held[parent]
+			// The dropped dimension's index within the parent's axis list.
+			dropDim := parent.Dims()
+			axis := -1
+			for i, d := range dropDim {
+				if !mask.Has(d) {
+					axis = i
+					break
+				}
+			}
+			out = pa.AggregateAlong(axis, opts.Op)
+			updates = int64(pa.Size())
+		}
+		tracker.Alloc(int64(out.Size()))
+		held[mask] = out
+		res.Stats.Updates += updates
+		if mask.Count() == n-1 {
+			res.Stats.FirstLevelUpdates += updates
+		}
+	}
+	for mask, a := range held {
+		if err := sink.WriteBack(mask, a); err != nil {
+			return nil, err
+		}
+		tracker.Free(int64(a.Size()))
+		res.Stats.WriteBackElements += int64(a.Size())
+		res.Stats.WriteBackArrays++
+	}
+	res.Stats.PeakResultElements = tracker.Peak()
+	res.Stats.Elapsed = time.Since(start)
+	return res, nil
+}

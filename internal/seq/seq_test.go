@@ -1,0 +1,378 @@
+package seq
+
+import (
+	"math/rand"
+	"testing"
+
+	"parcube/internal/agg"
+	"parcube/internal/array"
+	"parcube/internal/core"
+	"parcube/internal/lattice"
+	"parcube/internal/nd"
+)
+
+// randomSparse builds a deterministic random sparse array.
+func randomSparse(tb testing.TB, shape nd.Shape, nnz int, seed int64) *array.Sparse {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b, err := array.NewSparseBuilder(shape, nil)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	coords := make([]int, shape.Rank())
+	for i := 0; i < nnz; i++ {
+		for d := range coords {
+			coords[d] = rng.Intn(shape[d])
+		}
+		if err := b.Add(coords, float64(rng.Intn(9)+1)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+// referenceCube computes every group-by independently via ProjectSparse.
+func referenceCube(input *array.Sparse, op agg.Op) map[lattice.DimSet]*array.Dense {
+	n := input.Shape().Rank()
+	out := make(map[lattice.DimSet]*array.Dense)
+	for mask := lattice.DimSet(0); mask < lattice.Full(n); mask++ {
+		a, _ := array.ProjectSparse(input, mask.Dims(), op, agg.FoldInput)
+		out[mask] = a
+	}
+	return out
+}
+
+func checkCube(t *testing.T, cube *Store, want map[lattice.DimSet]*array.Dense) {
+	t.Helper()
+	if cube.Len() != len(want) {
+		t.Fatalf("cube has %d group-bys, want %d", cube.Len(), len(want))
+	}
+	for mask, w := range want {
+		got, ok := cube.Get(mask)
+		if !ok {
+			t.Fatalf("group-by %b missing", mask)
+		}
+		if !got.AlmostEqual(w, 1e-9) {
+			t.Fatalf("group-by %b mismatch:\n got %v\nwant %v", mask, got.Data(), w.Data())
+		}
+	}
+}
+
+func TestBuildMatchesReference(t *testing.T) {
+	for _, op := range []agg.Op{agg.Sum, agg.Count, agg.Max, agg.Min} {
+		input := randomSparse(t, nd.MustShape(6, 5, 4), 50, 42)
+		res, err := Build(input, Options{Op: op})
+		if err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+		checkCube(t, res.Cube, referenceCube(input, op))
+	}
+}
+
+func TestBuildFourDims(t *testing.T) {
+	input := randomSparse(t, nd.MustShape(5, 4, 3, 2), 80, 7)
+	res, err := Build(input, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCube(t, res.Cube, referenceCube(input, agg.Sum))
+	if res.Cube.Len() != 15 {
+		t.Fatalf("4-D cube has %d group-bys", res.Cube.Len())
+	}
+}
+
+func TestBuildOneDim(t *testing.T) {
+	input := randomSparse(t, nd.MustShape(8), 6, 3)
+	res, err := Build(input, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, ok := res.Cube.Get(0)
+	if !ok {
+		t.Fatal("grand total missing")
+	}
+	sum := 0.0
+	input.Iter(func(_ []int, v float64) { sum += v })
+	if total.Scalar() != sum {
+		t.Fatalf("grand total %v != %v", total.Scalar(), sum)
+	}
+}
+
+func TestBuildAnyOrderingCorrect(t *testing.T) {
+	// Every dimension ordering must give identical results (only costs
+	// differ).
+	input := randomSparse(t, nd.MustShape(4, 5, 3), 40, 11)
+	want := referenceCube(input, agg.Sum)
+	orderings := []core.Ordering{{0, 1, 2}, {2, 1, 0}, {1, 0, 2}, {1, 2, 0}}
+	for _, o := range orderings {
+		res, err := Build(input, Options{Ordering: o})
+		if err != nil {
+			t.Fatalf("ordering %v: %v", o, err)
+		}
+		checkCube(t, res.Cube, want)
+	}
+}
+
+func TestBuildRejectsBadOrdering(t *testing.T) {
+	input := randomSparse(t, nd.MustShape(3, 3), 5, 1)
+	if _, err := Build(input, Options{Ordering: core.Ordering{0, 0}}); err == nil {
+		t.Fatal("bad ordering accepted")
+	}
+}
+
+func TestTheorem1MemoryBoundHolds(t *testing.T) {
+	// The run-time peak of held result elements must respect the Theorem 1
+	// bound computed from the ordered sizes — and with the sorted ordering
+	// it must exactly equal the first-level total (the bound is tight:
+	// the peak occurs right after the first-level scan).
+	shapes := []nd.Shape{
+		nd.MustShape(8, 6, 4),
+		nd.MustShape(9, 9, 9),
+		nd.MustShape(7, 5, 3, 2),
+		nd.MustShape(4, 4, 4, 4, 4),
+	}
+	for _, shape := range shapes {
+		input := randomSparse(t, shape, shape.Size()/4+1, 5)
+		res, err := Build(input, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ordered := core.SortedOrdering(shape).Apply(shape)
+		bound := core.MemoryBoundElements(ordered)
+		if res.Stats.PeakResultElements > bound {
+			t.Fatalf("shape %v: peak %d exceeds Theorem 1 bound %d", shape, res.Stats.PeakResultElements, bound)
+		}
+		if res.Stats.PeakResultElements != bound {
+			t.Fatalf("shape %v: peak %d does not attain the first-level bound %d", shape, res.Stats.PeakResultElements, bound)
+		}
+	}
+}
+
+func TestMemoryBoundHoldsForAnyOrdering(t *testing.T) {
+	// Theorem 1's bound is stated for the ordered tree; the run-time
+	// invariant "peak <= sum of first-level children" holds per ordering.
+	shape := nd.MustShape(8, 4, 2)
+	input := randomSparse(t, shape, 20, 9)
+	for _, o := range []core.Ordering{{0, 1, 2}, {2, 1, 0}, {1, 2, 0}} {
+		res, err := Build(input, Options{Ordering: o})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := core.MemoryBoundElements(o.Apply(shape))
+		if res.Stats.PeakResultElements > bound {
+			t.Fatalf("ordering %v: peak %d > bound %d", o, res.Stats.PeakResultElements, bound)
+		}
+	}
+}
+
+func TestBuildStats(t *testing.T) {
+	shape := nd.MustShape(6, 5, 4)
+	input := randomSparse(t, shape, 30, 13)
+	res, err := Build(input, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	if s.InputScans != 1 {
+		t.Fatalf("InputScans = %d", s.InputScans)
+	}
+	if s.WriteBackArrays != 7 {
+		t.Fatalf("WriteBackArrays = %d", s.WriteBackArrays)
+	}
+	// Write-back traffic = total size of all proper group-bys.
+	want := int64(0)
+	l, _ := lattice.New(shape)
+	for mask := lattice.DimSet(0); mask < lattice.Full(3); mask++ {
+		want += l.SizeOf(mask)
+	}
+	if s.WriteBackElements != want {
+		t.Fatalf("WriteBackElements = %d, want %d", s.WriteBackElements, want)
+	}
+	if s.FirstLevelUpdates != int64(input.NNZ()*3) {
+		t.Fatalf("FirstLevelUpdates = %d", s.FirstLevelUpdates)
+	}
+	if s.Updates <= s.FirstLevelUpdates {
+		t.Fatalf("Updates = %d not above first level %d", s.Updates, s.FirstLevelUpdates)
+	}
+}
+
+func TestCountingSinkAndTee(t *testing.T) {
+	input := randomSparse(t, nd.MustShape(4, 4), 8, 2)
+	var count CountingSink
+	store := NewStore()
+	_, err := Build(input, Options{Sink: TeeSink{&count, store}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Arrays != 3 || store.Len() != 3 {
+		t.Fatalf("tee: count %d, store %d", count.Arrays, store.Len())
+	}
+	if count.Elements != 4+4+1 {
+		t.Fatalf("counted elements = %d", count.Elements)
+	}
+}
+
+func TestStoreRejectsDuplicates(t *testing.T) {
+	s := NewStore()
+	a := array.NewDense(nd.MustShape(2), agg.Sum)
+	if err := s.WriteBack(1, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteBack(1, a); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestBuildNaiveMatchesAndCostsMore(t *testing.T) {
+	input := randomSparse(t, nd.MustShape(6, 5, 4), 40, 21)
+	want := referenceCube(input, agg.Sum)
+	naive, err := BuildNaive(input, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCube(t, naive.Cube, want)
+	if naive.Stats.InputScans != 7 {
+		t.Fatalf("naive InputScans = %d", naive.Stats.InputScans)
+	}
+	tree, err := Build(input, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The aggregation tree reads the input once and updates far less at
+	// deep levels; naive re-reads per group-by.
+	if naive.Stats.InputScans <= tree.Stats.InputScans {
+		t.Fatal("naive does not re-read input")
+	}
+	// Naive holds only one result at a time: lower peak, that is its only
+	// virtue.
+	if naive.Stats.PeakResultElements > tree.Stats.PeakResultElements {
+		t.Fatal("naive peak unexpectedly high")
+	}
+}
+
+func TestBuildEagerMatchesAndHoldsEverything(t *testing.T) {
+	shape := nd.MustShape(6, 5, 4)
+	input := randomSparse(t, shape, 40, 23)
+	want := referenceCube(input, agg.Sum)
+	eager, err := BuildEager(input, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCube(t, eager.Cube, want)
+	// Eager peak = whole cube (all proper group-bys).
+	l, _ := lattice.New(shape)
+	total := int64(0)
+	for mask := lattice.DimSet(0); mask < lattice.Full(3); mask++ {
+		total += l.SizeOf(mask)
+	}
+	if eager.Stats.PeakResultElements != total {
+		t.Fatalf("eager peak = %d, want %d", eager.Stats.PeakResultElements, total)
+	}
+	tree, _ := Build(input, Options{})
+	if eager.Stats.PeakResultElements <= tree.Stats.PeakResultElements {
+		t.Fatal("eager peak not above aggregation tree peak")
+	}
+}
+
+func TestBuildEagerCountOperator(t *testing.T) {
+	input := randomSparse(t, nd.MustShape(4, 3, 2), 15, 29)
+	want := referenceCube(input, agg.Count)
+	eager, err := BuildEager(input, Options{Op: agg.Count})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCube(t, eager.Cube, want)
+}
+
+func TestBuildTiledMatchesUntiled(t *testing.T) {
+	shape := nd.MustShape(8, 6, 4)
+	input := randomSparse(t, shape, 60, 31)
+	want := referenceCube(input, agg.Sum)
+	for _, tiles := range [][]int{{1, 1, 1}, {2, 1, 1}, {2, 2, 2}, {4, 3, 2}} {
+		res, err := BuildTiled(input, tiles, Options{})
+		if err != nil {
+			t.Fatalf("tiles %v: %v", tiles, err)
+		}
+		checkCube(t, res.Cube, want)
+		wantTiles := tiles[0] * tiles[1] * tiles[2]
+		if res.Stats.Tiles != wantTiles {
+			t.Fatalf("tiles = %d, want %d", res.Stats.Tiles, wantTiles)
+		}
+	}
+}
+
+func TestBuildTiledReducesResidentPeak(t *testing.T) {
+	shape := nd.MustShape(16, 16, 16)
+	input := randomSparse(t, shape, 300, 37)
+	whole, err := Build(input, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiled, err := BuildTiled(input, []int{2, 2, 2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiled.Stats.PeakResultElements >= whole.Stats.PeakResultElements {
+		t.Fatalf("tiled peak %d not below untiled %d",
+			tiled.Stats.PeakResultElements, whole.Stats.PeakResultElements)
+	}
+	if tiled.Stats.SpillTrafficElements == 0 {
+		t.Fatal("tiled build reports no spill traffic")
+	}
+}
+
+func TestBuildTiledValidation(t *testing.T) {
+	input := randomSparse(t, nd.MustShape(4, 4), 5, 41)
+	if _, err := BuildTiled(input, []int{2}, Options{}); err == nil {
+		t.Fatal("rank mismatch accepted")
+	}
+	if _, err := BuildTiled(input, []int{0, 2}, Options{}); err == nil {
+		t.Fatal("zero tile count accepted")
+	}
+	if _, err := BuildTiled(input, []int{2, 2}, Options{Sink: NewStore()}); err == nil {
+		t.Fatal("custom sink accepted")
+	}
+}
+
+func TestBuildTiledMaxOperator(t *testing.T) {
+	input := randomSparse(t, nd.MustShape(6, 6), 20, 43)
+	want := referenceCube(input, agg.Max)
+	res, err := BuildTiled(input, []int{3, 2}, Options{Op: agg.Max})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCube(t, res.Cube, want)
+}
+
+func TestUpdatesByLevelProfile(t *testing.T) {
+	shape := nd.MustShape(16, 16, 16, 16)
+	input := randomSparse(t, shape, shape.Size()/4, 111)
+	res, err := Build(input, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	levels := res.Stats.UpdatesByLevel
+	if len(levels) != 5 || levels[0] != 0 {
+		t.Fatalf("levels = %v", levels)
+	}
+	var sum int64
+	for _, u := range levels {
+		sum += u
+	}
+	if sum != res.Stats.Updates {
+		t.Fatalf("levels sum %d != total %d", sum, res.Stats.Updates)
+	}
+	if levels[1] != res.Stats.FirstLevelUpdates {
+		t.Fatalf("level 1 = %d, first-level = %d", levels[1], res.Stats.FirstLevelUpdates)
+	}
+	// At 25% sparsity the first level still dominates heavily.
+	if share := float64(levels[1]) / float64(sum); share < 0.5 {
+		t.Fatalf("first-level share = %.2f", share)
+	}
+	// Levels decay: each deeper level costs no more than the previous.
+	for d := 2; d < len(levels); d++ {
+		if levels[d] > levels[d-1] {
+			t.Fatalf("level %d (%d) exceeds level %d (%d)", d, levels[d], d-1, levels[d-1])
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Package seq implements sequential data cube construction: the paper's
+// Figure 3 algorithm (aggregation tree, right-to-left depth-first
+// traversal, write-back on completion) with run-time memory accounting that
+// checks Theorem 1 as an executable invariant, plus two baselines — a naive
+// root-fan build and an eager level-order minimal-parent build — and a
+// tiled variant for memory-constrained settings (the Section 3 tiling
+// discussion).
+package seq
+
+import (
+	"fmt"
+	"sync"
+
+	"parcube/internal/array"
+	"parcube/internal/lattice"
+)
+
+// Sink receives finalized group-by arrays — the algorithm's "write-back to
+// the disk". Masks are physical-dimension sets.
+type Sink interface {
+	WriteBack(mask lattice.DimSet, a *array.Dense) error
+}
+
+// Store is a Sink keeping every group-by in memory, addressable by mask.
+// It is safe for concurrent WriteBack calls (the parallel engine finalizes
+// group-bys from several simulated processors).
+type Store struct {
+	mu sync.Mutex
+	m  map[lattice.DimSet]*array.Dense
+}
+
+// NewStore returns an empty in-memory cube store.
+func NewStore() *Store {
+	return &Store{m: make(map[lattice.DimSet]*array.Dense)}
+}
+
+// WriteBack stores the array under its mask, rejecting duplicates: every
+// group-by is finalized exactly once.
+func (s *Store) WriteBack(mask lattice.DimSet, a *array.Dense) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.m[mask]; dup {
+		return fmt.Errorf("seq: group-by %b finalized twice", mask)
+	}
+	s.m[mask] = a
+	return nil
+}
+
+// Get returns the group-by stored under mask.
+func (s *Store) Get(mask lattice.DimSet) (*array.Dense, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.m[mask]
+	return a, ok
+}
+
+// Len returns the number of stored group-bys.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
+
+// Masks returns the stored masks in unspecified order.
+func (s *Store) Masks() []lattice.DimSet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]lattice.DimSet, 0, len(s.m))
+	for m := range s.m {
+		out = append(out, m)
+	}
+	return out
+}
+
+// CountingSink discards arrays, accumulating write-back traffic — the disk
+// I/O model for benchmarks that do not need the results.
+type CountingSink struct {
+	mu       sync.Mutex
+	Arrays   int
+	Elements int64
+}
+
+// WriteBack counts the array and drops it.
+func (c *CountingSink) WriteBack(_ lattice.DimSet, a *array.Dense) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Arrays++
+	c.Elements += int64(a.Size())
+	return nil
+}
+
+// TeeSink forwards write-backs to several sinks.
+type TeeSink []Sink
+
+// WriteBack fans the array out to every sink, stopping at the first error.
+func (t TeeSink) WriteBack(mask lattice.DimSet, a *array.Dense) error {
+	for _, s := range t {
+		if err := s.WriteBack(mask, a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tracker accounts live and peak result-array memory in elements. The
+// engines allocate result arrays through it and release on write-back, so
+// the Theorem 1/2/4/5 bounds become observable run-time quantities.
+type Tracker struct {
+	live int64
+	peak int64
+}
+
+// Alloc records n newly held result elements.
+func (t *Tracker) Alloc(n int64) {
+	t.live += n
+	if t.live > t.peak {
+		t.peak = t.live
+	}
+}
+
+// Free records n released result elements.
+func (t *Tracker) Free(n int64) { t.live -= n }
+
+// Live returns the currently held result elements.
+func (t *Tracker) Live() int64 { return t.live }
+
+// Peak returns the maximum simultaneously held result elements.
+func (t *Tracker) Peak() int64 { return t.peak }

@@ -1,0 +1,173 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+)
+
+// Client speaks the cube server protocol.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Row is one cell returned by GroupBy or Top.
+type Row struct {
+	Coords []int
+	Value  float64
+}
+
+// Dial connects to a cube server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Close sends QUIT and closes the connection.
+func (c *Client) Close() error {
+	fmt.Fprintln(c.w, "QUIT")
+	c.w.Flush()
+	return c.conn.Close()
+}
+
+// roundTrip sends one request line and returns the "OK ..." payload.
+func (c *Client) roundTrip(req string) (string, error) {
+	if _, err := fmt.Fprintln(c.w, req); err != nil {
+		return "", err
+	}
+	if err := c.w.Flush(); err != nil {
+		return "", err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	line = strings.TrimSpace(line)
+	if strings.HasPrefix(line, "ERR ") {
+		return "", fmt.Errorf("server: %s", strings.TrimPrefix(line, "ERR "))
+	}
+	if !strings.HasPrefix(line, "OK") {
+		return "", fmt.Errorf("server: malformed response %q", line)
+	}
+	return strings.TrimSpace(strings.TrimPrefix(line, "OK")), nil
+}
+
+// Schema returns the served dimensions as name:size pairs.
+func (c *Client) Schema() ([]string, error) {
+	payload, err := c.roundTrip("SCHEMA")
+	if err != nil {
+		return nil, err
+	}
+	return strings.Fields(payload), nil
+}
+
+// Total returns the grand-total aggregate.
+func (c *Client) Total() (float64, error) {
+	payload, err := c.roundTrip("TOTAL")
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseFloat(payload, 64)
+}
+
+// Value returns one cell of a group-by.
+func (c *Client) Value(dims []string, coords []int) (float64, error) {
+	req := "VALUE " + strings.Join(dims, ",")
+	if len(coords) > 0 {
+		parts := make([]string, len(coords))
+		for i, v := range coords {
+			parts[i] = strconv.Itoa(v)
+		}
+		req += " " + strings.Join(parts, ",")
+	}
+	payload, err := c.roundTrip(req)
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseFloat(payload, 64)
+}
+
+// readRows reads n "coords value" lines plus the closing dot.
+func (c *Client) readRows(n int) ([]Row, error) {
+	rows := make([]Row, 0, n)
+	for {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		line = strings.TrimSpace(line)
+		if line == "." {
+			break
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("server: malformed row %q", line)
+		}
+		var coords []int
+		if fields[0] != "-" {
+			for _, p := range strings.Split(fields[0], ",") {
+				v, err := strconv.Atoi(p)
+				if err != nil {
+					return nil, fmt.Errorf("server: malformed coords %q", fields[0])
+				}
+				coords = append(coords, v)
+			}
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("server: malformed value %q", fields[1])
+		}
+		rows = append(rows, Row{Coords: coords, Value: v})
+	}
+	if len(rows) != n {
+		return nil, fmt.Errorf("server: got %d rows, expected %d", len(rows), n)
+	}
+	return rows, nil
+}
+
+// GroupBy fetches a full group-by.
+func (c *Client) GroupBy(dims ...string) ([]Row, error) {
+	payload, err := c.roundTrip("GROUPBY " + strings.Join(dims, ","))
+	if err != nil {
+		return nil, err
+	}
+	n, err := strconv.Atoi(payload)
+	if err != nil {
+		return nil, fmt.Errorf("server: malformed count %q", payload)
+	}
+	return c.readRows(n)
+}
+
+// Query runs a parcube query-language statement and returns its table's
+// cells.
+func (c *Client) Query(stmt string) ([]Row, error) {
+	payload, err := c.roundTrip("QUERY " + stmt)
+	if err != nil {
+		return nil, err
+	}
+	n, err := strconv.Atoi(payload)
+	if err != nil {
+		return nil, fmt.Errorf("server: malformed count %q", payload)
+	}
+	return c.readRows(n)
+}
+
+// Top fetches the k largest cells of a group-by.
+func (c *Client) Top(k int, dims ...string) ([]Row, error) {
+	payload, err := c.roundTrip(fmt.Sprintf("TOP %d %s", k, strings.Join(dims, ",")))
+	if err != nil {
+		return nil, err
+	}
+	n, err := strconv.Atoi(payload)
+	if err != nil {
+		return nil, fmt.Errorf("server: malformed count %q", payload)
+	}
+	return c.readRows(n)
+}

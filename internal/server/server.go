@@ -1,0 +1,285 @@
+// Package server exposes a constructed cube over TCP with a small
+// line-oriented text protocol, so downstream tools can query group-bys
+// without linking the library. One goroutine serves each connection.
+//
+// Protocol (requests are single lines; dimension lists are comma-separated
+// names):
+//
+//	SCHEMA                     -> "OK <name:size> <name:size> ..."
+//	TOTAL                      -> "OK <value>"
+//	GROUPBY <dims>             -> "OK <cells>", then one "<c0,c1,...> <value>" line per cell, then "."
+//	QUERY <statement>          -> like GROUPBY, for the parcube query language
+//	VALUE <dims> <c0,c1,...>   -> "OK <value>"
+//	TOP <k> <dims>             -> "OK <rows>", then rows, then "."
+//	QUIT                       -> closes the connection
+//
+// Errors answer "ERR <message>".
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"parcube"
+)
+
+// Server serves one cube.
+type Server struct {
+	cube *parcube.Cube
+
+	mu sync.Mutex
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+// New wraps a cube for serving.
+func New(cube *parcube.Cube) *Server {
+	return &Server{cube: cube}
+}
+
+// Listen binds the address (use "127.0.0.1:0" for an ephemeral port) and
+// starts accepting in the background. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops accepting and closes the listener; running connection
+// handlers finish their in-flight request.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.ln = nil
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// acceptLoop accepts connections until the listener closes.
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn handles one connection's request loop.
+func (s *Server) serveConn(conn net.Conn) {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		quit := s.handle(w, line)
+		if err := w.Flush(); err != nil || quit {
+			return
+		}
+	}
+}
+
+// handle answers one request line; returns true to close the connection.
+func (s *Server) handle(w *bufio.Writer, line string) bool {
+	fields := strings.Fields(line)
+	cmd := strings.ToUpper(fields[0])
+	switch cmd {
+	case "QUIT":
+		fmt.Fprintln(w, "OK bye")
+		return true
+	case "SCHEMA":
+		sch := s.cube.Schema()
+		fmt.Fprint(w, "OK")
+		names := sch.Names()
+		sizes := sch.Sizes()
+		for i := range names {
+			fmt.Fprintf(w, " %s:%d", names[i], sizes[i])
+		}
+		fmt.Fprintln(w)
+	case "TOTAL":
+		fmt.Fprintf(w, "OK %g\n", s.cube.Total())
+	case "GROUPBY":
+		tbl, err := s.cube.GroupBy(parseDims(fields[1:])...)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return false
+		}
+		writeTable(w, tbl)
+	case "QUERY":
+		stmt := strings.TrimSpace(line[len(fields[0]):])
+		tbl, err := s.cube.Query(stmt)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return false
+		}
+		writeTable(w, tbl)
+	case "VALUE":
+		if len(fields) < 2 {
+			fmt.Fprintln(w, "ERR VALUE needs dims and coordinates")
+			return false
+		}
+		dims := parseDims(fields[1:2])
+		var coordsField string
+		if len(fields) >= 3 {
+			coordsField = fields[2]
+		} else if len(dims) == 0 {
+			coordsField = ""
+		}
+		tbl, err := s.cube.GroupBy(dims...)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return false
+		}
+		coords, err := parseCoords(coordsField, len(dims))
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return false
+		}
+		v, err := atSafe(tbl, coords)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return false
+		}
+		fmt.Fprintf(w, "OK %g\n", v)
+	case "TOP":
+		if len(fields) < 2 {
+			fmt.Fprintln(w, "ERR TOP needs a count")
+			return false
+		}
+		k, err := strconv.Atoi(fields[1])
+		if err != nil || k < 1 {
+			fmt.Fprintf(w, "ERR bad count %q\n", fields[1])
+			return false
+		}
+		tbl, err := s.cube.GroupBy(parseDims(fields[2:])...)
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return false
+		}
+		top := tbl.Top(k)
+		fmt.Fprintf(w, "OK %d\n", len(top))
+		for _, c := range top {
+			fmt.Fprintf(w, "%s %g\n", joinCoords(c.Coords), c.Value)
+		}
+		fmt.Fprintln(w, ".")
+	default:
+		fmt.Fprintf(w, "ERR unknown command %q\n", cmd)
+	}
+	return false
+}
+
+// writeTable streams a full group-by.
+func writeTable(w *bufio.Writer, tbl *parcube.Table) {
+	fmt.Fprintf(w, "OK %d\n", tbl.Size())
+	shape := tbl.Shape()
+	coords := make([]int, len(shape))
+	for {
+		v := tbl.At(coords...)
+		fmt.Fprintf(w, "%s %g\n", joinCoords(coords), v)
+		i := len(coords) - 1
+		for ; i >= 0; i-- {
+			coords[i]++
+			if coords[i] < shape[i] {
+				break
+			}
+			coords[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	fmt.Fprintln(w, ".")
+}
+
+// atSafe converts the panic of a bad lookup into an error.
+func atSafe(tbl *parcube.Table, coords []int) (v float64, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("%v", rec)
+		}
+	}()
+	return tbl.At(coords...), nil
+}
+
+// parseDims splits "a,b,c" argument lists; an empty list is the grand
+// total.
+func parseDims(fields []string) []string {
+	if len(fields) == 0 {
+		return nil
+	}
+	joined := strings.Join(fields, "")
+	if joined == "" || joined == "-" {
+		return nil
+	}
+	var out []string
+	for _, d := range strings.Split(joined, ",") {
+		d = strings.TrimSpace(d)
+		if d != "" {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// parseCoords parses "3,1,4" into n integers.
+func parseCoords(s string, n int) ([]int, error) {
+	if n == 0 {
+		if strings.TrimSpace(s) != "" {
+			return nil, fmt.Errorf("grand total takes no coordinates")
+		}
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("%d coordinates for %d dimensions", len(parts), n)
+	}
+	out := make([]int, n)
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad coordinate %q", p)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// joinCoords renders coordinates as "3,1,4" ("-" for the grand total).
+func joinCoords(coords []int) string {
+	if len(coords) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(coords))
+	for i, c := range coords {
+		parts[i] = strconv.Itoa(c)
+	}
+	return strings.Join(parts, ",")
+}

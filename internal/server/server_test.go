@@ -1,0 +1,233 @@
+package server
+
+import (
+	"bufio"
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+
+	"parcube"
+)
+
+func testCube(t *testing.T) *parcube.Cube {
+	t.Helper()
+	schema, err := parcube.NewSchema(
+		parcube.Dim{Name: "item", Size: 6},
+		parcube.Dim{Name: "branch", Size: 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := parcube.NewDataset(schema)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 100; i++ {
+		if err := ds.Add(float64(rng.Intn(9)+1), rng.Intn(6), rng.Intn(4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cube, _, err := parcube.Build(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cube
+}
+
+func startServer(t *testing.T) (*Server, string, *parcube.Cube) {
+	t.Helper()
+	cube := testCube(t)
+	srv := New(cube)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr, cube
+}
+
+func TestClientServerRoundTrip(t *testing.T) {
+	_, addr, cube := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	schema, err := c.Schema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(schema) != 2 || schema[0] != "item:6" || schema[1] != "branch:4" {
+		t.Fatalf("schema = %v", schema)
+	}
+
+	total, err := c.Total()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != cube.Total() {
+		t.Fatalf("total = %v, want %v", total, cube.Total())
+	}
+
+	byItem, err := c.GroupBy("item")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := cube.GroupBy("item")
+	if len(byItem) != 6 {
+		t.Fatalf("%d rows", len(byItem))
+	}
+	for _, row := range byItem {
+		if row.Value != want.At(row.Coords...) {
+			t.Fatalf("row %v mismatch", row)
+		}
+	}
+
+	v, err := c.Value([]string{"item", "branch"}, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, _ := cube.GroupBy("item", "branch")
+	if v != ib.At(2, 3) {
+		t.Fatalf("value = %v", v)
+	}
+
+	top, err := c.Top(3, "item")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 3 || top[0].Value < top[1].Value {
+		t.Fatalf("top = %v", top)
+	}
+}
+
+func TestGrandTotalQueries(t *testing.T) {
+	_, addr, cube := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rows, err := c.GroupBy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Value != cube.Total() {
+		t.Fatalf("grand total rows = %v", rows)
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	_, addr, _ := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.GroupBy("bogus"); err == nil {
+		t.Fatal("bogus dimension accepted")
+	}
+	if _, err := c.Value([]string{"item"}, []int{99}); err == nil {
+		t.Fatal("out-of-range value accepted")
+	}
+	if _, err := c.Value([]string{"item"}, []int{1, 2}); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+	// Connection still usable after errors.
+	if _, err := c.Total(); err != nil {
+		t.Fatalf("connection broken after error: %v", err)
+	}
+}
+
+func TestServerRawProtocol(t *testing.T) {
+	_, addr, _ := startServer(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	send := func(s string) string {
+		if _, err := conn.Write([]byte(s + "\n")); err != nil {
+			t.Fatal(err)
+		}
+		line, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		return strings.TrimSpace(line)
+	}
+	if got := send("NONSENSE"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("unknown command -> %q", got)
+	}
+	if got := send("TOP"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("bare TOP -> %q", got)
+	}
+	if got := send("TOP x item"); !strings.HasPrefix(got, "ERR") {
+		t.Fatalf("bad TOP count -> %q", got)
+	}
+	if got := send("QUIT"); got != "OK bye" {
+		t.Fatalf("QUIT -> %q", got)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	_, addr, cube := startServer(t)
+	done := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			c, err := Dial(addr)
+			if err != nil {
+				done <- err
+				return
+			}
+			defer c.Close()
+			for j := 0; j < 20; j++ {
+				total, err := c.Total()
+				if err != nil {
+					done <- err
+					return
+				}
+				if total != cube.Total() {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestServerQueryCommand(t *testing.T) {
+	_, addr, cube := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rows, err := c.Query("GROUP BY item WHERE branch = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	ib, _ := cube.GroupBy("item", "branch")
+	for _, row := range rows {
+		if row.Value != ib.At(row.Coords[0], 1) {
+			t.Fatalf("row %+v mismatch", row)
+		}
+	}
+	if _, err := c.Query("GROUP BY nonsense"); err == nil {
+		t.Fatal("bad query accepted")
+	}
+	// Connection still alive.
+	if _, err := c.Total(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,154 @@
+package theory
+
+import (
+	"container/heap"
+	"fmt"
+
+	"parcube/internal/nd"
+)
+
+// GreedyPartition implements the paper's Figure 6 algorithm: choose
+// k_0..k_{n-1} with sum k_j = logP minimizing the total communication
+// volume sum_j (2^{k_j} - 1) C_j. Starting from k = 0, it repeatedly
+// increments the position with the smallest marginal cost, which for
+// position j at level k_j is 2^{k_j} * C_j (incrementing k_j adds exactly
+// that much volume), then doubles the weight — Theorem 8 proves this greedy
+// is optimal because the marginal costs along each position are
+// non-decreasing.
+//
+// Positions whose extent cannot be sliced further (2^{k_j+1} > D_j) are
+// excluded from further increments, a practical refinement the paper's
+// unconstrained statement does not need.
+func GreedyPartition(sizes nd.Shape, logP int) ([]int, error) {
+	n := sizes.Rank()
+	if logP < 0 {
+		return nil, fmt.Errorf("theory: negative log2 processor count %d", logP)
+	}
+	maxSlices := 0
+	for _, d := range sizes {
+		for s := 1; s*2 <= d; s *= 2 {
+			maxSlices++
+		}
+	}
+	if logP > maxSlices {
+		return nil, fmt.Errorf("theory: 2^%d processors cannot partition shape %v", logP, sizes)
+	}
+	k := make([]int, n)
+	h := &weightHeap{}
+	for j := 0; j < n; j++ {
+		if sizes[j] >= 2 {
+			heap.Push(h, weight{w: Coefficient(sizes, j), pos: j})
+		}
+	}
+	for step := 0; step < logP; step++ {
+		top := heap.Pop(h).(weight)
+		j := top.pos
+		k[j]++
+		if 1<<uint(k[j]+1) <= sizes[j] {
+			heap.Push(h, weight{w: top.w * 2, pos: j})
+		}
+	}
+	return k, nil
+}
+
+type weight struct {
+	w   int64
+	pos int
+}
+
+// weightHeap is a min-heap of marginal costs with deterministic tie-breaks
+// (lower position first), so GreedyPartition is reproducible.
+type weightHeap []weight
+
+func (h weightHeap) Len() int { return len(h) }
+func (h weightHeap) Less(i, j int) bool {
+	if h[i].w != h[j].w {
+		return h[i].w < h[j].w
+	}
+	return h[i].pos < h[j].pos
+}
+func (h weightHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *weightHeap) Push(x interface{}) { *h = append(*h, x.(weight)) }
+func (h *weightHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// EnumeratePartitions calls fn with every composition of logP into n
+// non-negative parts k (sum k_j = logP). The slice is reused; fn must not
+// retain it. Used by the exhaustive optimality cross-check.
+func EnumeratePartitions(n, logP int, fn func(k []int)) {
+	k := make([]int, n)
+	var rec func(pos, left int)
+	rec = func(pos, left int) {
+		if pos == n-1 {
+			k[pos] = left
+			fn(k)
+			return
+		}
+		for v := 0; v <= left; v++ {
+			k[pos] = v
+			rec(pos+1, left-v)
+		}
+	}
+	if n == 0 {
+		return
+	}
+	rec(0, logP)
+}
+
+// OptimalPartitionExhaustive finds the minimum-volume feasible partition by
+// enumerating all compositions — exponentially many, so only for tests and
+// small n. Ties resolve to the lexicographically smallest k, matching no
+// particular greedy property; compare volumes, not vectors.
+func OptimalPartitionExhaustive(sizes nd.Shape, logP int) ([]int, int64, error) {
+	var bestK []int
+	var bestV int64 = -1
+	EnumeratePartitions(sizes.Rank(), logP, func(k []int) {
+		if validatePartition(sizes, k) != nil {
+			return
+		}
+		v := TotalVolumeClosedForm(sizes, k)
+		if bestV < 0 || v < bestV {
+			bestV = v
+			bestK = append(bestK[:0], k...)
+		}
+	})
+	if bestV < 0 {
+		return nil, 0, fmt.Errorf("theory: no feasible partition of %v into 2^%d", sizes, logP)
+	}
+	return bestK, bestV, nil
+}
+
+// PartsOf converts log2 slice counts to slice counts: parts[j] = 2^{k_j}.
+func PartsOf(k []int) []int {
+	parts := make([]int, len(k))
+	for j, kj := range k {
+		parts[j] = 1 << uint(kj)
+	}
+	return parts
+}
+
+// NumProcs returns the processor count implied by k: 2^{sum k_j}.
+func NumProcs(k []int) int {
+	total := 0
+	for _, kj := range k {
+		total += kj
+	}
+	return 1 << uint(total)
+}
+
+// Dimensionality returns the number of positions with at least one cut —
+// what Figures 7-9 call "one dimensional", "two dimensional", ... partitions.
+func Dimensionality(k []int) int {
+	d := 0
+	for _, kj := range k {
+		if kj > 0 {
+			d++
+		}
+	}
+	return d
+}

@@ -1,0 +1,356 @@
+package theory
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"parcube/internal/core"
+	"parcube/internal/lattice"
+	"parcube/internal/nd"
+)
+
+func TestEdgeVolumeThreeD(t *testing.T) {
+	// 3-D sizes (D0,D1,D2) = (8,4,2), one cut on each dimension.
+	sizes := nd.MustShape(8, 4, 2)
+	k := []int{1, 1, 1}
+	// First-level child dropping position 0: volume (2^1-1)*D1*D2 = 8.
+	if got := EdgeVolume(sizes, k, 0, 0); got != 8 {
+		t.Fatalf("edge {0} = %d", got)
+	}
+	// Child dropping position 2 from prefix {0}: (2^1-1)*D1 = 4.
+	if got := EdgeVolume(sizes, k, lattice.DimSet(0b001), 2); got != 4 {
+		t.Fatalf("edge {0,2} = %d", got)
+	}
+	// Grand total from prefix {0,1}: (2^1-1)*1 = 1.
+	if got := EdgeVolume(sizes, k, lattice.DimSet(0b011), 2); got != 1 {
+		t.Fatalf("edge {0,1,2} = %d", got)
+	}
+	// Unpartitioned dimension: zero volume.
+	if got := EdgeVolume(sizes, []int{0, 1, 1}, 0, 0); got != 0 {
+		t.Fatalf("k=0 edge = %d", got)
+	}
+}
+
+func TestClosedFormMatchesDirectSum(t *testing.T) {
+	cases := []struct {
+		sizes nd.Shape
+		k     []int
+	}{
+		{nd.MustShape(8, 4, 2), []int{1, 1, 1}},
+		{nd.MustShape(8, 4, 2), []int{3, 0, 0}},
+		{nd.MustShape(16, 16, 16, 16), []int{1, 1, 1, 0}},
+		{nd.MustShape(64, 32, 16, 8), []int{2, 1, 1, 0}},
+		{nd.MustShape(7, 5, 3), []int{1, 2, 0}},
+		{nd.MustShape(9), []int{3}},
+		{nd.MustShape(5, 5), []int{0, 0}},
+	}
+	for _, c := range cases {
+		direct := TotalVolume(c.sizes, c.k)
+		closed := TotalVolumeClosedForm(c.sizes, c.k)
+		if direct != closed {
+			t.Fatalf("sizes %v k %v: direct %d != closed %d", c.sizes, c.k, direct, closed)
+		}
+	}
+}
+
+// Property (Theorem 3): the closed form equals the edge-by-edge sum for
+// random shapes and partitions.
+func TestQuickClosedForm(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(5) + 1
+		sizes := make(nd.Shape, n)
+		k := make([]int, n)
+		for j := range sizes {
+			sizes[j] = 1 << uint(rng.Intn(5)) // 1..16
+			if sizes[j] > 1 {
+				k[j] = rng.Intn(3)
+			}
+		}
+		return TotalVolume(sizes, k) == TotalVolumeClosedForm(sizes, k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSection2SingleDimExample(t *testing.T) {
+	// Section 2: partitioning along a single dimension, the first-level
+	// reduction is needed only for the child dropping that dimension, so
+	// cutting the LARGEST dimension (position 0) yields the least volume —
+	// "the minimal communication volume is achieved by partitioning along
+	// the dimension C" with ascending paper letters. Closed-form
+	// coefficients C_j therefore increase with position j.
+	sizes := nd.MustShape(16, 8, 4)
+	v0 := SingleDimVolume(sizes, 0, 3)
+	v1 := SingleDimVolume(sizes, 1, 3)
+	v2 := SingleDimVolume(sizes, 2, 3)
+	if !(v0 < v1 && v1 < v2) {
+		t.Fatalf("single-dim volumes %d, %d, %d not increasing with position", v0, v1, v2)
+	}
+}
+
+func TestGreedyPartitionMatchesExhaustive(t *testing.T) {
+	cases := []struct {
+		sizes nd.Shape
+		logP  int
+	}{
+		{nd.MustShape(64, 64, 64, 64), 3},
+		{nd.MustShape(64, 64, 64, 64), 4},
+		{nd.MustShape(128, 64, 32, 16), 4},
+		{nd.MustShape(8, 4, 2), 3},
+		{nd.MustShape(100, 10), 5},
+		{nd.MustShape(16, 16, 16), 0},
+		{nd.MustShape(1024, 2), 6},
+	}
+	for _, c := range cases {
+		k, err := GreedyPartition(c.sizes, c.logP)
+		if err != nil {
+			t.Fatalf("greedy(%v, %d): %v", c.sizes, c.logP, err)
+		}
+		if err := validatePartition(c.sizes, k); err != nil {
+			t.Fatalf("greedy produced invalid partition: %v", err)
+		}
+		if NumProcs(k) != 1<<uint(c.logP) {
+			t.Fatalf("greedy(%v, %d) = %v: wrong processor count", c.sizes, c.logP, k)
+		}
+		_, bestV, err := OptimalPartitionExhaustive(c.sizes, c.logP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := TotalVolumeClosedForm(c.sizes, k); got != bestV {
+			t.Fatalf("greedy(%v, %d) volume %d != optimal %d (k=%v)", c.sizes, c.logP, got, bestV, k)
+		}
+	}
+}
+
+// Property (Theorem 8): greedy equals exhaustive optimum on random
+// power-of-two shapes.
+func TestQuickGreedyOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(4) + 1
+		sizes := make(nd.Shape, n)
+		for j := range sizes {
+			sizes[j] = 1 << uint(rng.Intn(6)+1) // 2..64
+		}
+		logP := rng.Intn(5)
+		k, err := GreedyPartition(sizes, logP)
+		if err != nil {
+			return true // infeasible requested count: nothing to compare
+		}
+		_, bestV, err := OptimalPartitionExhaustive(sizes, logP)
+		if err != nil {
+			return false
+		}
+		return TotalVolumeClosedForm(sizes, k) == bestV
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyPartitionPrefersMoreDimensions(t *testing.T) {
+	// Paper (Figures 7-9): for equal-sized 4-D arrays on 8 processors the
+	// three-dimensional partition (1,1,1,0) wins; on 16 processors the
+	// four-dimensional (1,1,1,1) wins.
+	sizes := nd.MustShape(64, 64, 64, 64)
+	k8, err := GreedyPartition(sizes, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Dimensionality(k8) != 3 {
+		t.Fatalf("8-proc greedy = %v", k8)
+	}
+	k16, err := GreedyPartition(sizes, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Dimensionality(k16) != 4 {
+		t.Fatalf("16-proc greedy = %v", k16)
+	}
+}
+
+func TestGreedyPartitionErrors(t *testing.T) {
+	if _, err := GreedyPartition(nd.MustShape(2, 2), -1); err == nil {
+		t.Fatal("negative logP accepted")
+	}
+	if _, err := GreedyPartition(nd.MustShape(2, 2), 3); err == nil {
+		t.Fatal("infeasible processor count accepted")
+	}
+}
+
+func TestGreedyRespectsExtentLimits(t *testing.T) {
+	// A dimension of extent 2 can absorb at most one cut.
+	k, err := GreedyPartition(nd.MustShape(2, 1024), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k[0] > 1 {
+		t.Fatalf("extent-2 dimension cut %d times", k[0])
+	}
+	if k[0]+k[1] != 5 {
+		t.Fatalf("cuts = %v", k)
+	}
+}
+
+func TestEnumeratePartitions(t *testing.T) {
+	count := 0
+	sum := -1
+	EnumeratePartitions(3, 4, func(k []int) {
+		count++
+		s := k[0] + k[1] + k[2]
+		if sum == -1 {
+			sum = s
+		}
+		if s != 4 {
+			t.Fatalf("composition %v does not sum to 4", k)
+		}
+	})
+	// C(4+2,2) = 15 compositions.
+	if count != 15 {
+		t.Fatalf("enumerated %d compositions", count)
+	}
+	EnumeratePartitions(0, 3, func([]int) { t.Fatal("n=0 enumerated") })
+}
+
+func TestTheorem6SortedOrderingMinimizesVolume(t *testing.T) {
+	// Exhaustive over orderings: the descending-size ordering achieves the
+	// minimum volume (with greedily optimal partitions per ordering).
+	shapes := []nd.Shape{
+		nd.MustShape(64, 16, 4),
+		nd.MustShape(128, 64, 32, 16),
+		nd.MustShape(100, 20, 4),
+		nd.MustShape(32, 32, 8),
+	}
+	for _, sizes := range shapes {
+		for _, logP := range []int{2, 3, 4} {
+			sortedV, _, err := VolumeForOrdering(sizes, core.SortedOrdering(sizes), logP)
+			if err != nil {
+				t.Fatal(err)
+			}
+			best := int64(-1)
+			Permutations(sizes.Rank(), func(perm []int) {
+				v, _, err := VolumeForOrdering(sizes, core.Ordering(perm), logP)
+				if err != nil {
+					return
+				}
+				if best < 0 || v < best {
+					best = v
+				}
+			})
+			if sortedV != best {
+				t.Fatalf("sizes %v logP %d: sorted ordering volume %d != best %d", sizes, logP, sortedV, best)
+			}
+		}
+	}
+}
+
+func TestTheorem7SortedOrderingMinimizesComputation(t *testing.T) {
+	shapes := []nd.Shape{
+		nd.MustShape(64, 16, 4),
+		nd.MustShape(128, 64, 32, 16),
+		nd.MustShape(7, 5, 3, 2),
+	}
+	for _, sizes := range shapes {
+		sorted := core.SortedOrdering(sizes).Apply(sizes)
+		if got, want := ComputationCost(sorted), MinimalParentCost(sizes); got != want {
+			t.Fatalf("sizes %v: aggregation-tree cost %d != minimal-parent cost %d", sizes, got, want)
+		}
+		// And any non-sorted ordering with distinct sizes costs strictly more.
+		Permutations(sizes.Rank(), func(perm []int) {
+			ordered := core.Ordering(perm).Apply(sizes)
+			if ordered.SortedDescending() {
+				return
+			}
+			if ComputationCost(ordered) < ComputationCost(sorted) {
+				t.Fatalf("sizes %v: ordering %v beats sorted", sizes, perm)
+			}
+		})
+	}
+}
+
+func TestFirstLevelDominates(t *testing.T) {
+	// Paper: with n=4 equal dimensions and a dense array, ~98% of updates
+	// are at the first level.
+	sizes := nd.MustShape(64, 64, 64, 64)
+	frac := float64(FirstLevelCost(sizes)) / float64(ComputationCost(sizes))
+	if frac < 0.95 {
+		t.Fatalf("first-level share = %.3f", frac)
+	}
+}
+
+func TestHelperAccessors(t *testing.T) {
+	k := []int{2, 0, 1}
+	parts := PartsOf(k)
+	if parts[0] != 4 || parts[1] != 1 || parts[2] != 2 {
+		t.Fatalf("PartsOf = %v", parts)
+	}
+	if NumProcs(k) != 8 {
+		t.Fatalf("NumProcs = %d", NumProcs(k))
+	}
+	if Dimensionality(k) != 2 {
+		t.Fatalf("Dimensionality = %d", Dimensionality(k))
+	}
+}
+
+// Property: total volume is monotone in every k_j (each extra cut adds
+// (2^{k_j}) * C_j), and zero exactly when no dimension is cut.
+func TestQuickVolumeMonotoneInCuts(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(4) + 2
+		sizes := make(nd.Shape, n)
+		for j := range sizes {
+			sizes[j] = 1 << uint(rng.Intn(4)+2) // 4..32
+		}
+		k := make([]int, n)
+		for j := range k {
+			k[j] = rng.Intn(2)
+		}
+		base := TotalVolumeClosedForm(sizes, k)
+		j := rng.Intn(n)
+		if 1<<uint(k[j]+1) > sizes[j] {
+			return true
+		}
+		k[j]++
+		bumped := TotalVolumeClosedForm(sizes, k)
+		if bumped <= base {
+			return false
+		}
+		zero := make([]int, n)
+		return TotalVolumeClosedForm(sizes, zero) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the greedy partition never cuts a dimension more than its
+// extent supports, and refining the machine (logP+1) never reduces volume.
+func TestQuickGreedyMachineGrowth(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(3) + 2
+		sizes := make(nd.Shape, n)
+		for j := range sizes {
+			sizes[j] = 1 << uint(rng.Intn(5)+1)
+		}
+		logP := rng.Intn(4)
+		k1, err1 := GreedyPartition(sizes, logP)
+		k2, err2 := GreedyPartition(sizes, logP+1)
+		if err1 != nil || err2 != nil {
+			return true // infeasible machine for this shape
+		}
+		for j := range k1 {
+			if 1<<uint(k1[j]) > sizes[j] || 1<<uint(k2[j]) > sizes[j] {
+				return false
+			}
+		}
+		return TotalVolumeClosedForm(sizes, k2) >= TotalVolumeClosedForm(sizes, k1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

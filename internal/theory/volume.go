@@ -1,0 +1,175 @@
+// Package theory implements the paper's analytic results: the per-edge
+// communication volume of the parallel algorithm (Lemma 1), the closed-form
+// total volume (Theorem 3), computation-cost accounting for orderings
+// (Theorems 6 and 7), and the greedy O(n + k log n) partitioning algorithm
+// with its optimality guarantee (Theorem 8, Figure 6).
+//
+// Everything here works in *position space*: sizes[j] is the extent of the
+// dimension at aggregation-tree position j, and k[j] is the log2 of the
+// number of processor slices along that dimension. Volumes are counted in
+// elements; multiply by the element width for bytes.
+package theory
+
+import (
+	"fmt"
+
+	"parcube/internal/core"
+	"parcube/internal/lattice"
+	"parcube/internal/nd"
+)
+
+// EdgeVolume returns the Lemma 1 communication volume (in elements) for
+// computing the aggregation-tree node whose prefix set is prefix ∪ {j} from
+// the node with prefix set prefix: (2^{k_j} - 1) * prod_{i not in
+// prefix ∪ {j}} D_i. It is exact for uneven blocks too, because the lead
+// slabs of the participating groups tile the child array exactly.
+func EdgeVolume(sizes nd.Shape, k []int, prefix lattice.DimSet, j int) int64 {
+	vol := int64(1)<<uint(k[j]) - 1
+	for i := range sizes {
+		if i != j && !prefix.Has(i) {
+			vol *= int64(sizes[i])
+		}
+	}
+	return vol
+}
+
+// TotalVolume returns the total communication volume of parallel cube
+// construction with the aggregation tree, by summing Lemma 1 over every
+// tree edge. TotalVolumeClosedForm computes the same quantity analytically;
+// the two agreeing is the Theorem 3 cross-check.
+func TotalVolume(sizes nd.Shape, k []int) int64 {
+	n := sizes.Rank()
+	var total int64
+	// Every non-empty prefix set S' contributes one edge, aggregated along
+	// j = max(S') from its parent S' \ {j}.
+	for m := lattice.DimSet(1); m <= lattice.Full(n); m++ {
+		dims := m.Dims()
+		j := dims[len(dims)-1]
+		total += EdgeVolume(sizes, k, m.Without(j), j)
+	}
+	return total
+}
+
+// TotalVolumeClosedForm returns the Theorem 3 closed form:
+//
+//	V = sum_{j=0}^{n-1} (2^{k_j} - 1) * prod_{i<j} (1 + D_i) * prod_{i>j} D_i
+//
+// obtained by grouping the Lemma 1 edges by their aggregated position j.
+func TotalVolumeClosedForm(sizes nd.Shape, k []int) int64 {
+	var total int64
+	for j := range sizes {
+		total += (int64(1)<<uint(k[j]) - 1) * Coefficient(sizes, j)
+	}
+	return total
+}
+
+// Coefficient returns C_j = prod_{i<j} (1 + D_i) * prod_{i>j} D_i, the
+// weight multiplying (2^{k_j} - 1) in the closed form. The paper's
+// partitioning algorithm minimizes sum_j (2^{k_j} - 1) C_j.
+func Coefficient(sizes nd.Shape, j int) int64 {
+	c := int64(1)
+	for i := range sizes {
+		switch {
+		case i < j:
+			c *= int64(sizes[i]) + 1
+		case i > j:
+			c *= int64(sizes[i])
+		}
+	}
+	return c
+}
+
+// ComputationCost returns the total accumulator updates performed by the
+// aggregation-tree construction: each node costs one update per cell of its
+// tree parent. Sizes are in position space.
+func ComputationCost(sizes nd.Shape) int64 {
+	n := sizes.Rank()
+	l, err := lattice.New(sizes)
+	if err != nil {
+		panic(err)
+	}
+	tr, err := core.Build(n)
+	if err != nil {
+		panic(err)
+	}
+	return tr.SpanningTree().ComputationCost(l)
+}
+
+// FirstLevelCost returns the updates spent at the first level of the tree
+// (computing the n children of the root), used for the paper's observation
+// that the dominant, fully parallelized share of the work is at level one.
+func FirstLevelCost(sizes nd.Shape) int64 {
+	return int64(sizes.Rank()) * int64(sizes.Size())
+}
+
+// MinimalParentCost returns the computation cost of the minimal-parent
+// spanning tree — the cheapest possible cost for any spanning tree.
+// Theorem 7: the aggregation tree attains it iff sizes are descending.
+func MinimalParentCost(sizes nd.Shape) int64 {
+	l, err := lattice.New(sizes)
+	if err != nil {
+		panic(err)
+	}
+	return lattice.MinimalParentTree(l).ComputationCost(l)
+}
+
+// Permutations calls fn with every permutation of 0..n-1. Used by the
+// Theorem 6/7 exhaustive checks; n must stay small.
+func Permutations(n int, fn func(perm []int)) {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			fn(perm)
+			return
+		}
+		for j := i; j < n; j++ {
+			perm[i], perm[j] = perm[j], perm[i]
+			rec(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+	}
+	rec(0)
+}
+
+// VolumeForOrdering returns the minimum total communication volume
+// achievable for the given ordering of physical sizes, optimizing the
+// partition with the greedy algorithm. logP is log2 of the processor count.
+func VolumeForOrdering(sizes nd.Shape, ordering core.Ordering, logP int) (int64, []int, error) {
+	if err := ordering.Validate(sizes.Rank()); err != nil {
+		return 0, nil, err
+	}
+	ordered := ordering.Apply(sizes)
+	k, err := GreedyPartition(ordered, logP)
+	if err != nil {
+		return 0, nil, err
+	}
+	return TotalVolumeClosedForm(ordered, k), k, nil
+}
+
+// SingleDimVolume returns the total volume when all 2^logP slices are along
+// position j — the Section 2 single-dimension partitioning example.
+func SingleDimVolume(sizes nd.Shape, j, logP int) int64 {
+	k := make([]int, sizes.Rank())
+	k[j] = logP
+	return TotalVolumeClosedForm(sizes, k)
+}
+
+// validatePartition checks k against the shape.
+func validatePartition(sizes nd.Shape, k []int) error {
+	if len(k) != sizes.Rank() {
+		return fmt.Errorf("theory: partition %v does not match rank %d", k, sizes.Rank())
+	}
+	for j, kj := range k {
+		if kj < 0 {
+			return fmt.Errorf("theory: negative k[%d]", j)
+		}
+		if 1<<uint(kj) > sizes[j] {
+			return fmt.Errorf("theory: 2^%d slices exceed extent %d on position %d", kj, sizes[j], j)
+		}
+	}
+	return nil
+}

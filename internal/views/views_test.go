@@ -1,0 +1,260 @@
+package views
+
+import (
+	"math/rand"
+	"testing"
+
+	"parcube/internal/agg"
+	"parcube/internal/array"
+	"parcube/internal/lattice"
+	"parcube/internal/nd"
+)
+
+func randomSparse(t *testing.T, shape nd.Shape, nnz int, seed int64) *array.Sparse {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b, err := array.NewSparseBuilder(shape, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coords := make([]int, shape.Rank())
+	for i := 0; i < nnz; i++ {
+		for d := range coords {
+			coords[d] = rng.Intn(shape[d])
+		}
+		if err := b.Add(coords, float64(rng.Intn(9)+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestSelectGreedyPicksLargestBenefitFirst(t *testing.T) {
+	// Sizes 8x4x2: the first pick must be the view that slashes the most
+	// query costs. With rootCost = |ABC| = 64, view BC (size 8) benefits
+	// queries {BC, B, C, all}: 4 * (64-8) = 224; AB (32) benefits
+	// 4 * 32 = 128; AC (16): 4 * 48 = 192. A single 1-D view, e.g. C
+	// (size 2), benefits only {C, all}: 2 * 62 = 124. So BC wins.
+	l, err := lattice.New(nd.MustShape(8, 4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := SelectGreedy(l, 1, 0)
+	if len(sel.Views) != 1 || sel.Views[0] != lattice.DimSet(0b110) {
+		t.Fatalf("first pick = %v", sel.Views)
+	}
+	if sel.TotalBenefit != 224 {
+		t.Fatalf("benefit = %d", sel.TotalBenefit)
+	}
+}
+
+func TestSelectGreedyBudgetAndMonotonicity(t *testing.T) {
+	l, _ := lattice.New(nd.MustShape(16, 8, 4, 2))
+	prevBenefit := int64(-1)
+	for budget := 0; budget <= 8; budget++ {
+		sel := SelectGreedy(l, budget, 0)
+		if len(sel.Views) > budget {
+			t.Fatalf("budget %d: %d views", budget, len(sel.Views))
+		}
+		if sel.TotalBenefit < prevBenefit {
+			t.Fatalf("benefit decreased at budget %d", budget)
+		}
+		prevBenefit = sel.TotalBenefit
+		seen := make(map[lattice.DimSet]bool)
+		for _, v := range sel.Views {
+			if seen[v] {
+				t.Fatalf("view %b picked twice", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSelectGreedyStopsWhenNoBenefit(t *testing.T) {
+	// With every proper view materialized, further picks add nothing; the
+	// budget is not exhausted blindly.
+	l, _ := lattice.New(nd.MustShape(2, 2))
+	sel := SelectGreedy(l, 100, 0)
+	if len(sel.Views) >= 100 {
+		t.Fatalf("greedy did not stop: %d views", len(sel.Views))
+	}
+}
+
+func TestMaterializeAndRouterAnswers(t *testing.T) {
+	shape := nd.MustShape(8, 6, 4)
+	input := randomSparse(t, shape, 60, 11)
+	l, _ := lattice.New(shape)
+	sel := SelectGreedy(l, 3, int64(input.NNZ()))
+	mats, err := Materialize(input, sel.Views, agg.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRouter(input, agg.Sum, mats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := lattice.DimSet(0); q < lattice.Full(3); q++ {
+		got, src, err := r.Answer(q)
+		if err != nil {
+			t.Fatalf("query %b: %v", q, err)
+		}
+		want, _ := array.ProjectSparse(input, q.Dims(), agg.Sum, agg.FoldInput)
+		if !got.AlmostEqual(want, 1e-9) {
+			t.Fatalf("query %b from %+v wrong", q, src)
+		}
+		if src.ScanCost <= 0 {
+			t.Fatalf("query %b: zero scan cost", q)
+		}
+	}
+}
+
+func TestRouterPlanPrefersCheapestView(t *testing.T) {
+	shape := nd.MustShape(8, 6, 4)
+	input := randomSparse(t, shape, 100, 13)
+	mats, err := Materialize(input, []lattice.DimSet{0b011, 0b001}, agg.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := NewRouter(input, agg.Sum, mats)
+	// Query A (0b001): exact view of size 8 beats AB (48) and root scan.
+	src, err := r.Plan(0b001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.FromRoot || src.View != 0b001 || src.ScanCost != 8 {
+		t.Fatalf("plan = %+v", src)
+	}
+	// Query B (0b010): from AB.
+	src, _ = r.Plan(0b010)
+	if src.FromRoot || src.View != 0b011 {
+		t.Fatalf("plan for B = %+v", src)
+	}
+	// Query C (0b100): no materialized ancestor except root.
+	src, _ = r.Plan(0b100)
+	if !src.FromRoot {
+		t.Fatalf("plan for C = %+v", src)
+	}
+}
+
+func TestRouterExactViewClones(t *testing.T) {
+	shape := nd.MustShape(4, 4)
+	input := randomSparse(t, shape, 8, 17)
+	mats, _ := Materialize(input, []lattice.DimSet{0b01}, agg.Sum)
+	r, _ := NewRouter(input, agg.Sum, mats)
+	got, _, err := r.Answer(0b01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Set(999, 0)
+	again, _, _ := r.Answer(0b01)
+	if again.At(0) == 999 {
+		t.Fatal("Answer aliases the materialized view")
+	}
+}
+
+func TestRouterValidation(t *testing.T) {
+	shape := nd.MustShape(4, 4)
+	input := randomSparse(t, shape, 5, 19)
+	bad := map[lattice.DimSet]*array.Dense{
+		0b01: array.NewDense(nd.MustShape(3), agg.Sum), // wrong shape
+	}
+	if _, err := NewRouter(input, agg.Sum, bad); err == nil {
+		t.Fatal("wrong view shape accepted")
+	}
+	r, _ := NewRouter(input, agg.Sum, nil)
+	if _, err := r.Plan(0b1000); err == nil {
+		t.Fatal("out-of-range query accepted")
+	}
+	if _, err := NewRouter(input, agg.Op(99), nil); err == nil {
+		t.Fatal("bad operator accepted")
+	}
+}
+
+func TestMaterializeRejectsDuplicates(t *testing.T) {
+	input := randomSparse(t, nd.MustShape(4, 4), 5, 23)
+	if _, err := Materialize(input, []lattice.DimSet{1, 1}, agg.Sum); err == nil {
+		t.Fatal("duplicate views accepted")
+	}
+}
+
+func TestRouterCountOperator(t *testing.T) {
+	// 6x4x2 input nearly dense (~42 stored cells) with view AB (24 cells):
+	// answering A through the view beats rescanning the input.
+	shape := nd.MustShape(6, 4, 2)
+	input := randomSparse(t, shape, 100, 29)
+	mats, _ := Materialize(input, []lattice.DimSet{0b011}, agg.Count)
+	r, _ := NewRouter(input, agg.Count, mats)
+	got, src, err := r.Answer(0b001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.FromRoot {
+		t.Fatal("count query not routed through view")
+	}
+	want, _ := array.ProjectSparse(input, []int{0}, agg.Count, agg.FoldInput)
+	if !got.Equal(want) {
+		t.Fatalf("count from view = %v, want %v", got.Data(), want.Data())
+	}
+}
+
+func TestSelectGreedyUnderSpace(t *testing.T) {
+	l, _ := lattice.New(nd.MustShape(16, 8, 4))
+	// Generous budget: behaves like the unbounded greedy (all useful views).
+	big := SelectGreedyUnderSpace(l, 1<<20, 0)
+	if len(big.Views) == 0 {
+		t.Fatal("no views under a huge budget")
+	}
+	var usedBig int64
+	for _, v := range big.Views {
+		usedBig += l.SizeOf(v)
+	}
+	// Tight budget: fits within it and picks fewer views.
+	tight := SelectGreedyUnderSpace(l, 40, 0)
+	var used int64
+	for _, v := range tight.Views {
+		used += l.SizeOf(v)
+	}
+	if used > 40 {
+		t.Fatalf("budget exceeded: %d cells", used)
+	}
+	if len(tight.Views) >= len(big.Views) && usedBig > 40 {
+		t.Fatalf("tight budget selected %d views vs %d unbounded", len(tight.Views), len(big.Views))
+	}
+	// Zero budget: nothing fits.
+	if got := SelectGreedyUnderSpace(l, 0, 0); len(got.Views) != 0 {
+		t.Fatalf("views under zero budget: %v", got.Views)
+	}
+	// Benefit never negative, and views are distinct.
+	seen := map[lattice.DimSet]bool{}
+	for _, v := range big.Views {
+		if seen[v] {
+			t.Fatalf("duplicate view %b", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSelectGreedyUnderSpaceAnswersStillCorrect(t *testing.T) {
+	shape := nd.MustShape(8, 6, 4)
+	input := randomSparse(t, shape, 80, 31)
+	l, _ := lattice.New(shape)
+	sel := SelectGreedyUnderSpace(l, 60, int64(input.NNZ()))
+	mats, err := Materialize(input, sel.Views, agg.Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRouter(input, agg.Sum, mats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := lattice.DimSet(0); q < lattice.Full(3); q++ {
+		got, _, err := r.Answer(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := array.ProjectSparse(input, q.Dims(), agg.Sum, agg.FoldInput)
+		if !got.AlmostEqual(want, 1e-9) {
+			t.Fatalf("query %b wrong under space budget", q)
+		}
+	}
+}

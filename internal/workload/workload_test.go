@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"testing"
+
+	"parcube/internal/nd"
+)
+
+func TestGenerateExactSparsity(t *testing.T) {
+	spec := Spec{Shape: nd.MustShape(20, 20, 10), SparsityPercent: 10, Seed: 1}
+	s, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NNZ() != 400 { // 10% of 4000
+		t.Fatalf("NNZ = %d", s.NNZ())
+	}
+	s.Iter(func(_ []int, v float64) {
+		if v < 1 || v > 10 {
+			t.Fatalf("value %v outside [1,10]", v)
+		}
+	})
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Spec{Shape: nd.MustShape(16, 16), SparsityPercent: 25, Seed: 7}
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.ToDense().Equal(b.ToDense()) {
+		t.Fatal("same seed, different data")
+	}
+	spec.Seed = 8
+	c, _ := Generate(spec)
+	if a.ToDense().Equal(c.ToDense()) {
+		t.Fatal("different seeds, same data")
+	}
+}
+
+func TestGenerateClustered(t *testing.T) {
+	spec := Spec{
+		Shape:           nd.MustShape(64, 64),
+		SparsityPercent: 5,
+		Seed:            3,
+		Distribution:    Clustered,
+	}
+	s, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NNZ() != 205 { // 5% of 4096, rounded
+		t.Fatalf("NNZ = %d", s.NNZ())
+	}
+	// Clustering concentrates mass: the busiest 8x8 chunk should hold far
+	// more than the uniform expectation (205/64 ~ 3.2 per chunk).
+	counts := make(map[[2]int]int)
+	s.Iter(func(c []int, _ float64) {
+		counts[[2]int{c[0] / 8, c[1] / 8}]++
+	})
+	max := 0
+	for _, n := range counts {
+		if n > max {
+			max = n
+		}
+	}
+	if max < 10 {
+		t.Fatalf("busiest chunk holds only %d cells; clustering ineffective", max)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Spec{Shape: nd.Shape{}, SparsityPercent: 10}); err == nil {
+		t.Fatal("empty shape accepted")
+	}
+	if _, err := Generate(Spec{Shape: nd.MustShape(4), SparsityPercent: 0}); err == nil {
+		t.Fatal("zero sparsity accepted")
+	}
+	if _, err := Generate(Spec{Shape: nd.MustShape(4), SparsityPercent: 101}); err == nil {
+		t.Fatal("over-dense accepted")
+	}
+}
+
+func TestGenerateFullDensity(t *testing.T) {
+	s, err := Generate(Spec{Shape: nd.MustShape(5, 5), SparsityPercent: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NNZ() != 25 {
+		t.Fatalf("NNZ = %d", s.NNZ())
+	}
+}
+
+func TestPaperShapes(t *testing.T) {
+	if !Fig7Shape(true).Equal(nd.MustShape(64, 64, 64, 64)) {
+		t.Fatal("fig7 full shape wrong")
+	}
+	if Fig7Shape(false).Size() >= Fig7Shape(true).Size() {
+		t.Fatal("fig7 test scale not smaller")
+	}
+	if !Fig8Shape(true).Equal(nd.MustShape(128, 128, 128, 128)) {
+		t.Fatal("fig8 full shape wrong")
+	}
+	if len(PaperSparsities) != 3 || PaperSparsities[0] != 25 {
+		t.Fatal("paper sparsities wrong")
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	if Uniform.String() != "uniform" || Clustered.String() != "clustered" {
+		t.Fatal("distribution names wrong")
+	}
+	if Distribution(9).String() == "" {
+		t.Fatal("unknown distribution name empty")
+	}
+}

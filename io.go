@@ -1,0 +1,177 @@
+package parcube
+
+import (
+	"fmt"
+	"io"
+
+	"parcube/internal/cubeio"
+	"parcube/internal/nd"
+)
+
+// Range selects [Lo, Hi) along one dimension in a Dice call.
+type Range struct {
+	Lo, Hi int
+}
+
+// Dice restricts the table to coordinate ranges — the OLAP dice operation.
+// Dimensions absent from ranges keep their full extent. Coordinates of the
+// result are re-based to each range's Lo.
+func (t *Table) Dice(ranges map[string]Range) (*Table, error) {
+	rank := len(t.names)
+	lo := make([]int, rank)
+	hi := make([]int, rank)
+	shape := t.data.Shape()
+	copy(hi, shape)
+	for name, r := range ranges {
+		axis, err := t.axisOf(name)
+		if err != nil {
+			return nil, err
+		}
+		if r.Lo < 0 || r.Hi > shape[axis] || r.Lo >= r.Hi {
+			return nil, fmt.Errorf("parcube: range [%d,%d) invalid for %q (extent %d)", r.Lo, r.Hi, name, shape[axis])
+		}
+		lo[axis], hi[axis] = r.Lo, r.Hi
+	}
+	return &Table{
+		names:       append([]string(nil), t.names...),
+		schemaNames: t.schemaNames,
+		mask:        t.mask,
+		data:        t.data.Crop(lo, hi),
+		op:          t.op,
+	}, nil
+}
+
+// RangeTotal aggregates the table over coordinate ranges in one call —
+// "sales of items 10..19 during weeks 0..3". Dimensions absent from ranges
+// aggregate over their full extent.
+func (t *Table) RangeTotal(ranges map[string]Range) (float64, error) {
+	diced, err := t.Dice(ranges)
+	if err != nil {
+		return 0, err
+	}
+	total := t.op.Identity()
+	for _, v := range diced.data.Data() {
+		total = t.op.Combine(total, v)
+	}
+	return total, nil
+}
+
+// ReadDatasetCSV loads a fact table written by WriteCSV (or cubegen): a
+// header naming the dimensions plus "value", then coordinate rows. The
+// header names must match the schema.
+func ReadDatasetCSV(r io.Reader, schema *Schema) (*Dataset, error) {
+	shape, err := nd.NewShape(schema.Sizes()...)
+	if err != nil {
+		return nil, err
+	}
+	sparse, names, err := cubeio.ReadCSV(r, shape)
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		if name != schema.names[i] {
+			return nil, fmt.Errorf("parcube: CSV column %d is %q, schema has %q", i, name, schema.names[i])
+		}
+	}
+	ds := NewDataset(schema)
+	var addErr error
+	sparse.Iter(func(coords []int, v float64) {
+		if addErr == nil {
+			addErr = ds.Add(v, coords...)
+		}
+	})
+	if addErr != nil {
+		return nil, addErr
+	}
+	return ds, nil
+}
+
+// WriteDatasetCSV writes the dataset's distinct cells as a fact table.
+// It freezes the dataset.
+func WriteDatasetCSV(w io.Writer, d *Dataset) error {
+	return cubeio.WriteCSV(w, d.schema.Names(), d.freeze())
+}
+
+// ReadCubeSnapshot loads a cube previously serialized with WriteSnapshot.
+// Snapshots do not carry the aggregator, so the caller restates it (it
+// only affects further Rollup/RangeTotal semantics). The loaded cube
+// answers every proper group-by; the full-dimensional group-by needs the
+// original dataset and is not available from a snapshot.
+func ReadCubeSnapshot(r io.Reader, schema *Schema, aggregator Aggregator) (*Cube, error) {
+	if !aggregator.op().Valid() {
+		return nil, fmt.Errorf("parcube: invalid aggregator %d", int(aggregator))
+	}
+	store, err := cubeio.ReadSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	// Validate shapes against the schema.
+	shape, err := nd.NewShape(schema.Sizes()...)
+	if err != nil {
+		return nil, err
+	}
+	for _, mask := range store.Masks() {
+		a, _ := store.Get(mask)
+		want := shape.Keep(mask.Dims())
+		if !a.Shape().Equal(want) {
+			return nil, fmt.Errorf("parcube: snapshot group-by %b has shape %v, schema implies %v",
+				mask, a.Shape(), want)
+		}
+	}
+	if store.Len() != (1<<uint(schema.Dims()))-1 {
+		return nil, fmt.Errorf("parcube: snapshot has %d group-bys, schema implies %d",
+			store.Len(), (1<<uint(schema.Dims()))-1)
+	}
+	return &Cube{schema: schema, store: store, input: nil, op: aggregator.op()}, nil
+}
+
+// SaveDir persists the cube's group-bys to a directory (one binary file
+// per group-by plus a manifest). The dataset itself is not stored; save it
+// separately with WriteDatasetCSV if full-dimensional queries must survive
+// the round trip.
+func (c *Cube) SaveDir(dir string) error {
+	store, err := cubeio.NewDirStore(dir, c.schema.Names())
+	if err != nil {
+		return err
+	}
+	for _, mask := range c.store.Masks() {
+		a, _ := c.store.Get(mask)
+		if err := store.WriteBack(mask, a); err != nil {
+			return err
+		}
+	}
+	return store.Flush()
+}
+
+// LoadCubeDir opens a cube previously saved with SaveDir. Like snapshot
+// loading, the result answers every proper group-by; the full-dimensional
+// group-by needs the original dataset.
+func LoadCubeDir(dir string, schema *Schema, aggregator Aggregator) (*Cube, error) {
+	if !aggregator.op().Valid() {
+		return nil, fmt.Errorf("parcube: invalid aggregator %d", int(aggregator))
+	}
+	ds, err := cubeio.OpenDirStore(dir)
+	if err != nil {
+		return nil, err
+	}
+	store, err := ds.ToStore()
+	if err != nil {
+		return nil, err
+	}
+	shape, err := nd.NewShape(schema.Sizes()...)
+	if err != nil {
+		return nil, err
+	}
+	for _, mask := range store.Masks() {
+		a, _ := store.Get(mask)
+		want := shape.Keep(mask.Dims())
+		if !a.Shape().Equal(want) {
+			return nil, fmt.Errorf("parcube: stored group-by %b has shape %v, schema implies %v", mask, a.Shape(), want)
+		}
+	}
+	if store.Len() != (1<<uint(schema.Dims()))-1 {
+		return nil, fmt.Errorf("parcube: directory has %d group-bys, schema implies %d",
+			store.Len(), (1<<uint(schema.Dims()))-1)
+	}
+	return &Cube{schema: schema, store: store, input: nil, op: aggregator.op()}, nil
+}

@@ -1,0 +1,44 @@
+package parcube
+
+import (
+	"fmt"
+
+	"parcube/internal/core"
+	"parcube/internal/nd"
+)
+
+// resolveOptions applies options and converts name-based settings to the
+// internal representations.
+func resolveOptions(d *Dataset, opts []BuildOption) (*buildConfig, error) {
+	cfg := &buildConfig{agg: Sum}
+	for _, opt := range opts {
+		opt(cfg)
+	}
+	if !cfg.agg.op().Valid() {
+		return nil, fmt.Errorf("parcube: invalid aggregator %d", int(cfg.agg))
+	}
+	if cfg.orderingNames != nil {
+		ordering := make(core.Ordering, 0, len(cfg.orderingNames))
+		for _, name := range cfg.orderingNames {
+			i, ok := d.schema.Index(name)
+			if !ok {
+				return nil, fmt.Errorf("parcube: unknown dimension %q in ordering", name)
+			}
+			ordering = append(ordering, i)
+		}
+		if err := ordering.Validate(d.schema.Dims()); err != nil {
+			return nil, fmt.Errorf("parcube: ordering %v: %w", cfg.orderingNames, err)
+		}
+		cfg.ordering = ordering
+	}
+	return cfg, nil
+}
+
+// shapeOf validates raw sizes into a shape.
+func shapeOf(sizes []int) (nd.Shape, error) {
+	shape, err := nd.NewShape(sizes...)
+	if err != nil {
+		return nil, fmt.Errorf("parcube: %w", err)
+	}
+	return shape, nil
+}

@@ -1,0 +1,176 @@
+package parcube
+
+import (
+	"fmt"
+
+	"parcube/internal/lattice"
+	"parcube/internal/views"
+)
+
+// PartialCube is a partially materialized cube: only a selected subset of
+// group-bys is stored, and queries route to the cheapest materialized
+// ancestor (falling back to the raw dataset). It implements the partial
+// materialization the paper's conclusion points to as the natural
+// application of its results, using the classic benefit-greedy selection
+// of Harinarayan, Rajaraman and Ullman (the paper's reference [6]).
+type PartialCube struct {
+	schema *Schema
+	router *views.Router
+	op     Aggregator
+	report *PartialReport
+}
+
+// PartialReport describes a partial materialization.
+type PartialReport struct {
+	// Views are the selected group-bys, named by their dimensions
+	// ("item,branch"; "" is the grand total), in pick order.
+	Views []string
+	// StorageCells is the total cells materialized; FullCubeCells is what
+	// the complete cube would store — the space saved is their difference.
+	StorageCells  int64
+	FullCubeCells int64
+	// TotalBenefit is the greedy objective: the reduction in per-query
+	// scan cost over a uniform workload, accumulated over picks.
+	TotalBenefit int64
+}
+
+// QueryInfo reports how a partial-cube query was answered.
+type QueryInfo struct {
+	// AnsweredFrom names the materialized view used, or "dataset" when the
+	// query fell back to scanning the raw facts.
+	AnsweredFrom string
+	// ScannedCells is the cells read to answer.
+	ScannedCells int64
+}
+
+// BuildPartial materializes the `budget` most beneficial group-bys of the
+// dataset and returns a queryable partial cube. The dataset is frozen by
+// the call.
+func BuildPartial(d *Dataset, budget int, opts ...BuildOption) (*PartialCube, *PartialReport, error) {
+	cfg, err := resolveOptions(d, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if budget < 0 {
+		return nil, nil, fmt.Errorf("parcube: negative view budget %d", budget)
+	}
+	input := d.freeze()
+	l, err := lattice.New(input.Shape())
+	if err != nil {
+		return nil, nil, err
+	}
+	sel := views.SelectGreedy(l, budget, int64(input.NNZ()))
+	mats, err := views.Materialize(input, sel.Views, cfg.agg.op())
+	if err != nil {
+		return nil, nil, err
+	}
+	router, err := views.NewRouter(input, cfg.agg.op(), mats)
+	if err != nil {
+		return nil, nil, err
+	}
+	report := &PartialReport{TotalBenefit: sel.TotalBenefit}
+	for _, v := range sel.Views {
+		report.Views = append(report.Views, viewName(d.schema, v))
+		report.StorageCells += l.SizeOf(v)
+	}
+	for mask := lattice.DimSet(0); mask < lattice.Full(d.schema.Dims()); mask++ {
+		report.FullCubeCells += l.SizeOf(mask)
+	}
+	return &PartialCube{schema: d.schema, router: router, op: cfg.agg, report: report}, report, nil
+}
+
+// viewName renders a mask as comma-joined dimension names.
+func viewName(s *Schema, mask lattice.DimSet) string {
+	if mask == 0 {
+		return "(grand total)"
+	}
+	out := ""
+	for _, d := range mask.Dims() {
+		if out != "" {
+			out += ","
+		}
+		out += s.names[d]
+	}
+	return out
+}
+
+// Schema returns the cube's schema.
+func (p *PartialCube) Schema() *Schema { return p.schema }
+
+// Report returns the materialization report.
+func (p *PartialCube) Report() *PartialReport { return p.report }
+
+// GroupBy answers the group-by retaining the named dimensions, computing it
+// from the cheapest materialized ancestor (or the raw dataset).
+func (p *PartialCube) GroupBy(names ...string) (*Table, QueryInfo, error) {
+	var mask lattice.DimSet
+	for _, name := range names {
+		i, ok := p.schema.Index(name)
+		if !ok {
+			return nil, QueryInfo{}, fmt.Errorf("parcube: unknown dimension %q", name)
+		}
+		if mask.Has(i) {
+			return nil, QueryInfo{}, fmt.Errorf("parcube: dimension %q repeated", name)
+		}
+		mask = mask.With(i)
+	}
+	if mask == lattice.Full(p.schema.Dims()) {
+		return nil, QueryInfo{}, fmt.Errorf("parcube: the full group-by is the dataset itself; query a proper subset")
+	}
+	a, src, err := p.router.Answer(mask)
+	if err != nil {
+		return nil, QueryInfo{}, err
+	}
+	info := QueryInfo{ScannedCells: src.ScanCost, AnsweredFrom: "dataset"}
+	if !src.FromRoot {
+		info.AnsweredFrom = viewName(p.schema, src.View)
+	}
+	dims := mask.Dims()
+	tableNames := make([]string, len(dims))
+	for i, d := range dims {
+		tableNames[i] = p.schema.names[d]
+	}
+	return &Table{
+		names:       tableNames,
+		schemaNames: p.schema.Names(),
+		mask:        mask,
+		data:        a,
+		op:          p.op.op(),
+	}, info, nil
+}
+
+// BuildPartialUnderSpace is BuildPartial under a storage budget (total
+// materialized cells) instead of a view count — pick the views with the
+// best benefit per stored cell that fit.
+func BuildPartialUnderSpace(d *Dataset, maxCells int64, opts ...BuildOption) (*PartialCube, *PartialReport, error) {
+	cfg, err := resolveOptions(d, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if maxCells < 0 {
+		return nil, nil, fmt.Errorf("parcube: negative space budget %d", maxCells)
+	}
+	input := d.freeze()
+	l, err := lattice.New(input.Shape())
+	if err != nil {
+		return nil, nil, err
+	}
+	sel := views.SelectGreedyUnderSpace(l, maxCells, int64(input.NNZ()))
+	mats, err := views.Materialize(input, sel.Views, cfg.agg.op())
+	if err != nil {
+		return nil, nil, err
+	}
+	router, err := views.NewRouter(input, cfg.agg.op(), mats)
+	if err != nil {
+		return nil, nil, err
+	}
+	report := &PartialReport{TotalBenefit: sel.TotalBenefit}
+	for _, v := range sel.Views {
+		report.Views = append(report.Views, viewName(d.schema, v))
+		report.StorageCells += l.SizeOf(v)
+	}
+	for mask := lattice.DimSet(0); mask < lattice.Full(d.schema.Dims()); mask++ {
+		report.FullCubeCells += l.SizeOf(mask)
+	}
+	return &PartialCube{schema: d.schema, router: router, op: cfg.agg, report: report}, report, nil
+}

@@ -1,0 +1,193 @@
+package parcube
+
+import (
+	"testing"
+)
+
+func TestBuildPartialAnswersMatchFullCube(t *testing.T) {
+	ds := retailDataset(t, 20, 400)
+	full, _, err := Build(retailDataset(t, 20, 400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial, report, err := BuildPartial(ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Views) == 0 || len(report.Views) > 3 {
+		t.Fatalf("views = %v", report.Views)
+	}
+	if report.StorageCells >= report.FullCubeCells {
+		t.Fatalf("partial stores %d of %d cells — no saving", report.StorageCells, report.FullCubeCells)
+	}
+	for _, names := range [][]string{{"item"}, {"branch"}, {"item", "time"}, {}} {
+		got, info, err := partial.GroupBy(names...)
+		if err != nil {
+			t.Fatalf("%v: %v", names, err)
+		}
+		want, err := full.GroupBy(names...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < got.Size(); i++ {
+			if got.data.Data()[i] != want.data.Data()[i] {
+				t.Fatalf("%v: differs from full cube (answered from %q)", names, info.AnsweredFrom)
+			}
+		}
+		if info.ScannedCells <= 0 {
+			t.Fatalf("%v: no scan cost reported", names)
+		}
+	}
+}
+
+func TestBuildPartialRouting(t *testing.T) {
+	ds := retailDataset(t, 21, 500)
+	partial, report, err := BuildPartial(ds, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At least one query must be answered from a view rather than the
+	// dataset: with a dense-ish dataset, the cheap 2-D views win the
+	// greedy picks, and querying one of them hits it exactly.
+	if len(report.Views) == 0 {
+		t.Fatal("no views selected")
+	}
+	_, info, err := partial.GroupBy("branch", "time")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.AnsweredFrom == "dataset" {
+		t.Fatalf("query not routed through a view (views = %v)", report.Views)
+	}
+	// A 1-D query under a materialized ancestor also routes through it.
+	_, info2, err := partial.GroupBy("time")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.AnsweredFrom == "dataset" {
+		t.Fatalf("descendant query not routed (views = %v)", report.Views)
+	}
+}
+
+func TestBuildPartialValidation(t *testing.T) {
+	if _, _, err := BuildPartial(retailDataset(t, 22, 10), -1); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+	p, _, err := BuildPartial(retailDataset(t, 23, 10), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.GroupBy("bogus"); err == nil {
+		t.Fatal("unknown dimension accepted")
+	}
+	if _, _, err := p.GroupBy("item", "item"); err == nil {
+		t.Fatal("repeated dimension accepted")
+	}
+	if _, _, err := p.GroupBy("item", "branch", "time"); err == nil {
+		t.Fatal("full group-by accepted")
+	}
+}
+
+func TestTableSliceAndRollup(t *testing.T) {
+	ds := retailDataset(t, 24, 300)
+	cube, _, err := Build(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, err := cube.GroupBy("item", "branch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slice: branch 2's per-item sales must match Value lookups.
+	slice, err := ib.Slice("branch", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := slice.Dims(); len(got) != 1 || got[0] != "item" {
+		t.Fatalf("slice dims = %v", got)
+	}
+	for i := 0; i < 8; i++ {
+		if slice.At(i) != ib.At(i, 2) {
+			t.Fatalf("slice mismatch at item %d", i)
+		}
+	}
+	// Rollup: collapsing branch reproduces the 1-D item group-by.
+	rolled, err := ib.Rollup("branch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byItem, _ := cube.GroupBy("item")
+	for i := 0; i < 8; i++ {
+		if rolled.At(i) != byItem.At(i) {
+			t.Fatalf("rollup mismatch at item %d: %v != %v", i, rolled.At(i), byItem.At(i))
+		}
+	}
+	// Rolled-up table keeps working: further rollup to grand total.
+	total, err := rolled.Rollup("item")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.At() != cube.Total() {
+		t.Fatalf("double rollup = %v, want %v", total.At(), cube.Total())
+	}
+	// CSV of a derived table uses the right header.
+	if _, err := ib.Slice("bogus", 0); err == nil {
+		t.Fatal("bad slice name accepted")
+	}
+	if _, err := ib.Slice("branch", 99); err == nil {
+		t.Fatal("bad slice index accepted")
+	}
+	if _, err := ib.Rollup("bogus"); err == nil {
+		t.Fatal("bad rollup name accepted")
+	}
+}
+
+func TestRollupCountSemantics(t *testing.T) {
+	ds := NewDataset(retailSchema(t))
+	_ = ds.Add(5, 0, 0, 0)
+	_ = ds.Add(5, 0, 1, 0)
+	_ = ds.Add(5, 1, 0, 0)
+	cube, _, err := Build(ds, WithAggregator(Count))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, _ := cube.GroupBy("item", "branch")
+	rolled, err := ib.Rollup("branch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rolled.At(0) != 2 || rolled.At(1) != 1 {
+		t.Fatalf("count rollup = %v, %v", rolled.At(0), rolled.At(1))
+	}
+}
+
+func TestBuildPartialUnderSpace(t *testing.T) {
+	ds := retailDataset(t, 25, 400)
+	cube, report, err := BuildPartialUnderSpace(ds, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.StorageCells > 60 {
+		t.Fatalf("budget exceeded: %d cells", report.StorageCells)
+	}
+	// Answers still correct against a full cube.
+	full, _, err := Build(retailDataset(t, 25, 400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, names := range [][]string{{"time"}, {"branch"}, {}} {
+		got, _, err := cube.GroupBy(names...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := full.GroupBy(names...)
+		for i := 0; i < got.Size(); i++ {
+			if got.data.Data()[i] != want.data.Data()[i] {
+				t.Fatalf("%v differs under space budget", names)
+			}
+		}
+	}
+	if _, _, err := BuildPartialUnderSpace(ds, -1); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}

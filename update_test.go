@@ -1,0 +1,149 @@
+package parcube
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestUpdateMatchesRebuild(t *testing.T) {
+	base := retailDataset(t, 30, 200)
+	cube, _, err := Build(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Apply three delta batches, then compare against a from-scratch cube
+	// over the union of all facts.
+	all := retailDataset(t, 30, 200) // same base facts
+	rng := rand.New(rand.NewSource(31))
+	for batch := 0; batch < 3; batch++ {
+		delta := NewDataset(retailSchema(t))
+		for i := 0; i < 50; i++ {
+			v := float64(rng.Intn(20) + 1)
+			it, br, tm := rng.Intn(8), rng.Intn(6), rng.Intn(4)
+			if err := delta.Add(v, it, br, tm); err != nil {
+				t.Fatal(err)
+			}
+			if err := all.Add(v, it, br, tm); err != nil {
+				t.Fatal(err)
+			}
+		}
+		stats, err := cube.Update(delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.DeltaCells <= 0 || stats.Updates <= 0 {
+			t.Fatalf("stats = %+v", stats)
+		}
+	}
+
+	want, _, err := Build(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, names := range [][]string{{}, {"item"}, {"branch", "time"}, {"item", "branch", "time"}} {
+		got, err := cube.GroupBy(names...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := want.GroupBy(names...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < got.Size(); i++ {
+			if got.data.Data()[i] != ref.data.Data()[i] {
+				t.Fatalf("group-by %v diverged after updates", names)
+			}
+		}
+	}
+}
+
+func TestUpdateEmptyDeltaIsNoOp(t *testing.T) {
+	cube, _, err := Build(retailDataset(t, 32, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := cube.Total()
+	stats, err := cube.Update(NewDataset(retailSchema(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.DeltaCells != 0 || cube.Total() != before {
+		t.Fatalf("empty delta changed the cube")
+	}
+}
+
+func TestUpdateRejectsSchemaMismatch(t *testing.T) {
+	cube, _, err := Build(retailDataset(t, 33, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := NewSchema(Dim{Name: "x", Size: 8}, Dim{Name: "y", Size: 6}, Dim{Name: "z", Size: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cube.Update(NewDataset(other)); err == nil {
+		t.Fatal("mismatched schema accepted")
+	}
+	short, _ := NewSchema(Dim{Name: "item", Size: 8})
+	if _, err := cube.Update(NewDataset(short)); err == nil {
+		t.Fatal("short schema accepted")
+	}
+}
+
+func TestUpdateMaxDisjointOK(t *testing.T) {
+	ds := NewDataset(retailSchema(t))
+	_ = ds.Add(5, 0, 0, 0)
+	cube, _, err := Build(ds, WithAggregator(Max))
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := NewDataset(retailSchema(t))
+	_ = delta.Add(9, 1, 1, 1) // previously empty cell
+	if _, err := cube.Update(delta); err != nil {
+		t.Fatal(err)
+	}
+	byItem, _ := cube.GroupBy("item")
+	if byItem.At(0) != 5 || byItem.At(1) != 9 {
+		t.Fatalf("max after update = %v, %v", byItem.At(0), byItem.At(1))
+	}
+}
+
+func TestUpdateMaxOverlapRejected(t *testing.T) {
+	ds := NewDataset(retailSchema(t))
+	_ = ds.Add(5, 0, 0, 0)
+	cube, _, err := Build(ds, WithAggregator(Max))
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := NewDataset(retailSchema(t))
+	_ = delta.Add(3, 0, 0, 0) // touches an occupied cell
+	if _, err := cube.Update(delta); err == nil {
+		t.Fatal("overlapping max delta accepted")
+	}
+}
+
+func TestUpdateSumOverlapAllowed(t *testing.T) {
+	ds := NewDataset(retailSchema(t))
+	_ = ds.Add(5, 0, 0, 0)
+	cube, _, err := Build(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := NewDataset(retailSchema(t))
+	_ = delta.Add(3, 0, 0, 0)
+	if _, err := cube.Update(delta); err != nil {
+		t.Fatal(err)
+	}
+	if cube.Total() != 8 {
+		t.Fatalf("total = %v", cube.Total())
+	}
+	// The merged input answers full-mask queries consistently.
+	full, err := cube.GroupBy("item", "branch", "time")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.At(0, 0, 0) != 8 {
+		t.Fatalf("merged cell = %v", full.At(0, 0, 0))
+	}
+}
