@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test vet race verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# The full gate: build + vet + race-enabled tests.
+verify:
+	./scripts/verify.sh
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .

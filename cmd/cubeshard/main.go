@@ -1,0 +1,224 @@
+// Command cubeshard runs one role of a sharded cube-serving cluster.
+//
+// Shard node: build the sub-cube of this node's block of the fact table
+// and serve it (with the SHARDINFO handshake) over TCP:
+//
+//	cubegen -shape 16x16x16x16 > facts.csv
+//	cubeshard -shape 16x16x16x16 -in facts.csv -nodes 4 -replicas 2 -node 0 -addr 127.0.0.1:7071
+//	cubeshard -shape 16x16x16x16 -in facts.csv -nodes 4 -replicas 2 -node 1 -addr 127.0.0.1:7072
+//	... (one process per node id)
+//
+// Coordinator: discover the shards, then answer the ordinary cube
+// protocol by scatter-gather with replica failover:
+//
+//	cubeshard -coordinator -shards 127.0.0.1:7071,127.0.0.1:7072,... -addr 127.0.0.1:7070
+//	printf 'TOTAL\nSTATS\nQUIT\n' | nc 127.0.0.1 7070
+//
+// Every node is given the same fact table and carves out its own block,
+// so the cluster needs no separate data-distribution step.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"parcube"
+	"parcube/internal/server"
+	"parcube/internal/shard"
+)
+
+func main() {
+	coordinator := flag.Bool("coordinator", false, "run the coordinator instead of a shard node")
+	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	// Shard-node flags.
+	shapeFlag := flag.String("shape", "", "dimension sizes of the fact table, e.g. 16x16x16 (shard mode)")
+	in := flag.String("in", "-", "input fact CSV (default stdin; shard mode)")
+	nodes := flag.Int("nodes", 1, "total shard nodes in the cluster (shard mode)")
+	replicas := flag.Int("replicas", 1, "replication factor: every block lands on at least this many nodes (shard mode)")
+	nodeID := flag.Int("node", 0, "this node's id in [0,nodes) (shard mode)")
+	// Coordinator flags.
+	shards := flag.String("shards", "", "comma-separated shard node addresses (coordinator mode)")
+	timeout := flag.Duration("timeout", 2*time.Second, "per-shard request timeout before failover (coordinator mode)")
+	flag.Parse()
+
+	var err error
+	if *coordinator {
+		err = runCoordinator(*shards, *addr, *timeout)
+	} else {
+		err = runShard(*shapeFlag, *in, *addr, *nodes, *replicas, *nodeID)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cubeshard:", err)
+		os.Exit(1)
+	}
+}
+
+// runShard builds and serves one node's block sub-cube until interrupted.
+func runShard(shapeStr, in, addr string, nodes, replicas, nodeID int) error {
+	node, err := startShard(shapeStr, in, addr, nodes, replicas, nodeID)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "shard node %d serving block %s on %s\n", node.ID, node.Block, node.Addr())
+	waitForInterrupt()
+	return node.Close()
+}
+
+// startShard loads the fact table, plans the cluster layout, and starts
+// this node.
+func startShard(shapeStr, in, addr string, nodes, replicas, nodeID int) (*shard.Node, error) {
+	if shapeStr == "" {
+		return nil, fmt.Errorf("-shape is required in shard mode")
+	}
+	sizes, names, err := parseSizes(shapeStr)
+	if err != nil {
+		return nil, err
+	}
+	dims := make([]parcube.Dim, len(sizes))
+	for i := range sizes {
+		dims[i] = parcube.Dim{Name: names[i], Size: sizes[i]}
+	}
+	schema, err := parcube.NewSchema(dims...)
+	if err != nil {
+		return nil, err
+	}
+
+	var r io.Reader = os.Stdin
+	if in != "-" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	ds, err := loadFacts(r, schema)
+	if err != nil {
+		return nil, err
+	}
+
+	plan, err := shard.NewPlan(schema.Names(), schema.Sizes(), nodes, replicas)
+	if err != nil {
+		return nil, err
+	}
+	return shard.StartNode(plan, nodeID, ds, addr)
+}
+
+// runCoordinator serves the scatter-gather router until interrupted.
+func runCoordinator(shards, addr string, timeout time.Duration) error {
+	srv, coord, bound, err := startCoordinator(shards, addr, timeout)
+	if err != nil {
+		return err
+	}
+	names, _ := coord.SchemaDims()
+	fmt.Fprintf(os.Stderr, "coordinator for %d-D cube on %s\n", len(names), bound)
+	waitForInterrupt()
+	err = srv.Close()
+	if cerr := coord.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// startCoordinator performs the handshake and starts the protocol server.
+func startCoordinator(shards, addr string, timeout time.Duration) (*server.Server, *shard.Coordinator, string, error) {
+	var addrs []string
+	for _, a := range strings.Split(shards, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return nil, nil, "", fmt.Errorf("-shards is required in coordinator mode")
+	}
+	coord, err := shard.NewCoordinator(shard.Config{Addrs: addrs, Timeout: timeout})
+	if err != nil {
+		return nil, nil, "", err
+	}
+	srv := server.NewBackend(coord)
+	// The coordinator enables connection deadlines: an idle client is
+	// dropped after 10 minutes, a stalled reader after 30 seconds, so
+	// dead peers cannot pin goroutines.
+	srv.ReadTimeout = 10 * time.Minute
+	srv.WriteTimeout = 30 * time.Second
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		coord.Close()
+		return nil, nil, "", err
+	}
+	return srv, coord, bound, nil
+}
+
+// waitForInterrupt blocks until SIGINT.
+func waitForInterrupt() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+}
+
+// loadFacts reads CSV rows (header then coordinates+value) into a
+// Dataset, tolerating any header names.
+func loadFacts(r io.Reader, schema *parcube.Schema) (*parcube.Dataset, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	ds := parcube.NewDataset(schema)
+	n := schema.Dims()
+	coords := make([]int, n)
+	first := true
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if first {
+			first = false // skip the header
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != n+1 {
+			return nil, fmt.Errorf("row %q has %d fields, want %d", line, len(parts), n+1)
+		}
+		for i := 0; i < n; i++ {
+			c, err := strconv.Atoi(strings.TrimSpace(parts[i]))
+			if err != nil {
+				return nil, fmt.Errorf("row %q: %w", line, err)
+			}
+			coords[i] = c
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(parts[n]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("row %q: %w", line, err)
+		}
+		if err := ds.Add(v, coords...); err != nil {
+			return nil, err
+		}
+	}
+	if first {
+		return nil, fmt.Errorf("empty input")
+	}
+	return ds, nil
+}
+
+// parseSizes parses "64x32" into sizes and default names A, B, ...
+func parseSizes(s string) ([]int, []string, error) {
+	parts := strings.Split(s, "x")
+	sizes := make([]int, 0, len(parts))
+	names := make([]string, 0, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, nil, fmt.Errorf("bad shape %q: %w", s, err)
+		}
+		sizes = append(sizes, v)
+		names = append(names, string(rune('A'+i)))
+	}
+	return sizes, names, nil
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"parcube"
+	"parcube/internal/server"
+)
+
+// writeFactsCSV writes a seeded 3-D fact table and returns its path plus
+// the equivalent in-memory dataset for reference answers.
+func writeFactsCSV(t *testing.T) (string, *parcube.Cube) {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString("A,B,C,value\n")
+	schema, err := parcube.NewSchema(
+		parcube.Dim{Name: "A", Size: 8},
+		parcube.Dim{Name: "B", Size: 4},
+		parcube.Dim{Name: "C", Size: 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := parcube.NewDataset(schema)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		a, b, c, v := rng.Intn(8), rng.Intn(4), rng.Intn(4), rng.Intn(20)+1
+		fmt.Fprintf(&sb, "%d,%d,%d,%d\n", a, b, c, v)
+		if err := ds.Add(float64(v), a, b, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "facts.csv")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cube, _, err := parcube.Build(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, cube
+}
+
+// TestClusterEndToEnd boots 4 shard nodes and a coordinator exactly as
+// the command would, then checks wire answers against the local cube.
+func TestClusterEndToEnd(t *testing.T) {
+	path, cube := writeFactsCSV(t)
+	var addrs []string
+	for i := 0; i < 4; i++ {
+		node, err := startShard("8x4x4", path, "127.0.0.1:0", 4, 2, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { node.Close() })
+		addrs = append(addrs, node.Addr())
+	}
+	srv, coord, bound, err := startCoordinator(strings.Join(addrs, ","), "127.0.0.1:0", 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); coord.Close() })
+
+	c, err := server.Dial(bound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	total, err := c.Total()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != cube.Total() {
+		t.Fatalf("TOTAL = %v, want %v", total, cube.Total())
+	}
+	rows, err := c.GroupBy("A", "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cube.GroupBy("A", "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if row.Value != want.At(row.Coords...) {
+			t.Fatalf("cell %v = %v, want %v", row.Coords, row.Value, want.At(row.Coords...))
+		}
+	}
+}
+
+func TestStartShardValidation(t *testing.T) {
+	if _, err := startShard("", "-", "127.0.0.1:0", 1, 1, 0); err == nil {
+		t.Fatal("missing shape accepted")
+	}
+	if _, err := startShard("8z4", "-", "127.0.0.1:0", 1, 1, 0); err == nil {
+		t.Fatal("bad shape accepted")
+	}
+	path, _ := writeFactsCSV(t)
+	if _, err := startShard("8x4x4", path, "127.0.0.1:0", 4, 1, 9); err == nil {
+		t.Fatal("out-of-range node id accepted")
+	}
+}
+
+func TestStartCoordinatorValidation(t *testing.T) {
+	if _, _, _, err := startCoordinator("", "127.0.0.1:0", time.Second); err == nil {
+		t.Fatal("missing shards accepted")
+	}
+	if _, _, _, err := startCoordinator("127.0.0.1:1", "127.0.0.1:0", 200*time.Millisecond); err == nil {
+		t.Fatal("unreachable shard accepted")
+	}
+}

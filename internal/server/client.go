@@ -6,13 +6,15 @@ import (
 	"net"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Client speaks the cube server protocol.
 type Client struct {
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
+	conn    net.Conn
+	r       *bufio.Reader
+	w       *bufio.Writer
+	timeout time.Duration
 }
 
 // Row is one cell returned by GroupBy or Top.
@@ -30,15 +32,54 @@ func Dial(addr string) (*Client, error) {
 	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
 }
 
-// Close sends QUIT and closes the connection.
+// DialTimeout connects with a bound on the dial itself; d <= 0 dials like
+// Dial. Request timeouts are separate — see SetTimeout.
+func DialTimeout(addr string, d time.Duration) (*Client, error) {
+	if d <= 0 {
+		return Dial(addr)
+	}
+	conn, err := net.DialTimeout("tcp", addr, d)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// SetTimeout bounds every subsequent request: the connection deadline is
+// re-armed before each write and each response line read, so a stalled or
+// dead server surfaces as an i/o timeout instead of blocking forever.
+// Zero (the default) means no deadline.
+func (c *Client) SetTimeout(d time.Duration) { c.timeout = d }
+
+// Addr returns the remote address the client dialed.
+func (c *Client) Addr() string { return c.conn.RemoteAddr().String() }
+
+// arm refreshes the connection deadline when a timeout is configured.
+func (c *Client) arm() {
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+	}
+}
+
+// Close sends QUIT and closes the connection. The first error from the
+// farewell write, the flush, or the close is returned.
 func (c *Client) Close() error {
-	fmt.Fprintln(c.w, "QUIT")
-	c.w.Flush()
-	return c.conn.Close()
+	c.arm()
+	_, werr := fmt.Fprintln(c.w, "QUIT")
+	ferr := c.w.Flush()
+	cerr := c.conn.Close()
+	if werr != nil {
+		return werr
+	}
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
 }
 
 // roundTrip sends one request line and returns the "OK ..." payload.
 func (c *Client) roundTrip(req string) (string, error) {
+	c.arm()
 	if _, err := fmt.Fprintln(c.w, req); err != nil {
 		return "", err
 	}
@@ -98,6 +139,7 @@ func (c *Client) Value(dims []string, coords []int) (float64, error) {
 func (c *Client) readRows(n int) ([]Row, error) {
 	rows := make([]Row, 0, n)
 	for {
+		c.arm()
 		line, err := c.r.ReadString('\n')
 		if err != nil {
 			return nil, err
@@ -157,6 +199,37 @@ func (c *Client) Query(stmt string) ([]Row, error) {
 		return nil, fmt.Errorf("server: malformed count %q", payload)
 	}
 	return c.readRows(n)
+}
+
+// parseFields splits a "k=v k=v ..." payload into a map.
+func parseFields(payload string) map[string]string {
+	out := make(map[string]string)
+	for _, f := range strings.Fields(payload) {
+		if i := strings.IndexByte(f, '='); i > 0 {
+			out[f[:i]] = f[i+1:]
+		}
+	}
+	return out
+}
+
+// ShardInfo fetches the shard handshake: the node id, aggregation
+// operator name, and served block of a shard server, as "id"/"op"/"block"
+// keys. Non-shard servers answer with an error.
+func (c *Client) ShardInfo() (map[string]string, error) {
+	payload, err := c.roundTrip("SHARDINFO")
+	if err != nil {
+		return nil, err
+	}
+	return parseFields(payload), nil
+}
+
+// Stats fetches the server's load counters as key=value fields.
+func (c *Client) Stats() (map[string]string, error) {
+	payload, err := c.roundTrip("STATS")
+	if err != nil {
+		return nil, err
+	}
+	return parseFields(payload), nil
 }
 
 // Top fetches the k largest cells of a group-by.

@@ -11,9 +11,15 @@
 //	QUERY <statement>          -> like GROUPBY, for the parcube query language
 //	VALUE <dims> <c0,c1,...>   -> "OK <value>"
 //	TOP <k> <dims>             -> "OK <rows>", then rows, then "."
+//	STATS                      -> "OK queries=<n> cells=<n> uptime_sec=<s> ..."
+//	SHARDINFO                  -> "OK id=<n> op=<op> block=<[lo:hi,...]>" (shard nodes only)
 //	QUIT                       -> closes the connection
 //
 // Errors answer "ERR <message>".
+//
+// The Server is generic over a Backend: a local cube (New) or any other
+// implementation of the query surface, such as internal/shard's
+// scatter-gather coordinator (NewBackend).
 package server
 
 import (
@@ -23,22 +29,127 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"parcube"
 )
 
-// Server serves one cube.
-type Server struct {
-	cube *parcube.Cube
+// Result is one answered group-by: a dense table over the retained
+// dimensions. *parcube.Table satisfies it; internal/shard's merged tables
+// do too.
+type Result interface {
+	Shape() []int
+	Size() int
+	At(coords ...int) float64
+	Top(k int) []parcube.CellValue
+}
 
-	mu sync.Mutex
-	ln net.Listener
-	wg sync.WaitGroup
+// Backend is the query surface a Server exposes over the wire. A local
+// cube satisfies it through the adapter New installs; internal/shard's
+// coordinator implements it with scatter-gather fan-out to shard nodes.
+type Backend interface {
+	// SchemaDims returns the dimension names and sizes, in schema order.
+	SchemaDims() (names []string, sizes []int)
+	// Total returns the grand-total aggregate.
+	Total() (float64, error)
+	// GroupBy returns the table retaining exactly the named dimensions.
+	GroupBy(dims ...string) (Result, error)
+	// Query runs a parcube query-language statement.
+	Query(stmt string) (Result, error)
+}
+
+// ValueBackend is an optional Backend refinement for answering single-cell
+// VALUE requests without materializing the whole group-by — the shard
+// coordinator uses it to prune the fan-out to the blocks that can contain
+// the cell.
+type ValueBackend interface {
+	Value(dims []string, coords []int) (float64, error)
+}
+
+// StatsReporter is an optional Backend refinement that appends extra
+// key=value fields to the STATS response (the coordinator reports fan-out
+// and failover counters this way).
+type StatsReporter interface {
+	StatsFields() []string
+}
+
+// ShardInfo identifies a shard node: which block of the global array it
+// serves and under which aggregation operator, so a coordinator can
+// discover the cluster topology with a SHARDINFO handshake.
+type ShardInfo struct {
+	// ID is the shard node's index in the plan.
+	ID int
+	// Op is the aggregation operator name ("sum", "count", "max", "min").
+	Op string
+	// Block renders the served global sub-box, e.g. "[0:8,0:16]".
+	Block string
+}
+
+// Server serves one backend.
+type Server struct {
+	backend Backend
+
+	// ReadTimeout and WriteTimeout, when positive, bound each request read
+	// and each response flush so a stalled peer cannot pin a connection
+	// goroutine forever. Both default to zero (no deadline) to preserve
+	// long-lived idle clients; set them before Listen.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
+	shard *ShardInfo
+
+	start   time.Time
+	queries atomic.Int64
+	cells   atomic.Int64
+}
+
+// cubeBackend adapts *parcube.Cube to the Backend interface.
+type cubeBackend struct{ cube *parcube.Cube }
+
+func (b cubeBackend) SchemaDims() ([]string, []int) {
+	sch := b.cube.Schema()
+	return sch.Names(), sch.Sizes()
+}
+
+func (b cubeBackend) Total() (float64, error) { return b.cube.Total(), nil }
+
+func (b cubeBackend) GroupBy(dims ...string) (Result, error) {
+	tbl, err := b.cube.GroupBy(dims...)
+	if err != nil {
+		return nil, err
+	}
+	return tbl, nil
+}
+
+func (b cubeBackend) Query(stmt string) (Result, error) {
+	tbl, err := b.cube.Query(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return tbl, nil
 }
 
 // New wraps a cube for serving.
 func New(cube *parcube.Cube) *Server {
-	return &Server{cube: cube}
+	return NewBackend(cubeBackend{cube: cube})
+}
+
+// NewBackend wraps any backend for serving.
+func NewBackend(b Backend) *Server {
+	return &Server{backend: b}
+}
+
+// SetShardInfo marks the server as a shard node; SHARDINFO answers with
+// the given identity. Call before Listen.
+func (s *Server) SetShardInfo(info ShardInfo) {
+	s.mu.Lock()
+	s.shard = &info
+	s.mu.Unlock()
 }
 
 // Listen binds the address (use "127.0.0.1:0" for an ephemeral port) and
@@ -50,24 +161,49 @@ func (s *Server) Listen(addr string) (string, error) {
 	}
 	s.mu.Lock()
 	s.ln = ln
+	s.start = time.Now()
 	s.mu.Unlock()
 	s.wg.Add(1)
 	go s.acceptLoop(ln)
 	return ln.Addr().String(), nil
 }
 
-// Close stops accepting and closes the listener; running connection
-// handlers finish their in-flight request.
+// Close stops the server abruptly: the listener and every open
+// connection are closed, so handlers unblock even mid-request and idle
+// peers (like a coordinator's connection pool) cannot pin the shutdown.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	ln := s.ln
 	s.ln = nil
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.mu.Unlock()
 	if ln != nil {
 		ln.Close()
 	}
+	for _, c := range conns {
+		c.Close()
+	}
 	s.wg.Wait()
 	return nil
+}
+
+// track registers a live connection; forget drops it.
+func (s *Server) track(conn net.Conn) {
+	s.mu.Lock()
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+}
+
+func (s *Server) forget(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
 }
 
 // acceptLoop accepts connections until the listener closes.
@@ -78,9 +214,11 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return
 		}
+		s.track(conn)
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			defer s.forget(conn)
 			defer conn.Close()
 			s.serveConn(conn)
 		}()
@@ -92,6 +230,9 @@ func (s *Server) serveConn(conn net.Conn) {
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	for {
+		if s.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.ReadTimeout))
+		}
 		line, err := r.ReadString('\n')
 		if err != nil {
 			return
@@ -101,6 +242,9 @@ func (s *Server) serveConn(conn net.Conn) {
 			continue
 		}
 		quit := s.handle(w, line)
+		if s.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+		}
 		if err := w.Flush(); err != nil || quit {
 			return
 		}
@@ -115,33 +259,62 @@ func (s *Server) handle(w *bufio.Writer, line string) bool {
 	case "QUIT":
 		fmt.Fprintln(w, "OK bye")
 		return true
+	case "STATS":
+		s.mu.Lock()
+		start := s.start
+		s.mu.Unlock()
+		fmt.Fprintf(w, "OK queries=%d cells=%d uptime_sec=%.3f",
+			s.queries.Load(), s.cells.Load(), time.Since(start).Seconds())
+		if rep, ok := s.backend.(StatsReporter); ok {
+			for _, f := range rep.StatsFields() {
+				fmt.Fprintf(w, " %s", f)
+			}
+		}
+		fmt.Fprintln(w)
+	case "SHARDINFO":
+		s.mu.Lock()
+		info := s.shard
+		s.mu.Unlock()
+		if info == nil {
+			fmt.Fprintln(w, "ERR not a shard node")
+			return false
+		}
+		fmt.Fprintf(w, "OK id=%d op=%s block=%s\n", info.ID, info.Op, info.Block)
 	case "SCHEMA":
-		sch := s.cube.Schema()
+		names, sizes := s.backend.SchemaDims()
 		fmt.Fprint(w, "OK")
-		names := sch.Names()
-		sizes := sch.Sizes()
 		for i := range names {
 			fmt.Fprintf(w, " %s:%d", names[i], sizes[i])
 		}
 		fmt.Fprintln(w)
 	case "TOTAL":
-		fmt.Fprintf(w, "OK %g\n", s.cube.Total())
+		s.queries.Add(1)
+		v, err := s.backend.Total()
+		if err != nil {
+			fmt.Fprintf(w, "ERR %v\n", err)
+			return false
+		}
+		s.cells.Add(1)
+		fmt.Fprintf(w, "OK %g\n", v)
 	case "GROUPBY":
-		tbl, err := s.cube.GroupBy(parseDims(fields[1:])...)
+		s.queries.Add(1)
+		tbl, err := s.backend.GroupBy(parseDims(fields[1:])...)
 		if err != nil {
 			fmt.Fprintf(w, "ERR %v\n", err)
 			return false
 		}
-		writeTable(w, tbl)
+		s.writeTable(w, tbl)
 	case "QUERY":
+		s.queries.Add(1)
 		stmt := strings.TrimSpace(line[len(fields[0]):])
-		tbl, err := s.cube.Query(stmt)
+		tbl, err := s.backend.Query(stmt)
 		if err != nil {
 			fmt.Fprintf(w, "ERR %v\n", err)
 			return false
 		}
-		writeTable(w, tbl)
+		s.writeTable(w, tbl)
 	case "VALUE":
+		s.queries.Add(1)
 		if len(fields) < 2 {
 			fmt.Fprintln(w, "ERR VALUE needs dims and coordinates")
 			return false
@@ -153,23 +326,20 @@ func (s *Server) handle(w *bufio.Writer, line string) bool {
 		} else if len(dims) == 0 {
 			coordsField = ""
 		}
-		tbl, err := s.cube.GroupBy(dims...)
-		if err != nil {
-			fmt.Fprintf(w, "ERR %v\n", err)
-			return false
-		}
 		coords, err := parseCoords(coordsField, len(dims))
 		if err != nil {
 			fmt.Fprintf(w, "ERR %v\n", err)
 			return false
 		}
-		v, err := atSafe(tbl, coords)
+		v, err := s.value(dims, coords)
 		if err != nil {
 			fmt.Fprintf(w, "ERR %v\n", err)
 			return false
 		}
+		s.cells.Add(1)
 		fmt.Fprintf(w, "OK %g\n", v)
 	case "TOP":
+		s.queries.Add(1)
 		if len(fields) < 2 {
 			fmt.Fprintln(w, "ERR TOP needs a count")
 			return false
@@ -179,12 +349,13 @@ func (s *Server) handle(w *bufio.Writer, line string) bool {
 			fmt.Fprintf(w, "ERR bad count %q\n", fields[1])
 			return false
 		}
-		tbl, err := s.cube.GroupBy(parseDims(fields[2:])...)
+		tbl, err := s.backend.GroupBy(parseDims(fields[2:])...)
 		if err != nil {
 			fmt.Fprintf(w, "ERR %v\n", err)
 			return false
 		}
 		top := tbl.Top(k)
+		s.cells.Add(int64(len(top)))
 		fmt.Fprintf(w, "OK %d\n", len(top))
 		for _, c := range top {
 			fmt.Fprintf(w, "%s %g\n", joinCoords(c.Coords), c.Value)
@@ -196,8 +367,22 @@ func (s *Server) handle(w *bufio.Writer, line string) bool {
 	return false
 }
 
+// value answers a single-cell lookup, through the backend's Value fast
+// path when it has one.
+func (s *Server) value(dims []string, coords []int) (float64, error) {
+	if vb, ok := s.backend.(ValueBackend); ok {
+		return vb.Value(dims, coords)
+	}
+	tbl, err := s.backend.GroupBy(dims...)
+	if err != nil {
+		return 0, err
+	}
+	return atSafe(tbl, coords)
+}
+
 // writeTable streams a full group-by.
-func writeTable(w *bufio.Writer, tbl *parcube.Table) {
+func (s *Server) writeTable(w *bufio.Writer, tbl Result) {
+	s.cells.Add(int64(tbl.Size()))
 	fmt.Fprintf(w, "OK %d\n", tbl.Size())
 	shape := tbl.Shape()
 	coords := make([]int, len(shape))
@@ -220,7 +405,7 @@ func writeTable(w *bufio.Writer, tbl *parcube.Table) {
 }
 
 // atSafe converts the panic of a bad lookup into an error.
-func atSafe(tbl *parcube.Table, coords []int) (v float64, err error) {
+func atSafe(tbl Result, coords []int) (v float64, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			err = fmt.Errorf("%v", rec)

@@ -6,6 +6,7 @@ import (
 	"net"
 	"strings"
 	"testing"
+	"time"
 
 	"parcube"
 )
@@ -229,5 +230,118 @@ func TestServerQueryCommand(t *testing.T) {
 	// Connection still alive.
 	if _, err := c.Total(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestStatsCommand(t *testing.T) {
+	_, addr, _ := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Total(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GroupBy("item"); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats["queries"] != "2" {
+		t.Fatalf("queries = %q, want 2 (stats %v)", stats["queries"], stats)
+	}
+	// TOTAL returned 1 cell, GROUPBY item returned 6.
+	if stats["cells"] != "7" {
+		t.Fatalf("cells = %q, want 7 (stats %v)", stats["cells"], stats)
+	}
+	if _, ok := stats["uptime_sec"]; !ok {
+		t.Fatalf("no uptime in %v", stats)
+	}
+}
+
+func TestShardInfoHandshake(t *testing.T) {
+	cube := testCube(t)
+	srv := New(cube)
+	srv.SetShardInfo(ShardInfo{ID: 3, Op: "sum", Block: "[0:6,0:4]"})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	info, err := c.ShardInfo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info["id"] != "3" || info["op"] != "sum" || info["block"] != "[0:6,0:4]" {
+		t.Fatalf("shard info = %v", info)
+	}
+}
+
+func TestShardInfoOnPlainServer(t *testing.T) {
+	_, addr, _ := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.ShardInfo(); err == nil {
+		t.Fatal("plain server answered SHARDINFO")
+	}
+}
+
+func TestReadTimeoutDropsStalledClient(t *testing.T) {
+	cube := testCube(t)
+	srv := New(cube)
+	srv.ReadTimeout = 50 * time.Millisecond
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send nothing: the server must hang up rather than pin the goroutine.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("stalled connection not dropped")
+	}
+}
+
+func TestClientTimeoutAgainstSilentServer(t *testing.T) {
+	// A listener that accepts but never answers.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+		}
+	}()
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetTimeout(50 * time.Millisecond)
+	if _, err := c.Total(); err == nil {
+		t.Fatal("request against silent server did not time out")
 	}
 }

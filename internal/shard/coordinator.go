@@ -1,0 +1,497 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"parcube/internal/agg"
+	"parcube/internal/nd"
+	"parcube/internal/server"
+)
+
+// Config tunes a Coordinator.
+type Config struct {
+	// Addrs lists every shard node address. The coordinator discovers
+	// which block each serves with the SHARDINFO handshake; within a
+	// block, replicas are preferred in Addrs order.
+	Addrs []string
+	// Timeout bounds each sub-request (and dial) to a shard; a stalled
+	// shard surfaces as a timeout and triggers failover. Default 2s.
+	Timeout time.Duration
+	// Backoff is the wait before the first retry after a failure; it
+	// doubles on every subsequent attempt for the same block. Default 10ms.
+	Backoff time.Duration
+	// Rounds is how many passes over a block's replica list are made
+	// before the query fails. Default 2 (every replica gets a second
+	// chance after backoff).
+	Rounds int
+}
+
+// withDefaults fills unset knobs.
+func (c Config) withDefaults() Config {
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 10 * time.Millisecond
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 2
+	}
+	return c
+}
+
+// replica is one shard node serving a block.
+type replica struct {
+	addr string
+	id   int
+	pool *pool
+}
+
+// blockGroup is a block and its replicas, preferred in order.
+type blockGroup struct {
+	block    nd.Block
+	replicas []*replica
+}
+
+// Coordinator answers the cube line protocol by scatter-gathering shard
+// nodes: every query fans out to one owner of each block, partial tables
+// merge element-wise under the cube's aggregation operator, and a failed
+// or stalled shard fails over to its replicas with exponential backoff.
+// It implements server.Backend (plus the Value fast path and STATS
+// extension), so server.NewBackend turns it into a drop-in replacement
+// for a single-node cube server.
+type Coordinator struct {
+	cfg    Config
+	op     agg.Op
+	names  []string
+	sizes  []int
+	blocks []*blockGroup
+
+	stats counters
+}
+
+// NewCoordinator dials every shard, performs the SHARDINFO handshake, and
+// assembles the serving topology. It fails if the shards disagree on
+// schema or operator, or if their blocks do not tile the schema's array
+// exactly.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Addrs) == 0 {
+		return nil, fmt.Errorf("shard: coordinator needs at least one shard address")
+	}
+	c := &Coordinator{cfg: cfg}
+	groups := make(map[string]*blockGroup)
+	var order []string
+	for _, addr := range cfg.Addrs {
+		p := newPool(addr, cfg.Timeout)
+		cl, err := p.get()
+		if err != nil {
+			return nil, fmt.Errorf("shard: handshake with %s: %w", addr, err)
+		}
+		info, err := cl.ShardInfo()
+		if err != nil {
+			p.discard(cl)
+			return nil, fmt.Errorf("shard: handshake with %s: %w", addr, err)
+		}
+		schema, err := cl.Schema()
+		if err != nil {
+			p.discard(cl)
+			return nil, fmt.Errorf("shard: schema from %s: %w", addr, err)
+		}
+		p.put(cl)
+
+		op, err := agg.Parse(info["op"])
+		if err != nil {
+			return nil, fmt.Errorf("shard: %s: %w", addr, err)
+		}
+		id, err := strconv.Atoi(info["id"])
+		if err != nil {
+			return nil, fmt.Errorf("shard: %s: malformed shard id %q", addr, info["id"])
+		}
+		block, err := ParseBlock(info["block"])
+		if err != nil {
+			return nil, fmt.Errorf("shard: %s: %w", addr, err)
+		}
+		names, sizes, err := parseSchema(schema)
+		if err != nil {
+			return nil, fmt.Errorf("shard: %s: %w", addr, err)
+		}
+
+		if c.names == nil {
+			c.op = op
+			c.names = names
+			c.sizes = sizes
+		} else {
+			if op != c.op {
+				return nil, fmt.Errorf("shard: %s aggregates with %v, cluster uses %v", addr, op, c.op)
+			}
+			if !sameSchema(c.names, c.sizes, names, sizes) {
+				return nil, fmt.Errorf("shard: %s serves schema %v %v, cluster serves %v %v",
+					addr, names, sizes, c.names, c.sizes)
+			}
+		}
+		key := block.String()
+		g, ok := groups[key]
+		if !ok {
+			g = &blockGroup{block: block}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.replicas = append(g.replicas, &replica{addr: addr, id: id, pool: p})
+	}
+	for _, key := range order {
+		c.blocks = append(c.blocks, groups[key])
+	}
+	if err := c.validateTiling(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// validateTiling checks the discovered blocks partition the schema's
+// array exactly: right rank, in bounds, pairwise disjoint, and jointly
+// covering (disjoint + total volume = array volume).
+func (c *Coordinator) validateTiling() error {
+	rank := len(c.sizes)
+	total := 1
+	for _, s := range c.sizes {
+		total *= s
+	}
+	covered := 0
+	for i, g := range c.blocks {
+		if g.block.Rank() != rank {
+			return fmt.Errorf("shard: block %s has rank %d, schema has %d", g.block, g.block.Rank(), rank)
+		}
+		for j := 0; j < rank; j++ {
+			if g.block.Lo[j] < 0 || g.block.Hi[j] > c.sizes[j] || g.block.Lo[j] >= g.block.Hi[j] {
+				return fmt.Errorf("shard: block %s out of bounds for sizes %v", g.block, c.sizes)
+			}
+		}
+		covered += g.block.Size()
+		for _, h := range c.blocks[i+1:] {
+			if blocksOverlap(g.block, h.block) {
+				return fmt.Errorf("shard: blocks %s and %s overlap", g.block, h.block)
+			}
+		}
+	}
+	if covered != total {
+		return fmt.Errorf("shard: blocks cover %d of %d cells — shards missing from the cluster", covered, total)
+	}
+	return nil
+}
+
+// blocksOverlap reports whether two equal-rank blocks intersect.
+func blocksOverlap(a, b nd.Block) bool {
+	for i := range a.Lo {
+		if a.Hi[i] <= b.Lo[i] || b.Hi[i] <= a.Lo[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// parseSchema splits "name:size" pairs from the SCHEMA reply.
+func parseSchema(fields []string) ([]string, []int, error) {
+	names := make([]string, 0, len(fields))
+	sizes := make([]int, 0, len(fields))
+	for _, f := range fields {
+		i := strings.LastIndexByte(f, ':')
+		if i <= 0 {
+			return nil, nil, fmt.Errorf("malformed schema field %q", f)
+		}
+		n, err := strconv.Atoi(f[i+1:])
+		if err != nil {
+			return nil, nil, fmt.Errorf("malformed schema field %q", f)
+		}
+		names = append(names, f[:i])
+		sizes = append(sizes, n)
+	}
+	return names, sizes, nil
+}
+
+// sameSchema compares two schemas field-wise.
+func sameSchema(an []string, as []int, bn []string, bs []int) bool {
+	if len(an) != len(bn) {
+		return false
+	}
+	for i := range an {
+		if an[i] != bn[i] || as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Close releases every pooled connection.
+func (c *Coordinator) Close() error {
+	for _, g := range c.blocks {
+		for _, r := range g.replicas {
+			r.pool.close()
+		}
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the coordinator's scatter-gather counters.
+func (c *Coordinator) Stats() Stats { return c.stats.snapshot() }
+
+// StatsFields appends the coordinator's counters to the server's STATS
+// reply.
+func (c *Coordinator) StatsFields() []string {
+	s := c.stats.snapshot()
+	replicas := 0
+	for _, g := range c.blocks {
+		replicas += len(g.replicas)
+	}
+	return []string{
+		fmt.Sprintf("blocks=%d", len(c.blocks)),
+		fmt.Sprintf("shards=%d", replicas),
+		fmt.Sprintf("fanouts=%d", s.Fanouts),
+		fmt.Sprintf("retries=%d", s.Retries),
+		fmt.Sprintf("failovers=%d", s.Failovers),
+		fmt.Sprintf("shard_errors=%d", s.Errors),
+	}
+}
+
+// SchemaDims returns the cluster schema discovered at handshake.
+func (c *Coordinator) SchemaDims() ([]string, []int) {
+	return append([]string(nil), c.names...), append([]int(nil), c.sizes...)
+}
+
+// askBlock runs fn against the block's replicas until one answers:
+// replicas are tried in preference order for cfg.Rounds passes, every
+// attempt after the first preceded by an exponentially growing backoff.
+// When all attempts fail, the returned error names the block, the
+// replicas tried, and the last underlying cause.
+func (c *Coordinator) askBlock(b int, fn func(cl *server.Client) error) error {
+	g := c.blocks[b]
+	c.stats.fanouts.Add(1)
+	var lastErr error
+	backoff := c.cfg.Backoff
+	attempt := 0
+	for round := 0; round < c.cfg.Rounds; round++ {
+		for ri, rep := range g.replicas {
+			if attempt > 0 {
+				c.stats.retries.Add(1)
+				time.Sleep(backoff)
+				backoff *= 2
+			}
+			attempt++
+			cl, err := rep.pool.get()
+			if err != nil {
+				c.stats.errors.Add(1)
+				lastErr = fmt.Errorf("dial %s: %w", rep.addr, err)
+				continue
+			}
+			if err := fn(cl); err != nil {
+				c.stats.errors.Add(1)
+				rep.pool.discard(cl)
+				lastErr = fmt.Errorf("%s: %w", rep.addr, err)
+				continue
+			}
+			rep.pool.put(cl)
+			if ri > 0 || round > 0 {
+				c.stats.failovers.Add(1)
+			}
+			return nil
+		}
+	}
+	addrs := make([]string, len(g.replicas))
+	for i, rep := range g.replicas {
+		addrs[i] = rep.addr
+	}
+	return fmt.Errorf("shard: block %s unavailable after %d attempts across replicas %s (last error: %v); partial results discarded",
+		g.block, attempt, strings.Join(addrs, ","), lastErr)
+}
+
+// scatter runs fn once per block concurrently (with per-block failover)
+// and returns the first block's error, if any.
+func (c *Coordinator) scatter(fn func(b int, cl *server.Client) error) error {
+	errs := make([]error, len(c.blocks))
+	var wg sync.WaitGroup
+	for b := range c.blocks {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			errs[b] = c.askBlock(b, func(cl *server.Client) error { return fn(b, cl) })
+		}(b)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// gatherRows scatter-gathers one row-streaming request (GROUPBY or QUERY)
+// and merges the per-shard tables element-wise under the cluster
+// operator. The merged shape is inferred from the first shard's reply and
+// cross-checked against the rest.
+func (c *Coordinator) gatherRows(fetch func(cl *server.Client) ([]server.Row, error)) (server.Result, error) {
+	results := make([][]server.Row, len(c.blocks))
+	err := c.scatter(func(b int, cl *server.Client) error {
+		rows, err := fetch(cl)
+		if err != nil {
+			return err
+		}
+		results[b] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	shape, err := shapeFromRows(results[0])
+	if err != nil {
+		return nil, err
+	}
+	tbl := newMergeTable(shape, c.op)
+	for _, rows := range results {
+		if err := tbl.combineRows(rows, c.op); err != nil {
+			return nil, err
+		}
+	}
+	return tbl, nil
+}
+
+// resolveDims validates a dimension list against the schema and returns
+// the schema axis of each name.
+func (c *Coordinator) resolveDims(dims []string) ([]int, error) {
+	axes := make([]int, len(dims))
+	seen := make(map[string]bool, len(dims))
+	for i, name := range dims {
+		if seen[name] {
+			return nil, fmt.Errorf("shard: dimension %q repeated", name)
+		}
+		seen[name] = true
+		axis := -1
+		for j, n := range c.names {
+			if n == name {
+				axis = j
+				break
+			}
+		}
+		if axis < 0 {
+			return nil, fmt.Errorf("shard: unknown dimension %q", name)
+		}
+		axes[i] = axis
+	}
+	return axes, nil
+}
+
+// GroupBy scatter-gathers the full group-by over the named dimensions.
+func (c *Coordinator) GroupBy(dims ...string) (server.Result, error) {
+	if _, err := c.resolveDims(dims); err != nil {
+		return nil, err
+	}
+	return c.gatherRows(func(cl *server.Client) ([]server.Row, error) {
+		return cl.GroupBy(dims...)
+	})
+}
+
+// Query scatter-gathers a parcube query-language statement. Statement
+// semantics (group-by, slicing, range filters) are coordinate predicates,
+// so every shard evaluates the same statement over its disjoint facts and
+// the partial tables combine cell-exactly.
+func (c *Coordinator) Query(stmt string) (server.Result, error) {
+	return c.gatherRows(func(cl *server.Client) ([]server.Row, error) {
+		return cl.Query(stmt)
+	})
+}
+
+// Total scatter-gathers the grand total.
+func (c *Coordinator) Total() (float64, error) {
+	totals := make([]float64, len(c.blocks))
+	err := c.scatter(func(b int, cl *server.Client) error {
+		v, err := cl.Total()
+		if err != nil {
+			return err
+		}
+		totals[b] = v
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	acc := c.op.Identity()
+	for _, v := range totals {
+		acc = c.op.Combine(acc, v)
+	}
+	return acc, nil
+}
+
+// Value answers a single-cell lookup, pruning the fan-out to the blocks
+// whose projection onto the retained dimensions contains the cell — the
+// payoff of sharding by the planner's block geometry: a point query
+// touches only 2^(sum of K over collapsed dimensions) shards.
+func (c *Coordinator) Value(dims []string, coords []int) (float64, error) {
+	if len(dims) == 0 {
+		if len(coords) != 0 {
+			return 0, fmt.Errorf("shard: grand total takes no coordinates")
+		}
+		return c.Total()
+	}
+	axes, err := c.resolveDims(dims)
+	if err != nil {
+		return 0, err
+	}
+	if len(coords) != len(dims) {
+		return 0, fmt.Errorf("shard: %d coordinates for %d dimensions", len(coords), len(dims))
+	}
+	for i, axis := range axes {
+		if coords[i] < 0 || coords[i] >= c.sizes[axis] {
+			return 0, fmt.Errorf("shard: coordinate %d out of range [0,%d) for %q",
+				coords[i], c.sizes[axis], dims[i])
+		}
+	}
+
+	owning := make([]int, 0, len(c.blocks))
+	for b, g := range c.blocks {
+		contains := true
+		for i, axis := range axes {
+			if coords[i] < g.block.Lo[axis] || coords[i] >= g.block.Hi[axis] {
+				contains = false
+				break
+			}
+		}
+		if contains {
+			owning = append(owning, b)
+		}
+	}
+	sort.Ints(owning)
+
+	var mu sync.Mutex
+	acc := c.op.Identity()
+	errs := make([]error, len(owning))
+	var wg sync.WaitGroup
+	for i, b := range owning {
+		wg.Add(1)
+		go func(i, b int) {
+			defer wg.Done()
+			errs[i] = c.askBlock(b, func(cl *server.Client) error {
+				v, err := cl.Value(dims, coords)
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				acc = c.op.Combine(acc, v)
+				mu.Unlock()
+				return nil
+			})
+		}(i, b)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, err
+		}
+	}
+	return acc, nil
+}

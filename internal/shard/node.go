@@ -1,0 +1,66 @@
+package shard
+
+import (
+	"fmt"
+
+	"parcube"
+	"parcube/internal/nd"
+	"parcube/internal/server"
+)
+
+// Node is one shard server: the cube of one block of the global fact
+// table, served over the standard line protocol plus the SHARDINFO
+// handshake a coordinator discovers the topology with.
+type Node struct {
+	// ID is the node's index in the plan; Block the global sub-box whose
+	// facts its cube aggregates.
+	ID    int
+	Block nd.Block
+	Cube  *parcube.Cube
+
+	srv  *server.Server
+	addr string
+}
+
+// StartNode carves node id's block out of the dataset, builds its
+// sub-cube, and serves it on addr (use "127.0.0.1:0" for an ephemeral
+// port). The sub-cube keeps the full schema at global coordinates, so its
+// group-by tables align cell-for-cell with every other shard's and with
+// the unsharded cube.
+func StartNode(plan *Plan, id int, ds *parcube.Dataset, addr string, opts ...parcube.BuildOption) (*Node, error) {
+	block, err := plan.BlockOfNode(id)
+	if err != nil {
+		return nil, err
+	}
+	sub, err := ds.Shard(block.Lo, block.Hi)
+	if err != nil {
+		return nil, fmt.Errorf("shard: node %d: %w", id, err)
+	}
+	cube, _, err := parcube.Build(sub, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("shard: node %d build: %w", id, err)
+	}
+	return ServeNode(cube, id, block, addr)
+}
+
+// ServeNode serves an already-built block sub-cube as shard node id.
+func ServeNode(cube *parcube.Cube, id int, block nd.Block, addr string) (*Node, error) {
+	n := &Node{ID: id, Block: block, Cube: cube, srv: server.New(cube)}
+	n.srv.SetShardInfo(server.ShardInfo{
+		ID:    id,
+		Op:    cube.Aggregator().String(),
+		Block: block.String(),
+	})
+	bound, err := n.srv.Listen(addr)
+	if err != nil {
+		return nil, fmt.Errorf("shard: node %d listen: %w", id, err)
+	}
+	n.addr = bound
+	return n, nil
+}
+
+// Addr returns the node's bound address.
+func (n *Node) Addr() string { return n.addr }
+
+// Close stops the node's server.
+func (n *Node) Close() error { return n.srv.Close() }

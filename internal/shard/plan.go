@@ -1,0 +1,165 @@
+// Package shard is the distributed serving tier for constructed cubes: a
+// planner that block-partitions the array over a set of shard nodes with
+// replication, shard nodes that serve one block's sub-cube each over the
+// internal/server line protocol, and a coordinator that answers the same
+// protocol by scatter-gathering the shards and combining their partial
+// aggregates cell-exactly.
+//
+// The layout reuses the paper's own partitioning machinery: the Theorem 8
+// greedy partitioner picks how many times to cut each dimension, and the
+// mixed-radix block decomposition of internal/nd assigns each shard an
+// axis-aligned sub-box of the global array. Because every aggregation
+// operator is associative and commutative (internal/agg), the blocks'
+// group-by tables combine element-wise into exactly the unsharded cube —
+// the same partition-then-merge argument the parallel builder relies on.
+package shard
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"parcube"
+	"parcube/internal/nd"
+)
+
+// Plan assigns block sub-cubes to shard nodes.
+type Plan struct {
+	// Names and Sizes are the schema, in schema order.
+	Names []string
+	Sizes nd.Shape
+	// K is log2 of the slice count per dimension (schema order), chosen by
+	// the Theorem 8 greedy partitioner; Parts[j] = 2^K[j].
+	K     []int
+	Parts []int
+	// Blocks lists the block sub-boxes, in row-major grid order; block b is
+	// served by the nodes in Owners[b], primary first.
+	Blocks []nd.Block
+	Owners [][]int
+	// Nodes and Replicas echo the request: Nodes shard nodes, each block on
+	// at least Replicas of them.
+	Nodes    int
+	Replicas int
+}
+
+// NewPlan partitions the schema's array into the largest power-of-two
+// number of blocks that still fits every block on `replicas` distinct
+// nodes, using the communication-optimal greedy partitioner to choose
+// which dimensions to cut. Nodes are dealt to blocks round-robin (node n
+// serves block n mod B), so every node serves exactly one block and every
+// block has at least `replicas` owners.
+func NewPlan(names []string, sizes []int, nodes, replicas int) (*Plan, error) {
+	if len(names) != len(sizes) {
+		return nil, fmt.Errorf("shard: %d names for %d sizes", len(names), len(sizes))
+	}
+	if replicas < 1 {
+		return nil, fmt.Errorf("shard: replication factor %d < 1", replicas)
+	}
+	if nodes < replicas {
+		return nil, fmt.Errorf("shard: %d nodes cannot hold %d replicas of every block", nodes, replicas)
+	}
+	shape, err := nd.NewShape(sizes...)
+	if err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+
+	// The largest feasible power-of-two block count: capped by the node
+	// budget, then shrunk until the array is actually sliceable that many
+	// ways (tiny dimensions may not be).
+	logB := 0
+	for (1<<uint(logB+1))*replicas <= nodes {
+		logB++
+	}
+	var k []int
+	for {
+		k, _, err = parcube.PlanPartition(sizes, 1<<uint(logB))
+		if err == nil {
+			break
+		}
+		if logB == 0 {
+			return nil, fmt.Errorf("shard: %w", err)
+		}
+		logB--
+	}
+	parts := make([]int, len(k))
+	numBlocks := 1
+	for j, kj := range k {
+		parts[j] = 1 << uint(kj)
+		numBlocks *= parts[j]
+	}
+
+	p := &Plan{
+		Names:    append([]string(nil), names...),
+		Sizes:    shape,
+		K:        k,
+		Parts:    parts,
+		Nodes:    nodes,
+		Replicas: replicas,
+	}
+	grid := make([]int, len(parts))
+	for b := 0; b < numBlocks; b++ {
+		rem := b
+		for j := len(parts) - 1; j >= 0; j-- {
+			grid[j] = rem % parts[j]
+			rem /= parts[j]
+		}
+		blk, err := nd.BlockOf(shape, parts, grid)
+		if err != nil {
+			return nil, fmt.Errorf("shard: %w", err)
+		}
+		p.Blocks = append(p.Blocks, blk)
+	}
+	p.Owners = make([][]int, numBlocks)
+	for n := 0; n < nodes; n++ {
+		b := n % numBlocks
+		p.Owners[b] = append(p.Owners[b], n)
+	}
+	return p, nil
+}
+
+// NumBlocks returns the number of distinct blocks.
+func (p *Plan) NumBlocks() int { return len(p.Blocks) }
+
+// BlockOfNode returns the block a node serves.
+func (p *Plan) BlockOfNode(node int) (nd.Block, error) {
+	if node < 0 || node >= p.Nodes {
+		return nd.Block{}, fmt.Errorf("shard: node %d out of range [0,%d)", node, p.Nodes)
+	}
+	return p.Blocks[node%len(p.Blocks)], nil
+}
+
+// String summarizes the plan for logs.
+func (p *Plan) String() string {
+	return fmt.Sprintf("shard plan: %d nodes, %d blocks (parts %v), replication >= %d",
+		p.Nodes, len(p.Blocks), p.Parts, p.Replicas)
+}
+
+// ParseBlock parses the nd.Block rendering "[lo:hi,lo:hi,...]" exchanged
+// by the SHARDINFO handshake.
+func ParseBlock(s string) (nd.Block, error) {
+	trimmed := strings.TrimSpace(s)
+	if len(trimmed) < 2 || trimmed[0] != '[' || trimmed[len(trimmed)-1] != ']' {
+		return nd.Block{}, fmt.Errorf("shard: malformed block %q", s)
+	}
+	var lo, hi []int
+	for _, part := range strings.Split(trimmed[1:len(trimmed)-1], ",") {
+		bounds := strings.Split(part, ":")
+		if len(bounds) != 2 {
+			return nd.Block{}, fmt.Errorf("shard: malformed block range %q", part)
+		}
+		l, err := strconv.Atoi(strings.TrimSpace(bounds[0]))
+		if err != nil {
+			return nd.Block{}, fmt.Errorf("shard: malformed block bound %q", bounds[0])
+		}
+		h, err := strconv.Atoi(strings.TrimSpace(bounds[1]))
+		if err != nil {
+			return nd.Block{}, fmt.Errorf("shard: malformed block bound %q", bounds[1])
+		}
+		lo = append(lo, l)
+		hi = append(hi, h)
+	}
+	if len(lo) == 0 {
+		return nd.Block{}, fmt.Errorf("shard: empty block %q", s)
+	}
+	return nd.NewBlock(lo, hi), nil
+}

@@ -1,0 +1,136 @@
+package shard
+
+import (
+	"testing"
+
+	"parcube/internal/nd"
+)
+
+func TestNewPlanBasic(t *testing.T) {
+	names := []string{"item", "branch", "time", "region"}
+	sizes := []int{8, 6, 5, 4}
+	p, err := NewPlan(names, sizes, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumBlocks() != 4 {
+		t.Fatalf("blocks = %d, want 4", p.NumBlocks())
+	}
+
+	// Blocks tile the array: in bounds, pairwise disjoint, total volume
+	// equal to the array's.
+	total := 8 * 6 * 5 * 4
+	covered := 0
+	for i, b := range p.Blocks {
+		if b.Rank() != 4 {
+			t.Fatalf("block %s rank %d", b, b.Rank())
+		}
+		for j := range sizes {
+			if b.Lo[j] < 0 || b.Hi[j] > sizes[j] || b.Lo[j] >= b.Hi[j] {
+				t.Fatalf("block %s out of bounds", b)
+			}
+		}
+		covered += b.Size()
+		for _, o := range p.Blocks[i+1:] {
+			if blocksOverlap(b, o) {
+				t.Fatalf("blocks %s and %s overlap", b, o)
+			}
+		}
+	}
+	if covered != total {
+		t.Fatalf("blocks cover %d of %d cells", covered, total)
+	}
+
+	// Every block has at least the requested replicas, owners are
+	// distinct, and every node serves exactly one block.
+	seen := make(map[int]bool)
+	for b, owners := range p.Owners {
+		if len(owners) < 2 {
+			t.Fatalf("block %d has %d owners", b, len(owners))
+		}
+		for _, n := range owners {
+			if seen[n] {
+				t.Fatalf("node %d owns two blocks", n)
+			}
+			seen[n] = true
+			blk, err := p.BlockOfNode(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if blk.String() != p.Blocks[b].String() {
+				t.Fatalf("BlockOfNode(%d) = %s, want %s", n, blk, p.Blocks[b])
+			}
+		}
+	}
+	if len(seen) != 8 {
+		t.Fatalf("%d of 8 nodes assigned", len(seen))
+	}
+}
+
+// TestNewPlanGreedyCuts checks the planner cuts the largest dimension
+// first, like the paper's greedy partitioner it delegates to.
+func TestNewPlanGreedyCuts(t *testing.T) {
+	p, err := NewPlan([]string{"big", "small"}, []int{64, 4}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K[0] != 1 || p.K[1] != 0 {
+		t.Fatalf("K = %v, want the single cut on the large dimension", p.K)
+	}
+}
+
+// TestNewPlanTinyDims: when the array cannot be sliced as many ways as
+// the node budget allows, the block count shrinks to what is feasible and
+// the spare nodes become extra replicas.
+func TestNewPlanTinyDims(t *testing.T) {
+	p, err := NewPlan([]string{"a"}, []int{2}, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumBlocks() != 2 {
+		t.Fatalf("blocks = %d, want 2 (size-2 dimension allows one cut)", p.NumBlocks())
+	}
+	for b, owners := range p.Owners {
+		if len(owners) != 8 {
+			t.Fatalf("block %d has %d owners, want 8", b, len(owners))
+		}
+	}
+}
+
+func TestNewPlanErrors(t *testing.T) {
+	if _, err := NewPlan([]string{"a"}, []int{4}, 4, 0); err == nil {
+		t.Fatal("replicas 0 accepted")
+	}
+	if _, err := NewPlan([]string{"a"}, []int{4}, 1, 2); err == nil {
+		t.Fatal("nodes < replicas accepted")
+	}
+	if _, err := NewPlan([]string{"a", "b"}, []int{4}, 2, 1); err == nil {
+		t.Fatal("names/sizes mismatch accepted")
+	}
+	if _, err := NewPlan([]string{"a"}, []int{0}, 2, 1); err == nil {
+		t.Fatal("zero-size dimension accepted")
+	}
+	p, err := NewPlan([]string{"a"}, []int{4}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.BlockOfNode(2); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+}
+
+func TestParseBlockRoundTrip(t *testing.T) {
+	b := nd.NewBlock([]int{0, 3, 10}, []int{8, 6, 20})
+	got, err := ParseBlock(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != b.String() {
+		t.Fatalf("round trip %s -> %s", b, got)
+	}
+	for _, bad := range []string{"", "[]", "0:8", "[0-8]", "[0:8,x:2]", "[0:]"} {
+		if _, err := ParseBlock(bad); err == nil {
+			t.Fatalf("ParseBlock(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package shard
+
+import (
+	"sync"
+	"time"
+
+	"parcube/internal/server"
+)
+
+// pool keeps idle protocol clients to one shard address, so scatter
+// requests reuse connections instead of dialing per query. Clients that
+// saw an error are discarded (their stream may hold a half-read reply);
+// healthy ones return to the pool.
+type pool struct {
+	addr    string
+	timeout time.Duration
+
+	mu   sync.Mutex
+	idle []*server.Client
+}
+
+func newPool(addr string, timeout time.Duration) *pool {
+	return &pool{addr: addr, timeout: timeout}
+}
+
+// get returns an idle client or dials a new one.
+func (p *pool) get() (*server.Client, error) {
+	p.mu.Lock()
+	if n := len(p.idle); n > 0 {
+		c := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+	c, err := server.DialTimeout(p.addr, p.timeout)
+	if err != nil {
+		return nil, err
+	}
+	c.SetTimeout(p.timeout)
+	return c, nil
+}
+
+// put returns a healthy client to the pool.
+func (p *pool) put(c *server.Client) {
+	p.mu.Lock()
+	p.idle = append(p.idle, c)
+	p.mu.Unlock()
+}
+
+// discard closes a client whose connection can no longer be trusted. The
+// close error is irrelevant here — the connection is being thrown away.
+func (p *pool) discard(c *server.Client) {
+	_ = c.Close()
+}
+
+// close drains and closes all idle clients.
+func (p *pool) close() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.mu.Unlock()
+	for _, c := range idle {
+		_ = c.Close()
+	}
+}

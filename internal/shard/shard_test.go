@@ -1,0 +1,312 @@
+package shard
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"parcube"
+	"parcube/internal/server"
+)
+
+// test4D builds the reference dataset: a 4-D fact table with integer
+// measures (so aggregate sums are exact in float64) and uneven dimension
+// sizes to exercise remainder blocks.
+func test4D(t *testing.T) (*parcube.Dataset, *parcube.Cube) {
+	t.Helper()
+	schema, err := parcube.NewSchema(
+		parcube.Dim{Name: "item", Size: 8},
+		parcube.Dim{Name: "branch", Size: 6},
+		parcube.Dim{Name: "time", Size: 5},
+		parcube.Dim{Name: "region", Size: 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := parcube.NewDataset(schema)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 600; i++ {
+		err := ds.Add(float64(rng.Intn(50)+1),
+			rng.Intn(8), rng.Intn(6), rng.Intn(5), rng.Intn(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	cube, _, err := parcube.Build(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, cube
+}
+
+// cluster is a loopback shard cluster plus its coordinator server.
+type cluster struct {
+	plan  *Plan
+	nodes []*Node
+	coord *Coordinator
+	srv   *server.Server
+	addr  string
+}
+
+// startCluster boots `nodes` shard servers and a coordinator serving the
+// line protocol on loopback TCP.
+func startCluster(t *testing.T, ds *parcube.Dataset, nodes, replicas int) *cluster {
+	t.Helper()
+	names := ds.Schema().Names()
+	sizes := ds.Schema().Sizes()
+	plan, err := NewPlan(names, sizes, nodes, replicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := &cluster{plan: plan}
+	for i := 0; i < nodes; i++ {
+		n, err := StartNode(plan, i, ds, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl.nodes = append(cl.nodes, n)
+		t.Cleanup(func() { n.Close() })
+	}
+	addrs := make([]string, len(cl.nodes))
+	for i, n := range cl.nodes {
+		addrs[i] = n.Addr()
+	}
+	cl.coord, err = NewCoordinator(Config{
+		Addrs:   addrs,
+		Timeout: 2 * time.Second,
+		Backoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.coord.Close() })
+	cl.srv = server.NewBackend(cl.coord)
+	cl.srv.ReadTimeout = 10 * time.Second
+	cl.srv.WriteTimeout = 10 * time.Second
+	cl.addr, err = cl.srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.srv.Close() })
+	return cl
+}
+
+// dimSubsets enumerates every subset of the schema's dimension names.
+func dimSubsets(names []string) [][]string {
+	var out [][]string
+	for mask := 0; mask < 1<<len(names); mask++ {
+		var dims []string
+		for i, n := range names {
+			if mask&(1<<i) != 0 {
+				dims = append(dims, n)
+			}
+		}
+		out = append(out, dims)
+	}
+	return out
+}
+
+// assertClusterMatchesCube drives every query shape through a protocol
+// client against the coordinator and checks cell-exact equality with the
+// unsharded reference cube.
+func assertClusterMatchesCube(t *testing.T, addr string, cube *parcube.Cube) {
+	t.Helper()
+	c, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	total, err := c.Total()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != cube.Total() {
+		t.Fatalf("TOTAL = %v, want %v", total, cube.Total())
+	}
+
+	for _, dims := range dimSubsets(cube.Schema().Names()) {
+		rows, err := c.GroupBy(dims...)
+		if err != nil {
+			t.Fatalf("GROUPBY %v: %v", dims, err)
+		}
+		want, err := cube.GroupBy(dims...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != want.Size() {
+			t.Fatalf("GROUPBY %v: %d rows, want %d", dims, len(rows), want.Size())
+		}
+		for _, row := range rows {
+			if row.Value != want.At(row.Coords...) {
+				t.Fatalf("GROUPBY %v cell %v = %v, want %v",
+					dims, row.Coords, row.Value, want.At(row.Coords...))
+			}
+		}
+	}
+
+	// VALUE single-cell lookups across the block seams.
+	ib, err := cube.GroupBy("item", "branch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, coords := range [][]int{{0, 0}, {3, 2}, {4, 3}, {7, 5}} {
+		v, err := c.Value([]string{"item", "branch"}, coords)
+		if err != nil {
+			t.Fatalf("VALUE %v: %v", coords, err)
+		}
+		if v != ib.At(coords...) {
+			t.Fatalf("VALUE %v = %v, want %v", coords, v, ib.At(coords...))
+		}
+	}
+
+	// TOP matches the reference ranking row for row.
+	top, err := c.Top(5, "item", "time")
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := cube.GroupBy("item", "time")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTop := it.Top(5)
+	if len(top) != len(wantTop) {
+		t.Fatalf("TOP returned %d rows, want %d", len(top), len(wantTop))
+	}
+	for i := range top {
+		if top[i].Value != wantTop[i].Value {
+			t.Fatalf("TOP row %d = %+v, want %+v", i, top[i], wantTop[i])
+		}
+	}
+
+	// QUERY statements with filters shard cell-exactly too.
+	stmt := "GROUP BY item, region WHERE time BETWEEN 1 AND 3"
+	rows, err := c.Query(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cube.Query(stmt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != want.Size() {
+		t.Fatalf("QUERY: %d rows, want %d", len(rows), want.Size())
+	}
+	for _, row := range rows {
+		if row.Value != want.At(row.Coords...) {
+			t.Fatalf("QUERY cell %v = %v, want %v", row.Coords, row.Value, want.At(row.Coords...))
+		}
+	}
+}
+
+// TestShardedClusterMatchesSingleNode is the end-to-end acceptance test:
+// a coordinator over 8 shard nodes (4 blocks, 2 replicas each) answers
+// every query shape exactly like the unsharded cube — including after a
+// shard node is killed and its block fails over to the replica.
+func TestShardedClusterMatchesSingleNode(t *testing.T) {
+	ds, cube := test4D(t)
+	cl := startCluster(t, ds, 8, 2)
+	if cl.plan.NumBlocks() != 4 {
+		t.Fatalf("plan has %d blocks, want 4", cl.plan.NumBlocks())
+	}
+	assertClusterMatchesCube(t, cl.addr, cube)
+
+	// Kill one shard node; its block's replica must take over.
+	if err := cl.nodes[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	assertClusterMatchesCube(t, cl.addr, cube)
+	if s := cl.coord.Stats(); s.Failovers == 0 || s.Errors == 0 {
+		t.Fatalf("no failovers recorded after killing a node: %+v", s)
+	}
+}
+
+// TestCoordinatorStatsOverProtocol checks the coordinator's counters ride
+// the STATS extension of the wire protocol.
+func TestCoordinatorStatsOverProtocol(t *testing.T) {
+	ds, _ := test4D(t)
+	cl := startCluster(t, ds, 4, 2)
+	c, err := server.Dial(cl.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Total(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats["blocks"] != "2" || stats["shards"] != "4" {
+		t.Fatalf("topology fields wrong: %v", stats)
+	}
+	if stats["fanouts"] != "2" {
+		t.Fatalf("fanouts = %q after one TOTAL over 2 blocks (stats %v)", stats["fanouts"], stats)
+	}
+	if stats["queries"] != "1" {
+		t.Fatalf("queries = %q, want 1 (stats %v)", stats["queries"], stats)
+	}
+}
+
+// TestReplicaOneFailureSurfacesError: with R=1 there is nowhere to fail
+// over, so killing a node must produce a descriptive partial-result
+// error naming the lost block, not a wrong answer.
+func TestReplicaOneFailureSurfacesError(t *testing.T) {
+	ds, cube := test4D(t)
+	cl := startCluster(t, ds, 4, 1)
+	if cl.plan.NumBlocks() != 4 {
+		t.Fatalf("plan has %d blocks, want 4", cl.plan.NumBlocks())
+	}
+	assertClusterMatchesCube(t, cl.addr, cube)
+
+	killed := cl.nodes[1]
+	if err := killed.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := cl.coord.GroupBy("item")
+	if err == nil {
+		t.Fatal("query over a lost R=1 block succeeded")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, killed.Block.String()) {
+		t.Fatalf("error %q does not name the lost block %s", msg, killed.Block)
+	}
+	if !strings.Contains(msg, killed.Addr()) {
+		t.Fatalf("error %q does not name the lost replica %s", msg, killed.Addr())
+	}
+
+	// The grand total still names the block through the wire protocol.
+	c, err := server.Dial(cl.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Total(); err == nil || !strings.Contains(err.Error(), "block") {
+		t.Fatalf("TOTAL over lost block: %v", err)
+	}
+}
+
+// TestValuePrunesFanout: a fully-specified VALUE lookup must touch only
+// the single block that owns the cell.
+func TestValuePrunesFanout(t *testing.T) {
+	ds, cube := test4D(t)
+	cl := startCluster(t, ds, 8, 2)
+	before := cl.coord.Stats().Fanouts
+	dims := []string{"item", "branch", "time", "region"}
+	want, err := cube.GroupBy(dims...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := cl.coord.Value(dims, []int{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != want.At(1, 1, 1, 1) {
+		t.Fatalf("VALUE = %v, want %v", v, want.At(1, 1, 1, 1))
+	}
+	if got := cl.coord.Stats().Fanouts - before; got != 1 {
+		t.Fatalf("fully-specified VALUE fanned out to %d blocks, want 1", got)
+	}
+}

@@ -1,0 +1,39 @@
+package shard
+
+import "sync/atomic"
+
+// Stats is a snapshot of coordinator scatter-gather activity, in the
+// style of internal/comm.Stats.
+type Stats struct {
+	// Fanouts is the number of per-block sub-requests issued (one per
+	// owning block per query).
+	Fanouts int64
+	// Retries counts attempts made after a failure, including the backoff
+	// wait that precedes them.
+	Retries int64
+	// Failovers counts sub-requests ultimately answered by a replica other
+	// than the first choice.
+	Failovers int64
+	// Errors counts individual sub-request failures (timeouts, transport
+	// errors, ERR replies) observed before any successful answer.
+	Errors int64
+}
+
+// counters accumulates coordinator activity with atomics so concurrent
+// fan-outs can record freely.
+type counters struct {
+	fanouts   atomic.Int64
+	retries   atomic.Int64
+	failovers atomic.Int64
+	errors    atomic.Int64
+}
+
+// snapshot returns the current totals.
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Fanouts:   c.fanouts.Load(),
+		Retries:   c.retries.Load(),
+		Failovers: c.failovers.Load(),
+		Errors:    c.errors.Load(),
+	}
+}

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Full verification gate: build everything, vet everything, and run the
+# whole test suite under the race detector. Used by `make verify` and
+# intended as the pre-commit / CI entry point.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test -race ./...

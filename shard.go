@@ -1,0 +1,66 @@
+package parcube
+
+import (
+	"fmt"
+
+	"parcube/internal/agg"
+	"parcube/internal/nd"
+)
+
+// This file is the shardable facade: the exports internal/shard (and any
+// external sharding layer) needs to split a dataset into block sub-cubes
+// and to merge their query results cell-exactly.
+
+// Aggregator returns the operator the cube was built with. A sharded
+// serving tier needs it to combine partial aggregates from block
+// sub-cubes: every Aggregator here is associative and commutative, so
+// element-wise combination of per-shard tables reproduces the unsharded
+// cube exactly.
+func (c *Cube) Aggregator() Aggregator {
+	switch c.op {
+	case agg.Count:
+		return Count
+	case agg.Max:
+		return Max
+	case agg.Min:
+		return Min
+	default:
+		return Sum
+	}
+}
+
+// Shard returns a new dataset over the same schema containing exactly the
+// facts whose coordinates lie in the half-open box [lo, hi) per dimension,
+// at their original global coordinates. Sharding the fact table this way
+// and building one cube per block is lossless: because facts partition
+// disjointly across blocks and all aggregators are associative and
+// commutative, combining the blocks' group-by tables element-wise equals
+// the unsharded cube.
+//
+// Shard freezes the dataset (like Build), so it can be called repeatedly
+// to carve every block of a plan out of one loaded fact table.
+func (d *Dataset) Shard(lo, hi []int) (*Dataset, error) {
+	n := d.schema.Dims()
+	if len(lo) != n || len(hi) != n {
+		return nil, fmt.Errorf("parcube: shard bounds rank %d/%d for %d dimensions", len(lo), len(hi), n)
+	}
+	for i := 0; i < n; i++ {
+		if lo[i] < 0 || hi[i] > d.schema.shape[i] || lo[i] >= hi[i] {
+			return nil, fmt.Errorf("parcube: shard bounds [%d:%d) invalid for dimension %q of size %d",
+				lo[i], hi[i], d.schema.names[i], d.schema.shape[i])
+		}
+	}
+	block := nd.NewBlock(lo, hi)
+	sub := NewDataset(d.schema)
+	var addErr error
+	d.freeze().Iter(func(coords []int, v float64) {
+		if addErr != nil || !block.Contains(coords) {
+			return
+		}
+		addErr = sub.Add(v, coords...)
+	})
+	if addErr != nil {
+		return nil, addErr
+	}
+	return sub, nil
+}

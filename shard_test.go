@@ -1,0 +1,147 @@
+package parcube
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDatasetShardPartition checks the facade contract sharding relies
+// on: carving a dataset into disjoint blocks and combining the block
+// cubes' tables element-wise reproduces the unsharded cube exactly.
+func TestDatasetShardPartition(t *testing.T) {
+	schema, err := NewSchema(Dim{Name: "a", Size: 8}, Dim{Name: "b", Size: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := NewDataset(schema)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		if err := ds.Add(float64(rng.Intn(9)+1), rng.Intn(8), rng.Intn(6)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	whole, _, err := Build(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	left, err := ds.Shard([]int{0, 0}, []int{4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := ds.Shard([]int{4, 0}, []int{8, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if left.Cells()+right.Cells() != ds.Cells() {
+		t.Fatalf("blocks do not partition the facts: %d + %d != %d",
+			left.Cells(), right.Cells(), ds.Cells())
+	}
+
+	lc, _, err := Build(left)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, _, err := Build(right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dims := range [][]string{nil, {"a"}, {"b"}, {"a", "b"}} {
+		want, err := whole.GroupBy(dims...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lt, err := lc.GroupBy(dims...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := rc.GroupBy(dims...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shape := want.Shape()
+		coords := make([]int, len(shape))
+		for off := 0; off < want.Size(); off++ {
+			rem := off
+			for i := len(shape) - 1; i >= 0; i-- {
+				coords[i] = rem % shape[i]
+				rem /= shape[i]
+			}
+			if got := lt.At(coords...) + rt.At(coords...); got != want.At(coords...) {
+				t.Fatalf("group-by %v cell %v: %v + %v != %v",
+					dims, coords, lt.At(coords...), rt.At(coords...), want.At(coords...))
+			}
+		}
+	}
+}
+
+func TestDatasetShardValidation(t *testing.T) {
+	schema, err := NewSchema(Dim{Name: "a", Size: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := NewDataset(schema)
+	if err := ds.Add(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.Shard([]int{0, 0}, []int{4, 4}); err == nil {
+		t.Fatal("rank mismatch accepted")
+	}
+	if _, err := ds.Shard([]int{2}, []int{2}); err == nil {
+		t.Fatal("empty block accepted")
+	}
+	if _, err := ds.Shard([]int{0}, []int{5}); err == nil {
+		t.Fatal("out-of-range block accepted")
+	}
+}
+
+func TestCubeAggregator(t *testing.T) {
+	schema, err := NewSchema(Dim{Name: "a", Size: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []Aggregator{Sum, Count, Max, Min} {
+		ds := NewDataset(schema)
+		if err := ds.Add(3, 1); err != nil {
+			t.Fatal(err)
+		}
+		cube, _, err := Build(ds, WithAggregator(a))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cube.Aggregator() != a {
+			t.Fatalf("Aggregator() = %v, want %v", cube.Aggregator(), a)
+		}
+	}
+}
+
+// TestBuildEmptyShard makes sure a block with no facts still builds a
+// servable cube — shard nodes for sparse corners of the array hit this.
+func TestBuildEmptyShard(t *testing.T) {
+	schema, err := NewSchema(Dim{Name: "a", Size: 4}, Dim{Name: "b", Size: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := NewDataset(schema)
+	if err := ds.Add(5, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	empty, err := ds.Shard([]int{2, 0}, []int{4, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, _, err := Build(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cube.Total() != 0 {
+		t.Fatalf("empty shard total = %v", cube.Total())
+	}
+	tbl, err := cube.GroupBy("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.At(0) != 0 || tbl.At(3) != 0 {
+		t.Fatalf("empty shard group-by = %v %v", tbl.At(0), tbl.At(3))
+	}
+}
