@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench
+.PHONY: build test vet race verify bench bench-json fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -20,3 +20,14 @@ verify:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+# Figure benchmarks as machine-readable JSON (ns/op, modeled time,
+# communication volume/bytes, peak cells) in BENCH_2.json.
+bench-json:
+	./scripts/bench.sh
+
+# Seed-corpus run plus a short live fuzz of every Fuzz target; the CI
+# smoke uses the same loop.
+fuzz-smoke:
+	$(GO) test -run=Fuzz ./...
+	./scripts/fuzz.sh 10s

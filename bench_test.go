@@ -47,7 +47,7 @@ func benchFigure(b *testing.B, id int) {
 			name := fmt.Sprintf("sparsity=%.0f%%/%s", sparsity, part.Name)
 			b.Run(name, func(b *testing.B) {
 				var makespan float64
-				var comm int64
+				var comm, bytes int64
 				for i := 0; i < b.N; i++ {
 					res, err := parallel.Build(input, parallel.Options{
 						K:       part.K,
@@ -59,9 +59,11 @@ func benchFigure(b *testing.B, id int) {
 					}
 					makespan = res.Stats.MakespanSec
 					comm = res.Stats.MeasuredVolumeElements
+					bytes = res.Report.TotalBytesSent
 				}
 				b.ReportMetric(makespan, "modeled-s")
 				b.ReportMetric(float64(comm), "comm-elems")
+				b.ReportMetric(float64(bytes), "comm-bytes")
 			})
 		}
 	}
@@ -137,15 +139,17 @@ func BenchmarkCommVolume(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	var comm int64
+	var comm, bytes int64
 	for i := 0; i < b.N; i++ {
 		res, err := parallel.Build(input, parallel.Options{K: []int{2, 1, 0}})
 		if err != nil {
 			b.Fatal(err)
 		}
 		comm = res.Stats.MeasuredVolumeElements
+		bytes = res.Report.TotalBytesSent
 	}
 	b.ReportMetric(float64(comm), "comm-elems")
+	b.ReportMetric(float64(bytes), "comm-bytes")
 }
 
 // BenchmarkOrderingOptimality regenerates the Theorem 6/7 table: all 24

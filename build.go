@@ -59,14 +59,10 @@ func Build(d *Dataset, opts ...BuildOption) (*Cube, *BuildStats, error) {
 		return nil, nil, err
 	}
 	cube := &Cube{schema: d.schema, store: res.Cube, input: input, op: cfg.agg.op()}
-	ordering := cfg.ordering
-	if ordering == nil {
-		ordering = core.SortedOrdering(input.Shape())
-	}
 	stats := &BuildStats{
 		Updates:             res.Stats.Updates,
 		PeakMemoryElements:  res.Stats.PeakResultElements,
-		MemoryBoundElements: core.MemoryBoundElements(ordering.Apply(input.Shape())),
+		MemoryBoundElements: res.Stats.MemoryBoundElements,
 	}
 	return cube, stats, nil
 }

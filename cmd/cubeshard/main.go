@@ -22,6 +22,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"os/signal"
 	"strconv"
@@ -29,6 +32,7 @@ import (
 	"time"
 
 	"parcube"
+	"parcube/internal/obs"
 	"parcube/internal/server"
 	"parcube/internal/shard"
 )
@@ -45,13 +49,14 @@ func main() {
 	// Coordinator flags.
 	shards := flag.String("shards", "", "comma-separated shard node addresses (coordinator mode)")
 	timeout := flag.Duration("timeout", 2*time.Second, "per-shard request timeout before failover (coordinator mode)")
+	debug := flag.String("debug", "", "optional HTTP listen address serving /debug/vars (live metrics) and /debug/pprof")
 	flag.Parse()
 
 	var err error
 	if *coordinator {
-		err = runCoordinator(*shards, *addr, *timeout)
+		err = runCoordinator(*shards, *addr, *timeout, *debug)
 	} else {
-		err = runShard(*shapeFlag, *in, *addr, *nodes, *replicas, *nodeID)
+		err = runShard(*shapeFlag, *in, *addr, *nodes, *replicas, *nodeID, *debug)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cubeshard:", err)
@@ -60,14 +65,38 @@ func main() {
 }
 
 // runShard builds and serves one node's block sub-cube until interrupted.
-func runShard(shapeStr, in, addr string, nodes, replicas, nodeID int) error {
+func runShard(shapeStr, in, addr string, nodes, replicas, nodeID int, debug string) error {
 	node, err := startShard(shapeStr, in, addr, nodes, replicas, nodeID)
 	if err != nil {
+		return err
+	}
+	if err := startDebug(debug, node.Metrics()); err != nil {
+		node.Close()
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "shard node %d serving block %s on %s\n", node.ID, node.Block, node.Addr())
 	waitForInterrupt()
 	return node.Close()
+}
+
+// startDebug exposes the process's metrics and profiles over HTTP when a
+// debug address is configured: the build-engine registry ("parcube") and
+// the serving registry ("serving") appear in expvar's /debug/vars JSON,
+// and net/http/pprof serves /debug/pprof for live profiling.
+func startDebug(addr string, serving *obs.Registry) error {
+	if addr == "" {
+		return nil
+	}
+	obs.Default.PublishExpvar("parcube")
+	serving.PublishExpvar("serving")
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("debug endpoint: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/vars (pprof at /debug/pprof/)\n", ln.Addr())
+	// The default mux carries expvar's and pprof's handlers.
+	go http.Serve(ln, nil)
+	return nil
 }
 
 // startShard loads the fact table, plans the cluster layout, and starts
@@ -111,9 +140,17 @@ func startShard(shapeStr, in, addr string, nodes, replicas, nodeID int) (*shard.
 }
 
 // runCoordinator serves the scatter-gather router until interrupted.
-func runCoordinator(shards, addr string, timeout time.Duration) error {
+func runCoordinator(shards, addr string, timeout time.Duration, debug string) error {
 	srv, coord, bound, err := startCoordinator(shards, addr, timeout)
 	if err != nil {
+		return err
+	}
+	// The coordinator's fan-out/failover metrics ride along under their
+	// own expvar name next to the protocol server's command metrics.
+	coord.Metrics().PublishExpvar("coordinator")
+	if err := startDebug(debug, srv.Metrics()); err != nil {
+		srv.Close()
+		coord.Close()
 		return err
 	}
 	names, _ := coord.SchemaDims()

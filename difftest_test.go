@@ -1,0 +1,206 @@
+package parcube_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"parcube"
+)
+
+// The differential wall: random sparse datasets are built by the
+// sequential engine, the parallel engine on both transports, and a naive
+// full-scan oracle that shares no code with the aggregation tree. All four
+// must agree cell-exactly on every group-by of the lattice. Values are
+// small integers and every coordinate holds at most one fact, so float64
+// aggregation is order-independent and exact.
+
+type difffact struct {
+	coords []int
+	value  float64
+}
+
+// randomFacts samples each cell of the box independently with the given
+// density (at least one fact is always produced).
+func randomFacts(rng *rand.Rand, sizes []int, density float64) []difffact {
+	total := 1
+	for _, s := range sizes {
+		total *= s
+	}
+	var facts []difffact
+	coords := make([]int, len(sizes))
+	for off := 0; off < total; off++ {
+		rem := off
+		for i := len(sizes) - 1; i >= 0; i-- {
+			coords[i] = rem % sizes[i]
+			rem /= sizes[i]
+		}
+		if rng.Float64() < density {
+			facts = append(facts, difffact{
+				coords: append([]int(nil), coords...),
+				value:  float64(rng.Intn(9) + 1),
+			})
+		}
+	}
+	if len(facts) == 0 {
+		facts = append(facts, difffact{coords: make([]int, len(sizes)), value: 1})
+	}
+	return facts
+}
+
+// oracleIdentity and oracleApply are written independently of internal/agg
+// on purpose: the oracle must not inherit the engine's bugs.
+func oracleIdentity(op parcube.Aggregator) float64 {
+	switch op {
+	case parcube.Max:
+		return math.Inf(-1)
+	case parcube.Min:
+		return math.Inf(1)
+	default:
+		return 0
+	}
+}
+
+func oracleApply(op parcube.Aggregator, acc, v float64) float64 {
+	switch op {
+	case parcube.Sum:
+		return acc + v
+	case parcube.Count:
+		return acc + 1
+	case parcube.Max:
+		return math.Max(acc, v)
+	case parcube.Min:
+		return math.Min(acc, v)
+	}
+	panic("unknown aggregator")
+}
+
+// oracleGroupBy scans every fact and folds it into the dense table that
+// keeps exactly the dimensions in keep (indices into sizes, ascending).
+func oracleGroupBy(facts []difffact, sizes []int, keep []int, op parcube.Aggregator) []float64 {
+	total := 1
+	for _, d := range keep {
+		total *= sizes[d]
+	}
+	out := make([]float64, total)
+	for i := range out {
+		out[i] = oracleIdentity(op)
+	}
+	for _, f := range facts {
+		off := 0
+		for _, d := range keep {
+			off = off*sizes[d] + f.coords[d]
+		}
+		out[off] = oracleApply(op, out[off], f.value)
+	}
+	return out
+}
+
+func TestDifferentialCube(t *testing.T) {
+	cases := []struct {
+		name      string
+		sizes     []int
+		density   float64
+		agg       parcube.Aggregator
+		procs     int
+		transport parcube.Transport
+	}{
+		{"2d-sum-dense", []int{7, 5}, 0.8, parcube.Sum, 4, parcube.ChannelTransport},
+		{"3d-sum-sparse", []int{6, 5, 4}, 0.3, parcube.Sum, 8, parcube.ChannelTransport},
+		{"3d-count-tcp", []int{6, 5, 4}, 0.5, parcube.Count, 4, parcube.TCPTransport},
+		{"3d-max", []int{5, 4, 3}, 0.4, parcube.Max, 4, parcube.ChannelTransport},
+		{"4d-min-tcp", []int{4, 3, 3, 2}, 0.6, parcube.Min, 4, parcube.TCPTransport},
+		{"4d-sum-verysparse", []int{5, 4, 2, 2}, 0.15, parcube.Sum, 8, parcube.ChannelTransport},
+	}
+	for ci, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(100 + ci)))
+			facts := randomFacts(rng, tc.sizes, tc.density)
+
+			dims := make([]parcube.Dim, len(tc.sizes))
+			for i, s := range tc.sizes {
+				dims[i] = parcube.Dim{Name: fmt.Sprintf("d%d", i), Size: s}
+			}
+			schema, err := parcube.NewSchema(dims...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ds := parcube.NewDataset(schema)
+			for _, f := range facts {
+				if err := ds.Add(f.value, f.coords...); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			opt := parcube.WithAggregator(tc.agg)
+			seqCube, _, err := parcube.Build(ds, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			chanCube, chanRep, err := parcube.BuildParallel(ds,
+				parcube.ClusterSpec{Processors: tc.procs}, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tcpCube, tcpRep, err := parcube.BuildParallel(ds,
+				parcube.ClusterSpec{Processors: tc.procs, Transport: tc.transport}, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if chanRep.CommElements != chanRep.PredictedCommElements {
+				t.Fatalf("channel volume %d != predicted %d", chanRep.CommElements, chanRep.PredictedCommElements)
+			}
+			if tcpRep.CommElements != tcpRep.PredictedCommElements {
+				t.Fatalf("tcp volume %d != predicted %d", tcpRep.CommElements, tcpRep.PredictedCommElements)
+			}
+
+			engines := []struct {
+				name string
+				cube *parcube.Cube
+			}{{"seq", seqCube}, {"parallel-channel", chanCube}, {"parallel-transport", tcpCube}}
+
+			n := len(tc.sizes)
+			for mask := 0; mask < 1<<n; mask++ {
+				var keep []int
+				var names []string
+				for d := 0; d < n; d++ {
+					if mask&(1<<d) != 0 {
+						keep = append(keep, d)
+						names = append(names, dims[d].Name)
+					}
+				}
+				// The full group-by is the dataset itself (raw measure
+				// values, empty cells zero), which matches the aggregate
+				// view only for Sum with one fact per cell.
+				if mask == 1<<n-1 && tc.agg != parcube.Sum {
+					continue
+				}
+				want := oracleGroupBy(facts, tc.sizes, keep, tc.agg)
+				for _, eng := range engines {
+					table, err := eng.cube.GroupBy(names...)
+					if err != nil {
+						t.Fatalf("%s: groupby %v: %v", eng.name, names, err)
+					}
+					if table.Size() != len(want) {
+						t.Fatalf("%s: groupby %v has %d cells, oracle %d",
+							eng.name, names, table.Size(), len(want))
+					}
+					coords := make([]int, len(keep))
+					for off := 0; off < len(want); off++ {
+						rem := off
+						for i := len(keep) - 1; i >= 0; i-- {
+							coords[i] = rem % tc.sizes[keep[i]]
+							rem /= tc.sizes[keep[i]]
+						}
+						got := table.At(coords...)
+						if got != want[off] && !(math.IsInf(got, 0) && got == want[off]) {
+							t.Fatalf("%s: groupby %v cell %v: got %v, oracle %v",
+								eng.name, names, coords, got, want[off])
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,51 @@
+package parcube_test
+
+import (
+	"testing"
+
+	"parcube"
+)
+
+// FuzzQuery feeds arbitrary statements to the query-language front end. A
+// statement is either rejected with an error or answered with a table (or
+// top-list) — never a panic, never a nil result without an error.
+func FuzzQuery(f *testing.F) {
+	seeds := []string{
+		"",
+		"GROUP BY item",
+		"group by item, branch",
+		"GROUP BY item WHERE branch = 2",
+		"WHERE branch = 2",
+		"GROUP BY item WHERE time BETWEEN 1 AND 2",
+		"GROUP BY item WHERE branch = 1 AND time BETWEEN 0 AND 1",
+		"GROUP BY branch TOP 2",
+		"GROUP BY item, branch, time",
+		"GROUP BY item WHERE item = -1",
+		"GROUP BY item WHERE time BETWEEN 3 AND 1",
+		"GROUP BY nope",
+		"GROUP BY item TOP 0",
+		"GROUP BY item TOP 99999999999999999999",
+		"WHERE",
+		"TOP",
+		"GROUP",
+		"GROUP BY item WHERE branch",
+		"GROUP BY item garbage trailing",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	cube, _, err := parcube.Build(metricsDataset(f))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, stmt string) {
+		tbl, err := cube.Query(stmt)
+		if err == nil && tbl == nil {
+			t.Fatalf("Query(%q): nil table without error", stmt)
+		}
+		top, err := cube.QueryTop(stmt)
+		if err == nil && top == nil {
+			t.Fatalf("QueryTop(%q): nil rows without error", stmt)
+		}
+	})
+}

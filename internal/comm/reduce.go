@@ -4,7 +4,20 @@ import (
 	"fmt"
 
 	"parcube/internal/agg"
+	"parcube/internal/obs"
 )
+
+// recordStep accounts one collective send into the process-wide registry:
+// how many reduction/broadcast steps ran and how much payload each moved.
+// The per-step slab size feeds the "comm.step_elems" histogram so STATS can
+// report the distribution the Lemma 1 slabs actually had.
+func recordStep(kind string, elements int) {
+	m := obs.Default
+	m.Counter("comm." + kind + ".steps").Inc()
+	m.Counter("comm." + kind + ".elems").Add(int64(elements))
+	m.Counter("comm." + kind + ".bytes").Add(WireBytes(elements))
+	m.Histogram("comm.step_elems").Observe(int64(elements))
+}
 
 // Peer is the minimal send/receive surface the collectives need. Endpoint
 // satisfies it through a trivial adapter; the cluster simulator supplies an
@@ -86,6 +99,7 @@ func Reduce(p Peer, group []int, me int, data []float64, op agg.Op, tag Tag, alg
 		for bit := 1; bit < g; bit <<= 1 {
 			if me&bit != 0 {
 				// Fold our partial into the partner below and leave.
+				recordStep("reduce", len(data))
 				return p.Send(group[me&^bit], tag, data)
 			}
 			partner := me | bit
@@ -103,6 +117,7 @@ func Reduce(p Peer, group []int, me int, data []float64, op agg.Op, tag Tag, alg
 		return nil
 	case FlatGather:
 		if me != 0 {
+			recordStep("reduce", len(data))
 			return p.Send(group[0], tag, data)
 		}
 		for i := 1; i < g; i++ {
@@ -146,6 +161,7 @@ func Broadcast(p Peer, group []int, me int, data []float64, tag Tag) error {
 	for bit := 1; bit < g; bit <<= 1 {
 		switch {
 		case me < bit:
+			recordStep("bcast", len(data))
 			if err := p.Send(group[me+bit], tag, data); err != nil {
 				return err
 			}

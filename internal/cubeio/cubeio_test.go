@@ -12,7 +12,7 @@ import (
 	"parcube/internal/seq"
 )
 
-func sampleSparse(t *testing.T) *array.Sparse {
+func sampleSparse(t testing.TB) *array.Sparse {
 	t.Helper()
 	b, err := array.NewSparseBuilder(nd.MustShape(4, 3), nil)
 	if err != nil {

@@ -1,0 +1,121 @@
+package cubeio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"parcube/internal/nd"
+	"parcube/internal/seq"
+)
+
+// validSnapshot serializes a real cube store for the seed corpus.
+func validSnapshot(f *testing.F) []byte {
+	res, err := seq.Build(sampleSparse(f), seq.Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, res.Cube); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadSnapshot throws arbitrary bytes at the snapshot decoder. It must
+// never panic or allocate beyond the input's actual content, and anything
+// it accepts must serialize back without error.
+func FuzzReadSnapshot(f *testing.F) {
+	valid := validSnapshot(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3]) // truncated data section
+	f.Add([]byte("PARCUBE1"))
+	f.Add([]byte("not a snapshot at all"))
+	// A header that claims a 2^40-element group-by over an empty stream:
+	// the decoder must fail fast instead of allocating the claim.
+	var huge bytes.Buffer
+	huge.WriteString("PARCUBE1")
+	for _, v := range []uint32{1, 3, 2, 1 << 20, 1 << 20} {
+		binary.Write(&huge, binary.LittleEndian, v)
+	}
+	f.Add(huge.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		store, err := ReadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if store == nil {
+			t.Fatal("nil store without error")
+		}
+		if err := WriteSnapshot(&bytes.Buffer{}, store); err != nil {
+			t.Fatalf("accepted snapshot does not re-serialize: %v", err)
+		}
+	})
+}
+
+// FuzzSparseScanner streams arbitrary bytes through the chunked sparse
+// reader. Decoding must terminate, never panic, and report any non-EOF
+// malformation through Err.
+func FuzzSparseScanner(f *testing.F) {
+	var valid bytes.Buffer
+	if err := WriteSparseBinary(&valid, sampleSparse(f)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:len(valid.Bytes())-2])
+	f.Add([]byte("PARSPAR1"))
+	f.Add([]byte("garbage"))
+	// Valid header, then a chunk claiming ~2^32 entries with no payload.
+	var huge bytes.Buffer
+	huge.WriteString("PARSPAR1")
+	for _, v := range []uint32{
+		3, 2048, 2048, 1024, // rank, sizes
+		2048, 2048, 1024, // chunk sides
+		0, 0, 0, 2048, 2048, 1024, // block lo, hi
+		0xFFFFFFF0, // entry count
+	} {
+		binary.Write(&huge, binary.LittleEndian, v)
+	}
+	f.Add(huge.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := NewSparseScanner(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		cells := 0
+		s.Iter(func(coords []int, v float64) {
+			if len(coords) != s.Shape().Rank() {
+				t.Fatalf("rank-%d coords from rank-%d scanner", len(coords), s.Shape().Rank())
+			}
+			cells++
+		})
+		_ = s.Err() // may be non-nil for malformed tails; must not panic
+	})
+}
+
+// FuzzReadCSV parses arbitrary bytes as a fact-table CSV against a fixed
+// shape. Accepted inputs must produce a sparse array within the shape.
+func FuzzReadCSV(f *testing.F) {
+	var valid bytes.Buffer
+	if err := WriteCSV(&valid, []string{"item", "branch"}, sampleSparse(f)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte("a,b,value\n0,0,1\n3,2,4.5\n"))
+	f.Add([]byte("a,b,value\n9,0,1\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("a,b,value\n0,0,NaN\n"))
+	shape := nd.MustShape(4, 3)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, _, err := ReadCSV(bytes.NewReader(data), shape)
+		if err != nil {
+			return
+		}
+		if s == nil {
+			t.Fatal("nil array without error")
+		}
+		if s.NNZ() > shape.Size() {
+			t.Fatalf("%d stored cells in a %d-cell shape", s.NNZ(), shape.Size())
+		}
+	})
+}

@@ -8,7 +8,6 @@ import (
 	"math"
 	"sort"
 
-	"parcube/internal/agg"
 	"parcube/internal/array"
 	"parcube/internal/lattice"
 	"parcube/internal/nd"
@@ -110,17 +109,45 @@ func ReadSnapshot(r io.Reader) (*seq.Store, error) {
 				return nil, fmt.Errorf("cubeio: group-by %b: %w", mask, err)
 			}
 		}
-		a := array.NewDense(shape, agg.Sum)
-		buf := make([]byte, 8*a.Size())
-		if _, err := io.ReadFull(br, buf); err != nil {
+		vals, err := readFloats(br, shape.Size())
+		if err != nil {
 			return nil, fmt.Errorf("cubeio: group-by %b data: %w", mask, err)
 		}
-		for j := range a.Data() {
-			a.Data()[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*j:]))
+		a, err := array.FromValues(shape, vals)
+		if err != nil {
+			return nil, err
 		}
 		if err := store.WriteBack(lattice.DimSet(mask), a); err != nil {
 			return nil, err
 		}
 	}
 	return store, nil
+}
+
+// readFloats decodes n little-endian float64s. The declared count comes
+// from the (untrusted) header, so the slice is grown chunk by chunk as
+// bytes actually arrive: a header claiming a huge array over a short
+// stream fails with memory proportional to the stream, not the claim.
+func readFloats(br *bufio.Reader, n int) ([]float64, error) {
+	const chunkElems = 1 << 17 // 1 MiB of encoded data per read
+	first := n
+	if first > chunkElems {
+		first = chunkElems
+	}
+	vals := make([]float64, 0, first)
+	buf := make([]byte, 8*first)
+	for len(vals) < n {
+		c := n - len(vals)
+		if c > chunkElems {
+			c = chunkElems
+		}
+		b := buf[:8*c]
+		if _, err := io.ReadFull(br, b); err != nil {
+			return nil, err
+		}
+		for i := 0; i < c; i++ {
+			vals = append(vals, math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:])))
+		}
+	}
+	return vals, nil
 }

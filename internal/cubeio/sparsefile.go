@@ -174,15 +174,32 @@ func (s *SparseScanner) Next() (block nd.Block, entries []array.Entry, ok bool) 
 		s.err = fmt.Errorf("cubeio: chunk %v claims %d entries for %d cells", block, count, block.Size())
 		return nd.Block{}, nil, false
 	}
-	buf := make([]byte, 12*count)
-	if _, err := io.ReadFull(s.r, buf); err != nil {
-		s.err = fmt.Errorf("cubeio: truncated chunk payload: %w", err)
-		return nd.Block{}, nil, false
+	// The entry count is untrusted header data: decode in bounded chunks
+	// so a claim far beyond the stream's actual content fails with memory
+	// proportional to what was really sent.
+	const chunkEntries = 1 << 16
+	first := count
+	if first > chunkEntries {
+		first = chunkEntries
 	}
-	entries = make([]array.Entry, count)
-	for i := range entries {
-		entries[i].Off = binary.LittleEndian.Uint32(buf[12*i:])
-		entries[i].Val = math.Float64frombits(binary.LittleEndian.Uint64(buf[12*i+4:]))
+	entries = make([]array.Entry, 0, first)
+	buf := make([]byte, 12*first)
+	for uint32(len(entries)) < count {
+		c := count - uint32(len(entries))
+		if c > chunkEntries {
+			c = chunkEntries
+		}
+		b := buf[:12*c]
+		if _, err := io.ReadFull(s.r, b); err != nil {
+			s.err = fmt.Errorf("cubeio: truncated chunk payload: %w", err)
+			return nd.Block{}, nil, false
+		}
+		for i := uint32(0); i < c; i++ {
+			entries = append(entries, array.Entry{
+				Off: binary.LittleEndian.Uint32(b[12*i:]),
+				Val: math.Float64frombits(binary.LittleEndian.Uint64(b[12*i+4:])),
+			})
+		}
 	}
 	return block, entries, true
 }

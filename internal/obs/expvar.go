@@ -1,0 +1,19 @@
+package obs
+
+import (
+	"expvar"
+	"sync"
+)
+
+var publishOnce sync.Map // expvar name -> struct{} (guards duplicate publishes)
+
+// PublishExpvar exports the registry's flat snapshot under the given
+// expvar name, so importing net/http/pprof + expvar's /debug/vars handler
+// serves it as live JSON. Publishing the same name twice is a no-op (the
+// first registry wins), so restart-style re-wiring cannot panic.
+func (r *Registry) PublishExpvar(name string) {
+	if _, loaded := publishOnce.LoadOrStore(name, struct{}{}); loaded {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Flatten() }))
+}

@@ -1,0 +1,305 @@
+// Package obs is the library's dependency-free observability layer: named
+// atomic counters, gauges, and latency histograms collected in registries
+// and exported as key=value STATS fields, flat snapshots, or expvar JSON.
+//
+// The package-level Default registry gathers the engine-wide series every
+// build records (sequential scans, parallel reductions, memory peaks);
+// serving components (internal/server, internal/shard) keep their own
+// registries so per-instance STATS replies stay isolated. All primitives
+// are safe for concurrent use and cheap enough for hot paths: one atomic
+// add per event.
+//
+// Naming convention: dotted lowercase paths ("seq.updates",
+// "shard.ask_ns"). Histogram series carry a unit suffix ("_ns" for
+// nanoseconds, "_elems" for array elements); their exported fields expand
+// to <name>_count, <name>_p50, <name>_p95, <name>_p99, and <name>_max.
+package obs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative n is ignored so series stay monotone).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current total.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous atomic value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// SetMax raises the gauge to v if v is larger — a high-water mark.
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the histogram resolution: bucket i counts observations v
+// with bits.Len64(v) == i, i.e. 2^(i-1) <= v < 2^i (bucket 0 holds v <= 0).
+const histBuckets = 65
+
+// Histogram accumulates a distribution in power-of-two buckets, from which
+// p50/p95/p99 are answered to within a factor of two — plenty for latency
+// and size series, with a fixed 65-word footprint and one atomic add per
+// observation.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value (negative values count into bucket 0).
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	if v > 0 {
+		i = bits.Len64(uint64(v))
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// ObserveSince records the nanoseconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Nanoseconds())
+}
+
+// HistogramSnapshot is a point-in-time summary of a histogram.
+type HistogramSnapshot struct {
+	Count int64
+	Sum   int64
+	Max   int64
+	P50   int64
+	P95   int64
+	P99   int64
+}
+
+// Snapshot summarizes the histogram. Quantiles are the upper bound of the
+// bucket holding the quantile rank, capped at the observed maximum.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	if s.Count == 0 {
+		return s
+	}
+	var counts [histBuckets]int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+	}
+	s.P50 = quantile(counts[:], s.Count, s.Max, 0.50)
+	s.P95 = quantile(counts[:], s.Count, s.Max, 0.95)
+	s.P99 = quantile(counts[:], s.Count, s.Max, 0.99)
+	return s
+}
+
+// quantile walks the cumulative bucket counts to the rank of q.
+func quantile(counts []int64, total, max int64, q float64) int64 {
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			if i == 0 {
+				return 0
+			}
+			upper := int64(1)<<uint(i) - 1
+			if upper > max {
+				return max
+			}
+			return upper
+		}
+	}
+	return max
+}
+
+// Kind discriminates metric types in snapshots.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Metric is one named series in a registry snapshot. Value carries the
+// counter/gauge reading; Hist is populated for histograms.
+type Metric struct {
+	Name  string
+	Kind  Kind
+	Value int64
+	Hist  HistogramSnapshot
+}
+
+// Registry is a named collection of metrics. The zero value is ready to
+// use. Lookups get-or-create: the first caller of a name fixes its kind,
+// and a later lookup under a different kind panics (a programming error,
+// like a duplicate expvar name).
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]any
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Default is the process-wide registry the build engines record into.
+var Default = NewRegistry()
+
+// lookup returns the named metric, creating it with mk on first use.
+func (r *Registry) lookup(name string, kind Kind, mk func() any) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.metrics == nil {
+		r.metrics = make(map[string]any)
+	}
+	m, ok := r.metrics[name]
+	if !ok {
+		m = mk()
+		r.metrics[name] = m
+	}
+	if kindOf(m) != kind {
+		panic(fmt.Sprintf("obs: metric %q is a %v, requested as %v", name, kindOf(m), kind))
+	}
+	return m
+}
+
+// kindOf maps a stored metric to its kind.
+func kindOf(m any) Kind {
+	switch m.(type) {
+	case *Counter:
+		return KindCounter
+	case *Gauge:
+		return KindGauge
+	case *Histogram:
+		return KindHistogram
+	default:
+		panic(fmt.Sprintf("obs: unknown metric type %T", m))
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	return r.lookup(name, KindCounter, func() any { return new(Counter) }).(*Counter)
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	return r.lookup(name, KindGauge, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	return r.lookup(name, KindHistogram, func() any { return new(Histogram) }).(*Histogram)
+}
+
+// Snapshot returns every metric, sorted by name.
+func (r *Registry) Snapshot() []Metric {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.metrics))
+	metrics := make(map[string]any, len(r.metrics))
+	for name, m := range r.metrics {
+		names = append(names, name)
+		metrics[name] = m
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	out := make([]Metric, 0, len(names))
+	for _, name := range names {
+		switch m := metrics[name].(type) {
+		case *Counter:
+			out = append(out, Metric{Name: name, Kind: KindCounter, Value: m.Value()})
+		case *Gauge:
+			out = append(out, Metric{Name: name, Kind: KindGauge, Value: m.Value()})
+		case *Histogram:
+			out = append(out, Metric{Name: name, Kind: KindHistogram, Hist: m.Snapshot()})
+		}
+	}
+	return out
+}
+
+// Flatten returns the snapshot as a flat name->value map; histogram series
+// expand to <name>_count/_p50/_p95/_p99/_max entries.
+func (r *Registry) Flatten() map[string]int64 {
+	out := make(map[string]int64)
+	for _, m := range r.Snapshot() {
+		switch m.Kind {
+		case KindHistogram:
+			out[m.Name+"_count"] = m.Hist.Count
+			out[m.Name+"_p50"] = m.Hist.P50
+			out[m.Name+"_p95"] = m.Hist.P95
+			out[m.Name+"_p99"] = m.Hist.P99
+			out[m.Name+"_max"] = m.Hist.Max
+		default:
+			out[m.Name] = m.Value
+		}
+	}
+	return out
+}
+
+// Fields renders the flat snapshot as sorted "name=value" strings — the
+// format the servers' STATS replies append.
+func (r *Registry) Fields() []string {
+	flat := r.Flatten()
+	names := make([]string, 0, len(flat))
+	for name := range flat {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]string, len(names))
+	for i, name := range names {
+		out[i] = fmt.Sprintf("%s=%d", name, flat[name])
+	}
+	return out
+}

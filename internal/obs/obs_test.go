@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.count") != c {
+		t.Fatal("second lookup returned a different counter")
+	}
+
+	g := r.Gauge("a.gauge")
+	g.Set(10)
+	g.SetMax(3)
+	if got := g.Value(); got != 10 {
+		t.Fatalf("gauge = %d after SetMax(3), want 10", got)
+	}
+	g.SetMax(42)
+	if got := g.Value(); got != 42 {
+		t.Fatalf("gauge = %d, want 42", got)
+	}
+}
+
+func TestKindClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gauge lookup of a counter name did not panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ns")
+	// 100 observations: 90 fast (~100ns), 10 slow (~1e6ns).
+	for i := 0; i < 90; i++ {
+		h.Observe(100)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1_000_000)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Sum != 90*100+10*1_000_000 {
+		t.Fatalf("sum = %d", s.Sum)
+	}
+	if s.Max != 1_000_000 {
+		t.Fatalf("max = %d", s.Max)
+	}
+	// p50 must land in the fast bucket (upper bound 127), p99 in the slow
+	// one (capped at max).
+	if s.P50 < 100 || s.P50 > 127 {
+		t.Fatalf("p50 = %d, want within [100,127]", s.P50)
+	}
+	if s.P95 != 1_000_000 || s.P99 != 1_000_000 {
+		t.Fatalf("p95/p99 = %d/%d, want 1000000", s.P95, s.P99)
+	}
+}
+
+func TestHistogramEmptyAndNegative(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.P99 != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+	h.Observe(-5)
+	h.Observe(0)
+	s = h.Snapshot()
+	if s.Count != 2 || s.P50 != 0 || s.Max != 0 {
+		t.Fatalf("non-positive snapshot = %+v", s)
+	}
+}
+
+func TestObserveSince(t *testing.T) {
+	var h Histogram
+	h.ObserveSince(time.Now().Add(-time.Millisecond))
+	s := h.Snapshot()
+	if s.Count != 1 || s.Max < int64(time.Millisecond) {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}
+
+func TestFieldsAndFlatten(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Add(2)
+	r.Gauge("a").Set(7)
+	r.Histogram("h_ns").Observe(10)
+	fields := r.Fields()
+	joined := strings.Join(fields, " ")
+	for _, want := range []string{"a=7", "b=2", "h_ns_count=1", "h_ns_p50=", "h_ns_p99=", "h_ns_max=10"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("fields %q missing %q", joined, want)
+		}
+	}
+	// Sorted output.
+	if fields[0] != "a=7" || fields[1] != "b=2" {
+		t.Fatalf("fields not sorted: %v", fields)
+	}
+	flat := r.Flatten()
+	if flat["a"] != 7 || flat["h_ns_count"] != 1 {
+		t.Fatalf("flatten = %v", flat)
+	}
+}
+
+func TestSnapshotSortedAndTyped(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("z_ns")
+	r.Counter("a")
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].Name != "a" || snap[1].Name != "z_ns" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap[0].Kind != KindCounter || snap[1].Kind != KindHistogram {
+		t.Fatalf("kinds = %v %v", snap[0].Kind, snap[1].Kind)
+	}
+	if snap[0].Kind.String() != "counter" || KindGauge.String() != "gauge" {
+		t.Fatal("kind names wrong")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").SetMax(int64(j))
+				r.Histogram("h").Observe(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Gauge("g").Value(); got != 999 {
+		t.Fatalf("gauge = %d, want 999", got)
+	}
+	if got := r.Histogram("h").Snapshot().Count; got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestPublishExpvar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Add(3)
+	r.PublishExpvar("obs_test_metrics")
+	r.PublishExpvar("obs_test_metrics") // second publish must not panic
+	v := expvar.Get("obs_test_metrics")
+	if v == nil {
+		t.Fatal("expvar not published")
+	}
+	var flat map[string]int64
+	if err := json.Unmarshal([]byte(v.String()), &flat); err != nil {
+		t.Fatalf("expvar JSON: %v", err)
+	}
+	if flat["hits"] != 3 {
+		t.Fatalf("expvar = %v", flat)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"parcube/internal/core"
 	"parcube/internal/lattice"
 	"parcube/internal/nd"
+	"parcube/internal/obs"
 	"parcube/internal/seq"
 	"parcube/internal/theory"
 )
@@ -63,9 +64,11 @@ type Stats struct {
 	Updates           int64
 	FirstLevelUpdates int64
 	// PerProcPeakElements is each processor's peak held result elements;
-	// MaxPeakElements is their maximum (the Theorem 4 quantity).
+	// MaxPeakElements is their maximum (the Theorem 4 quantity), checked at
+	// runtime against PeakBoundElements, the Theorem 4 bound.
 	PerProcPeakElements []int64
 	MaxPeakElements     int64
+	PeakBoundElements   int64
 	// WriteBackElements counts locally written-back result elements.
 	WriteBackElements int64
 	// MakespanSec is the modeled parallel execution time.
@@ -192,9 +195,31 @@ func Build(input *array.Sparse, opts Options) (*Result, error) {
 			res.Stats.MaxPeakElements = pk
 		}
 	}
+	res.Stats.PeakBoundElements = core.PerProcessorMemoryBoundElements(ordered, theory.PartsOf(orderedK))
+
+	m := obs.Default
+	m.Counter("parallel.builds").Inc()
+	m.Counter("parallel.updates").Add(res.Stats.Updates)
+	m.Counter("parallel.comm.measured_elems").Add(res.Stats.MeasuredVolumeElements)
+	m.Counter("parallel.comm.predicted_elems").Add(res.Stats.TheoreticalVolumeElements)
+	m.Counter("parallel.comm.bytes").Add(report.TotalBytesSent)
+	m.Counter("parallel.comm.messages").Add(report.TotalMessages)
+	m.Gauge("parallel.peak_cells").Set(res.Stats.MaxPeakElements)
+	m.Gauge("parallel.peak_bound_cells").Set(res.Stats.PeakBoundElements)
+	m.Histogram("parallel.build_ns").Observe(res.Stats.Elapsed.Nanoseconds())
+
+	// Runtime self-validation of the paper's two central claims: the
+	// transport-measured volume must equal the Theorem 3 closed form, and
+	// no processor may hold more result memory than the Theorem 4 bound.
 	if res.Stats.MeasuredVolumeElements != res.Stats.TheoreticalVolumeElements {
+		m.Counter("parallel.volume_mismatches").Inc()
 		return nil, fmt.Errorf("parallel: measured volume %d != Theorem 3 prediction %d",
 			res.Stats.MeasuredVolumeElements, res.Stats.TheoreticalVolumeElements)
+	}
+	if res.Stats.MaxPeakElements > res.Stats.PeakBoundElements {
+		m.Counter("parallel.memory_bound_violations").Inc()
+		return nil, fmt.Errorf("parallel: peak per-processor memory %d elements exceeds Theorem 4 bound %d",
+			res.Stats.MaxPeakElements, res.Stats.PeakBoundElements)
 	}
 	return res, nil
 }

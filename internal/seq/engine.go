@@ -9,6 +9,7 @@ import (
 	"parcube/internal/core"
 	"parcube/internal/lattice"
 	"parcube/internal/nd"
+	"parcube/internal/obs"
 )
 
 // Options configures a sequential build.
@@ -32,6 +33,9 @@ type Stats struct {
 	// PeakResultElements is the maximum number of result elements
 	// simultaneously held before write-back — the Theorem 1 quantity.
 	PeakResultElements int64
+	// MemoryBoundElements is the Theorem 1 bound for the build's ordered
+	// shape; every build checks PeakResultElements against it at runtime.
+	MemoryBoundElements int64
 	// WriteBackElements / WriteBackArrays is the total write-back traffic.
 	WriteBackElements int64
 	WriteBackArrays   int
@@ -101,10 +105,25 @@ func BuildFromSource(input array.Source, opts Options) (*Result, error) {
 	}
 	res.Stats = e.stats
 	res.Stats.PeakResultElements = e.tracker.Peak()
+	res.Stats.MemoryBoundElements = core.MemoryBoundElements(ordering.Apply(shape))
 	res.Stats.InputScans = 1
 	res.Stats.Elapsed = time.Since(start)
 	if e.tracker.Live() != 0 {
 		return nil, fmt.Errorf("seq: %d result elements leaked", e.tracker.Live())
+	}
+	m := obs.Default
+	m.Counter("seq.builds").Inc()
+	m.Counter("seq.updates").Add(res.Stats.Updates)
+	m.Counter("seq.writeback_elems").Add(res.Stats.WriteBackElements)
+	m.Gauge("seq.peak_result_cells").Set(res.Stats.PeakResultElements)
+	m.Gauge("seq.memory_bound_cells").Set(res.Stats.MemoryBoundElements)
+	m.Histogram("seq.build_ns").Observe(res.Stats.Elapsed.Nanoseconds())
+	if res.Stats.PeakResultElements > res.Stats.MemoryBoundElements {
+		// Theorem 1 guarantees this cannot happen; a violation means the
+		// traversal held memory it should have written back.
+		m.Counter("seq.memory_bound_violations").Inc()
+		return nil, fmt.Errorf("seq: peak result memory %d elements exceeds Theorem 1 bound %d",
+			res.Stats.PeakResultElements, res.Stats.MemoryBoundElements)
 	}
 	return res, nil
 }

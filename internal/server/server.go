@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"parcube"
+	"parcube/internal/obs"
 )
 
 // Result is one answered group-by: a dense table over the retained
@@ -106,6 +107,7 @@ type Server struct {
 	start   time.Time
 	queries atomic.Int64
 	cells   atomic.Int64
+	metrics *obs.Registry
 }
 
 // cubeBackend adapts *parcube.Cube to the Backend interface.
@@ -141,8 +143,13 @@ func New(cube *parcube.Cube) *Server {
 
 // NewBackend wraps any backend for serving.
 func NewBackend(b Backend) *Server {
-	return &Server{backend: b}
+	return &Server{backend: b, metrics: obs.NewRegistry()}
 }
+
+// Metrics returns the server's per-instance registry: cmd.<name>.count
+// counters and cmd.<name>_ns latency histograms per protocol command, and
+// an errors counter. The same fields appear in the STATS reply.
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
 
 // SetShardInfo marks the server as a shard node; SHARDINFO answers with
 // the given identity. Call before Listen.
@@ -251,10 +258,30 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
+// knownCommands bounds the per-command metric label set, so arbitrary
+// client input cannot grow the registry without limit.
+var knownCommands = map[string]string{
+	"QUIT": "quit", "STATS": "stats", "SHARDINFO": "shardinfo",
+	"SCHEMA": "schema", "TOTAL": "total", "GROUPBY": "groupby",
+	"QUERY": "query", "VALUE": "value", "TOP": "top",
+}
+
+// errf answers one request with an ERR line and counts it.
+func (s *Server) errf(w *bufio.Writer, format string, args ...any) {
+	s.metrics.Counter("errors").Inc()
+	fmt.Fprintf(w, "ERR "+format+"\n", args...)
+}
+
 // handle answers one request line; returns true to close the connection.
 func (s *Server) handle(w *bufio.Writer, line string) bool {
 	fields := strings.Fields(line)
 	cmd := strings.ToUpper(fields[0])
+	label, ok := knownCommands[cmd]
+	if !ok {
+		label = "unknown"
+	}
+	s.metrics.Counter("cmd." + label + ".count").Inc()
+	defer s.metrics.Histogram("cmd."+label+"_ns").ObserveSince(time.Now())
 	switch cmd {
 	case "QUIT":
 		fmt.Fprintln(w, "OK bye")
@@ -265,6 +292,15 @@ func (s *Server) handle(w *bufio.Writer, line string) bool {
 		s.mu.Unlock()
 		fmt.Fprintf(w, "OK queries=%d cells=%d uptime_sec=%.3f",
 			s.queries.Load(), s.cells.Load(), time.Since(start).Seconds())
+		for _, f := range s.metrics.Fields() {
+			fmt.Fprintf(w, " %s", f)
+		}
+		// The process-wide build-engine registry rides along too, so a
+		// STATS probe sees how the served cube was constructed (e.g.
+		// parallel.comm.measured_elems vs parallel.comm.predicted_elems).
+		for _, f := range obs.Default.Fields() {
+			fmt.Fprintf(w, " %s", f)
+		}
 		if rep, ok := s.backend.(StatsReporter); ok {
 			for _, f := range rep.StatsFields() {
 				fmt.Fprintf(w, " %s", f)
@@ -276,7 +312,7 @@ func (s *Server) handle(w *bufio.Writer, line string) bool {
 		info := s.shard
 		s.mu.Unlock()
 		if info == nil {
-			fmt.Fprintln(w, "ERR not a shard node")
+			s.errf(w, "not a shard node")
 			return false
 		}
 		fmt.Fprintf(w, "OK id=%d op=%s block=%s\n", info.ID, info.Op, info.Block)
@@ -291,7 +327,7 @@ func (s *Server) handle(w *bufio.Writer, line string) bool {
 		s.queries.Add(1)
 		v, err := s.backend.Total()
 		if err != nil {
-			fmt.Fprintf(w, "ERR %v\n", err)
+			s.errf(w, "%v", err)
 			return false
 		}
 		s.cells.Add(1)
@@ -300,7 +336,7 @@ func (s *Server) handle(w *bufio.Writer, line string) bool {
 		s.queries.Add(1)
 		tbl, err := s.backend.GroupBy(parseDims(fields[1:])...)
 		if err != nil {
-			fmt.Fprintf(w, "ERR %v\n", err)
+			s.errf(w, "%v", err)
 			return false
 		}
 		s.writeTable(w, tbl)
@@ -309,14 +345,14 @@ func (s *Server) handle(w *bufio.Writer, line string) bool {
 		stmt := strings.TrimSpace(line[len(fields[0]):])
 		tbl, err := s.backend.Query(stmt)
 		if err != nil {
-			fmt.Fprintf(w, "ERR %v\n", err)
+			s.errf(w, "%v", err)
 			return false
 		}
 		s.writeTable(w, tbl)
 	case "VALUE":
 		s.queries.Add(1)
 		if len(fields) < 2 {
-			fmt.Fprintln(w, "ERR VALUE needs dims and coordinates")
+			s.errf(w, "VALUE needs dims and coordinates")
 			return false
 		}
 		dims := parseDims(fields[1:2])
@@ -328,12 +364,12 @@ func (s *Server) handle(w *bufio.Writer, line string) bool {
 		}
 		coords, err := parseCoords(coordsField, len(dims))
 		if err != nil {
-			fmt.Fprintf(w, "ERR %v\n", err)
+			s.errf(w, "%v", err)
 			return false
 		}
 		v, err := s.value(dims, coords)
 		if err != nil {
-			fmt.Fprintf(w, "ERR %v\n", err)
+			s.errf(w, "%v", err)
 			return false
 		}
 		s.cells.Add(1)
@@ -341,17 +377,17 @@ func (s *Server) handle(w *bufio.Writer, line string) bool {
 	case "TOP":
 		s.queries.Add(1)
 		if len(fields) < 2 {
-			fmt.Fprintln(w, "ERR TOP needs a count")
+			s.errf(w, "TOP needs a count")
 			return false
 		}
 		k, err := strconv.Atoi(fields[1])
 		if err != nil || k < 1 {
-			fmt.Fprintf(w, "ERR bad count %q\n", fields[1])
+			s.errf(w, "bad count %q", fields[1])
 			return false
 		}
 		tbl, err := s.backend.GroupBy(parseDims(fields[2:])...)
 		if err != nil {
-			fmt.Fprintf(w, "ERR %v\n", err)
+			s.errf(w, "%v", err)
 			return false
 		}
 		top := tbl.Top(k)
@@ -362,7 +398,7 @@ func (s *Server) handle(w *bufio.Writer, line string) bool {
 		}
 		fmt.Fprintln(w, ".")
 	default:
-		fmt.Fprintf(w, "ERR unknown command %q\n", cmd)
+		s.errf(w, "unknown command %q", cmd)
 	}
 	return false
 }

@@ -10,6 +10,7 @@ import (
 
 	"parcube/internal/agg"
 	"parcube/internal/nd"
+	"parcube/internal/obs"
 	"parcube/internal/server"
 )
 
@@ -72,7 +73,7 @@ type Coordinator struct {
 	sizes  []int
 	blocks []*blockGroup
 
-	stats counters
+	stats *counters
 }
 
 // NewCoordinator dials every shard, performs the SHARDINFO handshake, and
@@ -84,7 +85,7 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	if len(cfg.Addrs) == 0 {
 		return nil, fmt.Errorf("shard: coordinator needs at least one shard address")
 	}
-	c := &Coordinator{cfg: cfg}
+	c := &Coordinator{cfg: cfg, stats: newCounters()}
 	groups := make(map[string]*blockGroup)
 	var order []string
 	for _, addr := range cfg.Addrs {
@@ -241,22 +242,24 @@ func (c *Coordinator) Close() error {
 // Stats returns a snapshot of the coordinator's scatter-gather counters.
 func (c *Coordinator) Stats() Stats { return c.stats.snapshot() }
 
-// StatsFields appends the coordinator's counters to the server's STATS
-// reply.
+// Metrics returns the coordinator's per-instance registry (fan-out and
+// failover counters plus ask/merge latency histograms), for export beyond
+// the STATS reply — e.g. cubeshard's /debug/vars endpoint.
+func (c *Coordinator) Metrics() *obs.Registry { return c.stats.reg }
+
+// StatsFields appends the coordinator's topology and its full metrics
+// registry (counters plus ask/merge latency histograms) to the server's
+// STATS reply.
 func (c *Coordinator) StatsFields() []string {
-	s := c.stats.snapshot()
 	replicas := 0
 	for _, g := range c.blocks {
 		replicas += len(g.replicas)
 	}
-	return []string{
+	fields := []string{
 		fmt.Sprintf("blocks=%d", len(c.blocks)),
 		fmt.Sprintf("shards=%d", replicas),
-		fmt.Sprintf("fanouts=%d", s.Fanouts),
-		fmt.Sprintf("retries=%d", s.Retries),
-		fmt.Sprintf("failovers=%d", s.Failovers),
-		fmt.Sprintf("shard_errors=%d", s.Errors),
 	}
+	return append(fields, c.stats.reg.Fields()...)
 }
 
 // SchemaDims returns the cluster schema discovered at handshake.
@@ -271,33 +274,35 @@ func (c *Coordinator) SchemaDims() ([]string, []int) {
 // replicas tried, and the last underlying cause.
 func (c *Coordinator) askBlock(b int, fn func(cl *server.Client) error) error {
 	g := c.blocks[b]
-	c.stats.fanouts.Add(1)
+	c.stats.fanouts.Inc()
+	start := time.Now()
+	defer c.stats.askNs.ObserveSince(start)
 	var lastErr error
 	backoff := c.cfg.Backoff
 	attempt := 0
 	for round := 0; round < c.cfg.Rounds; round++ {
 		for ri, rep := range g.replicas {
 			if attempt > 0 {
-				c.stats.retries.Add(1)
+				c.stats.retries.Inc()
 				time.Sleep(backoff)
 				backoff *= 2
 			}
 			attempt++
 			cl, err := rep.pool.get()
 			if err != nil {
-				c.stats.errors.Add(1)
+				c.stats.errors.Inc()
 				lastErr = fmt.Errorf("dial %s: %w", rep.addr, err)
 				continue
 			}
 			if err := fn(cl); err != nil {
-				c.stats.errors.Add(1)
+				c.stats.errors.Inc()
 				rep.pool.discard(cl)
 				lastErr = fmt.Errorf("%s: %w", rep.addr, err)
 				continue
 			}
 			rep.pool.put(cl)
 			if ri > 0 || round > 0 {
-				c.stats.failovers.Add(1)
+				c.stats.failovers.Inc()
 			}
 			return nil
 		}
@@ -348,6 +353,8 @@ func (c *Coordinator) gatherRows(fetch func(cl *server.Client) ([]server.Row, er
 	if err != nil {
 		return nil, err
 	}
+	mergeStart := time.Now()
+	defer c.stats.mergeNs.ObserveSince(mergeStart)
 	shape, err := shapeFromRows(results[0])
 	if err != nil {
 		return nil, err

@@ -188,6 +188,28 @@ func assertFailover(t *testing.T, coord *Coordinator, fake *fakeShard, cube *par
 	if s.Failovers == 0 || s.Errors == 0 || s.Retries == 0 {
 		t.Fatalf("failover not recorded: %+v", s)
 	}
+	// The latency distributions must have seen every sub-request: one ask
+	// observation per fan-out (each covering its retries and failover), and
+	// at least one merge for the gathered group-by.
+	if s.AskLatency.Count != s.Fanouts {
+		t.Fatalf("ask latency saw %d of %d fan-outs", s.AskLatency.Count, s.Fanouts)
+	}
+	if s.AskLatency.Max <= 0 || s.AskLatency.P99 < s.AskLatency.P50 {
+		t.Fatalf("implausible ask latency distribution: %+v", s.AskLatency)
+	}
+	if s.MergeLatency.Count == 0 {
+		t.Fatalf("merge latency never recorded: %+v", s.MergeLatency)
+	}
+	// The snapshot and the exported registry are two views of one set of
+	// counters; STATS consumers see the registry, so they must agree.
+	reg := coord.Metrics().Flatten()
+	if reg["retries"] != s.Retries || reg["failovers"] != s.Failovers ||
+		reg["shard_errors"] != s.Errors || reg["fanouts"] != s.Fanouts {
+		t.Fatalf("registry %v disagrees with snapshot %+v", reg, s)
+	}
+	if reg["ask_ns_count"] != s.AskLatency.Count || reg["merge_ns_count"] != s.MergeLatency.Count {
+		t.Fatalf("registry histogram counts %v disagree with snapshot %+v", reg, s)
+	}
 }
 
 func TestFailoverFromTimingOutShard(t *testing.T) {

@@ -5,6 +5,7 @@ import (
 
 	"parcube"
 	"parcube/internal/nd"
+	"parcube/internal/obs"
 	"parcube/internal/server"
 )
 
@@ -61,6 +62,9 @@ func ServeNode(cube *parcube.Cube, id int, block nd.Block, addr string) (*Node, 
 
 // Addr returns the node's bound address.
 func (n *Node) Addr() string { return n.addr }
+
+// Metrics returns the node server's per-command metrics registry.
+func (n *Node) Metrics() *obs.Registry { return n.srv.Metrics() }
 
 // Close stops the node's server.
 func (n *Node) Close() error { return n.srv.Close() }

@@ -1,9 +1,10 @@
 package shard
 
-import "sync/atomic"
+import "parcube/internal/obs"
 
 // Stats is a snapshot of coordinator scatter-gather activity, in the
-// style of internal/comm.Stats.
+// style of internal/comm.Stats, plus the latency distributions of the
+// fan-out path.
 type Stats struct {
 	// Fanouts is the number of per-block sub-requests issued (one per
 	// owning block per query).
@@ -17,23 +18,49 @@ type Stats struct {
 	// Errors counts individual sub-request failures (timeouts, transport
 	// errors, ERR replies) observed before any successful answer.
 	Errors int64
+	// AskLatency summarizes the nanoseconds each per-block sub-request
+	// took end to end, including every retry, backoff, and failover
+	// attempt — the tail here is what a slow or flapping replica costs.
+	AskLatency obs.HistogramSnapshot
+	// MergeLatency summarizes the nanoseconds spent element-wise merging
+	// the gathered per-shard tables after the scatter completes.
+	MergeLatency obs.HistogramSnapshot
 }
 
-// counters accumulates coordinator activity with atomics so concurrent
-// fan-outs can record freely.
+// counters is the coordinator's per-instance metrics registry with the
+// hot-path series pre-resolved, so recording is one atomic op.
 type counters struct {
-	fanouts   atomic.Int64
-	retries   atomic.Int64
-	failovers atomic.Int64
-	errors    atomic.Int64
+	reg       *obs.Registry
+	fanouts   *obs.Counter
+	retries   *obs.Counter
+	failovers *obs.Counter
+	errors    *obs.Counter
+	askNs     *obs.Histogram
+	mergeNs   *obs.Histogram
+}
+
+// newCounters builds the registry and resolves the series.
+func newCounters() *counters {
+	reg := obs.NewRegistry()
+	return &counters{
+		reg:       reg,
+		fanouts:   reg.Counter("fanouts"),
+		retries:   reg.Counter("retries"),
+		failovers: reg.Counter("failovers"),
+		errors:    reg.Counter("shard_errors"),
+		askNs:     reg.Histogram("ask_ns"),
+		mergeNs:   reg.Histogram("merge_ns"),
+	}
 }
 
 // snapshot returns the current totals.
 func (c *counters) snapshot() Stats {
 	return Stats{
-		Fanouts:   c.fanouts.Load(),
-		Retries:   c.retries.Load(),
-		Failovers: c.failovers.Load(),
-		Errors:    c.errors.Load(),
+		Fanouts:      c.fanouts.Value(),
+		Retries:      c.retries.Value(),
+		Failovers:    c.failovers.Value(),
+		Errors:       c.errors.Value(),
+		AskLatency:   c.askNs.Snapshot(),
+		MergeLatency: c.mergeNs.Snapshot(),
 	}
 }

@@ -1,0 +1,33 @@
+package parcube
+
+import "parcube/internal/obs"
+
+// MetricsSnapshot is a point-in-time view of the library's process-wide
+// observability registry, flattened to name -> value. Counter and gauge
+// series map directly; histogram series (suffix "_ns" for nanoseconds,
+// "_elems" for array elements) expand to <name>_count, <name>_p50,
+// <name>_p95, <name>_p99, and <name>_max entries.
+//
+// Series recorded by the build engines include:
+//
+//	seq.builds, seq.updates, seq.build_ns, seq.peak_result_cells,
+//	seq.memory_bound_cells, seq.memory_bound_violations
+//	parallel.builds, parallel.updates, parallel.build_ns,
+//	parallel.comm.measured_elems, parallel.comm.predicted_elems,
+//	parallel.comm.bytes, parallel.comm.messages,
+//	parallel.peak_cells, parallel.peak_bound_cells,
+//	parallel.volume_mismatches, parallel.memory_bound_violations
+//	comm.reduce.steps, comm.reduce.elems, comm.reduce.bytes,
+//	comm.bcast.steps, comm.bcast.elems, comm.bcast.bytes, comm.step_elems
+type MetricsSnapshot map[string]int64
+
+// Metrics snapshots the process-wide registry every Build and
+// BuildParallel records into: build counts and latencies, accumulator
+// updates, peak result memory against the Theorem 1/4 bounds, and the
+// measured vs. predicted (Theorem 3) communication volumes of every
+// parallel run. Servers additionally expose their own per-instance
+// registries through the STATS protocol command and cubeshard's -debug
+// endpoint.
+func Metrics() MetricsSnapshot {
+	return MetricsSnapshot(obs.Default.Flatten())
+}

@@ -1,0 +1,163 @@
+package parcube_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"parcube"
+	"parcube/internal/server"
+)
+
+// metricsDataset builds a deterministic 3-D dataset for the volume tests.
+func metricsDataset(t testing.TB) *parcube.Dataset {
+	t.Helper()
+	schema, err := parcube.NewSchema(
+		parcube.Dim{Name: "item", Size: 12},
+		parcube.Dim{Name: "branch", Size: 8},
+		parcube.Dim{Name: "time", Size: 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := parcube.NewDataset(schema)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		coords := []int{rng.Intn(12), rng.Intn(8), rng.Intn(4)}
+		if err := ds.Add(float64(rng.Intn(9)+1), coords...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ds
+}
+
+// TestParallelVolumeSelfValidation: every BuildParallel run must record a
+// measured reduction volume equal to the Theorem 3 closed form
+// (PredictVolume), on multiple cluster shapes and both transports, and the
+// process-wide metrics must advance by exactly the run's volumes.
+func TestParallelVolumeSelfValidation(t *testing.T) {
+	ds := metricsDataset(t)
+	sizes := ds.Schema().Sizes()
+	shapes := []struct {
+		name      string
+		procs     int
+		transport parcube.Transport
+	}{
+		{"p4-channel", 4, parcube.ChannelTransport},
+		{"p8-channel", 8, parcube.ChannelTransport},
+		{"p4-tcp", 4, parcube.TCPTransport},
+	}
+	for _, spec := range shapes {
+		t.Run(spec.name, func(t *testing.T) {
+			before := parcube.Metrics()
+			_, report, err := parcube.BuildParallel(ds, parcube.ClusterSpec{Processors: spec.procs, Transport: spec.transport})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if report.CommElements <= 0 {
+				t.Fatalf("no communication measured: %+v", report)
+			}
+			if report.CommElements != report.PredictedCommElements {
+				t.Fatalf("measured %d != predicted %d", report.CommElements, report.PredictedCommElements)
+			}
+			want, err := parcube.PredictVolume(sizes, report.Partition)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if report.CommElements != want {
+				t.Fatalf("measured %d != PredictVolume %d for partition %v",
+					report.CommElements, want, report.Partition)
+			}
+			after := parcube.Metrics()
+			if got := after["parallel.builds"] - before["parallel.builds"]; got != 1 {
+				t.Fatalf("parallel.builds advanced by %d, want 1", got)
+			}
+			if got := after["parallel.comm.measured_elems"] - before["parallel.comm.measured_elems"]; got != report.CommElements {
+				t.Fatalf("parallel.comm.measured_elems advanced by %d, want %d", got, report.CommElements)
+			}
+			if got := after["parallel.comm.predicted_elems"] - before["parallel.comm.predicted_elems"]; got != want {
+				t.Fatalf("parallel.comm.predicted_elems advanced by %d, want %d", got, want)
+			}
+			if after["parallel.volume_mismatches"] != before["parallel.volume_mismatches"] {
+				t.Fatal("volume mismatch recorded on a clean run")
+			}
+			if after["parallel.peak_cells"] <= 0 || after["parallel.peak_cells"] > after["parallel.peak_bound_cells"] {
+				t.Fatalf("peak gauge %d outside (0, bound %d]",
+					after["parallel.peak_cells"], after["parallel.peak_bound_cells"])
+			}
+		})
+	}
+}
+
+// TestSequentialMemoryMetrics: a Build records the Theorem 1 peak and
+// bound gauges, and the peak respects the bound (the runtime invariant).
+func TestSequentialMemoryMetrics(t *testing.T) {
+	ds := metricsDataset(t)
+	_, stats, err := parcube.Build(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := parcube.Metrics()
+	if m["seq.peak_result_cells"] != stats.PeakMemoryElements {
+		t.Fatalf("gauge %d != stats peak %d", m["seq.peak_result_cells"], stats.PeakMemoryElements)
+	}
+	if m["seq.memory_bound_cells"] != stats.MemoryBoundElements {
+		t.Fatalf("gauge %d != stats bound %d", m["seq.memory_bound_cells"], stats.MemoryBoundElements)
+	}
+	if stats.PeakMemoryElements > stats.MemoryBoundElements {
+		t.Fatalf("peak %d exceeds Theorem 1 bound %d", stats.PeakMemoryElements, stats.MemoryBoundElements)
+	}
+	if m["seq.memory_bound_violations"] != 0 {
+		t.Fatalf("memory bound violations = %d", m["seq.memory_bound_violations"])
+	}
+	if m["seq.builds"] < 1 || m["seq.build_ns_count"] < 1 {
+		t.Fatalf("build counters missing: %v", m)
+	}
+}
+
+// TestStatsExposesEngineMetrics: the extended STATS reply carries the
+// process-wide build metrics, including the measured-vs-predicted volume
+// pair, and the server's own per-command counters.
+func TestStatsExposesEngineMetrics(t *testing.T) {
+	ds := metricsDataset(t)
+	cube, _, err := parcube.BuildParallel(ds, parcube.ClusterSpec{Processors: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(cube)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cl, err := server.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Total(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured, okM := stats["parallel.comm.measured_elems"]
+	predicted, okP := stats["parallel.comm.predicted_elems"]
+	if !okM || !okP {
+		t.Fatalf("STATS missing volume fields: %v", stats)
+	}
+	// Every completed parallel build in this process self-validated, so
+	// the running totals must agree exactly.
+	if measured != predicted {
+		t.Fatalf("STATS measured %s != predicted %s", measured, predicted)
+	}
+	if stats["cmd.total.count"] != "1" {
+		t.Fatalf("cmd.total.count = %q, want 1 (stats %v)", stats["cmd.total.count"], stats)
+	}
+	if _, ok := stats["cmd.total_ns_count"]; !ok {
+		t.Fatalf("no per-command latency fields in %v", stats)
+	}
+	if _, ok := stats["seq.peak_result_cells"]; !ok {
+		t.Fatalf("no sequential memory gauge in %v", stats)
+	}
+}

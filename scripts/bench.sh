@@ -1,0 +1,42 @@
+#!/bin/sh
+# Runs the figure-regeneration benchmarks and converts the output into a
+# machine-readable JSON file (default BENCH_2.json): one record per
+# benchmark with its iteration count, ns/op, and every custom metric the
+# bench reports (modeled-s, comm-elems, comm-bytes, peak-elems,
+# ns/update). Used by `make bench-json`.
+#
+#   scripts/bench.sh [output.json]
+#
+# BENCH_PATTERN and BENCH_TIME override the benchmark selection and
+# -benchtime (defaults: the figure + theorem benches, 1 iteration).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_2.json}"
+pattern="${BENCH_PATTERN:-Fig7|Fig8|Fig9|Sequential|MemoryBound|CommVolume|ScanKernel}"
+benchtime="${BENCH_TIME:-1x}"
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" . | tee "$tmp"
+
+awk '
+BEGIN { print "["; sep = "" }
+/^Benchmark/ {
+    printf "%s  {\"name\": \"%s\", \"iterations\": %s", sep, $1, $2
+    sep = ",\n"
+    # Fields after the iteration count come in value/unit pairs.
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_per_", unit)
+        gsub(/-/, "_", unit)
+        printf ", \"%s\": %s", unit, $i
+    }
+    printf "}"
+}
+END { print "\n]" }
+' "$tmp" >"$out"
+
+echo "wrote $out"

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Runs every native Go fuzz target for a short burst each (default 10s),
+# one at a time — `go test -fuzz` accepts a single target per invocation.
+# Used by `make fuzz-smoke` and CI.
+#
+#   scripts/fuzz.sh [fuzztime]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fuzztime="${1:-10s}"
+
+for pkg in . ./internal/server ./internal/cubeio; do
+    for target in $(go test -list '^Fuzz' "$pkg" | grep '^Fuzz' || true); do
+        echo "==> $pkg $target ($fuzztime)"
+        go test -run '^$' -fuzz "^${target}\$" -fuzztime "$fuzztime" "$pkg"
+    done
+done
