@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-json fuzz-smoke
+.PHONY: build test vet lint race verify bench bench-json fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -11,10 +11,16 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Project-specific static analysis (internal/lint via cmd/cubelint):
+# untrusted-alloc, deadline, goroutine-leak, mutex-hygiene, obs-metric,
+# unchecked-close. See DESIGN.md "Static analysis layer".
+lint:
+	$(GO) run ./cmd/cubelint ./...
+
 race:
 	$(GO) test -race ./...
 
-# The full gate: build + vet + race-enabled tests.
+# The full gate: gofmt + build + vet + cubelint + race-enabled tests.
 verify:
 	./scripts/verify.sh
 

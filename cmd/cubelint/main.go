@@ -1,0 +1,102 @@
+// Command cubelint runs parcube's project-specific static analyzers
+// (internal/lint) over the packages matching its arguments.
+//
+// Usage:
+//
+//	cubelint [-json] [packages...]
+//	cubelint -codes
+//
+// With no package arguments it analyzes ./.... Exit status is 0 when the
+// tree is clean, 1 when there are findings, and 2 when loading or
+// type-checking fails.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"parcube/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cubelint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	codes := fs.Bool("codes", false, "print the analyzer catalog and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *codes {
+		for _, a := range lint.All {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Code, a.Doc)
+		}
+		return 0
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "cubelint: %v\n", err)
+		return 2
+	}
+	pkgs, err := lint.Load(cwd, fs.Args()...)
+	if err != nil {
+		fmt.Fprintf(stderr, "cubelint: %v\n", err)
+		return 2
+	}
+	diags, suppressed := lint.Check(pkgs, lint.All)
+	if *jsonOut {
+		type jsonDiag struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Column  int    `json:"column"`
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		}
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File:    relPath(cwd, d.Pos.Filename),
+				Line:    d.Pos.Line,
+				Column:  d.Pos.Column,
+				Code:    d.Code,
+				Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "cubelint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			d.Pos.Filename = relPath(cwd, d.Pos.Filename)
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "cubelint: %d finding(s), %d suppressed\n", len(diags), suppressed)
+		return 1
+	}
+	if suppressed > 0 {
+		fmt.Fprintf(stderr, "cubelint: clean (%d suppressed)\n", suppressed)
+	}
+	return 0
+}
+
+// relPath shortens an absolute diagnostic path relative to the working
+// directory when that makes it shorter and stays inside the tree.
+func relPath(cwd, path string) string {
+	rel, err := filepath.Rel(cwd, path)
+	if err != nil || len(rel) >= len(path) {
+		return path
+	}
+	return rel
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// chdir moves the process into dir for the duration of the test; run()
+// resolves packages relative to the working directory.
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := os.Chdir(old); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// scratchModule writes a throwaway module containing one package with a
+// known mutex-hygiene violation.
+func scratchModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module scratch\n\ngo 1.22\n",
+		"bad.go": `package scratch
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	v  int
+}
+
+func (b *box) peek() int {
+	b.mu.Lock()
+	return b.v
+}
+`,
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestRunFindsViolation(t *testing.T) {
+	chdir(t, scratchModule(t))
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "mutex-hygiene") || !strings.Contains(out, "bad.go") {
+		t.Errorf("output missing expected finding:\n%s", out)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	chdir(t, scratchModule(t))
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, `"code": "mutex-hygiene"`) {
+		t.Errorf("JSON output missing finding:\n%s", out)
+	}
+}
+
+func TestRunCodes(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-codes"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, want := range []string{"untrusted-alloc", "deadline", "goroutine-leak", "mutex-hygiene", "obs-metric", "unchecked-close"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("catalog missing %s:\n%s", want, stdout.String())
+		}
+	}
+}
+
+func TestRunLoadError(t *testing.T) {
+	dir := t.TempDir() // no go.mod: go list fails
+	chdir(t, dir)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2\nstderr: %s", code, stderr.String())
+	}
+}

@@ -95,6 +95,7 @@ func startDebug(addr string, serving *obs.Registry) error {
 	}
 	fmt.Fprintf(os.Stderr, "debug endpoint on http://%s/debug/vars (pprof at /debug/pprof/)\n", ln.Addr())
 	// The default mux carries expvar's and pprof's handlers.
+	//cubelint:ignore goroutine-leak debug endpoint serves for the process lifetime; no join by design
 	go http.Serve(ln, nil)
 	return nil
 }

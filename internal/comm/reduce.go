@@ -7,16 +7,37 @@ import (
 	"parcube/internal/obs"
 )
 
-// recordStep accounts one collective send into the process-wide registry:
-// how many reduction/broadcast steps ran and how much payload each moved.
-// The per-step slab size feeds the "comm.step_elems" histogram so STATS can
-// report the distribution the Lemma 1 slabs actually had.
-func recordStep(kind string, elements int) {
-	m := obs.Default
-	m.Counter("comm." + kind + ".steps").Inc()
-	m.Counter("comm." + kind + ".elems").Add(int64(elements))
-	m.Counter("comm." + kind + ".bytes").Add(WireBytes(elements))
-	m.Histogram("comm.step_elems").Observe(int64(elements))
+// stepMetrics pre-resolves the registry handles for one collective kind,
+// so accounting a step is three atomic bumps with no registry lookup and
+// every metric name stays a compile-time constant (cubelint obs-metric).
+type stepMetrics struct {
+	steps *obs.Counter
+	elems *obs.Counter
+	bytes *obs.Counter
+}
+
+var (
+	reduceMetrics = stepMetrics{
+		steps: obs.Default.Counter("comm.reduce.steps"),
+		elems: obs.Default.Counter("comm.reduce.elems"),
+		bytes: obs.Default.Counter("comm.reduce.bytes"),
+	}
+	bcastMetrics = stepMetrics{
+		steps: obs.Default.Counter("comm.bcast.steps"),
+		elems: obs.Default.Counter("comm.bcast.elems"),
+		bytes: obs.Default.Counter("comm.bcast.bytes"),
+	}
+	// stepElems holds the per-step slab sizes so STATS can report the
+	// distribution the Lemma 1 slabs actually had.
+	stepElems = obs.Default.Histogram("comm.step_elems")
+)
+
+// record accounts one collective send into the process-wide registry.
+func (m *stepMetrics) record(elements int) {
+	m.steps.Inc()
+	m.elems.Add(int64(elements))
+	m.bytes.Add(WireBytes(elements))
+	stepElems.Observe(int64(elements))
 }
 
 // Peer is the minimal send/receive surface the collectives need. Endpoint
@@ -99,7 +120,7 @@ func Reduce(p Peer, group []int, me int, data []float64, op agg.Op, tag Tag, alg
 		for bit := 1; bit < g; bit <<= 1 {
 			if me&bit != 0 {
 				// Fold our partial into the partner below and leave.
-				recordStep("reduce", len(data))
+				reduceMetrics.record(len(data))
 				return p.Send(group[me&^bit], tag, data)
 			}
 			partner := me | bit
@@ -117,7 +138,7 @@ func Reduce(p Peer, group []int, me int, data []float64, op agg.Op, tag Tag, alg
 		return nil
 	case FlatGather:
 		if me != 0 {
-			recordStep("reduce", len(data))
+			reduceMetrics.record(len(data))
 			return p.Send(group[0], tag, data)
 		}
 		for i := 1; i < g; i++ {
@@ -161,7 +182,7 @@ func Broadcast(p Peer, group []int, me int, data []float64, tag Tag) error {
 	for bit := 1; bit < g; bit <<= 1 {
 		switch {
 		case me < bit:
-			recordStep("bcast", len(data))
+			bcastMetrics.record(len(data))
 			if err := p.Send(group[me+bit], tag, data); err != nil {
 				return err
 			}

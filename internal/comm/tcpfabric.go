@@ -3,11 +3,20 @@ package comm
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"net"
 	"sync"
+	"time"
+)
+
+// dialTimeout bounds connection establishment; sendTimeout bounds each
+// frame write so a wedged peer cannot hold a sender's mutex forever.
+const (
+	dialTimeout = 10 * time.Second
+	sendTimeout = 30 * time.Second
 )
 
 // TCPFabric carries the same message semantics as ChanFabric over real TCP
@@ -85,6 +94,7 @@ func (f *TCPFabric) readLoop(conn net.Conn) {
 	defer conn.Close()
 	r := bufio.NewReader(conn)
 	for {
+		//cubelint:ignore deadline fabric reads block until a peer sends; Close tears the conn down to unblock them
 		msg, err := readFrame(r)
 		if err != nil {
 			return
@@ -119,7 +129,7 @@ func (f *TCPFabric) dial(src, dst int) (*sendConn, error) {
 	if ok {
 		return sc, nil
 	}
-	conn, err := net.Dial("tcp", f.addrs[dst])
+	conn, err := net.DialTimeout("tcp", f.addrs[dst], dialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("comm: dial %d->%d: %w", src, dst, err)
 	}
@@ -127,7 +137,7 @@ func (f *TCPFabric) dial(src, dst int) (*sendConn, error) {
 	f.mu.Lock()
 	if prev, raced := f.conns[key]; raced {
 		f.mu.Unlock()
-		conn.Close()
+		_ = conn.Close() // lost the race; the cached conn wins
 		return prev, nil
 	}
 	f.conns[key] = sc
@@ -146,23 +156,31 @@ func (f *TCPFabric) Endpoint(rank int) (Endpoint, error) {
 // Stats returns a snapshot of traffic counters.
 func (f *TCPFabric) Stats() Stats { return f.stats.snapshot() }
 
-// Close shuts listeners and connections down and unblocks pending receives.
+// Close shuts listeners and connections down and unblocks pending
+// receives. It reports the first teardown errors, joined; callers that
+// only want the unblocking side effect may ignore the result.
 func (f *TCPFabric) Close() error {
+	var errs []error
 	f.once.Do(func() {
 		close(f.closed)
-		for _, ln := range f.lns {
-			if ln != nil {
-				ln.Close()
+		for r, ln := range f.lns {
+			if ln == nil {
+				continue
+			}
+			if err := ln.Close(); err != nil {
+				errs = append(errs, fmt.Errorf("comm: close listener %d: %w", r, err))
 			}
 		}
 		f.mu.Lock()
-		for _, sc := range f.conns {
-			sc.c.Close()
+		for key, sc := range f.conns {
+			if err := sc.c.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+				errs = append(errs, fmt.Errorf("comm: close conn %d->%d: %w", key.src, key.dst, err))
+			}
 		}
 		f.mu.Unlock()
 	})
 	f.wg.Wait()
-	return nil
+	return errors.Join(errs...)
 }
 
 // tcpEndpoint is one rank's view of a TCPFabric.
@@ -177,8 +195,9 @@ func (e *tcpEndpoint) Rank() int { return e.rank }
 // Size returns the fabric's rank count.
 func (e *tcpEndpoint) Size() int { return e.fabric.size }
 
-// Send frames and writes the message on the cached connection to dst.
-func (e *tcpEndpoint) Send(dst int, tag Tag, time float64, data []float64) error {
+// Send frames and writes the message on the cached connection to dst,
+// under a write deadline so a stalled peer cannot wedge the sender.
+func (e *tcpEndpoint) Send(dst int, tag Tag, ts float64, data []float64) error {
 	if err := checkRank(dst, e.fabric.size); err != nil {
 		return err
 	}
@@ -194,9 +213,12 @@ func (e *tcpEndpoint) Send(dst int, tag Tag, time float64, data []float64) error
 	if err != nil {
 		return err
 	}
-	msg := Message{Src: e.rank, Dst: dst, Tag: tag, Time: time, Data: data}
+	msg := Message{Src: e.rank, Dst: dst, Tag: tag, Time: ts, Data: data}
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
+	if err := sc.c.SetWriteDeadline(time.Now().Add(sendTimeout)); err != nil {
+		return err
+	}
 	if err := writeFrame(sc.w, &msg); err != nil {
 		return err
 	}

@@ -88,6 +88,9 @@ func ReadSnapshot(r io.Reader) (*seq.Store, error) {
 		if err := binary.Read(br, binary.LittleEndian, &rank); err != nil {
 			return nil, err
 		}
+		// rank is decoded wire data; this bound is the sanitizer
+		// cubelint's untrusted-alloc rule requires before the
+		// rank-sized make below.
 		if rank > lattice.MaxDims {
 			return nil, fmt.Errorf("cubeio: implausible rank %d", rank)
 		}
@@ -128,6 +131,8 @@ func ReadSnapshot(r io.Reader) (*seq.Store, error) {
 // from the (untrusted) header, so the slice is grown chunk by chunk as
 // bytes actually arrive: a header claiming a huge array over a short
 // stream fails with memory proportional to the stream, not the claim.
+// This is the allocation discipline cubelint's untrusted-alloc rule
+// enforces: never make() at a header-declared size without a bound.
 func readFloats(br *bufio.Reader, n int) ([]float64, error) {
 	const chunkElems = 1 << 17 // 1 MiB of encoded data per read
 	first := n

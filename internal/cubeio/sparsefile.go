@@ -107,6 +107,8 @@ func NewSparseScanner(r io.Reader) (*SparseScanner, error) {
 	if err != nil {
 		return nil, err
 	}
+	// rank came off the wire; bounding it here is what lets the
+	// rank-sized allocations below pass cubelint's untrusted-alloc rule.
 	if rank == 0 || rank > lattice.MaxDims {
 		return nil, fmt.Errorf("cubeio: implausible rank %d", rank)
 	}
@@ -176,7 +178,9 @@ func (s *SparseScanner) Next() (block nd.Block, entries []array.Entry, ok bool) 
 	}
 	// The entry count is untrusted header data: decode in bounded chunks
 	// so a claim far beyond the stream's actual content fails with memory
-	// proportional to what was really sent.
+	// proportional to what was really sent. Fuzzing found the original
+	// count-sized make; cubelint's untrusted-alloc rule now keeps this
+	// class of bug out of the tree.
 	const chunkEntries = 1 << 16
 	first := count
 	if first > chunkEntries {

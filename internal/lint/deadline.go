@@ -1,0 +1,321 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Deadline flags serving-path network I/O — internal/server,
+// internal/shard, internal/comm — that can block forever: conn reads and
+// writes in functions that never arm a deadline, buffered I/O over a
+// conn, and bare net.Dial (which has no connect timeout).
+//
+// A function "arms" when it calls SetDeadline/SetReadDeadline/
+// SetWriteDeadline, derives a context with a timeout, or calls a
+// same-package function that arms (so helpers like Client.arm() count).
+// Arming functions are trusted wholesale: once a deadline is set on the
+// conn, every subsequent operation inherits it.
+var Deadline = &Analyzer{
+	Code: codeDeadline,
+	Doc:  "serving-path conn I/O not guarded by SetDeadline/Set{Read,Write}Deadline or a context timeout",
+	Run:  runDeadline,
+}
+
+func runDeadline(p *Package) []Diagnostic {
+	if !isServingPackage(p.Path) {
+		return nil
+	}
+	decls := funcDecls(p)
+	arming := armingSet(p, decls)
+	helpers := ioHelperSet(p, decls)
+
+	var diags []Diagnostic
+	eachFuncDecl(p, func(fd *ast.FuncDecl) {
+		fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+		armed := fn != nil && arming[fn]
+		connBacked := connBackedFields(p, fd)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isPkgCall(p, call, "net", "Dial") {
+				diags = append(diags, Diagnostic{
+					Pos:     p.Fset.Position(call.Pos()),
+					Code:    codeDeadline,
+					Message: "net.Dial has no connect timeout; use net.DialTimeout or a dialer with a context",
+				})
+				return true
+			}
+			if armed {
+				return true
+			}
+			if msg := blockingIO(p, call, helpers, connBacked); msg != "" {
+				diags = append(diags, Diagnostic{
+					Pos:     p.Fset.Position(call.Pos()),
+					Code:    codeDeadline,
+					Message: msg,
+				})
+			}
+			return true
+		})
+	})
+	return diags
+}
+
+var deadlineMethods = map[string]bool{
+	"SetDeadline":      true,
+	"SetReadDeadline":  true,
+	"SetWriteDeadline": true,
+}
+
+// armingSet computes the fixpoint of functions that arm a deadline,
+// directly or through a same-package call.
+func armingSet(p *Package, decls map[*types.Func]*ast.FuncDecl) map[*types.Func]bool {
+	arming := make(map[*types.Func]bool)
+	for {
+		changed := false
+		for fn, fd := range decls {
+			if arming[fn] {
+				continue
+			}
+			hit := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || hit {
+					return !hit
+				}
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok && deadlineMethods[sel.Sel.Name] {
+					hit = true
+					return false
+				}
+				if isPkgCall(p, call, "context", "WithTimeout") || isPkgCall(p, call, "context", "WithDeadline") {
+					hit = true
+					return false
+				}
+				if callee := calleeFunc(p, call); callee != nil && arming[callee] {
+					hit = true
+					return false
+				}
+				return true
+			})
+			if hit {
+				arming[fn] = true
+				changed = true
+			}
+		}
+		if !changed {
+			return arming
+		}
+	}
+}
+
+// ioHelperSet finds same-package functions that perform I/O on a reader
+// or writer parameter (readFrame, writeFrame, ...): a call passing a
+// conn-backed value to one of these is itself a blocking conn operation.
+func ioHelperSet(p *Package, decls map[*types.Func]*ast.FuncDecl) map[*types.Func]bool {
+	helpers := make(map[*types.Func]bool)
+	for fn, fd := range decls {
+		params := ioParams(p, fd)
+		if len(params) == 0 {
+			continue
+		}
+		hit := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || hit {
+				return !hit
+			}
+			// Method call on the param itself: r.Read, w.Flush, ...
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && params[p.Info.ObjectOf(id)] {
+					hit = true
+					return false
+				}
+			}
+			// io.ReadFull(r, ...), binary.Read(r, ...), fmt.Fprintf(w, ...)
+			for _, arg := range call.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok && params[p.Info.ObjectOf(id)] {
+					if f := calleeFunc(p, call); f != nil && f.Pkg() != nil {
+						switch f.Pkg().Path() {
+						case "io", "fmt", "encoding/binary", "bufio":
+							hit = true
+							return false
+						}
+					}
+				}
+			}
+			return true
+		})
+		if hit {
+			helpers[fn] = true
+		}
+	}
+	return helpers
+}
+
+// ioParams collects fd's parameters with reader/writer types.
+func ioParams(p *Package, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := p.Info.ObjectOf(name)
+			if obj == nil {
+				continue
+			}
+			switch obj.Type().String() {
+			case "io.Reader", "io.Writer", "io.ReadWriter", "*bufio.Reader", "*bufio.Writer":
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// connBackedFields maps objects in fd that wrap a conn: locals assigned
+// from bufio.NewReader(conn)/bufio.NewWriter(conn), and — approximated
+// by type — bufio fields of structs that also carry a net.Conn field
+// (e.g. sendConn.w, Client.r).
+func connBackedFields(p *Package, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, r := range as.Rhs {
+			call, ok := ast.Unparen(r).(*ast.CallExpr)
+			if !ok || i >= len(as.Lhs) {
+				continue
+			}
+			if !isPkgCall(p, call, "bufio", "NewReader") && !isPkgCall(p, call, "bufio", "NewWriter") &&
+				!isPkgCall(p, call, "bufio", "NewReadWriter") {
+				continue
+			}
+			wrapsConn := false
+			for _, arg := range call.Args {
+				if isConnTypeString(typeString(p, arg)) || isConnBackedExpr(p, arg) {
+					wrapsConn = true
+				}
+			}
+			if !wrapsConn {
+				continue
+			}
+			if id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok {
+				if obj := p.Info.ObjectOf(id); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isConnBackedExpr reports whether e selects a field from a struct that
+// also holds a net.Conn field — the repo's sendConn{w *bufio.Writer; c
+// net.Conn} shape.
+func isConnBackedExpr(p *Package, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s := structTypeOf(typeOf(p, sel.X))
+	if s == nil {
+		return false
+	}
+	for i := 0; i < s.NumFields(); i++ {
+		if isConnTypeString(s.Field(i).Type().String()) {
+			return true
+		}
+	}
+	return false
+}
+
+func structTypeOf(t types.Type) *types.Struct {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	s, _ := t.Underlying().(*types.Struct)
+	return s
+}
+
+var bufioReadMethods = map[string]bool{
+	"Read": true, "ReadString": true, "ReadByte": true, "ReadBytes": true,
+	"ReadRune": true, "ReadSlice": true, "ReadLine": true,
+}
+
+var bufioWriteMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true, "Flush": true,
+}
+
+// blockingIO classifies a call in a non-arming function as a blocking
+// conn operation, returning a diagnostic message or "".
+func blockingIO(p *Package, call *ast.CallExpr, helpers map[*types.Func]bool, connBacked map[types.Object]bool) string {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if isSel {
+		recvType := typeString(p, sel.X)
+		// Direct conn.Read / conn.Write.
+		if isConnTypeString(recvType) && (sel.Sel.Name == "Read" || sel.Sel.Name == "Write") {
+			return fmt.Sprintf("conn.%s with no deadline armed in this function", sel.Sel.Name)
+		}
+		// Buffered I/O over a conn: r.ReadString, w.Flush, ...
+		if bufioReadMethods[sel.Sel.Name] || bufioWriteMethods[sel.Sel.Name] {
+			if strings.HasPrefix(recvType, "*bufio.") && connOperand(p, sel.X, connBacked) {
+				return fmt.Sprintf("%s on a conn-backed %s with no deadline armed in this function",
+					sel.Sel.Name, recvType)
+			}
+		}
+	}
+	// io.ReadFull(conn, ...), fmt.Fprintf(w, ...), binary.Read(r, ...),
+	// and same-package helpers like readFrame(r).
+	f := calleeFunc(p, call)
+	if f == nil {
+		return ""
+	}
+	pkgFuncs := map[string]map[string]bool{
+		"io":              {"ReadFull": true, "ReadAtLeast": true, "Copy": true, "CopyN": true, "CopyBuffer": true},
+		"encoding/binary": {"Read": true, "Write": true},
+	}
+	isIOFunc := false
+	if f.Pkg() != nil {
+		if set, ok := pkgFuncs[f.Pkg().Path()]; ok && set[f.Name()] {
+			isIOFunc = true
+		}
+		if f.Pkg().Path() == "fmt" && strings.HasPrefix(f.Name(), "Fprint") {
+			isIOFunc = true
+		}
+	}
+	if !isIOFunc && !helpers[f] {
+		return ""
+	}
+	for _, arg := range call.Args {
+		if isConnTypeString(typeString(p, arg)) || connOperand(p, arg, connBacked) {
+			return fmt.Sprintf("%s on a conn with no deadline armed in this function", f.Name())
+		}
+	}
+	return ""
+}
+
+// connOperand reports whether e denotes a conn-backed reader/writer: a
+// tracked local, or a struct field whose struct also carries a conn.
+func connOperand(p *Package, e ast.Expr, connBacked map[types.Object]bool) bool {
+	e = ast.Unparen(e)
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Info.ObjectOf(id); obj != nil && connBacked[obj] {
+			return true
+		}
+	}
+	if !strings.HasPrefix(typeString(p, e), "*bufio.") {
+		return false
+	}
+	return isConnBackedExpr(p, e)
+}

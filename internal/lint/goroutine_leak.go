@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroutineLeak flags `go` statements with no visible join edge: the
+// spawned body (or, one level deep, a same-package function it calls)
+// neither signals a WaitGroup, sends on a channel, nor closes one, and
+// the spawn site is not preceded by a wg.Add in the enclosing function.
+// The scatter-gather coordinator's fan-out is the motivating case: a
+// worker goroutine the coordinator cannot join outlives the query and
+// leaks under replica failure.
+var GoroutineLeak = &Analyzer{
+	Code: codeGoroutineLeak,
+	Doc:  "go statement with no join edge (WaitGroup/channel send/close) in the spawned body",
+	Run:  runGoroutineLeak,
+}
+
+func runGoroutineLeak(p *Package) []Diagnostic {
+	decls := funcDecls(p)
+	var diags []Diagnostic
+	eachFuncDecl(p, func(fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if goHasJoin(p, gs, decls) || addBeforeSpawn(p, fd, gs) {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:     p.Fset.Position(gs.Pos()),
+				Code:    codeGoroutineLeak,
+				Message: "goroutine has no join edge: no WaitGroup.Done, channel send, or close in its body, and no wg.Add before the spawn",
+			})
+			return true
+		})
+	})
+	return diags
+}
+
+// goHasJoin looks for join evidence in the spawned function: the body of
+// a func literal, or the declaration of a same-package named callee.
+func goHasJoin(p *Package, gs *ast.GoStmt, decls map[*types.Func]*ast.FuncDecl) bool {
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return bodyHasJoin(p, fun.Body, decls, 1)
+	default:
+		if callee := calleeFunc(p, gs.Call); callee != nil {
+			if fd, ok := decls[callee]; ok {
+				return bodyHasJoin(p, fd.Body, decls, 1)
+			}
+			// Callee outside this package (http.Serve, ...): opaque, no
+			// evidence of a join.
+			return false
+		}
+	}
+	return false
+}
+
+// bodyHasJoin scans a body for a join edge, following same-package calls
+// up to depth levels so `go func() { s.worker(ch) }()` still resolves.
+func bodyHasJoin(p *Package, body *ast.BlockStmt, decls map[*types.Func]*ast.FuncDecl, depth int) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			found = true
+			return false
+		case *ast.CallExpr:
+			if isBuiltinCall(p, x, "close") {
+				found = true
+				return false
+			}
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" &&
+				isWaitGroupType(typeString(p, sel.X)) {
+				found = true
+				return false
+			}
+			if depth > 0 {
+				if callee := calleeFunc(p, x); callee != nil {
+					if fd, ok := decls[callee]; ok && bodyHasJoin(p, fd.Body, decls, depth-1) {
+						found = true
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// addBeforeSpawn reports whether the enclosing function calls
+// WaitGroup.Add before the go statement — the Add/spawn/Wait idiom with
+// Done passed down opaquely.
+func addBeforeSpawn(p *Package, fd *ast.FuncDecl, gs *ast.GoStmt) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= gs.Pos() {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Add" &&
+			isWaitGroupType(typeString(p, sel.X)) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

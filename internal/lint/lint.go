@@ -1,0 +1,153 @@
+// Package lint is parcube's project-specific static-analysis suite. It
+// enforces, at compile time, the implementation invariants the runtime
+// observability layer (internal/obs) and the fuzz/race walls can only
+// sample: no unbounded allocations sized by untrusted wire or file
+// headers, deadlines on every serving-path network operation, join edges
+// on every spawned goroutine, mutex discipline, and statically-known
+// metric names.
+//
+// The suite is stdlib-only: packages are loaded with a thin wrapper over
+// `go list -export -deps -json` (no golang.org/x/tools dependency) and
+// type-checked against the toolchain's export data, so analyzers see full
+// go/types information.
+//
+// Every diagnostic carries a stable code (the analyzer name). A finding
+// can be silenced at the offending line — or the line directly above it —
+// with a directive that must name the code and a reason:
+//
+//	//cubelint:ignore deadline fabric reads block until a peer sends; Close unblocks them
+//
+// A directive without a reason is itself reported (code "bad-directive"),
+// so suppressions stay auditable.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the stable analyzer code, and a
+// human-readable message.
+type Diagnostic struct {
+	Pos     token.Position
+	Code    string
+	Message string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Code, d.Message)
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Code is the stable diagnostic code, used in output and in
+	// cubelint:ignore directives.
+	Code string
+	// Doc is a one-line description for the catalog (cubelint -codes).
+	Doc string
+	// Run reports the analyzer's findings for one package.
+	Run func(*Package) []Diagnostic
+}
+
+// Diagnostic codes. These are the names used in output and in
+// cubelint:ignore directives; they are constants (not Analyzer fields) so
+// the run functions can cite them without an initialization cycle.
+const (
+	codeUntrustedAlloc = "untrusted-alloc"
+	codeDeadline       = "deadline"
+	codeGoroutineLeak  = "goroutine-leak"
+	codeMutexHygiene   = "mutex-hygiene"
+	codeObsMetric      = "obs-metric"
+	codeUncheckedClose = "unchecked-close"
+)
+
+// All is the analyzer catalog, in reporting order.
+var All = []*Analyzer{
+	UntrustedAlloc,
+	Deadline,
+	GoroutineLeak,
+	MutexHygiene,
+	ObsMetric,
+	UncheckedClose,
+}
+
+// ignorePrefix introduces a suppression directive.
+const ignorePrefix = "//cubelint:ignore"
+
+// collectDirectives parses every cubelint:ignore directive in the package.
+// The returned map is keyed "file:line" and holds the suppressed codes for
+// that line; a directive covers its own line and the line below, so it
+// works both as an end-of-line comment and as a standalone comment above
+// the finding. Malformed directives come back as diagnostics.
+func collectDirectives(p *Package) (map[string]map[string]bool, []Diagnostic) {
+	sup := make(map[string]map[string]bool)
+	var bad []Diagnostic
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(c.Text, ignorePrefix))
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:     pos,
+						Code:    "bad-directive",
+						Message: "suppression needs a code and a reason: //cubelint:ignore <code>[,<code>] <reason>",
+					})
+					continue
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					key := fmt.Sprintf("%s:%d", pos.Filename, line)
+					codes := sup[key]
+					if codes == nil {
+						codes = make(map[string]bool)
+						sup[key] = codes
+					}
+					for _, code := range strings.Split(fields[0], ",") {
+						codes[code] = true
+					}
+				}
+			}
+		}
+	}
+	return sup, bad
+}
+
+// Check runs the analyzers over the packages, applies suppression
+// directives, and returns the surviving diagnostics sorted by position
+// plus the number of findings silenced by directives.
+func Check(pkgs []*Package, analyzers []*Analyzer) (diags []Diagnostic, suppressed int) {
+	for _, p := range pkgs {
+		sup, bad := collectDirectives(p)
+		diags = append(diags, bad...)
+		for _, a := range analyzers {
+			for _, d := range a.Run(p) {
+				key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+				if sup[key][d.Code] {
+					suppressed++
+					continue
+				}
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Code < b.Code
+	})
+	return diags, suppressed
+}

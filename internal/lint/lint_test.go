@@ -1,0 +1,266 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// repoRoot walks up from the working directory to the go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+var (
+	exportsOnce sync.Once
+	exportsMap  map[string]string
+	exportsErr  error
+)
+
+// sharedExports runs `go list -export -deps -json ./...` once per test
+// binary, yielding export data for the stdlib and every parcube package —
+// enough to type-check any fixture.
+func sharedExports(t *testing.T) map[string]string {
+	t.Helper()
+	root := repoRoot(t)
+	exportsOnce.Do(func() {
+		_, exportsMap, exportsErr = goList(root, []string{"./..."})
+	})
+	if exportsErr != nil {
+		t.Fatalf("collecting export data: %v", exportsErr)
+	}
+	return exportsMap
+}
+
+// loadFixture parses and type-checks one testdata/src/<name> directory as
+// a package with the given import path (the path matters: serving-scope
+// analyzers key off it).
+func loadFixture(t *testing.T, name, importPath string) *Package {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	imp := NewImporter(fset, sharedExports(t))
+	p, err := TypeCheck(fset, imp, importPath, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
+
+// wantDiags reads the `// want "substring"` markers from a fixture,
+// returning file:line -> expected message substrings.
+func wantDiags(t *testing.T, p *Package) map[string][]string {
+	t.Helper()
+	want := make(map[string][]string)
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Pos()).Filename
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				key := fmt.Sprintf("%s:%d", name, i+1)
+				want[key] = append(want[key], m[1])
+			}
+		}
+	}
+	return want
+}
+
+// checkFixture runs one analyzer over a fixture (with suppression
+// directives applied) and matches the surviving findings against the
+// fixture's want markers, returning the suppressed count.
+func checkFixture(t *testing.T, p *Package, a *Analyzer) int {
+	t.Helper()
+	diags, suppressed := Check([]*Package{p}, []*Analyzer{a})
+	want := wantDiags(t, p)
+	got := make(map[string][]string)
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+		got[key] = append(got[key], d.Message)
+	}
+	for key, subs := range want {
+		msgs := got[key]
+		for _, sub := range subs {
+			found := false
+			for _, msg := range msgs {
+				if strings.Contains(msg, sub) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s: want a %s diagnostic containing %q, got %v", key, a.Code, sub, msgs)
+			}
+		}
+	}
+	for key, msgs := range got {
+		if len(want[key]) == 0 {
+			t.Errorf("%s: unexpected diagnostic(s) %v", key, msgs)
+		} else if len(msgs) != len(want[key]) {
+			t.Errorf("%s: got %d diagnostics %v, want %d", key, len(msgs), msgs, len(want[key]))
+		}
+	}
+	return suppressed
+}
+
+func TestUntrustedAlloc(t *testing.T) {
+	p := loadFixture(t, "untrustedalloc", "parcube/lintfixture/untrustedalloc")
+	if sup := checkFixture(t, p, UntrustedAlloc); sup != 1 {
+		t.Errorf("suppressed = %d, want 1", sup)
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	p := loadFixture(t, "deadline", "parcube/internal/server/lintfixture")
+	if sup := checkFixture(t, p, Deadline); sup != 1 {
+		t.Errorf("suppressed = %d, want 1", sup)
+	}
+}
+
+func TestDeadlineOutOfScope(t *testing.T) {
+	// The same fixture loaded under a non-serving path must be silent.
+	p := loadFixture(t, "deadline", "parcube/lintfixture/deadline")
+	if diags := Deadline.Run(p); len(diags) != 0 {
+		t.Errorf("non-serving package got %d deadline diagnostics: %v", len(diags), diags)
+	}
+}
+
+func TestGoroutineLeak(t *testing.T) {
+	p := loadFixture(t, "goroutineleak", "parcube/lintfixture/goroutineleak")
+	if sup := checkFixture(t, p, GoroutineLeak); sup != 1 {
+		t.Errorf("suppressed = %d, want 1", sup)
+	}
+}
+
+func TestMutexHygiene(t *testing.T) {
+	p := loadFixture(t, "mutexhygiene", "parcube/lintfixture/mutexhygiene")
+	checkFixture(t, p, MutexHygiene)
+}
+
+func TestObsMetric(t *testing.T) {
+	p := loadFixture(t, "obsmetric", "parcube/lintfixture/obsmetric")
+	checkFixture(t, p, ObsMetric)
+}
+
+func TestUncheckedClose(t *testing.T) {
+	p := loadFixture(t, "uncheckedclose", "parcube/internal/shard/lintfixture")
+	if sup := checkFixture(t, p, UncheckedClose); sup != 1 {
+		t.Errorf("suppressed = %d, want 1", sup)
+	}
+}
+
+func TestBadDirective(t *testing.T) {
+	fset := token.NewFileSet()
+	src := `package p
+
+//cubelint:ignore deadline
+var x int
+`
+	f, err := parser.ParseFile(fset, "bad.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := NewImporter(fset, sharedExports(t))
+	p, err := TypeCheck(fset, imp, "parcube/lintfixture/baddirective", []*ast.File{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, _ := Check([]*Package{p}, All)
+	if len(diags) != 1 || diags[0].Code != "bad-directive" {
+		t.Fatalf("diags = %v, want one bad-directive", diags)
+	}
+}
+
+// TestTreeClean is the acceptance gate: the repo's own tree must carry
+// zero cubelint findings.
+func TestTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole tree")
+	}
+	pkgs, err := Load(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, suppressed := Check(pkgs, All)
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	t.Logf("tree: %d packages, %d suppressed findings", len(pkgs), suppressed)
+}
+
+// TestDeterministic runs the suite twice over the same packages and
+// demands identical output order.
+func TestDeterministic(t *testing.T) {
+	p := loadFixture(t, "mutexhygiene", "parcube/lintfixture/mutexhygiene")
+	a, _ := Check([]*Package{p}, All)
+	b, _ := Check([]*Package{p}, All)
+	render := func(ds []Diagnostic) []string {
+		out := make([]string, len(ds))
+		for i, d := range ds {
+			out[i] = d.String()
+		}
+		return out
+	}
+	ra, rb := render(a), render(b)
+	if !sort.StringsAreSorted(byPosKey(ra)) {
+		t.Errorf("diagnostics not sorted: %v", ra)
+	}
+	if strings.Join(ra, "\n") != strings.Join(rb, "\n") {
+		t.Errorf("non-deterministic output:\n%v\nvs\n%v", ra, rb)
+	}
+}
+
+// byPosKey strips messages so sortedness is judged on position alone.
+func byPosKey(lines []string) []string {
+	out := make([]string, len(lines))
+	for i, l := range lines {
+		if idx := strings.Index(l, ": "); idx > 0 {
+			out[i] = l[:idx]
+		} else {
+			out[i] = l
+		}
+	}
+	return out
+}

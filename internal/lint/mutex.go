@@ -1,0 +1,236 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MutexHygiene enforces three lock disciplines:
+//
+//  1. pairing — a function that locks a mutex must unlock it somewhere
+//     (directly or via defer);
+//  2. multi-return — a function holding a non-deferred lock must not
+//     return: any early return leaks the lock, so multi-return
+//     functions must defer the unlock;
+//  3. copylock — receivers and parameters passed by value must not
+//     contain sync primitives (the vet classic, restated here so the
+//     suite is self-contained).
+var MutexHygiene = &Analyzer{
+	Code: codeMutexHygiene,
+	Doc:  "lock/unlock pairing, defer-unlock on multi-return paths, and by-value sync primitives",
+	Run:  runMutexHygiene,
+}
+
+func runMutexHygiene(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	eachFuncDecl(p, func(fd *ast.FuncDecl) {
+		diags = append(diags, copylockInFunc(p, fd)...)
+		diags = append(diags, lockPairing(p, fd.Body)...)
+		// Func literals get their own pairing scan: their locks are
+		// invisible to the enclosing body's scan and vice versa.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				diags = append(diags, lockPairing(p, lit.Body)...)
+			}
+			return true
+		})
+	})
+	return diags
+}
+
+// mutexRecv reports whether a selector call like x.mu.Lock() targets a
+// sync.Mutex or sync.RWMutex, returning the lock kind ("" if not).
+func mutexRecv(p *Package, sel *ast.SelectorExpr) string {
+	t := typeString(p, sel.X)
+	t = strings.TrimPrefix(t, "*")
+	if t != "sync.Mutex" && t != "sync.RWMutex" {
+		return ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+		return sel.Sel.Name
+	}
+	return ""
+}
+
+// lockPairing checks disciplines 1 and 2 over one function body,
+// skipping nested func literals (they are scanned separately).
+type lockScan struct {
+	p *Package
+	// held maps mutex keys ("s.mu") to the Lock position, for locks not
+	// covered by a deferred unlock.
+	held map[string]ast.Node
+	// locked/unlocked track pairing over the whole body.
+	locked   map[string]ast.Node
+	unlocked map[string]bool
+	deferred map[string]bool
+	diags    []Diagnostic
+}
+
+func lockPairing(p *Package, body *ast.BlockStmt) []Diagnostic {
+	sc := &lockScan{
+		p:        p,
+		held:     make(map[string]ast.Node),
+		locked:   make(map[string]ast.Node),
+		unlocked: make(map[string]bool),
+		deferred: make(map[string]bool),
+	}
+	// Pre-scan defers: a deferred unlock covers the whole body, so Lock
+	// sites guarded by one never count as held at a return.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ds, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if sel, ok := ds.Call.Fun.(*ast.SelectorExpr); ok {
+			switch mutexRecv(p, sel) {
+			case "Unlock":
+				sc.deferred[exprKey(sel.X)] = true
+				sc.unlocked[exprKey(sel.X)] = true
+			case "RUnlock":
+				sc.deferred[exprKey(sel.X)+"#r"] = true
+				sc.unlocked[exprKey(sel.X)+"#r"] = true
+			}
+		}
+		return true
+	})
+	sc.walk(body)
+	for key, at := range sc.locked {
+		if !sc.unlocked[key] {
+			kind := "Lock"
+			name := key
+			if strings.HasSuffix(key, "#r") {
+				kind, name = "RLock", strings.TrimSuffix(key, "#r")
+			}
+			sc.diags = append(sc.diags, Diagnostic{
+				Pos:     p.Fset.Position(at.Pos()),
+				Code:    codeMutexHygiene,
+				Message: fmt.Sprintf("%s of %s with no matching unlock anywhere in the function", kind, name),
+			})
+		}
+	}
+	return sc.diags
+}
+
+// walk is a pre-order scan tracking which non-deferred locks are held at
+// each return statement.
+func (sc *lockScan) walk(n ast.Node) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			// Defers were pre-scanned; a deferred x.mu.Lock() (rare, and
+			// wrong) is still recorded as a lock below, so fall through
+			// only for non-mutex defers.
+			if sel, ok := x.Call.Fun.(*ast.SelectorExpr); ok && mutexRecv(sc.p, sel) != "" {
+				return false
+			}
+		case *ast.CallExpr:
+			sel, ok := x.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch mutexRecv(sc.p, sel) {
+			case "Lock":
+				key := exprKey(sel.X)
+				sc.locked[key] = x
+				if !sc.deferred[key] {
+					sc.held[key] = x
+				}
+			case "Unlock":
+				key := exprKey(sel.X)
+				sc.unlocked[key] = true
+				delete(sc.held, key)
+			case "RLock":
+				key := exprKey(sel.X) + "#r"
+				sc.locked[key] = x
+				if !sc.deferred[key] {
+					sc.held[key] = x
+				}
+			case "RUnlock":
+				key := exprKey(sel.X) + "#r"
+				sc.unlocked[key] = true
+				delete(sc.held, key)
+			}
+		case *ast.ReturnStmt:
+			for key := range sc.held {
+				name := strings.TrimSuffix(key, "#r")
+				sc.diags = append(sc.diags, Diagnostic{
+					Pos:     sc.p.Fset.Position(x.Pos()),
+					Code:    codeMutexHygiene,
+					Message: fmt.Sprintf("return while %s is locked without a deferred unlock; an early return leaks the lock", name),
+				})
+			}
+		}
+		return true
+	})
+}
+
+// copylockInFunc flags by-value receivers and parameters whose type
+// contains a sync primitive.
+func copylockInFunc(p *Package, fd *ast.FuncDecl) []Diagnostic {
+	var diags []Diagnostic
+	check := func(field *ast.Field, what string) {
+		t := typeOf(p, field.Type)
+		if t == nil {
+			return
+		}
+		if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			return
+		}
+		if prim := containsSyncPrimitive(t, make(map[types.Type]bool), 0); prim != "" {
+			diags = append(diags, Diagnostic{
+				Pos:     p.Fset.Position(field.Pos()),
+				Code:    codeMutexHygiene,
+				Message: fmt.Sprintf("%s passed by value copies %s; use a pointer", what, prim),
+			})
+		}
+	}
+	if fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			check(f, "receiver")
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			check(f, "parameter")
+		}
+	}
+	return diags
+}
+
+// containsSyncPrimitive reports the first sync primitive found in t (by
+// value, recursively through struct fields and arrays), or "".
+func containsSyncPrimitive(t types.Type, seen map[types.Type]bool, depth int) string {
+	if t == nil || depth > 8 || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	switch name := t.String(); name {
+	case "sync.Mutex", "sync.RWMutex", "sync.WaitGroup", "sync.Once",
+		"sync.Cond", "sync.Pool", "sync.Map":
+		return name
+	}
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() == "sync/atomic" {
+			return t.String()
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if prim := containsSyncPrimitive(u.Field(i).Type(), seen, depth+1); prim != "" {
+				return prim
+			}
+		}
+	case *types.Array:
+		return containsSyncPrimitive(u.Elem(), seen, depth+1)
+	}
+	return ""
+}

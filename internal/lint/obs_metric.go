@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"sort"
+	"strings"
+)
+
+// ObsMetric enforces that every metric name handed to internal/obs is a
+// compile-time string constant registered at exactly one call site. A
+// name built at runtime ("cmd." + label + ".count") can typo-split a
+// series and costs a registry lookup per observation; a constant
+// registered twice usually means two code paths think they own the
+// series. The fix for both is the repo's handle pattern: resolve the
+// counter/gauge/histogram once, store the pointer, and bump it on the
+// hot path.
+var ObsMetric = &Analyzer{
+	Code: codeObsMetric,
+	Doc:  "metric names passed to internal/obs must be string constants registered exactly once",
+	Run:  runObsMetric,
+}
+
+const obsRegistryType = "*parcube/internal/obs.Registry"
+
+var obsMetricMethods = map[string]bool{
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+}
+
+func runObsMetric(p *Package) []Diagnostic {
+	// The registry implementation itself builds names generically.
+	if strings.HasSuffix(p.Path, "internal/obs") {
+		return nil
+	}
+	var diags []Diagnostic
+	type site struct {
+		call *ast.CallExpr
+		name string
+	}
+	var constSites []site
+	// Whole files, not just function bodies: the handle pattern registers
+	// metrics in package-level var blocks.
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 1 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !obsMetricMethods[sel.Sel.Name] || typeString(p, sel.X) != obsRegistryType {
+				return true
+			}
+			tv, ok := p.Info.Types[call.Args[0]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				diags = append(diags, Diagnostic{
+					Pos:  p.Fset.Position(call.Pos()),
+					Code: codeObsMetric,
+					Message: fmt.Sprintf(
+						"metric name passed to Registry.%s is not a string constant; dynamic names can typo-split a series and force a registry lookup per call",
+						sel.Sel.Name),
+				})
+				return true
+			}
+			constSites = append(constSites, site{call: call, name: constant.StringVal(tv.Value)})
+			return true
+		})
+	}
+	// Constant names must register at exactly one site per package.
+	byName := make(map[string][]*ast.CallExpr)
+	for _, s := range constSites {
+		byName[s.name] = append(byName[s.name], s.call)
+	}
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		calls := byName[name]
+		if len(calls) < 2 {
+			continue
+		}
+		sort.Slice(calls, func(i, j int) bool { return calls[i].Pos() < calls[j].Pos() })
+		first := p.Fset.Position(calls[0].Pos())
+		for _, call := range calls[1:] {
+			diags = append(diags, Diagnostic{
+				Pos:  p.Fset.Position(call.Pos()),
+				Code: codeObsMetric,
+				Message: fmt.Sprintf(
+					"metric %q is already registered at %s:%d; resolve the handle once and share it",
+					name, first.Filename, first.Line),
+			})
+		}
+	}
+	return diags
+}

@@ -1,0 +1,60 @@
+// Fixture for the deadline analyzer. The test loads this package twice:
+// under a serving import path (findings expected) and a neutral one
+// (silence expected).
+package lintfixture
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+)
+
+func badRead(conn net.Conn) error {
+	buf := make([]byte, 64)
+	_, err := conn.Read(buf) // want "conn.Read with no deadline"
+	return err
+}
+
+func badBuffered(conn net.Conn) (string, error) {
+	r := bufio.NewReader(conn)
+	return r.ReadString('\n') // want "ReadString on a conn-backed"
+}
+
+func badDial() (net.Conn, error) {
+	return net.Dial("tcp", "localhost:0") // want "no connect timeout"
+}
+
+func badFprint(conn net.Conn) {
+	fmt.Fprintf(conn, "hello\n") // want "Fprintf on a conn"
+}
+
+func goodArmed(conn net.Conn) error {
+	if err := conn.SetReadDeadline(time.Now().Add(time.Second)); err != nil {
+		return err
+	}
+	buf := make([]byte, 64)
+	_, err := conn.Read(buf)
+	return err
+}
+
+func goodViaHelper(conn net.Conn) error {
+	arm(conn)
+	_, err := conn.Write([]byte("ping\n"))
+	return err
+}
+
+func arm(conn net.Conn) {
+	_ = conn.SetDeadline(time.Now().Add(time.Second))
+}
+
+func goodDial() (net.Conn, error) {
+	return net.DialTimeout("tcp", "localhost:0", time.Second)
+}
+
+func suppressedRead(conn net.Conn) error {
+	r := bufio.NewReader(conn)
+	//cubelint:ignore deadline fixture models a blocking fan-in loop that Close unblocks
+	_, err := r.ReadByte()
+	return err
+}

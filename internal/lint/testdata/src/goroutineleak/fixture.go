@@ -1,0 +1,67 @@
+// Fixture for the goroutine-leak analyzer: spawns with and without join
+// edges.
+package goroutineleak
+
+import "sync"
+
+func leak() {
+	go func() { // want "no join edge"
+		for i := 0; i < 10; i++ {
+			_ = i
+		}
+	}()
+}
+
+func leakFuncValue(work func()) {
+	go work() // want "no join edge"
+}
+
+func joinedWaitGroup() {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func joinedChannel() <-chan int {
+	out := make(chan int, 1)
+	go func() {
+		out <- 42
+		close(out)
+	}()
+	return out
+}
+
+func joinedNamed() {
+	done := make(chan struct{})
+	go worker(done)
+	<-done
+}
+
+func worker(done chan struct{}) {
+	close(done)
+}
+
+func addBeforeSpawnOpaque(fns []func()) {
+	var wg sync.WaitGroup
+	wg.Add(len(fns))
+	for _, fn := range fns {
+		go fn()
+	}
+	wg.Wait()
+}
+
+func suppressedServe() {
+	//cubelint:ignore goroutine-leak fixture models a process-lifetime debug server
+	go debugLoop()
+}
+
+func debugLoop() {
+	for i := 0; ; i++ {
+		_ = i
+	}
+}

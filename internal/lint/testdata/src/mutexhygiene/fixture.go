@@ -1,0 +1,69 @@
+// Fixture for the mutex-hygiene analyzer: pairing, early returns under a
+// held lock, and by-value sync primitives.
+package mutexhygiene
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) leakOnReturn(v int) int {
+	c.mu.Lock()
+	if v < 0 {
+		return 0 // want "return while c.mu is locked"
+	}
+	c.n += v
+	c.mu.Unlock()
+	return c.n
+}
+
+func (c *counter) neverUnlocks() {
+	c.mu.Lock() // want "no matching unlock"
+	c.n++
+}
+
+func (c counter) byValue() int { // want "receiver passed by value copies sync.Mutex"
+	return c.n
+}
+
+func byValueParam(c counter) int { // want "parameter passed by value copies sync.Mutex"
+	return c.n
+}
+
+func byPointerParam(c *counter) int {
+	return c.n
+}
+
+type rw struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+func (r *rw) read(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.m[k]
+}
+
+func (r *rw) leakRLock(k string) (int, bool) {
+	r.mu.RLock()
+	if v, ok := r.m[k]; ok {
+		return v, true // want "return while r.mu is locked"
+	}
+	r.mu.RUnlock()
+	return 0, false
+}

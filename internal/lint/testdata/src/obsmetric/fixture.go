@@ -1,0 +1,31 @@
+// Fixture for the obs-metric analyzer: constant vs dynamic metric names,
+// and duplicate registration of the same constant name.
+package obsmetric
+
+import "parcube/internal/obs"
+
+const queriesMetric = "fixture.queries"
+
+type stats struct {
+	queries *obs.Counter
+	depth   *obs.Gauge
+}
+
+func newStats(m *obs.Registry) *stats {
+	return &stats{
+		queries: m.Counter(queriesMetric),
+		depth:   m.Gauge("fixture.depth"),
+	}
+}
+
+func dynamicName(m *obs.Registry, kind string) {
+	m.Counter("fixture." + kind + ".count").Inc() // want "not a string constant"
+}
+
+func duplicateRegistration(m *obs.Registry) {
+	m.Counter(queriesMetric).Inc() // want "already registered"
+}
+
+func observeOnce(m *obs.Registry) {
+	m.Histogram("fixture.latency_ns").Observe(1)
+}

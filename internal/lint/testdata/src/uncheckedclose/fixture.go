@@ -1,0 +1,38 @@
+// Fixture for the unchecked-close analyzer: teardown paths that discard,
+// propagate, or explicitly drop Close/Flush errors.
+package lintfixture
+
+import (
+	"bufio"
+	"net"
+)
+
+type wrapper struct {
+	c net.Conn
+	w *bufio.Writer
+}
+
+func (w *wrapper) teardownBad() {
+	w.c.Close() // want "error discarded"
+}
+
+func (w *wrapper) flushBad() {
+	w.w.Flush() // want "error discarded"
+}
+
+func (w *wrapper) teardownGood() error {
+	return w.c.Close()
+}
+
+func (w *wrapper) teardownExplicit() {
+	_ = w.c.Close()
+}
+
+func (w *wrapper) teardownDeferred() {
+	defer w.c.Close()
+}
+
+func (w *wrapper) teardownSuppressed() {
+	//cubelint:ignore unchecked-close fixture models best-effort teardown of a dead conn
+	w.c.Close()
+}

@@ -1,0 +1,71 @@
+// Fixture for the untrusted-alloc analyzer: allocations sized by decoded
+// wire headers, with and without bound checks.
+package untrustedalloc
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+const maxElems = 1 << 20
+
+func bad(r io.Reader) ([]float64, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	out := make([]float64, n) // want "no bound check"
+	return out, nil
+}
+
+func badMap(r io.Reader) (map[int]float64, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint64(hdr[:]))
+	return make(map[int]float64, n), nil // want "no bound check"
+}
+
+func good(r io.Reader) ([]float64, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n > maxElems {
+		return nil, io.ErrUnexpectedEOF
+	}
+	return make([]float64, n), nil
+}
+
+func clamped(r io.Reader) []byte {
+	var hdr [8]byte
+	_, _ = io.ReadFull(r, hdr[:])
+	n := int(binary.LittleEndian.Uint64(hdr[:]))
+	n = min(n, maxElems)
+	return make([]byte, n)
+}
+
+func viaHelper(r io.Reader) ([]int, error) {
+	n, err := readCount(r)
+	if err != nil {
+		return nil, err
+	}
+	return make([]int, 0, n), nil // want "decoded from untrusted input"
+}
+
+func suppressed(r io.Reader) []int {
+	n, _ := readCount(r)
+	//cubelint:ignore untrusted-alloc fixture models a caller-bounded count
+	return make([]int, n)
+}
+
+func readCount(r io.Reader) (int, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return 0, err
+	}
+	return int(binary.BigEndian.Uint32(b[:])), nil
+}

@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// UncheckedClose flags serving-path connection teardown that discards
+// errors: a bare `x.Close()` or `w.Flush()` expression statement whose
+// result is an error. On a TCP write path the error surfaced by Close or
+// the final Flush is often the only notification that buffered data
+// never reached the peer, so teardown paths must propagate or at least
+// explicitly discard it (`_ = c.Close()`). Deferred calls are exempt —
+// defer has nowhere to put the error.
+var UncheckedClose = &Analyzer{
+	Code: codeUncheckedClose,
+	Doc:  "serving-path Close/Flush error silently discarded on a teardown path",
+	Run:  runUncheckedClose,
+}
+
+func runUncheckedClose(p *Package) []Diagnostic {
+	if !isServingPackage(p.Path) {
+		return nil
+	}
+	var diags []Diagnostic
+	eachFuncDecl(p, func(fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Close" && sel.Sel.Name != "Flush") {
+				return true
+			}
+			t := typeOf(p, call)
+			if t == nil {
+				return true
+			}
+			if named, ok := t.(*types.Named); !ok || named.Obj().Name() != "error" {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:  p.Fset.Position(call.Pos()),
+				Code: codeUncheckedClose,
+				Message: fmt.Sprintf(
+					"%s.%s() error discarded; propagate it or discard explicitly with _ =",
+					exprKey(sel.X), sel.Sel.Name),
+			})
+			return true
+		})
+	})
+	return diags
+}

@@ -1,0 +1,312 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// UntrustedAlloc flags make() calls sized by a value decoded from a wire
+// or file header with no bound check between decode and allocation — the
+// bug class PR 2's fuzzing found in internal/cubeio, where a short
+// malicious stream claiming a huge element count forced an allocation
+// proportional to the claim rather than the stream.
+//
+// Taint sources (intra-procedural):
+//   - encoding/binary byte-order decodes (LittleEndian.Uint32 and kin),
+//   - encoding/binary.Read into a local,
+//   - same-package helpers named read* that return an integer.
+//
+// A comparison mentioning the tainted value before the allocation — or a
+// min/max clamp — counts as the bound check and clears the finding.
+var UntrustedAlloc = &Analyzer{
+	Code: codeUntrustedAlloc,
+	Doc:  "make() sized by a decoded wire/file header without an intervening bound check",
+	Run:  runUntrustedAlloc,
+}
+
+func runUntrustedAlloc(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	eachFuncDecl(p, func(fd *ast.FuncDecl) {
+		diags = append(diags, untrustedInFunc(p, fd)...)
+	})
+	return diags
+}
+
+// taintState is the per-function data-flow state. Closures (FuncLits)
+// share the enclosing function's state, which matches how decode helpers
+// in this codebase are written.
+type taintState struct {
+	p *Package
+	// tainted holds locals whose value derives from a decoded header.
+	tainted map[types.Object]bool
+	// sanitized records, per object, the positions of bound checks.
+	sanitized map[types.Object][]token.Pos
+}
+
+func untrustedInFunc(p *Package, fd *ast.FuncDecl) []Diagnostic {
+	st := &taintState{
+		p:         p,
+		tainted:   make(map[types.Object]bool),
+		sanitized: make(map[types.Object][]token.Pos),
+	}
+	// Taint propagates through chains of assignments; a few passes reach
+	// the fixpoint on realistic decoder bodies.
+	for i := 0; i < 4; i++ {
+		if !st.assignPass(fd.Body) {
+			break
+		}
+	}
+	st.collectBounds(fd.Body)
+	return st.flagSinks(fd.Body)
+}
+
+// assignPass spreads taint across one pass of assignments, reporting
+// whether anything changed.
+func (st *taintState) assignPass(body *ast.BlockStmt) bool {
+	changed := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if len(x.Rhs) == 1 && len(x.Lhs) > 1 {
+				// Multi-value form: count, err := readU32(r).
+				if call, ok := x.Rhs[0].(*ast.CallExpr); ok && st.isSourceCall(call) {
+					for _, l := range x.Lhs {
+						if st.taint(l) {
+							changed = true
+						}
+					}
+				}
+				return true
+			}
+			for i, l := range x.Lhs {
+				if i >= len(x.Rhs) {
+					break
+				}
+				r := x.Rhs[i]
+				if call, ok := ast.Unparen(r).(*ast.CallExpr); ok &&
+					(isBuiltinCall(st.p, call, "min") || isBuiltinCall(st.p, call, "max")) {
+					// x = min(x, limit) clamps the value.
+					if obj := st.lvalObj(l); obj != nil {
+						st.sanitized[obj] = append(st.sanitized[obj], r.Pos())
+					}
+					continue
+				}
+				if st.exprTainted(r) && st.taint(l) {
+					changed = true
+				}
+			}
+		case *ast.CallExpr:
+			// binary.Read(r, order, &x) decodes straight into x.
+			if isPkgCall(st.p, x, "encoding/binary", "Read") && len(x.Args) == 3 {
+				if u, ok := ast.Unparen(x.Args[2]).(*ast.UnaryExpr); ok && u.Op == token.AND {
+					if st.taint(u.X) {
+						changed = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// lvalObj resolves the object behind an assignable expression; selector
+// and field targets are not tracked.
+func (st *taintState) lvalObj(e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return st.p.Info.ObjectOf(x)
+	case *ast.IndexExpr:
+		return st.lvalObj(x.X)
+	case *ast.StarExpr:
+		return st.lvalObj(x.X)
+	}
+	return nil
+}
+
+// taint marks the object behind e when it carries an integer-ish value,
+// reporting whether the set grew.
+func (st *taintState) taint(e ast.Expr) bool {
+	obj := st.lvalObj(e)
+	if obj == nil || obj.Name() == "_" || !integerish(obj.Type()) || st.tainted[obj] {
+		return false
+	}
+	st.tainted[obj] = true
+	return true
+}
+
+// integerish accepts integers and containers of integers — decoded sizes
+// often land in []int slices before use.
+func integerish(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsInteger != 0
+	case *types.Slice:
+		return integerish(u.Elem())
+	case *types.Array:
+		return integerish(u.Elem())
+	}
+	return false
+}
+
+// exprTainted reports whether evaluating e yields a header-derived value.
+// Calls are opaque (their results are not assumed tainted) except for
+// conversions, which pass taint through, and source calls, which create
+// it; min/max clamp it away.
+func (st *taintState) exprTainted(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltinCall(st.p, x, "min") || isBuiltinCall(st.p, x, "max") {
+				return false
+			}
+			if st.isSourceCall(x) {
+				found = true
+				return false
+			}
+			if isConversion(st.p, x) {
+				return true
+			}
+			return false
+		case *ast.Ident:
+			if obj := st.p.Info.Uses[x]; obj != nil && st.tainted[obj] {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSourceCall reports whether the call decodes untrusted header bytes.
+func (st *taintState) isSourceCall(call *ast.CallExpr) bool {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		switch sel.Sel.Name {
+		case "Uint16", "Uint32", "Uint64":
+			if strings.HasPrefix(typeString(st.p, sel.X), "encoding/binary.") {
+				return true
+			}
+		}
+	}
+	if fn := calleeFunc(st.p, call); fn != nil && fn.Pkg() == st.p.Types {
+		name := fn.Name()
+		if len(name) >= 4 && strings.EqualFold(name[:4], "read") && funcReturnsInteger(fn) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcReturnsInteger reports whether any result of fn is an integer.
+func funcReturnsInteger(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if b, ok := res.At(i).Type().Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// collectBounds records every comparison that mentions a tainted object
+// as a sanitizing bound check at that position.
+func (st *taintState) collectBounds(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		default:
+			return true
+		}
+		for _, side := range []ast.Expr{be.X, be.Y} {
+			ast.Inspect(side, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := st.p.Info.Uses[id]; obj != nil && st.tainted[obj] {
+						st.sanitized[obj] = append(st.sanitized[obj], be.Pos())
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+}
+
+// flagSinks reports every make() sized by a tainted value with no bound
+// check earlier in the source.
+func (st *taintState) flagSinks(body *ast.BlockStmt) []Diagnostic {
+	var diags []Diagnostic
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isBuiltinCall(st.p, call, "make") || len(call.Args) < 2 {
+			return true
+		}
+		for _, arg := range call.Args[1:] {
+			if tv, ok := st.p.Info.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.Int {
+				continue // constant sizes are trivially bounded
+			}
+			if name, bad := st.unboundedIn(arg, call.Pos()); bad {
+				diags = append(diags, Diagnostic{
+					Pos:  st.p.Fset.Position(call.Pos()),
+					Code: codeUntrustedAlloc,
+					Message: fmt.Sprintf(
+						"make() sized by %s, which is decoded from untrusted input with no bound check before the allocation", name),
+				})
+				break
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// unboundedIn reports whether arg mentions a tainted object that has no
+// sanitizing check before sinkPos, or decodes a header inline.
+func (st *taintState) unboundedIn(arg ast.Expr, sinkPos token.Pos) (string, bool) {
+	name, bad := "", false
+	ast.Inspect(arg, func(n ast.Node) bool {
+		if bad {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if st.isSourceCall(x) {
+				name, bad = "an inline header decode", true
+				return false
+			}
+			if isConversion(st.p, x) {
+				return true
+			}
+			return false
+		case *ast.Ident:
+			obj := st.p.Info.Uses[x]
+			if obj == nil || !st.tainted[obj] {
+				return true
+			}
+			for _, pos := range st.sanitized[obj] {
+				if pos < sinkPos {
+					return true
+				}
+			}
+			name, bad = fmt.Sprintf("%q", x.Name), true
+			return false
+		}
+		return true
+	})
+	return name, bad
+}

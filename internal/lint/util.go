@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// servingPackageMarkers select the packages whose network paths the
+// deadline and unchecked-close analyzers police. Substring matching keeps
+// fixture packages (loaded under synthetic import paths) in scope.
+var servingPackageMarkers = []string{
+	"internal/server",
+	"internal/shard",
+	"internal/comm",
+}
+
+// isServingPackage reports whether the import path belongs to the serving
+// layer.
+func isServingPackage(path string) bool {
+	for _, m := range servingPackageMarkers {
+		if strings.Contains(path, m) {
+			return true
+		}
+	}
+	return false
+}
+
+// typeOf returns the type of an expression, or nil when unknown.
+func typeOf(p *Package, e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if o := p.Info.ObjectOf(id); o != nil {
+			return o.Type()
+		}
+	}
+	return nil
+}
+
+// typeString renders an expression's type, or "" when unknown.
+func typeString(p *Package, e ast.Expr) string {
+	t := typeOf(p, e)
+	if t == nil {
+		return ""
+	}
+	return t.String()
+}
+
+// calleeFunc resolves the called function or method object of a call, or
+// nil for builtins, function values, and type conversions.
+func calleeFunc(p *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := p.Info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isPkgCall reports whether call invokes the package-level function
+// pkgPath.name.
+func isPkgCall(p *Package, call *ast.CallExpr, pkgPath, name string) bool {
+	f := calleeFunc(p, call)
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == pkgPath && f.Name() == name
+}
+
+// isBuiltinCall reports whether call invokes the named builtin.
+func isBuiltinCall(p *Package, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = p.Info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// isConversion reports whether call is a type conversion.
+func isConversion(p *Package, call *ast.CallExpr) bool {
+	tv, ok := p.Info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// funcDecls maps every package-level function and method object to its
+// declaration.
+func funcDecls(p *Package) map[*types.Func]*ast.FuncDecl {
+	out := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				out[fn] = fd
+			}
+		}
+	}
+	return out
+}
+
+// eachFuncDecl visits every function declaration with a body, in file
+// order, so diagnostics come out deterministically.
+func eachFuncDecl(p *Package, visit func(fd *ast.FuncDecl)) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				visit(fd)
+			}
+		}
+	}
+}
+
+// exprKey renders a selector/identifier path ("s.mu") as a stable string
+// key for pairing lock and unlock sites.
+func exprKey(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprKey(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprKey(x.X) + "[]"
+	case *ast.StarExpr:
+		return exprKey(x.X)
+	}
+	return "<expr>"
+}
+
+// isConnTypeString reports whether a type string names a network
+// connection.
+func isConnTypeString(t string) bool {
+	switch t {
+	case "net.Conn", "*net.TCPConn", "net.TCPConn", "*net.UnixConn", "*tls.Conn":
+		return true
+	}
+	return false
+}
+
+// isWaitGroupType reports whether a type string is a sync.WaitGroup.
+func isWaitGroupType(t string) bool {
+	return t == "sync.WaitGroup" || t == "*sync.WaitGroup"
+}

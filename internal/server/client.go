@@ -23,8 +23,11 @@ type Row struct {
 	Value  float64
 }
 
-// Dial connects to a cube server.
+// Dial connects to a cube server with no bound on the dial: the
+// documented blocking variant for interactive tools. Servers and
+// coordinators use DialTimeout.
 func Dial(addr string) (*Client, error) {
+	//cubelint:ignore deadline Dial is the documented unbounded variant; bounded callers use DialTimeout
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -135,9 +138,15 @@ func (c *Client) Value(dims []string, coords []int) (float64, error) {
 	return strconv.ParseFloat(payload, 64)
 }
 
+// maxRowPrealloc caps the capacity hint taken from a server's row-count
+// reply: the count is untrusted wire input, so a malicious "OK 1000000000"
+// must not force a giant allocation before any row arrives (cubelint
+// untrusted-alloc). Larger results grow normally via append.
+const maxRowPrealloc = 4096
+
 // readRows reads n "coords value" lines plus the closing dot.
 func (c *Client) readRows(n int) ([]Row, error) {
-	rows := make([]Row, 0, n)
+	rows := make([]Row, 0, min(n, maxRowPrealloc))
 	for {
 		c.arm()
 		line, err := c.r.ReadString('\n')

@@ -24,6 +24,7 @@ package server
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"strconv"
@@ -98,16 +99,27 @@ type Server struct {
 	ReadTimeout  time.Duration
 	WriteTimeout time.Duration
 
-	mu    sync.Mutex
-	ln    net.Listener
-	conns map[net.Conn]struct{}
-	wg    sync.WaitGroup
-	shard *ShardInfo
+	mu      sync.Mutex
+	ln      net.Listener
+	conns   map[net.Conn]struct{}
+	closing bool
+	wg      sync.WaitGroup
+	shard   *ShardInfo
 
 	start   time.Time
 	queries atomic.Int64
 	cells   atomic.Int64
 	metrics *obs.Registry
+	cmd     map[string]cmdMetrics
+	errors  *obs.Counter
+}
+
+// cmdMetrics pre-resolves one protocol command's counter and latency
+// histogram, so the per-request hot path is two atomic ops with no
+// registry lookup and no runtime-built metric names.
+type cmdMetrics struct {
+	count   *obs.Counter
+	latency *obs.Histogram
 }
 
 // cubeBackend adapts *parcube.Cube to the Backend interface.
@@ -143,7 +155,22 @@ func New(cube *parcube.Cube) *Server {
 
 // NewBackend wraps any backend for serving.
 func NewBackend(b Backend) *Server {
-	return &Server{backend: b, metrics: obs.NewRegistry()}
+	s := &Server{backend: b, metrics: obs.NewRegistry()}
+	s.errors = s.metrics.Counter("errors")
+	s.cmd = make(map[string]cmdMetrics, len(knownCommands)+1)
+	labels := make([]string, 0, len(knownCommands)+1)
+	for _, label := range knownCommands {
+		labels = append(labels, label)
+	}
+	labels = append(labels, "unknown")
+	for _, label := range labels {
+		//cubelint:ignore obs-metric label ranges over the closed knownCommands set; each series registers exactly once, here
+		count := s.metrics.Counter("cmd." + label + ".count")
+		//cubelint:ignore obs-metric label ranges over the closed knownCommands set; each series registers exactly once, here
+		latency := s.metrics.Histogram("cmd." + label + "_ns")
+		s.cmd[label] = cmdMetrics{count: count, latency: latency}
+	}
+	return s
 }
 
 // Metrics returns the server's per-instance registry: cmd.<name>.count
@@ -180,6 +207,7 @@ func (s *Server) Listen(addr string) (string, error) {
 // peers (like a coordinator's connection pool) cannot pin the shutdown.
 func (s *Server) Close() error {
 	s.mu.Lock()
+	s.closing = true
 	ln := s.ln
 	s.ln = nil
 	conns := make([]net.Conn, 0, len(s.conns))
@@ -187,24 +215,41 @@ func (s *Server) Close() error {
 		conns = append(conns, c)
 	}
 	s.mu.Unlock()
+	var errs []error
 	if ln != nil {
-		ln.Close()
+		if err := ln.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+			errs = append(errs, fmt.Errorf("server: close listener: %w", err))
+		}
 	}
 	for _, c := range conns {
-		c.Close()
+		// Handlers also close their conns on the way out, so a racing
+		// double-close is expected here and not worth reporting.
+		if err := c.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+			errs = append(errs, fmt.Errorf("server: close conn %s: %w", c.RemoteAddr(), err))
+		}
 	}
 	s.wg.Wait()
-	return nil
+	return errors.Join(errs...)
 }
 
-// track registers a live connection; forget drops it.
-func (s *Server) track(conn net.Conn) {
+// track registers a live connection; forget drops it. A connection that
+// loses the race with Close — accepted before the listener closed but
+// tracked after Close snapshotted the conn set — would be missed by the
+// shutdown sweep and pin wg.Wait forever, so track refuses it (closing
+// it immediately) and reports whether the server took ownership.
+func (s *Server) track(conn net.Conn) bool {
 	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		_ = conn.Close()
+		return false
+	}
 	if s.conns == nil {
 		s.conns = make(map[net.Conn]struct{})
 	}
 	s.conns[conn] = struct{}{}
 	s.mu.Unlock()
+	return true
 }
 
 func (s *Server) forget(conn net.Conn) {
@@ -221,7 +266,9 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return
 		}
-		s.track(conn)
+		if !s.track(conn) {
+			return // Close raced this accept; the conn is already down
+		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -268,7 +315,7 @@ var knownCommands = map[string]string{
 
 // errf answers one request with an ERR line and counts it.
 func (s *Server) errf(w *bufio.Writer, format string, args ...any) {
-	s.metrics.Counter("errors").Inc()
+	s.errors.Inc()
 	fmt.Fprintf(w, "ERR "+format+"\n", args...)
 }
 
@@ -280,8 +327,9 @@ func (s *Server) handle(w *bufio.Writer, line string) bool {
 	if !ok {
 		label = "unknown"
 	}
-	s.metrics.Counter("cmd." + label + ".count").Inc()
-	defer s.metrics.Histogram("cmd."+label+"_ns").ObserveSince(time.Now())
+	cm := s.cmd[label]
+	cm.count.Inc()
+	defer cm.latency.ObserveSince(time.Now())
 	switch cmd {
 	case "QUIT":
 		fmt.Fprintln(w, "OK bye")

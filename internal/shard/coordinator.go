@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -149,7 +150,7 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		c.blocks = append(c.blocks, groups[key])
 	}
 	if err := c.validateTiling(); err != nil {
-		c.Close()
+		_ = c.Close() // constructor failed; tiling error is the one to report
 		return nil, err
 	}
 	return c, nil
@@ -229,14 +230,17 @@ func sameSchema(an []string, as []int, bn []string, bs []int) bool {
 	return true
 }
 
-// Close releases every pooled connection.
+// Close releases every pooled connection, joining their close errors.
 func (c *Coordinator) Close() error {
+	var errs []error
 	for _, g := range c.blocks {
 		for _, r := range g.replicas {
-			r.pool.close()
+			if err := r.pool.close(); err != nil {
+				errs = append(errs, fmt.Errorf("shard: closing pool for %s: %w", r.addr, err))
+			}
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // Stats returns a snapshot of the coordinator's scatter-gather counters.

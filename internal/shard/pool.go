@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"errors"
 	"sync"
 	"time"
 
@@ -54,13 +55,19 @@ func (p *pool) discard(c *server.Client) {
 	_ = c.Close()
 }
 
-// close drains and closes all idle clients.
-func (p *pool) close() {
+// close drains and closes all idle clients, reporting their close errors
+// joined: on a TCP path the Close error can be the only sign buffered
+// bytes never reached the peer.
+func (p *pool) close() error {
 	p.mu.Lock()
 	idle := p.idle
 	p.idle = nil
 	p.mu.Unlock()
+	var errs []error
 	for _, c := range idle {
-		_ = c.Close()
+		if err := c.Close(); err != nil {
+			errs = append(errs, err)
+		}
 	}
+	return errors.Join(errs...)
 }

@@ -1,0 +1,161 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStressReplicaChurn hammers a replicated cluster with concurrent
+// scatter-gather queries while one replica of block 0 is repeatedly
+// killed and restored on its original address. With a second replica of
+// the block always up, every query must still succeed — and because the
+// coordinator's failover is all-or-nothing per block, every answer must
+// stay cell-exact against the single-node reference cube: a replica
+// dying mid-scatter may cost a retry, never a lost or double-merged
+// cell. Run under -race this also shakes out coordinator/pool data
+// races during churn.
+func TestStressReplicaChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replica churn stress test")
+	}
+	ds, ref := test4D(t)
+	names, sizes := ds.Schema().Names(), ds.Schema().Sizes()
+	plan, err := NewPlan(names, sizes, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nodes 0 and 2 serve block 0; nodes 1 and 3 serve block 1
+	// (BlockOfNode is node % blocks). Node 0 is the churn victim, so
+	// node 2 keeps block 0 answerable throughout.
+	nodes := make([]*Node, 4)
+	for i := range nodes {
+		n, err := StartNode(plan, i, ds, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+	}
+	for _, n := range nodes[1:] {
+		t.Cleanup(func() { _ = n.Close() })
+	}
+	addrs := make([]string, len(nodes))
+	for i, n := range nodes {
+		addrs[i] = n.Addr()
+	}
+	coord, err := NewCoordinator(Config{
+		Addrs:   addrs,
+		Timeout: time.Second,
+		Backoff: time.Millisecond,
+		Rounds:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = coord.Close() })
+
+	wantTotal := ref.Total()
+	wantTbl, err := ref.GroupBy("item", "region")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Chaos loop: kill node 0, restore it on the same address (Go
+	// listeners set SO_REUSEADDR, so the rebind succeeds as soon as the
+	// old socket is torn down), repeat until the query workers finish.
+	stop := make(chan struct{})
+	var chaos sync.WaitGroup
+	var victimMu sync.Mutex
+	victim := nodes[0]
+	chaos.Add(1)
+	go func() {
+		defer chaos.Done()
+		addr := nodes[0].Addr()
+		for cycle := 0; ; cycle++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			victimMu.Lock()
+			v := victim
+			victimMu.Unlock()
+			if err := v.Close(); err != nil {
+				t.Errorf("churn cycle %d: close: %v", cycle, err)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+			restored, err := StartNode(plan, 0, ds, addr)
+			for attempt := 0; err != nil && attempt < 200; attempt++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				time.Sleep(5 * time.Millisecond)
+				restored, err = StartNode(plan, 0, ds, addr)
+			}
+			if err != nil {
+				t.Errorf("churn cycle %d: restore on %s: %v", cycle, addr, err)
+				return
+			}
+			victimMu.Lock()
+			victim = restored
+			victimMu.Unlock()
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// The parallel subtests all run inside this group; t.Run does not
+	// return until they finish, which bounds the chaos loop's lifetime.
+	t.Run("queries", func(t *testing.T) {
+		for w := 0; w < 4; w++ {
+			t.Run(fmt.Sprintf("worker%d", w), func(t *testing.T) {
+				t.Parallel()
+				deadline := time.Now().Add(2 * time.Second)
+				for rounds := 0; time.Now().Before(deadline); rounds++ {
+					total, err := coord.Total()
+					if err != nil {
+						t.Fatalf("round %d: TOTAL failed despite a live replica per block: %v", rounds, err)
+					}
+					if total != wantTotal {
+						t.Fatalf("round %d: TOTAL = %v, want %v (lost or double-merged cells)", rounds, total, wantTotal)
+					}
+					tbl, err := coord.GroupBy("item", "region")
+					if err != nil {
+						t.Fatalf("round %d: GROUPBY failed despite a live replica per block: %v", rounds, err)
+					}
+					for i := 0; i < 8; i++ {
+						for j := 0; j < 4; j++ {
+							if got, want := tbl.At(i, j), wantTbl.At(i, j); got != want {
+								t.Fatalf("round %d: cell (%d,%d) = %v, want %v (lost or double-merged cells)",
+									rounds, i, j, got, want)
+							}
+						}
+					}
+					v, err := coord.Value([]string{"item", "region"}, []int{3, 2})
+					if err != nil {
+						t.Fatalf("round %d: VALUE failed despite a live replica per block: %v", rounds, err)
+					}
+					if want := wantTbl.At(3, 2); v != want {
+						t.Fatalf("round %d: VALUE = %v, want %v", rounds, v, want)
+					}
+				}
+			})
+		}
+	})
+
+	close(stop)
+	chaos.Wait()
+	victimMu.Lock()
+	last := victim
+	victimMu.Unlock()
+	_ = last.Close()
+
+	if s := coord.Stats(); s.Failovers == 0 && s.Retries == 0 && s.Errors == 0 {
+		t.Logf("note: churn produced no failovers (%+v); timing was too kind this run", s)
+	} else {
+		t.Logf("churn stats: %+v", coord.Stats())
+	}
+}

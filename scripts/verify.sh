@@ -1,11 +1,43 @@
 #!/bin/sh
-# Full verification gate: build everything, vet everything, and run the
-# whole test suite under the race detector. Used by `make verify` and
-# intended as the pre-commit / CI entry point.
-set -eux
+# Full verification gate, staged so the cheap checks fail fast:
+#
+#   1. gofmt    — formatting drift (fails if any file needs gofmt)
+#   2. go build — everything compiles
+#   3. go vet   — the stock analyzers
+#   4. cubelint — the project-specific invariant analyzers (internal/lint)
+#   5. go test  — the whole suite under the race detector
+#
+# Used by `make verify` and intended as the pre-commit / CI entry point.
+# Each stage prints a banner on failure naming the stage that broke.
+set -u
 
 cd "$(dirname "$0")/.."
 
-go build ./...
-go vet ./...
-go test -race ./...
+fail() {
+	echo "" >&2
+	echo "verify: FAILED at stage: $1" >&2
+	exit 1
+}
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "$unformatted"
+	echo "run: gofmt -w ." >&2
+	fail gofmt
+fi
+
+echo "==> go build"
+go build ./... || fail "go build"
+
+echo "==> go vet"
+go vet ./... || fail "go vet"
+
+echo "==> cubelint"
+go run ./cmd/cubelint ./... || fail cubelint
+
+echo "==> go test -race"
+go test -race ./... || fail "go test -race"
+
+echo ""
+echo "verify: all stages passed"
