@@ -8,8 +8,20 @@
 //	cubeshard -shape 16x16x16x16 -in facts.csv -nodes 4 -replicas 2 -node 1 -addr 127.0.0.1:7072
 //	... (one process per node id)
 //
+// With -data-dir the node is durable: acknowledged DELTA writes go
+// through a write-ahead log (fsync policy under -fsync), checkpoints
+// trim the log every -checkpoint-every deltas, and a restart recovers
+// the cube from the newest checkpoint plus the log tail. After the first
+// checkpoint the fact CSV is no longer needed — restart with -in none:
+//
+//	cubeshard -shape 16x16x16x16 -in facts.csv -data-dir /var/lib/cube/n0 -nodes 4 -replicas 2 -node 0 -addr 127.0.0.1:7071
+//	... crash ...
+//	cubeshard -shape 16x16x16x16 -in none -data-dir /var/lib/cube/n0 -nodes 4 -replicas 2 -node 0 -addr 127.0.0.1:7071
+//
 // Coordinator: discover the shards, then answer the ordinary cube
-// protocol by scatter-gather with replica failover:
+// protocol by scatter-gather with replica failover; durable clusters
+// also accept DELTA and re-admit recovered replicas (probing every
+// -rejoin-every):
 //
 //	cubeshard -coordinator -shards 127.0.0.1:7071,127.0.0.1:7072,... -addr 127.0.0.1:7070
 //	printf 'TOTAL\nSTATS\nQUIT\n' | nc 127.0.0.1 7070
@@ -35,6 +47,7 @@ import (
 	"parcube/internal/obs"
 	"parcube/internal/server"
 	"parcube/internal/shard"
+	"parcube/internal/wal"
 )
 
 func main() {
@@ -46,17 +59,24 @@ func main() {
 	nodes := flag.Int("nodes", 1, "total shard nodes in the cluster (shard mode)")
 	replicas := flag.Int("replicas", 1, "replication factor: every block lands on at least this many nodes (shard mode)")
 	nodeID := flag.Int("node", 0, "this node's id in [0,nodes) (shard mode)")
+	// Durability flags (shard mode).
+	dataDir := flag.String("data-dir", "", "data directory for the write-ahead log and checkpoints; empty serves in-memory only (shard mode)")
+	fsyncFlag := flag.String("fsync", "always", "WAL fsync policy: always, interval, or never (shard mode, with -data-dir)")
+	fsyncEvery := flag.Duration("fsync-every", 100*time.Millisecond, "sync interval under -fsync interval (shard mode)")
+	checkpointEvery := flag.Int("checkpoint-every", 1024, "checkpoint and trim the log after this many deltas; 0 only checkpoints on shutdown (shard mode)")
 	// Coordinator flags.
 	shards := flag.String("shards", "", "comma-separated shard node addresses (coordinator mode)")
 	timeout := flag.Duration("timeout", 2*time.Second, "per-shard request timeout before failover (coordinator mode)")
+	rejoinEvery := flag.Duration("rejoin-every", 100*time.Millisecond, "probe interval for re-admitting recovered replicas; negative disables (coordinator mode)")
 	debug := flag.String("debug", "", "optional HTTP listen address serving /debug/vars (live metrics) and /debug/pprof")
 	flag.Parse()
 
 	var err error
 	if *coordinator {
-		err = runCoordinator(*shards, *addr, *timeout, *debug)
+		err = runCoordinator(*shards, *addr, *timeout, *rejoinEvery, *debug)
 	} else {
-		err = runShard(*shapeFlag, *in, *addr, *nodes, *replicas, *nodeID, *debug)
+		dopts := durableOptions{dir: *dataDir, fsync: *fsyncFlag, fsyncEvery: *fsyncEvery, checkpointEvery: *checkpointEvery}
+		err = runShard(*shapeFlag, *in, *addr, *nodes, *replicas, *nodeID, dopts, *debug)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cubeshard:", err)
@@ -64,9 +84,17 @@ func main() {
 	}
 }
 
+// durableOptions carries the persistence flags into startShard.
+type durableOptions struct {
+	dir             string
+	fsync           string
+	fsyncEvery      time.Duration
+	checkpointEvery int
+}
+
 // runShard builds and serves one node's block sub-cube until interrupted.
-func runShard(shapeStr, in, addr string, nodes, replicas, nodeID int, debug string) error {
-	node, err := startShard(shapeStr, in, addr, nodes, replicas, nodeID)
+func runShard(shapeStr, in, addr string, nodes, replicas, nodeID int, dopts durableOptions, debug string) error {
+	node, err := startShard(shapeStr, in, addr, nodes, replicas, nodeID, dopts)
 	if err != nil {
 		return err
 	}
@@ -74,8 +102,21 @@ func runShard(shapeStr, in, addr string, nodes, replicas, nodeID int, debug stri
 		node.Close()
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "shard node %d serving block %s on %s\n", node.ID, node.Block, node.Addr())
+	if dopts.dir != "" {
+		node.RecoveryMetrics().PublishExpvar("recovery")
+		fmt.Fprintf(os.Stderr, "shard node %d serving block %s on %s (data dir %s, recovered to LSN %d)\n",
+			node.ID, node.Block, node.Addr(), dopts.dir, node.LastLSN())
+	} else {
+		fmt.Fprintf(os.Stderr, "shard node %d serving block %s on %s\n", node.ID, node.Block, node.Addr())
+	}
 	waitForInterrupt()
+	if dopts.dir != "" {
+		// A shutdown checkpoint makes the next start instant: recovery
+		// loads it and replays an empty log tail.
+		if err := node.Checkpoint(); err != nil {
+			fmt.Fprintln(os.Stderr, "cubeshard: shutdown checkpoint:", err)
+		}
+	}
 	return node.Close()
 }
 
@@ -101,8 +142,8 @@ func startDebug(addr string, serving *obs.Registry) error {
 }
 
 // startShard loads the fact table, plans the cluster layout, and starts
-// this node.
-func startShard(shapeStr, in, addr string, nodes, replicas, nodeID int) (*shard.Node, error) {
+// this node — durable when a data dir is configured, in-memory otherwise.
+func startShard(shapeStr, in, addr string, nodes, replicas, nodeID int, dopts durableOptions) (*shard.Node, error) {
 	if shapeStr == "" {
 		return nil, fmt.Errorf("-shape is required in shard mode")
 	}
@@ -119,30 +160,48 @@ func startShard(shapeStr, in, addr string, nodes, replicas, nodeID int) (*shard.
 		return nil, err
 	}
 
-	var r io.Reader = os.Stdin
-	if in != "-" {
-		f, err := os.Open(in)
-		if err != nil {
+	var ds *parcube.Dataset
+	if in == "none" {
+		if dopts.dir == "" {
+			return nil, fmt.Errorf("-in none needs -data-dir: without a fact table the cube can only come from a checkpoint")
+		}
+	} else {
+		var r io.Reader = os.Stdin
+		if in != "-" {
+			f, err := os.Open(in)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			r = f
+		}
+		if ds, err = loadFacts(r, schema); err != nil {
 			return nil, err
 		}
-		defer f.Close()
-		r = f
-	}
-	ds, err := loadFacts(r, schema)
-	if err != nil {
-		return nil, err
 	}
 
 	plan, err := shard.NewPlan(schema.Names(), schema.Sizes(), nodes, replicas)
 	if err != nil {
 		return nil, err
 	}
-	return shard.StartNode(plan, nodeID, ds, addr)
+	if dopts.dir == "" {
+		return shard.StartNode(plan, nodeID, ds, addr)
+	}
+	policy, err := wal.ParsePolicy(dopts.fsync)
+	if err != nil {
+		return nil, err
+	}
+	return shard.StartDurableNode(plan, nodeID, ds, addr, shard.DurableOptions{
+		DataDir:         dopts.dir,
+		Fsync:           policy,
+		FsyncEvery:      dopts.fsyncEvery,
+		CheckpointEvery: dopts.checkpointEvery,
+	})
 }
 
 // runCoordinator serves the scatter-gather router until interrupted.
-func runCoordinator(shards, addr string, timeout time.Duration, debug string) error {
-	srv, coord, bound, err := startCoordinator(shards, addr, timeout)
+func runCoordinator(shards, addr string, timeout, rejoinEvery time.Duration, debug string) error {
+	srv, coord, bound, err := startCoordinator(shards, addr, timeout, rejoinEvery)
 	if err != nil {
 		return err
 	}
@@ -165,7 +224,7 @@ func runCoordinator(shards, addr string, timeout time.Duration, debug string) er
 }
 
 // startCoordinator performs the handshake and starts the protocol server.
-func startCoordinator(shards, addr string, timeout time.Duration) (*server.Server, *shard.Coordinator, string, error) {
+func startCoordinator(shards, addr string, timeout, rejoinEvery time.Duration) (*server.Server, *shard.Coordinator, string, error) {
 	var addrs []string
 	for _, a := range strings.Split(shards, ",") {
 		if a = strings.TrimSpace(a); a != "" {
@@ -175,7 +234,7 @@ func startCoordinator(shards, addr string, timeout time.Duration) (*server.Serve
 	if len(addrs) == 0 {
 		return nil, nil, "", fmt.Errorf("-shards is required in coordinator mode")
 	}
-	coord, err := shard.NewCoordinator(shard.Config{Addrs: addrs, Timeout: timeout})
+	coord, err := shard.NewCoordinator(shard.Config{Addrs: addrs, Timeout: timeout, RejoinEvery: rejoinEvery})
 	if err != nil {
 		return nil, nil, "", err
 	}

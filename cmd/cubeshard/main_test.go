@@ -53,14 +53,14 @@ func TestClusterEndToEnd(t *testing.T) {
 	path, cube := writeFactsCSV(t)
 	var addrs []string
 	for i := 0; i < 4; i++ {
-		node, err := startShard("8x4x4", path, "127.0.0.1:0", 4, 2, i)
+		node, err := startShard("8x4x4", path, "127.0.0.1:0", 4, 2, i, durableOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
 		t.Cleanup(func() { node.Close() })
 		addrs = append(addrs, node.Addr())
 	}
-	srv, coord, bound, err := startCoordinator(strings.Join(addrs, ","), "127.0.0.1:0", 2*time.Second)
+	srv, coord, bound, err := startCoordinator(strings.Join(addrs, ","), "127.0.0.1:0", 2*time.Second, -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,23 +94,87 @@ func TestClusterEndToEnd(t *testing.T) {
 }
 
 func TestStartShardValidation(t *testing.T) {
-	if _, err := startShard("", "-", "127.0.0.1:0", 1, 1, 0); err == nil {
+	if _, err := startShard("", "-", "127.0.0.1:0", 1, 1, 0, durableOptions{}); err == nil {
 		t.Fatal("missing shape accepted")
 	}
-	if _, err := startShard("8z4", "-", "127.0.0.1:0", 1, 1, 0); err == nil {
+	if _, err := startShard("8z4", "-", "127.0.0.1:0", 1, 1, 0, durableOptions{}); err == nil {
 		t.Fatal("bad shape accepted")
 	}
 	path, _ := writeFactsCSV(t)
-	if _, err := startShard("8x4x4", path, "127.0.0.1:0", 4, 1, 9); err == nil {
+	if _, err := startShard("8x4x4", path, "127.0.0.1:0", 4, 1, 9, durableOptions{}); err == nil {
 		t.Fatal("out-of-range node id accepted")
 	}
 }
 
 func TestStartCoordinatorValidation(t *testing.T) {
-	if _, _, _, err := startCoordinator("", "127.0.0.1:0", time.Second); err == nil {
+	if _, _, _, err := startCoordinator("", "127.0.0.1:0", time.Second, -1); err == nil {
 		t.Fatal("missing shards accepted")
 	}
-	if _, _, _, err := startCoordinator("127.0.0.1:1", "127.0.0.1:0", 200*time.Millisecond); err == nil {
+	if _, _, _, err := startCoordinator("127.0.0.1:1", "127.0.0.1:0", 200*time.Millisecond, -1); err == nil {
 		t.Fatal("unreachable shard accepted")
+	}
+}
+
+// TestDurableShardRestartEndToEnd exercises the persistence flags the way
+// the command wires them: a durable node ingests DELTAs over the wire, is
+// torn down, and restarts with -in none — the cube must come back from
+// the data directory alone, deltas included.
+func TestDurableShardRestartEndToEnd(t *testing.T) {
+	path, cube := writeFactsCSV(t)
+	dir := t.TempDir()
+	dopts := durableOptions{dir: dir, fsync: "always", checkpointEvery: 4}
+	node, err := startShard("8x4x4", path, "127.0.0.1:0", 1, 1, 0, dopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := server.Dial(node.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []server.Row{
+		{Coords: []int{0, 0, 0}, Value: 11},
+		{Coords: []int{7, 3, 3}, Value: 5},
+	}
+	lsn, err := c.Delta(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 1 {
+		t.Fatalf("first delta acked at LSN %d", lsn)
+	}
+	c.Close()
+	if err := node.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	restarted, err := startShard("8x4x4", "none", "127.0.0.1:0", 1, 1, 0, dopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { restarted.Close() })
+	c2, err := server.Dial(restarted.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	total, err := c2.Total()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := cube.Total() + 16; total != want {
+		t.Fatalf("restarted TOTAL = %v, want %v", total, want)
+	}
+
+	// -in none without a data dir (or with an empty one) must refuse.
+	if _, err := startShard("8x4x4", "none", "127.0.0.1:0", 1, 1, 0, durableOptions{}); err == nil {
+		t.Fatal("-in none without -data-dir accepted")
+	}
+	fresh := durableOptions{dir: t.TempDir(), fsync: "always"}
+	if _, err := startShard("8x4x4", "none", "127.0.0.1:0", 1, 1, 0, fresh); err == nil {
+		t.Fatal("-in none with a checkpoint-less data dir accepted")
+	}
+	if _, err := startShard("8x4x4", path, "127.0.0.1:0", 1, 1, 0, durableOptions{dir: t.TempDir(), fsync: "sometimes"}); err == nil {
+		t.Fatal("bad fsync policy accepted")
 	}
 }

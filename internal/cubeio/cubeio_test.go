@@ -2,6 +2,8 @@ package cubeio
 
 import (
 	"bytes"
+	"encoding/binary"
+	"math"
 	"strings"
 	"testing"
 
@@ -160,5 +162,53 @@ func TestSnapshotRejectsGarbage(t *testing.T) {
 	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
 	if _, err := ReadSnapshot(bytes.NewReader(buf.Bytes())); err == nil {
 		t.Fatal("implausible count accepted")
+	}
+}
+
+func TestSnapshotV2CRCDetectsCorruption(t *testing.T) {
+	input := sampleSparse(t)
+	res, err := seq.Build(input, seq.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, res.Cube); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if string(data[:8]) != snapshotMagic {
+		t.Fatalf("writer emits magic %q, want %q", data[:8], snapshotMagic)
+	}
+
+	// A flipped payload bit must fail the footer check even when the
+	// damaged bytes still decode structurally.
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)-12] ^= 0x01
+	if _, err := ReadSnapshot(bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("bit-rotted snapshot accepted")
+	}
+
+	// A snapshot cut before its footer must be rejected as truncated.
+	if _, err := ReadSnapshot(bytes.NewReader(data[:len(data)-2])); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+}
+
+func TestSnapshotReadsLegacyV1(t *testing.T) {
+	// Hand-built PARCUBE1 stream: one 0-D group-by holding 42. The legacy
+	// layout has no version word and no CRC footer.
+	var buf bytes.Buffer
+	buf.WriteString(snapshotMagicV1)
+	binary.Write(&buf, binary.LittleEndian, uint32(1)) // count
+	binary.Write(&buf, binary.LittleEndian, uint32(0)) // mask
+	binary.Write(&buf, binary.LittleEndian, uint32(0)) // rank
+	binary.Write(&buf, binary.LittleEndian, math.Float64bits(42))
+	store, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("legacy v1 snapshot rejected: %v", err)
+	}
+	a, ok := store.Get(0)
+	if !ok || a.Scalar() != 42 {
+		t.Fatalf("legacy snapshot decoded wrong: %v", a)
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 	"math"
 	"sort"
@@ -16,38 +18,52 @@ import (
 
 // Snapshot format (little endian):
 //
-//	magic   [8]byte  "PARCUBE1"
+//	magic   [8]byte  "PARCUBE2"
+//	version uint32   format version (2)
 //	count   uint32   number of group-bys
 //	per group-by:
 //	  mask  uint32
 //	  rank  uint32
 //	  sizes rank x uint32
 //	  data  prod(sizes) x float64
-const snapshotMagic = "PARCUBE1"
+//	crc32   uint32   IEEE CRC32 over every preceding byte
+//
+// The CRC footer turns truncation and bit-rot into a decode error
+// instead of a silently wrong cube — checkpoints in internal/recovery
+// lean on this to pick the newest *valid* checkpoint. The legacy
+// footer-less "PARCUBE1" layout (no version, no CRC) is still read.
+const (
+	snapshotMagicV1 = "PARCUBE1"
+	snapshotMagic   = "PARCUBE2"
+	snapshotVersion = 2
+)
 
 // WriteSnapshot serializes a cube store. Group-bys are written in ascending
 // mask order, so snapshots of equal cubes are byte-identical.
 func WriteSnapshot(w io.Writer, store *seq.Store) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(snapshotMagic); err != nil {
+	cw := &crcWriter{w: bufio.NewWriter(w), crc: crc32.NewIEEE()}
+	if _, err := cw.Write([]byte(snapshotMagic)); err != nil {
+		return err
+	}
+	if err := binary.Write(cw, binary.LittleEndian, uint32(snapshotVersion)); err != nil {
 		return err
 	}
 	masks := store.Masks()
 	sort.Slice(masks, func(i, j int) bool { return masks[i] < masks[j] })
-	if err := binary.Write(bw, binary.LittleEndian, uint32(len(masks))); err != nil {
+	if err := binary.Write(cw, binary.LittleEndian, uint32(len(masks))); err != nil {
 		return err
 	}
 	for _, mask := range masks {
 		a, _ := store.Get(mask)
 		shape := a.Shape()
-		if err := binary.Write(bw, binary.LittleEndian, uint32(mask)); err != nil {
+		if err := binary.Write(cw, binary.LittleEndian, uint32(mask)); err != nil {
 			return err
 		}
-		if err := binary.Write(bw, binary.LittleEndian, uint32(shape.Rank())); err != nil {
+		if err := binary.Write(cw, binary.LittleEndian, uint32(shape.Rank())); err != nil {
 			return err
 		}
 		for _, d := range shape {
-			if err := binary.Write(bw, binary.LittleEndian, uint32(d)); err != nil {
+			if err := binary.Write(cw, binary.LittleEndian, uint32(d)); err != nil {
 				return err
 			}
 		}
@@ -55,23 +71,69 @@ func WriteSnapshot(w io.Writer, store *seq.Store) error {
 		for i, v := range a.Data() {
 			binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
 		}
-		if _, err := bw.Write(buf); err != nil {
+		if _, err := cw.Write(buf); err != nil {
 			return err
 		}
 	}
-	return bw.Flush()
+	// Footer: CRC over everything written so far, excluded from itself.
+	var foot [4]byte
+	binary.LittleEndian.PutUint32(foot[:], cw.crc.Sum32())
+	if _, err := cw.w.Write(foot[:]); err != nil {
+		return err
+	}
+	return cw.w.Flush()
 }
 
-// ReadSnapshot deserializes a cube store written by WriteSnapshot.
+// crcWriter tees writes into a running CRC32.
+type crcWriter struct {
+	w   *bufio.Writer
+	crc hash.Hash32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.crc.Write(p[:n])
+	return n, err
+}
+
+// crcReader tees reads into a running CRC32.
+type crcReader struct {
+	r   *bufio.Reader
+	crc hash.Hash32
+}
+
+func (cr *crcReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.crc.Write(p[:n])
+	return n, err
+}
+
+// ReadSnapshot deserializes a cube store written by WriteSnapshot. Both
+// the current CRC-footed "PARCUBE2" layout and the legacy "PARCUBE1"
+// layout are accepted; only the former detects torn or bit-rotted input.
 func ReadSnapshot(r io.Reader) (*seq.Store, error) {
-	br := bufio.NewReader(r)
+	cr := &crcReader{r: bufio.NewReader(r), crc: crc32.NewIEEE()}
 	magic := make([]byte, len(snapshotMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
+	if _, err := io.ReadFull(cr, magic); err != nil {
 		return nil, fmt.Errorf("cubeio: reading magic: %w", err)
 	}
-	if string(magic) != snapshotMagic {
+	versioned := false
+	switch string(magic) {
+	case snapshotMagicV1:
+		// Legacy snapshot: no version word, no footer.
+	case snapshotMagic:
+		versioned = true
+		var version uint32
+		if err := binary.Read(cr, binary.LittleEndian, &version); err != nil {
+			return nil, fmt.Errorf("cubeio: reading version: %w", err)
+		}
+		if version != snapshotVersion {
+			return nil, fmt.Errorf("cubeio: unsupported snapshot version %d", version)
+		}
+	default:
 		return nil, fmt.Errorf("cubeio: bad magic %q", magic)
 	}
+	br := cr
 	var count uint32
 	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
 		return nil, err
@@ -124,6 +186,18 @@ func ReadSnapshot(r io.Reader) (*seq.Store, error) {
 			return nil, err
 		}
 	}
+	if versioned {
+		// The decoded bytes' CRC must match the footer. The footer itself
+		// is read from the underlying reader so it stays out of the hash.
+		sum := cr.crc.Sum32()
+		var foot [4]byte
+		if _, err := io.ReadFull(cr.r, foot[:]); err != nil {
+			return nil, fmt.Errorf("cubeio: snapshot truncated before CRC footer: %w", err)
+		}
+		if want := binary.LittleEndian.Uint32(foot[:]); want != sum {
+			return nil, fmt.Errorf("cubeio: snapshot CRC mismatch (stored %08x, computed %08x): torn or bit-rotted snapshot", want, sum)
+		}
+	}
 	return store, nil
 }
 
@@ -133,7 +207,7 @@ func ReadSnapshot(r io.Reader) (*seq.Store, error) {
 // stream fails with memory proportional to the stream, not the claim.
 // This is the allocation discipline cubelint's untrusted-alloc rule
 // enforces: never make() at a header-declared size without a bound.
-func readFloats(br *bufio.Reader, n int) ([]float64, error) {
+func readFloats(br io.Reader, n int) ([]float64, error) {
 	const chunkElems = 1 << 17 // 1 MiB of encoded data per read
 	first := n
 	if first > chunkElems {

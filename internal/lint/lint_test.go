@@ -191,6 +191,36 @@ func TestUncheckedClose(t *testing.T) {
 	}
 }
 
+// TestUncheckedCloseDurabilityScope loads the same fixture under the
+// durability packages' import paths: the WAL and recovery layers are in
+// the analyzer's scope (a dropped Sync error there acks data the disk
+// never accepted), while an unrelated package stays out.
+func TestUncheckedCloseDurabilityScope(t *testing.T) {
+	for _, path := range []string{
+		"parcube/internal/wal/lintfixture",
+		"parcube/internal/recovery/lintfixture",
+	} {
+		p := loadFixture(t, "uncheckedclose", path)
+		if sup := checkFixture(t, p, UncheckedClose); sup != 1 {
+			t.Errorf("%s: suppressed = %d, want 1", path, sup)
+		}
+	}
+	p := loadFixture(t, "uncheckedclose", "parcube/lintfixture/uncheckedclose")
+	if diags := UncheckedClose.Run(p); len(diags) != 0 {
+		t.Errorf("non-serving package got %d unchecked-close diagnostics: %v", len(diags), diags)
+	}
+}
+
+// TestDeadlineDurabilityScope confirms the deadline analyzer now runs
+// over the durability packages as well (their fixture findings surface
+// under the wal import path).
+func TestDeadlineDurabilityScope(t *testing.T) {
+	p := loadFixture(t, "deadline", "parcube/internal/wal/lintfixture")
+	if sup := checkFixture(t, p, Deadline); sup != 1 {
+		t.Errorf("suppressed = %d, want 1", sup)
+	}
+}
+
 func TestBadDirective(t *testing.T) {
 	fset := token.NewFileSet()
 	src := `package p

@@ -1,15 +1,17 @@
-// Fixture for the unchecked-close analyzer: teardown paths that discard,
-// propagate, or explicitly drop Close/Flush errors.
+// Fixture for the unchecked-close analyzer: teardown and flush paths
+// that discard, propagate, or explicitly drop Close/Flush/Sync errors.
 package lintfixture
 
 import (
 	"bufio"
 	"net"
+	"os"
 )
 
 type wrapper struct {
 	c net.Conn
 	w *bufio.Writer
+	f *os.File
 }
 
 func (w *wrapper) teardownBad() {
@@ -35,4 +37,19 @@ func (w *wrapper) teardownDeferred() {
 func (w *wrapper) teardownSuppressed() {
 	//cubelint:ignore unchecked-close fixture models best-effort teardown of a dead conn
 	w.c.Close()
+}
+
+func (w *wrapper) syncBad() {
+	w.f.Sync() // want "error discarded"
+}
+
+func (w *wrapper) syncGood() error {
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	return w.f.Close()
+}
+
+func (w *wrapper) syncExplicit() {
+	_ = w.f.Sync()
 }

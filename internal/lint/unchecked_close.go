@@ -6,16 +6,18 @@ import (
 	"go/types"
 )
 
-// UncheckedClose flags serving-path connection teardown that discards
-// errors: a bare `x.Close()` or `w.Flush()` expression statement whose
-// result is an error. On a TCP write path the error surfaced by Close or
-// the final Flush is often the only notification that buffered data
-// never reached the peer, so teardown paths must propagate or at least
-// explicitly discard it (`_ = c.Close()`). Deferred calls are exempt —
-// defer has nowhere to put the error.
+// UncheckedClose flags serving- and durability-path teardown that
+// discards errors: a bare `x.Close()`, `w.Flush()`, or `f.Sync()`
+// expression statement whose result is an error. On a TCP write path the
+// error surfaced by Close or the final Flush is often the only
+// notification that buffered data never reached the peer; on the WAL
+// path a dropped Sync error is worse — the caller acks a delta the disk
+// never accepted. Teardown and flush paths must propagate the error or
+// at least discard it explicitly (`_ = c.Close()`). Deferred calls are
+// exempt — defer has nowhere to put the error.
 var UncheckedClose = &Analyzer{
 	Code: codeUncheckedClose,
-	Doc:  "serving-path Close/Flush error silently discarded on a teardown path",
+	Doc:  "serving-path Close/Flush/Sync error silently discarded on a teardown path",
 	Run:  runUncheckedClose,
 }
 
@@ -35,7 +37,7 @@ func runUncheckedClose(p *Package) []Diagnostic {
 				return true
 			}
 			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok || (sel.Sel.Name != "Close" && sel.Sel.Name != "Flush") {
+			if !ok || (sel.Sel.Name != "Close" && sel.Sel.Name != "Flush" && sel.Sel.Name != "Sync") {
 				return true
 			}
 			t := typeOf(p, call)

@@ -6,13 +6,16 @@ import (
 	"strings"
 )
 
-// servingPackageMarkers select the packages whose network paths the
-// deadline and unchecked-close analyzers police. Substring matching keeps
-// fixture packages (loaded under synthetic import paths) in scope.
+// servingPackageMarkers select the packages whose network and
+// durability paths the deadline and unchecked-close analyzers police.
+// Substring matching keeps fixture packages (loaded under synthetic
+// import paths) in scope.
 var servingPackageMarkers = []string{
 	"internal/server",
 	"internal/shard",
 	"internal/comm",
+	"internal/wal",
+	"internal/recovery",
 }
 
 // isServingPackage reports whether the import path belongs to the serving

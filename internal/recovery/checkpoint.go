@@ -1,0 +1,207 @@
+// Package recovery turns a crash-prone in-memory shard into one that
+// restarts to a cell-exact state: a checkpoint manager periodically
+// serializes the full state (for shards, the cube via parcube's state
+// codec, itself built on the cubeio snapshot format), and a write-ahead
+// log (internal/wal) holds every acknowledged delta past the checkpoint.
+// On open, the newest *valid* checkpoint is restored and the WAL tail
+// replayed; replay is idempotent because records carry LSNs and the
+// checkpoint stores its high-water mark.
+package recovery
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Checkpoint file format (little endian):
+//
+//	magic   [8]byte "PCCKPT01"
+//	version uint32  format version (1)
+//	lsn     uint64  high-water mark: every record <= lsn is in the state
+//	state   ...     opaque state bytes (for shards: parcube cube state)
+//	crc32   uint32  IEEE CRC32 over every preceding byte
+//
+// A checkpoint is written to a temp file, synced, and renamed into
+// place, so a crash mid-checkpoint leaves the previous checkpoint
+// untouched. Readers verify the whole-file CRC before handing the state
+// to the restore callback: a torn or bit-rotted checkpoint is skipped in
+// favor of the next older valid one, never decoded as garbage.
+const (
+	ckptMagic   = "PCCKPT01"
+	ckptVersion = 1
+	ckptHeader  = 8 + 4 + 8 // magic + version + lsn
+	ckptFooter  = 4
+)
+
+// maxCheckpointBytes bounds how much of a checkpoint file the reader
+// will load. The file size is attacker-adjacent input (a corrupt file
+// system or truncated copy), so the loader refuses implausible sizes
+// before allocating — the untrusted-alloc discipline cubelint enforces
+// on wire decoders, applied to durable state.
+const maxCheckpointBytes = int64(1) << 34 // 16 GiB
+
+// ckptName renders the file name of a checkpoint at lsn.
+func ckptName(lsn uint64) string { return fmt.Sprintf("checkpoint-%016x.ckpt", lsn) }
+
+// parseCkptName extracts the LSN from a checkpoint file name.
+func parseCkptName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "checkpoint-") || !strings.HasSuffix(name, ".ckpt") {
+		return 0, false
+	}
+	var lsn uint64
+	if _, err := fmt.Sscanf(strings.TrimSuffix(strings.TrimPrefix(name, "checkpoint-"), ".ckpt"), "%016x", &lsn); err != nil {
+		return 0, false
+	}
+	return lsn, true
+}
+
+// listCheckpoints returns the LSNs of dir's checkpoint files, ascending.
+func listCheckpoints(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("recovery: %w", err)
+	}
+	var lsns []uint64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if lsn, ok := parseCkptName(e.Name()); ok {
+			lsns = append(lsns, lsn)
+		}
+	}
+	sort.Slice(lsns, func(i, j int) bool { return lsns[i] < lsns[j] })
+	return lsns, nil
+}
+
+// writeCheckpoint atomically writes one checkpoint file and returns its
+// size. The state is produced by snap into memory first, so the
+// temp-file write is a single streamed pass ending in the CRC footer.
+func writeCheckpoint(dir string, lsn uint64, snap func(w io.Writer) error) (int64, error) {
+	var state bytes.Buffer
+	if err := snap(&state); err != nil {
+		return 0, fmt.Errorf("recovery: serializing checkpoint state: %w", err)
+	}
+	var hdr [ckptHeader]byte
+	copy(hdr[:], ckptMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], ckptVersion)
+	binary.LittleEndian.PutUint64(hdr[12:], lsn)
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[:])
+	crc.Write(state.Bytes())
+	var foot [ckptFooter]byte
+	binary.LittleEndian.PutUint32(foot[:], crc.Sum32())
+
+	tmp := filepath.Join(dir, ckptName(lsn)+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("recovery: %w", err)
+	}
+	werr := func() error {
+		if _, err := f.Write(hdr[:]); err != nil {
+			return err
+		}
+		if _, err := f.Write(state.Bytes()); err != nil {
+			return err
+		}
+		if _, err := f.Write(foot[:]); err != nil {
+			return err
+		}
+		return f.Sync()
+	}()
+	cerr := f.Close()
+	if werr != nil {
+		rerr := os.Remove(tmp)
+		return 0, errors.Join(fmt.Errorf("recovery: writing checkpoint: %w", werr), cerr, rerr)
+	}
+	if cerr != nil {
+		rerr := os.Remove(tmp)
+		return 0, errors.Join(fmt.Errorf("recovery: closing checkpoint: %w", cerr), rerr)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, ckptName(lsn))); err != nil {
+		return 0, fmt.Errorf("recovery: publishing checkpoint: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return 0, err
+	}
+	return int64(ckptHeader + state.Len() + ckptFooter), nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("recovery: %w", err)
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return errors.Join(fmt.Errorf("recovery: syncing %s: %w", dir, serr), cerr)
+	}
+	return cerr
+}
+
+// readCheckpoint loads and CRC-verifies one checkpoint file, returning
+// its LSN and state bytes.
+func readCheckpoint(path string) (uint64, []byte, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, nil, fmt.Errorf("recovery: %w", err)
+	}
+	if fi.Size() > maxCheckpointBytes {
+		return 0, nil, fmt.Errorf("recovery: checkpoint %s implausibly large (%d bytes)", path, fi.Size())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, fmt.Errorf("recovery: %w", err)
+	}
+	if len(data) < ckptHeader+ckptFooter || string(data[:8]) != ckptMagic {
+		return 0, nil, fmt.Errorf("recovery: %s: bad checkpoint header", path)
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != ckptVersion {
+		return 0, nil, fmt.Errorf("recovery: %s: unsupported checkpoint version %d", path, v)
+	}
+	lsn := binary.LittleEndian.Uint64(data[12:])
+	body := data[:len(data)-ckptFooter]
+	want := binary.LittleEndian.Uint32(data[len(data)-ckptFooter:])
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return 0, nil, fmt.Errorf("recovery: %s: checkpoint CRC mismatch (stored %08x, computed %08x)", path, want, got)
+	}
+	return lsn, body[ckptHeader:], nil
+}
+
+// HasCheckpoint reports whether dir holds at least one checkpoint that
+// passes its CRC — the precondition for restarting a process whose base
+// state exists only in the data directory.
+func HasCheckpoint(dir string) bool {
+	lsn, state, _, err := latestValidCheckpoint(dir)
+	return err == nil && (lsn > 0 || state != nil)
+}
+
+// latestValidCheckpoint scans dir newest-first for a checkpoint that
+// passes its CRC, returning lsn 0 and nil state when none exists. A
+// damaged newer checkpoint is skipped (and reported through skipped) in
+// favor of an older valid one — durability degrades to an older
+// recovery point, never to decoding garbage.
+func latestValidCheckpoint(dir string) (lsn uint64, state []byte, skipped int, err error) {
+	lsns, err := listCheckpoints(dir)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	for i := len(lsns) - 1; i >= 0; i-- {
+		l, s, err := readCheckpoint(filepath.Join(dir, ckptName(lsns[i])))
+		if err == nil {
+			return l, s, skipped, nil
+		}
+		skipped++
+	}
+	return 0, nil, skipped, nil
+}

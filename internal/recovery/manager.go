@@ -1,0 +1,276 @@
+package recovery
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"parcube/internal/obs"
+	"parcube/internal/wal"
+)
+
+// Options configures a Manager.
+type Options struct {
+	// Dir is the data directory. Checkpoints live directly in it, the WAL
+	// in a "wal" subdirectory. Created if missing.
+	Dir string
+	// WAL configures the underlying log (fsync policy, segment size).
+	WAL wal.Options
+	// CheckpointEvery triggers an automatic checkpoint after that many
+	// appended records; 0 disables auto-checkpointing (explicit
+	// Checkpoint calls only).
+	CheckpointEvery int
+	// RetainRecords keeps at least this many newest log records across
+	// checkpoint trims, so a lagging replica can still be caught up from
+	// this node's log instead of a full state transfer.
+	RetainRecords uint64
+	// Metrics receives recovery series; nil means a private registry.
+	Metrics *obs.Registry
+}
+
+// Manager binds a WAL and checkpoint files under one data directory into
+// a durable record store: Append persists a record before the caller
+// acks it, Checkpoint captures the full state and trims the log, and
+// Open replays exactly the acknowledged records a restarted process is
+// missing. The Manager does not interpret payloads — the owner supplies
+// restore/apply/snapshot callbacks, which keeps the package usable for
+// any state machine even though the shard cube is the one it was built
+// for.
+type Manager struct {
+	dir  string
+	opts Options
+
+	mu        sync.Mutex
+	log       *wal.Log
+	snap      func(w io.Writer) error
+	ckptLSN   uint64 // LSN of the newest published checkpoint
+	sinceCkpt int    // records appended since that checkpoint
+	closed    bool
+
+	replayed    *obs.Counter
+	replayNs    *obs.Histogram
+	ckptCount   *obs.Counter
+	ckptBytes   *obs.Counter
+	ckptNs      *obs.Histogram
+	ckptSkipped *obs.Counter
+	logLag      *obs.Gauge
+}
+
+// Open restores the newest valid checkpoint (if any) through restore,
+// then replays every log record past it through apply, in LSN order.
+// restore is not called when the directory holds no valid checkpoint —
+// the caller's zero/freshly-built state is the base then. snap is held
+// for later checkpoints; it must serialize a state consistent with every
+// record the Manager has been handed (callers achieve this by invoking
+// Append under the same lock that guards their state).
+func Open(opts Options, restore func(r io.Reader, lsn uint64) error, apply func(lsn uint64, payload []byte) error, snap func(w io.Writer) error) (*Manager, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("recovery: Options.Dir is required")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("recovery: %w", err)
+	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	m := &Manager{
+		dir:         opts.Dir,
+		opts:        opts,
+		snap:        snap,
+		replayed:    reg.Counter("recovery.replayed_records"),
+		replayNs:    reg.Histogram("recovery.replay_ns"),
+		ckptCount:   reg.Counter("recovery.checkpoints"),
+		ckptBytes:   reg.Counter("recovery.checkpoint_bytes"),
+		ckptNs:      reg.Histogram("recovery.checkpoint_ns"),
+		ckptSkipped: reg.Counter("recovery.checkpoints_skipped"),
+		logLag:      reg.Gauge("recovery.log_lag_records"),
+	}
+
+	start := time.Now()
+	lsn, state, skipped, err := latestValidCheckpoint(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	m.ckptSkipped.Add(int64(skipped))
+	if state != nil {
+		if err := restore(bytes.NewReader(state), lsn); err != nil {
+			return nil, fmt.Errorf("recovery: restoring checkpoint at LSN %d: %w", lsn, err)
+		}
+		m.ckptLSN = lsn
+	}
+
+	log, err := wal.Open(filepath.Join(opts.Dir, "wal"), opts.WAL)
+	if err != nil {
+		return nil, err
+	}
+	replayed := int64(0)
+	replayErr := log.Replay(lsn, func(rec wal.Record) error {
+		replayed++
+		return apply(rec.LSN, rec.Payload)
+	})
+	if replayErr != nil {
+		if cerr := log.Close(); cerr != nil {
+			return nil, errors.Join(replayErr, cerr)
+		}
+		return nil, fmt.Errorf("recovery: replaying log after LSN %d: %w", lsn, replayErr)
+	}
+	m.log = log
+	m.sinceCkpt = int(replayed)
+	m.replayed.Add(replayed)
+	m.replayNs.ObserveSince(start)
+	m.logLag.Set(int64(log.LastLSN() - m.ckptLSN))
+	return m, nil
+}
+
+// Append durably logs one record and returns its LSN. When the call
+// returns nil the record survives a crash (subject to the configured
+// fsync policy). Auto-checkpointing runs inline when CheckpointEvery is
+// reached; a failed auto-checkpoint does not fail the append — the
+// record is durable regardless — but is reported so operators see it.
+func (m *Manager) Append(payload []byte) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, errors.New("recovery: manager is closed")
+	}
+	lsn, err := m.log.Append(payload)
+	if err != nil {
+		return 0, err
+	}
+	m.noteAppendLocked(1)
+	return lsn, nil
+}
+
+// AppendAt durably logs a record at a caller-chosen LSN (replica
+// lockstep). applied is false when the LSN was already in the log.
+func (m *Manager) AppendAt(lsn uint64, payload []byte) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false, errors.New("recovery: manager is closed")
+	}
+	applied, err := m.log.AppendAt(lsn, payload)
+	if err != nil {
+		return false, err
+	}
+	if applied {
+		m.noteAppendLocked(1)
+	}
+	return applied, nil
+}
+
+// noteAppendLocked updates lag accounting and fires the auto-checkpoint.
+func (m *Manager) noteAppendLocked(n int) {
+	m.sinceCkpt += n
+	m.logLag.Set(int64(m.log.LastLSN() - m.ckptLSN))
+	if m.opts.CheckpointEvery > 0 && m.sinceCkpt >= m.opts.CheckpointEvery {
+		// Best effort: the appended record is already durable in the log,
+		// so a checkpoint failure costs replay time, not data.
+		_ = m.checkpointLocked()
+	}
+}
+
+// Checkpoint captures the current state through the snapshot callback,
+// publishes it atomically, and trims log segments the checkpoint covers.
+func (m *Manager) Checkpoint() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errors.New("recovery: manager is closed")
+	}
+	return m.checkpointLocked()
+}
+
+func (m *Manager) checkpointLocked() error {
+	start := time.Now()
+	lsn := m.log.LastLSN()
+	n, err := writeCheckpoint(m.dir, lsn, m.snap)
+	if err != nil {
+		return err
+	}
+	m.ckptLSN = lsn
+	m.sinceCkpt = 0
+	m.ckptCount.Inc()
+	m.ckptBytes.Add(n)
+	m.ckptNs.ObserveSince(start)
+	m.logLag.Set(int64(m.log.LastLSN() - m.ckptLSN))
+
+	// Drop checkpoints older than the one just published, then log
+	// segments it covers — minus the retention window kept for replica
+	// catch-up.
+	lsns, err := listCheckpoints(m.dir)
+	if err != nil {
+		return err
+	}
+	for _, old := range lsns {
+		if old < lsn {
+			if err := os.Remove(filepath.Join(m.dir, ckptName(old))); err != nil {
+				return fmt.Errorf("recovery: pruning old checkpoint: %w", err)
+			}
+		}
+	}
+	trimTo := lsn
+	if trimTo > m.opts.RetainRecords {
+		trimTo -= m.opts.RetainRecords
+	} else {
+		trimTo = 0
+	}
+	return m.log.TrimBelow(trimTo)
+}
+
+// Replay streams log records with LSN > after, oldest first. It reports
+// wal.ErrTrimmed when the requested point predates the retained log.
+func (m *Manager) Replay(after uint64, fn func(rec wal.Record) error) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errors.New("recovery: manager is closed")
+	}
+	return m.log.Replay(after, fn)
+}
+
+// LastLSN returns the newest durable record's LSN (0 when empty).
+func (m *Manager) LastLSN() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.log == nil {
+		return 0
+	}
+	return m.log.LastLSN()
+}
+
+// CheckpointLSN returns the newest published checkpoint's LSN.
+func (m *Manager) CheckpointLSN() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ckptLSN
+}
+
+// Close flushes and closes the log. The Manager is unusable afterwards.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	return m.log.Close()
+}
+
+// Crash abandons the manager without flushing — the kill -9 simulation
+// for tests. Only bytes the fsync policy already persisted survive.
+func (m *Manager) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.closed = true
+	m.log.Crash()
+}

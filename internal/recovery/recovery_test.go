@@ -1,0 +1,295 @@
+package recovery
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"parcube/internal/obs"
+	"parcube/internal/wal"
+)
+
+// journal is the minimal state machine used to exercise the Manager:
+// its state is the ordered list of applied payloads.
+type journal struct {
+	entries []string
+}
+
+func (j *journal) snap(w io.Writer) error {
+	_, err := io.WriteString(w, strings.Join(j.entries, "\n"))
+	return err
+}
+
+func (j *journal) restore(r io.Reader, lsn uint64) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return err
+	}
+	j.entries = nil
+	if len(data) > 0 {
+		j.entries = strings.Split(string(data), "\n")
+	}
+	if uint64(len(j.entries)) != lsn {
+		return fmt.Errorf("journal: checkpoint at LSN %d holds %d entries", lsn, len(j.entries))
+	}
+	return nil
+}
+
+func (j *journal) apply(lsn uint64, payload []byte) error {
+	if uint64(len(j.entries))+1 != lsn {
+		return fmt.Errorf("journal: applying LSN %d onto %d entries", lsn, len(j.entries))
+	}
+	j.entries = append(j.entries, string(payload))
+	return nil
+}
+
+func openJournal(t *testing.T, dir string, j *journal, opts Options) *Manager {
+	t.Helper()
+	opts.Dir = dir
+	m, err := Open(opts, j.restore, j.apply, j.snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestManagerRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j := &journal{}
+	m := openJournal(t, dir, j, Options{})
+	for i := 1; i <= 5; i++ {
+		j.entries = append(j.entries, fmt.Sprintf("entry-%d", i))
+		lsn, err := m.Append([]byte(fmt.Sprintf("entry-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(i) {
+			t.Fatalf("append %d returned LSN %d", i, lsn)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// No checkpoint was written: recovery replays everything.
+	j2 := &journal{}
+	m2 := openJournal(t, dir, j2, Options{})
+	defer m2.Close()
+	if len(j2.entries) != 5 || j2.entries[4] != "entry-5" {
+		t.Fatalf("recovered entries = %v", j2.entries)
+	}
+	if m2.LastLSN() != 5 {
+		t.Fatalf("LastLSN = %d", m2.LastLSN())
+	}
+}
+
+func TestManagerCheckpointAndReplayTail(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	j := &journal{}
+	m := openJournal(t, dir, j, Options{Metrics: reg})
+	for i := 1; i <= 4; i++ {
+		j.entries = append(j.entries, fmt.Sprintf("e%d", i))
+		if _, err := m.Append([]byte(fmt.Sprintf("e%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if m.CheckpointLSN() != 4 {
+		t.Fatalf("CheckpointLSN = %d", m.CheckpointLSN())
+	}
+	for i := 5; i <= 6; i++ {
+		j.entries = append(j.entries, fmt.Sprintf("e%d", i))
+		if _, err := m.Append([]byte(fmt.Sprintf("e%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2 := obs.NewRegistry()
+	j2 := &journal{}
+	m2 := openJournal(t, dir, j2, Options{Metrics: reg2})
+	defer m2.Close()
+	if len(j2.entries) != 6 {
+		t.Fatalf("recovered %d entries", len(j2.entries))
+	}
+	// Only the two post-checkpoint records should have been replayed.
+	flat := reg2.Flatten()
+	if flat["recovery.replayed_records"] != 2 {
+		t.Fatalf("replayed_records = %d, want 2", flat["recovery.replayed_records"])
+	}
+	if m2.CheckpointLSN() != 4 {
+		t.Fatalf("recovered CheckpointLSN = %d", m2.CheckpointLSN())
+	}
+}
+
+func TestManagerAutoCheckpointTrimsLog(t *testing.T) {
+	dir := t.TempDir()
+	j := &journal{}
+	// Tiny segments so trims actually delete files.
+	m := openJournal(t, dir, j, Options{
+		CheckpointEvery: 4,
+		WAL:             wal.Options{SegmentBytes: 64},
+	})
+	for i := 1; i <= 12; i++ {
+		j.entries = append(j.entries, fmt.Sprintf("auto-%02d", i))
+		if _, err := m.Append([]byte(fmt.Sprintf("auto-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.CheckpointLSN() < 8 {
+		t.Fatalf("auto checkpoint did not fire: CheckpointLSN = %d", m.CheckpointLSN())
+	}
+	// Replay below the retained floor must report the trim.
+	err := m.Replay(0, func(wal.Record) error { return nil })
+	if !errors.Is(err, wal.ErrTrimmed) {
+		t.Fatalf("replay from 0 after trim = %v, want ErrTrimmed", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := &journal{}
+	m2 := openJournal(t, dir, j2, Options{})
+	defer m2.Close()
+	if len(j2.entries) != 12 || j2.entries[11] != "auto-12" {
+		t.Fatalf("recovered entries = %v", j2.entries)
+	}
+}
+
+func TestManagerRetainRecordsKeepsTail(t *testing.T) {
+	dir := t.TempDir()
+	j := &journal{}
+	m := openJournal(t, dir, j, Options{
+		RetainRecords: 100, // retain everything written in this test
+		WAL:           wal.Options{SegmentBytes: 64},
+	})
+	defer m.Close()
+	for i := 1; i <= 10; i++ {
+		j.entries = append(j.entries, fmt.Sprintf("r%d", i))
+		if _, err := m.Append([]byte(fmt.Sprintf("r%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	if err := m.Replay(0, func(wal.Record) error { got++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got != 10 {
+		t.Fatalf("retained replay saw %d records, want 10", got)
+	}
+}
+
+func TestManagerFallsBackToOlderCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	j := &journal{}
+	m := openJournal(t, dir, j, Options{RetainRecords: 1 << 20})
+	for i := 1; i <= 3; i++ {
+		j.entries = append(j.entries, fmt.Sprintf("c%d", i))
+		if _, err := m.Append([]byte(fmt.Sprintf("c%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Write a second checkpoint at a later LSN, then bit-rot it. Pruning
+	// removed the first checkpoint, so rebuild one by hand at LSN 2 to
+	// prove fallback: recovery must use it and replay LSN 3 from the log.
+	if _, err := writeCheckpoint(dir, 2, func(w io.Writer) error {
+		_, err := io.WriteString(w, "c1\nc2")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, ckptName(3))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-6] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	j2 := &journal{}
+	m2 := openJournal(t, dir, j2, Options{Metrics: reg})
+	defer m2.Close()
+	if len(j2.entries) != 3 || j2.entries[2] != "c3" {
+		t.Fatalf("recovered entries = %v", j2.entries)
+	}
+	if m2.CheckpointLSN() != 2 {
+		t.Fatalf("fallback CheckpointLSN = %d, want 2", m2.CheckpointLSN())
+	}
+	if reg.Flatten()["recovery.checkpoints_skipped"] != 1 {
+		t.Fatal("damaged checkpoint not counted as skipped")
+	}
+}
+
+func TestManagerAppendAtIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	j := &journal{}
+	m := openJournal(t, dir, j, Options{})
+	defer m.Close()
+	applied, err := m.AppendAt(1, []byte("first"))
+	if err != nil || !applied {
+		t.Fatalf("AppendAt(1) = %v, %v", applied, err)
+	}
+	applied, err = m.AppendAt(1, []byte("first"))
+	if err != nil || applied {
+		t.Fatalf("duplicate AppendAt(1) = %v, %v", applied, err)
+	}
+	if _, err := m.AppendAt(5, []byte("gap")); err == nil {
+		t.Fatal("gapped AppendAt accepted")
+	}
+	if m.LastLSN() != 1 {
+		t.Fatalf("LastLSN = %d", m.LastLSN())
+	}
+}
+
+func TestManagerClosedRejectsUse(t *testing.T) {
+	dir := t.TempDir()
+	j := &journal{}
+	m := openJournal(t, dir, j, Options{})
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, err := m.Append([]byte("x")); err == nil {
+		t.Fatal("append after close accepted")
+	}
+	if err := m.Checkpoint(); err == nil {
+		t.Fatal("checkpoint after close accepted")
+	}
+}
+
+func TestCheckpointNameRoundTrip(t *testing.T) {
+	for _, lsn := range []uint64{0, 1, 0xdeadbeef, 1 << 60} {
+		got, ok := parseCkptName(ckptName(lsn))
+		if !ok || got != lsn {
+			t.Fatalf("parse(%q) = %d, %v", ckptName(lsn), got, ok)
+		}
+	}
+	for _, bad := range []string{"checkpoint-xyz.ckpt", "wal-0000000000000001.seg", "checkpoint-.ckpt"} {
+		if _, ok := parseCkptName(bad); ok {
+			t.Fatalf("parseCkptName accepted %q", bad)
+		}
+	}
+}

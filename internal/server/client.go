@@ -17,6 +17,15 @@ type Client struct {
 	timeout time.Duration
 }
 
+// RemoteError is an application-level "ERR ..." reply from the server:
+// the request was rejected but the connection is alive and in sync.
+// Callers distinguish it (errors.As) from transport failures, which
+// leave the stream unusable — a coordinator marks a replica down on a
+// transport error but not on a clean rejection.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "server: " + e.Msg }
+
 // Row is one cell returned by GroupBy or Top.
 type Row struct {
 	Coords []int
@@ -95,7 +104,7 @@ func (c *Client) roundTrip(req string) (string, error) {
 	}
 	line = strings.TrimSpace(line)
 	if strings.HasPrefix(line, "ERR ") {
-		return "", fmt.Errorf("server: %s", strings.TrimPrefix(line, "ERR "))
+		return "", &RemoteError{Msg: strings.TrimPrefix(line, "ERR ")}
 	}
 	if !strings.HasPrefix(line, "OK") {
 		return "", fmt.Errorf("server: malformed response %q", line)
@@ -239,6 +248,132 @@ func (c *Client) Stats() (map[string]string, error) {
 		return nil, err
 	}
 	return parseFields(payload), nil
+}
+
+// writeDeltaPayload streams the rows of a DELTA request plus the
+// terminating dot, re-arming the deadline per row.
+func (c *Client) writeDeltaPayload(req string, rows []Row) error {
+	c.arm()
+	if _, err := fmt.Fprintln(c.w, req); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		c.arm()
+		if _, err := fmt.Fprintf(c.w, "%s %g\n", joinCoords(row.Coords), row.Value); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(c.w, "."); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// readDeltaReply parses the "lsn=<n> applied=<0|1>" acknowledgement.
+func (c *Client) readDeltaReply() (uint64, bool, error) {
+	c.arm()
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return 0, false, err
+	}
+	line = strings.TrimSpace(line)
+	if strings.HasPrefix(line, "ERR ") {
+		return 0, false, &RemoteError{Msg: strings.TrimPrefix(line, "ERR ")}
+	}
+	if !strings.HasPrefix(line, "OK") {
+		return 0, false, fmt.Errorf("server: malformed response %q", line)
+	}
+	f := parseFields(strings.TrimSpace(strings.TrimPrefix(line, "OK")))
+	lsn, err := strconv.ParseUint(f["lsn"], 10, 64)
+	if err != nil {
+		return 0, false, fmt.Errorf("server: malformed delta ack %q", line)
+	}
+	return lsn, f["applied"] == "1", nil
+}
+
+// Delta ingests a batch of cells, letting the server assign the LSN. The
+// returned LSN is durable when the call succeeds.
+func (c *Client) Delta(rows []Row) (uint64, error) {
+	if len(rows) == 0 {
+		return 0, fmt.Errorf("server: empty delta")
+	}
+	if err := c.writeDeltaPayload(fmt.Sprintf("DELTA %d", len(rows)), rows); err != nil {
+		return 0, err
+	}
+	lsn, _, err := c.readDeltaReply()
+	return lsn, err
+}
+
+// DeltaAt ingests a batch at an exact LSN (replica lockstep); applied is
+// false when the server had already ingested that LSN.
+func (c *Client) DeltaAt(lsn uint64, rows []Row) (bool, error) {
+	if len(rows) == 0 {
+		return false, fmt.Errorf("server: empty delta")
+	}
+	if err := c.writeDeltaPayload(fmt.Sprintf("DELTA %d %d", len(rows), lsn), rows); err != nil {
+		return false, err
+	}
+	_, applied, err := c.readDeltaReply()
+	return applied, err
+}
+
+// LoggedRow is one cell of a durable delta record fetched by DeltasSince.
+type LoggedRow struct {
+	LSN uint64
+	Row Row
+}
+
+// DeltasSince fetches the peer's durable log tail past lsn, one entry
+// per logged cell; cells of the same record share an LSN and arrive
+// consecutively in LSN order.
+func (c *Client) DeltasSince(lsn uint64) ([]LoggedRow, error) {
+	payload, err := c.roundTrip(fmt.Sprintf("DELTASINCE %d", lsn))
+	if err != nil {
+		return nil, err
+	}
+	n, err := strconv.Atoi(payload)
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("server: malformed count %q", payload)
+	}
+	out := make([]LoggedRow, 0, min(n, maxRowPrealloc))
+	for {
+		c.arm()
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		line = strings.TrimSpace(line)
+		if line == "." {
+			break
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("server: malformed logged row %q", line)
+		}
+		recLSN, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("server: malformed LSN %q", fields[0])
+		}
+		var coords []int
+		if fields[1] != "-" {
+			for _, p := range strings.Split(fields[1], ",") {
+				v, err := strconv.Atoi(p)
+				if err != nil {
+					return nil, fmt.Errorf("server: malformed coords %q", fields[1])
+				}
+				coords = append(coords, v)
+			}
+		}
+		v, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("server: malformed value %q", fields[2])
+		}
+		out = append(out, LoggedRow{LSN: recLSN, Row: Row{Coords: coords, Value: v}})
+	}
+	if len(out) != n {
+		return nil, fmt.Errorf("server: got %d logged rows, expected %d", len(out), n)
+	}
+	return out, nil
 }
 
 // Top fetches the k largest cells of a group-by.

@@ -33,26 +33,33 @@ func fuzzServer(f *testing.F) *Server {
 	return New(cube)
 }
 
-// FuzzHandleLine feeds arbitrary request lines to the protocol handler.
-// Every non-blank line must produce exactly one OK or ERR response line
-// (plus row payload) and never panic, whatever the client sends.
+// FuzzHandleLine feeds arbitrary request lines (plus a streamed payload
+// for DELTA-style commands) to the protocol handler. Every non-blank
+// line must produce exactly one OK or ERR response line (plus row
+// payload) and never panic, whatever the client sends; the only
+// permitted silent outcome is a connection close on a truncated stream.
 func FuzzHandleLine(f *testing.F) {
-	seeds := []string{
-		"SCHEMA", "TOTAL", "STATS", "SHARDINFO", "QUIT",
-		"GROUPBY item", "GROUPBY item,branch", "GROUPBY", "GROUPBY bogus",
-		"GROUPBY item,item", "GROUPBY item,branch,time",
-		"QUERY GROUP BY item WHERE branch = 1",
-		"QUERY GROUP BY item WHERE time BETWEEN 0 AND 1 TOP 2",
-		"QUERY ", "VALUE item 2", "VALUE item,branch 1,2", "VALUE - ",
-		"VALUE item 99", "VALUE item notanumber", "VALUE",
-		"TOP 3 item", "TOP 0 item", "TOP 99999999 item,branch", "TOP x item",
-		"BOGUS stuff", "total", "  GROUPBY   item , branch  ",
+	seeds := []struct{ line, payload string }{
+		{"SCHEMA", ""}, {"TOTAL", ""}, {"STATS", ""}, {"SHARDINFO", ""}, {"QUIT", ""},
+		{"GROUPBY item", ""}, {"GROUPBY item,branch", ""}, {"GROUPBY", ""}, {"GROUPBY bogus", ""},
+		{"GROUPBY item,item", ""}, {"GROUPBY item,branch,time", ""},
+		{"QUERY GROUP BY item WHERE branch = 1", ""},
+		{"QUERY GROUP BY item WHERE time BETWEEN 0 AND 1 TOP 2", ""},
+		{"QUERY ", ""}, {"VALUE item 2", ""}, {"VALUE item,branch 1,2", ""}, {"VALUE - ", ""},
+		{"VALUE item 99", ""}, {"VALUE item notanumber", ""}, {"VALUE", ""},
+		{"TOP 3 item", ""}, {"TOP 0 item", ""}, {"TOP 99999999 item,branch", ""}, {"TOP x item", ""},
+		{"BOGUS stuff", ""}, {"total", ""}, {"  GROUPBY   item , branch  ", ""},
+		{"DELTA 1", "1,1,1 4\n.\n"}, {"DELTA 2 7", "0,0,0 1\n1,2,1 2\n.\n"},
+		{"DELTA 1", ".\n"}, {"DELTA 1", "junk\n.\n"}, {"DELTA 0", ""},
+		{"DELTA 99999999999", ""}, {"DELTA 1 0", "1,1,1 4\n.\n"},
+		{"DELTA 1", "1,1,1 4\nextra\n"}, {"DELTA x", ""}, {"DELTA", ""},
+		{"DELTASINCE 0", ""}, {"DELTASINCE -1", ""}, {"DELTASINCE", ""},
 	}
 	for _, s := range seeds {
-		f.Add(s)
+		f.Add(s.line, s.payload)
 	}
 	srv := fuzzServer(f)
-	f.Fuzz(func(t *testing.T, line string) {
+	f.Fuzz(func(t *testing.T, line, payload string) {
 		// serveConn reads single \n-terminated lines, trims them, and
 		// skips blanks before handle ever sees them; mirror that here.
 		if strings.ContainsRune(line, '\n') {
@@ -64,11 +71,17 @@ func FuzzHandleLine(f *testing.F) {
 		}
 		var buf bytes.Buffer
 		w := bufio.NewWriter(&buf)
-		srv.handle(w, line)
+		quit := srv.handle(nil, bufio.NewReader(strings.NewReader(payload)), w, line)
 		if err := w.Flush(); err != nil {
 			t.Fatal(err)
 		}
 		out := buf.String()
+		if out == "" {
+			if !quit {
+				t.Fatalf("no response to %q without closing the connection", line)
+			}
+			return
+		}
 		if !strings.HasPrefix(out, "OK") && !strings.HasPrefix(out, "ERR ") {
 			t.Fatalf("response to %q is neither OK nor ERR: %q", line, out)
 		}

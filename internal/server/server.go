@@ -12,10 +12,15 @@
 //	VALUE <dims> <c0,c1,...>   -> "OK <value>"
 //	TOP <k> <dims>             -> "OK <rows>", then rows, then "."
 //	STATS                      -> "OK queries=<n> cells=<n> uptime_sec=<s> ..."
-//	SHARDINFO                  -> "OK id=<n> op=<op> block=<[lo:hi,...]>" (shard nodes only)
+//	SHARDINFO                  -> "OK id=<n> op=<op> block=<[lo:hi,...]> [lsn=<n>]" (shard nodes only)
+//	DELTA <cells> [<lsn>]      -> then one "<c0,c1,...> <value>" line per cell and ".";
+//	                              answers "OK lsn=<n> applied=<0|1>" once the delta is durable
+//	DELTASINCE <lsn>           -> "OK <rows>", then one "<lsn> <c0,c1,...> <value>" line per
+//	                              logged cell (rows of one record share an LSN), then "."
 //	QUIT                       -> closes the connection
 //
-// Errors answer "ERR <message>".
+// Errors answer "ERR <message>". DELTA and DELTASINCE answer an error on
+// backends without ingest support (plain read-only cube servers).
 //
 // The Server is generic over a Backend: a local cube (New) or any other
 // implementation of the query surface, such as internal/shard's
@@ -67,6 +72,35 @@ type Backend interface {
 // the cell.
 type ValueBackend interface {
 	Value(dims []string, coords []int) (float64, error)
+}
+
+// DeltaBackend is an optional Backend refinement for ingesting deltas.
+// Shard nodes with a durable log implement it (append to the WAL, then
+// apply); the coordinator implements it by fanning the delta out to the
+// owning block's replicas.
+type DeltaBackend interface {
+	// Delta applies one batch of cells. lsn 0 asks the backend to assign
+	// the next LSN; a nonzero lsn requests an exact position (replica
+	// lockstep) and applied reports false when that LSN was already
+	// ingested (idempotent redelivery).
+	Delta(rows []Row, lsn uint64) (appliedLSN uint64, applied bool, err error)
+}
+
+// LoggedDelta is one durable delta record streamed by DeltasSince.
+type LoggedDelta struct {
+	LSN  uint64
+	Rows []Row
+}
+
+// WALTailBackend is an optional Backend refinement exposing the durable
+// log's tail, so a recovering replica can be caught up from a live peer
+// instead of a full state transfer.
+type WALTailBackend interface {
+	// DeltasSince returns every logged record with LSN > lsn, oldest
+	// first. It fails (wal.ErrTrimmed wrapped) when the tail was trimmed.
+	DeltasSince(lsn uint64) ([]LoggedDelta, error)
+	// LastLSN returns the newest durable record's LSN.
+	LastLSN() uint64
 }
 
 // StatsReporter is an optional Backend refinement that appends extra
@@ -284,9 +318,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	for {
-		if s.ReadTimeout > 0 {
-			conn.SetReadDeadline(time.Now().Add(s.ReadTimeout))
-		}
+		s.armRead(conn)
 		line, err := r.ReadString('\n')
 		if err != nil {
 			return
@@ -295,7 +327,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if line == "" {
 			continue
 		}
-		quit := s.handle(w, line)
+		quit := s.handle(conn, r, w, line)
 		if s.WriteTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
 		}
@@ -305,13 +337,29 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
+// armRead refreshes the connection's read deadline when one is
+// configured, both between requests and between DELTA payload lines, so
+// a peer stalling mid-upload cannot pin the handler.
+func (s *Server) armRead(conn net.Conn) {
+	if s.ReadTimeout > 0 && conn != nil {
+		conn.SetReadDeadline(time.Now().Add(s.ReadTimeout))
+	}
+}
+
 // knownCommands bounds the per-command metric label set, so arbitrary
 // client input cannot grow the registry without limit.
 var knownCommands = map[string]string{
 	"QUIT": "quit", "STATS": "stats", "SHARDINFO": "shardinfo",
 	"SCHEMA": "schema", "TOTAL": "total", "GROUPBY": "groupby",
 	"QUERY": "query", "VALUE": "value", "TOP": "top",
+	"DELTA": "delta", "DELTASINCE": "deltasince",
 }
+
+// maxDeltaCells bounds one DELTA batch. The declared count is untrusted
+// wire input: the bound rejects it before any allocation or unbounded
+// read loop (cubelint untrusted-alloc), and keeps single WAL records
+// comfortably under the log's own record-size cap.
+const maxDeltaCells = 1 << 20
 
 // errf answers one request with an ERR line and counts it.
 func (s *Server) errf(w *bufio.Writer, format string, args ...any) {
@@ -319,8 +367,10 @@ func (s *Server) errf(w *bufio.Writer, format string, args ...any) {
 	fmt.Fprintf(w, "ERR "+format+"\n", args...)
 }
 
-// handle answers one request line; returns true to close the connection.
-func (s *Server) handle(w *bufio.Writer, line string) bool {
+// handle answers one request line; returns true to close the
+// connection. DELTA additionally consumes its payload lines from r,
+// re-arming conn's read deadline per line.
+func (s *Server) handle(conn net.Conn, r *bufio.Reader, w *bufio.Writer, line string) bool {
 	fields := strings.Fields(line)
 	cmd := strings.ToUpper(fields[0])
 	label, ok := knownCommands[cmd]
@@ -363,7 +413,11 @@ func (s *Server) handle(w *bufio.Writer, line string) bool {
 			s.errf(w, "not a shard node")
 			return false
 		}
-		fmt.Fprintf(w, "OK id=%d op=%s block=%s\n", info.ID, info.Op, info.Block)
+		fmt.Fprintf(w, "OK id=%d op=%s block=%s", info.ID, info.Op, info.Block)
+		if wb, ok := s.backend.(WALTailBackend); ok {
+			fmt.Fprintf(w, " lsn=%d", wb.LastLSN())
+		}
+		fmt.Fprintln(w)
 	case "SCHEMA":
 		names, sizes := s.backend.SchemaDims()
 		fmt.Fprint(w, "OK")
@@ -445,10 +499,142 @@ func (s *Server) handle(w *bufio.Writer, line string) bool {
 			fmt.Fprintf(w, "%s %g\n", joinCoords(c.Coords), c.Value)
 		}
 		fmt.Fprintln(w, ".")
+	case "DELTA":
+		return s.handleDelta(conn, r, w, fields[1:])
+	case "DELTASINCE":
+		wb, ok := s.backend.(WALTailBackend)
+		if !ok {
+			s.errf(w, "backend has no durable log")
+			return false
+		}
+		if len(fields) != 2 {
+			s.errf(w, "DELTASINCE needs an LSN")
+			return false
+		}
+		after, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			s.errf(w, "bad LSN %q", fields[1])
+			return false
+		}
+		recs, err := wb.DeltasSince(after)
+		if err != nil {
+			s.errf(w, "%v", err)
+			return false
+		}
+		total := 0
+		for _, rec := range recs {
+			total += len(rec.Rows)
+		}
+		s.cells.Add(int64(total))
+		fmt.Fprintf(w, "OK %d\n", total)
+		for _, rec := range recs {
+			for _, row := range rec.Rows {
+				fmt.Fprintf(w, "%d %s %g\n", rec.LSN, joinCoords(row.Coords), row.Value)
+			}
+		}
+		fmt.Fprintln(w, ".")
 	default:
 		s.errf(w, "unknown command %q", cmd)
 	}
 	return false
+}
+
+// handleDelta reads a DELTA payload and hands it to the backend. The
+// payload is consumed (or the connection closed) in every error case, so
+// buffered upload lines are never re-parsed as commands.
+func (s *Server) handleDelta(conn net.Conn, r *bufio.Reader, w *bufio.Writer, args []string) bool {
+	db, hasDB := s.backend.(DeltaBackend)
+	if r == nil {
+		s.errf(w, "DELTA needs a streaming connection")
+		return false
+	}
+	if len(args) < 1 || len(args) > 2 {
+		// The payload length is unknown; closing is the only safe resync.
+		s.errf(w, "DELTA needs a cell count and an optional LSN")
+		return true
+	}
+	n, err := strconv.Atoi(args[0])
+	if err != nil || n < 1 || n > maxDeltaCells {
+		s.errf(w, "bad cell count %q (1..%d)", args[0], maxDeltaCells)
+		return true
+	}
+	var lsn uint64
+	if len(args) == 2 {
+		if lsn, err = strconv.ParseUint(args[1], 10, 64); err != nil || lsn == 0 {
+			s.errf(w, "bad LSN %q", args[1])
+			return true
+		}
+	}
+	rows := make([]Row, 0, min(n, maxRowPrealloc))
+	for len(rows) < n {
+		s.armRead(conn)
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return true
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if line == "." {
+			s.errf(w, "DELTA declared %d cells, got %d", n, len(rows))
+			return false
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			s.errf(w, "malformed delta row %q", line)
+			return true
+		}
+		coords, err := parseDeltaCoords(fields[0])
+		if err != nil {
+			s.errf(w, "%v", err)
+			return true
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			s.errf(w, "bad delta value %q", fields[1])
+			return true
+		}
+		rows = append(rows, Row{Coords: coords, Value: v})
+	}
+	s.armRead(conn)
+	dot, err := r.ReadString('\n')
+	if err != nil || strings.TrimSpace(dot) != "." {
+		s.errf(w, "DELTA payload not terminated with '.'")
+		return true
+	}
+	if !hasDB {
+		s.errf(w, "backend is read-only")
+		return false
+	}
+	appliedLSN, applied, err := db.Delta(rows, lsn)
+	if err != nil {
+		s.errf(w, "%v", err)
+		return false
+	}
+	s.cells.Add(int64(len(rows)))
+	ap := 0
+	if applied {
+		ap = 1
+	}
+	fmt.Fprintf(w, "OK lsn=%d applied=%d\n", appliedLSN, ap)
+	return false
+}
+
+// parseDeltaCoords parses a delta row's coordinate list. Unlike
+// parseCoords the expected rank is not known at the protocol layer; the
+// backend validates it against the schema.
+func parseDeltaCoords(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad delta coordinate %q", p)
+		}
+		out[i] = v
+	}
+	return out, nil
 }
 
 // value answers a single-cell lookup, through the backend's Value fast

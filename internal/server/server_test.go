@@ -2,9 +2,11 @@ package server
 
 import (
 	"bufio"
+	"fmt"
 	"math/rand"
 	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -343,5 +345,133 @@ func TestClientTimeoutAgainstSilentServer(t *testing.T) {
 	c.SetTimeout(50 * time.Millisecond)
 	if _, err := c.Total(); err == nil {
 		t.Fatal("request against silent server did not time out")
+	}
+}
+
+// deltaBackend wraps the cube backend with an in-memory log, standing in
+// for a durable shard node in protocol tests.
+type deltaBackend struct {
+	cubeBackend
+	mu   sync.Mutex
+	recs []LoggedDelta
+}
+
+func (b *deltaBackend) Delta(rows []Row, lsn uint64) (uint64, bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	last := uint64(len(b.recs))
+	switch {
+	case lsn == 0:
+		lsn = last + 1
+	case lsn <= last:
+		return lsn, false, nil // idempotent redelivery
+	case lsn > last+1:
+		return 0, false, fmt.Errorf("gap: lsn %d after %d", lsn, last)
+	}
+	for _, row := range rows {
+		if len(row.Coords) != b.cube.Schema().Dims() {
+			return 0, false, fmt.Errorf("rank %d row", len(row.Coords))
+		}
+	}
+	b.recs = append(b.recs, LoggedDelta{LSN: lsn, Rows: rows})
+	return lsn, true, nil
+}
+
+func (b *deltaBackend) DeltasSince(lsn uint64) ([]LoggedDelta, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []LoggedDelta
+	for _, rec := range b.recs {
+		if rec.LSN > lsn {
+			out = append(out, rec)
+		}
+	}
+	return out, nil
+}
+
+func (b *deltaBackend) LastLSN() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return uint64(len(b.recs))
+}
+
+func TestDeltaProtocolRoundTrip(t *testing.T) {
+	backend := &deltaBackend{cubeBackend: cubeBackend{cube: testCube(t)}}
+	srv := NewBackend(backend)
+	srv.SetShardInfo(ShardInfo{ID: 3, Op: "sum", Block: "[0:6,0:4]"})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	lsn, err := c.Delta([]Row{{Coords: []int{1, 1}, Value: 4}, {Coords: []int{2, 3}, Value: 2}})
+	if err != nil || lsn != 1 {
+		t.Fatalf("Delta = %d, %v", lsn, err)
+	}
+	applied, err := c.DeltaAt(2, []Row{{Coords: []int{0, 0}, Value: 7}})
+	if err != nil || !applied {
+		t.Fatalf("DeltaAt(2) = %v, %v", applied, err)
+	}
+	applied, err = c.DeltaAt(2, []Row{{Coords: []int{0, 0}, Value: 7}})
+	if err != nil || applied {
+		t.Fatalf("duplicate DeltaAt(2) = %v, %v", applied, err)
+	}
+	if _, err := c.DeltaAt(9, []Row{{Coords: []int{0, 0}, Value: 1}}); err == nil {
+		t.Fatal("gapped DeltaAt accepted")
+	}
+	if _, err := c.Delta([]Row{{Coords: []int{0}, Value: 1}}); err == nil {
+		t.Fatal("wrong-rank delta accepted")
+	}
+
+	// SHARDINFO reports the durable high-water mark.
+	info, err := c.ShardInfo()
+	if err != nil || info["lsn"] != "2" {
+		t.Fatalf("ShardInfo = %v, %v", info, err)
+	}
+
+	// The tail since LSN 1 is record 2 only; since 0 both records.
+	tail, err := c.DeltasSince(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != 1 || tail[0].LSN != 2 || tail[0].Row.Value != 7 {
+		t.Fatalf("DeltasSince(1) = %+v", tail)
+	}
+	all, err := c.DeltasSince(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 || all[0].LSN != 1 || all[1].LSN != 1 || all[2].LSN != 2 {
+		t.Fatalf("DeltasSince(0) = %+v", all)
+	}
+
+	// The connection survives a payload-complete error and stays in sync.
+	if total, err := c.Total(); err != nil || total == 0 {
+		t.Fatalf("Total after delta errors = %v, %v", total, err)
+	}
+}
+
+func TestDeltaOnReadOnlyServer(t *testing.T) {
+	_, addr, _ := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Delta([]Row{{Coords: []int{1, 1}, Value: 4}}); err == nil {
+		t.Fatal("read-only server accepted a delta")
+	}
+	if _, err := c.DeltasSince(0); err == nil {
+		t.Fatal("read-only server served a log tail")
+	}
+	// The payload was fully drained: the next request still works.
+	if _, err := c.Total(); err != nil {
+		t.Fatal(err)
 	}
 }

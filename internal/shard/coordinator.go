@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"parcube/internal/agg"
@@ -31,6 +32,11 @@ type Config struct {
 	// before the query fails. Default 2 (every replica gets a second
 	// chance after backoff).
 	Rounds int
+	// RejoinEvery is the probe interval of the background loop that
+	// re-admits down replicas after catching them up from a live peer.
+	// Default 100ms; negative disables the loop. The loop only starts
+	// when the cluster has durable replicas to reconcile.
+	RejoinEvery time.Duration
 }
 
 // withDefaults fills unset knobs.
@@ -44,6 +50,9 @@ func (c Config) withDefaults() Config {
 	if c.Rounds <= 0 {
 		c.Rounds = 2
 	}
+	if c.RejoinEvery == 0 {
+		c.RejoinEvery = 100 * time.Millisecond
+	}
 	return c
 }
 
@@ -52,12 +61,27 @@ type replica struct {
 	addr string
 	id   int
 	pool *pool
+
+	// durable reports whether the node announced a WAL high-water mark
+	// (lsn=) in its SHARDINFO handshake; only durable replicas ingest.
+	durable bool
+	// down marks a replica out of the read and write sets after a write
+	// to it failed; the rejoin loop clears it once the replica is caught
+	// up. Reads fall back to down replicas only when no live one is left.
+	down atomic.Bool
 }
 
 // blockGroup is a block and its replicas, preferred in order.
 type blockGroup struct {
 	block    nd.Block
 	replicas []*replica
+
+	// writeMu serializes ingest into this block so every replica's WAL
+	// assigns identical LSNs to identical deltas (replica lockstep).
+	// lastLSN, guarded by it, is the group's acknowledged high-water
+	// mark — initialized from the handshake's largest announced lsn.
+	writeMu sync.Mutex
+	lastLSN uint64
 }
 
 // Coordinator answers the cube line protocol by scatter-gathering shard
@@ -75,6 +99,12 @@ type Coordinator struct {
 	blocks []*blockGroup
 
 	stats *counters
+
+	// rejoin loop lifecycle; stop is nil when the loop never started.
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // NewCoordinator dials every shard, performs the SHARDINFO handshake, and
@@ -144,7 +174,18 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 			groups[key] = g
 			order = append(order, key)
 		}
-		g.replicas = append(g.replicas, &replica{addr: addr, id: id, pool: p})
+		rep := &replica{addr: addr, id: id, pool: p}
+		if lsnField, ok := info["lsn"]; ok {
+			lsn, err := strconv.ParseUint(lsnField, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("shard: %s: malformed lsn %q", addr, lsnField)
+			}
+			rep.durable = true
+			if lsn > g.lastLSN {
+				g.lastLSN = lsn
+			}
+		}
+		g.replicas = append(g.replicas, rep)
 	}
 	for _, key := range order {
 		c.blocks = append(c.blocks, groups[key])
@@ -153,7 +194,24 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		_ = c.Close() // constructor failed; tiling error is the one to report
 		return nil, err
 	}
+	if cfg.RejoinEvery > 0 && c.anyDurable() {
+		c.stop = make(chan struct{})
+		c.wg.Add(1)
+		go c.rejoinLoop()
+	}
 	return c, nil
+}
+
+// anyDurable reports whether any replica announced a WAL position.
+func (c *Coordinator) anyDurable() bool {
+	for _, g := range c.blocks {
+		for _, r := range g.replicas {
+			if r.durable {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // validateTiling checks the discovered blocks partition the schema's
@@ -230,17 +288,25 @@ func sameSchema(an []string, as []int, bn []string, bs []int) bool {
 	return true
 }
 
-// Close releases every pooled connection, joining their close errors.
+// Close stops the rejoin loop and releases every pooled connection,
+// joining their close errors. Safe to call more than once.
 func (c *Coordinator) Close() error {
-	var errs []error
-	for _, g := range c.blocks {
-		for _, r := range g.replicas {
-			if err := r.pool.close(); err != nil {
-				errs = append(errs, fmt.Errorf("shard: closing pool for %s: %w", r.addr, err))
+	c.closeOnce.Do(func() {
+		if c.stop != nil {
+			close(c.stop)
+			c.wg.Wait()
+		}
+		var errs []error
+		for _, g := range c.blocks {
+			for _, r := range g.replicas {
+				if err := r.pool.close(); err != nil {
+					errs = append(errs, fmt.Errorf("shard: closing pool for %s: %w", r.addr, err))
+				}
 			}
 		}
-	}
-	return errors.Join(errs...)
+		c.closeErr = errors.Join(errs...)
+	})
+	return c.closeErr
 }
 
 // Stats returns a snapshot of the coordinator's scatter-gather counters.
@@ -285,7 +351,19 @@ func (c *Coordinator) askBlock(b int, fn func(cl *server.Client) error) error {
 	backoff := c.cfg.Backoff
 	attempt := 0
 	for round := 0; round < c.cfg.Rounds; round++ {
-		for ri, rep := range g.replicas {
+		// Prefer replicas not marked down by the ingest path; when the
+		// whole group is down (or rejoin hasn't caught up yet), fall back
+		// to trying everyone rather than failing without an attempt.
+		candidates := make([]*replica, 0, len(g.replicas))
+		for _, rep := range g.replicas {
+			if !rep.down.Load() {
+				candidates = append(candidates, rep)
+			}
+		}
+		if len(candidates) == 0 {
+			candidates = g.replicas
+		}
+		for ri, rep := range candidates {
 			if attempt > 0 {
 				c.stats.retries.Inc()
 				time.Sleep(backoff)

@@ -1,0 +1,316 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"parcube/internal/server"
+)
+
+// This file is the coordinator's write path and rejoin protocol.
+//
+// Ingest keeps a block's replicas in lockstep: every replica of a block
+// logs the same delta under the same LSN, assigned by the coordinator
+// under the group's writeMu. A replica that fails a write (transport
+// error, not an application rejection) is marked down — out of the
+// scatter-gather read set — and a background loop later re-admits it:
+// probe its SHARDINFO for the recovered WAL position, stream the missed
+// records from a live peer with DELTASINCE, replay them onto the
+// rejoiner with DELTA-at-LSN (idempotent, so repeats are harmless), and
+// only when the replica has caught up to the group's high-water mark
+// under writeMu does it return to the read set.
+
+// Delta applies one delta through the cluster: rows are validated
+// against the schema, split by owning block, and each involved block
+// group logs them in replica lockstep. It implements
+// server.DeltaBackend, so a coordinator served by server.NewBackend
+// accepts the DELTA command directly.
+//
+// The coordinator assigns LSNs itself (per block group); clients must
+// send lsn 0. The returned LSN is the largest assigned across the
+// involved blocks. A delta spanning several blocks is applied per block
+// independently — if one block fails mid-way the others keep the delta,
+// so callers wanting atomic retries should batch per block.
+func (c *Coordinator) Delta(rows []server.Row, lsn uint64) (uint64, bool, error) {
+	if lsn != 0 {
+		return 0, false, fmt.Errorf("shard: the coordinator assigns LSNs; retry without lsn")
+	}
+	if len(rows) == 0 {
+		return 0, false, fmt.Errorf("shard: empty delta")
+	}
+	rank := len(c.sizes)
+	perBlock := make(map[int][]server.Row)
+	for _, row := range rows {
+		if len(row.Coords) != rank {
+			return 0, false, fmt.Errorf("shard: delta row has %d coordinates, schema has %d dimensions",
+				len(row.Coords), rank)
+		}
+		owner := -1
+		for b, g := range c.blocks {
+			inside := true
+			for j, x := range row.Coords {
+				if x < g.block.Lo[j] || x >= g.block.Hi[j] {
+					inside = false
+					break
+				}
+			}
+			if inside {
+				owner = b
+				break
+			}
+		}
+		if owner < 0 {
+			return 0, false, fmt.Errorf("shard: delta cell %v outside every block", row.Coords)
+		}
+		perBlock[owner] = append(perBlock[owner], row)
+	}
+
+	var (
+		mu     sync.Mutex
+		maxLSN uint64
+		errs   []error
+		wg     sync.WaitGroup
+	)
+	for b, part := range perBlock {
+		wg.Add(1)
+		go func(b int, part []server.Row) {
+			defer wg.Done()
+			blockLSN, err := c.deltaToGroup(c.blocks[b], part)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs = append(errs, fmt.Errorf("block %s: %w", c.blocks[b].block, err))
+				return
+			}
+			if blockLSN > maxLSN {
+				maxLSN = blockLSN
+			}
+		}(b, part)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		return 0, false, errors.Join(errs...)
+	}
+	c.stats.deltas.Inc()
+	c.stats.deltaCells.Add(int64(len(rows)))
+	return maxLSN, true, nil
+}
+
+// deltaToGroup logs one delta to every live replica of a block under
+// the group's write lock, at LSN lastLSN+1. Application rejections (the
+// replica said ERR — e.g. an overlapping delta) abort without advancing
+// the LSN: validation is deterministic, so no replica applied it.
+// Transport failures mark the replica down and the write proceeds on
+// the rest; it succeeds if at least one replica acknowledged.
+func (c *Coordinator) deltaToGroup(g *blockGroup, rows []server.Row) (uint64, error) {
+	durable, total := 0, len(g.replicas)
+	for _, rep := range g.replicas {
+		if rep.durable {
+			durable++
+		}
+	}
+	if durable == 0 {
+		return 0, fmt.Errorf("shard: replicas are not durable; ingest needs nodes started with a data dir")
+	}
+	if durable != total {
+		return 0, fmt.Errorf("shard: %d of %d replicas are durable; mixed groups cannot ingest", durable, total)
+	}
+
+	g.writeMu.Lock()
+	defer g.writeMu.Unlock()
+	lsn := g.lastLSN + 1
+	acks := 0
+	var lastErr error
+	for _, rep := range g.replicas {
+		if rep.down.Load() {
+			continue
+		}
+		cl, err := rep.pool.get()
+		if err != nil {
+			c.markDown(rep)
+			lastErr = fmt.Errorf("dial %s: %w", rep.addr, err)
+			continue
+		}
+		_, err = cl.DeltaAt(lsn, rows)
+		if err != nil {
+			var remote *server.RemoteError
+			if errors.As(err, &remote) {
+				// The replica answered: the connection is healthy and its
+				// log did not advance. With no acks yet this is a clean
+				// deterministic rejection; after an ack it means the
+				// replica diverged from the group, so evict it.
+				rep.pool.put(cl)
+				if acks == 0 {
+					return 0, err
+				}
+				c.markDown(rep)
+				lastErr = fmt.Errorf("%s diverged: %w", rep.addr, err)
+				continue
+			}
+			rep.pool.discard(cl)
+			c.markDown(rep)
+			lastErr = fmt.Errorf("%s: %w", rep.addr, err)
+			continue
+		}
+		rep.pool.put(cl)
+		acks++
+	}
+	if acks == 0 {
+		// lastLSN stays put: nothing durable happened, so a retry
+		// reassigns the same LSN and replicas that come back treat the
+		// repeat idempotently.
+		if lastErr == nil {
+			lastErr = fmt.Errorf("every replica is down")
+		}
+		return 0, fmt.Errorf("shard: delta not acknowledged by any replica: %w", lastErr)
+	}
+	g.lastLSN = lsn
+	return lsn, nil
+}
+
+// markDown evicts a replica from the serving set (once), so reads
+// prefer its peers and the rejoin loop starts probing it.
+func (c *Coordinator) markDown(rep *replica) {
+	if rep.down.CompareAndSwap(false, true) {
+		c.stats.replicaDowns.Inc()
+	}
+}
+
+// rejoinLoop periodically probes down replicas and re-admits the ones
+// it can catch up. Started by NewCoordinator when the cluster is
+// durable and RejoinEvery is positive; stopped by Close.
+func (c *Coordinator) rejoinLoop() {
+	defer c.wg.Done()
+	tick := time.NewTicker(c.cfg.RejoinEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-tick.C:
+		}
+		for _, g := range c.blocks {
+			for _, rep := range g.replicas {
+				if rep.down.Load() {
+					c.tryRejoin(g, rep)
+				}
+			}
+		}
+	}
+}
+
+// tryRejoin probes one down replica and, if reachable, catches it up
+// from a live peer and returns it to the serving set. Failures leave
+// the replica down for the next probe — every step is idempotent.
+func (c *Coordinator) tryRejoin(g *blockGroup, rep *replica) {
+	cl, err := rep.pool.get()
+	if err != nil {
+		return
+	}
+	info, err := cl.ShardInfo()
+	if err != nil {
+		rep.pool.discard(cl)
+		return
+	}
+	lsnField, isDurable := info["lsn"]
+	if !isDurable {
+		// A non-durable replica rebuilt its cube from source on restart;
+		// there is no log to reconcile, it is simply back.
+		rep.pool.put(cl)
+		c.readmit(rep)
+		return
+	}
+	var repLSN uint64
+	if _, err := fmt.Sscanf(lsnField, "%d", &repLSN); err != nil {
+		rep.pool.discard(cl)
+		return
+	}
+
+	// Bulk catch-up outside the write lock: stream missed records from a
+	// live durable peer and replay them onto the rejoiner. Ingest may
+	// keep advancing the group meanwhile; the final gap closes below.
+	repLSN, err = c.catchUp(g, rep, cl, repLSN)
+	if err != nil {
+		rep.pool.discard(cl)
+		return
+	}
+
+	// Close the last gap with ingest paused, then re-admit.
+	g.writeMu.Lock()
+	defer g.writeMu.Unlock()
+	repLSN, err = c.catchUp(g, rep, cl, repLSN)
+	if err != nil || repLSN != g.lastLSN {
+		rep.pool.discard(cl)
+		return
+	}
+	rep.pool.put(cl)
+	c.readmit(rep)
+}
+
+// readmit returns a replica to the serving set (once).
+func (c *Coordinator) readmit(rep *replica) {
+	if rep.down.CompareAndSwap(true, false) {
+		c.stats.rejoins.Inc()
+	}
+}
+
+// catchUp streams the records above lsn from a live durable peer of g
+// and replays them record-by-record onto the rejoining replica's client
+// cl, returning the replica's new log position. With no live peer it
+// returns lsn unchanged (the caller's high-water check decides whether
+// that suffices).
+func (c *Coordinator) catchUp(g *blockGroup, rep *replica, cl *server.Client, lsn uint64) (uint64, error) {
+	var peer *replica
+	for _, p := range g.replicas {
+		if p != rep && p.durable && !p.down.Load() {
+			peer = p
+			break
+		}
+	}
+	if peer == nil {
+		return lsn, nil
+	}
+	pcl, err := peer.pool.get()
+	if err != nil {
+		return lsn, nil // peer unreachable; caller's LSN check decides
+	}
+	logged, err := pcl.DeltasSince(lsn)
+	if err != nil {
+		peer.pool.discard(pcl)
+		return lsn, nil
+	}
+	peer.pool.put(pcl)
+	for _, rec := range groupByLSN(logged) {
+		if rec.lsn <= lsn {
+			continue
+		}
+		if _, err := cl.DeltaAt(rec.lsn, rec.rows); err != nil {
+			return lsn, err
+		}
+		lsn = rec.lsn
+		c.stats.catchupRecords.Inc()
+	}
+	return lsn, nil
+}
+
+// loggedRecord is one WAL record reassembled from a DELTASINCE stream.
+type loggedRecord struct {
+	lsn  uint64
+	rows []server.Row
+}
+
+// groupByLSN reassembles the flat rows of a DELTASINCE reply into
+// records: consecutive rows sharing an LSN were logged together.
+func groupByLSN(rows []server.LoggedRow) []loggedRecord {
+	var recs []loggedRecord
+	for _, r := range rows {
+		if n := len(recs); n > 0 && recs[n-1].lsn == r.LSN {
+			recs[n-1].rows = append(recs[n-1].rows, r.Row)
+			continue
+		}
+		recs = append(recs, loggedRecord{lsn: r.LSN, rows: []server.Row{r.Row}})
+	}
+	return recs
+}

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"errors"
 	"fmt"
 
 	"parcube"
@@ -21,6 +22,11 @@ type Node struct {
 
 	srv  *server.Server
 	addr string
+
+	// durable and rec are set by StartDurableNode: the ingesting backend
+	// with its WAL/checkpoint manager, and its recovery metrics registry.
+	durable *durableBackend
+	rec     *obs.Registry
 }
 
 // StartNode carves node id's block out of the dataset, builds its
@@ -66,5 +72,15 @@ func (n *Node) Addr() string { return n.addr }
 // Metrics returns the node server's per-command metrics registry.
 func (n *Node) Metrics() *obs.Registry { return n.srv.Metrics() }
 
-// Close stops the node's server.
-func (n *Node) Close() error { return n.srv.Close() }
+// Close stops the node's server and, for durable nodes, flushes and
+// closes the WAL — the clean-shutdown counterpart of Crash.
+func (n *Node) Close() error {
+	err := n.srv.Close()
+	if n.durable != nil {
+		n.durable.mu.Lock()
+		cerr := n.durable.mgr.Close()
+		n.durable.mu.Unlock()
+		return errors.Join(err, cerr)
+	}
+	return err
+}

@@ -120,6 +120,16 @@ func NewPlan(names []string, sizes []int, nodes, replicas int) (*Plan, error) {
 // NumBlocks returns the number of distinct blocks.
 func (p *Plan) NumBlocks() int { return len(p.Blocks) }
 
+// Schema rebuilds the parcube schema the plan was computed for — the
+// base state of a durable node restarting without its source dataset.
+func (p *Plan) Schema() (*parcube.Schema, error) {
+	dims := make([]parcube.Dim, len(p.Names))
+	for i := range dims {
+		dims[i] = parcube.Dim{Name: p.Names[i], Size: p.Sizes[i]}
+	}
+	return parcube.NewSchema(dims...)
+}
+
 // BlockOfNode returns the block a node serves.
 func (p *Plan) BlockOfNode(node int) (nd.Block, error) {
 	if node < 0 || node >= p.Nodes {

@@ -25,42 +25,68 @@ type Stats struct {
 	// MergeLatency summarizes the nanoseconds spent element-wise merging
 	// the gathered per-shard tables after the scatter completes.
 	MergeLatency obs.HistogramSnapshot
+	// Deltas counts acknowledged ingest requests; DeltaCells the cells
+	// they carried across all blocks.
+	Deltas     int64
+	DeltaCells int64
+	// ReplicaDowns counts replicas evicted from the serving set after a
+	// transport failure on the write path; Rejoins counts re-admissions
+	// by the background rejoin loop; CatchupRecords the log records
+	// streamed from live peers to catch rejoining replicas up.
+	ReplicaDowns   int64
+	Rejoins        int64
+	CatchupRecords int64
 }
 
 // counters is the coordinator's per-instance metrics registry with the
 // hot-path series pre-resolved, so recording is one atomic op.
 type counters struct {
-	reg       *obs.Registry
-	fanouts   *obs.Counter
-	retries   *obs.Counter
-	failovers *obs.Counter
-	errors    *obs.Counter
-	askNs     *obs.Histogram
-	mergeNs   *obs.Histogram
+	reg            *obs.Registry
+	fanouts        *obs.Counter
+	retries        *obs.Counter
+	failovers      *obs.Counter
+	errors         *obs.Counter
+	askNs          *obs.Histogram
+	mergeNs        *obs.Histogram
+	deltas         *obs.Counter
+	deltaCells     *obs.Counter
+	replicaDowns   *obs.Counter
+	rejoins        *obs.Counter
+	catchupRecords *obs.Counter
 }
 
 // newCounters builds the registry and resolves the series.
 func newCounters() *counters {
 	reg := obs.NewRegistry()
 	return &counters{
-		reg:       reg,
-		fanouts:   reg.Counter("fanouts"),
-		retries:   reg.Counter("retries"),
-		failovers: reg.Counter("failovers"),
-		errors:    reg.Counter("shard_errors"),
-		askNs:     reg.Histogram("ask_ns"),
-		mergeNs:   reg.Histogram("merge_ns"),
+		reg:            reg,
+		fanouts:        reg.Counter("fanouts"),
+		retries:        reg.Counter("retries"),
+		failovers:      reg.Counter("failovers"),
+		errors:         reg.Counter("shard_errors"),
+		askNs:          reg.Histogram("ask_ns"),
+		mergeNs:        reg.Histogram("merge_ns"),
+		deltas:         reg.Counter("deltas"),
+		deltaCells:     reg.Counter("delta_cells"),
+		replicaDowns:   reg.Counter("replica_downs"),
+		rejoins:        reg.Counter("rejoins"),
+		catchupRecords: reg.Counter("catchup_records"),
 	}
 }
 
 // snapshot returns the current totals.
 func (c *counters) snapshot() Stats {
 	return Stats{
-		Fanouts:      c.fanouts.Value(),
-		Retries:      c.retries.Value(),
-		Failovers:    c.failovers.Value(),
-		Errors:       c.errors.Value(),
-		AskLatency:   c.askNs.Snapshot(),
-		MergeLatency: c.mergeNs.Snapshot(),
+		Fanouts:        c.fanouts.Value(),
+		Retries:        c.retries.Value(),
+		Failovers:      c.failovers.Value(),
+		Errors:         c.errors.Value(),
+		AskLatency:     c.askNs.Snapshot(),
+		MergeLatency:   c.mergeNs.Snapshot(),
+		Deltas:         c.deltas.Value(),
+		DeltaCells:     c.deltaCells.Value(),
+		ReplicaDowns:   c.replicaDowns.Value(),
+		Rejoins:        c.rejoins.Value(),
+		CatchupRecords: c.catchupRecords.Value(),
 	}
 }

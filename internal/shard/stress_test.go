@@ -5,6 +5,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"parcube/internal/server"
 )
 
 // TestStressReplicaChurn hammers a replicated cluster with concurrent
@@ -158,4 +160,148 @@ func TestStressReplicaChurn(t *testing.T) {
 	} else {
 		t.Logf("churn stats: %+v", coord.Stats())
 	}
+}
+
+// TestStressDurableChurnWithIngest is the durable twin of
+// TestStressReplicaChurn: one replica of block 0 is repeatedly killed
+// with Crash (no flush — the kill -9 path) and restarted from its data
+// directory, while writers stream deltas through the coordinator and
+// readers scatter-gather concurrently. Acknowledged writes must never
+// fail (the sibling replica stays up) and, once the churn stops and the
+// victim has rejoined, the cluster — and then the victim alone — must
+// hold exactly the base cube plus every acknowledged delta: crash
+// recovery plus rejoin catch-up may lose nothing that was acked. Run
+// under -race this also exercises the ingest/rejoin locking.
+func TestStressDurableChurnWithIngest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("durable churn stress test")
+	}
+	ds, ref := test4D(t)
+	dc := startDurableCluster(t, ds, 4, 2)
+	// Capture the victim and its immutable block geometry before the
+	// chaos loop starts replacing dc.nodes[0].
+	n0, n1 := dc.nodes[0], dc.nodes[1]
+	addr0 := n0.Addr()
+
+	var ackedMu sync.Mutex
+	var acked [][]server.Row
+
+	stop := make(chan struct{})
+	var chaos sync.WaitGroup
+	chaos.Add(1)
+	go func() {
+		defer chaos.Done()
+		victim := n0
+		defer func() { dc.nodes[0] = victim }() // hand the live node back for cleanup
+		dopts := dc.dopts
+		dopts.DataDir = dc.dirs[0]
+		for cycle := 0; ; cycle++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			victim.Crash()
+			time.Sleep(2 * time.Millisecond)
+			restored, err := StartDurableNode(dc.plan, 0, nil, addr0, dopts)
+			for attempt := 0; err != nil && attempt < 400; attempt++ {
+				time.Sleep(5 * time.Millisecond)
+				restored, err = StartDurableNode(dc.plan, 0, nil, addr0, dopts)
+			}
+			if err != nil {
+				t.Errorf("churn cycle %d: restore on %s: %v", cycle, addr0, err)
+				return
+			}
+			victim = restored
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
+	t.Run("traffic", func(t *testing.T) {
+		t.Run("writer", func(t *testing.T) {
+			t.Parallel()
+			deadline := time.Now().Add(2 * time.Second)
+			for seq := 0; time.Now().Before(deadline); seq++ {
+				node := n0
+				if seq%2 == 1 {
+					node = n1
+				}
+				rows := []server.Row{{Coords: blockCell(node, seq), Value: float64(seq%7 + 1)}}
+				if _, _, err := dc.coord.Delta(rows, 0); err != nil {
+					t.Fatalf("delta %d failed despite a live replica per block: %v", seq, err)
+				}
+				ackedMu.Lock()
+				acked = append(acked, rows)
+				ackedMu.Unlock()
+			}
+		})
+		for w := 0; w < 3; w++ {
+			t.Run(fmt.Sprintf("reader%d", w), func(t *testing.T) {
+				t.Parallel()
+				deadline := time.Now().Add(2 * time.Second)
+				for rounds := 0; time.Now().Before(deadline); rounds++ {
+					if _, err := dc.coord.Total(); err != nil {
+						t.Fatalf("round %d: TOTAL failed despite a live replica per block: %v", rounds, err)
+					}
+					if _, err := dc.coord.GroupBy("item", "region"); err != nil {
+						t.Fatalf("round %d: GROUPBY failed despite a live replica per block: %v", rounds, err)
+					}
+				}
+			})
+		}
+	})
+
+	close(stop)
+	chaos.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Quiesce: wait until the rejoin loop has cleared every eviction,
+	// then fold the acknowledged deltas into the reference cube.
+	waitAllUp(t, dc.coord)
+	for _, rows := range acked {
+		applyRef(t, ref, rows)
+	}
+	assertCoordMatches(t, dc.coord, ref, "after churn quiesced")
+
+	// Kill the victim's sibling: block 0 is now answerable only by the
+	// many-times-crashed replica, so exactness here means the data
+	// directory carried every acknowledged delta through every kill.
+	dc.nodes[2].Crash()
+	probe := []server.Row{{Coords: blockCell(n0, 1), Value: 3}}
+	if _, _, err := dc.coord.Delta(probe, 0); err != nil {
+		t.Fatalf("ingest after sibling crash: %v", err)
+	}
+	applyRef(t, ref, probe)
+	assertCoordMatches(t, dc.coord, ref, "churned replica alone")
+
+	s := dc.coord.Stats()
+	t.Logf("durable churn stats: %d deltas, %d downs, %d rejoins, %d catch-up records",
+		s.Deltas, s.ReplicaDowns, s.Rejoins, s.CatchupRecords)
+	if s.ReplicaDowns > 0 && s.Rejoins == 0 {
+		t.Fatalf("replicas were evicted but never rejoined: %+v", s)
+	}
+}
+
+// waitAllUp polls until no replica is marked down, i.e. every eviction
+// has been repaired by the rejoin loop.
+func waitAllUp(t *testing.T, c *Coordinator) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		up := true
+		for _, g := range c.blocks {
+			for _, r := range g.replicas {
+				if r.down.Load() {
+					up = false
+				}
+			}
+		}
+		if up {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("replicas still down after churn stopped (stats %+v)", c.Stats())
 }

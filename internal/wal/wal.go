@@ -1,0 +1,595 @@
+// Package wal is a segmented, CRC-framed write-ahead log for the durable
+// shard serving layer. Every acknowledged delta is appended as one record
+// before the acknowledgement leaves the node, so a crashed process can
+// replay its way back to the exact acknowledged state from disk.
+//
+// Layout: a log directory holds segment files named by the LSN of their
+// first record,
+//
+//	wal-0000000000000001.seg
+//	wal-0000000000000042.seg
+//
+// each starting with an 16-byte segment header (magic + first LSN) and
+// holding a run of consecutive records:
+//
+//	+----------+----------+----------+------------------+
+//	| len u32  | crc u32  | lsn u64  | payload len bytes|
+//	+----------+----------+----------+------------------+
+//
+// len is the payload length; crc is IEEE CRC32 over the LSN (little
+// endian) followed by the payload. LSNs are assigned densely starting at
+// 1. On Open the last segment's tail is scanned record by record: a
+// truncated frame or a CRC mismatch at the tail is the signature of a
+// crash mid-append ("torn tail") and is truncated away; the same damage
+// in the *interior* of the log is corruption and fails Open, because
+// records after the damage were once acknowledged.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+const (
+	segMagic      = "PCWALSG1"
+	segHeaderSize = len(segMagic) + 8 // magic + first-LSN u64
+	frameHeader   = 4 + 4 + 8         // len u32 + crc u32 + lsn u64
+
+	// MaxRecordBytes bounds one record's payload. The length field is
+	// read back from disk before the payload allocation, so the decoder
+	// refuses anything past this bound instead of trusting a corrupt
+	// frame (the untrusted-alloc discipline, applied to file input).
+	MaxRecordBytes = 16 << 20
+)
+
+// FsyncPolicy selects when appends reach stable storage.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways syncs the segment after every append: an acknowledged
+	// record survives kill -9. The default.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval syncs at most once per Options.FsyncEvery, amortizing
+	// the disk flush over a burst of appends; a crash can lose the
+	// records appended since the last sync.
+	FsyncInterval
+	// FsyncNever leaves syncing to the OS (and Close). Fastest, weakest.
+	FsyncNever
+)
+
+// String names the policy as accepted by ParsePolicy.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	default:
+		return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+	}
+}
+
+// ParsePolicy parses "always", "interval", or "never".
+func ParsePolicy(s string) (FsyncPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "always", "":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval, or never)", s)
+	}
+}
+
+// Options tunes a Log.
+type Options struct {
+	// Fsync is the sync policy for appends. Default FsyncAlways.
+	Fsync FsyncPolicy
+	// FsyncEvery is the minimum gap between syncs under FsyncInterval.
+	// Default 100ms.
+	FsyncEvery time.Duration
+	// SegmentBytes rotates to a new segment once the current one exceeds
+	// this size. Default 4 MiB.
+	SegmentBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.FsyncEvery <= 0 {
+		o.FsyncEvery = 100 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	return o
+}
+
+// ErrTrimmed reports a replay request below the log's retained floor:
+// the records were deleted by TrimBelow after a checkpoint covered them.
+var ErrTrimmed = errors.New("wal: requested records were trimmed")
+
+// Record is one replayed log entry.
+type Record struct {
+	LSN     uint64
+	Payload []byte
+}
+
+// Log is an append-only segmented write-ahead log. All methods are safe
+// for concurrent use; appends are serialized internally.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu        sync.Mutex
+	seg       *os.File // active segment
+	segStart  uint64   // first LSN of the active segment
+	segSize   int64    // bytes written to the active segment
+	lastLSN   uint64   // highest appended LSN (0 = empty log)
+	firstLSN  uint64   // lowest retained LSN (lastLSN+1 when empty/trimmed clean)
+	lastSync  time.Time
+	crashed   bool // Crash() was called: the handle is gone, reject use
+	syncCount int64
+}
+
+// segName renders the file name for a segment whose first record is lsn.
+func segName(lsn uint64) string { return fmt.Sprintf("wal-%016x.seg", lsn) }
+
+// parseSegName extracts the first LSN from a segment file name.
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+		return 0, false
+	}
+	var lsn uint64
+	if _, err := fmt.Sscanf(strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg"), "%016x", &lsn); err != nil {
+		return 0, false
+	}
+	return lsn, true
+}
+
+// Open opens (or creates) the log in dir, scans every segment, truncates
+// a torn tail, and positions the log for appending. Interior corruption
+// — a bad frame with intact records after it — fails Open.
+func Open(dir string, opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts, firstLSN: 1}
+	if len(segs) == 0 {
+		return l, nil
+	}
+	l.firstLSN = segs[0]
+	// Validate every segment; only the last may be torn.
+	for i, start := range segs {
+		last := i == len(segs)-1
+		want := start
+		if i > 0 {
+			// Segments must be LSN-contiguous with their predecessor.
+			if start != l.lastLSN+1 {
+				return nil, fmt.Errorf("wal: segment %s starts at lsn %d, previous segment ended at %d",
+					segName(start), start, l.lastLSN)
+			}
+		}
+		end, lastRec, err := scanSegment(filepath.Join(dir, segName(start)), start, last)
+		if err != nil {
+			return nil, err
+		}
+		if lastRec >= want {
+			l.lastLSN = lastRec
+		} else if !last {
+			return nil, fmt.Errorf("wal: segment %s holds no records", segName(start))
+		}
+		if last {
+			l.segStart = start
+			l.segSize = end
+		}
+	}
+	// Reopen the last segment for appending, truncating the torn tail.
+	path := filepath.Join(l.dir, segName(l.segStart))
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Truncate(l.segSize); err != nil {
+		cerr := f.Close()
+		return nil, errors.Join(fmt.Errorf("wal: truncating torn tail of %s: %w", path, err), cerr)
+	}
+	if _, err := f.Seek(l.segSize, io.SeekStart); err != nil {
+		cerr := f.Close()
+		return nil, errors.Join(fmt.Errorf("wal: %w", err), cerr)
+	}
+	l.seg = f
+	if l.lastLSN == 0 && l.segStart > 0 {
+		// The only segment lost its every record to the torn tail; the
+		// next append reuses its header's first LSN.
+		l.lastLSN = l.segStart - 1
+	}
+	return l, nil
+}
+
+// listSegments returns the first-LSNs of the directory's segments,
+// ascending.
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs []uint64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if lsn, ok := parseSegName(e.Name()); ok {
+			segs = append(segs, lsn)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return segs, nil
+}
+
+// scanSegment validates one segment file, returning the byte offset just
+// past the last intact record and that record's LSN (start-1 when the
+// segment holds none). When tornOK, a damaged or truncated tail frame is
+// accepted (and excluded from the returned offset); otherwise it is an
+// error.
+func scanSegment(path string, start uint64, tornOK bool) (end int64, lastLSN uint64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: %w", err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: reading %s: %w", path, err)
+	}
+	if len(data) < segHeaderSize || string(data[:len(segMagic)]) != segMagic {
+		return 0, 0, fmt.Errorf("wal: %s: bad segment header", path)
+	}
+	if got := binary.LittleEndian.Uint64(data[len(segMagic):]); got != start {
+		return 0, 0, fmt.Errorf("wal: %s: header first-lsn %d does not match name", path, got)
+	}
+	off := int64(segHeaderSize)
+	lastLSN = start - 1
+	want := start
+	for {
+		rec, n, ok := decodeFrame(data[off:], want)
+		if !ok {
+			if int64(len(data)) == off {
+				return off, lastLSN, nil // clean end
+			}
+			if tornOK {
+				return off, lastLSN, nil // torn tail: caller truncates
+			}
+			return 0, 0, fmt.Errorf("wal: %s: corrupt record at offset %d (lsn %d expected)", path, off, want)
+		}
+		lastLSN = rec.LSN
+		want = rec.LSN + 1
+		off += int64(n)
+	}
+}
+
+// decodeFrame decodes one record frame from b, requiring LSN == want.
+// It returns ok=false on truncation, CRC mismatch, an implausible
+// length, or an out-of-order LSN.
+func decodeFrame(b []byte, want uint64) (Record, int, bool) {
+	if len(b) < frameHeader {
+		return Record{}, 0, false
+	}
+	n := binary.LittleEndian.Uint32(b)
+	if n > MaxRecordBytes || int64(frameHeader)+int64(n) > int64(len(b)) {
+		return Record{}, 0, false
+	}
+	crc := binary.LittleEndian.Uint32(b[4:])
+	lsn := binary.LittleEndian.Uint64(b[8:])
+	payload := b[frameHeader : frameHeader+int(n)]
+	if lsn != want || crcOf(lsn, payload) != crc {
+		return Record{}, 0, false
+	}
+	return Record{LSN: lsn, Payload: payload}, frameHeader + int(n), true
+}
+
+// crcOf hashes a record's LSN and payload.
+func crcOf(lsn uint64, payload []byte) uint32 {
+	var lb [8]byte
+	binary.LittleEndian.PutUint64(lb[:], lsn)
+	h := crc32.NewIEEE()
+	h.Write(lb[:])
+	h.Write(payload)
+	return h.Sum32()
+}
+
+// encodeFrame renders one record frame.
+func encodeFrame(lsn uint64, payload []byte) []byte {
+	buf := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], crcOf(lsn, payload))
+	binary.LittleEndian.PutUint64(buf[8:], lsn)
+	copy(buf[frameHeader:], payload)
+	return buf
+}
+
+// LastLSN returns the highest appended LSN (0 when the log is empty).
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastLSN
+}
+
+// FirstLSN returns the lowest LSN still retained (lastLSN+1 when none).
+func (l *Log) FirstLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.firstLSN
+}
+
+// Syncs returns how many fsyncs the log has issued.
+func (l *Log) Syncs() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncCount
+}
+
+// Append writes one record with the next LSN and returns it. The record
+// is on stable storage when Append returns, under FsyncAlways.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lsn := l.lastLSN + 1
+	if err := l.appendLocked(lsn, payload); err != nil {
+		return 0, err
+	}
+	return lsn, nil
+}
+
+// AppendAt writes one record at an explicit LSN — the catch-up path,
+// where a recovering replica persists records fetched from a live peer.
+// A record at or below the current LSN is a duplicate and is skipped
+// (applied=false, no error); a gap is an error.
+func (l *Log) AppendAt(lsn uint64, payload []byte) (applied bool, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if lsn <= l.lastLSN {
+		return false, nil
+	}
+	if lsn != l.lastLSN+1 {
+		return false, fmt.Errorf("wal: append at lsn %d leaves a gap after %d", lsn, l.lastLSN)
+	}
+	if err := l.appendLocked(lsn, payload); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// appendLocked writes and (per policy) syncs one frame, rotating first
+// when the active segment is full. Callers hold l.mu.
+func (l *Log) appendLocked(lsn uint64, payload []byte) error {
+	if l.crashed {
+		return fmt.Errorf("wal: log crashed")
+	}
+	if int64(len(payload)) > MaxRecordBytes {
+		return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte bound", len(payload), int64(MaxRecordBytes))
+	}
+	if l.seg == nil || l.segSize >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(lsn); err != nil {
+			return err
+		}
+	}
+	frame := encodeFrame(lsn, payload)
+	if _, err := l.seg.Write(frame); err != nil {
+		return fmt.Errorf("wal: append lsn %d: %w", lsn, err)
+	}
+	l.segSize += int64(len(frame))
+	l.lastLSN = lsn
+	switch l.opts.Fsync {
+	case FsyncAlways:
+		if err := l.seg.Sync(); err != nil {
+			return fmt.Errorf("wal: fsync lsn %d: %w", lsn, err)
+		}
+		l.syncCount++
+	case FsyncInterval:
+		if time.Since(l.lastSync) >= l.opts.FsyncEvery {
+			if err := l.seg.Sync(); err != nil {
+				return fmt.Errorf("wal: fsync lsn %d: %w", lsn, err)
+			}
+			l.syncCount++
+			l.lastSync = time.Now()
+		}
+	}
+	return nil
+}
+
+// rotateLocked closes the active segment and starts a new one whose
+// first record will be lsn. Callers hold l.mu.
+func (l *Log) rotateLocked(lsn uint64) error {
+	if l.seg != nil {
+		if err := l.seg.Sync(); err != nil {
+			cerr := l.seg.Close()
+			return errors.Join(fmt.Errorf("wal: syncing full segment: %w", err), cerr)
+		}
+		l.syncCount++
+		if err := l.seg.Close(); err != nil {
+			return fmt.Errorf("wal: closing full segment: %w", err)
+		}
+		l.seg = nil
+	}
+	path := filepath.Join(l.dir, segName(lsn))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	var hdr [16]byte
+	copy(hdr[:], segMagic)
+	binary.LittleEndian.PutUint64(hdr[len(segMagic):], lsn)
+	if _, err := f.Write(hdr[:segHeaderSize]); err != nil {
+		cerr := f.Close()
+		return errors.Join(fmt.Errorf("wal: writing segment header: %w", err), cerr)
+	}
+	l.seg = f
+	l.segStart = lsn
+	l.segSize = int64(segHeaderSize)
+	if l.firstLSN > lsn {
+		l.firstLSN = lsn
+	}
+	return nil
+}
+
+// Sync forces buffered appends to stable storage regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.seg == nil || l.crashed {
+		return nil
+	}
+	if err := l.seg.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	l.syncCount++
+	l.lastSync = time.Now()
+	return nil
+}
+
+// Replay streams every retained record with LSN > after, in order. The
+// payload slice passed to fn is only valid during the call. Replaying
+// from below the retained floor returns ErrTrimmed: those records are
+// gone and a checkpoint must cover them.
+func (l *Log) Replay(after uint64, fn func(rec Record) error) error {
+	l.mu.Lock()
+	if l.crashed {
+		l.mu.Unlock()
+		return fmt.Errorf("wal: log crashed")
+	}
+	first, last := l.firstLSN, l.lastLSN
+	dir := l.dir
+	l.mu.Unlock()
+	if after+1 < first {
+		return fmt.Errorf("%w: need records after %d, floor is %d", ErrTrimmed, after, first)
+	}
+	if after >= last {
+		return nil
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return err
+	}
+	for i, start := range segs {
+		// Skip segments entirely at or below the replay point.
+		if i+1 < len(segs) && segs[i+1] <= after+1 {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, segName(start)))
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		data, err := io.ReadAll(f)
+		cerr := f.Close()
+		if err != nil {
+			return errors.Join(fmt.Errorf("wal: %w", err), cerr)
+		}
+		if cerr != nil {
+			return cerr
+		}
+		if len(data) < segHeaderSize {
+			continue
+		}
+		off := segHeaderSize
+		want := start
+		for {
+			rec, n, ok := decodeFrame(data[off:], want)
+			if !ok {
+				break
+			}
+			off += n
+			want = rec.LSN + 1
+			if rec.LSN <= after {
+				continue
+			}
+			if rec.LSN > last {
+				return nil
+			}
+			if err := fn(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// TrimBelow deletes whole segments every record of which has LSN <= lsn.
+// The active segment is never deleted. Trimming is how checkpoints bound
+// the log: records at or below the checkpoint's high-water mark are
+// re-derivable from the checkpoint and need not replay.
+func (l *Log) TrimBelow(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.crashed {
+		return fmt.Errorf("wal: log crashed")
+	}
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	for i, start := range segs {
+		// A segment's records end where the next segment starts.
+		if start == l.segStart || i == len(segs)-1 {
+			break
+		}
+		if segs[i+1]-1 > lsn {
+			break
+		}
+		if err := os.Remove(filepath.Join(l.dir, segName(start))); err != nil {
+			return fmt.Errorf("wal: trim: %w", err)
+		}
+		l.firstLSN = segs[i+1]
+	}
+	return nil
+}
+
+// Close syncs and closes the active segment. The sync error, if any, is
+// the caller's last chance to learn buffered records never hit disk.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.seg == nil || l.crashed {
+		return nil
+	}
+	var errs []error
+	if err := l.seg.Sync(); err != nil {
+		errs = append(errs, fmt.Errorf("wal: close sync: %w", err))
+	} else {
+		l.syncCount++
+	}
+	if err := l.seg.Close(); err != nil {
+		errs = append(errs, fmt.Errorf("wal: close: %w", err))
+	}
+	l.seg = nil
+	return errors.Join(errs...)
+}
+
+// Crash abandons the log without syncing — the in-process stand-in for
+// kill -9 in crash tests. Whatever the OS already holds stays on disk;
+// nothing more is flushed, and the Log refuses further use.
+func (l *Log) Crash() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.seg != nil {
+		_ = l.seg.Close() // no sync on purpose; the error is part of the crash
+		l.seg = nil
+	}
+	l.crashed = true
+}

@@ -1,0 +1,345 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// collect replays everything after `after` into a slice.
+func collect(t *testing.T, l *Log, after uint64) []Record {
+	t.Helper()
+	var recs []Record
+	err := l.Replay(after, func(r Record) error {
+		recs = append(recs, Record{LSN: r.LSN, Payload: append([]byte(nil), r.Payload...)})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay after %d: %v", after, err)
+	}
+	return recs
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 20; i++ {
+		p := []byte(fmt.Sprintf("delta-%03d", i))
+		want = append(want, p)
+		lsn, err := l.Append(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != uint64(i+1) {
+			t.Fatalf("append %d assigned lsn %d", i, lsn)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := l2.LastLSN(); got != 20 {
+		t.Fatalf("LastLSN = %d, want 20", got)
+	}
+	recs := collect(t, l2, 0)
+	if len(recs) != 20 {
+		t.Fatalf("replayed %d records, want 20", len(recs))
+	}
+	for i, r := range recs {
+		if r.LSN != uint64(i+1) || !bytes.Equal(r.Payload, want[i]) {
+			t.Fatalf("record %d = {%d %q}, want {%d %q}", i, r.LSN, r.Payload, i+1, want[i])
+		}
+	}
+	// Partial replay.
+	tail := collect(t, l2, 15)
+	if len(tail) != 5 || tail[0].LSN != 16 {
+		t.Fatalf("replay after 15: got %d records starting at %d", len(tail), tail[0].LSN)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 256, Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("x"), 64)
+	for i := 0; i < 30; i++ {
+		if _, err := l.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("expected multiple segments, got %d", len(segs))
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := len(collect(t, l2, 0)); got != 30 {
+		t.Fatalf("replayed %d records across segments, want 30", got)
+	}
+}
+
+func TestAppendAtIdempotence(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate: skipped without error.
+	applied, err := l.AppendAt(1, []byte("a"))
+	if err != nil || applied {
+		t.Fatalf("AppendAt(1) = %v, %v; want skipped", applied, err)
+	}
+	// Next in sequence: applied.
+	applied, err = l.AppendAt(2, []byte("b"))
+	if err != nil || !applied {
+		t.Fatalf("AppendAt(2) = %v, %v; want applied", applied, err)
+	}
+	// Gap: error.
+	if _, err := l.AppendAt(5, []byte("e")); err == nil {
+		t.Fatal("AppendAt(5) after lsn 2 should fail with a gap error")
+	}
+}
+
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Cut the single segment mid-way through the last record.
+	segs, _ := listSegments(dir)
+	path := filepath.Join(dir, segName(segs[0]))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open with torn tail: %v", err)
+	}
+	if got := l2.LastLSN(); got != 4 {
+		t.Fatalf("LastLSN after torn tail = %d, want 4", got)
+	}
+	// The log must keep appending at the truncation point.
+	lsn, err := l2.Append([]byte("rec-4-retry"))
+	if err != nil || lsn != 5 {
+		t.Fatalf("append after torn tail = %d, %v; want 5", lsn, err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	recs := collect(t, l3, 0)
+	if len(recs) != 5 || string(recs[4].Payload) != "rec-4-retry" {
+		t.Fatalf("after torn-tail repair: %d records, last %q", len(recs), recs[len(recs)-1].Payload)
+	}
+}
+
+func TestInteriorCorruptionFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 128, Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("y"), 48)
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("need >= 2 segments, have %d (%v)", len(segs), err)
+	}
+	// Flip a payload byte in the FIRST segment: acknowledged interior
+	// records are damaged, so Open must refuse rather than silently
+	// dropping them.
+	path := filepath.Join(dir, segName(segs[0]))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[segHeaderSize+frameHeader+4] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("open must fail on interior corruption")
+	}
+}
+
+func TestTrimBelow(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 128, Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	payload := bytes.Repeat([]byte("z"), 48)
+	for i := 0; i < 12; i++ {
+		if _, err := l.Append(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, _ := listSegments(dir)
+	if len(before) < 3 {
+		t.Fatalf("need >= 3 segments, have %d", len(before))
+	}
+	if err := l.TrimBelow(l.LastLSN()); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := listSegments(dir)
+	if len(after) >= len(before) {
+		t.Fatalf("trim removed nothing: %d -> %d segments", len(before), len(after))
+	}
+	// Replay from 0 must now report the trim instead of silence.
+	err = l.Replay(0, func(Record) error { return nil })
+	if !errors.Is(err, ErrTrimmed) {
+		t.Fatalf("replay below floor: %v, want ErrTrimmed", err)
+	}
+	// Replay from the floor onward still works.
+	floor := l.FirstLSN()
+	var n int
+	if err := l.Replay(floor-1, func(Record) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if want := int(l.LastLSN() - floor + 1); n != want {
+		t.Fatalf("replayed %d records from floor, want %d", n, want)
+	}
+}
+
+func TestFsyncPolicies(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		opts   Options
+		verify func(t *testing.T, l *Log)
+	}{
+		{"always", Options{Fsync: FsyncAlways}, func(t *testing.T, l *Log) {
+			if l.Syncs() < 8 {
+				t.Fatalf("FsyncAlways issued %d syncs for 8 appends", l.Syncs())
+			}
+		}},
+		{"interval", Options{Fsync: FsyncInterval, FsyncEvery: time.Hour}, func(t *testing.T, l *Log) {
+			if l.Syncs() > 1 {
+				t.Fatalf("FsyncInterval(1h) issued %d syncs for 8 appends", l.Syncs())
+			}
+		}},
+		{"never", Options{Fsync: FsyncNever}, func(t *testing.T, l *Log) {
+			if l.Syncs() != 0 {
+				t.Fatalf("FsyncNever issued %d syncs before close", l.Syncs())
+			}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			l, err := Open(t.TempDir(), tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 8; i++ {
+				if _, err := l.Append([]byte("p")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			tc.verify(t, l)
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for s, want := range map[string]FsyncPolicy{
+		"always": FsyncAlways, "interval": FsyncInterval, "never": FsyncNever, "ALWAYS": FsyncAlways,
+	} {
+		got, err := ParsePolicy(s)
+		if err != nil || got != want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParsePolicy("sometimes"); err == nil {
+		t.Fatal("ParsePolicy must reject unknown names")
+	}
+}
+
+func TestCrashAbandonsLog(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("acked")); err != nil {
+		t.Fatal(err)
+	}
+	l.Crash()
+	if _, err := l.Append([]byte("after")); err == nil {
+		t.Fatal("append after Crash must fail")
+	}
+	// The acked record (FsyncAlways) survives the crash.
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := l2.LastLSN(); got != 1 {
+		t.Fatalf("acked record lost across crash: LastLSN = %d", got)
+	}
+}
+
+func TestOversizeRecordRejected(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append(make([]byte, MaxRecordBytes+1)); err == nil {
+		t.Fatal("oversize record must be rejected")
+	}
+}

@@ -1,11 +1,15 @@
 package parcube
 
 import (
+	"bytes"
+	"encoding/binary"
 	"fmt"
 	"io"
 
+	"parcube/internal/array"
 	"parcube/internal/cubeio"
 	"parcube/internal/nd"
+	"parcube/internal/seq"
 )
 
 // Range selects [Lo, Hi) along one dimension in a Dice call.
@@ -123,6 +127,160 @@ func ReadCubeSnapshot(r io.Reader, schema *Schema, aggregator Aggregator) (*Cube
 			store.Len(), (1<<uint(schema.Dims()))-1)
 	}
 	return &Cube{schema: schema, store: store, input: nil, op: aggregator.op()}, nil
+}
+
+// Cube state format (little endian):
+//
+//	magic    [8]byte "PCSTATE1"
+//	snapLen  uint64  length of the snapshot section
+//	snapshot snapLen bytes (cubeio snapshot of every group-by, CRC-footed)
+//	hasInput uint8   1 when the merged fact table follows
+//	inLen    uint64  length of the sparse section (when hasInput == 1)
+//	input    inLen bytes (cubeio chunked sparse binary)
+//
+// Unlike a bare snapshot, cube state carries the merged fact table, so a
+// restored cube still answers the full-dimensional group-by and still
+// accepts deltas (Update needs the stored input for Count/Max/Min
+// overlap checks and full-mask consistency). This is the unit the
+// durability layer checkpoints.
+const stateMagic = "PCSTATE1"
+
+// maxStateSection bounds the declared length of one state section. The
+// lengths are read back from disk, so the decoder refuses implausible
+// claims before allocating (the untrusted-alloc discipline): group-by
+// stores and fact tables beyond this bound do not arise from cubes this
+// library can build in memory.
+const maxStateSection = int64(1) << 34 // 16 GiB
+
+// WriteState serializes the cube's complete state: every group-by plus
+// the merged fact table.
+func (c *Cube) WriteState(w io.Writer) error {
+	var snap bytes.Buffer
+	if err := cubeio.WriteSnapshot(&snap, c.store); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, stateMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(snap.Len())); err != nil {
+		return err
+	}
+	if _, err := w.Write(snap.Bytes()); err != nil {
+		return err
+	}
+	if c.input == nil {
+		_, err := w.Write([]byte{0})
+		return err
+	}
+	if _, err := w.Write([]byte{1}); err != nil {
+		return err
+	}
+	var in bytes.Buffer
+	if err := cubeio.WriteSparseBinary(&in, c.input); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint64(in.Len())); err != nil {
+		return err
+	}
+	_, err := w.Write(in.Bytes())
+	return err
+}
+
+// ReadCubeState restores a cube serialized by WriteState. Like snapshot
+// loading, the aggregator is restated by the caller; unlike a snapshot,
+// the restored cube answers the full-dimensional group-by and accepts
+// further deltas.
+func ReadCubeState(r io.Reader, schema *Schema, aggregator Aggregator) (*Cube, error) {
+	if !aggregator.op().Valid() {
+		return nil, fmt.Errorf("parcube: invalid aggregator %d", int(aggregator))
+	}
+	magic := make([]byte, len(stateMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("parcube: reading state magic: %w", err)
+	}
+	if string(magic) != stateMagic {
+		return nil, fmt.Errorf("parcube: bad state magic %q", magic)
+	}
+	var snapLen uint64
+	if err := binary.Read(r, binary.LittleEndian, &snapLen); err != nil {
+		return nil, err
+	}
+	if int64(snapLen) > maxStateSection {
+		return nil, fmt.Errorf("parcube: implausible snapshot section of %d bytes", snapLen)
+	}
+	store, err := cubeio.ReadSnapshot(io.LimitReader(r, int64(snapLen)))
+	if err != nil {
+		return nil, err
+	}
+	if err := validateStore(store, schema, "state"); err != nil {
+		return nil, err
+	}
+	var hasInput [1]byte
+	if _, err := io.ReadFull(r, hasInput[:]); err != nil {
+		return nil, fmt.Errorf("parcube: reading state input flag: %w", err)
+	}
+	cube := &Cube{schema: schema, store: store, input: nil, op: aggregator.op()}
+	if hasInput[0] == 0 {
+		return cube, nil
+	}
+	var inLen uint64
+	if err := binary.Read(r, binary.LittleEndian, &inLen); err != nil {
+		return nil, err
+	}
+	if int64(inLen) > maxStateSection {
+		return nil, fmt.Errorf("parcube: implausible input section of %d bytes", inLen)
+	}
+	sc, err := cubeio.NewSparseScanner(io.LimitReader(r, int64(inLen)))
+	if err != nil {
+		return nil, err
+	}
+	shape, err := nd.NewShape(schema.Sizes()...)
+	if err != nil {
+		return nil, err
+	}
+	if !sc.Shape().Equal(shape) {
+		return nil, fmt.Errorf("parcube: state input has shape %v, schema implies %v", sc.Shape(), shape)
+	}
+	builder, err := array.NewSparseBuilder(shape, nil)
+	if err != nil {
+		return nil, err
+	}
+	var addErr error
+	sc.Iter(func(coords []int, v float64) {
+		if addErr == nil {
+			addErr = builder.Add(coords, v)
+		}
+	})
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("parcube: state input: %w", err)
+	}
+	if addErr != nil {
+		return nil, addErr
+	}
+	cube.input = builder.Build()
+	return cube, nil
+}
+
+// validateStore cross-checks a deserialized store against the schema:
+// every group-by shaped as the schema implies, and all 2^n - 1 present.
+func validateStore(store *seq.Store, schema *Schema, what string) error {
+	shape, err := nd.NewShape(schema.Sizes()...)
+	if err != nil {
+		return err
+	}
+	for _, mask := range store.Masks() {
+		a, _ := store.Get(mask)
+		want := shape.Keep(mask.Dims())
+		if !a.Shape().Equal(want) {
+			return fmt.Errorf("parcube: %s group-by %b has shape %v, schema implies %v",
+				what, mask, a.Shape(), want)
+		}
+	}
+	if store.Len() != (1<<uint(schema.Dims()))-1 {
+		return fmt.Errorf("parcube: %s has %d group-bys, schema implies %d",
+			what, store.Len(), (1<<uint(schema.Dims()))-1)
+	}
+	return nil
 }
 
 // SaveDir persists the cube's group-bys to a directory (one binary file

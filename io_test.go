@@ -196,3 +196,74 @@ func TestSaveDirLoadDirRoundTrip(t *testing.T) {
 		t.Fatal("bad aggregator accepted")
 	}
 }
+
+func TestCubeStateRoundTrip(t *testing.T) {
+	ds := retailDataset(t, 77, 200)
+	cube, _, err := Build(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cube.WriteState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCubeState(bytes.NewReader(buf.Bytes()), ds.Schema(), Sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Total() != cube.Total() {
+		t.Fatalf("restored total = %v, want %v", got.Total(), cube.Total())
+	}
+	// Proper group-bys round-trip cell-exactly.
+	want, _ := cube.GroupBy("item", "branch")
+	have, err := got.GroupBy("item", "branch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < want.Shape()[0]; i++ {
+		for j := 0; j < want.Shape()[1]; j++ {
+			if have.At(i, j) != want.At(i, j) {
+				t.Fatalf("cell (%d,%d) = %v, want %v", i, j, have.At(i, j), want.At(i, j))
+			}
+		}
+	}
+	// Unlike a bare snapshot, state keeps the fact table: the full
+	// group-by answers, and deltas still apply.
+	names := ds.Schema().Names()
+	if _, err := got.GroupBy(names...); err != nil {
+		t.Fatalf("full group-by after restore: %v", err)
+	}
+	delta := NewDataset(ds.Schema())
+	if err := delta.Add(5, 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := got.Update(delta); err != nil {
+		t.Fatalf("update after restore: %v", err)
+	}
+	if got.Total() != cube.Total()+5 {
+		t.Fatalf("total after restored update = %v, want %v", got.Total(), cube.Total()+5)
+	}
+}
+
+func TestCubeStateRejectsCorruption(t *testing.T) {
+	ds := retailDataset(t, 78, 60)
+	cube, _, err := Build(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := cube.WriteState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip a byte inside the snapshot section: the CRC footer must
+	// refuse it.
+	corrupt := append([]byte(nil), data...)
+	corrupt[40] ^= 0x10
+	if _, err := ReadCubeState(bytes.NewReader(corrupt), ds.Schema(), Sum); err == nil {
+		t.Fatal("bit-rotted cube state accepted")
+	}
+	if _, err := ReadCubeState(bytes.NewReader(data[:len(data)/2]), ds.Schema(), Sum); err == nil {
+		t.Fatal("truncated cube state accepted")
+	}
+}

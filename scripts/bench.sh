@@ -3,40 +3,54 @@
 # machine-readable JSON file (default BENCH_2.json): one record per
 # benchmark with its iteration count, ns/op, and every custom metric the
 # bench reports (modeled-s, comm-elems, comm-bytes, peak-elems,
-# ns/update). Used by `make bench-json`.
+# ns/update). Also runs the durability benchmarks (WAL append and replay
+# throughput, checkpoint write, recovery open) into a second file
+# (default BENCH_5.json). Used by `make bench-json`.
 #
-#   scripts/bench.sh [output.json]
+#   scripts/bench.sh [figures.json] [durability.json]
 #
-# BENCH_PATTERN and BENCH_TIME override the benchmark selection and
-# -benchtime (defaults: the figure + theorem benches, 1 iteration).
+# BENCH_PATTERN, WAL_BENCH_PATTERN, and BENCH_TIME override the
+# benchmark selections and -benchtime (defaults: the figure + theorem
+# benches and the WAL/recovery benches, 1 iteration each).
 set -eu
 
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_2.json}"
+walout="${2:-BENCH_5.json}"
 pattern="${BENCH_PATTERN:-Fig7|Fig8|Fig9|Sequential|MemoryBound|CommVolume|ScanKernel}"
+walpattern="${WAL_BENCH_PATTERN:-WALAppend|WALReplay|CheckpointWrite|RecoveryOpen}"
 benchtime="${BENCH_TIME:-1x}"
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench "$pattern" -benchtime "$benchtime" . | tee "$tmp"
-
-awk '
+# tojson converts `go test -bench` output on stdin into a JSON array;
+# fields after the iteration count come in value/unit pairs.
+tojson() {
+	awk '
 BEGIN { print "["; sep = "" }
 /^Benchmark/ {
     printf "%s  {\"name\": \"%s\", \"iterations\": %s", sep, $1, $2
     sep = ",\n"
-    # Fields after the iteration count come in value/unit pairs.
     for (i = 3; i + 1 <= NF; i += 2) {
         unit = $(i + 1)
         gsub(/\//, "_per_", unit)
         gsub(/-/, "_", unit)
+        gsub(/=/, "_", unit)
         printf ", \"%s\": %s", unit, $i
     }
     printf "}"
 }
 END { print "\n]" }
-' "$tmp" >"$out"
+'
+}
 
+go test -run '^$' -bench "$pattern" -benchtime "$benchtime" . | tee "$tmp"
+tojson <"$tmp" >"$out"
 echo "wrote $out"
+
+go test -run '^$' -bench "$walpattern" -benchtime "$benchtime" \
+	./internal/wal ./internal/recovery | tee "$tmp"
+tojson <"$tmp" >"$walout"
+echo "wrote $walout"

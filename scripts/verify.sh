@@ -5,7 +5,9 @@
 #   2. go build — everything compiles
 #   3. go vet   — the stock analyzers
 #   4. cubelint — the project-specific invariant analyzers (internal/lint)
-#   5. go test  — the whole suite under the race detector
+#   5. recovery — the crash/durability wall: WAL torn-tail recovery,
+#                 checkpoint restore, kill -9 shard rejoin (race-enabled)
+#   6. go test  — the whole suite under the race detector
 #
 # Used by `make verify` and intended as the pre-commit / CI entry point.
 # Each stage prints a banner on failure naming the stage that broke.
@@ -35,6 +37,10 @@ go vet ./... || fail "go vet"
 
 echo "==> cubelint"
 go run ./cmd/cubelint ./... || fail cubelint
+
+echo "==> recovery wall"
+go test -race -count=1 -run 'Crash|Torn|Durable|WAL|Checkpoint|Rejoin' \
+	./internal/wal ./internal/recovery ./internal/shard || fail "recovery wall"
 
 echo "==> go test -race"
 go test -race ./... || fail "go test -race"

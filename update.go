@@ -1,6 +1,7 @@
 package parcube
 
 import (
+	"errors"
 	"fmt"
 
 	"parcube/internal/agg"
@@ -8,6 +9,14 @@ import (
 	"parcube/internal/lattice"
 	"parcube/internal/seq"
 )
+
+// ErrOverlappingDelta reports a Count/Max/Min delta touching a cell that
+// already holds a fact: the old contribution cannot be retracted from a
+// max/min/count without a rebuild, so Update rejects the delta. The
+// error is typed so callers — the shard WAL apply path above all — can
+// branch on it with errors.Is and refuse to log a delta that will never
+// apply, instead of string-matching a message.
+var ErrOverlappingDelta = errors.New("parcube: delta overlaps previously populated cells")
 
 // UpdateStats reports an incremental cube maintenance step.
 type UpdateStats struct {
@@ -51,7 +60,7 @@ func (c *Cube) Update(delta *Dataset) (*UpdateStats, error) {
 			}
 		})
 		if overlap {
-			return nil, fmt.Errorf("parcube: %v cubes only support deltas on previously empty cells; rebuild instead", c.op)
+			return nil, fmt.Errorf("%w: %v cubes only support deltas on previously empty cells; rebuild instead", ErrOverlappingDelta, c.op)
 		}
 	}
 

@@ -1,6 +1,7 @@
 package parcube
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 )
@@ -118,8 +119,13 @@ func TestUpdateMaxOverlapRejected(t *testing.T) {
 	}
 	delta := NewDataset(retailSchema(t))
 	_ = delta.Add(3, 0, 0, 0) // touches an occupied cell
-	if _, err := cube.Update(delta); err == nil {
+	_, err = cube.Update(delta)
+	if err == nil {
 		t.Fatal("overlapping max delta accepted")
+	}
+	// The rejection is typed, so the WAL apply path can branch on it.
+	if !errors.Is(err, ErrOverlappingDelta) {
+		t.Fatalf("overlap rejection = %v, want errors.Is(_, ErrOverlappingDelta)", err)
 	}
 }
 
