@@ -47,6 +47,8 @@ type Manager struct {
 
 	mu        sync.Mutex
 	log       *wal.Log
+	restore   func(r io.Reader, lsn uint64) error
+	apply     func(lsn uint64, payload []byte) error
 	snap      func(w io.Writer) error
 	ckptLSN   uint64 // LSN of the newest published checkpoint
 	sinceCkpt int    // records appended since that checkpoint
@@ -82,6 +84,8 @@ func Open(opts Options, restore func(r io.Reader, lsn uint64) error, apply func(
 	m := &Manager{
 		dir:         opts.Dir,
 		opts:        opts,
+		restore:     restore,
+		apply:       apply,
 		snap:        snap,
 		replayed:    reg.Counter("recovery.replayed_records"),
 		replayNs:    reg.Histogram("recovery.replay_ns"),
@@ -108,6 +112,19 @@ func Open(opts Options, restore func(r io.Reader, lsn uint64) error, apply func(
 	log, err := wal.Open(filepath.Join(opts.Dir, "wal"), opts.WAL)
 	if err != nil {
 		return nil, err
+	}
+	if lsn > log.LastLSN() {
+		// Checkpoints are always fsynced; log records are only as durable
+		// as the fsync policy. After power loss under FsyncInterval/Never
+		// the checkpoint can be ahead of every surviving log record. All
+		// those records are baked into the restored state, so fast-forward
+		// the log to the checkpoint — otherwise new appends would reuse
+		// LSNs the state already contains, and idempotency checks keyed on
+		// LastLSN would wrongly re-admit them.
+		if err := log.Reset(lsn); err != nil {
+			cerr := log.Close()
+			return nil, errors.Join(fmt.Errorf("recovery: fast-forwarding log to checkpoint LSN %d: %w", lsn, err), cerr)
+		}
 	}
 	replayed := int64(0)
 	replayErr := log.Replay(lsn, func(rec wal.Record) error {
@@ -222,6 +239,63 @@ func (m *Manager) checkpointLocked() error {
 		trimTo = 0
 	}
 	return m.log.TrimBelow(trimTo)
+}
+
+// ErrBelowCheckpoint reports a Rebuild target below the newest
+// checkpoint: the records past the target are already baked into every
+// retained snapshot, so the Manager cannot reconstruct the older state.
+var ErrBelowCheckpoint = errors.New("recovery: rebuild target below newest checkpoint")
+
+// Rebuild durably discards every log record with LSN above lsn and
+// reconstructs the owner's state without them: the newest checkpoint is
+// restored and the surviving log replayed on top, through the same
+// callbacks Open uses. It is the repair path for a replica whose log
+// tail diverged from its group (a write was applied locally but never
+// acknowledged); the coordinator truncates the orphan record and then
+// re-feeds the group's true history. A target at or past LastLSN is a
+// no-op; a target below the newest checkpoint fails with
+// ErrBelowCheckpoint.
+func (m *Manager) Rebuild(lsn uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errors.New("recovery: manager is closed")
+	}
+	if lsn >= m.log.LastLSN() {
+		return nil
+	}
+	if lsn < m.ckptLSN {
+		return ErrBelowCheckpoint
+	}
+	if err := m.log.TruncateTail(lsn); err != nil {
+		return err
+	}
+	ckLSN, state, skipped, err := latestValidCheckpoint(m.dir)
+	if err != nil {
+		return err
+	}
+	m.ckptSkipped.Add(int64(skipped))
+	if state == nil {
+		// Without a snapshot there is no base to rebuild from: the
+		// truncated record's mutation is already in the live state and
+		// replaying the whole log would double-apply everything else.
+		return errors.New("recovery: rebuild requires a checkpoint")
+	}
+	if err := m.restore(bytes.NewReader(state), ckLSN); err != nil {
+		return fmt.Errorf("recovery: restoring checkpoint at LSN %d: %w", ckLSN, err)
+	}
+	replayed := int64(0)
+	if err := m.log.Replay(ckLSN, func(rec wal.Record) error {
+		replayed++
+		return m.apply(rec.LSN, rec.Payload)
+	}); err != nil {
+		return fmt.Errorf("recovery: replaying log after LSN %d: %w", ckLSN, err)
+	}
+	m.ckptLSN = ckLSN
+	m.sinceCkpt = int(replayed)
+	m.replayed.Add(replayed)
+	m.logLag.Set(int64(m.log.LastLSN() - m.ckptLSN))
+	return nil
 }
 
 // Replay streams log records with LSN > after, oldest first. It reports

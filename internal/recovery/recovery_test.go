@@ -293,3 +293,134 @@ func TestCheckpointNameRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestOpenFastForwardsLogBehindCheckpoint covers power loss under a lax
+// fsync policy: checkpoints are always fsynced but log records may not
+// be, so a restart can find the checkpoint ahead of every surviving log
+// record. Open must fast-forward the log to the checkpoint — otherwise
+// new appends would reuse LSNs already baked into the restored state.
+func TestOpenFastForwardsLogBehindCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	j := &journal{}
+	m := openJournal(t, dir, j, Options{})
+	for i := 1; i <= 5; i++ {
+		payload := fmt.Sprintf("e%d", i)
+		if _, err := m.Append([]byte(payload)); err != nil {
+			t.Fatal(err)
+		}
+		j.entries = append(j.entries, payload)
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the un-fsynced log records vanishing in the power loss.
+	if err := os.RemoveAll(filepath.Join(dir, "wal")); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := &journal{}
+	m2 := openJournal(t, dir, j2, Options{})
+	if len(j2.entries) != 5 {
+		t.Fatalf("restored %d entries, want 5", len(j2.entries))
+	}
+	if got := m2.LastLSN(); got != 5 {
+		t.Fatalf("LastLSN = %d, want the checkpoint LSN 5", got)
+	}
+	lsn, err := m2.Append([]byte("e6"))
+	if err != nil || lsn != 6 {
+		t.Fatalf("append after fast-forward = %d, %v; want 6", lsn, err)
+	}
+	j2.entries = append(j2.entries, "e6")
+	if err := m2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The fast-forwarded log must reopen cleanly and replay only e6.
+	j3 := &journal{}
+	m3 := openJournal(t, dir, j3, Options{})
+	defer func() {
+		if err := m3.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if len(j3.entries) != 6 || j3.entries[5] != "e6" {
+		t.Fatalf("after reopen: entries %v", j3.entries)
+	}
+	if got := m3.LastLSN(); got != 6 {
+		t.Fatalf("LastLSN after reopen = %d, want 6", got)
+	}
+}
+
+// TestRebuildTruncatesTail drives the rejoin repair path: Rebuild drops
+// the log tail above the target and reconstructs the state from the
+// newest checkpoint plus the surviving records.
+func TestRebuildTruncatesTail(t *testing.T) {
+	dir := t.TempDir()
+	j := &journal{}
+	m := openJournal(t, dir, j, Options{RetainRecords: 100})
+	defer func() {
+		if err := m.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	appendOne := func(i int) {
+		t.Helper()
+		payload := fmt.Sprintf("e%d", i)
+		if _, err := m.Append([]byte(payload)); err != nil {
+			t.Fatal(err)
+		}
+		j.entries = append(j.entries, payload)
+	}
+	for i := 1; i <= 3; i++ {
+		appendOne(i)
+	}
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 4; i <= 5; i++ {
+		appendOne(i)
+	}
+
+	if err := m.Rebuild(2); !errors.Is(err, ErrBelowCheckpoint) {
+		t.Fatalf("rebuild below the checkpoint = %v, want ErrBelowCheckpoint", err)
+	}
+	if err := m.Rebuild(4); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.LastLSN(); got != 4 {
+		t.Fatalf("LastLSN after rebuild = %d, want 4", got)
+	}
+	want := []string{"e1", "e2", "e3", "e4"}
+	if len(j.entries) != len(want) {
+		t.Fatalf("rebuilt state %v, want %v", j.entries, want)
+	}
+	for i := range want {
+		if j.entries[i] != want[i] {
+			t.Fatalf("rebuilt state %v, want %v", j.entries, want)
+		}
+	}
+	// At or past the tail is a no-op.
+	if err := m.Rebuild(4); err != nil {
+		t.Fatalf("no-op rebuild: %v", err)
+	}
+	// The vacated position is reusable with fresh content.
+	lsn, err := m.Append([]byte("e5b"))
+	if err != nil || lsn != 5 {
+		t.Fatalf("append after rebuild = %d, %v; want 5", lsn, err)
+	}
+	j.entries = append(j.entries, "e5b")
+
+	var replayed []string
+	if err := m.Replay(3, func(rec wal.Record) error {
+		replayed = append(replayed, string(rec.Payload))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != 2 || replayed[0] != "e4" || replayed[1] != "e5b" {
+		t.Fatalf("log tail after rebuild: %v", replayed)
+	}
+}

@@ -376,6 +376,22 @@ func (c *Client) DeltasSince(lsn uint64) ([]LoggedRow, error) {
 	return out, nil
 }
 
+// Truncate asks the peer to durably discard every logged record with
+// LSN above lsn and rebuild its state without them (rejoin divergence
+// repair). It returns the peer's last LSN after the truncation.
+func (c *Client) Truncate(lsn uint64) (uint64, error) {
+	payload, err := c.roundTrip(fmt.Sprintf("TRUNCATE %d", lsn))
+	if err != nil {
+		return 0, err
+	}
+	f := parseFields(payload)
+	last, err := strconv.ParseUint(f["lsn"], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("server: malformed truncate ack %q", payload)
+	}
+	return last, nil
+}
+
 // Top fetches the k largest cells of a group-by.
 func (c *Client) Top(k int, dims ...string) ([]Row, error) {
 	payload, err := c.roundTrip(fmt.Sprintf("TOP %d %s", k, strings.Join(dims, ",")))

@@ -17,10 +17,12 @@
 //	                              answers "OK lsn=<n> applied=<0|1>" once the delta is durable
 //	DELTASINCE <lsn>           -> "OK <rows>", then one "<lsn> <c0,c1,...> <value>" line per
 //	                              logged cell (rows of one record share an LSN), then "."
+//	TRUNCATE <lsn>             -> "OK lsn=<n>"; durably discards log records above <lsn> and
+//	                              rebuilds state without them (rejoin divergence repair)
 //	QUIT                       -> closes the connection
 //
-// Errors answer "ERR <message>". DELTA and DELTASINCE answer an error on
-// backends without ingest support (plain read-only cube servers).
+// Errors answer "ERR <message>". DELTA, DELTASINCE and TRUNCATE answer an
+// error on backends without ingest support (plain read-only cube servers).
 //
 // The Server is generic over a Backend: a local cube (New) or any other
 // implementation of the query surface, such as internal/shard's
@@ -101,6 +103,18 @@ type WALTailBackend interface {
 	DeltasSince(lsn uint64) ([]LoggedDelta, error)
 	// LastLSN returns the newest durable record's LSN.
 	LastLSN() uint64
+}
+
+// TruncateBackend is an optional Backend refinement for discarding the
+// durable log's tail. A coordinator uses it during rejoin when a
+// recovering replica's newest record was never acknowledged (or diverged
+// from the group after a lost-ack round): the orphan record is dropped
+// and the state rebuilt from checkpoint + surviving log, after which
+// normal catch-up resupplies the group's true history.
+type TruncateBackend interface {
+	// TruncateTail durably removes every logged record with LSN above
+	// lsn, rebuilds the state without them, and returns the new last LSN.
+	TruncateTail(lsn uint64) (uint64, error)
 }
 
 // StatsReporter is an optional Backend refinement that appends extra
@@ -352,7 +366,7 @@ var knownCommands = map[string]string{
 	"QUIT": "quit", "STATS": "stats", "SHARDINFO": "shardinfo",
 	"SCHEMA": "schema", "TOTAL": "total", "GROUPBY": "groupby",
 	"QUERY": "query", "VALUE": "value", "TOP": "top",
-	"DELTA": "delta", "DELTASINCE": "deltasince",
+	"DELTA": "delta", "DELTASINCE": "deltasince", "TRUNCATE": "truncate",
 }
 
 // maxDeltaCells bounds one DELTA batch. The declared count is untrusted
@@ -533,6 +547,27 @@ func (s *Server) handle(conn net.Conn, r *bufio.Reader, w *bufio.Writer, line st
 			}
 		}
 		fmt.Fprintln(w, ".")
+	case "TRUNCATE":
+		tb, ok := s.backend.(TruncateBackend)
+		if !ok {
+			s.errf(w, "backend has no durable log")
+			return false
+		}
+		if len(fields) != 2 {
+			s.errf(w, "TRUNCATE needs an LSN")
+			return false
+		}
+		to, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			s.errf(w, "bad LSN %q", fields[1])
+			return false
+		}
+		last, err := tb.TruncateTail(to)
+		if err != nil {
+			s.errf(w, "%v", err)
+			return false
+		}
+		fmt.Fprintf(w, "OK lsn=%d\n", last)
 	default:
 		s.errf(w, "unknown command %q", cmd)
 	}

@@ -65,6 +65,9 @@ type replica struct {
 	// durable reports whether the node announced a WAL high-water mark
 	// (lsn=) in its SHARDINFO handshake; only durable replicas ingest.
 	durable bool
+	// handshakeLSN is the WAL position announced at handshake (durable
+	// replicas only) — it seeds the group's tail-acker set.
+	handshakeLSN uint64
 	// down marks a replica out of the read and write sets after a write
 	// to it failed; the rejoin loop clears it once the replica is caught
 	// up. Reads fall back to down replicas only when no live one is left.
@@ -82,6 +85,15 @@ type blockGroup struct {
 	// mark — initialized from the handshake's largest announced lsn.
 	writeMu sync.Mutex
 	lastLSN uint64
+	// tailAckers, guarded by writeMu, names the replicas known to hold
+	// the group's tail record with the group's content: the ackers of the
+	// last acknowledged write (or, at handshake, the replicas announcing
+	// the high-water mark). An unacknowledged write can leave a down
+	// replica holding a *different* record at an assigned LSN — lastLSN
+	// does not advance, so the next delta reuses the position — which is
+	// why rejoin trusts matching LSN positions only for tail ackers and
+	// verifies everyone else's tail content against a live peer.
+	tailAckers map[string]bool
 }
 
 // Coordinator answers the cube line protocol by scatter-gathering shard
@@ -170,7 +182,7 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		key := block.String()
 		g, ok := groups[key]
 		if !ok {
-			g = &blockGroup{block: block}
+			g = &blockGroup{block: block, tailAckers: make(map[string]bool)}
 			groups[key] = g
 			order = append(order, key)
 		}
@@ -181,6 +193,7 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 				return nil, fmt.Errorf("shard: %s: malformed lsn %q", addr, lsnField)
 			}
 			rep.durable = true
+			rep.handshakeLSN = lsn
 			if lsn > g.lastLSN {
 				g.lastLSN = lsn
 			}
@@ -188,7 +201,16 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		g.replicas = append(g.replicas, rep)
 	}
 	for _, key := range order {
-		c.blocks = append(c.blocks, groups[key])
+		g := groups[key]
+		// Replicas announcing the group high-water mark hold its tail
+		// record; peers behind it are caught up (and verified) through the
+		// same rejoin path as a mid-run failure before they can diverge.
+		for _, rep := range g.replicas {
+			if rep.durable && rep.handshakeLSN == g.lastLSN {
+				g.tailAckers[rep.addr] = true
+			}
+		}
+		c.blocks = append(c.blocks, g)
 	}
 	if err := c.validateTiling(); err != nil {
 		_ = c.Close() // constructor failed; tiling error is the one to report

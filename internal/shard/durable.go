@@ -67,6 +67,14 @@ type durableBackend struct {
 	mu   sync.RWMutex
 	cube *parcube.Cube
 	mgr  *recovery.Manager
+	// poisoned, once set, rejects every further delta, truncation, and
+	// checkpoint until restart. It marks a cube/log divergence this
+	// process cannot repair: a delta was applied to the live cube but its
+	// WAL append failed, so acking anything on top would acknowledge
+	// state a restart cannot reconstruct. Reads stay up (the cube is
+	// still internally consistent), and a restart rebuilds cleanly from
+	// checkpoint + log, which by construction lack the orphan mutation.
+	poisoned error
 }
 
 // encodeRows renders delta rows as a WAL record payload: one
@@ -142,6 +150,9 @@ func (b *durableBackend) Delta(rows []server.Row, lsn uint64) (uint64, bool, err
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.poisoned != nil {
+		return 0, false, b.poisoned
+	}
 	last := b.mgr.LastLSN()
 	switch {
 	case lsn == 0:
@@ -157,11 +168,42 @@ func (b *durableBackend) Delta(rows []server.Row, lsn uint64) (uint64, bool, err
 		return 0, false, err
 	}
 	if _, err := b.mgr.AppendAt(lsn, encodeRows(rows)); err != nil {
-		// The cube is ahead of the log until the next restart; the
-		// client never sees an ack, so nothing acknowledged is at risk.
-		return 0, false, fmt.Errorf("shard: delta applied but not durable: %w", err)
+		// The cube now holds a mutation the log does not. The client never
+		// sees an ack for it — but any later acked delta would be computed
+		// over (and, for overlap checks, fenced by) the unlogged one, and a
+		// restart would replay to a state missing it. Poison the backend:
+		// no further delta is acked until a restart rebuilds from durable
+		// state alone.
+		b.poisoned = fmt.Errorf("shard: delta at LSN %d applied but not logged: %w", lsn, err)
+		return 0, false, b.poisoned
 	}
 	return lsn, true, nil
+}
+
+// TruncateTail implements server.TruncateBackend: durably discard every
+// logged record above lsn and rebuild the cube from the newest
+// checkpoint plus the surviving log. The coordinator invokes it during
+// rejoin when this node's newest record was never acknowledged by the
+// group (a lost-ack round left it holding an orphan, possibly divergent,
+// delta); afterwards normal catch-up resupplies the group's history.
+func (b *durableBackend) TruncateTail(lsn uint64) (uint64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.poisoned != nil {
+		return 0, b.poisoned
+	}
+	if err := b.mgr.Rebuild(lsn); err != nil {
+		if errors.Is(err, recovery.ErrBelowCheckpoint) {
+			// Nothing was mutated: the target predates the newest
+			// checkpoint and the Manager refused up front.
+			return 0, err
+		}
+		// A failed rebuild can leave the cube and log mismatched
+		// (truncated log, stale cube). Stop acking until restart.
+		b.poisoned = fmt.Errorf("shard: truncate to LSN %d failed: %w", lsn, err)
+		return 0, b.poisoned
+	}
+	return b.mgr.LastLSN(), nil
 }
 
 // DeltasSince implements server.WALTailBackend by decoding the log tail.
@@ -256,6 +298,7 @@ func StartDurableNode(plan *Plan, id int, ds *parcube.Dataset, addr string, dopt
 	if dopts.DataDir == "" {
 		return nil, fmt.Errorf("shard: node %d: DurableOptions.DataDir is required", id)
 	}
+	hadCheckpoint := recovery.HasCheckpoint(dopts.DataDir)
 	block, err := plan.BlockOfNode(id)
 	if err != nil {
 		return nil, err
@@ -275,7 +318,7 @@ func StartDurableNode(plan *Plan, id int, ds *parcube.Dataset, addr string, dopt
 		}
 		op = cube.Aggregator()
 	} else {
-		if !recovery.HasCheckpoint(dopts.DataDir) {
+		if !hadCheckpoint {
 			return nil, fmt.Errorf("shard: node %d: no dataset and no checkpoint in %s", id, dopts.DataDir)
 		}
 		op = dopts.Op
@@ -335,7 +378,13 @@ func StartDurableNode(plan *Plan, id int, ds *parcube.Dataset, addr string, dopt
 		return nil, fmt.Errorf("shard: node %d recovery: %w", id, err)
 	}
 	backend.mgr = mgr
-	if mgr.CheckpointLSN() == 0 {
+	// Only a directory that had no checkpoint at all gets the initial one.
+	// Gating on CheckpointLSN() == 0 would also fire on a restart whose
+	// newest checkpoint is the initial LSN-0 snapshot — and that restart
+	// checkpoint, stamped with the recovered LastLSN, would bake an
+	// unacked (possibly divergent) tail record into durable state before
+	// the coordinator's rejoin reconciliation could truncate it away.
+	if !hadCheckpoint {
 		if err := mgr.Checkpoint(); err != nil {
 			cerr := mgr.Close()
 			return nil, errors.Join(fmt.Errorf("shard: node %d initial checkpoint: %w", id, err), cerr)
@@ -380,6 +429,11 @@ func (n *Node) Checkpoint() error {
 	}
 	n.durable.mu.Lock()
 	defer n.durable.mu.Unlock()
+	if n.durable.poisoned != nil {
+		// A checkpoint taken now would bake the unlogged mutation into a
+		// snapshot stamped with a lower LSN, making the divergence durable.
+		return n.durable.poisoned
+	}
 	return n.durable.mgr.Checkpoint()
 }
 

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"strings"
 	"testing"
 	"time"
 
@@ -366,5 +367,316 @@ func TestDurableNodeColdRestartWithoutDataset(t *testing.T) {
 	assertCoordMatches(t, dc.coord, ref, "cold dataset-free restart")
 	if got := len(all); got != 18 {
 		t.Fatalf("test bookkeeping: %d rows", got)
+	}
+}
+
+// startLockstepPair boots two durable replicas of a single block with
+// auto-checkpointing off (so an unacknowledged tail record is never
+// baked into a checkpoint) and a coordinator whose rejoin loop is
+// disabled — tests drive tryRejoin synchronously for determinism.
+func startLockstepPair(t *testing.T, ds *parcube.Dataset) *durableCluster {
+	t.Helper()
+	plan, err := NewPlan(ds.Schema().Names(), ds.Schema().Sizes(), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc := &durableCluster{plan: plan, dopts: DurableOptions{Fsync: wal.FsyncAlways}}
+	for i := 0; i < 2; i++ {
+		dir := t.TempDir()
+		dopts := dc.dopts
+		dopts.DataDir = dir
+		n, err := StartDurableNode(plan, i, ds, "127.0.0.1:0", dopts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dc.dirs = append(dc.dirs, dir)
+		dc.nodes = append(dc.nodes, n)
+	}
+	t.Cleanup(func() {
+		for _, n := range dc.nodes {
+			_ = n.Close()
+		}
+	})
+	dc.coord, err = NewCoordinator(Config{
+		Addrs:       []string{dc.nodes[0].Addr(), dc.nodes[1].Addr()},
+		Timeout:     2 * time.Second,
+		Backoff:     time.Millisecond,
+		Rounds:      4,
+		RejoinEvery: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = dc.coord.Close() })
+	return dc
+}
+
+// TestLostAckDivergenceRepairedOnRejoin reproduces the lost-ack LSN
+// reuse: replica 0 applies and logs delta D1 at LSN 4 but its ack never
+// reaches the coordinator, so the position stays open and a different
+// delta D2 is assigned LSN 4 on the live peer. Both replicas then sit at
+// LSN 4 with different content — rejoin must detect the divergence by
+// comparing tail content (position alone matches), truncate the
+// divergent record, and resupply D2 before readmitting.
+func TestLostAckDivergenceRepairedOnRejoin(t *testing.T) {
+	ds, ref := test4D(t)
+	dc := startLockstepPair(t, ds)
+	g := dc.coord.blocks[0]
+	rep := g.replicas[0] // nodes[0]: replicas follow Addrs order
+
+	for i := 0; i < 3; i++ {
+		rows := []server.Row{{Coords: blockCell(dc.nodes[0], i), Value: float64(i + 1)}}
+		if _, _, err := dc.coord.Delta(rows, 0); err != nil {
+			t.Fatalf("delta %d: %v", i, err)
+		}
+		applyRef(t, ref, rows)
+	}
+
+	// The lost-ack round: the write reaches replica 0 (applied + logged at
+	// LSN 4) but the ack is lost, so the coordinator marks it down and
+	// g.lastLSN stays at 3. The client saw a failure; D1 is not in ref.
+	d1 := []server.Row{{Coords: blockCell(dc.nodes[0], 3), Value: 111}}
+	direct, err := server.Dial(dc.nodes[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied, err := direct.DeltaAt(4, d1); err != nil || !applied {
+		t.Fatalf("direct delta at 4: applied=%v, %v", applied, err)
+	}
+	if err := direct.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dc.coord.markDown(rep)
+
+	// The retried (different) delta reuses LSN 4 on the live peer.
+	d2 := []server.Row{{Coords: blockCell(dc.nodes[0], 4), Value: 222}}
+	if _, _, err := dc.coord.Delta(d2, 0); err != nil {
+		t.Fatal(err)
+	}
+	applyRef(t, ref, d2)
+	if a, b := dc.nodes[0].LastLSN(), dc.nodes[1].LastLSN(); a != 4 || b != 4 {
+		t.Fatalf("setup: replicas at LSNs %d and %d, want both at 4 (with different content)", a, b)
+	}
+
+	dc.coord.tryRejoin(g, rep)
+	if rep.down.Load() {
+		t.Fatalf("replica not readmitted (stats %+v)", dc.coord.Stats())
+	}
+	if got := dc.coord.Stats().TailTruncates; got == 0 {
+		t.Fatal("divergent tail readmitted without truncation")
+	}
+
+	// The repaired replica must hold D2 and not D1 — query it directly
+	// (its block covers the whole array, so its total is the cube total).
+	cl, err := server.Dial(dc.nodes[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	total, err := cl.Total()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ref.Total(); total != want {
+		t.Fatalf("repaired replica total = %v, want %v (divergent cells served)", total, want)
+	}
+	if a, b := dc.nodes[0].LastLSN(), dc.nodes[1].LastLSN(); a != b || a != 4 {
+		t.Fatalf("replicas at LSNs %d and %d after repair, want lockstep at 4", a, b)
+	}
+	assertCoordMatches(t, dc.coord, ref, "after divergence repair")
+}
+
+// TestDivergentTailRepairedAfterRestart is the kill -9 variant of the
+// lost-ack reuse: replica 0 logs D1 at LSN 4, dies before acking, the
+// live peer gets a different delta at LSN 4, and replica 0 restarts from
+// its data directory alone. The restart must not checkpoint the
+// recovered state — that would stamp the divergent record into a
+// snapshot and make the coordinator's TRUNCATE fail with
+// ErrBelowCheckpoint, stranding the replica down forever.
+func TestDivergentTailRepairedAfterRestart(t *testing.T) {
+	ds, ref := test4D(t)
+	dc := startLockstepPair(t, ds)
+	g := dc.coord.blocks[0]
+	rep := g.replicas[0]
+
+	for i := 0; i < 3; i++ {
+		rows := []server.Row{{Coords: blockCell(dc.nodes[0], i), Value: float64(i + 1)}}
+		if _, _, err := dc.coord.Delta(rows, 0); err != nil {
+			t.Fatalf("delta %d: %v", i, err)
+		}
+		applyRef(t, ref, rows)
+	}
+
+	d1 := []server.Row{{Coords: blockCell(dc.nodes[0], 3), Value: 111}}
+	direct, err := server.Dial(dc.nodes[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied, err := direct.DeltaAt(4, d1); err != nil || !applied {
+		t.Fatalf("direct delta at 4: applied=%v, %v", applied, err)
+	}
+	_ = direct.Close()
+	dc.nodes[0].Crash()
+	dc.coord.markDown(rep)
+
+	d2 := []server.Row{{Coords: blockCell(dc.nodes[0], 4), Value: 222}}
+	if _, _, err := dc.coord.Delta(d2, 0); err != nil {
+		t.Fatal(err)
+	}
+	applyRef(t, ref, d2)
+
+	dc.restartNode(t, 0)
+	if got := dc.nodes[0].LastLSN(); got != 4 {
+		t.Fatalf("restarted node at LSN %d, want 4 (divergent tail recovered)", got)
+	}
+
+	// The pool may hand back a stale pre-crash connection on the first
+	// probe; the background loop simply retries next tick, so do the same.
+	for i := 0; i < 5 && rep.down.Load(); i++ {
+		dc.coord.tryRejoin(g, rep)
+	}
+	if rep.down.Load() {
+		t.Fatalf("replica not readmitted after restart (stats %+v)", dc.coord.Stats())
+	}
+	if got := dc.coord.Stats().TailTruncates; got == 0 {
+		t.Fatal("divergent tail readmitted without truncation")
+	}
+
+	cl, err := server.Dial(dc.nodes[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	total, err := cl.Total()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ref.Total(); total != want {
+		t.Fatalf("repaired replica total = %v, want %v (divergent cell survived restart)", total, want)
+	}
+	assertCoordMatches(t, dc.coord, ref, "after restart divergence repair")
+}
+
+// TestOrphanTailTruncatedOnRejoin covers the simpler half of the lost-ack
+// problem: the replica logged a record above the group's high-water mark
+// and nothing was reassigned meanwhile. The record was never acked to any
+// client, so rejoin discards it and frees the position for reuse.
+func TestOrphanTailTruncatedOnRejoin(t *testing.T) {
+	ds, ref := test4D(t)
+	dc := startLockstepPair(t, ds)
+	g := dc.coord.blocks[0]
+	rep := g.replicas[0]
+
+	for i := 0; i < 2; i++ {
+		rows := []server.Row{{Coords: blockCell(dc.nodes[0], i), Value: float64(i + 1)}}
+		if _, _, err := dc.coord.Delta(rows, 0); err != nil {
+			t.Fatalf("delta %d: %v", i, err)
+		}
+		applyRef(t, ref, rows)
+	}
+
+	orphan := []server.Row{{Coords: blockCell(dc.nodes[0], 2), Value: 111}}
+	direct, err := server.Dial(dc.nodes[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied, err := direct.DeltaAt(3, orphan); err != nil || !applied {
+		t.Fatalf("direct delta at 3: applied=%v, %v", applied, err)
+	}
+	if err := direct.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dc.coord.markDown(rep)
+
+	dc.coord.tryRejoin(g, rep)
+	if rep.down.Load() {
+		t.Fatalf("replica not readmitted (stats %+v)", dc.coord.Stats())
+	}
+	if got := dc.coord.Stats().TailTruncates; got != 1 {
+		t.Fatalf("tail truncates = %d, want 1", got)
+	}
+	if a, b := dc.nodes[0].LastLSN(), dc.nodes[1].LastLSN(); a != b || a != 2 {
+		t.Fatalf("replicas at LSNs %d and %d, want lockstep at 2", a, b)
+	}
+	// The never-acked cell must not be served.
+	cl, err := server.Dial(dc.nodes[0].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	total, err := cl.Total()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ref.Total(); total != want {
+		t.Fatalf("replica total = %v, want %v (orphan record served)", total, want)
+	}
+	// The vacated position is reusable by the next group write.
+	rows := []server.Row{{Coords: blockCell(dc.nodes[0], 3), Value: 7}}
+	lsn, _, err := dc.coord.Delta(rows, 0)
+	if err != nil || lsn != 3 {
+		t.Fatalf("delta after repair at LSN %d, %v; want 3", lsn, err)
+	}
+	applyRef(t, ref, rows)
+	assertCoordMatches(t, dc.coord, ref, "after orphan truncation")
+}
+
+// TestPoisonedBackendStopsAcking: when a delta reaches the cube but its
+// WAL append fails, the backend must stop acking deltas, checkpoints,
+// and truncations until restart — acking on top of the unlogged mutation
+// would acknowledge state a restart cannot reconstruct.
+func TestPoisonedBackendStopsAcking(t *testing.T) {
+	ds, _ := test4D(t)
+	plan, err := NewPlan(ds.Schema().Names(), ds.Schema().Sizes(), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := StartDurableNode(plan, 0, ds, "127.0.0.1:0", DurableOptions{
+		DataDir: t.TempDir(), Fsync: wal.FsyncAlways,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = n.Close() })
+	b := n.durable
+
+	if _, _, err := b.Delta([]server.Row{{Coords: blockCell(n, 0), Value: 1}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	before, err := b.Total()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fail the WAL out from under the backend: the next delta applies to
+	// the cube but cannot be logged.
+	b.mu.Lock()
+	b.mgr.Crash()
+	b.mu.Unlock()
+	_, _, err = b.Delta([]server.Row{{Coords: blockCell(n, 1), Value: 50}}, 0)
+	if err == nil {
+		t.Fatal("unlogged delta was acked")
+	}
+	if !strings.Contains(err.Error(), "applied but not logged") {
+		t.Fatalf("poison error = %v", err)
+	}
+
+	if _, _, err := b.Delta([]server.Row{{Coords: blockCell(n, 2), Value: 7}}, 0); err == nil {
+		t.Fatal("poisoned backend acked a delta")
+	}
+	if err := n.Checkpoint(); err == nil {
+		t.Fatal("poisoned node wrote a checkpoint")
+	}
+	if _, err := b.TruncateTail(0); err == nil {
+		t.Fatal("poisoned backend accepted a truncation")
+	}
+	// Reads stay up: the cube is internally consistent, just ahead of the
+	// log by the one unlogged mutation.
+	after, err := b.Total()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != before+50 {
+		t.Fatalf("total after poisoning = %v, want %v", after, before+50)
 	}
 }

@@ -16,11 +16,34 @@ import (
 // under the group's writeMu. A replica that fails a write (transport
 // error, not an application rejection) is marked down — out of the
 // scatter-gather read set — and a background loop later re-admits it:
-// probe its SHARDINFO for the recovered WAL position, stream the missed
-// records from a live peer with DELTASINCE, replay them onto the
-// rejoiner with DELTA-at-LSN (idempotent, so repeats are harmless), and
-// only when the replica has caught up to the group's high-water mark
-// under writeMu does it return to the read set.
+// probe its SHARDINFO for the recovered WAL position, reconcile its log
+// tail with the group (below), stream the missed records from a live
+// peer with DELTASINCE, replay them onto the rejoiner with DELTA-at-LSN
+// (idempotent, so repeats are harmless), and only when the replica has
+// caught up to the group's high-water mark under writeMu does it return
+// to the read set.
+//
+// Tail reconciliation exists because a lost ack can leave a down
+// replica's log DIVERGENT, not merely behind: the replica applies and
+// logs delta D1 at LSN N, the ack never arrives, and with no other acker
+// that round lastLSN stays at N-1 — so the next (different) delta D2 is
+// assigned the same LSN N on the live replicas. Matching log positions
+// then no longer imply matching content. The invariant that makes repair
+// cheap is that divergence can only live in the replica's NEWEST record:
+// a down replica receives no lockstep writes, every earlier record was
+// either acked by it or copied from a peer, and catch-up only appends.
+// So before any catch-up, rejoin classifies the tail: records above the
+// group's high-water mark were never acknowledged to any client and are
+// truncated outright; a tail AT a group-assigned position is trusted
+// only if this replica is a known tail acker, and otherwise its content
+// is compared against a live peer's record at the same LSN — on
+// mismatch the replica's tail record is truncated (TRUNCATE rebuilds
+// its state from checkpoint + surviving log) and catch-up resupplies
+// the group's true history. When no live peer exists to compare
+// against, or the divergent record is already baked into the replica's
+// newest checkpoint (TRUNCATE answers ERR with recovery's
+// ErrBelowCheckpoint), the replica stays down rather than risk
+// readmitting divergent state.
 
 // Delta applies one delta through the cluster: rows are validated
 // against the schema, split by owning block, and each involved block
@@ -122,6 +145,7 @@ func (c *Coordinator) deltaToGroup(g *blockGroup, rows []server.Row) (uint64, er
 	defer g.writeMu.Unlock()
 	lsn := g.lastLSN + 1
 	acks := 0
+	ackers := make([]string, 0, len(g.replicas))
 	var lastErr error
 	for _, rep := range g.replicas {
 		if rep.down.Load() {
@@ -156,17 +180,28 @@ func (c *Coordinator) deltaToGroup(g *blockGroup, rows []server.Row) (uint64, er
 		}
 		rep.pool.put(cl)
 		acks++
+		ackers = append(ackers, rep.addr)
 	}
 	if acks == 0 {
-		// lastLSN stays put: nothing durable happened, so a retry
-		// reassigns the same LSN and replicas that come back treat the
-		// repeat idempotently.
+		// lastLSN stays put: nothing was acknowledged, so a retry
+		// reassigns the same LSN. A replica that applied and logged the
+		// delta before its ack was lost now holds an unacknowledged record
+		// at this LSN while the position stays open for reassignment; that
+		// replica was marked down above, and rejoin reconciles its tail
+		// (truncating the orphan or divergent record) before readmitting.
 		if lastErr == nil {
 			lastErr = fmt.Errorf("every replica is down")
 		}
 		return 0, fmt.Errorf("shard: delta not acknowledged by any replica: %w", lastErr)
 	}
 	g.lastLSN = lsn
+	// Exactly the ackers of this write hold the group's tail record.
+	for addr := range g.tailAckers {
+		delete(g.tailAckers, addr)
+	}
+	for _, addr := range ackers {
+		g.tailAckers[addr] = true
+	}
 	return lsn, nil
 }
 
@@ -201,9 +236,10 @@ func (c *Coordinator) rejoinLoop() {
 	}
 }
 
-// tryRejoin probes one down replica and, if reachable, catches it up
-// from a live peer and returns it to the serving set. Failures leave
-// the replica down for the next probe — every step is idempotent.
+// tryRejoin probes one down replica and, if reachable, reconciles its
+// log tail with the group, catches it up from a live peer, and returns
+// it to the serving set. Failures leave the replica down for the next
+// probe — every step is idempotent.
 func (c *Coordinator) tryRejoin(g *blockGroup, rep *replica) {
 	cl, err := rep.pool.get()
 	if err != nil {
@@ -228,6 +264,49 @@ func (c *Coordinator) tryRejoin(g *blockGroup, rep *replica) {
 		return
 	}
 
+	// Reconcile the tail before any catch-up: divergence, when present,
+	// lives only in the replica's newest record (see the file comment),
+	// and catch-up would bury it under peer records.
+	g.writeMu.Lock()
+	lastLSN := g.lastLSN
+	trusted := g.tailAckers[rep.addr]
+	g.writeMu.Unlock()
+	switch {
+	case repLSN > lastLSN:
+		// Orphan tail: every record above the group's high-water mark was
+		// never acknowledged to any client (an acked write advances
+		// lastLSN before the coordinator replies, and a down replica
+		// receives no writes after the snapshot above), so discarding them
+		// is safe — and required, or the open positions would collide with
+		// future assignments.
+		if repLSN, err = c.truncateTo(cl, lastLSN); err != nil {
+			rep.pool.discard(cl)
+			return
+		}
+	case repLSN == 0 || trusted:
+		// Empty log, or this replica acked the group's current tail
+		// record: its content is the group's by construction.
+	default:
+		// The replica sits at or below the group's tail without having
+		// acked the group's newest record; after a lost-ack round its own
+		// newest record can differ from the group's record at the same
+		// position. Compare content against a live peer.
+		match, err := c.tailMatchesPeer(g, rep, cl, repLSN)
+		if err != nil {
+			// No live peer, a trimmed peer log, or a transport failure:
+			// the tail cannot be verified, so the replica stays down
+			// rather than risk serving divergent cells.
+			rep.pool.discard(cl)
+			return
+		}
+		if !match {
+			if repLSN, err = c.truncateTo(cl, repLSN-1); err != nil {
+				rep.pool.discard(cl)
+				return
+			}
+		}
+	}
+
 	// Bulk catch-up outside the write lock: stream missed records from a
 	// live durable peer and replay them onto the rejoiner. Ingest may
 	// keep advancing the group meanwhile; the final gap closes below.
@@ -245,8 +324,71 @@ func (c *Coordinator) tryRejoin(g *blockGroup, rep *replica) {
 		rep.pool.discard(cl)
 		return
 	}
+	// The replica now holds the group tail with peer-sourced (or
+	// verified) content, which is exactly what tail-ackership asserts.
+	g.tailAckers[rep.addr] = true
 	rep.pool.put(cl)
 	c.readmit(rep)
+}
+
+// truncateTo asks a rejoining replica to discard its log records above
+// lsn and rebuild its state without them, returning its new position.
+func (c *Coordinator) truncateTo(cl *server.Client, lsn uint64) (uint64, error) {
+	last, err := cl.Truncate(lsn)
+	if err != nil {
+		return 0, err
+	}
+	c.stats.tailTruncates.Inc()
+	return last, nil
+}
+
+// tailMatchesPeer compares a rejoining replica's newest log record
+// against a live durable peer's record at the same LSN. Any failure to
+// obtain either side (no live peer, trimmed logs, transport errors)
+// is an error: the caller must not readmit what it cannot verify.
+func (c *Coordinator) tailMatchesPeer(g *blockGroup, rep *replica, cl *server.Client, repLSN uint64) (bool, error) {
+	repLogged, err := cl.DeltasSince(repLSN - 1)
+	if err != nil {
+		return false, err
+	}
+	repRecs := groupByLSN(repLogged)
+	if len(repRecs) == 0 || repRecs[0].lsn != repLSN {
+		return false, fmt.Errorf("shard: %s did not return its tail record %d", rep.addr, repLSN)
+	}
+	peer, pcl, err := c.livePeer(g, rep)
+	if err != nil {
+		return false, err
+	}
+	peerLogged, err := pcl.DeltasSince(repLSN - 1)
+	if err != nil {
+		peer.pool.discard(pcl)
+		return false, err
+	}
+	peer.pool.put(pcl)
+	peerRecs := groupByLSN(peerLogged)
+	if len(peerRecs) == 0 || peerRecs[0].lsn != repLSN {
+		return false, fmt.Errorf("shard: peer %s did not return record %d", peer.addr, repLSN)
+	}
+	return rowsEqual(repRecs[0].rows, peerRecs[0].rows), nil
+}
+
+// rowsEqual compares two logged records cell for cell. Both sides
+// round-tripped the same wire encoding, so equality is exact.
+func rowsEqual(a, b []server.Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Value != b[i].Value || len(a[i].Coords) != len(b[i].Coords) {
+			return false
+		}
+		for j := range a[i].Coords {
+			if a[i].Coords[j] != b[i].Coords[j] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // readmit returns a replica to the serving set (once).
@@ -256,25 +398,31 @@ func (c *Coordinator) readmit(rep *replica) {
 	}
 }
 
+// livePeer finds a live durable peer of rep in g and returns a pooled
+// client for it; the caller returns the client to peer.pool.
+func (c *Coordinator) livePeer(g *blockGroup, rep *replica) (*replica, *server.Client, error) {
+	for _, p := range g.replicas {
+		if p == rep || !p.durable || p.down.Load() {
+			continue
+		}
+		pcl, err := p.pool.get()
+		if err != nil {
+			continue
+		}
+		return p, pcl, nil
+	}
+	return nil, nil, fmt.Errorf("shard: no live durable peer for block %s", g.block)
+}
+
 // catchUp streams the records above lsn from a live durable peer of g
 // and replays them record-by-record onto the rejoining replica's client
 // cl, returning the replica's new log position. With no live peer it
 // returns lsn unchanged (the caller's high-water check decides whether
 // that suffices).
 func (c *Coordinator) catchUp(g *blockGroup, rep *replica, cl *server.Client, lsn uint64) (uint64, error) {
-	var peer *replica
-	for _, p := range g.replicas {
-		if p != rep && p.durable && !p.down.Load() {
-			peer = p
-			break
-		}
-	}
-	if peer == nil {
-		return lsn, nil
-	}
-	pcl, err := peer.pool.get()
+	peer, pcl, err := c.livePeer(g, rep)
 	if err != nil {
-		return lsn, nil // peer unreachable; caller's LSN check decides
+		return lsn, nil // no peer reachable; caller's LSN check decides
 	}
 	logged, err := pcl.DeltasSince(lsn)
 	if err != nil {

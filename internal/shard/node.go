@@ -15,7 +15,10 @@ import (
 // handshake a coordinator discovers the topology with.
 type Node struct {
 	// ID is the node's index in the plan; Block the global sub-box whose
-	// facts its cube aggregates.
+	// facts its cube aggregates. Cube is the state at startup — durable
+	// nodes can replace their live cube at runtime (a coordinator-driven
+	// TRUNCATE rebuilds it from checkpoint + log), so query through the
+	// protocol, not this field, when truncation is in play.
 	ID    int
 	Block nd.Block
 	Cube  *parcube.Cube

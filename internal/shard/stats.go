@@ -36,6 +36,9 @@ type Stats struct {
 	ReplicaDowns   int64
 	Rejoins        int64
 	CatchupRecords int64
+	// TailTruncates counts rejoin repairs that discarded a recovering
+	// replica's unacknowledged (or divergent) log tail before catch-up.
+	TailTruncates int64
 }
 
 // counters is the coordinator's per-instance metrics registry with the
@@ -53,6 +56,7 @@ type counters struct {
 	replicaDowns   *obs.Counter
 	rejoins        *obs.Counter
 	catchupRecords *obs.Counter
+	tailTruncates  *obs.Counter
 }
 
 // newCounters builds the registry and resolves the series.
@@ -71,6 +75,7 @@ func newCounters() *counters {
 		replicaDowns:   reg.Counter("replica_downs"),
 		rejoins:        reg.Counter("rejoins"),
 		catchupRecords: reg.Counter("catchup_records"),
+		tailTruncates:  reg.Counter("tail_truncates"),
 	}
 }
 
@@ -88,5 +93,6 @@ func (c *counters) snapshot() Stats {
 		ReplicaDowns:   c.replicaDowns.Value(),
 		Rejoins:        c.rejoins.Value(),
 		CatchupRecords: c.catchupRecords.Value(),
+		TailTruncates:  c.tailTruncates.Value(),
 	}
 }

@@ -120,6 +120,14 @@ func (o Options) withDefaults() Options {
 // the records were deleted by TrimBelow after a checkpoint covered them.
 var ErrTrimmed = errors.New("wal: requested records were trimmed")
 
+// errTornHeader marks a segment whose header is missing, short, or
+// inconsistent with its file name. On the log's last segment this is the
+// signature of a crash between segment creation and the header becoming
+// durable (the header precedes every frame in the file, so no record in
+// such a segment was ever fsynced) and Open recovers by dropping the
+// file; anywhere else it is interior corruption and fails Open.
+var errTornHeader = errors.New("wal: torn segment header")
+
 // Record is one replayed log entry.
 type Record struct {
 	LSN     uint64
@@ -134,11 +142,12 @@ type Log struct {
 
 	mu        sync.Mutex
 	seg       *os.File // active segment
-	segStart  uint64   // first LSN of the active segment
+	segStart  uint64   // first LSN of the active segment (0 = none open)
 	segSize   int64    // bytes written to the active segment
 	lastLSN   uint64   // highest appended LSN (0 = empty log)
 	firstLSN  uint64   // lowest retained LSN (lastLSN+1 when empty/trimmed clean)
 	lastSync  time.Time
+	dirDirty  bool // a segment file was created since the last directory fsync
 	crashed   bool // Crash() was called: the handle is gone, reject use
 	syncCount int64
 }
@@ -171,6 +180,28 @@ func Open(dir string, opts Options) (*Log, error) {
 		return nil, err
 	}
 	l := &Log{dir: dir, opts: opts, firstLSN: 1}
+	// A crash between segment creation and its header write (or power loss
+	// before the header became durable) leaves a tail segment with a zero,
+	// short, or garbled header. The header precedes every frame in the
+	// file, so no record in such a segment was ever fsynced: this is torn-
+	// tail damage, not corruption — drop the file and recover on whatever
+	// precedes it. The file name still fixes the log position, so a
+	// post-trim log does not restart at LSN 1.
+	for len(segs) > 0 {
+		start := segs[len(segs)-1]
+		path := filepath.Join(dir, segName(start))
+		if _, _, err := scanSegment(path, start, true); !errors.Is(err, errTornHeader) {
+			break
+		}
+		if err := os.Remove(path); err != nil {
+			return nil, fmt.Errorf("wal: removing segment with torn header: %w", err)
+		}
+		segs = segs[:len(segs)-1]
+		if len(segs) == 0 {
+			l.lastLSN = start - 1
+			l.firstLSN = start
+		}
+	}
 	if len(segs) == 0 {
 		return l, nil
 	}
@@ -188,6 +219,11 @@ func Open(dir string, opts Options) (*Log, error) {
 		}
 		end, lastRec, err := scanSegment(filepath.Join(dir, segName(start)), start, last)
 		if err != nil {
+			if errors.Is(err, errTornHeader) {
+				// The pre-pass cleared torn tail headers; damage here has
+				// intact segments after it, so it is interior corruption.
+				return nil, fmt.Errorf("wal: %s: bad segment header in log interior", segName(start))
+			}
 			return nil, err
 		}
 		if lastRec >= want {
@@ -259,10 +295,10 @@ func scanSegment(path string, start uint64, tornOK bool) (end int64, lastLSN uin
 		return 0, 0, fmt.Errorf("wal: reading %s: %w", path, err)
 	}
 	if len(data) < segHeaderSize || string(data[:len(segMagic)]) != segMagic {
-		return 0, 0, fmt.Errorf("wal: %s: bad segment header", path)
+		return 0, 0, fmt.Errorf("%w: %s: bad segment header", errTornHeader, path)
 	}
 	if got := binary.LittleEndian.Uint64(data[len(segMagic):]); got != start {
-		return 0, 0, fmt.Errorf("wal: %s: header first-lsn %d does not match name", path, got)
+		return 0, 0, fmt.Errorf("%w: %s: header first-lsn %d does not match name", errTornHeader, path, got)
 	}
 	off := int64(segHeaderSize)
 	lastLSN = start - 1
@@ -402,6 +438,9 @@ func (l *Log) appendLocked(lsn uint64, payload []byte) error {
 			return fmt.Errorf("wal: fsync lsn %d: %w", lsn, err)
 		}
 		l.syncCount++
+		if err := l.syncDirLocked(); err != nil {
+			return err
+		}
 	case FsyncInterval:
 		if time.Since(l.lastSync) >= l.opts.FsyncEvery {
 			if err := l.seg.Sync(); err != nil {
@@ -409,6 +448,9 @@ func (l *Log) appendLocked(lsn uint64, payload []byte) error {
 			}
 			l.syncCount++
 			l.lastSync = time.Now()
+			if err := l.syncDirLocked(); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -443,9 +485,48 @@ func (l *Log) rotateLocked(lsn uint64) error {
 	l.seg = f
 	l.segStart = lsn
 	l.segSize = int64(segHeaderSize)
+	// The new file's directory entry is not durable until the directory
+	// itself is fsynced; the next data fsync flushes it (see
+	// syncDirLocked), so an acknowledged record can never outlive its
+	// segment's directory entry.
+	l.dirDirty = true
 	if l.firstLSN > lsn {
 		l.firstLSN = lsn
 	}
+	return nil
+}
+
+// syncDir fsyncs a directory so just-created (or just-removed) entries
+// survive power loss, mirroring recovery's checkpoint publication.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return errors.Join(fmt.Errorf("wal: syncing directory %s: %w", dir, serr), cerr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("wal: closing directory %s: %w", dir, cerr)
+	}
+	return nil
+}
+
+// syncDirLocked flushes the log directory if a segment was created since
+// the last directory sync. Called right after a successful data fsync:
+// without it, power loss can drop a fully synced segment's directory
+// entry, silently losing acknowledged records (or failing the next Open
+// on LSN contiguity). Callers hold l.mu.
+func (l *Log) syncDirLocked() error {
+	if !l.dirDirty {
+		return nil
+	}
+	if err := syncDir(l.dir); err != nil {
+		return err
+	}
+	l.dirDirty = false
 	return nil
 }
 
@@ -461,7 +542,7 @@ func (l *Log) Sync() error {
 	}
 	l.syncCount++
 	l.lastSync = time.Now()
-	return nil
+	return l.syncDirLocked()
 }
 
 // Replay streams every retained record with LSN > after, in order. The
@@ -560,6 +641,163 @@ func (l *Log) TrimBelow(lsn uint64) error {
 	return nil
 }
 
+// TruncateTail durably discards every record with LSN above lsn — the
+// inverse of TrimBelow: trimming drops a checkpoint-covered prefix,
+// truncation drops an unwanted tail. It is the repair path for a replica
+// whose newest record was never acknowledged by its coordinator (or
+// diverged from its group after a lost-ack round): the record is removed
+// so peer catch-up can resupply the group's true history. Truncating
+// below the retained floor is an error.
+func (l *Log) TruncateTail(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.crashed {
+		return fmt.Errorf("wal: log crashed")
+	}
+	if lsn >= l.lastLSN {
+		return nil
+	}
+	if lsn+1 < l.firstLSN {
+		return fmt.Errorf("wal: truncate to lsn %d below retained floor %d", lsn, l.firstLSN)
+	}
+	if l.seg != nil {
+		if err := l.seg.Close(); err != nil {
+			return fmt.Errorf("wal: truncate: closing active segment: %w", err)
+		}
+		l.seg = nil
+		l.segStart, l.segSize = 0, 0
+	}
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	keep := uint64(0) // first LSN of the segment holding the new tail record
+	for _, start := range segs {
+		if start <= lsn {
+			keep = start
+			continue
+		}
+		if err := os.Remove(filepath.Join(l.dir, segName(start))); err != nil {
+			return fmt.Errorf("wal: truncate: %w", err)
+		}
+	}
+	// The removals must be durable before the caller builds on them: a
+	// deleted tail segment resurrected by power loss would bring a
+	// discarded (possibly divergent) record back into the log.
+	if err := syncDir(l.dir); err != nil {
+		return err
+	}
+	l.dirDirty = false
+	if keep == 0 {
+		// Every retained record was above lsn: the log is empty but stays
+		// positioned — the next append starts a segment at lsn+1.
+		l.lastLSN, l.firstLSN = lsn, lsn+1
+		return nil
+	}
+	path := filepath.Join(l.dir, segName(keep))
+	end, err := offsetOfRecord(path, keep, lsn)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := f.Truncate(end); err != nil {
+		cerr := f.Close()
+		return errors.Join(fmt.Errorf("wal: truncating %s: %w", path, err), cerr)
+	}
+	if err := f.Sync(); err != nil {
+		cerr := f.Close()
+		return errors.Join(fmt.Errorf("wal: truncate sync: %w", err), cerr)
+	}
+	if _, err := f.Seek(end, io.SeekStart); err != nil {
+		cerr := f.Close()
+		return errors.Join(fmt.Errorf("wal: %w", err), cerr)
+	}
+	l.seg = f
+	l.segStart = keep
+	l.segSize = end
+	l.lastLSN = lsn
+	return nil
+}
+
+// offsetOfRecord scans a segment starting at LSN start and returns the
+// byte offset just past record lsn.
+func offsetOfRecord(path string, start, lsn uint64) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("wal: %w", err)
+	}
+	data, err := io.ReadAll(f)
+	cerr := f.Close()
+	if err != nil {
+		return 0, errors.Join(fmt.Errorf("wal: reading %s: %w", path, err), cerr)
+	}
+	if cerr != nil {
+		return 0, cerr
+	}
+	if len(data) < segHeaderSize {
+		return 0, fmt.Errorf("wal: %s: bad segment header", path)
+	}
+	off := int64(segHeaderSize)
+	want := start
+	for {
+		rec, n, ok := decodeFrame(data[off:], want)
+		if !ok {
+			return 0, fmt.Errorf("wal: %s: record %d not found for truncation", path, lsn)
+		}
+		off += int64(n)
+		if rec.LSN == lsn {
+			return off, nil
+		}
+		want = rec.LSN + 1
+	}
+}
+
+// Reset durably discards the entire retained log and repositions it at
+// lsn: the next append gets lsn+1, and replaying after lsn yields
+// nothing. Recovery uses it when a checkpoint is ahead of every durable
+// log record (power loss under FsyncInterval/FsyncNever — checkpoints
+// are always fsynced, log records may not be): the retained records are
+// all baked into the checkpoint, and appending at the stale log position
+// would reuse LSNs the restored state already contains. lsn must be at
+// or above LastLSN.
+func (l *Log) Reset(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.crashed {
+		return fmt.Errorf("wal: log crashed")
+	}
+	if lsn < l.lastLSN {
+		return fmt.Errorf("wal: reset to lsn %d behind last lsn %d", lsn, l.lastLSN)
+	}
+	if l.seg != nil {
+		if err := l.seg.Close(); err != nil {
+			return fmt.Errorf("wal: reset: closing active segment: %w", err)
+		}
+		l.seg = nil
+	}
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	for _, start := range segs {
+		if err := os.Remove(filepath.Join(l.dir, segName(start))); err != nil {
+			return fmt.Errorf("wal: reset: %w", err)
+		}
+	}
+	// Durable removals: a resurrected old segment would sit below the new
+	// position as a non-contiguous prefix and fail the next Open.
+	if err := syncDir(l.dir); err != nil {
+		return err
+	}
+	l.dirDirty = false
+	l.segStart, l.segSize = 0, 0
+	l.lastLSN, l.firstLSN = lsn, lsn+1
+	return nil
+}
+
 // Close syncs and closes the active segment. The sync error, if any, is
 // the caller's last chance to learn buffered records never hit disk.
 func (l *Log) Close() error {
@@ -573,6 +811,9 @@ func (l *Log) Close() error {
 		errs = append(errs, fmt.Errorf("wal: close sync: %w", err))
 	} else {
 		l.syncCount++
+		if err := l.syncDirLocked(); err != nil {
+			errs = append(errs, err)
+		}
 	}
 	if err := l.seg.Close(); err != nil {
 		errs = append(errs, fmt.Errorf("wal: close: %w", err))

@@ -343,3 +343,242 @@ func TestOversizeRecordRejected(t *testing.T) {
 		t.Fatal("oversize record must be rejected")
 	}
 }
+
+// TestTornHeaderSegmentRecovered covers the crash window between segment
+// creation and the header becoming durable: a zero-length or short-header
+// last segment holds no durable record (the header precedes every frame),
+// so Open must drop it and recover instead of failing forever.
+func TestTornHeaderSegmentRecovered(t *testing.T) {
+	t.Run("empty only segment", func(t *testing.T) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName(1)), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("open with empty segment: %v", err)
+		}
+		defer l.Close()
+		if got := l.LastLSN(); got != 0 {
+			t.Fatalf("LastLSN = %d, want 0", got)
+		}
+		if lsn, err := l.Append([]byte("first")); err != nil || lsn != 1 {
+			t.Fatalf("append after recovery = %d, %v; want 1", lsn, err)
+		}
+	})
+
+	t.Run("short header keeps name position", func(t *testing.T) {
+		dir := t.TempDir()
+		// A torn segment named for first LSN 5: the log was trimmed/rotated
+		// past 1..4, so recovery must keep the position, not rewind to 0.
+		if err := os.WriteFile(filepath.Join(dir, segName(5)), []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("open with short header: %v", err)
+		}
+		defer l.Close()
+		if got := l.LastLSN(); got != 4 {
+			t.Fatalf("LastLSN = %d, want 4", got)
+		}
+		if lsn, err := l.Append([]byte("resume")); err != nil || lsn != 5 {
+			t.Fatalf("append after recovery = %d, %v; want 5", lsn, err)
+		}
+	})
+
+	t.Run("torn last segment after valid ones", func(t *testing.T) {
+		dir := t.TempDir()
+		l, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			if _, err := l.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		torn := filepath.Join(dir, segName(6))
+		if err := os.WriteFile(torn, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l2, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("open with torn last segment: %v", err)
+		}
+		defer l2.Close()
+		if got := l2.LastLSN(); got != 5 {
+			t.Fatalf("LastLSN = %d, want 5", got)
+		}
+		if recs := collect(t, l2, 0); len(recs) != 5 {
+			t.Fatalf("replayed %d records, want 5", len(recs))
+		}
+		if _, err := os.Stat(torn); !os.IsNotExist(err) {
+			t.Fatalf("torn segment not removed: %v", err)
+		}
+		if lsn, err := l2.Append([]byte("rec-5")); err != nil || lsn != 6 {
+			t.Fatalf("append after recovery = %d, %v; want 6", lsn, err)
+		}
+	})
+
+	t.Run("interior torn header still fails", func(t *testing.T) {
+		dir := t.TempDir()
+		l, err := Open(dir, Options{SegmentBytes: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			if _, err := l.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		segs, err := listSegments(dir)
+		if err != nil || len(segs) < 2 {
+			t.Fatalf("need >= 2 segments, have %d (%v)", len(segs), err)
+		}
+		// Zeroing a NON-last segment's header damages acknowledged interior
+		// records; Open must refuse rather than silently dropping them.
+		if err := os.WriteFile(filepath.Join(dir, segName(segs[0])), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Open(dir, Options{}); err == nil {
+			t.Fatal("open must fail on an interior torn header")
+		}
+	})
+}
+
+func TestTruncateTail(t *testing.T) {
+	t.Run("mid segment", func(t *testing.T) {
+		dir := t.TempDir()
+		l, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i <= 10; i++ {
+			if _, err := l.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.TruncateTail(7); err != nil {
+			t.Fatal(err)
+		}
+		if got := l.LastLSN(); got != 7 {
+			t.Fatalf("LastLSN = %d, want 7", got)
+		}
+		if recs := collect(t, l, 0); len(recs) != 7 || string(recs[6].Payload) != "rec-7" {
+			t.Fatalf("after truncation: %d records", len(recs))
+		}
+		// The vacated positions are reusable with fresh content.
+		if lsn, err := l.Append([]byte("rec-8b")); err != nil || lsn != 8 {
+			t.Fatalf("append after truncation = %d, %v; want 8", lsn, err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+		l2, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l2.Close()
+		recs := collect(t, l2, 0)
+		if len(recs) != 8 || string(recs[7].Payload) != "rec-8b" {
+			t.Fatalf("reopen after truncation: %d records, last %q", len(recs), recs[len(recs)-1].Payload)
+		}
+	})
+
+	t.Run("whole segments dropped", func(t *testing.T) {
+		dir := t.TempDir()
+		l, err := Open(dir, Options{SegmentBytes: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i <= 6; i++ {
+			if _, err := l.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.TruncateTail(3); err != nil {
+			t.Fatal(err)
+		}
+		if got := l.LastLSN(); got != 3 {
+			t.Fatalf("LastLSN = %d, want 3", got)
+		}
+		segs, err := listSegments(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, start := range segs {
+			if start > 3 {
+				t.Fatalf("segment %d survived truncation to 3", start)
+			}
+		}
+		if err := l.TruncateTail(9); err != nil {
+			t.Fatalf("no-op truncation: %v", err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("below retained floor", func(t *testing.T) {
+		dir := t.TempDir()
+		l, err := Open(dir, Options{SegmentBytes: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		for i := 1; i <= 8; i++ {
+			if _, err := l.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.TrimBelow(5); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.TruncateTail(2); err == nil {
+			t.Fatal("truncation below the retained floor must fail")
+		}
+	})
+}
+
+func TestReset(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 1; i <= 4; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Reset(2); err == nil {
+		t.Fatal("reset behind the last LSN must fail")
+	}
+	if err := l.Reset(10); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.LastLSN(); got != 10 {
+		t.Fatalf("LastLSN after reset = %d, want 10", got)
+	}
+	if segs, err := listSegments(dir); err != nil || len(segs) != 0 {
+		t.Fatalf("segments after reset: %v (%v)", segs, err)
+	}
+	if err := l.Replay(0, func(Record) error { return nil }); !errors.Is(err, ErrTrimmed) {
+		t.Fatalf("replay from 0 after reset = %v, want ErrTrimmed", err)
+	}
+	if lsn, err := l.Append([]byte("resumed")); err != nil || lsn != 11 {
+		t.Fatalf("append after reset = %d, %v; want 11", lsn, err)
+	}
+	recs := collect(t, l, 10)
+	if len(recs) != 1 || recs[0].LSN != 11 {
+		t.Fatalf("replay after reset: %+v", recs)
+	}
+}
