@@ -27,8 +27,9 @@ verify:
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
-# Figure benchmarks as machine-readable JSON (ns/op, modeled time,
-# communication volume/bytes, peak cells) in BENCH_2.json.
+# Machine-readable benchmark JSON: figure benchmarks (BENCH_2.json),
+# durability benchmarks (BENCH_5.json), and the serving-tier loadgen
+# comparison (BENCH_6.json).
 bench-json:
 	./scripts/bench.sh
 

@@ -1,0 +1,266 @@
+// Command cubeload is the serving-tier load generator: it opens many
+// concurrent multiplexed (MUX) connections against a cube server or
+// coordinator, drives a query workload with per-request timeouts, and
+// reports throughput and latency percentiles — optionally as a JSON row
+// for the benchmark suite.
+//
+//	cubeload -addr 127.0.0.1:7070 -conns 10000 -duration 5s
+//	cubeload -addr 127.0.0.1:7070 -req 'GROUPBY item,branch' -req TOTAL -json out.json
+//
+// Without -req the workload is the hot group-by over the server's first
+// two schema dimensions — the cacheable pattern the serving tier's
+// qcache is built for.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parcube/internal/mux"
+	"parcube/internal/obs"
+	"parcube/internal/server"
+)
+
+// reqList collects repeatable -req flags.
+type reqList []string
+
+func (r *reqList) String() string { return strings.Join(*r, "; ") }
+
+func (r *reqList) Set(v string) error {
+	if v = strings.TrimSpace(v); v == "" {
+		return fmt.Errorf("empty request")
+	}
+	*r = append(*r, v)
+	return nil
+}
+
+// result is the JSON row the benchmark suite consumes.
+type result struct {
+	Name      string  `json:"name"`
+	Conns     int     `json:"conns"`
+	Window    int     `json:"window"`
+	DurationS float64 `json:"duration_s"`
+	QPS       float64 `json:"qps"`
+	OK        int64   `json:"ok"`
+	Errors    int64   `json:"errors"`
+	Overloads int64   `json:"overloads"`
+	P50Ns     int64   `json:"p50_ns"`
+	P95Ns     int64   `json:"p95_ns"`
+	P99Ns     int64   `json:"p99_ns"`
+	MaxNs     int64   `json:"max_ns"`
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "cube server or coordinator address")
+	conns := flag.Int("conns", 64, "concurrent multiplexed connections")
+	window := flag.Int("window", 32, "per-connection flow-control window to request")
+	inflight := flag.Int("inflight", 1, "concurrent pipelined requests per connection")
+	duration := flag.Duration("duration", 5*time.Second, "measured run length (after warmup)")
+	warmup := flag.Duration("warmup", 500*time.Millisecond, "unmeasured warmup before the run")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request timeout")
+	name := flag.String("name", "loadgen", "row name in the JSON output")
+	jsonOut := flag.String("json", "", "write the result as a JSON row to this file (- for stdout)")
+	var reqs reqList
+	flag.Var(&reqs, "req", "request line to drive (repeatable; default: hot group-by from SCHEMA)")
+	flag.Parse()
+
+	if err := run(*addr, *conns, *window, *inflight, *duration, *warmup, *timeout, *name, *jsonOut, reqs); err != nil {
+		fmt.Fprintln(os.Stderr, "cubeload:", err)
+		os.Exit(1)
+	}
+}
+
+// defaultWorkload asks the server for its schema and builds the hot
+// group-by over the first two dimensions.
+func defaultWorkload(addr string, timeout time.Duration) ([]string, error) {
+	cl, err := server.DialTimeout(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	pairs, err := cl.Schema()
+	if err != nil {
+		return nil, err
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("server reported an empty schema")
+	}
+	names := make([]string, 0, len(pairs))
+	for _, p := range pairs {
+		name, _, _ := strings.Cut(p, ":")
+		names = append(names, name)
+	}
+	dims := names[:1]
+	if len(names) > 1 {
+		dims = names[:2]
+	}
+	return []string{"GROUPBY " + strings.Join(dims, ",")}, nil
+}
+
+func run(addr string, conns, window, inflight int, duration, warmup, timeout time.Duration, name, jsonOut string, reqs []string) error {
+	if conns < 1 || inflight < 1 {
+		return fmt.Errorf("-conns and -inflight must be positive")
+	}
+	if len(reqs) == 0 {
+		var err error
+		if reqs, err = defaultWorkload(addr, timeout); err != nil {
+			return fmt.Errorf("deriving default workload: %w", err)
+		}
+	}
+	bodies := make([][]byte, len(reqs))
+	for i, r := range reqs {
+		bodies[i] = []byte(r + "\n")
+	}
+
+	// Dial with bounded parallelism: 10k sequential handshakes would
+	// dominate the run, 10k simultaneous SYNs would trample the backlog.
+	sessions := make([]*mux.Session, conns)
+	var dialErrs atomic.Int64
+	var firstErr atomic.Value
+	sem := make(chan struct{}, 256)
+	var dialWG sync.WaitGroup
+	opts := mux.Options{Window: window, RequestTimeout: timeout, DialTimeout: timeout}
+	for i := 0; i < conns; i++ {
+		dialWG.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer dialWG.Done()
+			defer func() { <-sem }()
+			s, err := mux.Dial(addr, opts)
+			if err != nil {
+				dialErrs.Add(1)
+				firstErr.CompareAndSwap(nil, err)
+				return
+			}
+			sessions[i] = s
+		}(i)
+	}
+	dialWG.Wait()
+	if n := dialErrs.Load(); n > 0 {
+		return fmt.Errorf("%d/%d connections failed to dial (first: %v)", n, conns, firstErr.Load())
+	}
+	defer func() {
+		for _, s := range sessions {
+			_ = s.Close()
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "cubeload: %d mux connections to %s (window %d), %d request shapes\n",
+		conns, addr, sessions[0].Window(), len(bodies))
+
+	reg := obs.NewRegistry()
+	latency := reg.Histogram("latency_ns")
+	okCount := reg.Counter("ok")
+	errCount := reg.Counter("errors")
+	overloads := reg.Counter("overloads")
+
+	// Workers run through warmup and measurement; the measuring flag
+	// flips the recording on, and stop ends the run.
+	var measuring atomic.Bool
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i, s := range sessions {
+		for k := 0; k < inflight; k++ {
+			wg.Add(1)
+			go func(s *mux.Session, seq int) {
+				defer wg.Done()
+				for n := seq; ; n++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					body := bodies[n%len(bodies)]
+					start := time.Now()
+					resp, err := s.Do(body)
+					if !measuring.Load() {
+						continue
+					}
+					switch {
+					case err == nil && isOK(resp):
+						latency.ObserveSince(start)
+						okCount.Inc()
+					case err == nil && mux.IsOverloadReply(errMsg(resp)):
+						overloads.Inc()
+					default:
+						errCount.Inc()
+						if err != nil && isClosed(err) {
+							return
+						}
+					}
+				}
+			}(s, i*inflight+k)
+		}
+	}
+
+	time.Sleep(warmup)
+	measuring.Store(true)
+	measureStart := time.Now()
+	time.Sleep(duration)
+	measuring.Store(false)
+	elapsed := time.Since(measureStart)
+	close(stop)
+	wg.Wait()
+
+	snap := latency.Snapshot()
+	res := result{
+		Name:      name,
+		Conns:     conns,
+		Window:    sessions[0].Window(),
+		DurationS: elapsed.Seconds(),
+		QPS:       float64(okCount.Value()) / elapsed.Seconds(),
+		OK:        okCount.Value(),
+		Errors:    errCount.Value(),
+		Overloads: overloads.Value(),
+		P50Ns:     snap.P50,
+		P95Ns:     snap.P95,
+		P99Ns:     snap.P99,
+		MaxNs:     snap.Max,
+	}
+	fmt.Fprintf(os.Stderr, "cubeload: %.0f qps over %.1fs (%d ok, %d errors, %d shed) p50=%s p95=%s p99=%s\n",
+		res.QPS, res.DurationS, res.OK, res.Errors, res.Overloads,
+		time.Duration(res.P50Ns), time.Duration(res.P95Ns), time.Duration(res.P99Ns))
+	if res.OK == 0 {
+		return fmt.Errorf("no request succeeded during the measured window")
+	}
+	if jsonOut == "" {
+		return nil
+	}
+	enc, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if jsonOut == "-" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(jsonOut, enc, 0o644)
+}
+
+// isOK reports whether a response body is a success reply.
+func isOK(resp []byte) bool {
+	return len(resp) >= 2 && resp[0] == 'O' && resp[1] == 'K'
+}
+
+// errMsg extracts the message from an "ERR ..." reply line, or "".
+func errMsg(resp []byte) string {
+	line := string(resp)
+	if i := strings.IndexByte(line, '\n'); i >= 0 {
+		line = line[:i]
+	}
+	if strings.HasPrefix(line, "ERR ") {
+		return strings.TrimSpace(line[4:])
+	}
+	return ""
+}
+
+// isClosed reports whether the session is dead (no point retrying).
+func isClosed(err error) bool {
+	return err != nil && strings.Contains(err.Error(), mux.ErrClosed.Error())
+}

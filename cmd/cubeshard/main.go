@@ -26,6 +26,14 @@
 //	cubeshard -coordinator -shards 127.0.0.1:7071,127.0.0.1:7072,... -addr 127.0.0.1:7070
 //	printf 'TOTAL\nSTATS\nQUIT\n' | nc 127.0.0.1 7070
 //
+// The coordinator's serving tier is opt-in per feature: -cache-cells
+// interposes the hot group-by cache (exact delta invalidation;
+// -cache-pin adds a pinned-view budget), -hedge arms second-replica
+// scatter reads, -mux-window caps the window granted to MUX protocol
+// upgrades, and -max-inflight/-max-queue/-admit-deadline bound
+// concurrent execution, shedding excess load with a typed overload
+// error. See cmd/cubeload for the matching load generator.
+//
 // Every node is given the same fact table and carves out its own block,
 // so the cluster needs no separate data-distribution step.
 package main
@@ -44,7 +52,9 @@ import (
 	"time"
 
 	"parcube"
+	"parcube/internal/mux"
 	"parcube/internal/obs"
+	"parcube/internal/qcache"
 	"parcube/internal/server"
 	"parcube/internal/shard"
 	"parcube/internal/wal"
@@ -68,12 +78,24 @@ func main() {
 	shards := flag.String("shards", "", "comma-separated shard node addresses (coordinator mode)")
 	timeout := flag.Duration("timeout", 2*time.Second, "per-shard request timeout before failover (coordinator mode)")
 	rejoinEvery := flag.Duration("rejoin-every", 100*time.Millisecond, "probe interval for re-admitting recovered replicas; negative disables (coordinator mode)")
+	cacheCells := flag.Int64("cache-cells", 0, "hot group-by result cache budget in cells; 0 disables the cache (coordinator mode)")
+	cachePin := flag.Int64("cache-pin", 0, "cell budget for benefit-greedy pinned views inside the cache; 0 pins nothing (coordinator mode, with -cache-cells)")
+	hedge := flag.Bool("hedge", false, "hedge scatter reads to a second replica after the latency-derived delay (coordinator mode)")
+	muxWindow := flag.Int("mux-window", 0, "cap on the per-connection window granted to MUX protocol upgrades; 0 uses the default (coordinator mode)")
+	maxInflight := flag.Int("max-inflight", 0, "admission control: concurrent requests executing at once; 0 disables admission (coordinator mode)")
+	maxQueue := flag.Int("max-queue", 0, "admission control: queued requests beyond the in-flight cap before shedding; 0 uses the default (coordinator mode, with -max-inflight)")
+	admitDeadline := flag.Duration("admit-deadline", 0, "admission control: maximum queue wait before a request is shed; 0 uses the default (coordinator mode, with -max-inflight)")
 	debug := flag.String("debug", "", "optional HTTP listen address serving /debug/vars (live metrics) and /debug/pprof")
 	flag.Parse()
 
 	var err error
 	if *coordinator {
-		err = runCoordinator(*shards, *addr, *timeout, *rejoinEvery, *debug)
+		copts := coordOptions{
+			shards: *shards, timeout: *timeout, rejoinEvery: *rejoinEvery,
+			cacheCells: *cacheCells, cachePin: *cachePin, hedge: *hedge, muxWindow: *muxWindow,
+			maxInflight: *maxInflight, maxQueue: *maxQueue, admitDeadline: *admitDeadline,
+		}
+		err = runCoordinator(*addr, copts, *debug)
 	} else {
 		dopts := durableOptions{dir: *dataDir, fsync: *fsyncFlag, fsyncEvery: *fsyncEvery, checkpointEvery: *checkpointEvery}
 		err = runShard(*shapeFlag, *in, *addr, *nodes, *replicas, *nodeID, dopts, *debug)
@@ -199,9 +221,23 @@ func startShard(shapeStr, in, addr string, nodes, replicas, nodeID int, dopts du
 	})
 }
 
+// coordOptions carries the coordinator-mode flags into startCoordinator.
+type coordOptions struct {
+	shards        string
+	timeout       time.Duration
+	rejoinEvery   time.Duration
+	cacheCells    int64
+	cachePin      int64
+	hedge         bool
+	muxWindow     int
+	maxInflight   int
+	maxQueue      int
+	admitDeadline time.Duration
+}
+
 // runCoordinator serves the scatter-gather router until interrupted.
-func runCoordinator(shards, addr string, timeout, rejoinEvery time.Duration, debug string) error {
-	srv, coord, bound, err := startCoordinator(shards, addr, timeout, rejoinEvery)
+func runCoordinator(addr string, opts coordOptions, debug string) error {
+	srv, coord, bound, err := startCoordinator(addr, opts)
 	if err != nil {
 		return err
 	}
@@ -223,10 +259,12 @@ func runCoordinator(shards, addr string, timeout, rejoinEvery time.Duration, deb
 	return err
 }
 
-// startCoordinator performs the handshake and starts the protocol server.
-func startCoordinator(shards, addr string, timeout, rejoinEvery time.Duration) (*server.Server, *shard.Coordinator, string, error) {
+// startCoordinator performs the handshake and starts the protocol
+// server, with the optional serving-tier layers (hedged reads, the hot
+// group-by cache) stacked in front of the coordinator.
+func startCoordinator(addr string, opts coordOptions) (*server.Server, *shard.Coordinator, string, error) {
 	var addrs []string
-	for _, a := range strings.Split(shards, ",") {
+	for _, a := range strings.Split(opts.shards, ",") {
 		if a = strings.TrimSpace(a); a != "" {
 			addrs = append(addrs, a)
 		}
@@ -234,11 +272,38 @@ func startCoordinator(shards, addr string, timeout, rejoinEvery time.Duration) (
 	if len(addrs) == 0 {
 		return nil, nil, "", fmt.Errorf("-shards is required in coordinator mode")
 	}
-	coord, err := shard.NewCoordinator(shard.Config{Addrs: addrs, Timeout: timeout, RejoinEvery: rejoinEvery})
+	coord, err := shard.NewCoordinator(shard.Config{
+		Addrs:       addrs,
+		Timeout:     opts.timeout,
+		RejoinEvery: opts.rejoinEvery,
+		Hedge:       opts.hedge,
+	})
 	if err != nil {
 		return nil, nil, "", err
 	}
-	srv := server.NewBackend(coord)
+	var backend server.Backend = coord
+	if opts.cacheCells > 0 {
+		cache := qcache.Wrap(coord, qcache.Config{
+			MaxCells: opts.cacheCells,
+			PinCells: opts.cachePin,
+		})
+		if opts.cachePin > 0 {
+			if err := cache.Prefetch(); err != nil {
+				fmt.Fprintln(os.Stderr, "cubeshard: prefetching pinned views:", err)
+			}
+		}
+		cache.Metrics().PublishExpvar("qcache")
+		backend = cache
+	}
+	srv := server.NewBackend(backend)
+	srv.MuxWindow = opts.muxWindow
+	if opts.maxInflight > 0 {
+		srv.ConfigureAdmission(mux.AdmissionConfig{
+			MaxInFlight: opts.maxInflight,
+			MaxQueue:    opts.maxQueue,
+			Deadline:    opts.admitDeadline,
+		})
+	}
 	// The coordinator enables connection deadlines: an idle client is
 	// dropped after 10 minutes, a stalled reader after 30 seconds, so
 	// dead peers cannot pin goroutines.

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"parcube"
+	"parcube/internal/mux"
 	"parcube/internal/server"
 )
 
@@ -60,7 +61,12 @@ func TestClusterEndToEnd(t *testing.T) {
 		t.Cleanup(func() { node.Close() })
 		addrs = append(addrs, node.Addr())
 	}
-	srv, coord, bound, err := startCoordinator(strings.Join(addrs, ","), "127.0.0.1:0", 2*time.Second, -1)
+	// The full serving tier: hedged reads, the hot group-by cache with a
+	// pinned-view budget, and a capped MUX window.
+	srv, coord, bound, err := startCoordinator("127.0.0.1:0", coordOptions{
+		shards: strings.Join(addrs, ","), timeout: 2 * time.Second, rejoinEvery: -1,
+		cacheCells: 1 << 16, cachePin: 64, hedge: true, muxWindow: 16,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,6 +97,35 @@ func TestClusterEndToEnd(t *testing.T) {
 			t.Fatalf("cell %v = %v, want %v", row.Coords, row.Value, want.At(row.Coords...))
 		}
 	}
+
+	// A second ask of the same group-by is a cache hit, visible in STATS.
+	if _, err := c.GroupBy("A", "C"); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats["qcache.hits"] == "" || stats["qcache.hits"] == "0" {
+		t.Fatalf("no cache hits in STATS: %v", stats)
+	}
+
+	// The same answers arrive over a MUX upgrade (capped at window 16).
+	mc, err := server.DialMux(bound, mux.Options{Window: 64, RequestTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+	if w := mc.Session().Window(); w != 16 {
+		t.Fatalf("mux window = %d, want the configured cap 16", w)
+	}
+	mtotal, err := mc.Total()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mtotal != cube.Total() {
+		t.Fatalf("mux TOTAL = %v, want %v", mtotal, cube.Total())
+	}
 }
 
 func TestStartShardValidation(t *testing.T) {
@@ -107,10 +142,12 @@ func TestStartShardValidation(t *testing.T) {
 }
 
 func TestStartCoordinatorValidation(t *testing.T) {
-	if _, _, _, err := startCoordinator("", "127.0.0.1:0", time.Second, -1); err == nil {
+	if _, _, _, err := startCoordinator("127.0.0.1:0", coordOptions{timeout: time.Second, rejoinEvery: -1}); err == nil {
 		t.Fatal("missing shards accepted")
 	}
-	if _, _, _, err := startCoordinator("127.0.0.1:1", "127.0.0.1:0", 200*time.Millisecond, -1); err == nil {
+	if _, _, _, err := startCoordinator("127.0.0.1:0", coordOptions{
+		shards: "127.0.0.1:1", timeout: 200 * time.Millisecond, rejoinEvery: -1,
+	}); err == nil {
 		t.Fatal("unreachable shard accepted")
 	}
 }

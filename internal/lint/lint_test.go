@@ -221,6 +221,27 @@ func TestDeadlineDurabilityScope(t *testing.T) {
 	}
 }
 
+// TestServingTierScope confirms the serving-scope analyzers police the
+// serving-tier packages added for the multiplexed tier: the mux framing
+// layer and the query cache. The deadline fixture must produce its
+// findings under both import paths, and the goroutine-leak analyzer
+// (which runs tree-wide) must surface its findings there too.
+func TestServingTierScope(t *testing.T) {
+	for _, path := range []string{
+		"parcube/internal/mux/lintfixture",
+		"parcube/internal/qcache/lintfixture",
+	} {
+		p := loadFixture(t, "deadline", path)
+		if sup := checkFixture(t, p, Deadline); sup != 1 {
+			t.Errorf("%s: suppressed = %d, want 1", path, sup)
+		}
+	}
+	p := loadFixture(t, "goroutineleak", "parcube/internal/mux/lintfixture")
+	if sup := checkFixture(t, p, GoroutineLeak); sup != 1 {
+		t.Errorf("goroutineleak under mux path: suppressed = %d, want 1", sup)
+	}
+}
+
 func TestBadDirective(t *testing.T) {
 	fset := token.NewFileSet()
 	src := `package p

@@ -16,6 +16,8 @@ var servingPackageMarkers = []string{
 	"internal/comm",
 	"internal/wal",
 	"internal/recovery",
+	"internal/mux",
+	"internal/qcache",
 }
 
 // isServingPackage reports whether the import path belongs to the serving

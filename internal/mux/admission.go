@@ -1,0 +1,147 @@
+package mux
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"parcube/internal/obs"
+)
+
+// Admission defaults, used when the corresponding AdmissionConfig field
+// is zero.
+const (
+	DefaultMaxInFlight = 64
+	DefaultMaxQueue    = 256
+	DefaultDeadline    = 2 * time.Second
+)
+
+// AdmissionConfig bounds the server-wide request scheduler.
+type AdmissionConfig struct {
+	// MaxInFlight is the number of requests executing concurrently.
+	MaxInFlight int
+	// MaxQueue is the number of requests allowed to wait for a slot;
+	// arrivals beyond it are rejected immediately with ErrOverloaded.
+	MaxQueue int
+	// Deadline bounds how long a queued request may wait for a slot
+	// before it is rejected with ErrOverloaded.
+	Deadline time.Duration
+	// Deadlines overrides Deadline per command (upper-cased first word
+	// of the request, e.g. "GROUPBY"). Cheap commands can be given
+	// short queue deadlines so they shed load before expensive ones.
+	Deadlines map[string]time.Duration
+}
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = DefaultMaxInFlight
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = DefaultMaxQueue
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = DefaultDeadline
+	}
+	return c
+}
+
+// Admission is a semaphore-gated request scheduler: at most MaxInFlight
+// requests execute at once, at most MaxQueue wait, and a queued request
+// that outlives its command deadline is rejected. Rejections are typed
+// (ErrOverloaded) so callers and remote clients can tell overload from
+// failure.
+type Admission struct {
+	cfg AdmissionConfig
+	sem chan struct{}
+
+	waiting atomic.Int64
+	running atomic.Int64
+
+	inFlight  *obs.Gauge
+	queued    *obs.Gauge
+	admitted  *obs.Counter
+	overloads *obs.Counter
+	expired   *obs.Counter
+	waitNs    *obs.Histogram
+}
+
+// NewAdmission builds a scheduler registering its metrics
+// (mux.inflight, mux.queued, mux.admitted, mux.overloads, mux.expired,
+// mux.wait_ns) in reg, so servers that carry reg on STATS expose
+// admission state for free. reg may be nil for Default.
+func NewAdmission(cfg AdmissionConfig, reg *obs.Registry) *Admission {
+	if reg == nil {
+		reg = obs.Default
+	}
+	cfg = cfg.withDefaults()
+	return &Admission{
+		cfg:       cfg,
+		sem:       make(chan struct{}, cfg.MaxInFlight),
+		inFlight:  reg.Gauge("mux.inflight"),
+		queued:    reg.Gauge("mux.queued"),
+		admitted:  reg.Counter("mux.admitted"),
+		overloads: reg.Counter("mux.overloads"),
+		expired:   reg.Counter("mux.expired"),
+		waitNs:    reg.Histogram("mux.wait_ns"),
+	}
+}
+
+// DeadlineFor returns the queue deadline applied to cmd.
+func (a *Admission) DeadlineFor(cmd string) time.Duration {
+	if d, ok := a.cfg.Deadlines[cmd]; ok && d > 0 {
+		return d
+	}
+	return a.cfg.Deadline
+}
+
+// Acquire blocks until the request may execute, and returns the release
+// function to call when it finishes. It fails fast with an error
+// wrapping ErrOverloaded when the queue is full, or when the slot does
+// not free up within the command's deadline.
+func (a *Admission) Acquire(cmd string) (release func(), err error) {
+	select {
+	case a.sem <- struct{}{}:
+		return a.admit(), nil
+	default:
+	}
+	if n := a.waiting.Add(1); n > int64(a.cfg.MaxQueue) {
+		a.waiting.Add(-1)
+		a.overloads.Inc()
+		return nil, fmt.Errorf("%w: queue full at depth %d", ErrOverloaded, a.cfg.MaxQueue)
+	}
+	a.queued.SetMax(a.waiting.Load())
+	start := time.Now()
+	timer := time.NewTimer(a.DeadlineFor(cmd))
+	defer timer.Stop()
+	select {
+	case a.sem <- struct{}{}:
+		a.waiting.Add(-1)
+		a.waitNs.ObserveSince(start)
+		return a.admit(), nil
+	case <-timer.C:
+		a.waiting.Add(-1)
+		a.expired.Inc()
+		a.overloads.Inc()
+		return nil, fmt.Errorf("%w: %s queued past %v deadline", ErrOverloaded, cmd, a.DeadlineFor(cmd))
+	}
+}
+
+// admit records an admitted request; the semaphore slot is already held.
+func (a *Admission) admit() (release func()) {
+	a.admitted.Inc()
+	a.inFlight.SetMax(a.running.Add(1))
+	var once atomic.Bool
+	return func() {
+		if !once.CompareAndSwap(false, true) {
+			return
+		}
+		a.running.Add(-1)
+		<-a.sem
+	}
+}
+
+// InFlight reports the number of currently executing admitted requests.
+func (a *Admission) InFlight() int64 { return a.running.Load() }
+
+// Queued reports the number of requests currently waiting for a slot.
+func (a *Admission) Queued() int64 { return a.waiting.Load() }

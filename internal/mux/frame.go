@@ -1,0 +1,59 @@
+package mux
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Frame kinds on the wire.
+const (
+	KindReq = "REQ"
+	KindRsp = "RSP"
+)
+
+// WriteFrame writes one frame (header line plus body) to w. The caller
+// serializes concurrent writers and handles flushing; a frame is only
+// atomic on the wire if the whole call happens under one writer lock.
+func WriteFrame(w io.Writer, kind string, id uint64, body []byte) error {
+	if _, err := fmt.Fprintf(w, "%s %d %d\n", kind, id, len(body)); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads one frame from r. The declared body length is
+// untrusted: anything negative or above maxBody (DefaultMaxFrame when
+// maxBody <= 0) is a protocol error and nothing is allocated for it.
+func ReadFrame(r *bufio.Reader, maxBody int) (kind string, id uint64, body []byte, err error) {
+	if maxBody <= 0 {
+		maxBody = DefaultMaxFrame
+	}
+	header, err := r.ReadString('\n')
+	if err != nil {
+		return "", 0, nil, err
+	}
+	parts := strings.Fields(strings.TrimSuffix(header, "\n"))
+	if len(parts) != 3 || (parts[0] != KindReq && parts[0] != KindRsp) {
+		return "", 0, nil, fmt.Errorf("mux: malformed frame header %q", strings.TrimSpace(header))
+	}
+	id, err = strconv.ParseUint(parts[1], 10, 64)
+	if err != nil {
+		return "", 0, nil, fmt.Errorf("mux: bad frame id %q", parts[1])
+	}
+	n, err := strconv.Atoi(parts[2])
+	if err != nil {
+		return "", 0, nil, fmt.Errorf("mux: bad frame length %q", parts[2])
+	}
+	if n < 0 || n > maxBody {
+		return "", 0, nil, fmt.Errorf("mux: frame length %d outside [0, %d]", n, maxBody)
+	}
+	body = make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return "", 0, nil, fmt.Errorf("mux: short frame body: %w", err)
+	}
+	return parts[0], id, body, nil
+}

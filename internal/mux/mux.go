@@ -1,0 +1,84 @@
+// Package mux is the multiplexed framing layer of the serving tier: it
+// carries many concurrent request/response exchanges of the cube line
+// protocol over one TCP connection, with per-request IDs, out-of-order
+// responses, and a per-connection flow-control window.
+//
+// A connection upgrades from the plain line protocol: the client's first
+// line is
+//
+//	MUX <window>
+//
+// and the server answers "OK mux window=<w>" with the granted window (the
+// minimum of the requested and configured windows). From then on the
+// stream is a sequence of length-delimited frames in both directions:
+//
+//	REQ <id> <nbytes>\n<nbytes of body>    (client -> server)
+//	RSP <id> <nbytes>\n<nbytes of body>    (server -> client)
+//
+// A request body is exactly one plain-protocol exchange unit: the request
+// line, plus — for DELTA — its payload lines and the terminating ".". A
+// response body is byte-for-byte what the plain protocol would have
+// written for that request ("OK ..." or "ERR ...", plus row lines and "."
+// for table replies). Frames are self-delimiting, so the server answers
+// requests in completion order, not arrival order — one slow group-by no
+// longer convoys every other request on the connection.
+//
+// Flow control is a credit window on both sides: a client holds at most
+// <window> unanswered requests per connection, and the server stops
+// reading a connection whose window is full, so backpressure propagates
+// to the peer through TCP instead of unbounded buffering. Above the
+// per-connection window sits Admission, a server-wide semaphore-gated
+// scheduler with a queue-depth limit and per-command deadlines that
+// rejects excess load with ErrOverloaded instead of fanning out
+// goroutines without bound.
+package mux
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DefaultWindow is the per-connection flow-control window used when
+// neither side configures one: the maximum number of unanswered requests
+// in flight on a single connection.
+const DefaultWindow = 32
+
+// DefaultMaxFrame bounds a frame body read from the wire. The declared
+// length is untrusted input; a frame claiming more than this is a
+// protocol error, not an allocation.
+const DefaultMaxFrame = 64 << 20
+
+// ErrOverloaded is the typed admission rejection: the server's queue is
+// full or the request waited past its command deadline. Wire replies
+// carry its text as an "ERR mux: overloaded ..." line, which the mux
+// client maps back to an error satisfying errors.Is(err, ErrOverloaded).
+var ErrOverloaded = errors.New("mux: overloaded")
+
+// ErrTimeout reports that one request's per-request deadline expired
+// while its response was outstanding. The session stays usable: the
+// late response, if it ever arrives, is discarded by ID.
+var ErrTimeout = errors.New("mux: request timed out")
+
+// ErrClosed reports that the session was closed (locally or by a
+// transport failure) before the request completed.
+var ErrClosed = errors.New("mux: session closed")
+
+// overloadPrefix is the wire text prefix a rejected request's ERR line
+// carries; both sides agree on it through ErrOverloaded's message.
+var overloadPrefix = ErrOverloaded.Error()
+
+// IsOverloadReply reports whether an ERR payload (the message after
+// "ERR ") is an admission rejection, so protocol clients can map remote
+// rejections back to ErrOverloaded.
+func IsOverloadReply(msg string) bool {
+	return len(msg) >= len(overloadPrefix) && msg[:len(overloadPrefix)] == overloadPrefix
+}
+
+// UpgradeRequest renders the client's upgrade line for a requested
+// window.
+func UpgradeRequest(window int) string {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	return fmt.Sprintf("MUX %d", window)
+}

@@ -1,0 +1,307 @@
+package mux
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"parcube/internal/obs"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	body := []byte("GROUPBY A B\nextra payload line\n.\n")
+	if err := WriteFrame(&buf, KindReq, 42, body); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	kind, id, got, err := ReadFrame(bufio.NewReader(&buf), 0)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if kind != KindReq || id != 42 || !bytes.Equal(got, body) {
+		t.Fatalf("round trip = %q %d %q", kind, id, got)
+	}
+}
+
+func TestFrameRejectsOversizedAndMalformed(t *testing.T) {
+	cases := []string{
+		"REQ 1 999999\nx",          // length beyond maxBody
+		"REQ 1 -5\n",               // negative length
+		"BOGUS 1 0\n",              // unknown kind
+		"REQ notanid 0\n",          // bad id
+		"REQ 1\n",                  // missing length
+		"REQ 1 0 extra trailing\n", // too many fields
+	}
+	for _, c := range cases {
+		_, _, _, err := ReadFrame(bufio.NewReader(strings.NewReader(c)), 1024)
+		if err == nil {
+			t.Errorf("ReadFrame(%q) accepted a bad frame", c)
+		}
+	}
+	// A frame at exactly maxBody passes.
+	in := "RSP 7 4\nabcd"
+	kind, id, body, err := ReadFrame(bufio.NewReader(strings.NewReader(in)), 4)
+	if err != nil || kind != KindRsp || id != 7 || string(body) != "abcd" {
+		t.Fatalf("ReadFrame(%q) = %q %d %q %v", in, kind, id, body, err)
+	}
+}
+
+// pipeSession wires a client Session to a served handler over net.Pipe.
+func pipeSession(t *testing.T, h Handler, o Options, so ServeOptions) *Session {
+	t.Helper()
+	cliConn, srvConn := net.Pipe()
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		r := bufio.NewReader(srvConn)
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		var req int
+		if _, err := fmt.Sscanf(strings.TrimSpace(line), "MUX %d", &req); err != nil {
+			return
+		}
+		_ = Serve(srvConn, r, bufio.NewWriter(srvConn), req, h, so)
+	}()
+	t.Cleanup(func() {
+		_ = cliConn.Close()
+		_ = srvConn.Close()
+		<-serveDone
+	})
+	s, err := Upgrade(cliConn, o)
+	if err != nil {
+		t.Fatalf("Upgrade: %v", err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+func TestSessionPipelinedOutOfOrder(t *testing.T) {
+	// The handler answers request "slow" only after "fast" has been
+	// answered, so a correct client must accept out-of-order responses.
+	fastDone := make(chan struct{})
+	h := func(req []byte) ([]byte, bool) {
+		if string(req) == "slow" {
+			<-fastDone
+			return []byte("OK slow\n"), false
+		}
+		return []byte("OK fast\n"), false
+	}
+	s := pipeSession(t, h, Options{Window: 8}, ServeOptions{})
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var slowResp, fastResp []byte
+	var slowErr, fastErr error
+	go func() {
+		defer wg.Done()
+		slowResp, slowErr = s.DoTimeout([]byte("slow"), 5*time.Second)
+	}()
+	// Make sure "slow" is registered first.
+	time.Sleep(20 * time.Millisecond)
+	go func() {
+		defer wg.Done()
+		fastResp, fastErr = s.DoTimeout([]byte("fast"), 5*time.Second)
+		close(fastDone)
+	}()
+	wg.Wait()
+	if fastErr != nil || string(fastResp) != "OK fast\n" {
+		t.Fatalf("fast = %q, %v", fastResp, fastErr)
+	}
+	if slowErr != nil || string(slowResp) != "OK slow\n" {
+		t.Fatalf("slow = %q, %v", slowResp, slowErr)
+	}
+}
+
+func TestSessionPerRequestTimeout(t *testing.T) {
+	// One stuck request times out alone; a request issued afterwards on
+	// the same session still succeeds, proving deadlines are
+	// per-request rather than per-connection-turn.
+	release := make(chan struct{})
+	h := func(req []byte) ([]byte, bool) {
+		if string(req) == "stuck" {
+			<-release
+		}
+		return append([]byte("OK "), append(req, '\n')...), false
+	}
+	s := pipeSession(t, h, Options{Window: 8}, ServeOptions{})
+	defer close(release)
+
+	stuckErr := make(chan error, 1)
+	go func() {
+		_, err := s.DoTimeout([]byte("stuck"), 80*time.Millisecond)
+		stuckErr <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+
+	resp, err := s.DoTimeout([]byte("ping"), 5*time.Second)
+	if err != nil || string(resp) != "OK ping\n" {
+		t.Fatalf("ping during stuck request = %q, %v", resp, err)
+	}
+	if err := <-stuckErr; !errors.Is(err, ErrTimeout) {
+		t.Fatalf("stuck request error = %v, want ErrTimeout", err)
+	}
+	// The session survives the timeout.
+	resp, err = s.DoTimeout([]byte("after"), 5*time.Second)
+	if err != nil || string(resp) != "OK after\n" {
+		t.Fatalf("request after timeout = %q, %v", resp, err)
+	}
+}
+
+func TestSessionWindowGrant(t *testing.T) {
+	h := func(req []byte) ([]byte, bool) { return []byte("OK\n"), false }
+	s := pipeSession(t, h, Options{Window: 500}, ServeOptions{Window: 4})
+	if s.Window() != 4 {
+		t.Fatalf("granted window = %d, want server cap 4", s.Window())
+	}
+}
+
+func TestSessionQuitFailsPending(t *testing.T) {
+	h := func(req []byte) ([]byte, bool) {
+		if string(req) == "QUIT" {
+			return []byte("OK bye\n"), true
+		}
+		return []byte("OK\n"), false
+	}
+	s := pipeSession(t, h, Options{Window: 4}, ServeOptions{})
+	resp, err := s.DoTimeout([]byte("QUIT"), 2*time.Second)
+	if err != nil || string(resp) != "OK bye\n" {
+		t.Fatalf("quit = %q, %v", resp, err)
+	}
+	// The server closed the connection; later requests fail closed.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err = s.DoTimeout([]byte("ping"), 100*time.Millisecond); err != nil && !errors.Is(err, ErrTimeout) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("session still alive after server quit (last err %v)", err)
+		}
+	}
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-quit error = %v, want ErrClosed", err)
+	}
+}
+
+func TestAdmissionQueueFullRejects(t *testing.T) {
+	reg := obs.NewRegistry()
+	adm := NewAdmission(AdmissionConfig{MaxInFlight: 1, MaxQueue: 1, Deadline: 5 * time.Second}, reg)
+
+	rel1, err := adm.Acquire("GROUPBY")
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	queued := make(chan error, 1)
+	go func() {
+		rel, err := adm.Acquire("GROUPBY")
+		if err == nil {
+			defer rel()
+		}
+		queued <- err
+	}()
+	// Wait until the second request is queued.
+	for i := 0; adm.Queued() == 0 && i < 200; i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if adm.Queued() != 1 {
+		t.Fatalf("queued = %d, want 1", adm.Queued())
+	}
+	// Queue is full: the third arrival is rejected immediately.
+	if _, err := adm.Acquire("TOTAL"); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third acquire = %v, want ErrOverloaded", err)
+	}
+	rel1()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	if got := reg.Flatten()["mux.overloads"]; got != 1 {
+		t.Fatalf("mux.overloads = %d, want 1", got)
+	}
+}
+
+func TestAdmissionDeadlineExpires(t *testing.T) {
+	reg := obs.NewRegistry()
+	adm := NewAdmission(AdmissionConfig{
+		MaxInFlight: 1,
+		MaxQueue:    4,
+		Deadline:    time.Second,
+		Deadlines:   map[string]time.Duration{"QUERY": 30 * time.Millisecond},
+	}, reg)
+	rel, err := adm.Acquire("GROUPBY")
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	defer rel()
+	start := time.Now()
+	if _, err := adm.Acquire("QUERY"); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("queued acquire = %v, want ErrOverloaded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("per-command deadline not applied: waited %v", elapsed)
+	}
+	flat := reg.Flatten()
+	if flat["mux.expired"] != 1 {
+		t.Fatalf("mux.expired = %d, want 1", flat["mux.expired"])
+	}
+}
+
+func TestServeAdmissionRejectsOnWire(t *testing.T) {
+	reg := obs.NewRegistry()
+	adm := NewAdmission(AdmissionConfig{
+		MaxInFlight: 1,
+		MaxQueue:    1,
+		Deadlines:   map[string]time.Duration{"PING": 20 * time.Millisecond},
+		Deadline:    20 * time.Millisecond,
+	}, reg)
+	block := make(chan struct{})
+	h := func(req []byte) ([]byte, bool) {
+		if string(req) == "block" {
+			<-block
+		}
+		return []byte("OK\n"), false
+	}
+	s := pipeSession(t, h, Options{Window: 8}, ServeOptions{Admission: adm})
+	defer close(block)
+
+	blocked := make(chan struct{})
+	go func() {
+		defer close(blocked)
+		_, _ = s.DoTimeout([]byte("block"), 5*time.Second)
+	}()
+	for i := 0; adm.InFlight() == 0 && i < 200; i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+	// This one queues, expires, and must come back as a typed overload
+	// reply rather than a handler response.
+	resp, err := s.DoTimeout([]byte("PING"), 5*time.Second)
+	if err != nil {
+		t.Fatalf("overloaded request transport error: %v", err)
+	}
+	msg, ok := strings.CutPrefix(strings.TrimSpace(string(resp)), "ERR ")
+	if !ok || !IsOverloadReply(msg) {
+		t.Fatalf("overloaded reply = %q, want ERR mux: overloaded ...", resp)
+	}
+	block <- struct{}{}
+	<-blocked
+}
+
+func TestCommandOf(t *testing.T) {
+	cases := map[string]string{
+		"groupby A B\n":        "GROUPBY",
+		"  delta 3\n1 2 3 4\n": "DELTA",
+		"STATS":                "STATS",
+		"":                     "",
+	}
+	for in, want := range cases {
+		if got := commandOf([]byte(in)); got != want {
+			t.Errorf("commandOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package mux
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Handler executes one request body and returns the response body to
+// frame back, plus whether the connection should close afterwards
+// (QUIT). Handlers run concurrently, one goroutine per in-flight
+// request up to the connection window.
+type Handler func(req []byte) (resp []byte, quit bool)
+
+// ServeOptions configures one server-side mux connection.
+type ServeOptions struct {
+	// Window caps the granted per-connection window (DefaultWindow if
+	// zero); the client may request less.
+	Window int
+	// MaxFrame bounds request frame bodies (DefaultMaxFrame if zero).
+	MaxFrame int
+	// ReadTimeout is the idle deadline between request frames; zero
+	// leaves the connection unarmed between frames.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each response frame write.
+	WriteTimeout time.Duration
+	// Admission, when set, gates every request through the server-wide
+	// scheduler; rejected requests get an "ERR mux: overloaded ..."
+	// response instead of running.
+	Admission *Admission
+}
+
+// Serve runs the server half of a mux connection after the upgrade line
+// has been read: it grants min(requested, o.Window), acknowledges the
+// upgrade, then reads request frames and answers them out of order as
+// their handlers finish. Reading stops while the window is full, so an
+// over-driving client is throttled by TCP instead of queueing without
+// bound. Serve returns when the client disconnects, a handler asks to
+// quit, or the transport fails; all in-flight handlers are joined
+// first.
+func Serve(conn net.Conn, r *bufio.Reader, w *bufio.Writer, requested int, h Handler, o ServeOptions) error {
+	maxWin := o.Window
+	if maxWin <= 0 {
+		maxWin = DefaultWindow
+	}
+	granted := requested
+	if granted <= 0 || granted > maxWin {
+		granted = maxWin
+	}
+	var wmu sync.Mutex
+	writeRsp := func(id uint64, body []byte) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		wt := o.WriteTimeout
+		if wt <= 0 {
+			wt = defaultDialTimeout
+		}
+		if err := conn.SetWriteDeadline(time.Now().Add(wt)); err != nil {
+			return err
+		}
+		if err := WriteFrame(w, KindRsp, id, body); err != nil {
+			return err
+		}
+		return w.Flush()
+	}
+
+	wmu.Lock()
+	_, hsErr := fmt.Fprintf(w, "OK mux window=%d\n", granted)
+	if hsErr == nil {
+		hsErr = w.Flush()
+	}
+	wmu.Unlock()
+	if hsErr != nil {
+		return hsErr
+	}
+
+	var (
+		wg       sync.WaitGroup
+		slots    = make(chan struct{}, granted)
+		quitting atomic.Bool
+		closeRd  sync.Once
+	)
+	shutdown := func() {
+		closeRd.Do(func() {
+			quitting.Store(true)
+			// Unblocks the frame reader; closing twice is harmless and
+			// the caller's own deferred Close stays valid.
+			_ = conn.Close()
+		})
+	}
+
+	var loopErr error
+	for {
+		var arm time.Time
+		if o.ReadTimeout > 0 {
+			arm = time.Now().Add(o.ReadTimeout)
+		}
+		if err := conn.SetReadDeadline(arm); err != nil {
+			if !quitting.Load() {
+				loopErr = err
+			}
+			break
+		}
+		kind, id, body, err := ReadFrame(r, o.MaxFrame)
+		if err != nil {
+			if !quitting.Load() {
+				loopErr = err
+			}
+			break
+		}
+		if kind != KindReq {
+			loopErr = fmt.Errorf("mux: unexpected %s frame from client", kind)
+			break
+		}
+		// Window backpressure: block here (not in unbounded goroutines)
+		// until a handler slot frees up.
+		slots <- struct{}{}
+		wg.Add(1)
+		go func(id uint64, body []byte) {
+			defer wg.Done()
+			defer func() { <-slots }()
+			resp, quit := dispatch(h, o.Admission, body)
+			if err := writeRsp(id, resp); err != nil {
+				shutdown()
+				return
+			}
+			if quit {
+				shutdown()
+			}
+		}(id, body)
+	}
+	wg.Wait()
+	return loopErr
+}
+
+// dispatch runs one request through admission (when configured) and the
+// handler. Admission rejections become protocol-level ERR responses so
+// the client sees a typed overload, not a dead connection.
+func dispatch(h Handler, adm *Admission, body []byte) (resp []byte, quit bool) {
+	if adm != nil {
+		release, err := adm.Acquire(commandOf(body))
+		if err != nil {
+			return []byte("ERR " + err.Error() + "\n"), false
+		}
+		defer release()
+	}
+	return h(body)
+}
+
+// commandOf extracts the admission key: the upper-cased first word of
+// the request body.
+func commandOf(body []byte) string {
+	start := 0
+	for start < len(body) && (body[start] == ' ' || body[start] == '\t') {
+		start++
+	}
+	end := start
+	for end < len(body) && body[end] != ' ' && body[end] != '\t' && body[end] != '\r' && body[end] != '\n' {
+		end++
+	}
+	word := body[start:end]
+	buf := make([]byte, len(word))
+	for i, b := range word {
+		if 'a' <= b && b <= 'z' {
+			b -= 'a' - 'A'
+		}
+		buf[i] = b
+	}
+	return string(buf)
+}

@@ -1,0 +1,347 @@
+package mux
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// readGrace pads the reader's connection deadline past the latest
+// per-request deadline, so the per-request timers (not the transport)
+// decide individual timeouts and the connection deadline only catches a
+// genuinely wedged peer.
+const readGrace = 500 * time.Millisecond
+
+// defaultDialTimeout bounds Dial and the upgrade handshake when
+// Options.DialTimeout is zero.
+const defaultDialTimeout = 5 * time.Second
+
+// Options configures a client Session.
+type Options struct {
+	// Window is the flow-control window to request (DefaultWindow if
+	// zero); the server may grant less.
+	Window int
+	// MaxFrame bounds response frame bodies (DefaultMaxFrame if zero).
+	MaxFrame int
+	// RequestTimeout is the default per-request deadline applied by Do.
+	// Zero means no deadline (DoTimeout can still set one per call).
+	RequestTimeout time.Duration
+	// DialTimeout bounds the TCP connect and the upgrade handshake.
+	DialTimeout time.Duration
+	// WriteTimeout bounds each frame write (DialTimeout's default is
+	// used when zero).
+	WriteTimeout time.Duration
+}
+
+// call is one in-flight request on a Session.
+type call struct {
+	done     chan struct{}
+	body     []byte
+	err      error
+	deadline time.Time
+	resolved bool
+}
+
+// Session is the client half of a multiplexed connection: many
+// goroutines issue requests concurrently over one TCP connection, each
+// with its own ID and its own deadline, and a shared reader dispatches
+// out-of-order responses back by ID.
+type Session struct {
+	conn   net.Conn
+	r      *bufio.Reader
+	window int
+	opts   Options
+
+	wmu sync.Mutex
+	w   *bufio.Writer
+
+	// credits holds one token per unanswered request; cap is the
+	// granted window, so a full channel blocks new sends and the
+	// backpressure propagates to this client instead of the server.
+	credits chan struct{}
+
+	mu      sync.Mutex
+	pending map[uint64]*call
+	nextID  uint64
+	failed  error
+
+	readerDone chan struct{}
+}
+
+// Dial connects to addr and upgrades the connection to the mux
+// protocol.
+func Dial(addr string, o Options) (*Session, error) {
+	d := o.DialTimeout
+	if d <= 0 {
+		d = defaultDialTimeout
+	}
+	conn, err := net.DialTimeout("tcp", addr, d)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Upgrade(conn, o)
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Upgrade performs the MUX handshake on an established connection and
+// returns the running session. On error the connection is left to the
+// caller to close.
+func Upgrade(conn net.Conn, o Options) (*Session, error) {
+	if o.Window <= 0 {
+		o.Window = DefaultWindow
+	}
+	if o.MaxFrame <= 0 {
+		o.MaxFrame = DefaultMaxFrame
+	}
+	hs := o.DialTimeout
+	if hs <= 0 {
+		hs = defaultDialTimeout
+	}
+	if err := conn.SetDeadline(time.Now().Add(hs)); err != nil {
+		return nil, err
+	}
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	if _, err := fmt.Fprintf(w, "%s\n", UpgradeRequest(o.Window)); err != nil {
+		return nil, err
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	reply, err := r.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("mux: upgrade: %w", err)
+	}
+	granted, err := parseUpgradeReply(strings.TrimSpace(reply))
+	if err != nil {
+		return nil, err
+	}
+	if granted > o.Window {
+		granted = o.Window
+	}
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		return nil, err
+	}
+	s := &Session{
+		conn:       conn,
+		r:          r,
+		w:          w,
+		window:     granted,
+		opts:       o,
+		credits:    make(chan struct{}, granted),
+		pending:    make(map[uint64]*call),
+		readerDone: make(chan struct{}),
+	}
+	go s.readLoop()
+	return s, nil
+}
+
+// parseUpgradeReply extracts the granted window from "OK mux window=N".
+func parseUpgradeReply(line string) (int, error) {
+	var granted int
+	if n, err := fmt.Sscanf(line, "OK mux window=%d", &granted); err != nil || n != 1 || granted < 1 {
+		return 0, fmt.Errorf("mux: upgrade rejected: %q", line)
+	}
+	return granted, nil
+}
+
+// Window reports the granted flow-control window.
+func (s *Session) Window() int { return s.window }
+
+// Do sends one request body and waits for its response body, applying
+// the session's default RequestTimeout.
+func (s *Session) Do(body []byte) ([]byte, error) {
+	return s.DoTimeout(body, s.opts.RequestTimeout)
+}
+
+// DoTimeout is Do with an explicit per-request deadline (zero means
+// none). The deadline covers the whole exchange: waiting for a window
+// credit, writing the frame, and waiting for the response. A timed-out
+// request resolves alone — other requests on the session keep their own
+// deadlines, and its late response is discarded by ID.
+func (s *Session) DoTimeout(body []byte, timeout time.Duration) ([]byte, error) {
+	var deadline time.Time
+	var expire <-chan time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		expire = timer.C
+	}
+	select {
+	case s.credits <- struct{}{}:
+	case <-s.readerDone:
+		return nil, s.failure()
+	case <-expire:
+		return nil, fmt.Errorf("%w after %v (awaiting window credit)", ErrTimeout, timeout)
+	}
+	id, c, err := s.register(deadline)
+	if err != nil {
+		<-s.credits
+		return nil, err
+	}
+	if err := s.writeFrame(KindReq, id, body); err != nil {
+		s.fail(err)
+		return nil, s.failure()
+	}
+	select {
+	case <-c.done:
+		return c.body, c.err
+	case <-expire:
+		if s.abandon(id, c) {
+			return nil, fmt.Errorf("%w after %v", ErrTimeout, timeout)
+		}
+		// The response raced the timer and won.
+		<-c.done
+		return c.body, c.err
+	}
+}
+
+// register allocates an ID for a new in-flight call and folds its
+// deadline into the reader's connection deadline.
+func (s *Session) register(deadline time.Time) (uint64, *call, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed != nil {
+		return 0, nil, s.failed
+	}
+	s.nextID++
+	c := &call{done: make(chan struct{}), deadline: deadline}
+	s.pending[s.nextID] = c
+	s.armReadLocked()
+	return s.nextID, c, nil
+}
+
+// abandon resolves a call as timed out, if the reader has not resolved
+// it first. The credit is released by whichever side resolves.
+func (s *Session) abandon(id uint64, c *call) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c.resolved {
+		return false
+	}
+	c.resolved = true
+	delete(s.pending, id)
+	<-s.credits
+	s.armReadLocked()
+	close(c.done)
+	return true
+}
+
+// armReadLocked points the connection read deadline at the latest
+// pending per-request deadline (plus grace), or clears it when any
+// pending request is deadline-free. Called with s.mu held; SetReadDeadline
+// is safe against a concurrently blocked reader and extends or shortens
+// its wait in place.
+func (s *Session) armReadLocked() {
+	var latest time.Time
+	for _, c := range s.pending {
+		if c.deadline.IsZero() {
+			latest = time.Time{}
+			break
+		}
+		if c.deadline.After(latest) {
+			latest = c.deadline
+		}
+	}
+	if latest.IsZero() {
+		_ = s.conn.SetReadDeadline(time.Time{})
+		return
+	}
+	_ = s.conn.SetReadDeadline(latest.Add(readGrace))
+}
+
+// writeFrame writes one frame under the writer lock with a write
+// deadline armed, so a stalled peer fails the write instead of wedging
+// every sender on the session.
+func (s *Session) writeFrame(kind string, id uint64, body []byte) error {
+	wt := s.opts.WriteTimeout
+	if wt <= 0 {
+		wt = defaultDialTimeout
+	}
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if err := s.conn.SetWriteDeadline(time.Now().Add(wt)); err != nil {
+		return err
+	}
+	if err := WriteFrame(s.w, kind, id, body); err != nil {
+		return err
+	}
+	return s.w.Flush()
+}
+
+// readLoop is the session's single reader: it dispatches response
+// frames to their calls by ID and discards responses whose call already
+// timed out.
+func (s *Session) readLoop() {
+	defer close(s.readerDone)
+	for {
+		kind, id, body, err := ReadFrame(s.r, s.opts.MaxFrame)
+		if err != nil {
+			s.fail(fmt.Errorf("mux: session read: %w", err))
+			return
+		}
+		if kind != KindRsp {
+			s.fail(fmt.Errorf("mux: unexpected %s frame from server", kind))
+			return
+		}
+		s.mu.Lock()
+		c, ok := s.pending[id]
+		if ok {
+			c.resolved = true
+			delete(s.pending, id)
+			<-s.credits
+			c.body = body
+			s.armReadLocked()
+			close(c.done)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// fail marks the session broken, closes the transport, and resolves
+// every pending call with the failure.
+func (s *Session) fail(err error) {
+	s.mu.Lock()
+	if s.failed != nil {
+		s.mu.Unlock()
+		return
+	}
+	s.failed = fmt.Errorf("%w: %v", ErrClosed, err)
+	calls := s.pending
+	s.pending = make(map[uint64]*call)
+	for _, c := range calls {
+		c.resolved = true
+		c.err = s.failed
+		<-s.credits
+		close(c.done)
+	}
+	s.mu.Unlock()
+	_ = s.conn.Close()
+}
+
+// failure returns the recorded failure, or ErrClosed if the session was
+// shut down cleanly.
+func (s *Session) failure() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failed != nil {
+		return s.failed
+	}
+	return ErrClosed
+}
+
+// Close shuts the session down, failing any in-flight requests with
+// ErrClosed, and waits for the reader to exit.
+func (s *Session) Close() error {
+	s.fail(fmt.Errorf("closed by client"))
+	<-s.readerDone
+	return nil
+}

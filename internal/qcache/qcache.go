@@ -1,0 +1,613 @@
+// Package qcache is the serving tier's hot group-by result cache: a
+// bounded, delta-invalidated cache wrapped around a server.Backend
+// (normally the shard coordinator). Sundararajan & Yan's observation
+// that a few hot group-bys dominate real cube traffic is what it
+// exploits; the lockstep ingest path from the durable-shard work is
+// what makes its invalidation *exact* rather than TTL-guesswork — the
+// coordinator publishes a per-block-group event for every applied
+// delta, and exactly the entries whose fan-out touched that block are
+// dropped.
+//
+// Three mechanisms beyond a plain LRU:
+//
+//   - Exact invalidation: every entry records which block groups its
+//     answer was gathered from (VALUE prunes to the owning blocks; full
+//     group-bys touch all). An ingest event for block b drops entries
+//     over b and bumps the block's epoch; a fill whose backend read
+//     began before the bump is rejected at insert, so a slow fill
+//     racing an ingest can never resurrect a stale answer.
+//
+//   - Ancestor projection: a miss on GROUPBY A first looks for a cached
+//     strict ancestor (e.g. GROUPBY A,B) and folds it down with the
+//     cluster's distributive operator instead of re-scattering — the
+//     views package's ancestor-answering model, applied to the cache.
+//
+//   - Pinning: with a space budget, the classic benefit-greedy view
+//     selection (internal/views) chooses which group-bys are worth
+//     keeping resident; pinned entries are exempt from LRU eviction
+//     (never from invalidation) and Prefetch warms them.
+package qcache
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"parcube/internal/agg"
+	"parcube/internal/lattice"
+	"parcube/internal/nd"
+	"parcube/internal/obs"
+	"parcube/internal/server"
+	"parcube/internal/views"
+)
+
+// Planner is the optional backend refinement the cache uses for exact
+// invalidation and ancestor projection. The shard coordinator satisfies
+// it; without it the cache still works, with a single global epoch
+// (every ingest invalidates everything) and no projection.
+type Planner interface {
+	// NumBlocks reports how many block groups tile the array.
+	NumBlocks() int
+	// BlocksForValue returns the blocks a VALUE fan-out touches.
+	BlocksForValue(dims []string, coords []int) ([]int, error)
+	// Op returns the cluster's aggregation operator.
+	Op() agg.Op
+}
+
+// IngestNotifier is the optional backend refinement that publishes
+// applied-delta events; the coordinator's OnIngest satisfies it.
+type IngestNotifier interface {
+	OnIngest(fn func(block int))
+}
+
+// Config bounds the cache.
+type Config struct {
+	// MaxEntries caps the number of cached results (default 256).
+	MaxEntries int
+	// MaxCells caps the total cells held across unpinned entries
+	// (default 1<<20). Pinned entries live outside this budget, under
+	// PinCells.
+	MaxCells int64
+	// PinCells, when positive, runs the space-budgeted benefit-greedy
+	// view selection over the schema lattice and pins the chosen
+	// group-bys: never LRU-evicted, lazily (re)filled, warmable with
+	// Prefetch. Requires a Planner backend (for the operator) and a
+	// schema of at most lattice.MaxDims dimensions; ignored otherwise.
+	PinCells int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxEntries <= 0 {
+		c.MaxEntries = 256
+	}
+	if c.MaxCells <= 0 {
+		c.MaxCells = 1 << 20
+	}
+	return c
+}
+
+// entry is one cached answer.
+type entry struct {
+	key string
+	// dims and dset identify group-by entries for ancestor projection;
+	// dset is valid only when isGroupBy.
+	dims      []string
+	dset      lattice.DimSet
+	isGroupBy bool
+	// blocks is the sorted fan-out set the answer was gathered from;
+	// nil means every block.
+	blocks []int
+	// table holds table answers; scalar holds TOTAL/VALUE answers.
+	table  *cachedTable
+	scalar float64
+	cells  int64
+	// pinned entries are exempt from LRU eviction; elem is nil for
+	// them (they live outside the LRU list).
+	pinned bool
+	elem   *list.Element
+}
+
+// Cache wraps a backend with the serving-tier result cache. It
+// implements server.Backend, server.ValueBackend, server.DeltaBackend
+// (pass-through plus invalidation), and server.StatsReporter.
+type Cache struct {
+	inner   server.Backend
+	cfg     Config
+	planner Planner
+	op      agg.Op
+	names   []string
+	sizes   []int
+
+	mu         sync.Mutex
+	entries    map[string]*entry
+	lru        *list.List // front = most recent; unpinned entries only
+	totalCells int64      // unpinned cells
+	// epochs guard fills against racing invalidations: one per block
+	// group (a single shared epoch without a Planner). A fill snapshots
+	// the epochs of its fan-out before asking the backend and inserts
+	// only if none moved.
+	epochs []uint64
+	// pinnedKeys marks the group-by keys chosen by view selection.
+	pinnedKeys map[string][]string
+
+	hits          *obs.Counter
+	misses        *obs.Counter
+	fills         *obs.Counter
+	rejectedFills *obs.Counter
+	evictions     *obs.Counter
+	invalidations *obs.Counter
+	ancestorHits  *obs.Counter
+	entriesGauge  *obs.Gauge
+	cellsGauge    *obs.Gauge
+	reg           *obs.Registry
+}
+
+// Wrap builds the cache in front of a backend. When the backend is a
+// Planner (the coordinator), invalidation is per block group and misses
+// may be answered by projecting cached ancestors; when it is an
+// IngestNotifier, invalidation events arrive exactly per applied delta,
+// otherwise any delta through the cache invalidates everything.
+func Wrap(b server.Backend, cfg Config) *Cache {
+	cfg = cfg.withDefaults()
+	names, sizes := b.SchemaDims()
+	c := &Cache{
+		inner:   b,
+		cfg:     cfg,
+		names:   names,
+		sizes:   sizes,
+		entries: make(map[string]*entry),
+		lru:     list.New(),
+		reg:     obs.NewRegistry(),
+	}
+	c.hits = c.reg.Counter("qcache.hits")
+	c.misses = c.reg.Counter("qcache.misses")
+	c.fills = c.reg.Counter("qcache.fills")
+	c.rejectedFills = c.reg.Counter("qcache.rejected_fills")
+	c.evictions = c.reg.Counter("qcache.evictions")
+	c.invalidations = c.reg.Counter("qcache.invalidations")
+	c.ancestorHits = c.reg.Counter("qcache.ancestor_hits")
+	c.entriesGauge = c.reg.Gauge("qcache.entries")
+	c.cellsGauge = c.reg.Gauge("qcache.cells")
+
+	nblocks := 1
+	if p, ok := b.(Planner); ok {
+		c.planner = p
+		c.op = p.Op()
+		if n := p.NumBlocks(); n > 0 {
+			nblocks = n
+		}
+	}
+	c.epochs = make([]uint64, nblocks)
+	if c.planner != nil && cfg.PinCells > 0 && len(sizes) <= lattice.MaxDims && len(sizes) > 0 {
+		c.selectPins()
+	}
+	if n, ok := b.(IngestNotifier); ok {
+		n.OnIngest(c.InvalidateBlock)
+	}
+	return c
+}
+
+// selectPins runs the space-budgeted benefit greedy over the schema
+// lattice and records the chosen group-bys as pinned keys.
+func (c *Cache) selectPins() {
+	l, err := lattice.New(nd.Shape(c.sizes))
+	if err != nil {
+		return
+	}
+	sel := views.SelectGreedyUnderSpace(l, c.cfg.PinCells, 0)
+	c.pinnedKeys = make(map[string][]string, len(sel.Views))
+	for _, v := range sel.Views {
+		dims := make([]string, 0, v.Count())
+		for _, axis := range v.Dims() {
+			dims = append(dims, c.names[axis])
+		}
+		c.pinnedKeys[groupByKey(dims)] = dims
+	}
+}
+
+// PinnedGroupBys lists the group-bys chosen by view selection, in no
+// particular order.
+func (c *Cache) PinnedGroupBys() [][]string {
+	out := make([][]string, 0, len(c.pinnedKeys))
+	for _, dims := range c.pinnedKeys {
+		out = append(out, append([]string(nil), dims...))
+	}
+	return out
+}
+
+// Prefetch materializes every pinned group-by not already resident, so
+// a fresh coordinator starts hot.
+func (c *Cache) Prefetch() error {
+	for _, dims := range c.pinnedKeys {
+		if _, err := c.GroupBy(dims...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Metrics exposes the cache's registry (hits, misses, fills,
+// invalidations, ...).
+func (c *Cache) Metrics() *obs.Registry { return c.reg }
+
+// StatsFields appends the cache's counters — and the wrapped backend's
+// own fields — to the STATS reply.
+func (c *Cache) StatsFields() []string {
+	var fields []string
+	if rep, ok := c.inner.(server.StatsReporter); ok {
+		fields = append(fields, rep.StatsFields()...)
+	}
+	return append(fields, c.reg.Fields()...)
+}
+
+// SchemaDims returns the wrapped backend's schema.
+func (c *Cache) SchemaDims() ([]string, []int) { return c.inner.SchemaDims() }
+
+// --- keys -------------------------------------------------------------
+
+func groupByKey(dims []string) string { return "G " + strings.Join(dims, ",") }
+
+func valueKey(dims []string, coords []int) string {
+	parts := make([]string, 0, len(coords))
+	for _, v := range coords {
+		parts = append(parts, fmt.Sprint(v))
+	}
+	return "V " + strings.Join(dims, ",") + " " + strings.Join(parts, ",")
+}
+
+// --- locked helpers ---------------------------------------------------
+
+// snapshotEpochs copies the epochs guarding the given fan-out (nil =
+// every block) under the lock.
+func (c *Cache) snapshotEpochs(blocks []int) []uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if blocks == nil {
+		return append([]uint64(nil), c.epochs...)
+	}
+	snap := make([]uint64, len(blocks))
+	for i, b := range blocks {
+		if b >= 0 && b < len(c.epochs) {
+			snap[i] = c.epochs[b]
+		}
+	}
+	return snap
+}
+
+// epochsUnchangedLocked reports whether the guard epochs still match.
+func (c *Cache) epochsUnchangedLocked(blocks []int, snap []uint64) bool {
+	if blocks == nil {
+		for i, e := range c.epochs {
+			if snap[i] != e {
+				return false
+			}
+		}
+		return true
+	}
+	for i, b := range blocks {
+		if b >= 0 && b < len(c.epochs) && c.epochs[b] != snap[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// lookup returns the entry for key, refreshing its LRU position.
+func (c *Cache) lookup(key string) (*entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	if e.elem != nil {
+		c.lru.MoveToFront(e.elem)
+	}
+	c.hits.Inc()
+	return e, true
+}
+
+// findAncestorTable returns a copy-safe reference to the smallest
+// cached group-by whose dimension set covers want. Called on the miss
+// path; the returned table is immutable once cached, so projecting
+// outside the lock is safe.
+func (c *Cache) findAncestorTable(want lattice.DimSet) (*entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var best *entry
+	for _, e := range c.entries {
+		if !e.isGroupBy || e.table == nil {
+			continue
+		}
+		if want&e.dset != want {
+			continue
+		}
+		if best == nil || e.cells < best.cells {
+			best = e
+		}
+	}
+	if best == nil {
+		return nil, false
+	}
+	if best.elem != nil {
+		c.lru.MoveToFront(best.elem)
+	}
+	return best, true
+}
+
+// insert adds a filled entry if its guard epochs did not move while the
+// backend was queried; it reports whether the entry was kept.
+func (c *Cache) insert(e *entry, snap []uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.epochsUnchangedLocked(e.blocks, snap) {
+		c.rejectedFills.Inc()
+		return false
+	}
+	if old, ok := c.entries[e.key]; ok {
+		c.removeLocked(old)
+	}
+	if _, pin := c.pinnedKeys[e.key]; pin && e.isGroupBy {
+		e.pinned = true
+	}
+	c.entries[e.key] = e
+	if e.pinned {
+		e.elem = nil
+	} else {
+		e.elem = c.lru.PushFront(e)
+		c.totalCells += e.cells
+	}
+	c.fills.Inc()
+	c.evictLocked()
+	c.updateGaugesLocked()
+	return true
+}
+
+// removeLocked detaches an entry from the map, list, and cell budget.
+func (c *Cache) removeLocked(e *entry) {
+	delete(c.entries, e.key)
+	if e.elem != nil {
+		c.lru.Remove(e.elem)
+		c.totalCells -= e.cells
+		e.elem = nil
+	}
+}
+
+// evictLocked enforces MaxEntries and MaxCells over unpinned entries.
+func (c *Cache) evictLocked() {
+	for c.lru.Len() > 0 &&
+		(len(c.entries) > c.cfg.MaxEntries || c.totalCells > c.cfg.MaxCells) {
+		tail := c.lru.Back()
+		c.removeLocked(tail.Value.(*entry))
+		c.evictions.Inc()
+	}
+}
+
+func (c *Cache) updateGaugesLocked() {
+	c.entriesGauge.Set(int64(len(c.entries)))
+	c.cellsGauge.Set(c.totalCells)
+}
+
+// InvalidateBlock drops every entry whose fan-out touched block b and
+// bumps b's epoch, rejecting any in-flight fill that read before the
+// ingest landed. Wired to the coordinator's OnIngest feed by Wrap.
+func (c *Cache) InvalidateBlock(b int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b < 0 || b >= len(c.epochs) {
+		// Unknown block: be safe, drop everything.
+		c.invalidateAllLocked()
+		return
+	}
+	c.epochs[b]++
+	for _, e := range c.entries {
+		if e.blocks == nil || containsInt(e.blocks, b) {
+			c.removeLocked(e)
+			c.invalidations.Inc()
+		}
+	}
+	c.updateGaugesLocked()
+}
+
+// InvalidateAll drops everything and bumps every epoch.
+func (c *Cache) InvalidateAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.invalidateAllLocked()
+}
+
+func (c *Cache) invalidateAllLocked() {
+	for i := range c.epochs {
+		c.epochs[i]++
+	}
+	for _, e := range c.entries {
+		c.removeLocked(e)
+		c.invalidations.Inc()
+	}
+	c.updateGaugesLocked()
+}
+
+// containsInt reports membership in a sorted block list.
+func containsInt(s []int, x int) bool {
+	i := sort.SearchInts(s, x)
+	return i < len(s) && s[i] == x
+}
+
+// --- query surface ----------------------------------------------------
+
+// Total answers the grand total, cached under every block's epoch.
+func (c *Cache) Total() (float64, error) {
+	if e, ok := c.lookup("T"); ok {
+		return e.scalar, nil
+	}
+	snap := c.snapshotEpochs(nil)
+	v, err := c.inner.Total()
+	if err != nil {
+		return 0, err
+	}
+	c.insert(&entry{key: "T", scalar: v, cells: 1}, snap)
+	return v, nil
+}
+
+// dimSetOf resolves a dimension list to a lattice set; ok is false for
+// unknown or repeated names (the backend then produces the error).
+func (c *Cache) dimSetOf(dims []string) (lattice.DimSet, bool) {
+	if len(c.sizes) > lattice.MaxDims {
+		return 0, false
+	}
+	var s lattice.DimSet
+	for _, d := range dims {
+		axis := -1
+		for j, n := range c.names {
+			if n == d {
+				axis = j
+				break
+			}
+		}
+		if axis < 0 || s.Has(axis) {
+			return 0, false
+		}
+		s = s.With(axis)
+	}
+	return s, true
+}
+
+// GroupBy answers a group-by from the cache, a projected cached
+// ancestor, or the backend (filling the cache).
+func (c *Cache) GroupBy(dims ...string) (server.Result, error) {
+	key := groupByKey(dims)
+	if e, ok := c.lookup(key); ok && e.table != nil {
+		return e.table, nil
+	}
+	dset, haveSet := c.dimSetOf(dims)
+	if haveSet && c.planner != nil {
+		if parent, ok := c.findAncestorTable(dset); ok && parent.key != key {
+			child, err := c.projectChild(parent, dims)
+			if err == nil {
+				return child, nil
+			}
+			// Projection failure falls through to the backend.
+		}
+	}
+	snap := c.snapshotEpochs(nil)
+	tbl, err := c.inner.GroupBy(dims...)
+	if err != nil {
+		return nil, err
+	}
+	owned := copyResult(tbl)
+	e := &entry{key: key, dims: append([]string(nil), dims...), dset: dset,
+		isGroupBy: haveSet, table: owned, cells: int64(owned.Size())}
+	c.insert(e, snap)
+	return owned, nil
+}
+
+// projectChild folds a cached ancestor down to the requested dimensions
+// and caches the result under the same epoch guard as the parent.
+func (c *Cache) projectChild(parent *entry, dims []string) (server.Result, error) {
+	childShape := make([]int, len(dims))
+	for i, d := range dims {
+		for j, n := range c.names {
+			if n == d {
+				childShape[i] = c.sizes[j]
+			}
+		}
+	}
+	snap := c.snapshotEpochs(nil)
+	child, err := project(parent.table, parent.dims, dims, childShape, c.op)
+	if err != nil {
+		return nil, err
+	}
+	c.ancestorHits.Inc()
+	dset, haveSet := c.dimSetOf(dims)
+	e := &entry{key: groupByKey(dims), dims: append([]string(nil), dims...), dset: dset,
+		isGroupBy: haveSet, table: child, cells: int64(child.Size())}
+	c.insert(e, snap)
+	return child, nil
+}
+
+// Query caches parcube query-language statements by their literal text.
+func (c *Cache) Query(stmt string) (server.Result, error) {
+	key := "Q " + stmt
+	if e, ok := c.lookup(key); ok && e.table != nil {
+		return e.table, nil
+	}
+	snap := c.snapshotEpochs(nil)
+	tbl, err := c.inner.Query(stmt)
+	if err != nil {
+		return nil, err
+	}
+	owned := copyResult(tbl)
+	c.insert(&entry{key: key, table: owned, cells: int64(owned.Size())}, snap)
+	return owned, nil
+}
+
+// Value answers a single-cell lookup; with a Planner the entry is
+// guarded (and invalidated) by exactly the owning blocks.
+func (c *Cache) Value(dims []string, coords []int) (float64, error) {
+	key := valueKey(dims, coords)
+	if e, ok := c.lookup(key); ok {
+		return e.scalar, nil
+	}
+	var blocks []int
+	if c.planner != nil {
+		owning, err := c.planner.BlocksForValue(dims, coords)
+		if err != nil {
+			return 0, err
+		}
+		blocks = owning
+	}
+	snap := c.snapshotEpochs(blocks)
+	v, err := c.innerValue(dims, coords)
+	if err != nil {
+		return 0, err
+	}
+	c.insert(&entry{key: key, scalar: v, cells: 1, blocks: blocks}, snap)
+	return v, nil
+}
+
+// innerValue asks the backend for one cell, falling back to a (cached)
+// group-by for backends without the VALUE fast path.
+func (c *Cache) innerValue(dims []string, coords []int) (float64, error) {
+	if vb, ok := c.inner.(server.ValueBackend); ok {
+		return vb.Value(dims, coords)
+	}
+	if len(dims) == 0 {
+		return c.Total()
+	}
+	tbl, err := c.GroupBy(dims...)
+	if err != nil {
+		return 0, err
+	}
+	return atSafe(tbl, coords)
+}
+
+// atSafe converts a table's out-of-range panic into an error.
+func atSafe(tbl server.Result, coords []int) (v float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("qcache: %v", r)
+		}
+	}()
+	return tbl.At(coords...), nil
+}
+
+// Delta forwards ingest to the backend. Backends that publish ingest
+// events (IngestNotifier) have already invalidated exactly the touched
+// blocks by the time the call returns; for the rest the whole cache is
+// dropped on any applied delta.
+func (c *Cache) Delta(rows []server.Row, lsn uint64) (uint64, bool, error) {
+	db, ok := c.inner.(server.DeltaBackend)
+	if !ok {
+		return 0, false, fmt.Errorf("qcache: backend does not support ingest")
+	}
+	appliedLSN, applied, err := db.Delta(rows, lsn)
+	if err == nil && applied {
+		if _, notifies := c.inner.(IngestNotifier); !notifies {
+			c.InvalidateAll()
+		}
+	}
+	return appliedLSN, applied, err
+}

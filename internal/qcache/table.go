@@ -1,0 +1,139 @@
+package qcache
+
+import (
+	"fmt"
+	"sort"
+
+	"parcube"
+	"parcube/internal/agg"
+	"parcube/internal/server"
+)
+
+// cachedTable is an owned dense copy of a group-by result: cache entries
+// must not alias backend-owned tables, and ancestor projection needs
+// direct cell access. It satisfies server.Result with the same contracts
+// as the coordinator's merge tables.
+type cachedTable struct {
+	shape []int
+	data  []float64
+}
+
+// copyResult snapshots any server.Result into an owned table.
+func copyResult(tbl server.Result) *cachedTable {
+	shape := tbl.Shape()
+	size := tbl.Size()
+	out := &cachedTable{shape: shape, data: make([]float64, size)}
+	coords := make([]int, len(shape))
+	for off := 0; off < size; off++ {
+		out.data[off] = tbl.At(coords...)
+		advance(coords, shape)
+	}
+	return out
+}
+
+// advance steps row-major coordinates one cell forward.
+func advance(coords, shape []int) {
+	for i := len(coords) - 1; i >= 0; i-- {
+		coords[i]++
+		if coords[i] < shape[i] {
+			return
+		}
+		coords[i] = 0
+	}
+}
+
+func (t *cachedTable) offsetOf(coords []int) (int, error) {
+	if len(coords) != len(t.shape) {
+		return 0, fmt.Errorf("qcache: %d coordinates for %d dimensions", len(coords), len(t.shape))
+	}
+	off := 0
+	for i, c := range coords {
+		if c < 0 || c >= t.shape[i] {
+			return 0, fmt.Errorf("qcache: coordinate %d out of range [0,%d)", c, t.shape[i])
+		}
+		off = off*t.shape[i] + c
+	}
+	return off, nil
+}
+
+// Shape returns the table's extents.
+func (t *cachedTable) Shape() []int { return append([]int(nil), t.shape...) }
+
+// Size returns the number of cells.
+func (t *cachedTable) Size() int { return len(t.data) }
+
+// At returns the cell at integer coordinates; like the library's dense
+// tables it panics on bad coordinates (the server recovers lookups).
+func (t *cachedTable) At(coords ...int) float64 {
+	off, err := t.offsetOf(coords)
+	if err != nil {
+		panic(err.Error())
+	}
+	return t.data[off]
+}
+
+// Top returns the k largest cells, ties broken by ascending coordinates —
+// the same contract as parcube.Table.Top and the coordinator's merge
+// tables, so cached TOP answers match uncached ones row for row.
+func (t *cachedTable) Top(k int) []parcube.CellValue {
+	out := make([]parcube.CellValue, 0, len(t.data))
+	coords := make([]int, len(t.shape))
+	for off := range t.data {
+		out = append(out, parcube.CellValue{
+			Coords: append([]int(nil), coords...),
+			Value:  t.data[off],
+		})
+		advance(coords, t.shape)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Value > out[j].Value })
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// project folds a cached parent group-by down to a child over a subset
+// (or reordering) of its dimensions: every parent cell combines into the
+// child cell keeping only the child's coordinates. Exact for the
+// distributive operators the cluster serves — the same algebra that lets
+// shards merge partial tables.
+func project(parent *cachedTable, parentDims, childDims []string, childShape []int, op agg.Op) (*cachedTable, error) {
+	axes := make([]int, len(childDims))
+	for i, d := range childDims {
+		axes[i] = -1
+		for j, p := range parentDims {
+			if p == d {
+				axes[i] = j
+				break
+			}
+		}
+		if axes[i] < 0 {
+			return nil, fmt.Errorf("qcache: dimension %q not in cached parent %v", d, parentDims)
+		}
+	}
+	out := &cachedTable{shape: append([]int(nil), childShape...), data: make([]float64, size(childShape))}
+	op.Fill(out.data)
+	pc := make([]int, len(parent.shape))
+	cc := make([]int, len(childDims))
+	for off := 0; off < len(parent.data); off++ {
+		for i, a := range axes {
+			cc[i] = pc[a]
+		}
+		coff, err := out.offsetOf(cc)
+		if err != nil {
+			return nil, err
+		}
+		out.data[coff] = op.Combine(out.data[coff], parent.data[off])
+		advance(pc, parent.shape)
+	}
+	return out, nil
+}
+
+// size multiplies a shape's extents.
+func size(shape []int) int {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	return n
+}

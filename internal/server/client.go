@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"parcube/internal/mux"
 )
 
 // Client speaks the cube server protocol.
@@ -102,9 +104,20 @@ func (c *Client) roundTrip(req string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return parseOK(line)
+}
+
+// parseOK extracts the payload of an "OK ..." reply line. "ERR ..."
+// replies become a *RemoteError; admission rejections additionally
+// satisfy errors.Is(err, mux.ErrOverloaded) so callers can tell
+// overload shedding from a request the server considered invalid.
+func parseOK(line string) (string, error) {
 	line = strings.TrimSpace(line)
-	if strings.HasPrefix(line, "ERR ") {
-		return "", &RemoteError{Msg: strings.TrimPrefix(line, "ERR ")}
+	if msg, ok := strings.CutPrefix(line, "ERR "); ok {
+		if mux.IsOverloadReply(msg) {
+			return "", fmt.Errorf("%w: %w", mux.ErrOverloaded, &RemoteError{Msg: msg})
+		}
+		return "", &RemoteError{Msg: msg}
 	}
 	if !strings.HasPrefix(line, "OK") {
 		return "", fmt.Errorf("server: malformed response %q", line)
@@ -155,10 +168,21 @@ const maxRowPrealloc = 4096
 
 // readRows reads n "coords value" lines plus the closing dot.
 func (c *Client) readRows(n int) ([]Row, error) {
+	c.arm()
+	return parseRows(c.r, n, c.arm)
+}
+
+// parseRows decodes n "coords value" lines plus the closing dot from any
+// reader — the live connection here, or a mux response body in
+// MuxClient. arm, when non-nil, refreshes the transport deadline before
+// each line read.
+func parseRows(r *bufio.Reader, n int, arm func()) ([]Row, error) {
 	rows := make([]Row, 0, min(n, maxRowPrealloc))
 	for {
-		c.arm()
-		line, err := c.r.ReadString('\n')
+		if arm != nil {
+			arm()
+		}
+		line, err := r.ReadString('\n')
 		if err != nil {
 			return nil, err
 		}

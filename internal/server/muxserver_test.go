@@ -1,0 +1,278 @@
+package server
+
+import (
+	"errors"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"parcube/internal/mux"
+)
+
+func TestMuxUpgradeRoundTrip(t *testing.T) {
+	_, addr, cube := startServer(t)
+	mc, err := DialMux(addr, mux.Options{Window: 16, RequestTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mc.Close() }()
+
+	schema, err := mc.Schema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(schema) != 2 || schema[0] != "item:6" {
+		t.Fatalf("schema = %v", schema)
+	}
+	total, err := mc.Total()
+	if err != nil || total != cube.Total() {
+		t.Fatalf("total = %v, %v", total, err)
+	}
+	want, _ := cube.GroupBy("item")
+	rows, err := mc.GroupBy("item")
+	if err != nil || len(rows) != 6 {
+		t.Fatalf("groupby = %d rows, %v", len(rows), err)
+	}
+	for _, row := range rows {
+		if row.Value != want.At(row.Coords...) {
+			t.Fatalf("row %v mismatch", row)
+		}
+	}
+	v, err := mc.Value([]string{"item", "branch"}, []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _ := cube.GroupBy("item", "branch")
+	if v != full.At(2, 3) {
+		t.Fatalf("value = %v, want %v", v, full.At(2, 3))
+	}
+}
+
+func TestMuxConcurrentRequestsOneConnection(t *testing.T) {
+	_, addr, cube := startServer(t)
+	mc, err := DialMux(addr, mux.Options{Window: 32, RequestTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mc.Close() }()
+
+	want, _ := cube.GroupBy("item")
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				total, err := mc.Total()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if total != cube.Total() {
+					errs <- errors.New("total mismatch")
+				}
+				return
+			}
+			rows, err := mc.GroupBy("item")
+			if err != nil {
+				errs <- err
+				return
+			}
+			for _, row := range rows {
+				if row.Value != want.At(row.Coords...) {
+					errs <- errors.New("groupby mismatch")
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestMuxStatsReportsUpgrades(t *testing.T) {
+	_, addr, _ := startServer(t)
+	mc, err := DialMux(addr, mux.Options{Window: 8, RequestTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mc.Close() }()
+	stats, err := mc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats["mux.upgrades"]; got != "1" {
+		t.Fatalf("mux.upgrades = %q, want 1 (stats: %v)", got, stats)
+	}
+}
+
+func TestMuxAdmissionShedsTyped(t *testing.T) {
+	// A slow backend makes the burst overlap; one slot and a 1-deep
+	// queue with a short deadline force typed overload errors end to
+	// end.
+	slow := &slowTotalBackend{Backend: cubeBackend{cube: testCube(t)}, delay: 100 * time.Millisecond}
+	srv := NewBackend(slow)
+	srv.ConfigureAdmission(mux.AdmissionConfig{
+		MaxInFlight: 1,
+		MaxQueue:    1,
+		Deadline:    5 * time.Millisecond,
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	mc, err := DialMux(addr, mux.Options{Window: 32, RequestTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mc.Close() }()
+
+	var wg sync.WaitGroup
+	var shed, ok, other int
+	var mu sync.Mutex
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := mc.Total()
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				ok++
+			case errors.Is(err, mux.ErrOverloaded):
+				shed++
+			default:
+				other++
+			}
+		}()
+	}
+	wg.Wait()
+	if other != 0 {
+		t.Fatalf("saw %d non-overload errors", other)
+	}
+	if ok == 0 {
+		t.Fatal("no request admitted")
+	}
+	if shed == 0 {
+		t.Fatal("no request shed despite 1-deep queue")
+	}
+	stats, err := mc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := strconv.Atoi(stats["mux.overloads"])
+	if err != nil || got < shed {
+		t.Fatalf("mux.overloads = %q, want >= %d", stats["mux.overloads"], shed)
+	}
+	if stats["mux.inflight"] == "" || stats["mux.queued"] == "" {
+		t.Fatalf("admission gauges missing from stats: %v", stats)
+	}
+}
+
+func TestMuxPerRequestTimeoutAgainstSlowBackend(t *testing.T) {
+	cube := testCube(t)
+	slow := &slowBackend{Backend: cubeBackend{cube: cube}, delay: 300 * time.Millisecond}
+	srv := NewBackend(slow)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	mc, err := DialMux(addr, mux.Options{Window: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mc.Close() }()
+
+	// The slow group-by times out on its own clock...
+	slowErr := make(chan error, 1)
+	go func() {
+		_, err := mc.GroupByTimeout(50*time.Millisecond, "item")
+		slowErr <- err
+	}()
+	// ...while a fast total issued after it, with a longer budget,
+	// still completes: deadlines are per-request, not per-turn.
+	time.Sleep(10 * time.Millisecond)
+	if _, err := mc.Total(); err != nil {
+		t.Fatalf("fast request failed during slow one: %v", err)
+	}
+	if err := <-slowErr; !errors.Is(err, mux.ErrTimeout) {
+		t.Fatalf("slow request error = %v, want mux.ErrTimeout", err)
+	}
+}
+
+// slowBackend delays GroupBy to exercise per-request deadlines.
+type slowBackend struct {
+	Backend
+	delay time.Duration
+}
+
+// slowTotalBackend delays Total so concurrent bursts overlap in
+// admission.
+type slowTotalBackend struct {
+	Backend
+	delay time.Duration
+}
+
+func (b *slowTotalBackend) Total() (float64, error) {
+	time.Sleep(b.delay)
+	return b.Backend.Total()
+}
+
+func (b *slowBackend) GroupBy(dims ...string) (Result, error) {
+	time.Sleep(b.delay)
+	return b.Backend.GroupBy(dims...)
+}
+
+func TestMuxDelta(t *testing.T) {
+	// deltaBackend below records batches; the mux path must carry the
+	// whole payload inside one frame.
+	db := &recordingDeltaBackend{Backend: cubeBackend{cube: testCube(t)}}
+	srv := NewBackend(db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+
+	mc, err := DialMux(addr, mux.Options{Window: 8, RequestTimeout: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = mc.Close() }()
+	lsn, err := mc.Delta([]Row{{Coords: []int{1, 2}, Value: 4.5}, {Coords: []int{0, 0}, Value: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 1 {
+		t.Fatalf("lsn = %d, want 1", lsn)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if len(db.rows) != 2 || db.rows[0].Value != 4.5 {
+		t.Fatalf("delta rows = %v", db.rows)
+	}
+}
+
+type recordingDeltaBackend struct {
+	Backend
+	mu   sync.Mutex
+	rows []Row
+	lsn  uint64
+}
+
+func (b *recordingDeltaBackend) Delta(rows []Row, lsn uint64) (uint64, bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.rows = append(b.rows, rows...)
+	b.lsn++
+	return b.lsn, true, nil
+}

@@ -20,6 +20,9 @@
 //	TRUNCATE <lsn>             -> "OK lsn=<n>"; durably discards log records above <lsn> and
 //	                              rebuilds state without them (rejoin divergence repair)
 //	QUIT                       -> closes the connection
+//	MUX <window>               -> "OK mux window=<w>"; upgrades the connection to the
+//	                              multiplexed framing layer (internal/mux): many concurrent
+//	                              requests per connection, out-of-order responses
 //
 // Errors answer "ERR <message>". DELTA, DELTASINCE and TRUNCATE answer an
 // error on backends without ingest support (plain read-only cube servers).
@@ -31,6 +34,7 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"net"
@@ -41,6 +45,7 @@ import (
 	"time"
 
 	"parcube"
+	"parcube/internal/mux"
 	"parcube/internal/obs"
 )
 
@@ -147,6 +152,15 @@ type Server struct {
 	ReadTimeout  time.Duration
 	WriteTimeout time.Duration
 
+	// MuxWindow caps the per-connection flow-control window granted to
+	// clients that upgrade with "MUX <n>" (mux.DefaultWindow when zero).
+	// Set before Listen.
+	MuxWindow int
+
+	// admission, when configured, gates every request — plain and
+	// multiplexed — through the shared scheduler.
+	admission *mux.Admission
+
 	mu      sync.Mutex
 	ln      net.Listener
 	conns   map[net.Conn]struct{}
@@ -154,12 +168,13 @@ type Server struct {
 	wg      sync.WaitGroup
 	shard   *ShardInfo
 
-	start   time.Time
-	queries atomic.Int64
-	cells   atomic.Int64
-	metrics *obs.Registry
-	cmd     map[string]cmdMetrics
-	errors  *obs.Counter
+	start       time.Time
+	queries     atomic.Int64
+	cells       atomic.Int64
+	metrics     *obs.Registry
+	cmd         map[string]cmdMetrics
+	errors      *obs.Counter
+	muxUpgrades *obs.Counter
 }
 
 // cmdMetrics pre-resolves one protocol command's counter and latency
@@ -205,6 +220,7 @@ func New(cube *parcube.Cube) *Server {
 func NewBackend(b Backend) *Server {
 	s := &Server{backend: b, metrics: obs.NewRegistry()}
 	s.errors = s.metrics.Counter("errors")
+	s.muxUpgrades = s.metrics.Counter("mux.upgrades")
 	s.cmd = make(map[string]cmdMetrics, len(knownCommands)+1)
 	labels := make([]string, 0, len(knownCommands)+1)
 	for _, label := range knownCommands {
@@ -225,6 +241,18 @@ func NewBackend(b Backend) *Server {
 // counters and cmd.<name>_ns latency histograms per protocol command, and
 // an errors counter. The same fields appear in the STATS reply.
 func (s *Server) Metrics() *obs.Registry { return s.metrics }
+
+// ConfigureAdmission installs a request scheduler in front of the
+// backend: at most cfg.MaxInFlight requests execute at once across all
+// connections (plain and multiplexed), at most cfg.MaxQueue wait, and
+// queued requests past their command deadline are shed with a typed
+// "ERR mux: overloaded ..." reply. Its metrics land in the server's
+// registry, so STATS reports mux.inflight, mux.queued, mux.admitted,
+// mux.overloads, and mux.expired. Call before Listen.
+func (s *Server) ConfigureAdmission(cfg mux.AdmissionConfig) *mux.Admission {
+	s.admission = mux.NewAdmission(cfg, s.metrics)
+	return s.admission
+}
 
 // SetShardInfo marks the server as a shard node; SHARDINFO answers with
 // the given identity. Call before Listen.
@@ -341,7 +369,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		if line == "" {
 			continue
 		}
-		quit := s.handle(conn, r, w, line)
+		if req, ok := muxUpgradeLine(line); ok {
+			s.serveMux(conn, r, w, req)
+			return
+		}
+		quit := s.dispatch(conn, r, w, line)
 		if s.WriteTimeout > 0 {
 			conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
 		}
@@ -349,6 +381,77 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// muxUpgradeLine reports whether line is a "MUX <window>" upgrade
+// request and extracts the requested window (0 when absent or
+// malformed; the server then grants its own cap).
+func muxUpgradeLine(line string) (int, bool) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 || strings.ToUpper(fields[0]) != "MUX" {
+		return 0, false
+	}
+	req := 0
+	if len(fields) >= 2 {
+		if n, err := strconv.Atoi(fields[1]); err == nil {
+			req = n
+		}
+	}
+	return req, true
+}
+
+// dispatch gates one plain-protocol request through admission (when
+// configured) before handing it to handle.
+func (s *Server) dispatch(conn net.Conn, r *bufio.Reader, w *bufio.Writer, line string) bool {
+	if s.admission != nil {
+		cmd := strings.ToUpper(strings.Fields(line)[0])
+		release, err := s.admission.Acquire(cmd)
+		if err != nil {
+			s.errf(w, "%v", err)
+			// A shed DELTA still has payload lines in flight that would
+			// desync the plain stream into garbage commands; drop the
+			// connection instead. Mux framing has no such problem — the
+			// payload lives inside the rejected frame.
+			return cmd == "DELTA"
+		}
+		defer release()
+	}
+	return s.handle(conn, r, w, line)
+}
+
+// serveMux switches the connection to the multiplexed framing layer
+// after a "MUX <window>" upgrade line. Each frame body is one
+// plain-protocol exchange decoded against in-memory buffers, so every
+// command — including DELTA with its payload — behaves exactly as on a
+// plain connection, but many of them run concurrently per connection
+// and responses return in completion order.
+func (s *Server) serveMux(conn net.Conn, r *bufio.Reader, w *bufio.Writer, requested int) {
+	s.muxUpgrades.Inc()
+	_ = mux.Serve(conn, r, w, requested, s.muxHandle, mux.ServeOptions{
+		Window:       s.MuxWindow,
+		ReadTimeout:  s.ReadTimeout,
+		WriteTimeout: s.WriteTimeout,
+		Admission:    s.admission,
+	})
+}
+
+// muxHandle executes one framed request body and returns the response
+// bytes the plain protocol would have written.
+func (s *Server) muxHandle(req []byte) ([]byte, bool) {
+	br := bufio.NewReader(bytes.NewReader(req))
+	line, _ := br.ReadString('\n')
+	line = strings.TrimSpace(line)
+	var out bytes.Buffer
+	bw := bufio.NewWriter(&out)
+	quit := false
+	if line == "" {
+		s.errf(bw, "empty request")
+	} else {
+		quit = s.handle(nil, br, bw, line)
+	}
+	// Flushing into a bytes.Buffer cannot fail.
+	_ = bw.Flush()
+	return out.Bytes(), quit
 }
 
 // armRead refreshes the connection's read deadline when one is

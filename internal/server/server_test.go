@@ -5,12 +5,14 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"parcube"
+	"parcube/internal/mux"
 )
 
 func testCube(t *testing.T) *parcube.Cube {
@@ -261,6 +263,47 @@ func TestStatsCommand(t *testing.T) {
 	}
 	if _, ok := stats["uptime_sec"]; !ok {
 		t.Fatalf("no uptime in %v", stats)
+	}
+	// The serving-tier counters ride the same registry: no mux client
+	// has connected, so upgrades must report zero but still register.
+	if stats["mux.upgrades"] != "0" {
+		t.Fatalf("mux.upgrades = %q, want 0 (stats %v)", stats["mux.upgrades"], stats)
+	}
+}
+
+func TestStatsReportsAdmissionMetrics(t *testing.T) {
+	cube := testCube(t)
+	srv := New(cube)
+	srv.ConfigureAdmission(mux.AdmissionConfig{MaxInFlight: 4, MaxQueue: 8})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Total(); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TOTAL and STATS itself were admitted; the in-flight high-water
+	// mark saw at least the STATS request.
+	for _, key := range []string{"mux.inflight", "mux.queued", "mux.admitted", "mux.overloads", "mux.expired"} {
+		if _, ok := stats[key]; !ok {
+			t.Fatalf("%s missing from stats %v", key, stats)
+		}
+	}
+	if n, err := strconv.Atoi(stats["mux.admitted"]); err != nil || n < 2 {
+		t.Fatalf("mux.admitted = %q, want >= 2", stats["mux.admitted"])
+	}
+	if n, err := strconv.Atoi(stats["mux.inflight"]); err != nil || n < 1 {
+		t.Fatalf("mux.inflight = %q, want >= 1", stats["mux.inflight"])
 	}
 }
 

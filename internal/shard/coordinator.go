@@ -37,6 +37,15 @@ type Config struct {
 	// Default 100ms; negative disables the loop. The loop only starts
 	// when the cluster has durable replicas to reconcile.
 	RejoinEvery time.Duration
+	// Hedge enables hedged reads: when a block has two or more live
+	// replicas, a query that has not answered within the hedge delay is
+	// reissued to the next replica and the first answer wins, cutting
+	// the tail latency a single slow replica would otherwise impose.
+	Hedge bool
+	// HedgeDelay fixes the hedge delay. Zero derives it from the
+	// observed attempt-latency histogram: the p99 once enough samples
+	// exist (clamped to [500µs, Timeout/2]), Timeout/16 before that.
+	HedgeDelay time.Duration
 }
 
 // withDefaults fills unset knobs.
@@ -111,6 +120,11 @@ type Coordinator struct {
 	blocks []*blockGroup
 
 	stats *counters
+
+	// ingestHooks are called after every applied delta with the block
+	// group it landed in — the query cache's exact invalidation feed.
+	hooksMu     sync.RWMutex
+	ingestHooks []func(block int)
 
 	// rejoin loop lifecycle; stop is nil when the loop never started.
 	stop      chan struct{}
@@ -359,85 +373,209 @@ func (c *Coordinator) SchemaDims() ([]string, []int) {
 	return append([]string(nil), c.names...), append([]int(nil), c.sizes...)
 }
 
-// askBlock runs fn against the block's replicas until one answers:
-// replicas are tried in preference order for cfg.Rounds passes, every
-// attempt after the first preceded by an exponentially growing backoff.
-// When all attempts fail, the returned error names the block, the
-// replicas tried, and the last underlying cause.
-func (c *Coordinator) askBlock(b int, fn func(cl *server.Client) error) error {
+// NumBlocks reports how many block groups tile the array.
+func (c *Coordinator) NumBlocks() int { return len(c.blocks) }
+
+// Op returns the cluster's aggregation operator, discovered at
+// handshake.
+func (c *Coordinator) Op() agg.Op { return c.op }
+
+// OnIngest registers fn to run after every delta applied through this
+// coordinator, with the index of the block group it landed in. Hooks
+// run on the ingest path (once per touched block per delta, after the
+// block's replicas acknowledged) and must be fast and non-blocking;
+// the query cache subscribes here for exact invalidation.
+func (c *Coordinator) OnIngest(fn func(block int)) {
+	c.hooksMu.Lock()
+	c.ingestHooks = append(c.ingestHooks, fn)
+	c.hooksMu.Unlock()
+}
+
+// notifyIngest fans one applied-delta event out to the registered
+// hooks.
+func (c *Coordinator) notifyIngest(b int) {
+	c.hooksMu.RLock()
+	hooks := c.ingestHooks
+	c.hooksMu.RUnlock()
+	for _, fn := range hooks {
+		fn(b)
+	}
+}
+
+// attempt runs one fetch against one replica over a pooled connection,
+// recording its latency in the hedge-delay histogram on success.
+func (c *Coordinator) attempt(rep *replica, fetch func(cl *server.Client) (any, error)) (any, error) {
+	cl, err := rep.pool.get()
+	if err != nil {
+		c.stats.errors.Inc()
+		return nil, fmt.Errorf("dial %s: %w", rep.addr, err)
+	}
+	start := time.Now()
+	v, err := fetch(cl)
+	if err != nil {
+		c.stats.errors.Inc()
+		rep.pool.discard(cl)
+		return nil, fmt.Errorf("%s: %w", rep.addr, err)
+	}
+	c.stats.attemptNs.ObserveSince(start)
+	rep.pool.put(cl)
+	return v, nil
+}
+
+// hedgeDelay is how long a hedged read waits before reissuing to a
+// second replica: the configured HedgeDelay, or — once the attempt
+// histogram has enough samples — the observed p99 clamped to
+// [500µs, Timeout/2]. Before the histogram warms up it defaults to
+// Timeout/16 so cold coordinators still hedge stuck replicas.
+func (c *Coordinator) hedgeDelay() time.Duration {
+	if c.cfg.HedgeDelay > 0 {
+		return c.cfg.HedgeDelay
+	}
+	snap := c.stats.attemptNs.Snapshot()
+	if snap.Count >= 32 {
+		d := time.Duration(snap.P99)
+		if floor := 500 * time.Microsecond; d < floor {
+			d = floor
+		}
+		if ceil := c.cfg.Timeout / 2; d > ceil {
+			d = ceil
+		}
+		return d
+	}
+	return c.cfg.Timeout / 16
+}
+
+// askHedged races the fetch on the two preferred live replicas: the
+// first starts immediately, the second only if the first has not
+// answered within the hedge delay, and the first success wins. Fetches
+// must be read-only and side-effect free — both may execute. Returns
+// ok=false when every launched attempt failed (the caller falls back to
+// the sequential ladder).
+func (c *Coordinator) askHedged(candidates []*replica, fetch func(cl *server.Client) (any, error)) (any, bool) {
+	type result struct {
+		v      any
+		err    error
+		hedged bool
+	}
+	ch := make(chan result, 2)
+	go func() {
+		v, err := c.attempt(candidates[0], fetch)
+		ch <- result{v, err, false}
+	}()
+	timer := time.NewTimer(c.hedgeDelay())
+	defer timer.Stop()
+	launched := 1
+	for done := 0; done < launched; {
+		select {
+		case r := <-ch:
+			done++
+			if r.err == nil {
+				if r.hedged {
+					c.stats.hedgeWins.Inc()
+				}
+				return r.v, true
+			}
+		case <-timer.C:
+			if launched == 1 {
+				c.stats.hedgesFired.Inc()
+				launched = 2
+				go func() {
+					v, err := c.attempt(candidates[1], fetch)
+					ch <- result{v, err, true}
+				}()
+			}
+		}
+	}
+	return nil, false
+}
+
+// liveCandidates returns the block's replicas not marked down by the
+// ingest path; when the whole group is down (or rejoin hasn't caught up
+// yet), it falls back to everyone rather than failing without an
+// attempt.
+func liveCandidates(g *blockGroup) []*replica {
+	candidates := make([]*replica, 0, len(g.replicas))
+	for _, rep := range g.replicas {
+		if !rep.down.Load() {
+			candidates = append(candidates, rep)
+		}
+	}
+	if len(candidates) == 0 {
+		candidates = g.replicas
+	}
+	return candidates
+}
+
+// askBlock runs fetch against the block's replicas until one answers
+// and returns that answer. With hedging enabled and two live replicas
+// available, a hedged race runs first; otherwise (and as the fallback
+// when both hedge attempts fail) replicas are tried in preference order
+// for cfg.Rounds passes, every attempt after the first preceded by an
+// exponentially growing backoff. When all attempts fail, the returned
+// error names the block, the replicas tried, and the last underlying
+// cause.
+func (c *Coordinator) askBlock(b int, fetch func(cl *server.Client) (any, error)) (any, error) {
 	g := c.blocks[b]
 	c.stats.fanouts.Inc()
 	start := time.Now()
 	defer c.stats.askNs.ObserveSince(start)
+	if c.cfg.Hedge {
+		if live := liveCandidates(g); len(live) >= 2 {
+			if v, ok := c.askHedged(live, fetch); ok {
+				return v, nil
+			}
+		}
+	}
 	var lastErr error
 	backoff := c.cfg.Backoff
 	attempt := 0
 	for round := 0; round < c.cfg.Rounds; round++ {
-		// Prefer replicas not marked down by the ingest path; when the
-		// whole group is down (or rejoin hasn't caught up yet), fall back
-		// to trying everyone rather than failing without an attempt.
-		candidates := make([]*replica, 0, len(g.replicas))
-		for _, rep := range g.replicas {
-			if !rep.down.Load() {
-				candidates = append(candidates, rep)
-			}
-		}
-		if len(candidates) == 0 {
-			candidates = g.replicas
-		}
-		for ri, rep := range candidates {
+		for ri, rep := range liveCandidates(g) {
 			if attempt > 0 {
 				c.stats.retries.Inc()
 				time.Sleep(backoff)
 				backoff *= 2
 			}
 			attempt++
-			cl, err := rep.pool.get()
+			v, err := c.attempt(rep, fetch)
 			if err != nil {
-				c.stats.errors.Inc()
-				lastErr = fmt.Errorf("dial %s: %w", rep.addr, err)
+				lastErr = err
 				continue
 			}
-			if err := fn(cl); err != nil {
-				c.stats.errors.Inc()
-				rep.pool.discard(cl)
-				lastErr = fmt.Errorf("%s: %w", rep.addr, err)
-				continue
-			}
-			rep.pool.put(cl)
 			if ri > 0 || round > 0 {
 				c.stats.failovers.Inc()
 			}
-			return nil
+			return v, nil
 		}
 	}
 	addrs := make([]string, len(g.replicas))
 	for i, rep := range g.replicas {
 		addrs[i] = rep.addr
 	}
-	return fmt.Errorf("shard: block %s unavailable after %d attempts across replicas %s (last error: %v); partial results discarded",
+	return nil, fmt.Errorf("shard: block %s unavailable after %d attempts across replicas %s (last error: %v); partial results discarded",
 		g.block, attempt, strings.Join(addrs, ","), lastErr)
 }
 
-// scatter runs fn once per block concurrently (with per-block failover)
-// and returns the first block's error, if any.
-func (c *Coordinator) scatter(fn func(b int, cl *server.Client) error) error {
+// scatter runs fetch once per block concurrently (with per-block
+// failover and hedging) and collects the per-block answers.
+func (c *Coordinator) scatter(fetch func(b int, cl *server.Client) (any, error)) ([]any, error) {
+	vals := make([]any, len(c.blocks))
 	errs := make([]error, len(c.blocks))
 	var wg sync.WaitGroup
 	for b := range c.blocks {
 		wg.Add(1)
 		go func(b int) {
 			defer wg.Done()
-			errs[b] = c.askBlock(b, func(cl *server.Client) error { return fn(b, cl) })
+			vals[b], errs[b] = c.askBlock(b, func(cl *server.Client) (any, error) { return fetch(b, cl) })
 		}(b)
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return err
+			return nil, err
 		}
 	}
-	return nil
+	return vals, nil
 }
 
 // gatherRows scatter-gathers one row-streaming request (GROUPBY or QUERY)
@@ -445,27 +583,21 @@ func (c *Coordinator) scatter(fn func(b int, cl *server.Client) error) error {
 // operator. The merged shape is inferred from the first shard's reply and
 // cross-checked against the rest.
 func (c *Coordinator) gatherRows(fetch func(cl *server.Client) ([]server.Row, error)) (server.Result, error) {
-	results := make([][]server.Row, len(c.blocks))
-	err := c.scatter(func(b int, cl *server.Client) error {
-		rows, err := fetch(cl)
-		if err != nil {
-			return err
-		}
-		results[b] = rows
-		return nil
+	vals, err := c.scatter(func(b int, cl *server.Client) (any, error) {
+		return fetch(cl)
 	})
 	if err != nil {
 		return nil, err
 	}
 	mergeStart := time.Now()
 	defer c.stats.mergeNs.ObserveSince(mergeStart)
-	shape, err := shapeFromRows(results[0])
+	shape, err := shapeFromRows(vals[0].([]server.Row))
 	if err != nil {
 		return nil, err
 	}
 	tbl := newMergeTable(shape, c.op)
-	for _, rows := range results {
-		if err := tbl.combineRows(rows, c.op); err != nil {
+	for _, v := range vals {
+		if err := tbl.combineRows(v.([]server.Row), c.op); err != nil {
 			return nil, err
 		}
 	}
@@ -519,50 +651,48 @@ func (c *Coordinator) Query(stmt string) (server.Result, error) {
 
 // Total scatter-gathers the grand total.
 func (c *Coordinator) Total() (float64, error) {
-	totals := make([]float64, len(c.blocks))
-	err := c.scatter(func(b int, cl *server.Client) error {
-		v, err := cl.Total()
-		if err != nil {
-			return err
-		}
-		totals[b] = v
-		return nil
+	vals, err := c.scatter(func(b int, cl *server.Client) (any, error) {
+		return cl.Total()
 	})
 	if err != nil {
 		return 0, err
 	}
 	acc := c.op.Identity()
-	for _, v := range totals {
-		acc = c.op.Combine(acc, v)
+	for _, v := range vals {
+		acc = c.op.Combine(acc, v.(float64))
 	}
 	return acc, nil
 }
 
-// Value answers a single-cell lookup, pruning the fan-out to the blocks
-// whose projection onto the retained dimensions contains the cell — the
-// payoff of sharding by the planner's block geometry: a point query
-// touches only 2^(sum of K over collapsed dimensions) shards.
-func (c *Coordinator) Value(dims []string, coords []int) (float64, error) {
+// BlocksForValue returns (sorted) the indices of the blocks whose
+// projection onto the retained dimensions contains the cell — the exact
+// fan-out set of a VALUE query, also used by the query cache to
+// invalidate point lookups per block group. With no dimensions (the
+// grand total) every block contributes.
+func (c *Coordinator) BlocksForValue(dims []string, coords []int) ([]int, error) {
 	if len(dims) == 0 {
 		if len(coords) != 0 {
-			return 0, fmt.Errorf("shard: grand total takes no coordinates")
+			return nil, fmt.Errorf("shard: grand total takes no coordinates")
 		}
-		return c.Total()
+		all := make([]int, len(c.blocks))
+		for b := range all {
+			all[b] = b
+		}
+		return all, nil
 	}
 	axes, err := c.resolveDims(dims)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	if len(coords) != len(dims) {
-		return 0, fmt.Errorf("shard: %d coordinates for %d dimensions", len(coords), len(dims))
+		return nil, fmt.Errorf("shard: %d coordinates for %d dimensions", len(coords), len(dims))
 	}
 	for i, axis := range axes {
 		if coords[i] < 0 || coords[i] >= c.sizes[axis] {
-			return 0, fmt.Errorf("shard: coordinate %d out of range [0,%d) for %q",
+			return nil, fmt.Errorf("shard: coordinate %d out of range [0,%d) for %q",
 				coords[i], c.sizes[axis], dims[i])
 		}
 	}
-
 	owning := make([]int, 0, len(c.blocks))
 	for b, g := range c.blocks {
 		contains := true
@@ -577,32 +707,44 @@ func (c *Coordinator) Value(dims []string, coords []int) (float64, error) {
 		}
 	}
 	sort.Ints(owning)
+	return owning, nil
+}
 
-	var mu sync.Mutex
-	acc := c.op.Identity()
+// Value answers a single-cell lookup, pruning the fan-out to the blocks
+// whose projection onto the retained dimensions contains the cell — the
+// payoff of sharding by the planner's block geometry: a point query
+// touches only 2^(sum of K over collapsed dimensions) shards.
+func (c *Coordinator) Value(dims []string, coords []int) (float64, error) {
+	if len(dims) == 0 {
+		if len(coords) != 0 {
+			return 0, fmt.Errorf("shard: grand total takes no coordinates")
+		}
+		return c.Total()
+	}
+	owning, err := c.BlocksForValue(dims, coords)
+	if err != nil {
+		return 0, err
+	}
+
+	vals := make([]any, len(owning))
 	errs := make([]error, len(owning))
 	var wg sync.WaitGroup
 	for i, b := range owning {
 		wg.Add(1)
 		go func(i, b int) {
 			defer wg.Done()
-			errs[i] = c.askBlock(b, func(cl *server.Client) error {
-				v, err := cl.Value(dims, coords)
-				if err != nil {
-					return err
-				}
-				mu.Lock()
-				acc = c.op.Combine(acc, v)
-				mu.Unlock()
-				return nil
+			vals[i], errs[i] = c.askBlock(b, func(cl *server.Client) (any, error) {
+				return cl.Value(dims, coords)
 			})
 		}(i, b)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return 0, err
+	acc := c.op.Identity()
+	for i := range owning {
+		if errs[i] != nil {
+			return 0, errs[i]
 		}
+		acc = c.op.Combine(acc, vals[i].(float64))
 	}
 	return acc, nil
 }

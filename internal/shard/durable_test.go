@@ -27,6 +27,14 @@ type durableCluster struct {
 // coordinator serving the line protocol on loopback TCP.
 func startDurableCluster(t *testing.T, ds *parcube.Dataset, nodes, replicas int) *durableCluster {
 	t.Helper()
+	return startDurableClusterCfg(t, ds, nodes, replicas, nil)
+}
+
+// startDurableClusterCfg is startDurableCluster with a coordinator
+// Config hook, so tests can flip serving-path options (hedging, custom
+// timeouts) on an otherwise standard durable cluster.
+func startDurableClusterCfg(t *testing.T, ds *parcube.Dataset, nodes, replicas int, mutate func(*Config)) *durableCluster {
+	t.Helper()
 	names := ds.Schema().Names()
 	sizes := ds.Schema().Sizes()
 	plan, err := NewPlan(names, sizes, nodes, replicas)
@@ -59,13 +67,17 @@ func startDurableCluster(t *testing.T, ds *parcube.Dataset, nodes, replicas int)
 	for i, n := range dc.nodes {
 		addrs[i] = n.Addr()
 	}
-	dc.coord, err = NewCoordinator(Config{
+	cfg := Config{
 		Addrs:       addrs,
 		Timeout:     2 * time.Second,
 		Backoff:     time.Millisecond,
 		Rounds:      4,
 		RejoinEvery: 5 * time.Millisecond,
-	})
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	dc.coord, err = NewCoordinator(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,220 @@
+package shard
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// slowProxy fronts a real shard node and delays every node->client
+// transfer, making the replica correct but slow — the hedging target.
+type slowProxy struct {
+	ln     net.Listener
+	target string
+	delay  time.Duration
+
+	mu    sync.Mutex
+	conns []net.Conn
+	hits  int
+}
+
+func startSlowProxy(t *testing.T, target string, delay time.Duration) *slowProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &slowProxy{ln: ln, target: target, delay: delay}
+	go p.acceptLoop()
+	t.Cleanup(p.close)
+	return p
+}
+
+func (p *slowProxy) addr() string { return p.ln.Addr().String() }
+
+func (p *slowProxy) close() {
+	p.ln.Close()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.conns {
+		_ = c.Close()
+	}
+	p.conns = nil
+}
+
+func (p *slowProxy) queryHits() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits
+}
+
+func (p *slowProxy) acceptLoop() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		up, err := net.Dial("tcp", p.target)
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		p.mu.Lock()
+		p.conns = append(p.conns, conn, up)
+		p.mu.Unlock()
+		go p.pipe(up, conn, 0) // client -> node: count requests, no delay
+		go p.pipe(conn, up, p.delay)
+	}
+}
+
+func (p *slowProxy) pipe(dst, src net.Conn, delay time.Duration) {
+	defer dst.Close()
+	defer src.Close()
+	buf := make([]byte, 4096)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if delay > 0 {
+				time.Sleep(delay)
+			} else {
+				p.mu.Lock()
+				p.hits++
+				p.mu.Unlock()
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// TestHedgedReadBeatsSlowReplica: with the preferred replica answering
+// correctly but slowly, a hedged coordinator must fire a second attempt
+// after the hedge delay, take the fast replica's answer, and record the
+// fired/won counters — while staying cell-exact.
+func TestHedgedReadBeatsSlowReplica(t *testing.T) {
+	ds, cube := test4D(t)
+	plan, err := NewPlan(ds.Schema().Names(), ds.Schema().Sizes(), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumBlocks() != 1 {
+		t.Fatalf("want a single 2-replica block, got %d blocks", plan.NumBlocks())
+	}
+	var nodes []*Node
+	for i := 0; i < 2; i++ {
+		n, err := StartNode(plan, i, ds, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+		t.Cleanup(func() { n.Close() })
+	}
+	proxy := startSlowProxy(t, nodes[0].Addr(), 150*time.Millisecond)
+
+	coord, err := NewCoordinator(Config{
+		Addrs:      []string{proxy.addr(), nodes[1].Addr()}, // slow replica preferred
+		Timeout:    5 * time.Second,
+		Backoff:    time.Millisecond,
+		Hedge:      true,
+		HedgeDelay: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { coord.Close() })
+
+	for i := 0; i < 3; i++ {
+		total, err := coord.Total()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total != cube.Total() {
+			t.Fatalf("hedged TOTAL = %v, want %v", total, cube.Total())
+		}
+	}
+	got, err := coord.GroupBy("item", "branch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cube.GroupBy("item", "branch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 6; j++ {
+			if got.At(i, j) != want.At(i, j) {
+				t.Fatalf("hedged cell %d,%d = %v, want %v", i, j, got.At(i, j), want.At(i, j))
+			}
+		}
+	}
+
+	s := coord.Stats()
+	if s.HedgesFired == 0 {
+		t.Fatalf("no hedges fired against a 150ms replica at a 5ms delay: %+v", s)
+	}
+	if s.HedgeWins == 0 {
+		t.Fatalf("no hedge wins against a 150ms replica: %+v", s)
+	}
+	if s.HedgeWins > s.HedgesFired {
+		t.Fatalf("more wins (%d) than fires (%d)", s.HedgeWins, s.HedgesFired)
+	}
+	if s.AttemptLatency.Count == 0 {
+		t.Fatalf("attempt latency histogram never observed: %+v", s)
+	}
+	// The registry view (what STATS serves) must agree with the snapshot.
+	reg := coord.Metrics().Flatten()
+	if reg["hedges_fired"] != s.HedgesFired || reg["hedge_wins"] != s.HedgeWins {
+		t.Fatalf("registry %v disagrees with snapshot %+v", reg, s)
+	}
+	if reg["attempt_ns_count"] != s.AttemptLatency.Count {
+		t.Fatalf("registry attempt count %d disagrees with snapshot %d",
+			reg["attempt_ns_count"], s.AttemptLatency.Count)
+	}
+	if proxy.queryHits() == 0 {
+		t.Fatal("slow replica never saw a request — hedging path not exercised")
+	}
+}
+
+// TestHedgeDelayDerivedFromHistogram: with no explicit HedgeDelay the
+// coordinator derives it from the attempt latency distribution, clamped
+// to [500µs, Timeout/2]; cold (no observations) it falls back to
+// Timeout/16.
+func TestHedgeDelayDerivedFromHistogram(t *testing.T) {
+	ds, cube := test4D(t)
+	cl := startCluster(t, ds, 2, 2) // 1 block x 2 replicas, fast
+
+	hedged, err := NewCoordinator(Config{
+		Addrs:   []string{cl.nodes[0].Addr(), cl.nodes[1].Addr()},
+		Timeout: 800 * time.Millisecond,
+		Backoff: time.Millisecond,
+		Hedge:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { hedged.Close() })
+
+	if got, want := hedged.hedgeDelay(), 800*time.Millisecond/16; got != want {
+		t.Fatalf("cold hedge delay = %v, want Timeout/16 = %v", got, want)
+	}
+	for i := 0; i < 20; i++ {
+		total, err := hedged.Total()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total != cube.Total() {
+			t.Fatalf("TOTAL = %v, want %v", total, cube.Total())
+		}
+	}
+	// Loopback attempts are far faster than 500µs p99, so the derived
+	// delay must sit at the lower clamp (and never above Timeout/2).
+	d := hedged.hedgeDelay()
+	if d < 500*time.Microsecond || d > 400*time.Millisecond {
+		t.Fatalf("derived hedge delay %v outside [500µs, Timeout/2]", d)
+	}
+}

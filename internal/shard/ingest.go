@@ -101,6 +101,11 @@ func (c *Coordinator) Delta(rows []server.Row, lsn uint64) (uint64, bool, error)
 		go func(b int, part []server.Row) {
 			defer wg.Done()
 			blockLSN, err := c.deltaToGroup(c.blocks[b], part)
+			if err == nil {
+				// The block's replicas acknowledged: anything cached
+				// over this block group is stale from here on.
+				c.notifyIngest(b)
+			}
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {

@@ -39,6 +39,15 @@ type Stats struct {
 	// TailTruncates counts rejoin repairs that discarded a recovering
 	// replica's unacknowledged (or divergent) log tail before catch-up.
 	TailTruncates int64
+	// HedgesFired counts hedged reads that launched a second attempt
+	// after the hedge delay; HedgeWins counts those where the second
+	// attempt answered first. Wins without fires would mean the delay
+	// is far too aggressive; fires without wins, too conservative.
+	HedgesFired int64
+	HedgeWins   int64
+	// AttemptLatency summarizes single-attempt latencies (one replica,
+	// no retries) — the distribution the hedge delay is derived from.
+	AttemptLatency obs.HistogramSnapshot
 }
 
 // counters is the coordinator's per-instance metrics registry with the
@@ -57,6 +66,9 @@ type counters struct {
 	rejoins        *obs.Counter
 	catchupRecords *obs.Counter
 	tailTruncates  *obs.Counter
+	hedgesFired    *obs.Counter
+	hedgeWins      *obs.Counter
+	attemptNs      *obs.Histogram
 }
 
 // newCounters builds the registry and resolves the series.
@@ -76,6 +88,9 @@ func newCounters() *counters {
 		rejoins:        reg.Counter("rejoins"),
 		catchupRecords: reg.Counter("catchup_records"),
 		tailTruncates:  reg.Counter("tail_truncates"),
+		hedgesFired:    reg.Counter("hedges_fired"),
+		hedgeWins:      reg.Counter("hedge_wins"),
+		attemptNs:      reg.Histogram("attempt_ns"),
 	}
 }
 
@@ -94,5 +109,8 @@ func (c *counters) snapshot() Stats {
 		Rejoins:        c.rejoins.Value(),
 		CatchupRecords: c.catchupRecords.Value(),
 		TailTruncates:  c.tailTruncates.Value(),
+		HedgesFired:    c.hedgesFired.Value(),
+		HedgeWins:      c.hedgeWins.Value(),
+		AttemptLatency: c.attemptNs.Snapshot(),
 	}
 }

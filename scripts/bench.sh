@@ -5,19 +5,25 @@
 # bench reports (modeled-s, comm-elems, comm-bytes, peak-elems,
 # ns/update). Also runs the durability benchmarks (WAL append and replay
 # throughput, checkpoint write, recovery open) into a second file
-# (default BENCH_5.json). Used by `make bench-json`.
+# (default BENCH_5.json), and the serving-tier load benchmark (cubeload
+# over many multiplexed connections against cached and uncached
+# coordinators, see scripts/loadgen.sh) into a third (default
+# BENCH_6.json). Used by `make bench-json`.
 #
-#   scripts/bench.sh [figures.json] [durability.json]
+#   scripts/bench.sh [figures.json] [durability.json] [loadgen.json]
 #
 # BENCH_PATTERN, WAL_BENCH_PATTERN, and BENCH_TIME override the
 # benchmark selections and -benchtime (defaults: the figure + theorem
-# benches and the WAL/recovery benches, 1 iteration each).
+# benches and the WAL/recovery benches, 1 iteration each);
+# LOADGEN_CONNS and LOADGEN_DURATION size the load stage (defaults
+# 10000 connections, 5s measured).
 set -eu
 
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_2.json}"
 walout="${2:-BENCH_5.json}"
+loadout="${3:-BENCH_6.json}"
 pattern="${BENCH_PATTERN:-Fig7|Fig8|Fig9|Sequential|MemoryBound|CommVolume|ScanKernel}"
 walpattern="${WAL_BENCH_PATTERN:-WALAppend|WALReplay|CheckpointWrite|RecoveryOpen}"
 benchtime="${BENCH_TIME:-1x}"
@@ -54,3 +60,5 @@ go test -run '^$' -bench "$walpattern" -benchtime "$benchtime" \
 	./internal/wal ./internal/recovery | tee "$tmp"
 tojson <"$tmp" >"$walout"
 echo "wrote $walout"
+
+./scripts/loadgen.sh "$loadout"

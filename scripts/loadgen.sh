@@ -1,0 +1,110 @@
+#!/bin/sh
+# Serving-tier load benchmark: boots a 2-node shard cluster plus two
+# coordinators — one bare, one with the full serving tier (hot group-by
+# cache, pinned views, hedged reads) — and drives cubeload's multiplexed
+# workload against each. The two JSON rows land in one file (default
+# BENCH_6.json) so the suite can compare the cached and uncached paths.
+#
+#   scripts/loadgen.sh [out.json] [conns] [duration]
+#
+# LOADGEN_CONNS / LOADGEN_DURATION / LOADGEN_INFLIGHT override the
+# positional defaults (10000 connections, 5s measured). Both
+# coordinators run the same admission control (-max-inflight) so the
+# comparison isolates the cache, and the queue is sized to hold every
+# connection's request without shedding.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_6.json}"
+conns="${LOADGEN_CONNS:-${2:-10000}}"
+duration="${LOADGEN_DURATION:-${3:-5s}}"
+inflight="${LOADGEN_INFLIGHT:-1}"
+
+# Each side needs conns sockets in the loadgen and the coordinator.
+ulimit -n 20000 2>/dev/null || true
+
+bin=$(mktemp -d)
+pids=""
+cleanup() {
+	for p in $pids; do
+		kill "$p" 2>/dev/null || true
+	done
+	wait 2>/dev/null || true
+	rm -rf "$bin"
+}
+trap cleanup EXIT INT TERM
+
+echo "==> building cubegen, cubeshard, cubeload"
+go build -o "$bin" ./cmd/cubegen ./cmd/cubeshard ./cmd/cubeload
+
+"$bin/cubegen" -shape 16x16x16 -sparsity 20 -seed 6 >"$bin/facts.csv"
+
+# wait_addr polls a process's stderr log for its "... on 127.0.0.1:port"
+# banner and prints the bound address.
+wait_addr() {
+	i=0
+	while [ "$i" -lt 100 ]; do
+		addr=$(sed -n 's/.* on \(127\.0\.0\.1:[0-9][0-9]*\).*/\1/p' "$1" | head -n 1)
+		if [ -n "$addr" ]; then
+			echo "$addr"
+			return 0
+		fi
+		i=$((i + 1))
+		sleep 0.1
+	done
+	echo "loadgen: no listen banner in $1" >&2
+	cat "$1" >&2
+	return 1
+}
+
+echo "==> starting 2 shard nodes"
+"$bin/cubeshard" -shape 16x16x16 -in "$bin/facts.csv" -nodes 2 -replicas 1 -node 0 \
+	-addr 127.0.0.1:0 2>"$bin/node0.log" &
+pids="$pids $!"
+"$bin/cubeshard" -shape 16x16x16 -in "$bin/facts.csv" -nodes 2 -replicas 1 -node 1 \
+	-addr 127.0.0.1:0 2>"$bin/node1.log" &
+pids="$pids $!"
+n0=$(wait_addr "$bin/node0.log")
+n1=$(wait_addr "$bin/node1.log")
+
+echo "==> starting uncached and cached coordinators over $n0,$n1"
+admission="-max-inflight 256 -max-queue $((conns * inflight)) -admit-deadline 120s"
+# shellcheck disable=SC2086
+"$bin/cubeshard" -coordinator -shards "$n0,$n1" -addr 127.0.0.1:0 \
+	$admission 2>"$bin/coord_uncached.log" &
+pids="$pids $!"
+# shellcheck disable=SC2086
+"$bin/cubeshard" -coordinator -shards "$n0,$n1" -addr 127.0.0.1:0 \
+	$admission -cache-cells 1048576 -cache-pin 4096 -hedge 2>"$bin/coord_cached.log" &
+pids="$pids $!"
+uncached=$(wait_addr "$bin/coord_uncached.log")
+cached=$(wait_addr "$bin/coord_cached.log")
+
+echo "==> loadgen: $conns mux connections x ${inflight} in flight, $duration measured"
+"$bin/cubeload" -addr "$uncached" -conns "$conns" -inflight "$inflight" \
+	-duration "$duration" -timeout 120s -name loadgen_uncached -json "$bin/row_uncached.json"
+"$bin/cubeload" -addr "$cached" -conns "$conns" -inflight "$inflight" \
+	-duration "$duration" -timeout 120s -name loadgen_cached -json "$bin/row_cached.json"
+
+{
+	echo "["
+	sed -e 's/^/  /' -e 's/}$/},/' "$bin/row_uncached.json"
+	sed -e 's/^/  /' "$bin/row_cached.json"
+	echo "]"
+} >"$out"
+echo "wrote $out"
+
+# The cached path must beat the uncached one on the hot group-by
+# workload; at smoke scale (few connections, short runs) the measurement
+# is too noisy to gate on, so only warn there.
+qps_u=$(sed -n 's/.*"qps": *\([0-9.]*\).*/\1/p' "$bin/row_uncached.json")
+qps_c=$(sed -n 's/.*"qps": *\([0-9.]*\).*/\1/p' "$bin/row_cached.json")
+echo "uncached: $qps_u qps, cached: $qps_c qps"
+if ! awk -v u="$qps_u" -v c="$qps_c" 'BEGIN { exit !(c > u) }'; then
+	if [ "$conns" -ge 1000 ]; then
+		echo "loadgen: FAILED: cached coordinator ($qps_c qps) did not beat uncached ($qps_u qps)" >&2
+		exit 1
+	fi
+	echo "loadgen: warning: cached ($qps_c qps) did not beat uncached ($qps_u qps) at smoke scale" >&2
+fi

@@ -7,7 +7,9 @@
 #   4. cubelint — the project-specific invariant analyzers (internal/lint)
 #   5. recovery — the crash/durability wall: WAL torn-tail recovery,
 #                 checkpoint restore, kill -9 shard rejoin (race-enabled)
-#   6. go test  — the whole suite under the race detector
+#   6. loadgen  — serving-tier smoke: a real cluster behind cached and
+#                 uncached coordinators driven by cubeload over MUX
+#   7. go test  — the whole suite under the race detector
 #
 # Used by `make verify` and intended as the pre-commit / CI entry point.
 # Each stage prints a banner on failure naming the stage that broke.
@@ -41,6 +43,14 @@ go run ./cmd/cubelint ./... || fail cubelint
 echo "==> recovery wall"
 go test -race -count=1 -run 'Crash|Torn|Durable|WAL|Checkpoint|Rejoin' \
 	./internal/wal ./internal/recovery ./internal/shard || fail "recovery wall"
+
+echo "==> loadgen smoke"
+smoke=$(mktemp)
+if ! ./scripts/loadgen.sh "$smoke" 64 1s; then
+	rm -f "$smoke"
+	fail "loadgen smoke"
+fi
+rm -f "$smoke"
 
 echo "==> go test -race"
 go test -race ./... || fail "go test -race"
