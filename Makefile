@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race verify bench bench-json fuzz-smoke
+.PHONY: build test vet lint race verify bench bench-json bench-regress fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -28,10 +28,17 @@ bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 
 # Machine-readable benchmark JSON: figure benchmarks (BENCH_2.json),
-# durability benchmarks (BENCH_5.json), and the serving-tier loadgen
-# comparison (BENCH_6.json).
+# durability benchmarks (BENCH_5.json), the serving-tier loadgen
+# comparison (BENCH_6.json), and the group-commit ingest comparison
+# (BENCH_7.json).
 bench-json:
 	./scripts/bench.sh
+
+# Regression gate: fsync=always acked-append throughput with group
+# commit must beat the per-record-fsync baseline by >= 100x. Reads
+# BENCH_7.json if present, otherwise runs the benchmark fresh.
+bench-regress:
+	./scripts/bench_regress.sh BENCH_7.json
 
 # Seed-corpus run plus a short live fuzz of every Fuzz target; the CI
 # smoke uses the same loop.

@@ -95,6 +95,41 @@ func FuzzWALReplay(f *testing.F) {
 	f.Add(flipped)
 	f.Add([]byte("PCWALSG1 not really a segment"))
 
+	// Batched framing: a segment whose records landed through the batch
+	// path (one buffered write + one sync for the whole run), plus its
+	// torn and corrupted variants — the kill -9 shapes group commit can
+	// leave on disk.
+	batchDir := filepath.Join(f.TempDir(), "wal-batch")
+	bl, err := wal.Open(batchDir, wal.Options{Fsync: wal.FsyncNever})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var recs []wal.Record
+	for lsn := uint64(1); lsn <= 5; lsn++ {
+		recs = append(recs, wal.Record{LSN: lsn, Payload: []byte(fmt.Sprintf("%d,0,%d %d\n", lsn, lsn, lsn))})
+	}
+	if applied, err := bl.AppendBatchAt(recs); err != nil || applied != 5 {
+		f.Fatalf("batch seed: applied=%d err=%v", applied, err)
+	}
+	if err := bl.Close(); err != nil {
+		f.Fatal(err)
+	}
+	names, err = filepath.Glob(filepath.Join(batchDir, "*.seg"))
+	if err != nil || len(names) == 0 {
+		f.Fatalf("no batch seed segment: %v", err)
+	}
+	batched, err := os.ReadFile(names[0])
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(batched)
+	f.Add(batched[:len(batched)-5])                            // torn inside the batch's last frame
+	f.Add(batched[:len(batched)/2])                            // torn mid-batch
+	f.Add(append(batched, 0x21, 0x00, 0x00, 0x00, 0xde, 0xad)) // partial next frame
+	bflipped := append([]byte(nil), batched...)
+	bflipped[len(bflipped)-2] ^= 0x04 // corrupt the newest batched record
+	f.Add(bflipped)
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dir := filepath.Join(t.TempDir(), "wal")
 		if err := os.MkdirAll(dir, 0o755); err != nil {

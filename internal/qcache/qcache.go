@@ -611,3 +611,22 @@ func (c *Cache) Delta(rows []server.Row, lsn uint64) (uint64, bool, error) {
 	}
 	return appliedLSN, applied, err
 }
+
+// DeltaBatch forwards batched ingest to the backend, preserving the
+// server's native-batch fast path through the cache. Invalidation
+// granularity matches Delta: an IngestNotifier backend has already
+// invalidated exactly the touched blocks (once per committed run per
+// block), anyone else costs the whole cache when any record applied.
+func (c *Cache) DeltaBatch(recs []server.LoggedDelta) (uint64, int, error) {
+	bb, ok := c.inner.(server.DeltaBatchBackend)
+	if !ok {
+		return 0, 0, fmt.Errorf("qcache: backend does not support batched ingest")
+	}
+	lastLSN, applied, err := bb.DeltaBatch(recs)
+	if applied > 0 {
+		if _, notifies := c.inner.(IngestNotifier); !notifies {
+			c.InvalidateAll()
+		}
+	}
+	return lastLSN, applied, err
+}

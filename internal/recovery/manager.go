@@ -81,6 +81,12 @@ func Open(opts Options, restore func(r io.Reader, lsn uint64) error, apply func(
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	if opts.WAL.Metrics == nil {
+		// The log's series (wal.group_size, wal.commit_wait_ns) land in
+		// the same registry as the recovery series unless the caller
+		// routed them elsewhere.
+		opts.WAL.Metrics = reg
+	}
 	m := &Manager{
 		dir:         opts.Dir,
 		opts:        opts,
@@ -180,6 +186,25 @@ func (m *Manager) AppendAt(lsn uint64, payload []byte) (bool, error) {
 		m.noteAppendLocked(1)
 	}
 	return applied, nil
+}
+
+// AppendBatchAt durably logs a run of records at explicit consecutive
+// LSNs with one buffered write and one fsync (per policy) — the
+// DELTABATCH lockstep path. Per-record idempotency matches AppendAt:
+// records at or below the log position are skipped, a gap fails the
+// batch from that record on while the already-written prefix stays
+// durable. applied counts the records written this call.
+func (m *Manager) AppendBatchAt(recs []wal.Record) (applied int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, errors.New("recovery: manager is closed")
+	}
+	applied, err = m.log.AppendBatchAt(recs)
+	if applied > 0 {
+		m.noteAppendLocked(applied)
+	}
+	return applied, err
 }
 
 // noteAppendLocked updates lag accounting and fires the auto-checkpoint.

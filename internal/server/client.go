@@ -341,6 +341,62 @@ func (c *Client) DeltaAt(lsn uint64, rows []Row) (bool, error) {
 	return applied, err
 }
 
+// DeltaBatch ingests a run of records in one DELTABATCH round trip:
+// every applied record is durable — under a single group-committed log
+// write on durable nodes — when the call returns. Each record carries
+// its own LSN (0 lets the server assign the next one; replica lockstep
+// sends exact positions). lastLSN is the server's log position after
+// the batch and applied how many records it applied; a clean rejection
+// of record i surfaces as a *RemoteError with the records before i
+// applied and durable on the server.
+func (c *Client) DeltaBatch(recs []LoggedDelta) (lastLSN uint64, applied int, err error) {
+	if len(recs) == 0 {
+		return 0, 0, fmt.Errorf("server: empty delta batch")
+	}
+	c.arm()
+	if _, err := fmt.Fprintf(c.w, "DELTABATCH %d\n", len(recs)); err != nil {
+		return 0, 0, err
+	}
+	for _, rec := range recs {
+		if len(rec.Rows) == 0 {
+			return 0, 0, fmt.Errorf("server: empty record in delta batch")
+		}
+		c.arm()
+		if _, err := fmt.Fprintf(c.w, "%d %d\n", len(rec.Rows), rec.LSN); err != nil {
+			return 0, 0, err
+		}
+		for _, row := range rec.Rows {
+			c.arm()
+			if _, err := fmt.Fprintf(c.w, "%s %g\n", joinCoords(row.Coords), row.Value); err != nil {
+				return 0, 0, err
+			}
+		}
+	}
+	if _, err := fmt.Fprintln(c.w, "."); err != nil {
+		return 0, 0, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return 0, 0, err
+	}
+	c.arm()
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return 0, 0, err
+	}
+	payload, err := parseOK(line)
+	if err != nil {
+		return 0, 0, err
+	}
+	f := parseFields(payload)
+	if lastLSN, err = strconv.ParseUint(f["lsn"], 10, 64); err != nil {
+		return 0, 0, fmt.Errorf("server: malformed batch ack %q", line)
+	}
+	if applied, err = strconv.Atoi(f["applied"]); err != nil {
+		return 0, 0, fmt.Errorf("server: malformed batch ack %q", line)
+	}
+	return lastLSN, applied, nil
+}
+
 // LoggedRow is one cell of a durable delta record fetched by DeltasSince.
 type LoggedRow struct {
 	LSN uint64

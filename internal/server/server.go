@@ -15,6 +15,13 @@
 //	SHARDINFO                  -> "OK id=<n> op=<op> block=<[lo:hi,...]> [lsn=<n>]" (shard nodes only)
 //	DELTA <cells> [<lsn>]      -> then one "<c0,c1,...> <value>" line per cell and ".";
 //	                              answers "OK lsn=<n> applied=<0|1>" once the delta is durable
+//	DELTABATCH <records>       -> then, per record, a "<cells> <lsn>" header line (lsn 0 asks
+//	                              the backend to assign) followed by its cell lines, and a
+//	                              final "."; answers "OK lsn=<n> applied=<k>" — n the backend's
+//	                              log position, k the records applied — once every applied
+//	                              record is durable under ONE group-committed log write. A
+//	                              record the backend rejects answers "ERR batch record <i>:
+//	                              ..." with the records before it applied AND durable.
 //	DELTASINCE <lsn>           -> "OK <rows>", then one "<lsn> <c0,c1,...> <value>" line per
 //	                              logged cell (rows of one record share an LSN), then "."
 //	TRUNCATE <lsn>             -> "OK lsn=<n>"; durably discards log records above <lsn> and
@@ -93,10 +100,23 @@ type DeltaBackend interface {
 	Delta(rows []Row, lsn uint64) (appliedLSN uint64, applied bool, err error)
 }
 
-// LoggedDelta is one durable delta record streamed by DeltasSince.
+// LoggedDelta is one durable delta record streamed by DeltasSince, and
+// one record of a DELTABATCH ingest request.
 type LoggedDelta struct {
 	LSN  uint64
 	Rows []Row
+}
+
+// DeltaBatchBackend is an optional DeltaBackend refinement ingesting a
+// run of records in one call, so the whole batch can reach the durable
+// log under a single group-committed write + fsync. Records apply in
+// order with the same per-record LSN discipline as Delta (0 assigns the
+// next LSN, at-or-below the log position skips idempotently, a gap
+// rejects); the first rejected record stops the batch, with every
+// record before it applied and durable. lastLSN reports the backend's
+// log position after the batch, applied how many records were applied.
+type DeltaBatchBackend interface {
+	DeltaBatch(recs []LoggedDelta) (lastLSN uint64, applied int, err error)
 }
 
 // WALTailBackend is an optional Backend refinement exposing the durable
@@ -408,11 +428,11 @@ func (s *Server) dispatch(conn net.Conn, r *bufio.Reader, w *bufio.Writer, line 
 		release, err := s.admission.Acquire(cmd)
 		if err != nil {
 			s.errf(w, "%v", err)
-			// A shed DELTA still has payload lines in flight that would
-			// desync the plain stream into garbage commands; drop the
-			// connection instead. Mux framing has no such problem — the
-			// payload lives inside the rejected frame.
-			return cmd == "DELTA"
+			// A shed DELTA/DELTABATCH still has payload lines in flight
+			// that would desync the plain stream into garbage commands;
+			// drop the connection instead. Mux framing has no such
+			// problem — the payload lives inside the rejected frame.
+			return cmd == "DELTA" || cmd == "DELTABATCH"
 		}
 		defer release()
 	}
@@ -469,7 +489,8 @@ var knownCommands = map[string]string{
 	"QUIT": "quit", "STATS": "stats", "SHARDINFO": "shardinfo",
 	"SCHEMA": "schema", "TOTAL": "total", "GROUPBY": "groupby",
 	"QUERY": "query", "VALUE": "value", "TOP": "top",
-	"DELTA": "delta", "DELTASINCE": "deltasince", "TRUNCATE": "truncate",
+	"DELTA": "delta", "DELTABATCH": "deltabatch",
+	"DELTASINCE": "deltasince", "TRUNCATE": "truncate",
 }
 
 // maxDeltaCells bounds one DELTA batch. The declared count is untrusted
@@ -618,6 +639,8 @@ func (s *Server) handle(conn net.Conn, r *bufio.Reader, w *bufio.Writer, line st
 		fmt.Fprintln(w, ".")
 	case "DELTA":
 		return s.handleDelta(conn, r, w, fields[1:])
+	case "DELTABATCH":
+		return s.handleDeltaBatch(conn, r, w, fields[1:])
 	case "DELTASINCE":
 		wb, ok := s.backend.(WALTailBackend)
 		if !ok {
@@ -757,6 +780,136 @@ func (s *Server) handleDelta(conn net.Conn, r *bufio.Reader, w *bufio.Writer, ar
 	}
 	fmt.Fprintf(w, "OK lsn=%d applied=%d\n", appliedLSN, ap)
 	return false
+}
+
+// maxBatchRecords bounds one DELTABATCH's declared record count; like
+// maxDeltaCells it rejects untrusted wire input before any allocation.
+const maxBatchRecords = 4096
+
+// handleDeltaBatch reads a DELTABATCH payload — per record a
+// "<cells> <lsn>" header line then its cell lines, closed by "." — and
+// hands the whole run to the backend in one call, so a durable node
+// logs it under a single group-committed write. Malformed input closes
+// the connection (the payload length is no longer knowable); clean
+// backend rejections answer ERR with the stream in sync.
+func (s *Server) handleDeltaBatch(conn net.Conn, r *bufio.Reader, w *bufio.Writer, args []string) bool {
+	if r == nil {
+		s.errf(w, "DELTABATCH needs a streaming connection")
+		return false
+	}
+	if len(args) != 1 {
+		s.errf(w, "DELTABATCH needs a record count")
+		return true
+	}
+	n, err := strconv.Atoi(args[0])
+	if err != nil || n < 1 || n > maxBatchRecords {
+		s.errf(w, "bad record count %q (1..%d)", args[0], maxBatchRecords)
+		return true
+	}
+	recs := make([]LoggedDelta, 0, min(n, maxRowPrealloc))
+	totalCells := 0
+	for len(recs) < n {
+		s.armRead(conn)
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return true
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		header := strings.Fields(line)
+		if len(header) != 2 {
+			s.errf(w, "malformed batch record header %q (want \"<cells> <lsn>\")", line)
+			return true
+		}
+		cells, err := strconv.Atoi(header[0])
+		if err != nil || cells < 1 || cells > maxDeltaCells {
+			s.errf(w, "bad batch cell count %q (1..%d)", header[0], maxDeltaCells)
+			return true
+		}
+		totalCells += cells
+		if totalCells > maxDeltaCells {
+			s.errf(w, "batch exceeds %d total cells", maxDeltaCells)
+			return true
+		}
+		lsn, err := strconv.ParseUint(header[1], 10, 64)
+		if err != nil {
+			s.errf(w, "bad batch record LSN %q", header[1])
+			return true
+		}
+		rows := make([]Row, 0, min(cells, maxRowPrealloc))
+		for len(rows) < cells {
+			s.armRead(conn)
+			line, err := r.ReadString('\n')
+			if err != nil {
+				return true
+			}
+			line = strings.TrimSpace(line)
+			if line == "" {
+				continue
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				s.errf(w, "malformed delta row %q", line)
+				return true
+			}
+			coords, err := parseDeltaCoords(fields[0])
+			if err != nil {
+				s.errf(w, "%v", err)
+				return true
+			}
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				s.errf(w, "bad delta value %q", fields[1])
+				return true
+			}
+			rows = append(rows, Row{Coords: coords, Value: v})
+		}
+		recs = append(recs, LoggedDelta{LSN: lsn, Rows: rows})
+	}
+	s.armRead(conn)
+	dot, err := r.ReadString('\n')
+	if err != nil || strings.TrimSpace(dot) != "." {
+		s.errf(w, "DELTABATCH payload not terminated with '.'")
+		return true
+	}
+	lastLSN, applied, err := s.batchToBackend(recs)
+	if err != nil {
+		s.errf(w, "%v", err)
+		return false
+	}
+	s.cells.Add(int64(totalCells))
+	fmt.Fprintf(w, "OK lsn=%d applied=%d\n", lastLSN, applied)
+	return false
+}
+
+// batchToBackend applies a parsed batch: natively on DeltaBatchBackend
+// implementations, by a record-at-a-time loop otherwise (read-only
+// backends reject the first record). The loop preserves the batch
+// contract — stop at the first rejection, report the applied count —
+// just without the single-fsync amortization.
+func (s *Server) batchToBackend(recs []LoggedDelta) (lastLSN uint64, applied int, err error) {
+	if bb, ok := s.backend.(DeltaBatchBackend); ok {
+		return bb.DeltaBatch(recs)
+	}
+	db, ok := s.backend.(DeltaBackend)
+	if !ok {
+		return 0, 0, fmt.Errorf("backend is read-only")
+	}
+	for i, rec := range recs {
+		lsn, ok, err := db.Delta(rec.Rows, rec.LSN)
+		if err != nil {
+			return lastLSN, applied, fmt.Errorf("batch record %d: %w", i, err)
+		}
+		if lsn > lastLSN {
+			lastLSN = lsn
+		}
+		if ok {
+			applied++
+		}
+	}
+	return lastLSN, applied, nil
 }
 
 // parseDeltaCoords parses a delta row's coordinate list. Unlike

@@ -103,6 +103,16 @@ type blockGroup struct {
 	// why rejoin trusts matching LSN positions only for tail ackers and
 	// verifies everyone else's tail content against a live peer.
 	tailAckers map[string]bool
+
+	// imu guards the group-commit queue: deltas arriving while a commit
+	// round's network I/O and fsyncs are in flight queue here, and the
+	// round's leader ships them as one DELTABATCH per replica (see
+	// ingest.go). ileader is true while some goroutine owns the queue;
+	// leadership hands off to the head of the refilled queue after every
+	// round, exactly like the WAL's commit-waiter queue.
+	imu     sync.Mutex
+	iqueue  []*ingestReq
+	ileader bool
 }
 
 // Coordinator answers the cube line protocol by scatter-gathering shard

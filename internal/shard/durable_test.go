@@ -388,16 +388,27 @@ func TestDurableNodeColdRestartWithoutDataset(t *testing.T) {
 // disabled — tests drive tryRejoin synchronously for determinism.
 func startLockstepPair(t *testing.T, ds *parcube.Dataset) *durableCluster {
 	t.Helper()
+	return startLockstepPairCfg(t, ds, nil)
+}
+
+// startLockstepPairCfg is startLockstepPair with a DurableOptions hook
+// (group commit, commit wait) and optional cube build options (e.g. a
+// non-sum aggregator) on an otherwise standard pair.
+func startLockstepPairCfg(t *testing.T, ds *parcube.Dataset, mutate func(*DurableOptions), opts ...parcube.BuildOption) *durableCluster {
+	t.Helper()
 	plan, err := NewPlan(ds.Schema().Names(), ds.Schema().Sizes(), 2, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	dc := &durableCluster{plan: plan, dopts: DurableOptions{Fsync: wal.FsyncAlways}}
+	if mutate != nil {
+		mutate(&dc.dopts)
+	}
 	for i := 0; i < 2; i++ {
 		dir := t.TempDir()
 		dopts := dc.dopts
 		dopts.DataDir = dir
-		n, err := StartDurableNode(plan, i, ds, "127.0.0.1:0", dopts)
+		n, err := StartDurableNode(plan, i, ds, "127.0.0.1:0", dopts, opts...)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -29,21 +29,33 @@ import (
 // that round lastLSN stays at N-1 — so the next (different) delta D2 is
 // assigned the same LSN N on the live replicas. Matching log positions
 // then no longer imply matching content. The invariant that makes repair
-// cheap is that divergence can only live in the replica's NEWEST record:
-// a down replica receives no lockstep writes, every earlier record was
-// either acked by it or copied from a peer, and catch-up only appends.
-// So before any catch-up, rejoin classifies the tail: records above the
-// group's high-water mark were never acknowledged to any client and are
-// truncated outright; a tail AT a group-assigned position is trusted
-// only if this replica is a known tail acker, and otherwise its content
-// is compared against a live peer's record at the same LSN — on
-// mismatch the replica's tail record is truncated (TRUNCATE rebuilds
-// its state from checkpoint + surviving log) and catch-up resupplies
-// the group's true history. When no live peer exists to compare
-// against, or the divergent record is already baked into the replica's
-// newest checkpoint (TRUNCATE answers ERR with recovery's
-// ErrBelowCheckpoint), the replica stays down rather than risk
-// readmitting divergent state.
+// cheap is that divergence can only live in a contiguous SUFFIX of the
+// replica's log: a down replica receives no lockstep writes, every
+// earlier record was either acked by it or copied from a peer, and
+// catch-up only appends. A lost single-delta ack leaves at most one
+// divergent record; a lost DELTABATCH ack leaves up to a whole batch of
+// them, but still only as the newest run — the batch was logged in one
+// go and nothing landed after it. So before any catch-up, rejoin
+// classifies the tail: records above the group's high-water mark were
+// never acknowledged to any client and are truncated outright; a tail
+// AT a group-assigned position is trusted only if this replica is a
+// known tail acker, and otherwise its content is reconciled against a
+// live peer — walking down from the replica's newest record to the
+// highest position whose content the peer confirms, and truncating
+// everything above it (TRUNCATE rebuilds the replica's state from
+// checkpoint + surviving log) so catch-up resupplies the group's true
+// history. When no live peer exists to compare against, or a divergent
+// record is already baked into the replica's newest checkpoint
+// (TRUNCATE answers ERR with recovery's ErrBelowCheckpoint), the
+// replica stays down rather than risk readmitting divergent state.
+//
+// Ingest itself group-commits: concurrent deltas for the same block
+// queue behind a leader (the first arrival; leadership hands off to the
+// head of the queue after every round, mirroring the WAL's commit
+// queue), and the leader ships the whole run to each replica as ONE
+// DELTABATCH — one round trip and one fsync per replica per round
+// instead of per delta — while assigning the same dense per-group LSNs
+// lockstep single-delta ingest would have.
 
 // Delta applies one delta through the cluster: rows are validated
 // against the schema, split by owning block, and each involved block
@@ -60,34 +72,9 @@ func (c *Coordinator) Delta(rows []server.Row, lsn uint64) (uint64, bool, error)
 	if lsn != 0 {
 		return 0, false, fmt.Errorf("shard: the coordinator assigns LSNs; retry without lsn")
 	}
-	if len(rows) == 0 {
-		return 0, false, fmt.Errorf("shard: empty delta")
-	}
-	rank := len(c.sizes)
-	perBlock := make(map[int][]server.Row)
-	for _, row := range rows {
-		if len(row.Coords) != rank {
-			return 0, false, fmt.Errorf("shard: delta row has %d coordinates, schema has %d dimensions",
-				len(row.Coords), rank)
-		}
-		owner := -1
-		for b, g := range c.blocks {
-			inside := true
-			for j, x := range row.Coords {
-				if x < g.block.Lo[j] || x >= g.block.Hi[j] {
-					inside = false
-					break
-				}
-			}
-			if inside {
-				owner = b
-				break
-			}
-		}
-		if owner < 0 {
-			return 0, false, fmt.Errorf("shard: delta cell %v outside every block", row.Coords)
-		}
-		perBlock[owner] = append(perBlock[owner], row)
+	perBlock, err := c.splitByBlock(rows)
+	if err != nil {
+		return 0, false, err
 	}
 
 	var (
@@ -100,12 +87,7 @@ func (c *Coordinator) Delta(rows []server.Row, lsn uint64) (uint64, bool, error)
 		wg.Add(1)
 		go func(b int, part []server.Row) {
 			defer wg.Done()
-			blockLSN, err := c.deltaToGroup(c.blocks[b], part)
-			if err == nil {
-				// The block's replicas acknowledged: anything cached
-				// over this block group is stale from here on.
-				c.notifyIngest(b)
-			}
+			blockLSN, err := c.ingestBlock(b, part)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -126,28 +108,338 @@ func (c *Coordinator) Delta(rows []server.Row, lsn uint64) (uint64, bool, error)
 	return maxLSN, true, nil
 }
 
-// deltaToGroup logs one delta to every live replica of a block under
-// the group's write lock, at LSN lastLSN+1. Application rejections (the
-// replica said ERR — e.g. an overlapping delta) abort without advancing
-// the LSN: validation is deterministic, so no replica applied it.
-// Transport failures mark the replica down and the write proceeds on
-// the rest; it succeeds if at least one replica acknowledged.
-func (c *Coordinator) deltaToGroup(g *blockGroup, rows []server.Row) (uint64, error) {
+// DeltaBatch applies a run of deltas through the cluster in one call.
+// It implements server.DeltaBatchBackend, so a coordinator served by
+// server.NewBackend accepts DELTABATCH directly. Every record must come
+// with lsn 0 (the coordinator assigns per-group LSNs); records are
+// split by owning block like single deltas and enqueued in record
+// order, so each block group assigns its records ascending LSNs and the
+// batched run produces exactly the LSN sequence lockstep single-delta
+// ingest would. Records are applied independently (a rejected record
+// does not retract its predecessors); the reply counts fully applied
+// records and reports the first failure by its batch index.
+func (c *Coordinator) DeltaBatch(recs []server.LoggedDelta) (uint64, int, error) {
+	if len(recs) == 0 {
+		return 0, 0, fmt.Errorf("shard: empty delta batch")
+	}
+	type pending struct {
+		rec int
+		b   int
+		req *ingestReq
+	}
+	var (
+		waits   []pending
+		elected []int // block indices whose queue this call must lead
+		leading = make(map[int]bool)
+	)
+	recErr := make([]error, len(recs))
+	for i, rec := range recs {
+		if rec.LSN != 0 {
+			return 0, 0, fmt.Errorf("shard: batch record %d: the coordinator assigns LSNs; retry without lsn", i)
+		}
+		perBlock, err := c.splitByBlock(rec.Rows)
+		if err != nil {
+			return 0, 0, fmt.Errorf("shard: batch record %d: %w", i, err)
+		}
+		// Enqueue this record on every involved group before looking at
+		// the next record: per-group queue order is assignment order, so
+		// record order in the batch is LSN order in each group.
+		for b, part := range perBlock {
+			req, lead := c.blocks[b].enqueueIngest(part)
+			waits = append(waits, pending{rec: i, b: b, req: req})
+			if lead && !leading[b] {
+				leading[b] = true
+				elected = append(elected, b)
+			}
+		}
+	}
+	for _, b := range elected {
+		c.leadIngest(b)
+	}
+	var maxLSN uint64
+	for _, p := range waits {
+		lsn, err := c.awaitIngest(p.b, p.req, false)
+		if err != nil && recErr[p.rec] == nil {
+			recErr[p.rec] = fmt.Errorf("batch record %d: block %s: %w", p.rec, c.blocks[p.b].block, err)
+		}
+		if lsn > maxLSN {
+			maxLSN = lsn
+		}
+	}
+	applied := 0
+	var firstErr error
+	cells := 0
+	for i, err := range recErr {
+		if err == nil {
+			applied++
+			cells += len(recs[i].Rows)
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if applied > 0 {
+		c.stats.deltas.Add(int64(applied))
+		c.stats.deltaCells.Add(int64(cells))
+	}
+	return maxLSN, applied, firstErr
+}
+
+// splitByBlock validates rows against the schema and partitions them by
+// owning block group index.
+func (c *Coordinator) splitByBlock(rows []server.Row) (map[int][]server.Row, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("shard: empty delta")
+	}
+	rank := len(c.sizes)
+	perBlock := make(map[int][]server.Row)
+	for _, row := range rows {
+		if len(row.Coords) != rank {
+			return nil, fmt.Errorf("shard: delta row has %d coordinates, schema has %d dimensions",
+				len(row.Coords), rank)
+		}
+		owner := -1
+		for b, g := range c.blocks {
+			inside := true
+			for j, x := range row.Coords {
+				if x < g.block.Lo[j] || x >= g.block.Hi[j] {
+					inside = false
+					break
+				}
+			}
+			if inside {
+				owner = b
+				break
+			}
+		}
+		if owner < 0 {
+			return nil, fmt.Errorf("shard: delta cell %v outside every block", row.Coords)
+		}
+		perBlock[owner] = append(perBlock[owner], row)
+	}
+	return perBlock, nil
+}
+
+// ingestReq is one delta waiting in a block group's commit queue. The
+// committing leader fills lsn/err and closes done; a waiter whose lead
+// channel closes instead has been promoted to lead the next round.
+type ingestReq struct {
+	rows []server.Row
+	lsn  uint64
+	err  error
+	done chan struct{}
+	lead chan struct{}
+}
+
+// ingestBlock queues one delta for a block group and waits for the
+// group's commit leader (possibly this caller) to ship it.
+func (c *Coordinator) ingestBlock(b int, rows []server.Row) (uint64, error) {
+	req, elected := c.blocks[b].enqueueIngest(rows)
+	return c.awaitIngest(b, req, elected)
+}
+
+// enqueueIngest appends one record to the group's commit queue and
+// reports whether the caller was elected leader (the queue was idle).
+func (g *blockGroup) enqueueIngest(rows []server.Row) (*ingestReq, bool) {
+	req := &ingestReq{rows: rows, done: make(chan struct{}), lead: make(chan struct{})}
+	g.imu.Lock()
+	g.iqueue = append(g.iqueue, req)
+	elected := !g.ileader
+	if elected {
+		g.ileader = true
+	}
+	g.imu.Unlock()
+	return req, elected
+}
+
+// awaitIngest blocks until req commits, leading the group's queue first
+// when elected at enqueue (or promoted while waiting).
+func (c *Coordinator) awaitIngest(b int, req *ingestReq, elected bool) (uint64, error) {
+	if elected {
+		c.leadIngest(b)
+	} else {
+		select {
+		case <-req.done:
+		case <-req.lead:
+			c.leadIngest(b)
+		}
+	}
+	<-req.done
+	return req.lsn, req.err
+}
+
+// leadIngest drains the group's queue, commits the run to the replicas,
+// wakes the waiters, and hands leadership to the head of whatever
+// queued up meanwhile (the queue refills while the round's network I/O
+// and fsyncs are in flight — that is what grows the groups).
+func (c *Coordinator) leadIngest(b int) {
+	g := c.blocks[b]
+	g.imu.Lock()
+	batch := g.iqueue
+	g.iqueue = nil
+	g.imu.Unlock()
+	if len(batch) > 0 {
+		c.commitToGroup(b, batch)
+		for _, req := range batch {
+			close(req.done)
+		}
+	}
+	g.imu.Lock()
+	if len(g.iqueue) == 0 {
+		g.ileader = false
+		g.imu.Unlock()
+		return
+	}
+	next := g.iqueue[0]
+	g.imu.Unlock()
+	close(next.lead)
+}
+
+// commitToGroup ships one queued run to every live replica of a block
+// under the group's write lock, filling each request's lsn/err. A run
+// of one uses the single-delta wire path; longer runs go out as one
+// DELTABATCH per replica — one round trip and one fsync covering the
+// whole run — with the same per-record LSNs lockstep assignment would
+// produce. The group's cache-invalidation hooks fire once per committed
+// run per block.
+func (c *Coordinator) commitToGroup(b int, batch []*ingestReq) {
+	g := c.blocks[b]
 	durable, total := 0, len(g.replicas)
 	for _, rep := range g.replicas {
 		if rep.durable {
 			durable++
 		}
 	}
+	var durableErr error
 	if durable == 0 {
-		return 0, fmt.Errorf("shard: replicas are not durable; ingest needs nodes started with a data dir")
+		durableErr = fmt.Errorf("shard: replicas are not durable; ingest needs nodes started with a data dir")
+	} else if durable != total {
+		durableErr = fmt.Errorf("shard: %d of %d replicas are durable; mixed groups cannot ingest", durable, total)
 	}
-	if durable != total {
-		return 0, fmt.Errorf("shard: %d of %d replicas are durable; mixed groups cannot ingest", durable, total)
+	if durableErr != nil {
+		for _, req := range batch {
+			req.err = durableErr
+		}
+		return
 	}
 
 	g.writeMu.Lock()
 	defer g.writeMu.Unlock()
+	c.stats.ingestBatch.Observe(int64(len(batch)))
+	if len(batch) == 1 {
+		batch[0].lsn, batch[0].err = c.recordToGroupLocked(g, batch[0].rows)
+		if batch[0].err == nil {
+			c.notifyIngest(b)
+		}
+		return
+	}
+
+	base := g.lastLSN
+	recs := make([]server.LoggedDelta, len(batch))
+	for i, req := range batch {
+		recs[i] = server.LoggedDelta{LSN: base + 1 + uint64(i), Rows: req.rows}
+	}
+	acks := 0
+	ackers := make([]string, 0, len(g.replicas))
+	var lastErr error
+	for _, rep := range g.replicas {
+		if rep.down.Load() {
+			continue
+		}
+		cl, err := rep.pool.get()
+		if err != nil {
+			c.markDown(rep)
+			lastErr = fmt.Errorf("dial %s: %w", rep.addr, err)
+			continue
+		}
+		_, _, err = cl.DeltaBatch(recs)
+		if err != nil {
+			var remote *server.RemoteError
+			if errors.As(err, &remote) {
+				// The replica answered: some record was deterministically
+				// rejected, and the replica applied AND durably logged the
+				// records before it. With no acks yet, replay the run
+				// record by record so the bad record fails alone — the
+				// idempotent per-record LSN checks turn the re-sent prefix
+				// into no-ops on this replica and fresh applies on its
+				// peers. After an ack a rejection means this replica
+				// diverged from the group, so evict it.
+				rep.pool.put(cl)
+				if acks == 0 {
+					c.lockstepFallbackLocked(b, g, batch)
+					return
+				}
+				c.markDown(rep)
+				lastErr = fmt.Errorf("%s diverged: %w", rep.addr, err)
+				continue
+			}
+			rep.pool.discard(cl)
+			c.markDown(rep)
+			lastErr = fmt.Errorf("%s: %w", rep.addr, err)
+			continue
+		}
+		rep.pool.put(cl)
+		acks++
+		ackers = append(ackers, rep.addr)
+	}
+	if acks == 0 {
+		// lastLSN stays put: nothing was acknowledged, so a retry
+		// reassigns the same positions. A replica that logged the batch
+		// before its ack was lost now holds up to len(batch)
+		// unacknowledged records while the positions stay open for
+		// reassignment; it was marked down above, and rejoin reconciles
+		// its tail (truncating the orphaned or divergent suffix) before
+		// readmitting.
+		if lastErr == nil {
+			lastErr = fmt.Errorf("every replica is down")
+		}
+		err := fmt.Errorf("shard: delta batch not acknowledged by any replica: %w", lastErr)
+		for _, req := range batch {
+			req.err = err
+		}
+		return
+	}
+	g.lastLSN = base + uint64(len(batch))
+	// Exactly the ackers of this run hold the group's tail record.
+	for addr := range g.tailAckers {
+		delete(g.tailAckers, addr)
+	}
+	for _, addr := range ackers {
+		g.tailAckers[addr] = true
+	}
+	for i, req := range batch {
+		req.lsn = base + 1 + uint64(i)
+	}
+	c.notifyIngest(b)
+}
+
+// lockstepFallbackLocked replays a queued run record by record after a
+// replica rejected the batched form: validation is deterministic, so
+// the rejected record fails alone (without advancing the group LSN)
+// while its neighbours land at exactly the positions per-record ingest
+// would have assigned them.
+func (c *Coordinator) lockstepFallbackLocked(b int, g *blockGroup, batch []*ingestReq) {
+	applied := false
+	for _, req := range batch {
+		req.lsn, req.err = c.recordToGroupLocked(g, req.rows)
+		if req.err == nil {
+			applied = true
+		}
+	}
+	if applied {
+		c.notifyIngest(b)
+	}
+}
+
+// recordToGroupLocked logs one delta to every live replica of a block
+// at LSN lastLSN+1; the caller holds the group's write lock. Application
+// rejections (the replica said ERR — e.g. an overlapping delta) abort
+// without advancing the LSN: validation is deterministic, so no replica
+// applied it. Transport failures mark the replica down and the write
+// proceeds on the rest; it succeeds if at least one replica
+// acknowledged.
+func (c *Coordinator) recordToGroupLocked(g *blockGroup, rows []server.Row) (uint64, error) {
 	lsn := g.lastLSN + 1
 	acks := 0
 	ackers := make([]string, 0, len(g.replicas))
@@ -293,22 +585,18 @@ func (c *Coordinator) tryRejoin(g *blockGroup, rep *replica) {
 		// record: its content is the group's by construction.
 	default:
 		// The replica sits at or below the group's tail without having
-		// acked the group's newest record; after a lost-ack round its own
-		// newest record can differ from the group's record at the same
-		// position. Compare content against a live peer.
-		match, err := c.tailMatchesPeer(g, rep, cl, repLSN)
-		if err != nil {
+		// acked the group's newest record; after a lost-ack round a
+		// contiguous suffix of its log — one record for a lost single
+		// delta, up to a whole batch for a lost DELTABATCH — can differ
+		// from the group's records at the same positions. Walk down to
+		// the highest position a live peer confirms and cut everything
+		// above it.
+		if repLSN, err = c.reconcileTail(g, rep, cl, repLSN); err != nil {
 			// No live peer, a trimmed peer log, or a transport failure:
 			// the tail cannot be verified, so the replica stays down
 			// rather than risk serving divergent cells.
 			rep.pool.discard(cl)
 			return
-		}
-		if !match {
-			if repLSN, err = c.truncateTo(cl, repLSN-1); err != nil {
-				rep.pool.discard(cl)
-				return
-			}
 		}
 	}
 
@@ -347,34 +635,81 @@ func (c *Coordinator) truncateTo(cl *server.Client, lsn uint64) (uint64, error) 
 	return last, nil
 }
 
-// tailMatchesPeer compares a rejoining replica's newest log record
-// against a live durable peer's record at the same LSN. Any failure to
-// obtain either side (no live peer, trimmed logs, transport errors)
-// is an error: the caller must not readmit what it cannot verify.
-func (c *Coordinator) tailMatchesPeer(g *blockGroup, rep *replica, cl *server.Client, repLSN uint64) (bool, error) {
-	repLogged, err := cl.DeltasSince(repLSN - 1)
-	if err != nil {
-		return false, err
-	}
-	repRecs := groupByLSN(repLogged)
-	if len(repRecs) == 0 || repRecs[0].lsn != repLSN {
-		return false, fmt.Errorf("shard: %s did not return its tail record %d", rep.addr, repLSN)
-	}
+// reconcileTail verifies a rejoining replica's log suffix against a
+// live durable peer and truncates whatever the peer disowns. Divergence
+// is always a contiguous suffix (see the file comment), so the repair
+// is: walk down from the replica's newest record to the HIGHEST LSN
+// whose content the peer confirms and truncate the replica to it. The
+// comparison window grows geometrically — a lost single-delta ack
+// diverges one record, a lost batch ack up to a whole batch — and any
+// record the window needs that either side cannot produce (no live
+// peer, trimmed logs, transport errors) is an error: the caller must
+// not readmit what it cannot verify. Returns the replica's reconciled
+// log position.
+func (c *Coordinator) reconcileTail(g *blockGroup, rep *replica, cl *server.Client, repLSN uint64) (uint64, error) {
 	peer, pcl, err := c.livePeer(g, rep)
 	if err != nil {
-		return false, err
+		return 0, err
 	}
-	peerLogged, err := pcl.DeltasSince(repLSN - 1)
+	peerOK := false
+	defer func() {
+		if peerOK {
+			peer.pool.put(pcl)
+		} else {
+			peer.pool.discard(pcl)
+		}
+	}()
+	for step := uint64(4); ; step *= 8 {
+		lo := uint64(0)
+		if repLSN > step {
+			lo = repLSN - step
+		}
+		peerOK = false
+		repRecs, err := recordsByLSN(cl.DeltasSince(lo))
+		if err != nil {
+			peerOK = true // the replica's side failed; the peer is untouched
+			return 0, err
+		}
+		peerRecs, err := recordsByLSN(pcl.DeltasSince(lo))
+		if err != nil {
+			return 0, err
+		}
+		peerOK = true
+		for j := repLSN; j > lo; j-- {
+			rrows, rok := repRecs[j]
+			prows, pok := peerRecs[j]
+			if !rok || !pok {
+				// A log trimmed into the comparison window (the record is
+				// baked into a checkpoint): the suffix cannot be verified.
+				return 0, fmt.Errorf("shard: record %d unavailable for tail comparison (replica %s: %v, peer %s: %v)",
+					j, rep.addr, rok, peer.addr, pok)
+			}
+			if rowsEqual(rrows, prows) {
+				if j == repLSN {
+					return repLSN, nil // the whole tail is the group's
+				}
+				return c.truncateTo(cl, j)
+			}
+		}
+		if lo == 0 {
+			// Every record down to the replica's first disagrees with the
+			// group: nothing verifiable survives.
+			return c.truncateTo(cl, 0)
+		}
+	}
+}
+
+// recordsByLSN indexes a DELTASINCE stream by record LSN, passing
+// through the fetch error so calls compose.
+func recordsByLSN(rows []server.LoggedRow, err error) (map[uint64][]server.Row, error) {
 	if err != nil {
-		peer.pool.discard(pcl)
-		return false, err
+		return nil, err
 	}
-	peer.pool.put(pcl)
-	peerRecs := groupByLSN(peerLogged)
-	if len(peerRecs) == 0 || peerRecs[0].lsn != repLSN {
-		return false, fmt.Errorf("shard: peer %s did not return record %d", peer.addr, repLSN)
+	recs := make(map[uint64][]server.Row)
+	for _, rec := range groupByLSN(rows) {
+		recs[rec.lsn] = rec.rows
 	}
-	return rowsEqual(repRecs[0].rows, peerRecs[0].rows), nil
+	return recs, nil
 }
 
 // rowsEqual compares two logged records cell for cell. Both sides

@@ -69,6 +69,7 @@ type counters struct {
 	hedgesFired    *obs.Counter
 	hedgeWins      *obs.Counter
 	attemptNs      *obs.Histogram
+	ingestBatch    *obs.Histogram
 }
 
 // newCounters builds the registry and resolves the series.
@@ -91,6 +92,7 @@ func newCounters() *counters {
 		hedgesFired:    reg.Counter("hedges_fired"),
 		hedgeWins:      reg.Counter("hedge_wins"),
 		attemptNs:      reg.Histogram("attempt_ns"),
+		ingestBatch:    reg.Histogram("ingest_batch_size"),
 	}
 }
 

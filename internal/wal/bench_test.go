@@ -42,6 +42,49 @@ func BenchmarkWALAppend(b *testing.B) {
 	}
 }
 
+// BenchmarkWALGroupCommit measures acked-delta throughput under
+// fsync=always with the commit-waiter queue enabled: many concurrent
+// appenders coalesce into one buffered write and one fsync per batch,
+// so the per-record cost is the sync cost divided by the batch size.
+// This is the figure the ingest path sees when every ack must be
+// durable. Compare against BenchmarkWALAppend/fsync=always, which pays
+// a full fsync per record.
+func BenchmarkWALGroupCommit(b *testing.B) {
+	waits := []struct {
+		name string
+		wait time.Duration
+	}{
+		{"wait=0", 0},
+		{"wait=1ms", time.Millisecond},
+	}
+	for _, w := range waits {
+		b.Run(w.name, func(b *testing.B) {
+			l, err := Open(b.TempDir(), Options{
+				Fsync:       FsyncAlways,
+				GroupCommit: true,
+				CommitWait:  w.wait,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			b.SetBytes(int64(len(benchPayload)) + frameHeader)
+			b.SetParallelism(256)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := l.Append(benchPayload); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(l.Syncs())/float64(b.N), "syncs/record")
+		})
+	}
+}
+
 // BenchmarkWALReplay measures recovery speed: how fast a restarting node
 // re-reads its acknowledged deltas. The log is written once with 10k
 // records; every iteration replays all of them from disk state.

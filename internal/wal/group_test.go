@@ -1,0 +1,286 @@
+package wal
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestGroupCommitStress is the commit-waiter wall: N goroutines × M
+// appends against a group-committing log under FsyncAlways. Every
+// append must come back with its own LSN, the LSNs must be dense, the
+// replayed contents must match what each caller handed in, and the
+// fsync count must be far below the record count — the whole point of
+// the queue.
+func TestGroupCommitStress(t *testing.T) {
+	const (
+		goroutines = 16
+		perG       = 50
+		records    = goroutines * perG
+	)
+	dir := t.TempDir()
+	l, err := Open(dir, Options{
+		Fsync:       FsyncAlways,
+		GroupCommit: true,
+		CommitWait:  time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		mu   sync.Mutex
+		got  = make(map[uint64]string, records)
+		errs []error
+		wg   sync.WaitGroup
+	)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				payload := fmt.Sprintf("g%d-i%d", g, i)
+				lsn, err := l.Append([]byte(payload))
+				mu.Lock()
+				if err != nil {
+					errs = append(errs, err)
+				} else if prev, dup := got[lsn]; dup {
+					errs = append(errs, fmt.Errorf("lsn %d handed to both %q and %q", lsn, prev, payload))
+				} else {
+					got[lsn] = payload
+				}
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		t.Fatalf("%d append errors, first: %v", len(errs), errs[0])
+	}
+	if len(got) != records {
+		t.Fatalf("recorded %d distinct LSNs, want %d", len(got), records)
+	}
+	for lsn := uint64(1); lsn <= records; lsn++ {
+		if _, ok := got[lsn]; !ok {
+			t.Fatalf("LSN %d never assigned: LSNs are not dense", lsn)
+		}
+	}
+	if last := l.LastLSN(); last != records {
+		t.Fatalf("LastLSN = %d, want %d", last, records)
+	}
+	syncs := l.Syncs()
+	if ratio := float64(syncs) / float64(records); ratio >= 0.25 {
+		t.Fatalf("syncs_per_record = %.3f (%d syncs / %d records); group commit must amortize well below 1", ratio, syncs, records)
+	}
+
+	// Replay must hand back exactly the content each caller was acked for.
+	replayed := 0
+	err = l.Replay(0, func(rec Record) error {
+		if want := got[rec.LSN]; string(rec.Payload) != want {
+			return fmt.Errorf("lsn %d replayed %q, acked %q", rec.LSN, rec.Payload, want)
+		}
+		replayed++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != records {
+		t.Fatalf("replayed %d records, want %d", replayed, records)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// And the durable reopened view agrees.
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if last := r.LastLSN(); last != records {
+		t.Fatalf("reopened LastLSN = %d, want %d", last, records)
+	}
+}
+
+// TestGroupCommitSequential checks the degenerate group of one: with no
+// concurrency every append is its own leader and the log behaves
+// exactly like the plain path.
+func TestGroupCommitSequential(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Fsync: FsyncAlways, GroupCommit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := uint64(1); i <= 5; i++ {
+		lsn, err := l.Append([]byte(fmt.Sprintf("r%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lsn != i {
+			t.Fatalf("append %d got LSN %d", i, lsn)
+		}
+	}
+	if l.LastLSN() != 5 {
+		t.Fatalf("LastLSN = %d, want 5", l.LastLSN())
+	}
+}
+
+// TestGroupCommitRotation drives a group-committing log across segment
+// boundaries: batches must flush around rotations and replay densely.
+func TestGroupCommitRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{
+		Fsync:        FsyncAlways,
+		GroupCommit:  true,
+		CommitWait:   200 * time.Microsecond,
+		SegmentBytes: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const records = 200
+	var wg sync.WaitGroup
+	errc := make(chan error, records)
+	for i := 0; i < records; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := l.Append([]byte(fmt.Sprintf("rotating-record-%04d", i))); err != nil {
+				errc <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir, Options{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	n := 0
+	if err := r.Replay(0, func(rec Record) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != records {
+		t.Fatalf("replayed %d of %d records across rotations", n, records)
+	}
+}
+
+// TestAppendBatchAt covers the explicit-LSN batch path: one sync per
+// batch, per-record idempotent skips, and gap rejection that keeps the
+// already-written prefix.
+func TestAppendBatchAt(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	batch := func(lo, hi uint64) []Record {
+		var recs []Record
+		for lsn := lo; lsn <= hi; lsn++ {
+			recs = append(recs, Record{LSN: lsn, Payload: []byte(fmt.Sprintf("b%d", lsn))})
+		}
+		return recs
+	}
+
+	applied, err := l.AppendBatchAt(batch(1, 5))
+	if err != nil || applied != 5 {
+		t.Fatalf("first batch: applied=%d err=%v, want 5,nil", applied, err)
+	}
+	if s := l.Syncs(); s != 1 {
+		t.Fatalf("first batch issued %d syncs, want 1", s)
+	}
+
+	// Overlapping redelivery: 3..7 applies only 6 and 7.
+	applied, err = l.AppendBatchAt(batch(3, 7))
+	if err != nil || applied != 2 {
+		t.Fatalf("overlap batch: applied=%d err=%v, want 2,nil", applied, err)
+	}
+
+	// A gap fails from the gapped record on; the prefix stays.
+	recs := batch(8, 9)
+	recs = append(recs, Record{LSN: 20, Payload: []byte("gap")})
+	recs = append(recs, Record{LSN: 21, Payload: []byte("after-gap")})
+	applied, err = l.AppendBatchAt(recs)
+	if err == nil {
+		t.Fatal("gapped batch did not error")
+	}
+	if applied != 2 {
+		t.Fatalf("gapped batch applied %d, want the 2-record prefix", applied)
+	}
+	if l.LastLSN() != 9 {
+		t.Fatalf("LastLSN = %d after gapped batch, want 9", l.LastLSN())
+	}
+
+	// Entirely-duplicate batch: no records, no error, no sync.
+	before := l.Syncs()
+	applied, err = l.AppendBatchAt(batch(1, 9))
+	if err != nil || applied != 0 {
+		t.Fatalf("duplicate batch: applied=%d err=%v, want 0,nil", applied, err)
+	}
+	if l.Syncs() != before {
+		t.Fatal("duplicate batch issued a sync")
+	}
+
+	want := uint64(1)
+	if err := l.Replay(0, func(rec Record) error {
+		if rec.LSN != want {
+			return fmt.Errorf("replay LSN %d, want %d", rec.LSN, want)
+		}
+		if string(rec.Payload) != fmt.Sprintf("b%d", rec.LSN) {
+			return fmt.Errorf("lsn %d replayed %q", rec.LSN, rec.Payload)
+		}
+		want++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if want != 10 {
+		t.Fatalf("replayed through %d, want 9 records", want-1)
+	}
+}
+
+// TestAppendBatchAtRotation forces mid-batch segment rotation and
+// verifies a reopened log replays the whole batch.
+func TestAppendBatchAtRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Fsync: FsyncAlways, SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []Record
+	for lsn := uint64(1); lsn <= 64; lsn++ {
+		recs = append(recs, Record{LSN: lsn, Payload: []byte(fmt.Sprintf("batch-rotation-%04d", lsn))})
+	}
+	applied, err := l.AppendBatchAt(recs)
+	if err != nil || applied != 64 {
+		t.Fatalf("applied=%d err=%v, want 64,nil", applied, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.LastLSN() != 64 {
+		t.Fatalf("reopened LastLSN = %d, want 64", r.LastLSN())
+	}
+	n := 0
+	if err := r.Replay(0, func(rec Record) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 64 {
+		t.Fatalf("replayed %d of 64 batch records", n)
+	}
+}

@@ -5,16 +5,22 @@
 # bench reports (modeled-s, comm-elems, comm-bytes, peak-elems,
 # ns/update). Also runs the durability benchmarks (WAL append and replay
 # throughput, checkpoint write, recovery open) into a second file
-# (default BENCH_5.json), and the serving-tier load benchmark (cubeload
+# (default BENCH_5.json), the serving-tier load benchmark (cubeload
 # over many multiplexed connections against cached and uncached
 # coordinators, see scripts/loadgen.sh) into a third (default
-# BENCH_6.json). Used by `make bench-json`.
+# BENCH_6.json), and the group-commit ingest comparison (grouped vs
+# per-record fsync=always append) into a fourth (default BENCH_7.json).
+# Used by `make bench-json`.
 #
-#   scripts/bench.sh [figures.json] [durability.json] [loadgen.json]
+#   scripts/bench.sh [figures.json] [durability.json] [loadgen.json] [groupcommit.json]
 #
-# BENCH_PATTERN, WAL_BENCH_PATTERN, and BENCH_TIME override the
-# benchmark selections and -benchtime (defaults: the figure + theorem
-# benches and the WAL/recovery benches, 1 iteration each);
+# BENCH_PATTERN and BENCH_TIME override the figure-benchmark selection
+# and its -benchtime (default: the figure + theorem benches, 1
+# iteration each — these regenerate deterministic modeled figures, so
+# one iteration is the right default). WAL_BENCH_PATTERN and
+# WAL_BENCH_TIME override the durability benches, which measure real
+# I/O throughput and therefore default to a timed -benchtime of 1s —
+# a single iteration would report meaningless ns/op for them.
 # LOADGEN_CONNS and LOADGEN_DURATION size the load stage (defaults
 # 10000 connections, 5s measured).
 set -eu
@@ -24,9 +30,12 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_2.json}"
 walout="${2:-BENCH_5.json}"
 loadout="${3:-BENCH_6.json}"
+groupout="${4:-BENCH_7.json}"
 pattern="${BENCH_PATTERN:-Fig7|Fig8|Fig9|Sequential|MemoryBound|CommVolume|ScanKernel}"
 walpattern="${WAL_BENCH_PATTERN:-WALAppend|WALReplay|CheckpointWrite|RecoveryOpen}"
+grouppattern="${GROUP_BENCH_PATTERN:-WALGroupCommit|WALAppend/fsync=always}"
 benchtime="${BENCH_TIME:-1x}"
+walbenchtime="${WAL_BENCH_TIME:-1s}"
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
@@ -56,9 +65,14 @@ go test -run '^$' -bench "$pattern" -benchtime "$benchtime" . | tee "$tmp"
 tojson <"$tmp" >"$out"
 echo "wrote $out"
 
-go test -run '^$' -bench "$walpattern" -benchtime "$benchtime" \
+go test -run '^$' -bench "$walpattern" -benchtime "$walbenchtime" \
 	./internal/wal ./internal/recovery | tee "$tmp"
 tojson <"$tmp" >"$walout"
 echo "wrote $walout"
+
+go test -run '^$' -bench "$grouppattern" -benchtime "$walbenchtime" \
+	./internal/wal | tee "$tmp"
+tojson <"$tmp" >"$groupout"
+echo "wrote $groupout"
 
 ./scripts/loadgen.sh "$loadout"

@@ -1,0 +1,64 @@
+#!/bin/sh
+# Bench-regression gate for the group-commit ingest path.
+#
+# The durable-ingest promise of the group-commit work is quantitative:
+# under fsync=always, the commit-waiter queue must make acked-delta
+# appends at least 100x cheaper than the per-record-fsync baseline
+# recorded in BENCH_5.json before group commit landed (633167 ns/op).
+# This script enforces that bar so a refactor that quietly serializes
+# the queue (or reintroduces a sync per record) fails CI instead of
+# shipping.
+#
+#   scripts/bench_regress.sh [groupcommit.json]
+#
+# With an argument naming an existing BENCH_7-style JSON file (as
+# written by scripts/bench.sh), the check runs against it. Otherwise
+# the group-commit benchmark is run fresh into a temp file first.
+# WAL_BENCH_TIME overrides the fresh run's -benchtime (default 1s).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# Pre-group-commit fsync=always baseline: BenchmarkWALAppend/fsync=always
+# from BENCH_5.json as of the durability PR, in ns/op.
+baseline=633167
+factor=100
+
+json="${1:-}"
+if [ -z "$json" ] || [ ! -f "$json" ]; then
+	[ -n "$json" ] && echo "bench_regress: $json not found, running benchmark fresh" >&2
+	json=$(mktemp)
+	trap 'rm -f "$json"' EXIT
+	bench=$(mktemp)
+	go test -run '^$' -bench 'WALGroupCommit' \
+		-benchtime "${WAL_BENCH_TIME:-1s}" ./internal/wal | tee "$bench"
+	awk '
+BEGIN { print "[" ; sep = "" }
+/^Benchmark/ {
+    printf "%s  {\"name\": \"%s\", \"ns_per_op\": %s}", sep, $1, $3
+    sep = ",\n"
+}
+END { print "\n]" }
+' <"$bench" >"$json"
+	rm -f "$bench"
+fi
+
+awk -v base="$baseline" -v factor="$factor" '
+/WALGroupCommit\/wait=0/ {
+    if (match($0, /"ns_per_op": [0-9.e+]+/) == 0) next
+    v = substr($0, RSTART + 13, RLENGTH - 13) + 0
+    found = 1
+    bound = base / factor
+    if (v > bound) {
+        printf "bench_regress: FAIL — group commit %.0f ns/op exceeds %.0f ns/op (baseline %d / %dx)\n", v, bound, base, factor
+        exit 1
+    }
+    printf "bench_regress: OK — group commit %.0f ns/op is %.0fx faster than the %d ns/op per-record-fsync baseline (bar: %dx)\n", v, base / v, base, factor
+}
+END {
+    if (!found) {
+        print "bench_regress: FAIL — no WALGroupCommit/wait=0 row found (run scripts/bench.sh first)"
+        exit 1
+    }
+}
+' "$json"

@@ -6,7 +6,8 @@
 #   3. go vet   — the stock analyzers
 #   4. cubelint — the project-specific invariant analyzers (internal/lint)
 #   5. recovery — the crash/durability wall: WAL torn-tail recovery,
-#                 checkpoint restore, kill -9 shard rejoin (race-enabled)
+#                 checkpoint restore, kill -9 shard rejoin, group-commit
+#                 batching and divergence repair (race-enabled)
 #   6. loadgen  — serving-tier smoke: a real cluster behind cached and
 #                 uncached coordinators driven by cubeload over MUX
 #   7. go test  — the whole suite under the race detector
@@ -41,7 +42,7 @@ echo "==> cubelint"
 go run ./cmd/cubelint ./... || fail cubelint
 
 echo "==> recovery wall"
-go test -race -count=1 -run 'Crash|Torn|Durable|WAL|Checkpoint|Rejoin' \
+go test -race -count=1 -run 'Crash|Torn|Durable|WAL|Checkpoint|Rejoin|Batch|Group|Diverg' \
 	./internal/wal ./internal/recovery ./internal/shard || fail "recovery wall"
 
 echo "==> loadgen smoke"
