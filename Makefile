@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint race verify bench bench-json bench-regress fuzz-smoke
+.PHONY: build test vet lint lint-update-baseline race race-stress verify bench bench-json bench-regress fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -13,12 +13,26 @@ vet:
 
 # Project-specific static analysis (internal/lint via cmd/cubelint):
 # untrusted-alloc, deadline, goroutine-leak, mutex-hygiene, obs-metric,
-# unchecked-close. See DESIGN.md "Static analysis layer".
+# unchecked-close, plus the interprocedural protocol analyzers
+# lock-order, durability-order, lsn-discipline, and deadline-prop. The
+# committed baseline holds accepted findings; the run fails only on new
+# ones. See DESIGN.md "Static analysis layer" and "Static analysis v2".
 lint:
-	$(GO) run ./cmd/cubelint ./...
+	$(GO) run ./cmd/cubelint -baseline scripts/lint_baseline.json ./...
+
+# Re-record the accepted findings after reviewing them. Keep the diff of
+# scripts/lint_baseline.json honest: every added entry is accepted debt.
+lint-update-baseline:
+	$(GO) run ./cmd/cubelint -write-baseline scripts/lint_baseline.json ./...
 
 race:
 	$(GO) test -race ./...
+
+# Churn/rejoin stress under the race detector, run twice with halt on
+# first race so interleavings that only appear on a warm second run
+# still fail loudly.
+race-stress:
+	GORACE=halt_on_error=1 $(GO) test -race -count=2 -run 'Stress|Churn|Rejoin' ./internal/shard ./internal/mux
 
 # The full gate: gofmt + build + vet + cubelint + race-enabled tests.
 verify:

@@ -3,12 +3,21 @@
 //
 // Usage:
 //
-//	cubelint [-json] [packages...]
+//	cubelint [-json] [-baseline file] [packages...]
+//	cubelint -write-baseline file [packages...]
 //	cubelint -codes
 //
 // With no package arguments it analyzes ./.... Exit status is 0 when the
 // tree is clean, 1 when there are findings, and 2 when loading or
 // type-checking fails.
+//
+// With -baseline, findings already recorded in the baseline file are
+// reported as known and do not fail the run: the exit status is 1 only
+// for NEW findings, so CI can ratchet on a tree with accepted debt.
+// Baseline entries match on file, code, and message — not line or
+// column — so unrelated edits that shift a known finding do not
+// resurrect it. -write-baseline records the current findings as the new
+// baseline.
 package main
 
 import (
@@ -22,6 +31,16 @@ import (
 	"parcube/internal/lint"
 )
 
+// jsonDiag is the wire form of one diagnostic, shared by -json output
+// and baseline files.
+type jsonDiag struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -31,6 +50,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
 	codes := fs.Bool("codes", false, "print the analyzer catalog and exit")
+	baseline := fs.String("baseline", "", "suppress findings recorded in this baseline file; fail only on new ones")
+	writeBaseline := fs.String("write-baseline", "", "record the current findings to this file and exit clean")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -51,24 +72,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	diags, suppressed := lint.Check(pkgs, lint.All)
+	all := toJSON(cwd, diags)
+
+	if *writeBaseline != "" {
+		if err := writeBaselineFile(*writeBaseline, all); err != nil {
+			fmt.Fprintf(stderr, "cubelint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "cubelint: wrote %d finding(s) to %s\n", len(all), *writeBaseline)
+		return 0
+	}
+
+	known := 0
+	out := all
+	if *baseline != "" {
+		base, err := loadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintf(stderr, "cubelint: %v\n", err)
+			return 2
+		}
+		out, known = splitBaseline(all, base)
+	}
+
 	if *jsonOut {
-		type jsonDiag struct {
-			File    string `json:"file"`
-			Line    int    `json:"line"`
-			Column  int    `json:"column"`
-			Code    string `json:"code"`
-			Message string `json:"message"`
-		}
-		out := make([]jsonDiag, 0, len(diags))
-		for _, d := range diags {
-			out = append(out, jsonDiag{
-				File:    relPath(cwd, d.Pos.Filename),
-				Line:    d.Pos.Line,
-				Column:  d.Pos.Column,
-				Code:    d.Code,
-				Message: d.Message,
-			})
-		}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
@@ -76,19 +102,86 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	} else {
-		for _, d := range diags {
-			d.Pos.Filename = relPath(cwd, d.Pos.Filename)
-			fmt.Fprintln(stdout, d)
+		for _, d := range out {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", d.File, d.Line, d.Column, d.Code, d.Message)
 		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(stderr, "cubelint: %d finding(s), %d suppressed\n", len(diags), suppressed)
+	if len(out) > 0 {
+		fmt.Fprintf(stderr, "cubelint: %d finding(s), %d baseline-known, %d suppressed\n", len(out), known, suppressed)
 		return 1
 	}
-	if suppressed > 0 {
+	switch {
+	case known > 0:
+		fmt.Fprintf(stderr, "cubelint: clean (%d baseline-known, %d suppressed)\n", known, suppressed)
+	case suppressed > 0:
 		fmt.Fprintf(stderr, "cubelint: clean (%d suppressed)\n", suppressed)
 	}
 	return 0
+}
+
+// toJSON renders diagnostics to the wire form with tree-relative paths.
+func toJSON(cwd string, diags []lint.Diagnostic) []jsonDiag {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:    relPath(cwd, d.Pos.Filename),
+			Line:    d.Pos.Line,
+			Column:  d.Pos.Column,
+			Code:    d.Code,
+			Message: d.Message,
+		})
+	}
+	return out
+}
+
+// baselineKey identifies a finding across line drift: file, code, and
+// message only.
+func baselineKey(d jsonDiag) string {
+	return d.File + "\x00" + d.Code + "\x00" + d.Message
+}
+
+// loadBaseline reads a baseline file (the -json output format).
+func loadBaseline(path string) ([]jsonDiag, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading baseline: %w", err)
+	}
+	var base []jsonDiag
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	return base, nil
+}
+
+// writeBaselineFile records findings as a baseline, pretty-printed so
+// diffs of the committed file stay reviewable.
+func writeBaselineFile(path string, diags []jsonDiag) error {
+	data, err := json.MarshalIndent(diags, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// splitBaseline filters findings already present in the baseline,
+// multiset-style: each baseline entry forgives one matching finding, so
+// a defect duplicated at a second site still fails the run.
+func splitBaseline(all, base []jsonDiag) (fresh []jsonDiag, known int) {
+	budget := make(map[string]int)
+	for _, d := range base {
+		budget[baselineKey(d)]++
+	}
+	fresh = make([]jsonDiag, 0, len(all))
+	for _, d := range all {
+		key := baselineKey(d)
+		if budget[key] > 0 {
+			budget[key]--
+			known++
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh, known
 }
 
 // relPath shortens an absolute diagnostic path relative to the working

@@ -94,6 +94,151 @@ func TestRunCodes(t *testing.T) {
 	}
 }
 
+// TestBaselineRoundTrip pins the ratchet loop: -write-baseline records
+// the scratch module's finding, and a rerun with -baseline against that
+// file exits clean even though the finding is still present.
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := scratchModule(t)
+	chdir(t, dir)
+	base := filepath.Join(dir, "baseline.json")
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-write-baseline", base, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("write-baseline exit = %d, want 0\nstderr: %s", code, stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-baseline", base, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("baseline run exit = %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "baseline-known") {
+		t.Errorf("stderr missing baseline-known count: %s", stderr.String())
+	}
+}
+
+// TestBaselineLineDrift confirms a baseline entry keeps matching after
+// the finding moves to a different line: the match ignores line/column.
+func TestBaselineLineDrift(t *testing.T) {
+	dir := scratchModule(t)
+	chdir(t, dir)
+	base := filepath.Join(dir, "baseline.json")
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-write-baseline", base, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("write-baseline exit = %d, want 0\nstderr: %s", code, stderr.String())
+	}
+
+	// Shift the finding down by prepending declarations to the file.
+	src, err := os.ReadFile(filepath.Join(dir, "bad.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted := strings.Replace(string(src), "import \"sync\"",
+		"import \"sync\"\n\nvar padA int\n\nvar padB int", 1)
+	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte(shifted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-baseline", base, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("post-drift exit = %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+}
+
+// TestBaselineNewFindingFails confirms the ratchet bites: a second
+// finding not in the baseline fails the run and is the only one printed.
+func TestBaselineNewFindingFails(t *testing.T) {
+	dir := scratchModule(t)
+	chdir(t, dir)
+	base := filepath.Join(dir, "baseline.json")
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-write-baseline", base, "./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("write-baseline exit = %d, want 0\nstderr: %s", code, stderr.String())
+	}
+
+	extra := `package scratch
+
+import "sync"
+
+type crate struct {
+	mu sync.Mutex
+	v  int
+}
+
+func (c *crate) peek() int {
+	c.mu.Lock()
+	return c.v
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "worse.go"), []byte(extra), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-baseline", base, "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "worse.go") {
+		t.Errorf("new finding not reported:\n%s", out)
+	}
+	if strings.Contains(out, "bad.go") {
+		t.Errorf("baseline-known finding reported as new:\n%s", out)
+	}
+}
+
+// TestBaselineRoundTripNewCodes pins the wire format for the
+// interprocedural codes: diagnostics in -json form written as a baseline
+// must all be recognized on reload, including after line drift.
+func TestBaselineRoundTripNewCodes(t *testing.T) {
+	diags := []jsonDiag{
+		{File: "internal/mux/session.go", Line: 300, Column: 4, Code: "lock-order",
+			Message: "mux.Session.mu held across channel wait; blocking under this lock stalls every contender"},
+		{File: "internal/shard/durable.go", Line: 178, Column: 15, Code: "durability-order",
+			Message: "Delta can return nil error after mutating the cube but before the WAL append; the ack outruns durability"},
+		{File: "internal/shard/ingest.go", Line: 42, Column: 7, Code: "lsn-discipline",
+			Message: "LSN arithmetic (+) outside the blessed assignment helpers; positions are assigned densely by the WAL and the lockstep recorder only"},
+		{File: "internal/server/server.go", Line: 9, Column: 3, Code: "deadline-prop",
+			Message: "blocking conn I/O reachable from serving handler handleDelta with no deadline armed on the call path"},
+	}
+	base := filepath.Join(t.TempDir(), "baseline.json")
+	if err := writeBaselineFile(base, diags); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := loadBaseline(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, known := splitBaseline(diags, loaded)
+	if len(fresh) != 0 || known != len(diags) {
+		t.Fatalf("round trip: %d fresh, %d known, want 0 and %d: %v", len(fresh), known, len(diags), fresh)
+	}
+
+	// Line and column drift must not resurrect a known finding.
+	drifted := make([]jsonDiag, len(diags))
+	copy(drifted, diags)
+	for i := range drifted {
+		drifted[i].Line += 10
+		drifted[i].Column++
+	}
+	fresh, known = splitBaseline(drifted, loaded)
+	if len(fresh) != 0 || known != len(diags) {
+		t.Fatalf("post-drift: %d fresh, %d known, want 0 and %d: %v", len(fresh), known, len(diags), fresh)
+	}
+
+	// A genuinely new finding (same file, different message) still fails.
+	extra := append(drifted, jsonDiag{File: "internal/mux/session.go", Line: 1, Column: 1,
+		Code: "lock-order", Message: "a brand new inversion"})
+	fresh, _ = splitBaseline(extra, loaded)
+	if len(fresh) != 1 || fresh[0].Message != "a brand new inversion" {
+		t.Fatalf("new finding not isolated: %v", fresh)
+	}
+}
+
 func TestRunLoadError(t *testing.T) {
 	dir := t.TempDir() // no go.mod: go list fails
 	chdir(t, dir)

@@ -1,0 +1,427 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file is the interprocedural layer under the protocol analyzers
+// (lock-order, durability-order, lsn-discipline, deadline-prop): a
+// whole-program call graph over every loaded package plus a per-function
+// summary lattice, computed as a bottom-up fixpoint over the same
+// go/types-checked ASTs the per-package analyzers see.
+//
+// Functions are keyed by types.Func.FullName() — the one identity that
+// is stable between a package checked from source and the same package's
+// methods resolved through a dependent's export data, so cross-package
+// call edges land on the right summaries.
+
+// Blocking-operation kinds recorded in function summaries. The names
+// appear verbatim in lock-order diagnostics.
+const (
+	blockFsync   = "fsync"
+	blockConnIO  = "conn I/O"
+	blockChannel = "channel wait"
+	blockWG      = "WaitGroup.Wait"
+	blockSleep   = "time.Sleep"
+)
+
+// FuncInfo is one declared function or method with its summary.
+type FuncInfo struct {
+	// ID is the types.Func FullName, e.g.
+	// "(*parcube/internal/wal.Log).Append".
+	ID   string
+	Pkg  *Package
+	Decl *ast.FuncDecl
+
+	// Callees are the statically resolved in-program callees, in source
+	// order, deduplicated.
+	Callees []string
+
+	// Arms reports that the function arms a deadline — directly
+	// (SetDeadline/SetReadDeadline/SetWriteDeadline, context.WithTimeout/
+	// WithDeadline) or through any callee — mirroring the deadline
+	// analyzer's wholesale trust of arming functions, now program-wide.
+	Arms bool
+
+	// TransBlocks are the blocking kinds reachable from this function:
+	// its own direct sites plus everything its callees reach. Conn I/O is
+	// excluded once a deadline is armed (by this function or the callee
+	// performing the I/O) — bounded I/O cannot wedge a lock holder.
+	TransBlocks map[string]bool
+
+	// TransLocks are the lock classes acquired by this function or any
+	// callee, for caller-side lock-order edges.
+	TransLocks map[string]bool
+
+	armsDirect bool
+	// blockSites maps the position of each direct blocking operation in
+	// the body to its kind.
+	blockSites map[token.Pos]string
+	// acquires maps lock classes this function itself locks to the first
+	// acquisition site.
+	acquires map[string]token.Pos
+}
+
+// Program is the whole-program view the interprocedural analyzers run
+// over.
+type Program struct {
+	Pkgs  []*Package
+	Funcs map[string]*FuncInfo
+	// order lists function IDs in package → file → declaration order, so
+	// every analyzer iterates deterministically.
+	order []string
+}
+
+// EachFunc visits every function in deterministic order.
+func (pr *Program) EachFunc(visit func(*FuncInfo)) {
+	for _, id := range pr.order {
+		visit(pr.Funcs[id])
+	}
+}
+
+// funcID names a function object; "" when the object is unusable.
+func funcID(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	return fn.FullName()
+}
+
+// BuildProgram indexes the packages, scans every function body once for
+// direct facts (lock acquisitions, blocking operations, deadline arming,
+// callees), and closes the transitive summaries with bottom-up
+// fixpoints.
+func BuildProgram(pkgs []*Package) *Program {
+	pr := &Program{Pkgs: pkgs, Funcs: make(map[string]*FuncInfo)}
+	for _, p := range pkgs {
+		decls := funcDecls(p)
+		helpers := ioHelperSet(p, decls)
+		eachFuncDecl(p, func(fd *ast.FuncDecl) {
+			fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+			id := funcID(fn)
+			if id == "" || pr.Funcs[id] != nil {
+				return
+			}
+			fi := &FuncInfo{
+				ID:          id,
+				Pkg:         p,
+				Decl:        fd,
+				TransBlocks: make(map[string]bool),
+				TransLocks:  make(map[string]bool),
+				blockSites:  make(map[token.Pos]string),
+				acquires:    make(map[string]token.Pos),
+			}
+			scanDirect(p, fi, helpers)
+			pr.Funcs[id] = fi
+			pr.order = append(pr.order, id)
+		})
+	}
+	pr.fixArms()
+	pr.fixTransLocks()
+	pr.fixTransBlocks()
+	return pr
+}
+
+// scanDirect collects one function's direct facts in a single AST walk.
+func scanDirect(p *Package, fi *FuncInfo, helpers map[*types.Func]bool) {
+	connBacked := connBackedFields(p, fi.Decl)
+	seenCallee := make(map[string]bool)
+	// Comm operations inside select clauses are classified with the
+	// select statement, not individually.
+	inSelect := make(map[ast.Node]bool)
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			// A literal's body only executes with this function's locks
+			// and deadlines when invoked in place; `go`-spawned and
+			// stored literals run on their own and are skipped (their
+			// lock usage is invisible to summaries — a documented hole
+			// for hook indirection like the coordinator's ingest hooks).
+			return false
+		case *ast.GoStmt:
+			return false
+		case *ast.SelectStmt:
+			for _, cl := range x.Body.List {
+				if comm, ok := cl.(*ast.CommClause); ok && comm.Comm != nil {
+					inSelect[comm.Comm] = true
+					if s, ok := comm.Comm.(*ast.ExprStmt); ok {
+						inSelect[s.X] = true
+					}
+					if s, ok := comm.Comm.(*ast.AssignStmt); ok && len(s.Rhs) == 1 {
+						inSelect[s.Rhs[0]] = true
+					}
+				}
+			}
+			if selectBlocks(p, x) {
+				fi.blockSites[x.Pos()] = blockChannel
+			}
+		case *ast.SendStmt:
+			if !inSelect[x] {
+				fi.blockSites[x.Pos()] = blockChannel
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && !inSelect[x] && !boundedChannel(p, x.X) {
+				fi.blockSites[x.Pos()] = blockChannel
+			}
+		case *ast.RangeStmt:
+			if t := typeOf(p, x.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					fi.blockSites[x.Pos()] = blockChannel
+				}
+			}
+		case *ast.CallExpr:
+			if callee := calleeFunc(p, x); callee != nil {
+				if id := funcID(callee); id != "" && !seenCallee[id] {
+					seenCallee[id] = true
+					fi.Callees = append(fi.Callees, id)
+				}
+			}
+			if kind := directCallBlock(p, x, helpers, connBacked); kind != "" {
+				fi.blockSites[x.Pos()] = kind
+			}
+			if armsDirectCall(p, x) {
+				fi.armsDirect = true
+			}
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				switch mutexRecv(p, sel) {
+				case "Lock", "RLock", "TryLock", "TryRLock":
+					if class := lockClass(p, fi.ID, sel.X); class != "" {
+						if _, ok := fi.acquires[class]; !ok {
+							fi.acquires[class] = x.Pos()
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fi.Decl.Body, walk)
+}
+
+// armsDirectCall reports a direct deadline-arming call.
+func armsDirectCall(p *Package, call *ast.CallExpr) bool {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && deadlineMethods[sel.Sel.Name] {
+		return true
+	}
+	return isPkgCall(p, call, "context", "WithTimeout") || isPkgCall(p, call, "context", "WithDeadline")
+}
+
+// directCallBlock classifies a call as a direct blocking operation.
+func directCallBlock(p *Package, call *ast.CallExpr, helpers map[*types.Func]bool, connBacked map[types.Object]bool) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		recv := typeString(p, sel.X)
+		if sel.Sel.Name == "Sync" && recv == "*os.File" {
+			return blockFsync
+		}
+		if sel.Sel.Name == "Wait" && isWaitGroupType(recv) {
+			return blockWG
+		}
+	}
+	if isPkgCall(p, call, "time", "Sleep") {
+		return blockSleep
+	}
+	if blockingIO(p, call, helpers, connBacked) != "" {
+		return blockConnIO
+	}
+	return ""
+}
+
+// selectBlocks reports whether a select can wait forever: no default
+// clause and no timer/context case bounding it.
+func selectBlocks(p *Package, sel *ast.SelectStmt) bool {
+	for _, cl := range sel.Body.List {
+		comm, ok := cl.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if comm.Comm == nil {
+			return false // default clause: never waits
+		}
+		var ch ast.Expr
+		switch s := comm.Comm.(type) {
+		case *ast.ExprStmt:
+			if ue, ok := s.X.(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+				ch = ue.X
+			}
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 {
+				if ue, ok := s.Rhs[0].(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+					ch = ue.X
+				}
+			}
+		}
+		if ch != nil && boundedChannel(p, ch) {
+			return false // a timer/context case bounds the wait
+		}
+	}
+	return true
+}
+
+// boundedChannel reports whether receiving from ch is bounded by
+// construction: a timer/ticker channel, time.After, or a context Done
+// channel.
+func boundedChannel(p *Package, ch ast.Expr) bool {
+	switch x := ast.Unparen(ch).(type) {
+	case *ast.SelectorExpr:
+		if x.Sel.Name == "C" {
+			switch typeString(p, x.X) {
+			case "*time.Timer", "time.Timer", "*time.Ticker", "time.Ticker":
+				return true
+			}
+		}
+	case *ast.CallExpr:
+		if isPkgCall(p, x, "time", "After") {
+			return true
+		}
+		if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			if strings.HasPrefix(typeString(p, sel.X), "context.") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// lockClass names the mutex a Lock call targets, as a program-wide
+// equivalence class:
+//
+//   - struct fields:   "<pkg>.<Type>.<field>"  (any instance of the type)
+//   - package vars:    "<pkg>.<var>"
+//   - locals:          "local:<funcID>.<name>"
+//   - internal/obs:    ""  (metric-internal leaf locks; modeling them
+//     would hang an edge off every instrumented critical section)
+func lockClass(p *Package, fnID string, muExpr ast.Expr) string {
+	e := ast.Unparen(muExpr)
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			t := sel.Recv()
+			if ptr, ok := t.Underlying().(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+				path := named.Obj().Pkg().Path()
+				if strings.Contains(path, "internal/obs") {
+					return ""
+				}
+				return path + "." + named.Obj().Name() + "." + x.Sel.Name
+			}
+			return ""
+		}
+		// Package-qualified variable: pkg.mu.
+		if v, ok := p.Info.Uses[x.Sel].(*types.Var); ok && v.Pkg() != nil {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	case *ast.Ident:
+		v, ok := p.Info.ObjectOf(x).(*types.Var)
+		if !ok {
+			return ""
+		}
+		if v.Parent() == p.Types.Scope() {
+			return p.Path + "." + v.Name()
+		}
+		return "local:" + fnID + "." + x.Name
+	}
+	return ""
+}
+
+// fixArms closes deadline arming over the call graph.
+func (pr *Program) fixArms() {
+	for _, id := range pr.order {
+		pr.Funcs[id].Arms = pr.Funcs[id].armsDirect
+	}
+	pr.fixpoint(func(fi *FuncInfo) bool {
+		if fi.Arms {
+			return false
+		}
+		for _, c := range fi.Callees {
+			if cf := pr.Funcs[c]; cf != nil && cf.Arms {
+				fi.Arms = true
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// fixTransLocks closes acquired lock classes over the call graph.
+func (pr *Program) fixTransLocks() {
+	for _, id := range pr.order {
+		fi := pr.Funcs[id]
+		for class := range fi.acquires {
+			fi.TransLocks[class] = true
+		}
+	}
+	pr.fixpoint(func(fi *FuncInfo) bool {
+		changed := false
+		for _, c := range fi.Callees {
+			cf := pr.Funcs[c]
+			if cf == nil {
+				continue
+			}
+			for class := range cf.TransLocks {
+				if !fi.TransLocks[class] {
+					fi.TransLocks[class] = true
+					changed = true
+				}
+			}
+		}
+		return changed
+	})
+}
+
+// fixTransBlocks closes reachable blocking kinds over the call graph.
+// Runs after fixArms: a function that arms contributes no conn I/O
+// upward (its I/O is deadline-bounded).
+func (pr *Program) fixTransBlocks() {
+	for _, id := range pr.order {
+		fi := pr.Funcs[id]
+		for _, kind := range fi.blockSites {
+			if kind == blockConnIO && fi.Arms {
+				continue
+			}
+			fi.TransBlocks[kind] = true
+		}
+	}
+	pr.fixpoint(func(fi *FuncInfo) bool {
+		changed := false
+		for _, c := range fi.Callees {
+			cf := pr.Funcs[c]
+			if cf == nil {
+				continue
+			}
+			for kind := range cf.TransBlocks {
+				if kind == blockConnIO && fi.Arms {
+					continue
+				}
+				if !fi.TransBlocks[kind] {
+					fi.TransBlocks[kind] = true
+					changed = true
+				}
+			}
+		}
+		return changed
+	})
+}
+
+// fixpoint applies step to every function until a full pass changes
+// nothing. The summary domains are finite and step is monotone, so this
+// terminates.
+func (pr *Program) fixpoint(step func(*FuncInfo) bool) {
+	for {
+		changed := false
+		for _, id := range pr.order {
+			if step(pr.Funcs[id]) {
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// DeadlineProp is the interprocedural upgrade of the deadline analyzer:
+// instead of judging each function in isolation, it walks the call graph
+// from every serving handler and flags blocking conn I/O reachable with
+// no deadline armed anywhere on the path. A helper that reads a conn
+// without arming is fine on its own — until a handler reaches it without
+// a deadline, at which point a stalled peer pins a serving goroutine
+// forever.
+//
+// Arming follows the deadline analyzer's trust rule, program-wide: a
+// function that arms (SetDeadline family or a context timeout), directly
+// or via any callee, bounds its whole subtree; a caller that arms before
+// the call bounds the callee's I/O too.
+var DeadlineProp = &Analyzer{
+	Code:       codeDeadlineProp,
+	Doc:        "blocking conn I/O reachable from a serving handler with no deadline armed on the path",
+	RunProgram: runDeadlineProp,
+}
+
+// handlerRootPrefixes select the serving entry points the walk starts
+// from, matched case-insensitively against function names in serving
+// packages.
+var handlerRootPrefixes = []string{"handle", "serve", "dispatch", "accept"}
+
+func isHandlerRoot(fi *FuncInfo) bool {
+	if !isServingPackage(fi.Pkg.Path) {
+		return false
+	}
+	name := strings.ToLower(fi.Decl.Name.Name)
+	for _, pre := range handlerRootPrefixes {
+		if strings.HasPrefix(name, pre) {
+			return true
+		}
+	}
+	return false
+}
+
+func runDeadlineProp(pr *Program) []Diagnostic {
+	type siteKey struct {
+		id  string
+		pos token.Pos
+	}
+	flagged := make(map[siteKey]string) // site -> first root that reaches it
+	// visited guards (function, armed) states so the walk terminates on
+	// recursion and doesn't redo shared subtrees.
+	visited := make(map[string]map[bool]bool)
+
+	var walk func(fi *FuncInfo, armed bool, root string)
+	walk = func(fi *FuncInfo, armed bool, root string) {
+		if fi.Arms {
+			armed = true
+		}
+		if visited[fi.ID] == nil {
+			visited[fi.ID] = make(map[bool]bool)
+		}
+		if visited[fi.ID][armed] {
+			return
+		}
+		visited[fi.ID][armed] = true
+		if !armed {
+			for pos, kind := range fi.blockSites {
+				if kind != blockConnIO {
+					continue
+				}
+				k := siteKey{fi.ID, pos}
+				if _, ok := flagged[k]; !ok {
+					flagged[k] = root
+				}
+			}
+		}
+		for _, c := range fi.Callees {
+			if cf := pr.Funcs[c]; cf != nil {
+				walk(cf, armed, root)
+			}
+		}
+	}
+	pr.EachFunc(func(fi *FuncInfo) {
+		if isHandlerRoot(fi) {
+			walk(fi, false, fi.Decl.Name.Name)
+		}
+	})
+
+	var keys []siteKey
+	for k := range flagged {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].id != keys[j].id {
+			return keys[i].id < keys[j].id
+		}
+		return keys[i].pos < keys[j].pos
+	})
+	var diags []Diagnostic
+	for _, k := range keys {
+		fi := pr.Funcs[k.id]
+		diags = append(diags, Diagnostic{
+			Pos:  fi.Pkg.Fset.Position(k.pos),
+			Code: codeDeadlineProp,
+			Message: fmt.Sprintf("blocking conn I/O reachable from serving handler %s with no deadline armed on the call path",
+				flagged[k]),
+		})
+	}
+	return diags
+}

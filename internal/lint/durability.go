@@ -1,0 +1,272 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DurabilityOrder enforces the apply-then-log protocol around durable
+// backends (structs carrying a *recovery.Manager):
+//
+//  1. no mutation without a log — a method of a durable backend that
+//     mutates the cube (parcube.Cube Update) must reach a WAL append
+//     somewhere in the function, and must not return a nil error between
+//     the mutation and the append (that acks state the log never saw);
+//  2. no swallowed append failure — every call to Manager/Log
+//     Append/AppendAt/AppendBatchAt must capture the error, and the
+//     error path must either poison the backend (assign a field named
+//     "poisoned") or propagate the error out. Dropping it acks a write
+//     the disk may not have.
+var DurabilityOrder = &Analyzer{
+	Code: codeDurabilityOrder,
+	Doc:  "durable mutations must reach a WAL append; append failures must poison or propagate",
+	Run:  runDurabilityOrder,
+}
+
+// appendMethods are the WAL-append entry points the protocol centers on.
+var appendMethods = map[string]bool{
+	"Append": true, "AppendAt": true, "AppendBatchAt": true,
+}
+
+// isAppendCall reports whether call appends to a durable log: one of the
+// append methods on a recovery.Manager or wal.Log receiver.
+func isAppendCall(p *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !appendMethods[sel.Sel.Name] {
+		return false
+	}
+	recv := strings.TrimPrefix(typeString(p, sel.X), "*")
+	return strings.HasSuffix(recv, "internal/recovery.Manager") || strings.HasSuffix(recv, "internal/wal.Log")
+}
+
+// isCubeMutation reports whether call mutates served cube state:
+// Update on a *parcube.Cube.
+func isCubeMutation(p *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Update" {
+		return false
+	}
+	recv := strings.TrimPrefix(typeString(p, sel.X), "*")
+	return recv == "parcube.Cube"
+}
+
+// hasManagerField reports whether the receiver type of fd is a struct
+// holding a *recovery.Manager — the shape of a durable backend.
+func hasManagerField(p *Package, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := typeOf(p, fd.Recv.List[0].Type)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := strings.TrimPrefix(st.Field(i).Type().String(), "*")
+		if strings.HasSuffix(ft, "internal/recovery.Manager") {
+			return true
+		}
+	}
+	return false
+}
+
+func runDurabilityOrder(p *Package) []Diagnostic {
+	if !isServingPackage(p.Path) {
+		return nil
+	}
+	var diags []Diagnostic
+	eachFuncDecl(p, func(fd *ast.FuncDecl) {
+		diags = append(diags, checkAppendErrors(p, fd)...)
+		if hasManagerField(p, fd) {
+			diags = append(diags, checkMutationLogged(p, fd)...)
+		}
+	})
+	return diags
+}
+
+// checkMutationLogged enforces discipline 1 over one durable-backend
+// method: a mutation with no append in the function at all, or a nil
+// error return positioned between the first mutation and the last
+// append, is an unlogged ack.
+func checkMutationLogged(p *Package, fd *ast.FuncDecl) []Diagnostic {
+	var muts, appends []*ast.CallExpr
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // restore/replay callbacks are not the ingest path
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if isCubeMutation(p, call) {
+				muts = append(muts, call)
+			}
+			if isAppendCall(p, call) {
+				appends = append(appends, call)
+			}
+		}
+		return true
+	})
+	if len(muts) == 0 {
+		return nil
+	}
+	if len(appends) == 0 {
+		return []Diagnostic{{
+			Pos:  p.Fset.Position(muts[0].Pos()),
+			Code: codeDurabilityOrder,
+			Message: fmt.Sprintf("%s mutates the cube but never reaches a WAL append; an acked mutation must be logged",
+				fd.Name.Name),
+		}}
+	}
+	var diags []Diagnostic
+	firstMut := muts[0].Pos()
+	lastAppend := appends[len(appends)-1].Pos()
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || ret.Pos() < firstMut || ret.Pos() > lastAppend || len(ret.Results) == 0 {
+			return true
+		}
+		last := ast.Unparen(ret.Results[len(ret.Results)-1])
+		if id, ok := last.(*ast.Ident); ok && id.Name == "nil" {
+			diags = append(diags, Diagnostic{
+				Pos:  p.Fset.Position(ret.Pos()),
+				Code: codeDurabilityOrder,
+				Message: fmt.Sprintf("%s can return nil error after mutating the cube but before the WAL append; the ack outruns durability",
+					fd.Name.Name),
+			})
+		}
+		return true
+	})
+	return diags
+}
+
+// checkAppendErrors enforces discipline 2: every append call's error is
+// captured, and the failure path poisons or propagates.
+func checkAppendErrors(p *Package, fd *ast.FuncDecl) []Diagnostic {
+	var diags []Diagnostic
+	report := func(call *ast.CallExpr, msg string) {
+		diags = append(diags, Diagnostic{
+			Pos:     p.Fset.Position(call.Pos()),
+			Code:    codeDurabilityOrder,
+			Message: msg,
+		})
+	}
+	name := func(call *ast.CallExpr) string {
+		return call.Fun.(*ast.SelectorExpr).Sel.Name
+	}
+
+	// Walk statements so each append call is seen with its binding form.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok && isAppendCall(p, call) {
+				report(call, fmt.Sprintf("%s error discarded; an append failure must poison the backend or propagate", name(call)))
+				return false
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range x.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isAppendCall(p, call) {
+					continue
+				}
+				errIdent := bindingErr(x)
+				if errIdent == nil {
+					report(call, fmt.Sprintf("%s error assigned to _; an append failure must poison the backend or propagate", name(call)))
+					continue
+				}
+				if !errHandled(p, fd, x, errIdent) {
+					report(call, fmt.Sprintf("%s error path neither poisons the backend nor returns the error", name(call)))
+				}
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// bindingErr returns the identifier binding the assignment's last value
+// (the error), or nil when it is blank.
+func bindingErr(as *ast.AssignStmt) *ast.Ident {
+	if len(as.Lhs) == 0 {
+		return nil
+	}
+	id, ok := ast.Unparen(as.Lhs[len(as.Lhs)-1]).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return id
+}
+
+// errHandled reports whether the error bound by the assignment is dealt
+// with: a guard on the ident whose body poisons (assigns a field named
+// "poisoned") or returns, or the ident appearing in a later return.
+func errHandled(p *Package, fd *ast.FuncDecl, bind *ast.AssignStmt, errIdent *ast.Ident) bool {
+	obj := p.Info.ObjectOf(errIdent)
+	mentions := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name == errIdent.Name {
+				if obj == nil || p.Info.ObjectOf(id) == obj {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	handled := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if handled {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.IfStmt:
+			// The binding may be the if's own init (if err := ...; err != nil).
+			if x.Init != bind && x.Pos() < bind.Pos() {
+				return true
+			}
+			if !mentions(x.Cond) {
+				return true
+			}
+			ast.Inspect(x.Body, func(m ast.Node) bool {
+				switch y := m.(type) {
+				case *ast.ReturnStmt:
+					handled = true
+				case *ast.BranchStmt:
+					// break/continue out of the apply loop counts: the
+					// caller-side rejection path carries the error value.
+					handled = true
+				case *ast.AssignStmt:
+					for _, lhs := range y.Lhs {
+						if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok && sel.Sel.Name == "poisoned" {
+							handled = true
+						}
+					}
+				case *ast.CallExpr:
+					if isBuiltinCall(p, y, "panic") {
+						handled = true
+					}
+				}
+				return !handled
+			})
+		case *ast.ReturnStmt:
+			if x.Pos() > bind.Pos() {
+				for _, r := range x.Results {
+					if mentions(r) {
+						handled = true
+					}
+				}
+			}
+		}
+		return !handled
+	})
+	return handled
+}

@@ -6,6 +6,12 @@
 // on every spawned goroutine, mutex discipline, and statically-known
 // metric names.
 //
+// Since v2 the suite is interprocedural: a whole-program call graph with
+// per-function summaries (locks acquired, blocking operations reached,
+// deadlines armed) feeds four protocol analyzers — lock-order,
+// durability-order, lsn-discipline, and deadline-prop — that check
+// invariants no single function can witness.
+//
 // The suite is stdlib-only: packages are loaded with a thin wrapper over
 // `go list -export -deps -json` (no golang.org/x/tools dependency) and
 // type-checked against the toolchain's export data, so analyzers see full
@@ -17,12 +23,16 @@
 //
 //	//cubelint:ignore deadline fabric reads block until a peer sends; Close unblocks them
 //
-// A directive without a reason is itself reported (code "bad-directive"),
-// so suppressions stay auditable.
+// A directive placed on a function declaration (or the line directly
+// above it) suppresses the named codes anywhere in that function — the
+// right scope for protocol analyzers whose findings describe the whole
+// function, not one line. A directive without a reason is itself reported
+// (code "bad-directive"), so suppressions stay auditable.
 package lint
 
 import (
 	"fmt"
+	"go/ast"
 	"go/token"
 	"sort"
 	"strings"
@@ -41,7 +51,8 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Code, d.Message)
 }
 
-// Analyzer is one named check over a type-checked package.
+// Analyzer is one named check. Per-package analyzers set Run;
+// whole-program analyzers set RunProgram and see the call graph.
 type Analyzer struct {
 	// Code is the stable diagnostic code, used in output and in
 	// cubelint:ignore directives.
@@ -50,18 +61,25 @@ type Analyzer struct {
 	Doc string
 	// Run reports the analyzer's findings for one package.
 	Run func(*Package) []Diagnostic
+	// RunProgram reports findings over the whole program; set instead of
+	// Run for interprocedural analyzers.
+	RunProgram func(*Program) []Diagnostic
 }
 
 // Diagnostic codes. These are the names used in output and in
 // cubelint:ignore directives; they are constants (not Analyzer fields) so
 // the run functions can cite them without an initialization cycle.
 const (
-	codeUntrustedAlloc = "untrusted-alloc"
-	codeDeadline       = "deadline"
-	codeGoroutineLeak  = "goroutine-leak"
-	codeMutexHygiene   = "mutex-hygiene"
-	codeObsMetric      = "obs-metric"
-	codeUncheckedClose = "unchecked-close"
+	codeUntrustedAlloc  = "untrusted-alloc"
+	codeDeadline        = "deadline"
+	codeGoroutineLeak   = "goroutine-leak"
+	codeMutexHygiene    = "mutex-hygiene"
+	codeObsMetric       = "obs-metric"
+	codeUncheckedClose  = "unchecked-close"
+	codeLockOrder       = "lock-order"
+	codeDurabilityOrder = "durability-order"
+	codeLSNDiscipline   = "lsn-discipline"
+	codeDeadlineProp    = "deadline-prop"
 )
 
 // All is the analyzer catalog, in reporting order.
@@ -72,20 +90,61 @@ var All = []*Analyzer{
 	MutexHygiene,
 	ObsMetric,
 	UncheckedClose,
+	LockOrder,
+	DurabilityOrder,
+	LSNDiscipline,
+	DeadlineProp,
 }
 
 // ignorePrefix introduces a suppression directive.
 const ignorePrefix = "//cubelint:ignore"
 
-// collectDirectives parses every cubelint:ignore directive in the package.
-// The returned map is keyed "file:line" and holds the suppressed codes for
-// that line; a directive covers its own line and the line below, so it
-// works both as an end-of-line comment and as a standalone comment above
-// the finding. Malformed directives come back as diagnostics.
-func collectDirectives(p *Package) (map[string]map[string]bool, []Diagnostic) {
-	sup := make(map[string]map[string]bool)
+// suppressor holds the parsed cubelint:ignore directives for a set of
+// packages: per-line suppressions (the directive's own line and the line
+// below) and per-function ranges (a directive on or directly above a
+// function declaration covers the whole declaration).
+type suppressor struct {
+	lines  map[string]map[string]bool // "file:line" -> codes
+	ranges []supRange
+}
+
+type supRange struct {
+	file       string
+	start, end int
+	codes      map[string]bool
+}
+
+func (s *suppressor) covers(d Diagnostic) bool {
+	key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+	if s.lines[key][d.Code] {
+		return true
+	}
+	for _, r := range s.ranges {
+		if r.file == d.Pos.Filename && d.Pos.Line >= r.start && d.Pos.Line <= r.end && r.codes[d.Code] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectDirectives parses every cubelint:ignore directive in the
+// package into the suppressor. Malformed directives come back as
+// diagnostics.
+func collectDirectives(p *Package, sup *suppressor) []Diagnostic {
 	var bad []Diagnostic
 	for _, f := range p.Files {
+		// Function declaration extents, for function-scope directives.
+		type declSpan struct{ start, end int }
+		decls := make(map[string][]declSpan) // file -> spans
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			start := p.Fset.Position(fd.Pos())
+			end := p.Fset.Position(fd.End())
+			decls[start.Filename] = append(decls[start.Filename], declSpan{start.Line, end.Line})
+		}
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				if !strings.HasPrefix(c.Text, ignorePrefix) {
@@ -101,41 +160,75 @@ func collectDirectives(p *Package) (map[string]map[string]bool, []Diagnostic) {
 					})
 					continue
 				}
+				codes := make(map[string]bool)
+				for _, code := range strings.Split(fields[0], ",") {
+					codes[code] = true
+				}
 				for _, line := range []int{pos.Line, pos.Line + 1} {
 					key := fmt.Sprintf("%s:%d", pos.Filename, line)
-					codes := sup[key]
-					if codes == nil {
-						codes = make(map[string]bool)
-						sup[key] = codes
+					if sup.lines[key] == nil {
+						sup.lines[key] = make(map[string]bool)
 					}
-					for _, code := range strings.Split(fields[0], ",") {
-						codes[code] = true
+					for code := range codes {
+						sup.lines[key][code] = true
+					}
+				}
+				// On or directly above a function declaration, the
+				// directive widens to the whole function body.
+				for _, span := range decls[pos.Filename] {
+					if pos.Line == span.start || pos.Line+1 == span.start {
+						sup.ranges = append(sup.ranges, supRange{
+							file:  pos.Filename,
+							start: span.start,
+							end:   span.end,
+							codes: codes,
+						})
 					}
 				}
 			}
 		}
 	}
-	return sup, bad
+	return bad
 }
 
 // Check runs the analyzers over the packages, applies suppression
 // directives, and returns the surviving diagnostics sorted by position
-// plus the number of findings silenced by directives.
+// plus the number of findings silenced by directives. Whole-program
+// analyzers run once over a call graph built from all the packages.
 func Check(pkgs []*Package, analyzers []*Analyzer) (diags []Diagnostic, suppressed int) {
+	sup := &suppressor{lines: make(map[string]map[string]bool)}
 	for _, p := range pkgs {
-		sup, bad := collectDirectives(p)
-		diags = append(diags, bad...)
+		diags = append(diags, collectDirectives(p, sup)...)
+	}
+
+	var raw []Diagnostic
+	var programAnalyzers []*Analyzer
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			programAnalyzers = append(programAnalyzers, a)
+		}
+	}
+	for _, p := range pkgs {
 		for _, a := range analyzers {
-			for _, d := range a.Run(p) {
-				key := fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
-				if sup[key][d.Code] {
-					suppressed++
-					continue
-				}
-				diags = append(diags, d)
+			if a.Run != nil {
+				raw = append(raw, a.Run(p)...)
 			}
 		}
 	}
+	if len(programAnalyzers) > 0 {
+		pr := BuildProgram(pkgs)
+		for _, a := range programAnalyzers {
+			raw = append(raw, a.RunProgram(pr)...)
+		}
+	}
+	for _, d := range raw {
+		if sup.covers(d) {
+			suppressed++
+			continue
+		}
+		diags = append(diags, d)
+	}
+
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {

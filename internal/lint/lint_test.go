@@ -242,6 +242,70 @@ func TestServingTierScope(t *testing.T) {
 	}
 }
 
+func TestLockOrder(t *testing.T) {
+	p := loadFixture(t, "lockorder", "parcube/internal/shard/lintfixture")
+	checkFixture(t, p, LockOrder)
+}
+
+func TestLockOrderOutOfScope(t *testing.T) {
+	// The same inversions under a non-serving path must be silent.
+	p := loadFixture(t, "lockorder", "parcube/lintfixture/lockorder")
+	pr := BuildProgram([]*Package{p})
+	if diags := LockOrder.RunProgram(pr); len(diags) != 0 {
+		t.Errorf("non-serving package got %d lock-order diagnostics: %v", len(diags), diags)
+	}
+}
+
+func TestDurabilityOrder(t *testing.T) {
+	p := loadFixture(t, "durability", "parcube/internal/shard/lintfixture")
+	if sup := checkFixture(t, p, DurabilityOrder); sup != 1 {
+		t.Errorf("suppressed = %d, want 1 (the function-scope replayApply directive)", sup)
+	}
+}
+
+func TestLSNDiscipline(t *testing.T) {
+	p := loadFixture(t, "lsn", "parcube/internal/shard/lintfixture")
+	checkFixture(t, p, LSNDiscipline)
+}
+
+// TestLSNDisciplineScope confirms the wal package (the assigner) and
+// neutral packages are out of scope wholesale.
+func TestLSNDisciplineScope(t *testing.T) {
+	for _, path := range []string{
+		"parcube/internal/wal/lintfixture",
+		"parcube/lintfixture/lsn",
+	} {
+		p := loadFixture(t, "lsn", path)
+		if diags := LSNDiscipline.Run(p); len(diags) != 0 {
+			t.Errorf("%s: got %d lsn-discipline diagnostics: %v", path, len(diags), diags)
+		}
+	}
+}
+
+func TestDeadlineProp(t *testing.T) {
+	p := loadFixture(t, "deadlineprop", "parcube/internal/server/lintfixture")
+	checkFixture(t, p, DeadlineProp)
+}
+
+func TestDeadlinePropOutOfScope(t *testing.T) {
+	// Without a serving import path there are no handler roots.
+	p := loadFixture(t, "deadlineprop", "parcube/lintfixture/deadlineprop")
+	pr := BuildProgram([]*Package{p})
+	if diags := DeadlineProp.RunProgram(pr); len(diags) != 0 {
+		t.Errorf("non-serving package got %d deadline-prop diagnostics: %v", len(diags), diags)
+	}
+}
+
+// TestFuncScopeSuppression pins the directive-scope fix: a directive on
+// the line above a function declaration suppresses matching findings
+// anywhere in the body, not just on the two lines at the declaration.
+func TestFuncScopeSuppression(t *testing.T) {
+	p := loadFixture(t, "funcscope", "parcube/internal/server/lintfixture")
+	if sup := checkFixture(t, p, Deadline); sup != 1 {
+		t.Errorf("suppressed = %d, want 1 (the finding inside pump's body)", sup)
+	}
+}
+
 func TestBadDirective(t *testing.T) {
 	fset := token.NewFileSet()
 	src := `package p

@@ -1,0 +1,338 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the global lock-acquisition graph across the serving
+// and durability packages and enforces two disciplines:
+//
+//  1. cycles — if lock class A is ever held while acquiring class B and
+//     (transitively) B while acquiring A, two goroutines can deadlock;
+//     every edge on such a cycle is reported. Classes are per-type
+//     ("pkg.Type.field"), so an inversion between two instances of the
+//     same class is a self-cycle and reported too.
+//  2. blocking under a lock — a lock held across an unbounded blocking
+//     operation (fsync under a non-leaf lock, conn I/O with no deadline
+//     armed, channel waits, WaitGroup.Wait, time.Sleep) stalls every
+//     contender and turns a slow peer into a cluster-wide convoy.
+//
+// Policy refinements that keep the real tree's by-design sites quiet:
+// conn I/O bounded by an armed deadline (the deadline analyzer's trust
+// rule, applied program-wide) is not blocking, and fsync under a leaf
+// lock — one that never wraps another lock — is the WAL's intended
+// serialization, not a deadlock risk, so only non-leaf holders are
+// flagged.
+var LockOrder = &Analyzer{
+	Code:       codeLockOrder,
+	Doc:        "global lock-acquisition cycles, and locks held across fsync/network/channel blocking",
+	RunProgram: runLockOrder,
+}
+
+// lockEdge is one "held A, acquired B" observation.
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+	pkg      *Package
+}
+
+// blockCand is one "held A across blocking op" observation, filtered
+// against the finished graph before reporting.
+type blockCand struct {
+	fn    *FuncInfo
+	class string
+	kind  string
+	via   string // callee name for transitive sites, "" for direct
+	pos   token.Pos
+}
+
+func runLockOrder(pr *Program) []Diagnostic {
+	var edges []lockEdge
+	var cands []blockCand
+	pr.EachFunc(func(fi *FuncInfo) {
+		if !isServingPackage(fi.Pkg.Path) {
+			return
+		}
+		e, c := scanHeld(pr, fi)
+		edges = append(edges, e...)
+		cands = append(cands, c...)
+	})
+
+	// Graph over classes, first edge position per (from, to) pair wins.
+	adj := make(map[string]map[string]token.Pos)
+	edgePkg := make(map[string]*Package)
+	for _, e := range edges {
+		if adj[e.from] == nil {
+			adj[e.from] = make(map[string]token.Pos)
+		}
+		if _, ok := adj[e.from][e.to]; !ok {
+			adj[e.from][e.to] = e.pos
+			edgePkg[e.from+"\x00"+e.to] = e.pkg
+		}
+	}
+
+	var diags []Diagnostic
+	for _, cyc := range lockCycles(adj) {
+		members := strings.Join(cyc, " -> ")
+		inCycle := make(map[string]bool, len(cyc))
+		for _, c := range cyc {
+			inCycle[c] = true
+		}
+		for _, from := range cyc {
+			for to, pos := range adj[from] {
+				if !inCycle[to] {
+					continue
+				}
+				p := edgePkg[from+"\x00"+to]
+				diags = append(diags, Diagnostic{
+					Pos:  p.Fset.Position(pos),
+					Code: codeLockOrder,
+					Message: fmt.Sprintf("acquiring %s while holding %s completes a lock cycle (%s -> %s); two goroutines taking these in opposite order deadlock",
+						shortClass(to), shortClass(from), members, cyc[0]),
+				})
+			}
+		}
+	}
+
+	seen := make(map[string]bool)
+	for _, c := range cands {
+		if c.kind == blockFsync && !nonLeaf(adj, c.class) {
+			continue
+		}
+		key := c.fn.ID + "\x00" + c.class + "\x00" + c.kind
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		site := c.kind
+		if c.via != "" {
+			site = fmt.Sprintf("%s (via %s)", c.kind, c.via)
+		}
+		diags = append(diags, Diagnostic{
+			Pos:  c.fn.Pkg.Fset.Position(c.pos),
+			Code: codeLockOrder,
+			Message: fmt.Sprintf("%s held across %s; blocking under this lock stalls every contender",
+				shortClass(c.class), site),
+		})
+	}
+	return diags
+}
+
+// nonLeaf reports whether the class acquires any other lock while held.
+func nonLeaf(adj map[string]map[string]token.Pos, class string) bool {
+	for to := range adj[class] {
+		if to != class {
+			return true
+		}
+	}
+	return false
+}
+
+// shortClass strips the module prefix for readable messages:
+// "parcube/internal/wal.Log.mu" -> "wal.Log.mu".
+func shortClass(class string) string {
+	if i := strings.LastIndex(class, "/"); i >= 0 {
+		return class[i+1:]
+	}
+	return class
+}
+
+// scanHeld walks one function in source order tracking which lock
+// classes are held, recording acquisition edges and blocking sites under
+// a lock. Deferred unlocks keep the class held to the end of the
+// function; an explicit unlock releases it at that point in the walk.
+func scanHeld(pr *Program, fi *FuncInfo) ([]lockEdge, []blockCand) {
+	p := fi.Pkg
+	var edges []lockEdge
+	var cands []blockCand
+	held := make(map[string]token.Pos)
+	heldOrder := []string{} // stable iteration for deterministic output
+
+	eachHeld := func(visit func(class string)) {
+		for _, h := range heldOrder {
+			if _, ok := held[h]; ok {
+				visit(h)
+			}
+		}
+	}
+	block := func(class, kind, via string, pos token.Pos) {
+		cands = append(cands, blockCand{fn: fi, class: class, kind: kind, via: via, pos: pos})
+	}
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			return false
+		case *ast.DeferStmt:
+			// A deferred unlock is modeled by never releasing; a deferred
+			// anything-else runs at exit with an unknowable lock set.
+			return false
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				switch mutexRecv(p, sel) {
+				case "Lock", "RLock", "TryLock", "TryRLock":
+					class := lockClass(p, fi.ID, sel.X)
+					if class == "" {
+						return true
+					}
+					eachHeld(func(h string) {
+						edges = append(edges, lockEdge{from: h, to: class, pos: x.Pos(), pkg: p})
+					})
+					if _, ok := held[class]; !ok {
+						held[class] = x.Pos()
+						heldOrder = append(heldOrder, class)
+					}
+					return true
+				case "Unlock", "RUnlock":
+					if class := lockClass(p, fi.ID, sel.X); class != "" {
+						delete(held, class)
+					}
+					return true
+				}
+			}
+			if len(held) > 0 {
+				if kind, ok := fi.blockSites[x.Pos()]; ok && !(kind == blockConnIO && fi.Arms) {
+					eachHeld(func(h string) { block(h, kind, "", x.Pos()) })
+				}
+				if callee := calleeFunc(p, x); callee != nil {
+					if cf := pr.Funcs[funcID(callee)]; cf != nil {
+						eachHeld(func(h string) {
+							for kind := range cf.TransBlocks {
+								if kind == blockConnIO && fi.Arms {
+									continue
+								}
+								block(h, kind, callee.Name(), x.Pos())
+							}
+							for class := range cf.TransLocks {
+								edges = append(edges, lockEdge{from: h, to: class, pos: x.Pos(), pkg: p})
+							}
+						})
+					}
+				}
+			}
+			return true
+		default:
+			// Non-call blocking sites: channel sends/receives, blocking
+			// selects, ranges over channels. Only channel kinds — call
+			// kinds are handled above, and a call's Fun child shares its
+			// position, so matching any kind here would re-report call
+			// sites past their policy filters. Comm ops inside a select
+			// were not given their own site, so descending is
+			// double-count free.
+			if n != nil && len(held) > 0 {
+				if kind, ok := fi.blockSites[n.Pos()]; ok && kind == blockChannel {
+					eachHeld(func(h string) { block(h, kind, "", n.Pos()) })
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fi.Decl.Body, walk)
+
+	// Transitive sets are unordered maps: sort the collected candidates
+	// and edges for deterministic output.
+	sort.SliceStable(edges, func(i, j int) bool {
+		if edges[i].pos != edges[j].pos {
+			return edges[i].pos < edges[j].pos
+		}
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].pos != cands[j].pos {
+			return cands[i].pos < cands[j].pos
+		}
+		if cands[i].class != cands[j].class {
+			return cands[i].class < cands[j].class
+		}
+		return cands[i].kind < cands[j].kind
+	})
+	return edges, cands
+}
+
+// lockCycles returns the strongly connected components of the lock graph
+// that contain a cycle (size > 1, or a self-loop), members sorted, the
+// component list sorted by first member.
+func lockCycles(adj map[string]map[string]token.Pos) [][]string {
+	nodes := make([]string, 0, len(adj))
+	seen := make(map[string]bool)
+	for from, tos := range adj {
+		if !seen[from] {
+			seen[from] = true
+			nodes = append(nodes, from)
+		}
+		for to := range tos {
+			if !seen[to] {
+				seen[to] = true
+				nodes = append(nodes, to)
+			}
+		}
+	}
+	sort.Strings(nodes)
+
+	// Tarjan's SCC, iterative enough for our graph sizes via recursion.
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		var succs []string
+		for w := range adj[v] {
+			succs = append(succs, w)
+		}
+		sort.Strings(succs)
+		for _, w := range succs {
+			if _, ok := index[w]; !ok {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			if len(comp) > 1 {
+				sort.Strings(comp)
+				sccs = append(sccs, comp)
+			} else if _, self := adj[comp[0]][comp[0]]; self {
+				sccs = append(sccs, comp)
+			}
+		}
+	}
+	for _, v := range nodes {
+		if _, ok := index[v]; !ok {
+			strongconnect(v)
+		}
+	}
+	sort.Slice(sccs, func(i, j int) bool { return sccs[i][0] < sccs[j][0] })
+	return sccs
+}

@@ -1,0 +1,47 @@
+// Fixture for the deadline-prop analyzer: a helper that blocks on conn
+// I/O without arming is flagged only when an unarmed serving handler
+// reaches it; the same helper under an arming handler is clean, as is a
+// helper only ever reached with a deadline armed.
+package lintfixture
+
+import (
+	"net"
+	"time"
+)
+
+type sess struct {
+	conn net.Conn
+}
+
+// handleReq is an unarmed handler root: the blocking read it reaches
+// through readAll is flagged at the I/O site.
+func (s *sess) handleReq(buf []byte) {
+	s.readAll(buf)
+}
+
+func (s *sess) readAll(buf []byte) {
+	_, _ = s.conn.Read(buf) // want "blocking conn I/O reachable from serving handler handleReq"
+}
+
+// handleArmed arms before descending, so the same subtree is bounded.
+func (s *sess) handleArmed(buf []byte) {
+	_ = s.conn.SetReadDeadline(time.Now().Add(time.Second))
+	s.readAll(buf)
+	s.writeAll(buf)
+}
+
+// writeAll blocks on conn I/O but is only reachable from handleArmed:
+// clean.
+func (s *sess) writeAll(buf []byte) {
+	_, _ = s.conn.Write(buf)
+}
+
+// notAHandler also reaches unarmed conn I/O, but it is not a serving
+// entry point, so nothing is reported for its subtree alone.
+func (s *sess) notAHandler(buf []byte) {
+	s.drain(buf)
+}
+
+func (s *sess) drain(buf []byte) {
+	_, _ = s.conn.Read(buf)
+}

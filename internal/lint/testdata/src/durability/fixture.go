@@ -1,0 +1,99 @@
+// Fixture for the durability-order analyzer: a durable backend (struct
+// holding a *recovery.Manager) whose methods variously follow and break
+// the apply-then-log protocol. The deliberate defects are the dropped
+// poison-on-append-failure and the nil ack between mutation and append.
+package lintfixture
+
+import (
+	"parcube"
+	"parcube/internal/recovery"
+)
+
+type backend struct {
+	mgr      *recovery.Manager
+	cube     *parcube.Cube
+	poisoned bool
+	retries  int
+}
+
+// logged follows the protocol: append first, propagate its error, then
+// apply. Clean.
+func (b *backend) logged(payload []byte, ds *parcube.Dataset) error {
+	if _, err := b.mgr.Append(payload); err != nil {
+		return err
+	}
+	_, err := b.cube.Update(ds)
+	return err
+}
+
+// poisonOnFailure applies first but poisons the backend when the append
+// fails — the other accepted shape. Clean.
+func (b *backend) poisonOnFailure(payload []byte, ds *parcube.Dataset) {
+	_, _ = b.cube.Update(ds)
+	if _, err := b.mgr.Append(payload); err != nil {
+		b.poisoned = true
+	}
+}
+
+// droppedPoison is the deliberate defect: the append error is bound but
+// its failure path neither poisons nor propagates.
+func (b *backend) droppedPoison(payload []byte, ds *parcube.Dataset) {
+	_, _ = b.cube.Update(ds)
+	_, err := b.mgr.Append(payload) // want "error path neither poisons the backend nor returns the error"
+	if err != nil {
+		b.retries++
+	}
+}
+
+// discarded drops the append result entirely.
+func (b *backend) discarded(payload []byte) {
+	b.mgr.Append(payload) // want "error discarded"
+}
+
+// blanked binds the error to the blank identifier.
+func (b *backend) blanked(payload []byte) {
+	_, _ = b.mgr.Append(payload) // want "error assigned to _"
+}
+
+// unlogged mutates the cube with no append anywhere in the method.
+func (b *backend) unlogged(ds *parcube.Dataset) error {
+	_, err := b.cube.Update(ds) // want "mutates the cube but never reaches a WAL append"
+	return err
+}
+
+// ackEarly can return a nil error after the mutation but before the
+// append — the ack outruns durability on the fast path.
+func (b *backend) ackEarly(payload []byte, ds *parcube.Dataset, fast bool) error {
+	if _, err := b.cube.Update(ds); err != nil {
+		return err
+	}
+	if fast {
+		return nil // want "the ack outruns durability"
+	}
+	if _, err := b.mgr.Append(payload); err != nil {
+		return err
+	}
+	return nil
+}
+
+// restoreReplay applies inside a callback — the replay path, which by
+// construction re-applies already-logged records. FuncLit bodies are out
+// of scope, so this is clean.
+func (b *backend) restoreReplay(ds *parcube.Dataset) func() {
+	return func() {
+		_, _ = b.cube.Update(ds)
+	}
+}
+
+// replayApply is the repair path: it re-applies records the log already
+// holds, so there is deliberately no append. The function-scope
+// directive on the declaration suppresses the finding inside the body.
+//
+//cubelint:ignore durability-order replay re-applies records the log already holds
+func (b *backend) replayApply(ds *parcube.Dataset) error {
+	if ds == nil {
+		return nil
+	}
+	_, err := b.cube.Update(ds)
+	return err
+}

@@ -1,0 +1,23 @@
+// Fixture for function-scope suppression: a directive on (or directly
+// above) a function declaration silences the named codes anywhere in the
+// body — here a deadline finding several lines below the declaration,
+// out of reach of the line/line-below rule.
+package lintfixture
+
+import "net"
+
+//cubelint:ignore deadline fixture models a blocking pump that Close unblocks
+func pump(conn net.Conn, buf []byte) error {
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			return err
+		}
+	}
+}
+
+// unsuppressed shows the directive above does not leak past its
+// function.
+func unsuppressed(conn net.Conn, buf []byte) error {
+	_, err := conn.Read(buf) // want "conn.Read with no deadline"
+	return err
+}

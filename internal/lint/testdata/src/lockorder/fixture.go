@@ -1,0 +1,112 @@
+// Fixture for the lock-order analyzer: a deliberate two-lock inversion
+// (the classic AB/BA deadlock), channel waits under a lock, fsync under
+// leaf and non-leaf locks, and conn I/O under a lock with and without an
+// armed deadline. The test loads this package under a serving import
+// path.
+package lintfixture
+
+import (
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// pair carries two locks that two methods take in opposite orders — the
+// deliberate inversion the analyzer must catch as a cycle.
+type pair struct {
+	a, b sync.Mutex
+	n    int
+}
+
+func (p *pair) lockAB() {
+	p.a.Lock()
+	p.b.Lock() // want "completes a lock cycle"
+	p.n++
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *pair) lockBA() {
+	p.b.Lock()
+	p.a.Lock() // want "completes a lock cycle"
+	p.n--
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// q blocks on a channel while holding its lock, directly and through a
+// helper.
+type q struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (w *q) waitUnderLock() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return <-w.ch // want "q.mu held across channel wait"
+}
+
+func (w *q) recv() int { return <-w.ch }
+
+func (w *q) waitViaHelper() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.recv() // want "q.mu held across channel wait (via recv)"
+}
+
+func (w *q) releasedFirst() int {
+	w.mu.Lock()
+	w.mu.Unlock()
+	return <-w.ch // released before the wait: clean
+}
+
+// store fsyncs under a non-leaf lock (mu also wraps idx), which is
+// flagged; leaf fsyncs under a lock that wraps nothing else below.
+type store struct {
+	mu  sync.Mutex
+	idx sync.Mutex
+	f   *os.File
+}
+
+func (s *store) flushUnderLock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.idx.Lock()
+	s.idx.Unlock()
+	return s.f.Sync() // want "store.mu held across fsync"
+}
+
+// leaf holds only its own lock across the fsync — the WAL's intended
+// serialization, exempt by the leaf-lock policy.
+type leaf struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func (l *leaf) flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Sync()
+}
+
+// peer reads from a conn under its lock: flagged when no deadline is
+// armed, exempt when the function arms one.
+type peer struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (p *peer) readLocked(buf []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.conn.Read(buf) // want "peer.mu held across conn I/O"
+}
+
+func (p *peer) readArmed(buf []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_ = p.conn.SetReadDeadline(time.Now().Add(time.Second))
+	return p.conn.Read(buf) // bounded by the deadline: clean
+}

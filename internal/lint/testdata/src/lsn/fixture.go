@@ -1,0 +1,42 @@
+// Fixture for the lsn-discipline analyzer: position invention (addition,
+// increments, compound assignment on LSN-named expressions) is flagged
+// outside the blessed helpers; distances (binary subtraction) and
+// comparisons are free, and a method matching a blessed
+// "ReceiverType.Method" key is exempt.
+package lintfixture
+
+type rec struct {
+	lsn uint64
+}
+
+func next(lastLSN uint64) uint64 {
+	return lastLSN + 1 // want "LSN arithmetic (+)"
+}
+
+func (r *rec) bump() {
+	r.lsn++ // want "LSN arithmetic (++)"
+}
+
+func (r *rec) advance(n uint64) {
+	r.lsn += n // want "LSN arithmetic (+=)"
+}
+
+func lag(lastLSN, ckptLSN uint64) uint64 {
+	return lastLSN - ckptLSN // a distance: clean
+}
+
+func caughtUp(lastLSN, repLSN uint64) bool {
+	return repLSN >= lastLSN // a comparison: clean
+}
+
+// Coordinator.commitToGroup matches a blessed key, so its batch-offset
+// arithmetic is exempt.
+type Coordinator struct {
+	lsn uint64
+}
+
+func (c *Coordinator) commitToGroup(n uint64) uint64 {
+	base := c.lsn
+	c.lsn = base + n
+	return c.lsn + 1
+}

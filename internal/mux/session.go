@@ -220,17 +220,22 @@ func (s *Session) register(deadline time.Time) (uint64, *call, error) {
 }
 
 // abandon resolves a call as timed out, if the reader has not resolved
-// it first. The credit is released by whichever side resolves.
+// it first. The credit is released by whichever side resolves — after
+// dropping s.mu: the call's token was sent before it was registered, so
+// the receive cannot block, but holding the session lock across any
+// channel wait would stall every other caller behind a scheduling
+// hiccup.
 func (s *Session) abandon(id uint64, c *call) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if c.resolved {
+		s.mu.Unlock()
 		return false
 	}
 	c.resolved = true
 	delete(s.pending, id)
-	<-s.credits
 	s.armReadLocked()
+	s.mu.Unlock()
+	<-s.credits
 	close(c.done)
 	return true
 }
@@ -297,12 +302,18 @@ func (s *Session) readLoop() {
 		if ok {
 			c.resolved = true
 			delete(s.pending, id)
-			<-s.credits
 			c.body = body
 			s.armReadLocked()
-			close(c.done)
 		}
 		s.mu.Unlock()
+		if ok {
+			// Release the call's credit outside s.mu: the token was sent
+			// before the call was registered, so the receive cannot block,
+			// and the reader must never hold the session lock across a
+			// channel wait.
+			<-s.credits
+			close(c.done)
+		}
 	}
 }
 
@@ -320,10 +331,16 @@ func (s *Session) fail(err error) {
 	for _, c := range calls {
 		c.resolved = true
 		c.err = s.failed
+	}
+	s.mu.Unlock()
+	// Drain one credit per failed call outside s.mu: each was sent before
+	// its call registered, so the receives cannot block, and draining
+	// under the lock would wedge the session against any concurrent
+	// caller.
+	for _, c := range calls {
 		<-s.credits
 		close(c.done)
 	}
-	s.mu.Unlock()
 	_ = s.conn.Close()
 }
 

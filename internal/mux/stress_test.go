@@ -1,0 +1,113 @@
+package mux
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSessionCreditStressTimeoutsAndFailure is the regression for the
+// credit-release-under-mutex defect: abandon, the read loop, and fail
+// used to receive from s.credits while holding s.mu, which relied on a
+// subtle one-token-per-pending-call invariant to avoid deadlock and
+// stalled every concurrent caller behind the channel wait. This test
+// hammers a small window with concurrent requests and per-request
+// timeouts, then kills the transport with calls still pending, and
+// requires every call to resolve and every credit to be returned.
+func TestSessionCreditStressTimeoutsAndFailure(t *testing.T) {
+	release := make(chan struct{})
+	h := func(req []byte) ([]byte, bool) {
+		switch string(req) {
+		case "stall":
+			// Outlive the client's timeout so the call resolves via
+			// abandon, but return promptly so the stall does not wedge
+			// the server's slots for the echo traffic.
+			time.Sleep(25 * time.Millisecond)
+			return []byte("OK late\n"), false
+		case "wedge":
+			<-release
+			return []byte("OK wedge\n"), false
+		}
+		return []byte("OK\n"), false
+	}
+	s := pipeSession(t, h, Options{Window: 4}, ServeOptions{})
+	defer close(release)
+
+	// Wave 1: concurrent echo traffic interleaved with requests that time
+	// out while the handler stalls. Timed-out calls resolve via abandon
+	// racing the reader; echoes resolve via the reader.
+	const workers = 8
+	const perWorker = 20
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if i%4 == 3 {
+					_, err := s.DoTimeout([]byte("stall"), 2*time.Millisecond)
+					if err == nil {
+						t.Errorf("worker %d: stalled request resolved without error", w)
+					}
+					continue
+				}
+				resp, err := s.DoTimeout([]byte("ok"), 5*time.Second)
+				if err != nil || string(resp) != "OK\n" {
+					t.Errorf("worker %d: echo = %q, %v", w, resp, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Wave 2: wedge calls that are still pending when the transport dies.
+	// fail must resolve all of them (and release their credits) without
+	// deadlocking against the concurrent callers.
+	wedgeErrs := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			_, err := s.DoTimeout([]byte("wedge"), 5*time.Second)
+			wedgeErrs <- err
+		}()
+	}
+	// Wait until all three are registered before cutting the conn.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		s.mu.Lock()
+		n := len(s.pending)
+		s.mu.Unlock()
+		if n == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("wedged calls never registered (pending=%d)", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_ = s.conn.Close()
+	for i := 0; i < 3; i++ {
+		select {
+		case err := <-wedgeErrs:
+			if !errors.Is(err, ErrClosed) {
+				t.Errorf("wedged call error = %v, want ErrClosed", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("wedged call never resolved after transport failure")
+		}
+	}
+
+	// Quiescent session: every credit must have been returned. A leaked
+	// token here means a resolver skipped its receive; a deadlock above
+	// means one blocked holding s.mu.
+	if got := len(s.credits); got != 0 {
+		t.Fatalf("%d credit(s) still outstanding after all calls resolved", got)
+	}
+	s.mu.Lock()
+	n := len(s.pending)
+	s.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d call(s) still pending after failure", n)
+	}
+}

@@ -156,6 +156,8 @@ func Open(opts Options, restore func(r io.Reader, lsn uint64) error, apply func(
 // fsync policy). Auto-checkpointing runs inline when CheckpointEvery is
 // reached; a failed auto-checkpoint does not fail the append — the
 // record is durable regardless — but is reported so operators see it.
+//
+//cubelint:ignore lock-order m.mu serializes the durability path by design: the fsync (and group-commit wait) must complete before the next append is admitted
 func (m *Manager) Append(payload []byte) (uint64, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -172,6 +174,8 @@ func (m *Manager) Append(payload []byte) (uint64, error) {
 
 // AppendAt durably logs a record at a caller-chosen LSN (replica
 // lockstep). applied is false when the LSN was already in the log.
+//
+//cubelint:ignore lock-order m.mu serializes the durability path by design; the fsync under it is the ordering guarantee, not a convoy
 func (m *Manager) AppendAt(lsn uint64, payload []byte) (bool, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -194,6 +198,8 @@ func (m *Manager) AppendAt(lsn uint64, payload []byte) (bool, error) {
 // records at or below the log position are skipped, a gap fails the
 // batch from that record on while the already-written prefix stays
 // durable. applied counts the records written this call.
+//
+//cubelint:ignore lock-order m.mu serializes the durability path by design; the batch fsync under it is the ordering guarantee
 func (m *Manager) AppendBatchAt(recs []wal.Record) (applied int, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -220,6 +226,8 @@ func (m *Manager) noteAppendLocked(n int) {
 
 // Checkpoint captures the current state through the snapshot callback,
 // publishes it atomically, and trims log segments the checkpoint covers.
+//
+//cubelint:ignore lock-order checkpoints must exclude appends, so the snapshot fsync runs under m.mu by design
 func (m *Manager) Checkpoint() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -280,6 +288,8 @@ var ErrBelowCheckpoint = errors.New("recovery: rebuild target below newest check
 // re-feeds the group's true history. A target at or past LastLSN is a
 // no-op; a target below the newest checkpoint fails with
 // ErrBelowCheckpoint.
+//
+//cubelint:ignore lock-order rebuild replaces the log wholesale and must exclude appends; its fsyncs run under m.mu by design
 func (m *Manager) Rebuild(lsn uint64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -352,6 +362,8 @@ func (m *Manager) CheckpointLSN() uint64 {
 }
 
 // Close flushes and closes the log. The Manager is unusable afterwards.
+//
+//cubelint:ignore lock-order the final fsync on close runs under m.mu so no append can race the shutdown
 func (m *Manager) Close() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -151,6 +151,8 @@ func (b *durableBackend) rowsToDataset(rows []server.Row) (*parcube.Dataset, err
 
 // Delta implements server.DeltaBackend: validate, apply to the live
 // cube, then append to the WAL; only then is the delta acknowledged.
+//
+//cubelint:ignore lock-order b.mu orders log-then-apply; releasing it around the WAL fsync would let a later delta observe unlogged state
 func (b *durableBackend) Delta(rows []server.Row, lsn uint64) (uint64, bool, error) {
 	ds, err := b.rowsToDataset(rows)
 	if err != nil {
@@ -195,6 +197,8 @@ func (b *durableBackend) Delta(rows []server.Row, lsn uint64) (uint64, bool, err
 // a gap rejects — and the first rejected record stops the batch after
 // durably logging the applied prefix, so the coordinator's ERR reply
 // never races records already acknowledged into the group history.
+//
+//cubelint:ignore lock-order b.mu orders log-then-apply for the whole batch; the group fsync under it is the atomicity guarantee
 func (b *durableBackend) DeltaBatch(recs []server.LoggedDelta) (uint64, int, error) {
 	if len(recs) == 0 {
 		return 0, 0, fmt.Errorf("shard: empty delta batch")
@@ -258,6 +262,8 @@ func (b *durableBackend) DeltaBatch(recs []server.LoggedDelta) (uint64, int, err
 // rejoin when this node's newest record was never acknowledged by the
 // group (a lost-ack round left it holding an orphan, possibly divergent,
 // delta); afterwards normal catch-up resupplies the group's history.
+//
+//cubelint:ignore lock-order tail truncation rewrites the log and must exclude deltas; its fsync runs under b.mu by design
 func (b *durableBackend) TruncateTail(lsn uint64) (uint64, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -497,6 +503,8 @@ func (n *Node) LastLSN() uint64 {
 }
 
 // Checkpoint forces a durable node to checkpoint now.
+//
+//cubelint:ignore lock-order the checkpoint snapshot must exclude deltas, so its fsync runs under the backend lock by design
 func (n *Node) Checkpoint() error {
 	if n.durable == nil {
 		return fmt.Errorf("shard: node %d has no data directory", n.ID)

@@ -4,13 +4,19 @@
 #   1. gofmt    — formatting drift (fails if any file needs gofmt)
 #   2. go build — everything compiles
 #   3. go vet   — the stock analyzers
-#   4. cubelint — the project-specific invariant analyzers (internal/lint)
-#   5. recovery — the crash/durability wall: WAL torn-tail recovery,
+#   4. go vet (full) — the extended analyzer set (copylocks, lostcancel,
+#                 unusedresult, ...) that the default vet run omits
+#   5. cubelint — the project-specific invariant analyzers
+#                 (internal/lint), including the interprocedural
+#                 lock-order / durability-order / lsn-discipline /
+#                 deadline-prop protocol checks, ratcheted against the
+#                 committed baseline
+#   6. recovery — the crash/durability wall: WAL torn-tail recovery,
 #                 checkpoint restore, kill -9 shard rejoin, group-commit
 #                 batching and divergence repair (race-enabled)
-#   6. loadgen  — serving-tier smoke: a real cluster behind cached and
+#   7. loadgen  — serving-tier smoke: a real cluster behind cached and
 #                 uncached coordinators driven by cubeload over MUX
-#   7. go test  — the whole suite under the race detector
+#   8. go test  — the whole suite under the race detector
 #
 # Used by `make verify` and intended as the pre-commit / CI entry point.
 # Each stage prints a banner on failure naming the stage that broke.
@@ -38,8 +44,11 @@ go build ./... || fail "go build"
 echo "==> go vet"
 go vet ./... || fail "go vet"
 
+echo "==> go vet (full analyzer set)"
+go vet -copylocks -lostcancel -unusedresult -atomic -nilfunc -unreachable -printf ./... || fail "go vet full"
+
 echo "==> cubelint"
-go run ./cmd/cubelint ./... || fail cubelint
+go run ./cmd/cubelint -baseline scripts/lint_baseline.json ./... || fail cubelint
 
 echo "==> recovery wall"
 go test -race -count=1 -run 'Crash|Torn|Durable|WAL|Checkpoint|Rejoin|Batch|Group|Diverg' \
