@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet lint lint-update-baseline race race-stress verify bench bench-json bench-regress fuzz-smoke
+.PHONY: build test vet lint lint-update-baseline race race-stress verify bench bench-json bench-regress fuzz-smoke alloc-gate
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,12 @@ vet:
 # Project-specific static analysis (internal/lint via cmd/cubelint):
 # untrusted-alloc, deadline, goroutine-leak, mutex-hygiene, obs-metric,
 # unchecked-close, plus the interprocedural protocol analyzers
-# lock-order, durability-order, lsn-discipline, and deadline-prop. The
-# committed baseline holds accepted findings; the run fails only on new
-# ones. See DESIGN.md "Static analysis layer" and "Static analysis v2".
+# lock-order, durability-order, lsn-discipline, and deadline-prop, plus
+# the hot-path allocation analyzers hot-box, hot-escape, hot-fmt,
+# hot-append, hot-conv, hot-map, and hot-defer (rooted at
+# //cubelint:hotpath directives). The committed baseline holds accepted
+# findings; the run fails only on new ones. See DESIGN.md "Static
+# analysis layer", "Static analysis v2", and "Static analysis v3".
 lint:
 	$(GO) run ./cmd/cubelint -baseline scripts/lint_baseline.json ./...
 
@@ -53,6 +56,14 @@ bench-json:
 # BENCH_7.json if present, otherwise runs the benchmark fresh.
 bench-regress:
 	./scripts/bench_regress.sh BENCH_7.json
+
+# Allocation budgets for the zero-alloc hot paths (mux frame codec,
+# qcache hit paths, scan kernels): runs the budgeted benchmarks with
+# -benchmem and fails if any exceeds its allocs/op or B/op ceiling in
+# scripts/alloc_budget.json. See BENCH_9.json for the before/after the
+# budgets pin.
+alloc-gate:
+	./scripts/alloc_gate.sh
 
 # Seed-corpus run plus a short live fuzz of every Fuzz target; the CI
 # smoke uses the same loop.

@@ -1,0 +1,169 @@
+package parcube_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// allocBudgetLine mirrors one scripts/alloc_budget.json entry.
+type allocBudgetLine struct {
+	Bench    string `json:"bench"`
+	Pkg      string `json:"pkg"`
+	MaxAlloc int64  `json:"max_allocs_per_op"`
+	MaxBytes int64  `json:"max_bytes_per_op"`
+}
+
+func readAllocBudget(t *testing.T) []allocBudgetLine {
+	t.Helper()
+	f, err := os.Open(filepath.Join("scripts", "alloc_budget.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var lines []allocBudgetLine
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var l allocBudgetLine
+		if err := json.Unmarshal([]byte(text), &l); err != nil {
+			t.Fatalf("budget line %q: %v", text, err)
+		}
+		lines = append(lines, l)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 {
+		t.Fatal("scripts/alloc_budget.json is empty")
+	}
+	return lines
+}
+
+// cannedBench renders `go test -benchmem` style output where every
+// budgeted benchmark costs its ceiling plus the given excess.
+func cannedBench(budget []allocBudgetLine, excessAllocs, excessBytes int64) string {
+	var b strings.Builder
+	for _, l := range budget {
+		fmt.Fprintf(&b, "%s-8 \t 1000 \t 100.0 ns/op \t %d B/op \t %d allocs/op\n",
+			l.Bench, l.MaxBytes+excessBytes, l.MaxAlloc+excessAllocs)
+	}
+	b.WriteString("PASS\n")
+	return b.String()
+}
+
+func runAllocGate(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join("scripts", "alloc_gate.sh"), args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return string(out), ee.ExitCode()
+		}
+		t.Fatalf("alloc_gate.sh %v: %v\n%s", args, err, out)
+	}
+	return string(out), 0
+}
+
+// TestAllocGateCheck drives scripts/alloc_gate.sh -check with canned
+// benchmark output: results exactly at the committed budget pass, and
+// an injected regression of one extra allocation per op fails.
+func TestAllocGateCheck(t *testing.T) {
+	budget := readAllocBudget(t)
+	dir := t.TempDir()
+
+	atBudget := filepath.Join(dir, "at_budget.txt")
+	if err := os.WriteFile(atBudget, []byte(cannedBench(budget, 0, 0)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code := runAllocGate(t, "-check", atBudget, filepath.Join("scripts", "alloc_budget.json"))
+	if code != 0 {
+		t.Fatalf("at-budget output rejected (exit %d):\n%s", code, out)
+	}
+	if !strings.Contains(out, "alloc_gate: OK") || strings.Contains(out, "FAIL") {
+		t.Errorf("unexpected at-budget verdicts:\n%s", out)
+	}
+
+	regressed := filepath.Join(dir, "regressed.txt")
+	if err := os.WriteFile(regressed, []byte(cannedBench(budget, 1, 64)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code = runAllocGate(t, "-check", regressed, filepath.Join("scripts", "alloc_budget.json"))
+	if code == 0 {
+		t.Fatalf("injected regression passed the gate:\n%s", out)
+	}
+	fails := strings.Count(out, "alloc_gate: FAIL")
+	if fails != len(budget) {
+		t.Errorf("got %d FAIL verdicts, want %d:\n%s", fails, len(budget), out)
+	}
+}
+
+// TestAllocGateTightenedBudget halves the committed budget (and drops
+// zero ceilings below the reported cost): output that passes today must
+// fail against the tightened file, proving the comparison reads the
+// budget rather than always passing.
+func TestAllocGateTightenedBudget(t *testing.T) {
+	budget := readAllocBudget(t)
+	dir := t.TempDir()
+
+	report := filepath.Join(dir, "report.txt")
+	if err := os.WriteFile(report, []byte(cannedBench(budget, 0, 0)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	halve := func(v int64) int64 {
+		if v <= 1 {
+			return 0
+		}
+		return v / 2
+	}
+	var tightened strings.Builder
+	for _, l := range budget {
+		fmt.Fprintf(&tightened,
+			"{\"bench\": %q, \"pkg\": %q, \"max_allocs_per_op\": %d, \"max_bytes_per_op\": %d}\n",
+			l.Bench, l.Pkg, halve(l.MaxAlloc), halve(l.MaxBytes))
+	}
+	tightFile := filepath.Join(dir, "budget.json")
+	if err := os.WriteFile(tightFile, []byte(tightened.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code := runAllocGate(t, "-check", report, tightFile)
+	if code == 0 {
+		t.Fatalf("halved budget still passed:\n%s", out)
+	}
+}
+
+// TestAllocGateMissingBench pins the coverage guarantee: a budgeted
+// benchmark absent from the output is a failure, not a silent skip.
+func TestAllocGateMissingBench(t *testing.T) {
+	budget := readAllocBudget(t)
+	dir := t.TempDir()
+	partial := filepath.Join(dir, "partial.txt")
+	if err := os.WriteFile(partial, []byte(cannedBench(budget[:1], 0, 0)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code := runAllocGate(t, "-check", partial, filepath.Join("scripts", "alloc_budget.json"))
+	if code == 0 {
+		t.Fatalf("missing benchmarks passed the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "missing from the output") {
+		t.Errorf("missing-bench verdict not reported:\n%s", out)
+	}
+}
+
+// TestAllocGateSelftest runs the script's built-in injected-regression
+// proof.
+func TestAllocGateSelftest(t *testing.T) {
+	out, code := runAllocGate(t, "-selftest")
+	if code != 0 || !strings.Contains(out, "selftest OK") {
+		t.Fatalf("selftest failed (exit %d):\n%s", code, out)
+	}
+}

@@ -46,6 +46,7 @@ func benchFigure(b *testing.B, id int) {
 		for _, part := range spec.Partitions {
 			name := fmt.Sprintf("sparsity=%.0f%%/%s", sparsity, part.Name)
 			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
 				var makespan float64
 				var comm, bytes int64
 				for i := 0; i < b.N; i++ {
@@ -94,6 +95,7 @@ func BenchmarkSequential(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(fmt.Sprintf("sparsity=%.0f%%", sparsity), func(b *testing.B) {
+			b.ReportAllocs()
 			var modeled float64
 			for i := 0; i < b.N; i++ {
 				res, err := seq.Build(input, seq.Options{Sink: &seq.CountingSink{}})
@@ -116,6 +118,7 @@ func BenchmarkMemoryBound(b *testing.B) {
 		b.Fatal(err)
 	}
 	bound := core.MemoryBoundElements(core.SortedOrdering(shape).Apply(shape))
+	b.ReportAllocs()
 	var peak int64
 	for i := 0; i < b.N; i++ {
 		res, err := seq.Build(input, seq.Options{Sink: &seq.CountingSink{}})
@@ -139,6 +142,7 @@ func BenchmarkCommVolume(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	var comm, bytes int64
 	for i := 0; i < b.N; i++ {
 		res, err := parallel.Build(input, parallel.Options{K: []int{2, 1, 0}})
@@ -155,6 +159,7 @@ func BenchmarkCommVolume(b *testing.B) {
 // BenchmarkOrderingOptimality regenerates the Theorem 6/7 table: all 24
 // orderings of a 4-D shape, scored for volume and computation.
 func BenchmarkOrderingOptimality(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.RunOrderingTable(benchCfg)
 		if err != nil {
@@ -170,6 +175,7 @@ func BenchmarkOrderingOptimality(b *testing.B) {
 // greedy algorithm against the exhaustive optimum.
 func BenchmarkGreedyPartition(b *testing.B) {
 	shape := nd.MustShape(128, 64, 32, 16)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		k, err := theory.GreedyPartition(shape, 5)
 		if err != nil {
@@ -188,6 +194,7 @@ func BenchmarkGreedyPartition(b *testing.B) {
 // BenchmarkAblationReduce regenerates A1: binomial vs flat-gather
 // reductions on the Figure 7 setup.
 func BenchmarkAblationReduce(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunReduceAblation(benchCfg); err != nil {
 			b.Fatal(err)
@@ -198,6 +205,7 @@ func BenchmarkAblationReduce(b *testing.B) {
 // BenchmarkAblationTree regenerates A2: aggregation tree vs eager and naive
 // spanning-tree baselines.
 func BenchmarkAblationTree(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunTreeAblation(benchCfg); err != nil {
 			b.Fatal(err)
@@ -208,6 +216,7 @@ func BenchmarkAblationTree(b *testing.B) {
 // BenchmarkAblationOrder regenerates A3: full parallel builds under every
 // dimension ordering.
 func BenchmarkAblationOrder(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunOrderAblation(benchCfg); err != nil {
 			b.Fatal(err)
@@ -226,6 +235,7 @@ func BenchmarkScanKernel(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var updates int64
 	for i := 0; i < b.N; i++ {

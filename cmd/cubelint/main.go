@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	cubelint [-json] [-baseline file] [packages...]
+//	cubelint [-json] [-baseline file] [-escapes=false] [packages...]
 //	cubelint -write-baseline file [packages...]
 //	cubelint -codes
 //
@@ -52,6 +52,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	codes := fs.Bool("codes", false, "print the analyzer catalog and exit")
 	baseline := fs.String("baseline", "", "suppress findings recorded in this baseline file; fail only on new ones")
 	writeBaseline := fs.String("write-baseline", "", "record the current findings to this file and exit clean")
+	escapes := fs.Bool("escapes", true, "cross-check hot-escape candidates against the compiler (go build -gcflags=-m=2)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -71,7 +72,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "cubelint: %v\n", err)
 		return 2
 	}
-	diags, suppressed := lint.Check(pkgs, lint.All)
+	var opts lint.Options
+	if *escapes {
+		facts, err := lint.LoadEscapeFacts(cwd, fs.Args()...)
+		if err != nil {
+			fmt.Fprintf(stderr, "cubelint: %v\n", err)
+			return 2
+		}
+		opts.Escapes = facts
+	}
+	diags, suppressed := lint.CheckOpts(pkgs, lint.All, opts)
 	all := toJSON(cwd, diags)
 
 	if *writeBaseline != "" {

@@ -28,14 +28,15 @@ func benchDense(b *testing.B, shape nd.Shape) *Dense {
 func BenchmarkScanThreeChildren(b *testing.B) {
 	shape := nd.MustShape(64, 64, 64)
 	parent := benchDense(b, shape)
+	targets := []Target{
+		{Child: NewDense(shape.Drop(0), agg.Sum), DropAxis: 0},
+		{Child: NewDense(shape.Drop(1), agg.Sum), DropAxis: 1},
+		{Child: NewDense(shape.Drop(2), agg.Sum), DropAxis: 2},
+	}
 	b.ReportAllocs()
 	b.SetBytes(int64(shape.Size()) * 8)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		targets := []Target{
-			{Child: NewDense(shape.Drop(0), agg.Sum), DropAxis: 0},
-			{Child: NewDense(shape.Drop(1), agg.Sum), DropAxis: 1},
-			{Child: NewDense(shape.Drop(2), agg.Sum), DropAxis: 2},
-		}
 		Scan(parent, targets, agg.Sum, agg.FoldPartial)
 	}
 }
@@ -46,10 +47,11 @@ func BenchmarkScanThreeChildren(b *testing.B) {
 func BenchmarkScanSingleChild(b *testing.B) {
 	shape := nd.MustShape(64, 64, 64)
 	parent := benchDense(b, shape)
+	targets := []Target{{Child: NewDense(shape.Drop(0), agg.Sum), DropAxis: 0}}
 	b.ReportAllocs()
 	b.SetBytes(int64(shape.Size()) * 8)
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		targets := []Target{{Child: NewDense(shape.Drop(0), agg.Sum), DropAxis: 0}}
 		Scan(parent, targets, agg.Sum, agg.FoldPartial)
 	}
 }
@@ -64,15 +66,15 @@ func BenchmarkScanSparse(b *testing.B) {
 		_ = builder.Add([]int{rng.Intn(64), rng.Intn(64), rng.Intn(64)}, 1)
 	}
 	sp := builder.Build()
+	targets := []Target{
+		{Child: NewDense(shape.Drop(0), agg.Sum), DropAxis: 0},
+		{Child: NewDense(shape.Drop(1), agg.Sum), DropAxis: 1},
+		{Child: NewDense(shape.Drop(2), agg.Sum), DropAxis: 2},
+	}
 	b.ReportAllocs()
 	b.SetBytes(int64(sp.NNZ()) * 12)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		targets := []Target{
-			{Child: NewDense(shape.Drop(0), agg.Sum), DropAxis: 0},
-			{Child: NewDense(shape.Drop(1), agg.Sum), DropAxis: 1},
-			{Child: NewDense(shape.Drop(2), agg.Sum), DropAxis: 2},
-		}
 		ScanSparse(sp, targets, agg.Sum, agg.FoldInput)
 	}
 }
@@ -80,6 +82,7 @@ func BenchmarkScanSparse(b *testing.B) {
 // BenchmarkAggregateAlong measures the single-axis dense collapse.
 func BenchmarkAggregateAlong(b *testing.B) {
 	d := benchDense(b, nd.MustShape(128, 128, 16))
+	b.ReportAllocs()
 	b.SetBytes(int64(d.Size()) * 8)
 	for i := 0; i < b.N; i++ {
 		d.AggregateAlong(1, agg.Sum)
@@ -90,6 +93,7 @@ func BenchmarkAggregateAlong(b *testing.B) {
 func BenchmarkCombineAt(b *testing.B) {
 	dst := NewDense(nd.MustShape(128, 128), agg.Sum)
 	src := benchDense(b, nd.MustShape(64, 64))
+	b.ReportAllocs()
 	b.SetBytes(int64(src.Size()) * 8)
 	for i := 0; i < b.N; i++ {
 		dst.CombineAt(src, []int{32, 32}, agg.Sum)

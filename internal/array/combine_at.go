@@ -10,6 +10,8 @@ import (
 // within d: d[lo+c] = Combine(d[lo+c], src[c]) for every coordinate c of
 // src. This assembles partial results — tile sub-cubes into global
 // group-bys, or per-processor slabs into a collected array.
+//
+//cubelint:hotpath slab-assembly kernel, one call per placed slab
 func (d *Dense) CombineAt(src *Dense, lo []int, op agg.Op) {
 	rank := d.Rank()
 	if src.Rank() != rank || len(lo) != rank {

@@ -131,6 +131,8 @@ func (d *Dense) Combine(src *Dense, op agg.Op) {
 // AggregateAlong collapses a single axis with op, returning a new array of
 // rank one less. This is the reference single-child kernel; engines that
 // compute several children at once use Scan instead.
+//
+//cubelint:hotpath reference single-axis collapse kernel
 func (d *Dense) AggregateAlong(axis int, op agg.Op) *Dense {
 	if axis < 0 || axis >= d.shape.Rank() {
 		panic(fmt.Sprintf("array: axis %d out of range for %v", axis, d.shape))

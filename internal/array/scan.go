@@ -2,6 +2,7 @@ package array
 
 import (
 	"fmt"
+	"sync"
 
 	"parcube/internal/agg"
 	"parcube/internal/nd"
@@ -16,6 +17,71 @@ type Target struct {
 	DropAxis int
 }
 
+// scanScratch holds the per-call working set of Scan and ScanSource.
+// The stride tables are flattened (target-major, rank entries each) so
+// one pooled object serves any fan-out without nested allocations.
+type scanScratch struct {
+	cstride    []int // nt*rank: child offset delta per parent-axis step
+	resetDelta []int // nt*rank: child offset delta when an axis wraps
+	coords     []int // rank: odometer state
+	coff       []int // nt: current child offsets
+}
+
+var scanPool = sync.Pool{New: func() any { return new(scanScratch) }}
+
+// intScratch resizes buf to n entries without zeroing; callers overwrite
+// every entry.
+func intScratch(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// intScratchZero resizes buf to n zeroed entries.
+func intScratchZero(buf []int, n int) []int {
+	buf = intScratch(buf, n)
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// childShapeMatches reports whether child equals parent with axis drop
+// removed, without materializing the dropped shape.
+func childShapeMatches(child, parent nd.Shape, drop int) bool {
+	if len(child) != len(parent)-1 {
+		return false
+	}
+	j := 0
+	for i := range parent {
+		if i == drop {
+			continue
+		}
+		if child[j] != parent[i] {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// fillChildStrides writes target t's flattened stride row: the child's
+// row-major strides spread onto the parent's axes, zero along the
+// collapsed axis. Derived directly from the parent shape so no child
+// stride slice is ever materialized.
+func fillChildStrides(cs []int, parentShape nd.Shape, drop int) {
+	acc := 1
+	for i := len(parentShape) - 1; i >= 0; i-- {
+		if i == drop {
+			cs[i] = 0
+			continue
+		}
+		cs[i] = acc
+		acc *= parentShape[i]
+	}
+}
+
 // Scan folds every element of parent into each target child with op, in a
 // single row-major pass. Child offsets are maintained incrementally
 // (odometer-style), so the cost is O(size(parent) * len(targets)) updates
@@ -23,6 +89,8 @@ type Target struct {
 //
 // It returns the number of accumulator updates performed, the unit the cost
 // model and the "98% of computation is at the first level" analysis use.
+//
+//cubelint:hotpath dense scan kernel, one pass per tree node
 func Scan(parent *Dense, targets []Target, op agg.Op, fold agg.Fold) int64 {
 	if len(targets) == 0 {
 		return 0
@@ -33,7 +101,7 @@ func Scan(parent *Dense, targets []Target, op agg.Op, fold agg.Fold) int64 {
 		if t.DropAxis < 0 || t.DropAxis >= rank {
 			panic(fmt.Sprintf("array: drop axis %d out of range for %v", t.DropAxis, parent.Shape()))
 		}
-		if !t.Child.Shape().Equal(parent.Shape().Drop(t.DropAxis)) {
+		if !childShapeMatches(t.Child.Shape(), parent.shape, t.DropAxis) {
 			panic(fmt.Sprintf("array: child shape %v does not match parent %v minus axis %d",
 				t.Child.Shape(), parent.Shape(), t.DropAxis))
 		}
@@ -46,37 +114,26 @@ func Scan(parent *Dense, targets []Target, op agg.Op, fold agg.Fold) int64 {
 		return int64(len(targets))
 	}
 
-	// cstride[c][i]: how much target c's offset moves when parent coordinate
-	// i increments (zero along the collapsed axis).
 	nt := len(targets)
-	cstride := make([][]int, nt)
+	sc := scanPool.Get().(*scanScratch)
+	// cstride[c*rank+i]: how much target c's offset moves when parent
+	// coordinate i increments (zero along the collapsed axis).
+	sc.cstride = intScratch(sc.cstride, nt*rank)
+	// resetDelta[c*rank+i]: offset change when coordinate i wraps from max
+	// back to zero: -(extent-1)*stride.
+	sc.resetDelta = intScratch(sc.resetDelta, nt*rank)
+	sc.coords = intScratchZero(sc.coords, rank)
+	sc.coff = intScratchZero(sc.coff, nt)
+	cstride, resetDelta, coords, coff := sc.cstride, sc.resetDelta, sc.coords, sc.coff
 	for c, t := range targets {
-		cs := make([]int, rank)
-		childStrides := t.Child.Shape().Strides()
-		j := 0
+		cs := cstride[c*rank : (c+1)*rank]
+		fillChildStrides(cs, parent.shape, t.DropAxis)
+		rd := resetDelta[c*rank : (c+1)*rank]
 		for i := 0; i < rank; i++ {
-			if i == t.DropAxis {
-				cs[i] = 0
-				continue
-			}
-			cs[i] = childStrides[j]
-			j++
+			rd[i] = -(parent.shape[i] - 1) * cs[i]
 		}
-		cstride[c] = cs
-	}
-	// resetDelta[c][i]: offset change when coordinate i wraps from max back
-	// to zero: -(extent-1)*stride.
-	resetDelta := make([][]int, nt)
-	for c := range targets {
-		rd := make([]int, rank)
-		for i := 0; i < rank; i++ {
-			rd[i] = -(parent.shape[i] - 1) * cstride[c][i]
-		}
-		resetDelta[c] = rd
 	}
 
-	coords := make([]int, rank)
-	coff := make([]int, nt)
 	pdata := parent.data
 	var updates int64
 	for poff := range pdata {
@@ -92,19 +149,20 @@ func Scan(parent *Dense, targets []Target, op agg.Op, fold agg.Fold) int64 {
 			coords[i]++
 			if coords[i] < parent.shape[i] {
 				for c := 0; c < nt; c++ {
-					coff[c] += cstride[c][i]
+					coff[c] += cstride[c*rank+i]
 				}
 				break
 			}
 			coords[i] = 0
 			for c := 0; c < nt; c++ {
-				coff[c] += resetDelta[c][i]
+				coff[c] += resetDelta[c*rank+i]
 			}
 		}
 		if i < 0 {
 			break
 		}
 	}
+	scanPool.Put(sc)
 	return updates
 }
 
@@ -120,6 +178,8 @@ type Source interface {
 // ScanSource folds every streamed cell of src into each target child with
 // op, in one pass. Children must have the source's shape minus their
 // collapsed axis. Returns the number of accumulator updates.
+//
+//cubelint:hotpath sparse scan kernel, one pass over every input cell
 func ScanSource(src Source, targets []Target, op agg.Op, fold agg.Fold) int64 {
 	shape := src.Shape()
 	rank := shape.Rank()
@@ -128,33 +188,34 @@ func ScanSource(src Source, targets []Target, op agg.Op, fold agg.Fold) int64 {
 		if t.DropAxis < 0 || t.DropAxis >= rank {
 			panic(fmt.Sprintf("array: drop axis %d out of range for %v", t.DropAxis, shape))
 		}
-		if !t.Child.Shape().Equal(shape.Drop(t.DropAxis)) {
+		if !childShapeMatches(t.Child.Shape(), shape, t.DropAxis) {
 			panic(fmt.Sprintf("array: child shape %v does not match source %v minus axis %d",
 				t.Child.Shape(), shape, t.DropAxis))
 		}
 	}
 	nt := len(targets)
-	childStrides := make([][]int, nt)
+	sc := scanPool.Get().(*scanScratch)
+	// Same flattened layout as Scan: zero stride along the collapsed axis
+	// means the offset computation needs no per-axis branch.
+	sc.cstride = intScratch(sc.cstride, nt*rank)
+	cstride := sc.cstride
 	for c, t := range targets {
-		childStrides[c] = t.Child.Shape().Strides()
+		fillChildStrides(cstride[c*rank:(c+1)*rank], shape, t.DropAxis)
 	}
 	var updates int64
 	src.Iter(func(coords []int, v float64) {
 		for c := 0; c < nt; c++ {
-			t := targets[c]
+			cs := cstride[c*rank : (c+1)*rank]
 			off := 0
-			j := 0
 			for i := 0; i < rank; i++ {
-				if i == t.DropAxis {
-					continue
-				}
-				off += coords[i] * childStrides[c][j]
-				j++
+				off += coords[i] * cs[i]
 			}
-			t.Child.data[off] = apply(t.Child.data[off], v)
+			cd := targets[c].Child.data
+			cd[off] = apply(cd[off], v)
 		}
 		updates += int64(nt)
 	})
+	scanPool.Put(sc)
 	return updates
 }
 

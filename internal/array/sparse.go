@@ -180,12 +180,17 @@ func (s *Sparse) Iter(fn func(coords []int, v float64)) {
 	rank := s.shape.Rank()
 	coords := make([]int, rank)
 	local := make([]int, rank)
+	// One chunk-shape buffer reused across chunks; Block.Shape() would
+	// allocate a fresh slice for every chunk visited.
+	cshape := make(nd.Shape, rank)
 	for ci := range s.chunks {
 		ch := &s.chunks[ci]
 		if len(ch.Entries) == 0 {
 			continue
 		}
-		cshape := ch.Block.Shape()
+		for i := 0; i < rank; i++ {
+			cshape[i] = ch.Block.Hi[i] - ch.Block.Lo[i]
+		}
 		for _, e := range ch.Entries {
 			cshape.Coords(int(e.Off), local)
 			for i := 0; i < rank; i++ {

@@ -17,6 +17,7 @@ func BenchmarkChanRoundTrip(b *testing.B) {
 	e0, _ := f.Endpoint(0)
 	e1, _ := f.Endpoint(1)
 	payload := make([]float64, 1024)
+	b.ReportAllocs()
 	b.SetBytes(8 * 1024)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -40,6 +41,7 @@ func BenchmarkTCPRoundTrip(b *testing.B) {
 	e0, _ := f.Endpoint(0)
 	e1, _ := f.Endpoint(1)
 	payload := make([]float64, 1024)
+	b.ReportAllocs()
 	b.SetBytes(8 * 1024)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -60,6 +62,7 @@ func benchReduce(b *testing.B, algo ReduceAlgorithm, width int) {
 	for i := range group {
 		group[i] = i
 	}
+	b.ReportAllocs()
 	b.SetBytes(int64(8 * width * (g - 1)))
 	for i := 0; i < b.N; i++ {
 		f, err := NewChanFabric(g)

@@ -56,6 +56,16 @@ type FuncInfo struct {
 	// callee, for caller-side lock-order edges.
 	TransLocks map[string]bool
 
+	// HotRoot marks a function whose doc comment carries a
+	// //cubelint:hotpath directive.
+	HotRoot bool
+	// Hot marks a function on a hot path: a hot root or a transitive
+	// callee of one. The perf analyzers only look at hot functions.
+	Hot bool
+	// HotFrom is the ID of the first hot root (in program order) that
+	// reaches this function, cited in perf diagnostics.
+	HotFrom string
+
 	armsDirect bool
 	// blockSites maps the position of each direct blocking operation in
 	// the body to its kind.
@@ -70,6 +80,9 @@ type FuncInfo struct {
 type Program struct {
 	Pkgs  []*Package
 	Funcs map[string]*FuncInfo
+	// Escapes holds compiler escape-analysis facts when the caller
+	// supplied them (CheckOpts / cubelint); nil otherwise.
+	Escapes EscapeFacts
 	// order lists function IDs in package → file → declaration order, so
 	// every analyzer iterates deterministically.
 	order []string
@@ -109,6 +122,7 @@ func BuildProgram(pkgs []*Package) *Program {
 				ID:          id,
 				Pkg:         p,
 				Decl:        fd,
+				HotRoot:     declaredHotRoot(fd),
 				TransBlocks: make(map[string]bool),
 				TransLocks:  make(map[string]bool),
 				blockSites:  make(map[token.Pos]string),
@@ -122,6 +136,7 @@ func BuildProgram(pkgs []*Package) *Program {
 	pr.fixArms()
 	pr.fixTransLocks()
 	pr.fixTransBlocks()
+	pr.fixHot()
 	return pr
 }
 

@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// This file is the hot-path layer under the perf analyzers: the
+// //cubelint:hotpath directive that declares a function a hot root, the
+// forward fixpoint that propagates hotness to every statically resolved
+// callee, and the compiler escape-analysis facts that turn static
+// "might allocate" candidates into confirmed findings.
+
+// hotpathPrefix declares a function a hot root when it appears in the
+// function's doc comment:
+//
+//	// readLoop pumps frames off one connection.
+//	//cubelint:hotpath per-request serving path
+//	func (s *Session) readLoop() { ... }
+//
+// Everything the function transitively calls (through statically
+// resolved calls — interface dispatch and stored function values stop
+// propagation, the same visibility the call graph has) becomes hot, and
+// the perf analyzers report allocation-discipline findings only there.
+const hotpathPrefix = "//cubelint:hotpath"
+
+// isHotpathDirective reports whether a comment declares a hot root. A
+// trailing reason is allowed; a fused suffix ("//cubelint:hotpathX") is
+// not a directive.
+func isHotpathDirective(text string) bool {
+	if !strings.HasPrefix(text, hotpathPrefix) {
+		return false
+	}
+	rest := strings.TrimPrefix(text, hotpathPrefix)
+	return rest == "" || rest[0] == ' ' || rest[0] == '\t'
+}
+
+// declaredHotRoot reports whether the declaration's doc comment carries a
+// hotpath directive.
+func declaredHotRoot(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if isHotpathDirective(c.Text) {
+			return true
+		}
+	}
+	return false
+}
+
+// fixHot propagates hotness forward from the declared roots: everything
+// a hot function statically calls is hot. HotFrom records the first root
+// (in program order) that reaches each function, for diagnostics. Runs
+// over the same Callees edges the other summaries use, so `go`-spawned
+// and stored function literals — whose bodies the direct scan skips —
+// never become hot through the spawning function.
+func (pr *Program) fixHot() {
+	for _, id := range pr.order {
+		fi := pr.Funcs[id]
+		fi.Hot = fi.HotRoot
+		if fi.HotRoot {
+			fi.HotFrom = fi.ID
+		}
+	}
+	pr.fixpoint(func(fi *FuncInfo) bool {
+		if !fi.Hot {
+			return false
+		}
+		changed := false
+		for _, c := range fi.Callees {
+			if cf := pr.Funcs[c]; cf != nil && !cf.Hot {
+				cf.Hot = true
+				cf.HotFrom = fi.HotFrom
+				changed = true
+			}
+		}
+		return changed
+	})
+}
+
+// hotVia renders the function's hot-path provenance for messages.
+func hotVia(fi *FuncInfo) string {
+	if fi.HotFrom == "" || fi.HotFrom == fi.ID {
+		return "hot root " + fi.ID
+	}
+	return fi.ID + ", hot via " + fi.HotFrom
+}
+
+// EscapeFacts records where the compiler's escape analysis reported a
+// value escaping or being moved to the heap, keyed by
+// "absolute-file:line". A nil map means facts are unavailable, in which
+// case the hot-escape analyzer reports its static candidates unchecked.
+type EscapeFacts map[string]bool
+
+// escapeAt reports a compiler-confirmed escape at the position.
+func (ef EscapeFacts) escapeAt(file string, line int) bool {
+	return ef[fmt.Sprintf("%s:%d", file, line)]
+}
+
+// LoadEscapeFacts runs the compiler over the packages matching the
+// patterns (default "./...") with -gcflags=-m=2 and parses the escape
+// diagnostics. The build cache replays diagnostics for already-compiled
+// packages, so repeated runs stay cheap. File keys are absolutized
+// against dir to match the loader's file-set positions.
+func LoadEscapeFacts(dir string, patterns ...string) (EscapeFacts, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	absDir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	args := append([]string{"build", "-gcflags=-m=2"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = absDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go build -gcflags=-m=2: %v\n%s", err, tailOf(stderr.Bytes(), 2048))
+	}
+	facts := make(EscapeFacts)
+	for _, line := range strings.Split(stderr.String(), "\n") {
+		if !strings.Contains(line, "escapes to heap") && !strings.Contains(line, "moved to heap") {
+			continue
+		}
+		// "<file>:<line>:<col>: <expr> escapes to heap[:]"
+		parts := strings.SplitN(line, ":", 4)
+		if len(parts) < 4 {
+			continue
+		}
+		file := parts[0]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(absDir, file)
+		}
+		facts[file+":"+parts[1]] = true
+	}
+	return facts, nil
+}
+
+// tailOf returns at most the last n bytes of b, for error messages.
+func tailOf(b []byte, n int) []byte {
+	if len(b) <= n {
+		return b
+	}
+	return b[len(b)-n:]
+}

@@ -80,6 +80,13 @@ const (
 	codeDurabilityOrder = "durability-order"
 	codeLSNDiscipline   = "lsn-discipline"
 	codeDeadlineProp    = "deadline-prop"
+	codeHotBox          = "hot-box"
+	codeHotEscape       = "hot-escape"
+	codeHotFmt          = "hot-fmt"
+	codeHotAppend       = "hot-append"
+	codeHotConv         = "hot-conv"
+	codeHotMap          = "hot-map"
+	codeHotDefer        = "hot-defer"
 )
 
 // All is the analyzer catalog, in reporting order.
@@ -94,6 +101,13 @@ var All = []*Analyzer{
 	DurabilityOrder,
 	LSNDiscipline,
 	DeadlineProp,
+	HotBox,
+	HotEscape,
+	HotFmt,
+	HotAppend,
+	HotConv,
+	HotMap,
+	HotDefer,
 }
 
 // ignorePrefix introduces a suppression directive.
@@ -133,9 +147,11 @@ func (s *suppressor) covers(d Diagnostic) bool {
 func collectDirectives(p *Package, sup *suppressor) []Diagnostic {
 	var bad []Diagnostic
 	for _, f := range p.Files {
-		// Function declaration extents, for function-scope directives.
+		// Function declaration extents, for function-scope directives,
+		// and doc-comment extents, for hotpath directive placement.
 		type declSpan struct{ start, end int }
 		decls := make(map[string][]declSpan) // file -> spans
+		docs := make(map[string][]declSpan)  // file -> doc-comment spans
 		for _, d := range f.Decls {
 			fd, ok := d.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
@@ -144,9 +160,35 @@ func collectDirectives(p *Package, sup *suppressor) []Diagnostic {
 			start := p.Fset.Position(fd.Pos())
 			end := p.Fset.Position(fd.End())
 			decls[start.Filename] = append(decls[start.Filename], declSpan{start.Line, end.Line})
+			if fd.Doc != nil {
+				ds := p.Fset.Position(fd.Doc.Pos())
+				de := p.Fset.Position(fd.Doc.End())
+				docs[ds.Filename] = append(docs[ds.Filename], declSpan{ds.Line, de.Line})
+			}
 		}
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
+				if isHotpathDirective(c.Text) {
+					// The directive only has meaning in a function
+					// declaration's doc comment; anywhere else it
+					// silently marks nothing, so report it.
+					pos := p.Fset.Position(c.Pos())
+					attached := false
+					for _, span := range docs[pos.Filename] {
+						if pos.Line >= span.start && pos.Line <= span.end {
+							attached = true
+							break
+						}
+					}
+					if !attached {
+						bad = append(bad, Diagnostic{
+							Pos:     pos,
+							Code:    "bad-directive",
+							Message: "//cubelint:hotpath must be in a function declaration's doc comment",
+						})
+					}
+					continue
+				}
 				if !strings.HasPrefix(c.Text, ignorePrefix) {
 					continue
 				}
@@ -191,11 +233,25 @@ func collectDirectives(p *Package, sup *suppressor) []Diagnostic {
 	return bad
 }
 
+// Options tunes a Check run.
+type Options struct {
+	// Escapes supplies compiler escape-analysis facts (LoadEscapeFacts)
+	// to the hot-escape analyzer: with facts, only compiler-confirmed
+	// escape candidates are reported; nil reports every static
+	// candidate.
+	Escapes EscapeFacts
+}
+
 // Check runs the analyzers over the packages, applies suppression
 // directives, and returns the surviving diagnostics sorted by position
 // plus the number of findings silenced by directives. Whole-program
 // analyzers run once over a call graph built from all the packages.
 func Check(pkgs []*Package, analyzers []*Analyzer) (diags []Diagnostic, suppressed int) {
+	return CheckOpts(pkgs, analyzers, Options{})
+}
+
+// CheckOpts is Check with explicit options.
+func CheckOpts(pkgs []*Package, analyzers []*Analyzer, opts Options) (diags []Diagnostic, suppressed int) {
 	sup := &suppressor{lines: make(map[string]map[string]bool)}
 	for _, p := range pkgs {
 		diags = append(diags, collectDirectives(p, sup)...)
@@ -217,6 +273,7 @@ func Check(pkgs []*Package, analyzers []*Analyzer) (diags []Diagnostic, suppress
 	}
 	if len(programAnalyzers) > 0 {
 		pr := BuildProgram(pkgs)
+		pr.Escapes = opts.Escapes
 		for _, a := range programAnalyzers {
 			raw = append(raw, a.RunProgram(pr)...)
 		}

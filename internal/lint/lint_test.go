@@ -328,21 +328,171 @@ var x int
 	}
 }
 
+func TestHotBox(t *testing.T) {
+	p := loadFixture(t, "hotbox", "parcube/lintfixture/hotbox")
+	if sup := checkFixture(t, p, HotBox); sup != 1 {
+		t.Errorf("suppressed = %d, want 1 (the hotIgnored site)", sup)
+	}
+}
+
+func TestHotEscape(t *testing.T) {
+	// Without compiler facts (Options zero value) every static candidate
+	// is reported, unconfirmed.
+	p := loadFixture(t, "hotescape", "parcube/lintfixture/hotescape")
+	checkFixture(t, p, HotEscape)
+}
+
+// TestHotEscapeCrossCheck pins the compiler cross-check: with facts
+// present, only compiler-confirmed candidates survive — an empty fact
+// set silences everything, a fact set covering the fixture confirms
+// every candidate and tags the messages.
+func TestHotEscapeCrossCheck(t *testing.T) {
+	p := loadFixture(t, "hotescape", "parcube/lintfixture/hotescape")
+	diags, _ := CheckOpts([]*Package{p}, []*Analyzer{HotEscape}, Options{Escapes: EscapeFacts{}})
+	if len(diags) != 0 {
+		t.Errorf("empty facts: got %d diagnostics, want 0: %v", len(diags), diags)
+	}
+	facts := make(EscapeFacts)
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Pos()).Filename
+		for line := 1; line <= p.Fset.File(f.Pos()).LineCount(); line++ {
+			facts[fmt.Sprintf("%s:%d", name, line)] = true
+		}
+	}
+	diags, _ = CheckOpts([]*Package{p}, []*Analyzer{HotEscape}, Options{Escapes: facts})
+	if len(diags) == 0 {
+		t.Fatal("full facts: no diagnostics, want the fixture's candidates confirmed")
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "[compiler-confirmed]") {
+			t.Errorf("confirmed finding not tagged: %s", d)
+		}
+	}
+}
+
+func TestHotFmt(t *testing.T) {
+	p := loadFixture(t, "hotfmt", "parcube/lintfixture/hotfmt")
+	if sup := checkFixture(t, p, HotFmt); sup != 1 {
+		t.Errorf("suppressed = %d, want 1 (the hotIgnored Printf)", sup)
+	}
+}
+
+func TestHotAppend(t *testing.T) {
+	p := loadFixture(t, "hotappend", "parcube/lintfixture/hotappend")
+	checkFixture(t, p, HotAppend)
+}
+
+func TestHotConv(t *testing.T) {
+	p := loadFixture(t, "hotconv", "parcube/lintfixture/hotconv")
+	checkFixture(t, p, HotConv)
+}
+
+func TestHotMap(t *testing.T) {
+	p := loadFixture(t, "hotmap", "parcube/lintfixture/hotmap")
+	if sup := checkFixture(t, p, HotMap); sup != 1 {
+		t.Errorf("suppressed = %d, want 1 (hotSnapshot's function-scope directive)", sup)
+	}
+}
+
+func TestHotDefer(t *testing.T) {
+	p := loadFixture(t, "hotdefer", "parcube/lintfixture/hotdefer")
+	checkFixture(t, p, HotDefer)
+}
+
+// TestHotPropagation pins the hotness fixpoint: a directive-less
+// function called from a hot root is flagged with its provenance, while
+// functions reached only through go statements or go-spawned literals
+// stay cold.
+func TestHotPropagation(t *testing.T) {
+	p := loadFixture(t, "hotprop", "parcube/lintfixture/hotprop")
+	diags, _ := Check([]*Package{p}, []*Analyzer{HotFmt})
+	if len(diags) != 1 {
+		t.Fatalf("diags = %v, want exactly helper's Sprintf", diags)
+	}
+	msg := diags[0].Message
+	if !strings.Contains(msg, "helper, hot via") || !strings.Contains(msg, ".root") {
+		t.Errorf("provenance missing from %q", msg)
+	}
+}
+
+// TestMisplacedHotpathDirective pins directive placement: a hotpath
+// directive anywhere but a function declaration's doc comment silently
+// marks nothing, so it must be reported.
+func TestMisplacedHotpathDirective(t *testing.T) {
+	fset := token.NewFileSet()
+	src := `package p
+
+//cubelint:hotpath not a function
+var x int
+
+// f has the directive inside its body, not its doc comment.
+func f() {
+	//cubelint:hotpath inside a body
+	_ = x
+}
+`
+	f, err := parser.ParseFile(fset, "misplaced.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := NewImporter(fset, sharedExports(t))
+	p, err := TypeCheck(fset, imp, "parcube/lintfixture/misplaced", []*ast.File{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, _ := Check([]*Package{p}, All)
+	if len(diags) != 2 {
+		t.Fatalf("diags = %v, want two bad-directive findings", diags)
+	}
+	for _, d := range diags {
+		if d.Code != "bad-directive" || !strings.Contains(d.Message, "doc comment") {
+			t.Errorf("unexpected diagnostic %s", d)
+		}
+	}
+}
+
+// TestLoadEscapeFacts runs the real compiler cross-check over one
+// package and demands absolute-keyed facts come back.
+func TestLoadEscapeFacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles a package with -gcflags=-m=2")
+	}
+	facts, err := LoadEscapeFacts(repoRoot(t), "./internal/array")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(facts) == 0 {
+		t.Fatal("no escape facts for internal/array; NewDense's make alone should escape")
+	}
+	for key := range facts {
+		if !filepath.IsAbs(key) {
+			t.Fatalf("fact key %q is not absolute", key)
+		}
+		break
+	}
+}
+
 // TestTreeClean is the acceptance gate: the repo's own tree must carry
-// zero cubelint findings.
+// zero cubelint findings, with the hot-escape analyzer running against
+// real compiler facts exactly as cmd/cubelint does.
 func TestTreeClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and type-checks the whole tree")
 	}
-	pkgs, err := Load(repoRoot(t))
+	root := repoRoot(t)
+	pkgs, err := Load(root)
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags, suppressed := Check(pkgs, All)
+	facts, err := LoadEscapeFacts(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, suppressed := CheckOpts(pkgs, All, Options{Escapes: facts})
 	for _, d := range diags {
 		t.Errorf("%s", d)
 	}
-	t.Logf("tree: %d packages, %d suppressed findings", len(pkgs), suppressed)
+	t.Logf("tree: %d packages, %d escape facts, %d suppressed findings", len(pkgs), len(facts), suppressed)
 }
 
 // TestDeterministic runs the suite twice over the same packages and

@@ -1,0 +1,586 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file holds the allocation-discipline (perf) analyzers. They only
+// look at hot functions — hot roots declared with //cubelint:hotpath
+// plus everything those roots transitively call — so the rest of the
+// tree can allocate freely. Each finding names the hot root it is
+// reachable from, and by-design allocations are silenced with the usual
+// //cubelint:ignore directive (line- or function-scoped).
+
+// HotBox flags interface boxing at call sites inside hot loops: a
+// concrete, non-pointer-shaped argument passed to an interface
+// parameter allocates per call. Calls into fmt, errors, and reflect are
+// hot-fmt's domain and skipped here.
+var HotBox = &Analyzer{
+	Code:       codeHotBox,
+	Doc:        "no interface boxing at call sites inside hot loops",
+	RunProgram: runHotBox,
+}
+
+// HotEscape flags per-iteration heap allocations of locals in hot
+// loops: addresses of locals or composite literals that escape, and
+// closure literals. When compiler escape facts are available
+// (cubelint's default), only compiler-confirmed escapes are reported;
+// without facts every static candidate is.
+var HotEscape = &Analyzer{
+	Code:       codeHotEscape,
+	Doc:        "no per-iteration heap escapes of locals in hot loops (cross-checked against -gcflags=-m=2)",
+	RunProgram: runHotEscape,
+}
+
+// HotFmt flags fmt, errors.New/Join, and reflect calls anywhere in hot
+// functions. Error constructors whose value is returned directly are
+// the cold abort path and exempt, as is anything under a panic call.
+var HotFmt = &Analyzer{
+	Code:       codeHotFmt,
+	Doc:        "no fmt/reflect/error-constructor allocations on hot paths (direct error returns exempt)",
+	RunProgram: runHotFmt,
+}
+
+// HotAppend flags append inside hot loops to slices declared without
+// capacity: each growth reallocates and copies.
+var HotAppend = &Analyzer{
+	Code:       codeHotAppend,
+	Doc:        "no append growth of capacity-less slices inside hot loops",
+	RunProgram: runHotAppend,
+}
+
+// HotConv flags string<->[]byte conversions in hot functions; each one
+// copies. Map-index probes (m[string(b)]) and comparisons are
+// compiler-optimized to zero-copy and exempt.
+var HotConv = &Analyzer{
+	Code:       codeHotConv,
+	Doc:        "no string<->[]byte copying conversions on hot paths (map probes and comparisons exempt)",
+	RunProgram: runHotConv,
+}
+
+// HotMap flags maps constructed per call in hot functions.
+var HotMap = &Analyzer{
+	Code:       codeHotMap,
+	Doc:        "no per-call map construction on hot paths",
+	RunProgram: runHotMap,
+}
+
+// HotDefer flags defer inside hot loops: the deferred calls pile up
+// until function exit and cost an allocation per iteration.
+var HotDefer = &Analyzer{
+	Code:       codeHotDefer,
+	Doc:        "no defer inside hot loops",
+	RunProgram: runHotDefer,
+}
+
+// eachHotFunc visits every hot function with a body, in program order.
+func eachHotFunc(pr *Program, visit func(*FuncInfo)) {
+	pr.EachFunc(func(fi *FuncInfo) {
+		if fi.Hot && fi.Decl != nil && fi.Decl.Body != nil {
+			visit(fi)
+		}
+	})
+}
+
+// hotWalk walks a hot function body in source order, reporting each
+// node with its ancestor chain (innermost last, not including the node)
+// and whether it sits inside a loop. Function-literal bodies and
+// go-statement subtrees are skipped — they do not run as part of the
+// hot invocation — but the literal node itself is still visited so the
+// escape analyzer can see closure allocations.
+func hotWalk(body *ast.BlockStmt, visit func(n ast.Node, parents []ast.Node, inLoop bool)) {
+	var stack []ast.Node
+	loopDepth := 0
+	isLoop := func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if isLoop(top) {
+				loopDepth--
+			}
+			return true
+		}
+		switch n.(type) {
+		case *ast.FuncLit:
+			visit(n, stack, loopDepth > 0)
+			return false
+		case *ast.GoStmt:
+			return false
+		}
+		visit(n, stack, loopDepth > 0)
+		stack = append(stack, n)
+		if isLoop(n) {
+			loopDepth++
+		}
+		return true
+	})
+}
+
+// diagAt builds one perf diagnostic at a position.
+func diagAt(p *Package, pos token.Pos, code, msg string) Diagnostic {
+	return Diagnostic{Pos: p.Fset.Position(pos), Code: code, Message: msg}
+}
+
+// callSignature resolves the signature a call invokes, or nil for
+// builtins and conversions.
+func callSignature(p *Package, call *ast.CallExpr) *types.Signature {
+	if isConversion(p, call) {
+		return nil
+	}
+	if t := typeOf(p, call.Fun); t != nil {
+		if sig, ok := t.Underlying().(*types.Signature); ok {
+			return sig
+		}
+	}
+	return nil
+}
+
+// pointerShaped reports whether values of t fit an interface's data
+// word without allocation.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Interface:
+		return true
+	}
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.UnsafePointer, types.UntypedNil:
+			return true
+		}
+	}
+	return false
+}
+
+// allocPkgs are the packages hot-fmt owns; hot-box skips calls into
+// them to avoid double-flagging boxed arguments.
+func isAllocPkg(path string) bool {
+	switch path {
+	case "fmt", "errors", "reflect":
+		return true
+	}
+	return false
+}
+
+func runHotBox(pr *Program) []Diagnostic {
+	var diags []Diagnostic
+	eachHotFunc(pr, func(fi *FuncInfo) {
+		p := fi.Pkg
+		hotWalk(fi.Decl.Body, func(n ast.Node, parents []ast.Node, inLoop bool) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !inLoop {
+				return
+			}
+			// The builtin panic gets a synthesized func(interface{})
+			// signature, so its argument looks boxed; panics are cold
+			// by definition, whether this call is one or sits under one.
+			if isPanicCall(call) || underPanic(parents) {
+				return
+			}
+			sig := callSignature(p, call)
+			if sig == nil {
+				return
+			}
+			if callee := calleeFunc(p, call); callee != nil && callee.Pkg() != nil && isAllocPkg(callee.Pkg().Path()) {
+				return
+			}
+			params := sig.Params()
+			for i, arg := range call.Args {
+				var pt types.Type
+				switch {
+				case sig.Variadic() && i >= params.Len()-1:
+					if call.Ellipsis.IsValid() {
+						continue // a slice passed through, no boxing
+					}
+					pt = params.At(params.Len() - 1).Type().Underlying().(*types.Slice).Elem()
+				case i < params.Len():
+					pt = params.At(i).Type()
+				default:
+					continue
+				}
+				if !types.IsInterface(pt.Underlying()) {
+					continue
+				}
+				at := typeOf(p, arg)
+				if at == nil || pointerShaped(at) {
+					continue
+				}
+				diags = append(diags, diagAt(p, arg.Pos(), codeHotBox,
+					fmt.Sprintf("%s argument boxed into %s per iteration in a hot loop (%s)",
+						at.String(), pt.String(), hotVia(fi))))
+			}
+		})
+	})
+	return diags
+}
+
+// rootIdent unwraps selectors, indexes, and derefs to the base
+// identifier of an lvalue expression, or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x
+	case *ast.SelectorExpr:
+		return rootIdent(x.X)
+	case *ast.IndexExpr:
+		return rootIdent(x.X)
+	case *ast.StarExpr:
+		return rootIdent(x.X)
+	}
+	return nil
+}
+
+// localVar resolves e's base identifier to a variable declared inside
+// the function (parameter or local, not a field or package-level var).
+func localVar(p *Package, fi *FuncInfo, e ast.Expr) *types.Var {
+	id := rootIdent(e)
+	if id == nil {
+		return nil
+	}
+	v, ok := p.Info.ObjectOf(id).(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	if v.Pos() < fi.Decl.Pos() || v.Pos() > fi.Decl.End() {
+		return nil
+	}
+	return v
+}
+
+// escapeConfirmed checks candidate positions against the compiler
+// facts. Without facts every candidate counts, unconfirmed; with facts
+// only compiler-reported lines survive.
+func escapeConfirmed(pr *Program, p *Package, positions ...token.Pos) (report, confirmed bool) {
+	if pr.Escapes == nil {
+		return true, false
+	}
+	for _, pos := range positions {
+		where := p.Fset.Position(pos)
+		if pr.Escapes.escapeAt(where.Filename, where.Line) {
+			return true, true
+		}
+	}
+	return false, false
+}
+
+func runHotEscape(pr *Program) []Diagnostic {
+	var diags []Diagnostic
+	report := func(p *Package, fi *FuncInfo, pos token.Pos, what string, confirmed bool) {
+		msg := fmt.Sprintf("%s in a hot loop (%s)", what, hotVia(fi))
+		if confirmed {
+			msg += " [compiler-confirmed]"
+		}
+		diags = append(diags, diagAt(p, pos, codeHotEscape, msg))
+	}
+	eachHotFunc(pr, func(fi *FuncInfo) {
+		p := fi.Pkg
+		hotWalk(fi.Decl.Body, func(n ast.Node, parents []ast.Node, inLoop bool) {
+			if !inLoop {
+				return
+			}
+			switch x := n.(type) {
+			case *ast.UnaryExpr:
+				if x.Op != token.AND {
+					return
+				}
+				if cl, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					if ok, confirmed := escapeConfirmed(pr, p, x.Pos(), cl.Pos()); ok {
+						report(p, fi, x.Pos(), "composite literal allocated per iteration", confirmed)
+					}
+					return
+				}
+				v := localVar(p, fi, x.X)
+				if v == nil {
+					return
+				}
+				if ok, confirmed := escapeConfirmed(pr, p, x.Pos(), v.Pos()); ok {
+					report(p, fi, x.Pos(),
+						fmt.Sprintf("address of local %s escapes to the heap", v.Name()), confirmed)
+				}
+			case *ast.FuncLit:
+				if ok, confirmed := escapeConfirmed(pr, p, x.Pos()); ok {
+					report(p, fi, x.Pos(), "closure literal allocated per iteration", confirmed)
+				}
+			}
+		})
+	})
+	return diags
+}
+
+// underReturn reports whether the node chain passes through a return
+// statement — the cold abort path error constructors are exempt on.
+func underReturn(parents []ast.Node) bool {
+	for _, n := range parents {
+		if _, ok := n.(*ast.ReturnStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// isPanicCall reports whether call invokes the builtin panic.
+func isPanicCall(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// underPanic reports whether the node chain passes through a panic
+// call's arguments; panics are cold by definition.
+func underPanic(parents []ast.Node) bool {
+	for _, n := range parents {
+		if call, ok := n.(*ast.CallExpr); ok && isPanicCall(call) {
+			return true
+		}
+	}
+	return false
+}
+
+func runHotFmt(pr *Program) []Diagnostic {
+	var diags []Diagnostic
+	eachHotFunc(pr, func(fi *FuncInfo) {
+		p := fi.Pkg
+		hotWalk(fi.Decl.Body, func(n ast.Node, parents []ast.Node, inLoop bool) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			callee := calleeFunc(p, call)
+			if callee == nil || callee.Pkg() == nil {
+				return
+			}
+			if underPanic(parents) {
+				return
+			}
+			name := callee.Name()
+			var what string
+			switch callee.Pkg().Path() {
+			case "fmt":
+				if name == "Errorf" && underReturn(parents) {
+					return // cold abort path
+				}
+				what = "fmt." + name
+			case "errors":
+				if name != "New" && name != "Join" {
+					return
+				}
+				if underReturn(parents) {
+					return
+				}
+				what = "errors." + name
+			case "reflect":
+				what = "reflect." + name
+			default:
+				return
+			}
+			diags = append(diags, diagAt(p, call.Pos(), codeHotFmt,
+				fmt.Sprintf("%s allocates per call on a hot path (%s); build output with append into a reused buffer",
+					what, hotVia(fi))))
+		})
+	})
+	return diags
+}
+
+// unsizedSliceLocals collects locals declared with no usable capacity:
+// `var x []T`, `x := []T{}`, and `x := make([]T, 0)`.
+func unsizedSliceLocals(p *Package, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	mark := func(name *ast.Ident) {
+		if obj := p.Info.ObjectOf(name); obj != nil {
+			if _, ok := obj.Type().Underlying().(*types.Slice); ok {
+				out[obj] = true
+			}
+		}
+	}
+	isZeroLit := func(e ast.Expr) bool {
+		bl, ok := ast.Unparen(e).(*ast.BasicLit)
+		return ok && bl.Value == "0"
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := x.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue
+				}
+				for _, name := range vs.Names {
+					mark(name)
+				}
+			}
+		case *ast.AssignStmt:
+			if x.Tok != token.DEFINE || len(x.Lhs) != len(x.Rhs) {
+				return true
+			}
+			for i, rhs := range x.Rhs {
+				name, ok := x.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				switch r := ast.Unparen(rhs).(type) {
+				case *ast.CompositeLit:
+					if len(r.Elts) == 0 {
+						mark(name)
+					}
+				case *ast.CallExpr:
+					if isBuiltinCall(p, r, "make") && len(r.Args) == 2 && isZeroLit(r.Args[1]) {
+						mark(name)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func runHotAppend(pr *Program) []Diagnostic {
+	var diags []Diagnostic
+	eachHotFunc(pr, func(fi *FuncInfo) {
+		p := fi.Pkg
+		unsized := unsizedSliceLocals(p, fi.Decl.Body)
+		if len(unsized) == 0 {
+			return
+		}
+		hotWalk(fi.Decl.Body, func(n ast.Node, parents []ast.Node, inLoop bool) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !inLoop || !isBuiltinCall(p, call, "append") || len(call.Args) == 0 {
+				return
+			}
+			id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+			if !ok || !unsized[p.Info.ObjectOf(id)] {
+				return
+			}
+			diags = append(diags, diagAt(p, call.Pos(), codeHotAppend,
+				fmt.Sprintf("append grows %s, declared without capacity, inside a hot loop (%s); pre-size or pool the buffer",
+					id.Name, hotVia(fi))))
+		})
+	})
+	return diags
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func isComparisonOp(op token.Token) bool {
+	switch op {
+	case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+		return true
+	}
+	return false
+}
+
+func runHotConv(pr *Program) []Diagnostic {
+	var diags []Diagnostic
+	eachHotFunc(pr, func(fi *FuncInfo) {
+		p := fi.Pkg
+		hotWalk(fi.Decl.Body, func(n ast.Node, parents []ast.Node, inLoop bool) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isConversion(p, call) || len(call.Args) != 1 {
+				return
+			}
+			tt := typeOf(p, call.Fun)
+			ot := typeOf(p, call.Args[0])
+			if tt == nil || ot == nil {
+				return
+			}
+			var desc string
+			switch {
+			case isStringType(ot) && isByteSlice(tt):
+				desc = "string to []byte"
+			case isByteSlice(ot) && isStringType(tt):
+				desc = "[]byte to string"
+			default:
+				return
+			}
+			// The compiler elides the copy for map probes and
+			// comparisons; those idioms are the fix, not the defect.
+			if len(parents) > 0 {
+				switch parent := parents[len(parents)-1].(type) {
+				case *ast.IndexExpr:
+					if parent.Index == call {
+						if t := typeOf(p, parent.X); t != nil {
+							if _, ok := t.Underlying().(*types.Map); ok {
+								return
+							}
+						}
+					}
+				case *ast.BinaryExpr:
+					if isComparisonOp(parent.Op) {
+						return
+					}
+				}
+			}
+			diags = append(diags, diagAt(p, call.Pos(), codeHotConv,
+				fmt.Sprintf("%s conversion copies on a hot path (%s); probe maps with m[string(b)] or append into a reused buffer",
+					desc, hotVia(fi))))
+		})
+	})
+	return diags
+}
+
+func runHotMap(pr *Program) []Diagnostic {
+	var diags []Diagnostic
+	eachHotFunc(pr, func(fi *FuncInfo) {
+		p := fi.Pkg
+		hotWalk(fi.Decl.Body, func(n ast.Node, parents []ast.Node, inLoop bool) {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if !isBuiltinCall(p, x, "make") || len(x.Args) == 0 {
+					return
+				}
+				if t := typeOf(p, x); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						diags = append(diags, diagAt(p, x.Pos(), codeHotMap,
+							fmt.Sprintf("map constructed per call on a hot path (%s); hoist it or reuse via a pool", hotVia(fi))))
+					}
+				}
+			case *ast.CompositeLit:
+				if t := typeOf(p, x); t != nil {
+					if _, ok := t.Underlying().(*types.Map); ok {
+						diags = append(diags, diagAt(p, x.Pos(), codeHotMap,
+							fmt.Sprintf("map literal constructed per call on a hot path (%s); hoist it or reuse via a pool", hotVia(fi))))
+					}
+				}
+			}
+		})
+	})
+	return diags
+}
+
+func runHotDefer(pr *Program) []Diagnostic {
+	var diags []Diagnostic
+	eachHotFunc(pr, func(fi *FuncInfo) {
+		p := fi.Pkg
+		hotWalk(fi.Decl.Body, func(n ast.Node, parents []ast.Node, inLoop bool) {
+			if d, ok := n.(*ast.DeferStmt); ok && inLoop {
+				diags = append(diags, diagAt(p, d.Pos(), codeHotDefer,
+					fmt.Sprintf("defer inside a loop on a hot path (%s); deferred calls pile up until function exit and allocate per iteration", hotVia(fi))))
+			}
+		})
+	})
+	return diags
+}

@@ -1,0 +1,36 @@
+// Package hotappend exercises the hot-append analyzer: append growth of
+// capacity-less slices inside hot loops.
+package hotappend
+
+// hot grows three unsized locals in loops; the pre-sized one is fine.
+//
+//cubelint:hotpath fixture root
+func hot(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want "append grows out"
+	}
+	empty := []int{}
+	for _, x := range xs {
+		empty = append(empty, x) // want "append grows empty"
+	}
+	zeroed := make([]int, 0)
+	for _, x := range xs {
+		zeroed = append(zeroed, x) // want "append grows zeroed"
+	}
+	sized := make([]int, 0, len(xs))
+	for _, x := range xs {
+		sized = append(sized, x)
+	}
+	out = append(out, sized...) // outside a loop: a one-shot growth
+	return append(out, zeroed...)
+}
+
+// cold appends freely without a directive.
+func cold(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+// Package hotbox exercises the hot-box analyzer: interface boxing at
+// call sites inside hot loops.
+package hotbox
+
+// sink takes an interface parameter; concrete non-pointer arguments box.
+func sink(v any) { _ = v }
+
+// sinkv is the variadic form.
+func sinkv(vs ...any) { _ = vs }
+
+// ptrSink takes a concrete pointer: no boxing.
+func ptrSink(p *int) { _ = p }
+
+// hot is a hot root: boxing in its loops is flagged.
+//
+//cubelint:hotpath fixture root
+func hot(xs []int) {
+	for _, x := range xs {
+		sink(x) // want "int argument boxed"
+		ptrSink(&x)
+		sink(&x)
+	}
+	sink(7) // outside a loop: fine
+}
+
+// hotVariadic boxes through the variadic parameter; a pass-through
+// slice does not.
+//
+//cubelint:hotpath fixture root
+func hotVariadic(xs []string, pre []any) {
+	for _, x := range xs {
+		sinkv(x) // want "string argument boxed"
+		sinkv(pre...)
+	}
+}
+
+// hotPanic boxes only into panic: cold by definition.
+//
+//cubelint:hotpath fixture root
+func hotPanic(xs []int) {
+	for _, x := range xs {
+		if x < 0 {
+			panic(x)
+		}
+	}
+}
+
+// hotIgnored carries a by-design suppression.
+//
+//cubelint:hotpath fixture root
+func hotIgnored(xs []int) {
+	for _, x := range xs {
+		//cubelint:ignore hot-box fixture: boxed by design
+		sink(x)
+	}
+}
+
+// cold has no hotpath directive: it may box freely.
+func cold(xs []int) {
+	for _, x := range xs {
+		sink(x)
+	}
+}

@@ -1,0 +1,34 @@
+// Package hotconv exercises the hot-conv analyzer: string<->[]byte
+// copying conversions on hot paths, with the compiler's zero-copy
+// idioms (map probes, comparisons) exempt.
+package hotconv
+
+var (
+	table    = map[string]int{}
+	strSink  string
+	byteSink []byte
+)
+
+// hot converts both ways; the map probe and the comparison are the
+// zero-copy idioms and stay silent.
+//
+//cubelint:hotpath fixture root
+func hot(keys [][]byte, names []string) int {
+	n := 0
+	for _, k := range keys {
+		n += table[string(k)]
+		if string(k) == "total" {
+			n++
+		}
+		strSink = string(k) // want "byte to string conversion copies"
+	}
+	for _, name := range names {
+		byteSink = []byte(name) // want "string to "
+	}
+	return n
+}
+
+// cold converts freely without a directive.
+func cold(b []byte) string {
+	return string(b)
+}

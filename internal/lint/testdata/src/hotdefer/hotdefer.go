@@ -1,0 +1,36 @@
+// Package hotdefer exercises the hot-defer analyzer: defer inside hot
+// loops piles up until function exit.
+package hotdefer
+
+import "sync"
+
+// hot defers per iteration.
+//
+//cubelint:hotpath fixture root
+func hot(mus []*sync.Mutex) {
+	for _, mu := range mus {
+		mu.Lock()
+		defer mu.Unlock() // want "defer inside a loop"
+	}
+}
+
+// hotOnce defers once, outside any loop: fine.
+//
+//cubelint:hotpath fixture root
+func hotOnce(mu *sync.Mutex, xs []int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+// cold defers in loops without a directive.
+func cold(mus []*sync.Mutex) {
+	for _, mu := range mus {
+		mu.Lock()
+		defer mu.Unlock()
+	}
+}

@@ -1,0 +1,53 @@
+// Package hotescape exercises the hot-escape analyzer: per-iteration
+// heap escapes of locals inside hot loops.
+package hotescape
+
+type node struct{ v int }
+
+var (
+	nodeSink *node
+	intSink  *int
+	fnSink   func() int
+)
+
+// hot allocates a composite literal and a closure per iteration.
+//
+//cubelint:hotpath fixture root
+func hot(xs []int) {
+	for _, x := range xs {
+		n := &node{v: x} // want "composite literal allocated per iteration"
+		nodeSink = n
+		fnSink = func() int { return x } // want "closure literal allocated per iteration"
+	}
+}
+
+// hotAddr leaks the address of a loop-local.
+//
+//cubelint:hotpath fixture root
+func hotAddr(xs []int) {
+	for i := range xs {
+		v := xs[i]
+		intSink = &v // want "address of local v escapes to the heap"
+	}
+}
+
+// hotSpawned hands a closure to go: the spawned body is not part of the
+// hot invocation and the go subtree is skipped entirely.
+//
+//cubelint:hotpath fixture root
+func hotSpawned(xs []int, done chan struct{}) {
+	for _, x := range xs {
+		go func() {
+			n := &node{v: x}
+			nodeSink = n
+			done <- struct{}{}
+		}()
+	}
+}
+
+// cold allocates freely without a directive.
+func cold(xs []int) {
+	for _, x := range xs {
+		nodeSink = &node{v: x}
+	}
+}

@@ -1,0 +1,60 @@
+// Package hotfmt exercises the hot-fmt analyzer: fmt, errors, and
+// reflect allocations anywhere in hot functions.
+package hotfmt
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+)
+
+var strSink string
+
+// hot formats per iteration.
+//
+//cubelint:hotpath fixture root
+func hot(xs []int) {
+	for _, x := range xs {
+		strSink = fmt.Sprintf("%d", x) // want "fmt.Sprintf allocates per call"
+	}
+}
+
+// hotErr shows the exemptions: error constructors returned directly are
+// the cold abort path, and panics are cold by definition. Constructed
+// errors that stick around are not exempt.
+//
+//cubelint:hotpath fixture root
+func hotErr(x int) error {
+	if x < 0 {
+		return fmt.Errorf("negative: %d", x)
+	}
+	if x > 1<<20 {
+		panic(fmt.Sprintf("absurd: %d", x))
+	}
+	err := errors.New("kept") // want "errors.New allocates per call"
+	_ = err
+	if !errors.Is(err, nil) {
+		return nil
+	}
+	return nil
+}
+
+// hotReflect reflects on a hot path.
+//
+//cubelint:hotpath fixture root
+func hotReflect(v int) bool {
+	return reflect.DeepEqual(v, v) // want "reflect.DeepEqual allocates per call"
+}
+
+// hotIgnored carries a by-design suppression.
+//
+//cubelint:hotpath fixture root
+func hotIgnored(x int) {
+	//cubelint:ignore hot-fmt fixture: operator-facing output, by design
+	fmt.Printf("x=%d\n", x)
+}
+
+// cold formats freely without a directive.
+func cold(x int) string {
+	return fmt.Sprintf("%d", x)
+}

@@ -1,0 +1,37 @@
+// Package hotmap exercises the hot-map analyzer: maps constructed per
+// call in hot functions.
+package hotmap
+
+// hot builds a map per call, via make and via a literal.
+//
+//cubelint:hotpath fixture root
+func hot(keys []string) int {
+	seen := make(map[string]bool, len(keys)) // want "map constructed per call"
+	for _, k := range keys {
+		seen[k] = true
+	}
+	weights := map[string]int{"total": 1} // want "map literal constructed per call"
+	return len(seen) + weights["total"]
+}
+
+// hotSnapshot returns a fresh map by contract; the function-scope
+// directive accepts every hot-map finding in the body.
+//
+//cubelint:hotpath fixture root
+//cubelint:ignore hot-map fixture: the snapshot map is the return value by design
+func hotSnapshot(keys []string) map[string]bool {
+	out := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		out[k] = true
+	}
+	return out
+}
+
+// cold builds maps freely without a directive.
+func cold(keys []string) map[string]bool {
+	out := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		out[k] = true
+	}
+	return out
+}

@@ -1,0 +1,39 @@
+// Package hotprop exercises hotness propagation: a cold function called
+// from a hot root inherits hotness, while functions reached only
+// through go-spawned literals (or go statements) stay cold.
+package hotprop
+
+import "fmt"
+
+var strSink string
+
+// root is the only declared hot root.
+//
+//cubelint:hotpath fixture root
+func root(xs []int) {
+	for _, x := range xs {
+		helper(x)
+	}
+	go spawnLoop(xs)
+	for _, x := range xs {
+		go func() { orbit(x) }()
+	}
+}
+
+// helper has no directive but is called from root: it is hot, and its
+// Sprintf is flagged with the provenance.
+func helper(x int) {
+	strSink = fmt.Sprintf("%d", x)
+}
+
+// spawnLoop runs only on a spawned goroutine: not hot.
+func spawnLoop(xs []int) {
+	for _, x := range xs {
+		strSink = fmt.Sprintf("%d", x)
+	}
+}
+
+// orbit is reached only through a go-spawned literal: not hot.
+func orbit(x int) {
+	strSink = fmt.Sprintf("%d", x)
+}

@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
-	"strings"
+	"sync"
 )
 
 // Frame kinds on the wire.
@@ -14,46 +14,124 @@ const (
 	KindRsp = "RSP"
 )
 
+// hdrPool recycles header scratch buffers. The frame path runs once per
+// request and once per response on every mux connection, so the header
+// must not cost an allocation; a stack array would be moved to the heap
+// anyway because the buffer escapes into w.Write.
+var hdrPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 64)
+	return &b
+}}
+
 // WriteFrame writes one frame (header line plus body) to w. The caller
 // serializes concurrent writers and handles flushing; a frame is only
 // atomic on the wire if the whole call happens under one writer lock.
+//
+//cubelint:hotpath once per request and response on every mux connection
 func WriteFrame(w io.Writer, kind string, id uint64, body []byte) error {
-	if _, err := fmt.Fprintf(w, "%s %d %d\n", kind, id, len(body)); err != nil {
+	bp := hdrPool.Get().(*[]byte)
+	hdr := append((*bp)[:0], kind...)
+	hdr = append(hdr, ' ')
+	hdr = strconv.AppendUint(hdr, id, 10)
+	hdr = append(hdr, ' ')
+	hdr = strconv.AppendUint(hdr, uint64(len(body)), 10)
+	hdr = append(hdr, '\n')
+	_, err := w.Write(hdr)
+	*bp = hdr[:0]
+	hdrPool.Put(bp)
+	if err != nil {
 		return err
 	}
-	_, err := w.Write(body)
+	_, err = w.Write(body)
 	return err
 }
 
 // ReadFrame reads one frame from r. The declared body length is
 // untrusted: anything negative or above maxBody (DefaultMaxFrame when
 // maxBody <= 0) is a protocol error and nothing is allocated for it.
+// The header is parsed in place from the reader's own buffer; the body
+// allocation is the only one, and its ownership passes to the caller.
 func ReadFrame(r *bufio.Reader, maxBody int) (kind string, id uint64, body []byte, err error) {
 	if maxBody <= 0 {
 		maxBody = DefaultMaxFrame
 	}
-	header, err := r.ReadString('\n')
+	header, err := r.ReadSlice('\n')
 	if err != nil {
+		if err == bufio.ErrBufferFull {
+			return "", 0, nil, fmt.Errorf("mux: frame header too long (%d bytes without newline)", len(header))
+		}
 		return "", 0, nil, err
 	}
-	parts := strings.Fields(strings.TrimSuffix(header, "\n"))
-	if len(parts) != 3 || (parts[0] != KindReq && parts[0] != KindRsp) {
-		return "", 0, nil, fmt.Errorf("mux: malformed frame header %q", strings.TrimSpace(header))
+	fields := header[:len(header)-1]
+	switch {
+	case hasFramePrefix(fields, KindReq):
+		kind = KindReq
+	case hasFramePrefix(fields, KindRsp):
+		kind = KindRsp
+	default:
+		return "", 0, nil, fmt.Errorf("mux: malformed frame header %q", trimEOL(header))
 	}
-	id, err = strconv.ParseUint(parts[1], 10, 64)
-	if err != nil {
-		return "", 0, nil, fmt.Errorf("mux: bad frame id %q", parts[1])
+	id, rest, ok := parseFrameUint(fields[len(kind)+1:])
+	if !ok {
+		return "", 0, nil, fmt.Errorf("mux: malformed frame header %q", trimEOL(header))
 	}
-	n, err := strconv.Atoi(parts[2])
-	if err != nil {
-		return "", 0, nil, fmt.Errorf("mux: bad frame length %q", parts[2])
+	if len(rest) == 0 || rest[0] != ' ' {
+		return "", 0, nil, fmt.Errorf("mux: malformed frame header %q", trimEOL(header))
 	}
-	if n < 0 || n > maxBody {
+	n, rest, ok := parseFrameUint(rest[1:])
+	if !ok || len(rest) != 0 {
+		return "", 0, nil, fmt.Errorf("mux: malformed frame header %q", trimEOL(header))
+	}
+	if n > uint64(maxBody) {
 		return "", 0, nil, fmt.Errorf("mux: frame length %d outside [0, %d]", n, maxBody)
 	}
 	body = make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
 		return "", 0, nil, fmt.Errorf("mux: short frame body: %w", err)
 	}
-	return parts[0], id, body, nil
+	return kind, id, body, nil
+}
+
+// hasFramePrefix reports whether b starts with the kind name followed by
+// a space, without converting b to a string.
+func hasFramePrefix(b []byte, kind string) bool {
+	if len(b) < len(kind)+1 || b[len(kind)] != ' ' {
+		return false
+	}
+	for i := 0; i < len(kind); i++ {
+		if b[i] != kind[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// parseFrameUint parses a non-empty decimal prefix of b, returning the
+// value and the unparsed remainder. ok is false for an empty digit run
+// or 64-bit overflow.
+func parseFrameUint(b []byte) (v uint64, rest []byte, ok bool) {
+	i := 0
+	for ; i < len(b) && b[i] >= '0' && b[i] <= '9'; i++ {
+		d := uint64(b[i] - '0')
+		if v > (^uint64(0)-d)/10 {
+			return 0, b, false
+		}
+		v = v*10 + d
+	}
+	if i == 0 {
+		return 0, b, false
+	}
+	return v, b[i:], true
+}
+
+// trimEOL drops a trailing newline for error messages; the argument is
+// only reached on (cold) protocol errors, so the string conversion is
+// off the hot path.
+//
+//cubelint:ignore hot-conv called only to render cold protocol-error messages
+func trimEOL(b []byte) string {
+	if len(b) > 0 && b[len(b)-1] == '\n' {
+		b = b[:len(b)-1]
+	}
+	return string(b)
 }

@@ -41,6 +41,8 @@ type ServeOptions struct {
 // bound. Serve returns when the client disconnects, a handler asks to
 // quit, or the transport fails; all in-flight handlers are joined
 // first.
+//
+//cubelint:hotpath server-side per-frame read loop
 func Serve(conn net.Conn, r *bufio.Reader, w *bufio.Writer, requested int, h Handler, o ServeOptions) error {
 	maxWin := o.Window
 	if maxWin <= 0 {
@@ -68,6 +70,7 @@ func Serve(conn net.Conn, r *bufio.Reader, w *bufio.Writer, requested int, h Han
 	}
 
 	wmu.Lock()
+	//cubelint:ignore hot-fmt handshake banner, once per connection
 	_, hsErr := fmt.Fprintf(w, "OK mux window=%d\n", granted)
 	if hsErr == nil {
 		hsErr = w.Flush()
@@ -112,6 +115,7 @@ func Serve(conn net.Conn, r *bufio.Reader, w *bufio.Writer, requested int, h Han
 			break
 		}
 		if kind != KindReq {
+			//cubelint:ignore hot-fmt terminal protocol error; the read loop exits here
 			loopErr = fmt.Errorf("mux: unexpected %s frame from client", kind)
 			break
 		}
@@ -138,11 +142,16 @@ func Serve(conn net.Conn, r *bufio.Reader, w *bufio.Writer, requested int, h Han
 
 // dispatch runs one request through admission (when configured) and the
 // handler. Admission rejections become protocol-level ERR responses so
-// the client sees a typed overload, not a dead connection.
+// the client sees a typed overload, not a dead connection. It is a hot
+// root of its own because Serve invokes it from a spawned handler
+// goroutine, which the call graph does not follow.
+//
+//cubelint:hotpath per-request handler dispatch
 func dispatch(h Handler, adm *Admission, body []byte) (resp []byte, quit bool) {
 	if adm != nil {
 		release, err := adm.Acquire(commandOf(body))
 		if err != nil {
+			//cubelint:ignore hot-conv admission rejection is the overload path, not the serving path
 			return []byte("ERR " + err.Error() + "\n"), false
 		}
 		defer release()
@@ -169,5 +178,6 @@ func commandOf(body []byte) string {
 		}
 		buf[i] = b
 	}
+	//cubelint:ignore hot-conv the admission key must be an owned string; one short-word copy per admitted request
 	return string(buf)
 }

@@ -266,6 +266,8 @@ func (s *Session) armReadLocked() {
 // writeFrame writes one frame under the writer lock with a write
 // deadline armed, so a stalled peer fails the write instead of wedging
 // every sender on the session.
+//
+//cubelint:hotpath client-side per-request write path
 func (s *Session) writeFrame(kind string, id uint64, body []byte) error {
 	wt := s.opts.WriteTimeout
 	if wt <= 0 {
@@ -285,15 +287,19 @@ func (s *Session) writeFrame(kind string, id uint64, body []byte) error {
 // readLoop is the session's single reader: it dispatches response
 // frames to their calls by ID and discards responses whose call already
 // timed out.
+//
+//cubelint:hotpath client-side per-response read loop
 func (s *Session) readLoop() {
 	defer close(s.readerDone)
 	for {
 		kind, id, body, err := ReadFrame(s.r, s.opts.MaxFrame)
 		if err != nil {
+			//cubelint:ignore hot-fmt terminal failure; the read loop exits here
 			s.fail(fmt.Errorf("mux: session read: %w", err))
 			return
 		}
 		if kind != KindRsp {
+			//cubelint:ignore hot-fmt terminal failure; the read loop exits here
 			s.fail(fmt.Errorf("mux: unexpected %s frame from server", kind))
 			return
 		}
@@ -319,6 +325,8 @@ func (s *Session) readLoop() {
 
 // fail marks the session broken, closes the transport, and resolves
 // every pending call with the failure.
+//
+//cubelint:ignore hot-fmt,hot-map runs at most once per session, tearing it down
 func (s *Session) fail(err error) {
 	s.mu.Lock()
 	if s.failed != nil {

@@ -15,6 +15,7 @@ func BenchmarkParallelBuild(b *testing.B) {
 	input := randomSparse(b, nd.MustShape(24, 24, 24, 24), 30000, 1)
 	for _, logP := range []int{0, 2, 3, 4} {
 		b.Run(fmt.Sprintf("procs=%d", 1<<uint(logP)), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := Build(input, Options{
 					LogProcs: logP,
@@ -35,6 +36,7 @@ func BenchmarkPartitionInput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.SetBytes(int64(input.NNZ()) * 12)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,40 @@
+package qcache
+
+import "testing"
+
+// BenchmarkQCacheGroupByHit measures the resident group-by hit path:
+// key construction plus the locked map lookup. This is what every
+// cached query pays before the answer is returned, so the alloc gate
+// pins it at zero allocations.
+func BenchmarkQCacheGroupByHit(b *testing.B) {
+	c := Wrap(newFakeBackend(2), Config{})
+	dims := []string{"item", "branch"}
+	if _, err := c.GroupBy(dims...); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.GroupBy(dims...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQCacheValueHit measures the single-cell hit path, whose key
+// encodes both the dimension list and the coordinates.
+func BenchmarkQCacheValueHit(b *testing.B) {
+	c := Wrap(newFakeBackend(2), Config{})
+	dims := []string{"item", "branch"}
+	coords := []int{1, 2}
+	if _, err := c.Value(dims, coords); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Value(dims, coords); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -32,7 +32,7 @@ import (
 	"container/list"
 	"fmt"
 	"sort"
-	"strings"
+	"strconv"
 	"sync"
 
 	"parcube/internal/agg"
@@ -246,16 +246,52 @@ func (c *Cache) StatsFields() []string {
 func (c *Cache) SchemaDims() ([]string, []int) { return c.inner.SchemaDims() }
 
 // --- keys -------------------------------------------------------------
+//
+// Keys are built by appending into a caller-owned byte buffer and looked
+// up with the compiler's zero-copy map[string] access on a []byte
+// conversion, so the hit path — the one every cached query takes —
+// constructs no garbage. The string materializes only when an entry is
+// actually inserted (the miss path, which already pays a backend call).
 
-func groupByKey(dims []string) string { return "G " + strings.Join(dims, ",") }
-
-func valueKey(dims []string, coords []int) string {
-	parts := make([]string, 0, len(coords))
-	for _, v := range coords {
-		parts = append(parts, fmt.Sprint(v))
+// appendGroupByKey appends the cache key for a group-by over dims.
+func appendGroupByKey(dst []byte, dims []string) []byte {
+	dst = append(dst, 'G', ' ')
+	for i, d := range dims {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = append(dst, d...)
 	}
-	return "V " + strings.Join(dims, ",") + " " + strings.Join(parts, ",")
+	return dst
 }
+
+// appendValueKey appends the cache key for a single-cell VALUE lookup.
+func appendValueKey(dst []byte, dims []string, coords []int) []byte {
+	dst = append(dst, 'V', ' ')
+	for i, d := range dims {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = append(dst, d...)
+	}
+	dst = append(dst, ' ')
+	for i, v := range coords {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = strconv.AppendInt(dst, int64(v), 10)
+	}
+	return dst
+}
+
+// groupByKey is the string form, used off the hot path (pin selection,
+// projection inserts).
+//
+//cubelint:ignore hot-conv string form is only used off the hot path
+func groupByKey(dims []string) string { return string(appendGroupByKey(nil, dims)) }
+
+// totalKey is the grand-total entry's key.
+var totalKey = []byte("T")
 
 // --- locked helpers ---------------------------------------------------
 
@@ -294,11 +330,14 @@ func (c *Cache) epochsUnchangedLocked(blocks []int, snap []uint64) bool {
 	return true
 }
 
-// lookup returns the entry for key, refreshing its LRU position.
-func (c *Cache) lookup(key string) (*entry, bool) {
+// lookup returns the entry for key, refreshing its LRU position. The
+// key is a byte view so hit-path callers can probe without materializing
+// a string: the string(key) conversion in a map index expression does
+// not allocate.
+func (c *Cache) lookup(key []byte) (*entry, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e, ok := c.entries[key]
+	e, ok := c.entries[string(key)]
 	if !ok {
 		c.misses.Inc()
 		return nil, false
@@ -439,8 +478,10 @@ func containsInt(s []int, x int) bool {
 // --- query surface ----------------------------------------------------
 
 // Total answers the grand total, cached under every block's epoch.
+//
+//cubelint:hotpath cached-query serving path
 func (c *Cache) Total() (float64, error) {
-	if e, ok := c.lookup("T"); ok {
+	if e, ok := c.lookup(totalKey); ok {
 		return e.scalar, nil
 	}
 	snap := c.snapshotEpochs(nil)
@@ -477,11 +518,15 @@ func (c *Cache) dimSetOf(dims []string) (lattice.DimSet, bool) {
 
 // GroupBy answers a group-by from the cache, a projected cached
 // ancestor, or the backend (filling the cache).
+//
+//cubelint:hotpath cached-query serving path
 func (c *Cache) GroupBy(dims ...string) (server.Result, error) {
-	key := groupByKey(dims)
-	if e, ok := c.lookup(key); ok && e.table != nil {
+	kb := appendGroupByKey(make([]byte, 0, 64), dims)
+	if e, ok := c.lookup(kb); ok && e.table != nil {
 		return e.table, nil
 	}
+	//cubelint:ignore hot-conv miss path: the key is materialized once to own the cache entry
+	key := string(kb)
 	dset, haveSet := c.dimSetOf(dims)
 	if haveSet && c.planner != nil {
 		if parent, ok := c.findAncestorTable(dset); ok && parent.key != key {
@@ -529,9 +574,11 @@ func (c *Cache) projectChild(parent *entry, dims []string) (server.Result, error
 }
 
 // Query caches parcube query-language statements by their literal text.
+//
+//cubelint:hotpath cached-query serving path
 func (c *Cache) Query(stmt string) (server.Result, error) {
-	key := "Q " + stmt
-	if e, ok := c.lookup(key); ok && e.table != nil {
+	kb := append(append(make([]byte, 0, 64), 'Q', ' '), stmt...)
+	if e, ok := c.lookup(kb); ok && e.table != nil {
 		return e.table, nil
 	}
 	snap := c.snapshotEpochs(nil)
@@ -540,15 +587,18 @@ func (c *Cache) Query(stmt string) (server.Result, error) {
 		return nil, err
 	}
 	owned := copyResult(tbl)
-	c.insert(&entry{key: key, table: owned, cells: int64(owned.Size())}, snap)
+	//cubelint:ignore hot-conv miss path: the key is materialized once to own the cache entry
+	c.insert(&entry{key: string(kb), table: owned, cells: int64(owned.Size())}, snap)
 	return owned, nil
 }
 
 // Value answers a single-cell lookup; with a Planner the entry is
 // guarded (and invalidated) by exactly the owning blocks.
+//
+//cubelint:hotpath cached-query serving path
 func (c *Cache) Value(dims []string, coords []int) (float64, error) {
-	key := valueKey(dims, coords)
-	if e, ok := c.lookup(key); ok {
+	kb := appendValueKey(make([]byte, 0, 96), dims, coords)
+	if e, ok := c.lookup(kb); ok {
 		return e.scalar, nil
 	}
 	var blocks []int
@@ -564,7 +614,8 @@ func (c *Cache) Value(dims []string, coords []int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	c.insert(&entry{key: key, scalar: v, cells: 1, blocks: blocks}, snap)
+	//cubelint:ignore hot-conv miss path: the key is materialized once to own the cache entry
+	c.insert(&entry{key: string(kb), scalar: v, cells: 1, blocks: blocks}, snap)
 	return v, nil
 }
 

@@ -36,6 +36,7 @@ func benchManager(b *testing.B, dir string) *Manager {
 func BenchmarkCheckpointWrite(b *testing.B) {
 	m := benchManager(b, b.TempDir())
 	defer m.Close()
+	b.ReportAllocs()
 	b.SetBytes(int64(len(benchState)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -66,6 +67,7 @@ func BenchmarkRecoveryOpen(b *testing.B) {
 	if err := m.Close(); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r := benchManager(b, dir)

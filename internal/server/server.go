@@ -457,6 +457,8 @@ func (s *Server) serveMux(conn net.Conn, r *bufio.Reader, w *bufio.Writer, reque
 
 // muxHandle executes one framed request body and returns the response
 // bytes the plain protocol would have written.
+//
+//cubelint:hotpath per-request serving handler behind the mux
 func (s *Server) muxHandle(req []byte) ([]byte, bool) {
 	br := bufio.NewReader(bytes.NewReader(req))
 	line, _ := br.ReadString('\n')
@@ -500,6 +502,8 @@ var knownCommands = map[string]string{
 const maxDeltaCells = 1 << 20
 
 // errf answers one request with an ERR line and counts it.
+//
+//cubelint:ignore hot-fmt ERR replies are formatted once per failed request, by design
 func (s *Server) errf(w *bufio.Writer, format string, args ...any) {
 	s.errors.Inc()
 	fmt.Fprintf(w, "ERR "+format+"\n", args...)
@@ -508,6 +512,8 @@ func (s *Server) errf(w *bufio.Writer, format string, args ...any) {
 // handle answers one request line; returns true to close the
 // connection. DELTA additionally consumes its payload lines from r,
 // re-arming conn's read deadline per line.
+//
+//cubelint:ignore hot-fmt,hot-box the line protocol's replies are formatted text by design; bulk data rides DELTABATCH and the framed mux path
 func (s *Server) handle(conn net.Conn, r *bufio.Reader, w *bufio.Writer, line string) bool {
 	fields := strings.Fields(line)
 	cmd := strings.ToUpper(fields[0])
@@ -703,6 +709,8 @@ func (s *Server) handle(conn net.Conn, r *bufio.Reader, w *bufio.Writer, line st
 // handleDelta reads a DELTA payload and hands it to the backend. The
 // payload is consumed (or the connection closed) in every error case, so
 // buffered upload lines are never re-parsed as commands.
+//
+//cubelint:ignore hot-fmt,hot-box DELTA replies and Sscanf cell parsing are the line protocol's wire format by design
 func (s *Server) handleDelta(conn net.Conn, r *bufio.Reader, w *bufio.Writer, args []string) bool {
 	db, hasDB := s.backend.(DeltaBackend)
 	if r == nil {
@@ -792,6 +800,8 @@ const maxBatchRecords = 4096
 // logs it under a single group-committed write. Malformed input closes
 // the connection (the payload length is no longer knowable); clean
 // backend rejections answer ERR with the stream in sync.
+//
+//cubelint:ignore hot-fmt,hot-box DELTABATCH replies and Sscanf cell parsing are the line protocol's wire format by design
 func (s *Server) handleDeltaBatch(conn net.Conn, r *bufio.Reader, w *bufio.Writer, args []string) bool {
 	if r == nil {
 		s.errf(w, "DELTABATCH needs a streaming connection")
@@ -942,6 +952,8 @@ func (s *Server) value(dims []string, coords []int) (float64, error) {
 }
 
 // writeTable streams a full group-by.
+//
+//cubelint:ignore hot-fmt table rows are the line protocol's text wire format by design
 func (s *Server) writeTable(w *bufio.Writer, tbl Result) {
 	s.cells.Add(int64(tbl.Size()))
 	fmt.Fprintf(w, "OK %d\n", tbl.Size())
@@ -985,7 +997,7 @@ func parseDims(fields []string) []string {
 	if joined == "" || joined == "-" {
 		return nil
 	}
-	var out []string
+	out := make([]string, 0, strings.Count(joined, ",")+1)
 	for _, d := range strings.Split(joined, ",") {
 		d = strings.TrimSpace(d)
 		if d != "" {

@@ -568,6 +568,8 @@ func (c *Coordinator) askBlock(b int, fetch func(cl *server.Client) (any, error)
 
 // scatter runs fetch once per block concurrently (with per-block
 // failover and hedging) and collects the per-block answers.
+//
+//cubelint:hotpath coordinator fan-out, once per distributed query
 func (c *Coordinator) scatter(fetch func(b int, cl *server.Client) (any, error)) ([]any, error) {
 	vals := make([]any, len(c.blocks))
 	errs := make([]error, len(c.blocks))
@@ -592,6 +594,8 @@ func (c *Coordinator) scatter(fetch func(b int, cl *server.Client) (any, error))
 // and merges the per-shard tables element-wise under the cluster
 // operator. The merged shape is inferred from the first shard's reply and
 // cross-checked against the rest.
+//
+//cubelint:hotpath coordinator gather-merge, once per distributed query
 func (c *Coordinator) gatherRows(fetch func(cl *server.Client) ([]server.Row, error)) (server.Result, error) {
 	vals, err := c.scatter(func(b int, cl *server.Client) (any, error) {
 		return fetch(cl)

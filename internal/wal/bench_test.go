@@ -29,6 +29,7 @@ func BenchmarkWALAppend(b *testing.B) {
 				b.Fatal(err)
 			}
 			defer l.Close()
+			b.ReportAllocs()
 			b.SetBytes(int64(len(benchPayload)) + frameHeader)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -68,6 +69,7 @@ func BenchmarkWALGroupCommit(b *testing.B) {
 				b.Fatal(err)
 			}
 			defer l.Close()
+			b.ReportAllocs()
 			b.SetBytes(int64(len(benchPayload)) + frameHeader)
 			b.SetParallelism(256)
 			b.ResetTimer()
@@ -103,6 +105,7 @@ func BenchmarkWALReplay(b *testing.B) {
 	if err := l.Close(); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.SetBytes(int64(records) * (int64(len(benchPayload)) + frameHeader))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -147,6 +147,11 @@ var ErrTrimmed = errors.New("wal: requested records were trimmed")
 // file; anywhere else it is interior corruption and fails Open.
 var errTornHeader = errors.New("wal: torn segment header")
 
+// errCrashed rejects every operation after Crash() dropped the handle.
+// A shared value, not fmt.Errorf per rejection: the crashed check sits
+// on the hot append path.
+var errCrashed = errors.New("wal: log crashed")
+
 // Record is one replayed log entry.
 type Record struct {
 	LSN     uint64
@@ -195,6 +200,8 @@ type commitReq struct {
 }
 
 // segName renders the file name for a segment whose first record is lsn.
+//
+//cubelint:ignore hot-fmt runs once per segment rotation, not per record
 func segName(lsn uint64) string { return fmt.Sprintf("wal-%016x.seg", lsn) }
 
 // parseSegName extracts the first LSN from a segment file name.
@@ -436,6 +443,8 @@ func (l *Log) Syncs() int64 {
 // Options.GroupCommit, concurrent Appends coalesce into one buffered
 // write and one fsync; each caller still returns only after the sync
 // covering its record landed.
+//
+//cubelint:hotpath per-record ingest write path
 func (l *Log) Append(payload []byte) (uint64, error) {
 	if l.opts.GroupCommit {
 		return l.appendGrouped(payload)
@@ -483,6 +492,8 @@ func (l *Log) appendGrouped(payload []byte) (uint64, error) {
 // to lead the next round or retires leadership. Exactly one leader runs
 // at a time; it never holds gmu across the commit I/O, which is what
 // lets the queue refill while the fsync is in flight.
+//
+//cubelint:hotpath group-commit leader, once per ingest batch
 func (l *Log) leadCommit() {
 	if wait := l.opts.CommitWait; wait > 0 {
 		time.Sleep(wait)
@@ -518,10 +529,14 @@ func (l *Log) leadCommit() {
 // record of the group (none was acknowledged durable). Callers hold
 // l.mu and close each req's done channel afterwards.
 func (l *Log) commitLocked(batch []*commitReq) {
+	bufCap := 0
+	for _, req := range batch {
+		bufCap += len(req.payload) + frameHeader
+	}
 	var (
-		writes  []*commitReq // reqs whose frame is buffered or written
-		flushed int          // prefix of writes already in the segment file
-		buf     []byte
+		writes  = make([]*commitReq, 0, len(batch)) // reqs whose frame is buffered or written
+		flushed int                                 // prefix of writes already in the segment file
+		buf     = make([]byte, 0, bufCap)
 	)
 	flush := func() error {
 		if len(buf) == 0 {
@@ -537,7 +552,7 @@ func (l *Log) commitLocked(batch []*commitReq) {
 	}
 	var werr error
 	if l.crashed {
-		werr = fmt.Errorf("wal: log crashed")
+		werr = errCrashed
 	}
 	for _, req := range batch {
 		if werr != nil {
@@ -545,6 +560,7 @@ func (l *Log) commitLocked(batch []*commitReq) {
 			continue
 		}
 		if int64(len(req.payload)) > MaxRecordBytes {
+			//cubelint:ignore hot-fmt oversized-record rejection is the cold abort path
 			req.err = fmt.Errorf("wal: record of %d bytes exceeds the %d-byte bound", len(req.payload), int64(MaxRecordBytes))
 			continue
 		}
@@ -598,7 +614,7 @@ func (l *Log) AppendBatchAt(recs []Record) (applied int, err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.crashed {
-		return 0, fmt.Errorf("wal: log crashed")
+		return 0, errCrashed
 	}
 	var (
 		buf      []byte
@@ -712,7 +728,7 @@ func (l *Log) AppendAt(lsn uint64, payload []byte) (applied bool, err error) {
 // when the active segment is full. Callers hold l.mu.
 func (l *Log) appendLocked(lsn uint64, payload []byte) error {
 	if l.crashed {
-		return fmt.Errorf("wal: log crashed")
+		return errCrashed
 	}
 	if int64(len(payload)) > MaxRecordBytes {
 		return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte bound", len(payload), int64(MaxRecordBytes))
@@ -828,7 +844,7 @@ func (l *Log) Replay(after uint64, fn func(rec Record) error) error {
 	l.mu.Lock()
 	if l.crashed {
 		l.mu.Unlock()
-		return fmt.Errorf("wal: log crashed")
+		return errCrashed
 	}
 	first, last := l.firstLSN, l.lastLSN
 	dir := l.dir
@@ -894,7 +910,7 @@ func (l *Log) TrimBelow(lsn uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.crashed {
-		return fmt.Errorf("wal: log crashed")
+		return errCrashed
 	}
 	segs, err := listSegments(l.dir)
 	if err != nil {
@@ -927,7 +943,7 @@ func (l *Log) TruncateTail(lsn uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.crashed {
-		return fmt.Errorf("wal: log crashed")
+		return errCrashed
 	}
 	if lsn >= l.lastLSN {
 		return nil
@@ -1042,7 +1058,7 @@ func (l *Log) Reset(lsn uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.crashed {
-		return fmt.Errorf("wal: log crashed")
+		return errCrashed
 	}
 	if lsn < l.lastLSN {
 		return fmt.Errorf("wal: reset to lsn %d behind last lsn %d", lsn, l.lastLSN)

@@ -53,6 +53,7 @@ BEGIN { print "["; sep = "" }
         gsub(/\//, "_per_", unit)
         gsub(/-/, "_", unit)
         gsub(/=/, "_", unit)
+        if (unit == "B_per_op") unit = "bytes_per_op"
         printf ", \"%s\": %s", unit, $i
     }
     printf "}"
