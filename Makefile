@@ -35,7 +35,7 @@ race:
 # first race so interleavings that only appear on a warm second run
 # still fail loudly.
 race-stress:
-	GORACE=halt_on_error=1 $(GO) test -race -count=2 -run 'Stress|Churn|Rejoin' ./internal/shard ./internal/mux
+	GORACE=halt_on_error=1 $(GO) test -race -count=2 -run 'Stress|Churn|Rejoin' ./internal/shard ./internal/mux ./internal/elastic
 
 # The full gate: gofmt + build + vet + cubelint + race-enabled tests.
 verify:

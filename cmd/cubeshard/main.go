@@ -34,6 +34,23 @@
 // concurrent execution, shedding excess load with a typed overload
 // error. See cmd/cubeload for the matching load generator.
 //
+// Elastic membership: a durable shard node started with -join announces
+// itself to a running coordinator, which ships it the latest checkpoint
+// of its block, replays the WAL tail, and cuts reads over atomically —
+// growing the cluster live. Start the new node empty (-in none works
+// with -join; no fact CSV needed):
+//
+//	cubeshard -shape 16x16x16x16 -in none -nodes 8 -replicas 2 -node 4 \
+//	    -data-dir /var/lib/cube/n4 -addr 127.0.0.1:7075 -join 127.0.0.1:7070
+//
+// Operator one-shots go through -ctl: drain a node out of the cluster
+// (it keeps serving in-flight reads until its last group cuts over), or
+// rebalance to a new node count (the planner emits and executes the
+// minimal migration set):
+//
+//	cubeshard -ctl 127.0.0.1:7070 -drain 127.0.0.1:7072
+//	cubeshard -ctl 127.0.0.1:7070 -rebalance 6
+//
 // Every node is given the same fact table and carves out its own block,
 // so the cluster needs no separate data-distribution step.
 package main
@@ -52,6 +69,7 @@ import (
 	"time"
 
 	"parcube"
+	"parcube/internal/elastic"
 	"parcube/internal/mux"
 	"parcube/internal/obs"
 	"parcube/internal/qcache"
@@ -76,6 +94,7 @@ func main() {
 	checkpointEvery := flag.Int("checkpoint-every", 1024, "checkpoint and trim the log after this many deltas; 0 only checkpoints on shutdown (shard mode)")
 	groupCommit := flag.Bool("group-commit", false, "coalesce concurrent WAL appends into one buffered write and fsync (shard mode, with -data-dir)")
 	commitWait := flag.Duration("commit-wait", 0, "how long a group-commit leader waits for more appends before syncing; 0 syncs immediately (shard mode, with -group-commit)")
+	joinAddr := flag.String("join", "", "coordinator address to announce this node to after startup; the cluster ships it state, so -in none needs no checkpoint (shard mode, with -data-dir)")
 	// Coordinator flags.
 	shards := flag.String("shards", "", "comma-separated shard node addresses (coordinator mode)")
 	timeout := flag.Duration("timeout", 2*time.Second, "per-shard request timeout before failover (coordinator mode)")
@@ -87,15 +106,23 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "admission control: concurrent requests executing at once; 0 disables admission (coordinator mode)")
 	maxQueue := flag.Int("max-queue", 0, "admission control: queued requests beyond the in-flight cap before shedding; 0 uses the default (coordinator mode, with -max-inflight)")
 	admitDeadline := flag.Duration("admit-deadline", 0, "admission control: maximum queue wait before a request is shed; 0 uses the default (coordinator mode, with -max-inflight)")
+	rebalanceEvery := flag.Duration("rebalance-every", 0, "re-run the partitioner over the live node set this often and execute any pending moves; 0 disables (coordinator mode)")
 	debug := flag.String("debug", "", "optional HTTP listen address serving /debug/vars (live metrics) and /debug/pprof")
+	// Control mode.
+	ctl := flag.String("ctl", "", "coordinator address for a one-shot cluster-control command; use with -drain or -rebalance")
+	drainNode := flag.String("drain", "", "drain this shard node out of the cluster (with -ctl)")
+	rebalanceTo := flag.Int("rebalance", 0, "rebalance the cluster to this many nodes (with -ctl)")
 	flag.Parse()
 
 	var err error
-	if *coordinator {
+	if *ctl != "" {
+		err = runCtl(*ctl, *drainNode, *rebalanceTo, *timeout)
+	} else if *coordinator {
 		copts := coordOptions{
 			shards: *shards, timeout: *timeout, rejoinEvery: *rejoinEvery,
 			cacheCells: *cacheCells, cachePin: *cachePin, hedge: *hedge, muxWindow: *muxWindow,
 			maxInflight: *maxInflight, maxQueue: *maxQueue, admitDeadline: *admitDeadline,
+			rebalanceEvery: *rebalanceEvery,
 		}
 		err = runCoordinator(*addr, copts, *debug)
 	} else {
@@ -103,7 +130,7 @@ func main() {
 			dir: *dataDir, fsync: *fsyncFlag, fsyncEvery: *fsyncEvery,
 			checkpointEvery: *checkpointEvery, groupCommit: *groupCommit, commitWait: *commitWait,
 		}
-		err = runShard(*shapeFlag, *in, *addr, *nodes, *replicas, *nodeID, dopts, *debug)
+		err = runShard(*shapeFlag, *in, *addr, *nodes, *replicas, *nodeID, dopts, *joinAddr, *debug)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cubeshard:", err)
@@ -122,8 +149,11 @@ type durableOptions struct {
 }
 
 // runShard builds and serves one node's block sub-cube until interrupted.
-func runShard(shapeStr, in, addr string, nodes, replicas, nodeID int, dopts durableOptions, debug string) error {
-	node, err := startShard(shapeStr, in, addr, nodes, replicas, nodeID, dopts)
+func runShard(shapeStr, in, addr string, nodes, replicas, nodeID int, dopts durableOptions, join, debug string) error {
+	if join != "" && dopts.dir == "" {
+		return fmt.Errorf("-join needs -data-dir: only durable nodes can join a live cluster")
+	}
+	node, err := startShard(shapeStr, in, addr, nodes, replicas, nodeID, dopts, join != "")
 	if err != nil {
 		return err
 	}
@@ -137,6 +167,15 @@ func runShard(shapeStr, in, addr string, nodes, replicas, nodeID int, dopts dura
 			node.ID, node.Block, node.Addr(), dopts.dir, node.LastLSN())
 	} else {
 		fmt.Fprintf(os.Stderr, "shard node %d serving block %s on %s\n", node.ID, node.Block, node.Addr())
+	}
+	if join != "" {
+		// Announce to the coordinator once the server is up: the cluster
+		// ships this node its block's state and cuts reads over to it.
+		if err := announceJoin(join, node.Addr()); err != nil {
+			node.Close()
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "joined cluster via %s\n", join)
 	}
 	waitForInterrupt()
 	if dopts.dir != "" {
@@ -170,9 +209,54 @@ func startDebug(addr string, serving *obs.Registry) error {
 	return nil
 }
 
+// announceJoin issues JOIN over the coordinator's control surface. The
+// coordinator runs the whole migration — checkpoint ship, WAL catch-up,
+// atomic cutover — before the call returns.
+func announceJoin(coordAddr, selfAddr string) error {
+	cl, err := server.DialTimeout(coordAddr, 5*time.Second)
+	if err != nil {
+		return fmt.Errorf("joining via %s: %w", coordAddr, err)
+	}
+	defer cl.Close()
+	if err := cl.Join(selfAddr); err != nil {
+		return fmt.Errorf("joining via %s: %w", coordAddr, err)
+	}
+	return nil
+}
+
+// runCtl executes one cluster-control command against a coordinator.
+func runCtl(coordAddr, drain string, rebalance int, timeout time.Duration) error {
+	if (drain == "") == (rebalance == 0) {
+		return fmt.Errorf("-ctl needs exactly one of -drain or -rebalance")
+	}
+	cl, err := server.DialTimeout(coordAddr, timeout)
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	// Migrations move real data; give the one-shot a generous bound.
+	cl.SetTimeout(5 * time.Minute)
+	if drain != "" {
+		if err := cl.Drain(drain); err != nil {
+			return err
+		}
+		fmt.Printf("drained %s\n", drain)
+		return nil
+	}
+	moves, err := cl.Rebalance(rebalance)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rebalanced to %d nodes: %d moves\n", rebalance, moves)
+	return nil
+}
+
 // startShard loads the fact table, plans the cluster layout, and starts
 // this node — durable when a data dir is configured, in-memory otherwise.
-func startShard(shapeStr, in, addr string, nodes, replicas, nodeID int, dopts durableOptions) (*shard.Node, error) {
+// allowEmpty lets -in none start with an empty base cube instead of
+// requiring a checkpoint: a joining node's state arrives from the
+// cluster, not from local history.
+func startShard(shapeStr, in, addr string, nodes, replicas, nodeID int, dopts durableOptions, allowEmpty bool) (*shard.Node, error) {
 	if shapeStr == "" {
 		return nil, fmt.Errorf("-shape is required in shard mode")
 	}
@@ -193,6 +277,12 @@ func startShard(shapeStr, in, addr string, nodes, replicas, nodeID int, dopts du
 	if in == "none" {
 		if dopts.dir == "" {
 			return nil, fmt.Errorf("-in none needs -data-dir: without a fact table the cube can only come from a checkpoint")
+		}
+		if allowEmpty {
+			// Joining node: start from an empty base. An existing
+			// checkpoint still wins during recovery, so restarts of a
+			// member node with -join are harmless.
+			ds = parcube.NewDataset(schema)
 		}
 	} else {
 		var r io.Reader = os.Stdin
@@ -232,23 +322,29 @@ func startShard(shapeStr, in, addr string, nodes, replicas, nodeID int, dopts du
 
 // coordOptions carries the coordinator-mode flags into startCoordinator.
 type coordOptions struct {
-	shards        string
-	timeout       time.Duration
-	rejoinEvery   time.Duration
-	cacheCells    int64
-	cachePin      int64
-	hedge         bool
-	muxWindow     int
-	maxInflight   int
-	maxQueue      int
-	admitDeadline time.Duration
+	shards         string
+	timeout        time.Duration
+	rejoinEvery    time.Duration
+	cacheCells     int64
+	cachePin       int64
+	hedge          bool
+	muxWindow      int
+	maxInflight    int
+	maxQueue       int
+	admitDeadline  time.Duration
+	rebalanceEvery time.Duration
 }
 
 // runCoordinator serves the scatter-gather router until interrupted.
 func runCoordinator(addr string, opts coordOptions, debug string) error {
-	srv, coord, bound, err := startCoordinator(addr, opts)
+	srv, coord, mgr, bound, err := startCoordinator(addr, opts)
 	if err != nil {
 		return err
+	}
+	stopRebalance := make(chan struct{})
+	if opts.rebalanceEvery > 0 {
+		//cubelint:ignore goroutine-leak the rebalance ticker joins via the stop channel closed on shutdown below
+		go autoRebalance(mgr, opts.rebalanceEvery, stopRebalance)
 	}
 	// The coordinator's fan-out/failover metrics ride along under their
 	// own expvar name next to the protocol server's command metrics.
@@ -261,6 +357,7 @@ func runCoordinator(addr string, opts coordOptions, debug string) error {
 	names, _ := coord.SchemaDims()
 	fmt.Fprintf(os.Stderr, "coordinator for %d-D cube on %s\n", len(names), bound)
 	waitForInterrupt()
+	close(stopRebalance)
 	err = srv.Close()
 	if cerr := coord.Close(); err == nil {
 		err = cerr
@@ -268,10 +365,31 @@ func runCoordinator(addr string, opts coordOptions, debug string) error {
 	return err
 }
 
+// autoRebalance periodically re-runs the planner over the live node set
+// and executes any pending moves, converging replica placement after
+// ad-hoc joins and drains.
+func autoRebalance(mgr *elastic.Manager, every time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			moves, err := mgr.RebalanceAuto()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cubeshard: auto-rebalance:", err)
+			} else if moves > 0 {
+				fmt.Fprintf(os.Stderr, "cubeshard: auto-rebalance executed %d moves\n", moves)
+			}
+		}
+	}
+}
+
 // startCoordinator performs the handshake and starts the protocol
 // server, with the optional serving-tier layers (hedged reads, the hot
 // group-by cache) stacked in front of the coordinator.
-func startCoordinator(addr string, opts coordOptions) (*server.Server, *shard.Coordinator, string, error) {
+func startCoordinator(addr string, opts coordOptions) (*server.Server, *shard.Coordinator, *elastic.Manager, string, error) {
 	var addrs []string
 	for _, a := range strings.Split(opts.shards, ",") {
 		if a = strings.TrimSpace(a); a != "" {
@@ -279,7 +397,7 @@ func startCoordinator(addr string, opts coordOptions) (*server.Server, *shard.Co
 		}
 	}
 	if len(addrs) == 0 {
-		return nil, nil, "", fmt.Errorf("-shards is required in coordinator mode")
+		return nil, nil, nil, "", fmt.Errorf("-shards is required in coordinator mode")
 	}
 	coord, err := shard.NewCoordinator(shard.Config{
 		Addrs:       addrs,
@@ -288,8 +406,9 @@ func startCoordinator(addr string, opts coordOptions) (*server.Server, *shard.Co
 		Hedge:       opts.hedge,
 	})
 	if err != nil {
-		return nil, nil, "", err
+		return nil, nil, nil, "", err
 	}
+	mgr := elastic.New(coord, nil, elastic.Options{Timeout: opts.timeout})
 	var backend server.Backend = coord
 	if opts.cacheCells > 0 {
 		cache := qcache.Wrap(coord, qcache.Config{
@@ -305,6 +424,7 @@ func startCoordinator(addr string, opts coordOptions) (*server.Server, *shard.Co
 		backend = cache
 	}
 	srv := server.NewBackend(backend)
+	srv.SetElastic(mgr)
 	srv.MuxWindow = opts.muxWindow
 	if opts.maxInflight > 0 {
 		srv.ConfigureAdmission(mux.AdmissionConfig{
@@ -321,9 +441,9 @@ func startCoordinator(addr string, opts coordOptions) (*server.Server, *shard.Co
 	bound, err := srv.Listen(addr)
 	if err != nil {
 		coord.Close()
-		return nil, nil, "", err
+		return nil, nil, nil, "", err
 	}
-	return srv, coord, bound, nil
+	return srv, coord, mgr, bound, nil
 }
 
 // waitForInterrupt blocks until SIGINT.

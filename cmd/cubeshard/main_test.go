@@ -54,7 +54,7 @@ func TestClusterEndToEnd(t *testing.T) {
 	path, cube := writeFactsCSV(t)
 	var addrs []string
 	for i := 0; i < 4; i++ {
-		node, err := startShard("8x4x4", path, "127.0.0.1:0", 4, 2, i, durableOptions{})
+		node, err := startShard("8x4x4", path, "127.0.0.1:0", 4, 2, i, durableOptions{}, false)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -63,7 +63,7 @@ func TestClusterEndToEnd(t *testing.T) {
 	}
 	// The full serving tier: hedged reads, the hot group-by cache with a
 	// pinned-view budget, and a capped MUX window.
-	srv, coord, bound, err := startCoordinator("127.0.0.1:0", coordOptions{
+	srv, coord, _, bound, err := startCoordinator("127.0.0.1:0", coordOptions{
 		shards: strings.Join(addrs, ","), timeout: 2 * time.Second, rejoinEvery: -1,
 		cacheCells: 1 << 16, cachePin: 64, hedge: true, muxWindow: 16,
 	})
@@ -129,23 +129,23 @@ func TestClusterEndToEnd(t *testing.T) {
 }
 
 func TestStartShardValidation(t *testing.T) {
-	if _, err := startShard("", "-", "127.0.0.1:0", 1, 1, 0, durableOptions{}); err == nil {
+	if _, err := startShard("", "-", "127.0.0.1:0", 1, 1, 0, durableOptions{}, false); err == nil {
 		t.Fatal("missing shape accepted")
 	}
-	if _, err := startShard("8z4", "-", "127.0.0.1:0", 1, 1, 0, durableOptions{}); err == nil {
+	if _, err := startShard("8z4", "-", "127.0.0.1:0", 1, 1, 0, durableOptions{}, false); err == nil {
 		t.Fatal("bad shape accepted")
 	}
 	path, _ := writeFactsCSV(t)
-	if _, err := startShard("8x4x4", path, "127.0.0.1:0", 4, 1, 9, durableOptions{}); err == nil {
+	if _, err := startShard("8x4x4", path, "127.0.0.1:0", 4, 1, 9, durableOptions{}, false); err == nil {
 		t.Fatal("out-of-range node id accepted")
 	}
 }
 
 func TestStartCoordinatorValidation(t *testing.T) {
-	if _, _, _, err := startCoordinator("127.0.0.1:0", coordOptions{timeout: time.Second, rejoinEvery: -1}); err == nil {
+	if _, _, _, _, err := startCoordinator("127.0.0.1:0", coordOptions{timeout: time.Second, rejoinEvery: -1}); err == nil {
 		t.Fatal("missing shards accepted")
 	}
-	if _, _, _, err := startCoordinator("127.0.0.1:0", coordOptions{
+	if _, _, _, _, err := startCoordinator("127.0.0.1:0", coordOptions{
 		shards: "127.0.0.1:1", timeout: 200 * time.Millisecond, rejoinEvery: -1,
 	}); err == nil {
 		t.Fatal("unreachable shard accepted")
@@ -160,7 +160,7 @@ func TestDurableShardRestartEndToEnd(t *testing.T) {
 	path, cube := writeFactsCSV(t)
 	dir := t.TempDir()
 	dopts := durableOptions{dir: dir, fsync: "always", checkpointEvery: 4}
-	node, err := startShard("8x4x4", path, "127.0.0.1:0", 1, 1, 0, dopts)
+	node, err := startShard("8x4x4", path, "127.0.0.1:0", 1, 1, 0, dopts, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +185,7 @@ func TestDurableShardRestartEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	restarted, err := startShard("8x4x4", "none", "127.0.0.1:0", 1, 1, 0, dopts)
+	restarted, err := startShard("8x4x4", "none", "127.0.0.1:0", 1, 1, 0, dopts, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,14 +204,14 @@ func TestDurableShardRestartEndToEnd(t *testing.T) {
 	}
 
 	// -in none without a data dir (or with an empty one) must refuse.
-	if _, err := startShard("8x4x4", "none", "127.0.0.1:0", 1, 1, 0, durableOptions{}); err == nil {
+	if _, err := startShard("8x4x4", "none", "127.0.0.1:0", 1, 1, 0, durableOptions{}, false); err == nil {
 		t.Fatal("-in none without -data-dir accepted")
 	}
 	fresh := durableOptions{dir: t.TempDir(), fsync: "always"}
-	if _, err := startShard("8x4x4", "none", "127.0.0.1:0", 1, 1, 0, fresh); err == nil {
+	if _, err := startShard("8x4x4", "none", "127.0.0.1:0", 1, 1, 0, fresh, false); err == nil {
 		t.Fatal("-in none with a checkpoint-less data dir accepted")
 	}
-	if _, err := startShard("8x4x4", path, "127.0.0.1:0", 1, 1, 0, durableOptions{dir: t.TempDir(), fsync: "sometimes"}); err == nil {
+	if _, err := startShard("8x4x4", path, "127.0.0.1:0", 1, 1, 0, durableOptions{dir: t.TempDir(), fsync: "sometimes"}, false); err == nil {
 		t.Fatal("bad fsync policy accepted")
 	}
 }

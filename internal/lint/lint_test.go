@@ -242,6 +242,19 @@ func TestServingTierScope(t *testing.T) {
 	}
 }
 
+// TestElasticTierScope confirms the elastic-cluster package added for
+// live migration is policed like the rest of the serving tier: the
+// deadline-propagation and durability-order fixtures must produce their
+// findings when loaded under the internal/elastic import path.
+func TestElasticTierScope(t *testing.T) {
+	p := loadFixture(t, "deadlineprop", "parcube/internal/elastic/lintfixture")
+	checkFixture(t, p, DeadlineProp)
+	p = loadFixture(t, "durability", "parcube/internal/elastic/lintfixture")
+	if sup := checkFixture(t, p, DurabilityOrder); sup != 1 {
+		t.Errorf("durability under elastic path: suppressed = %d, want 1", sup)
+	}
+}
+
 func TestLockOrder(t *testing.T) {
 	p := loadFixture(t, "lockorder", "parcube/internal/shard/lintfixture")
 	checkFixture(t, p, LockOrder)

@@ -18,6 +18,7 @@ var servingPackageMarkers = []string{
 	"internal/recovery",
 	"internal/mux",
 	"internal/qcache",
+	"internal/elastic",
 }
 
 // isServingPackage reports whether the import path belongs to the serving

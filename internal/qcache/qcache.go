@@ -34,6 +34,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"parcube/internal/agg"
 	"parcube/internal/lattice"
@@ -60,6 +61,15 @@ type Planner interface {
 // applied-delta events; the coordinator's OnIngest satisfies it.
 type IngestNotifier interface {
 	OnIngest(fn func(block int))
+}
+
+// PlanNotifier is the optional backend refinement that publishes
+// topology changes that alter the block set (an elastic split); the
+// coordinator's OnPlanChange satisfies it. On such an event the cache
+// flushes wholesale and resizes its per-block epoch guard — block
+// indices from before the change name different key ranges after it.
+type PlanNotifier interface {
+	OnPlanChange(fn func(numBlocks int))
 }
 
 // Config bounds the cache.
@@ -132,16 +142,26 @@ type Cache struct {
 	// pinnedKeys marks the group-by keys chosen by view selection.
 	pinnedKeys map[string][]string
 
-	hits          *obs.Counter
-	misses        *obs.Counter
-	fills         *obs.Counter
-	rejectedFills *obs.Counter
-	evictions     *obs.Counter
-	invalidations *obs.Counter
-	ancestorHits  *obs.Counter
-	entriesGauge  *obs.Gauge
-	cellsGauge    *obs.Gauge
-	reg           *obs.Registry
+	// fallbackMode is set when the backend accepts deltas but publishes
+	// no ingest events: instead of dropping the cache once per delta,
+	// such deltas mark fallbackDirty and the next read front flushes
+	// once — one invalidation per write burst, not per write.
+	fallbackMode  bool
+	fallbackDirty atomic.Bool
+
+	hits             *obs.Counter
+	misses           *obs.Counter
+	fills            *obs.Counter
+	rejectedFills    *obs.Counter
+	evictions        *obs.Counter
+	invalidations    *obs.Counter
+	ancestorHits     *obs.Counter
+	planFlushes      *obs.Counter
+	fallbackDeferred *obs.Counter
+	fallbackFlushes  *obs.Counter
+	entriesGauge     *obs.Gauge
+	cellsGauge       *obs.Gauge
+	reg              *obs.Registry
 }
 
 // Wrap builds the cache in front of a backend. When the backend is a
@@ -168,6 +188,9 @@ func Wrap(b server.Backend, cfg Config) *Cache {
 	c.evictions = c.reg.Counter("qcache.evictions")
 	c.invalidations = c.reg.Counter("qcache.invalidations")
 	c.ancestorHits = c.reg.Counter("qcache.ancestor_hits")
+	c.planFlushes = c.reg.Counter("qcache.plan_flushes")
+	c.fallbackDeferred = c.reg.Counter("qcache.fallback_deferred")
+	c.fallbackFlushes = c.reg.Counter("qcache.fallback_flushes")
 	c.entriesGauge = c.reg.Gauge("qcache.entries")
 	c.cellsGauge = c.reg.Gauge("qcache.cells")
 
@@ -185,8 +208,34 @@ func Wrap(b server.Backend, cfg Config) *Cache {
 	}
 	if n, ok := b.(IngestNotifier); ok {
 		n.OnIngest(c.InvalidateBlock)
+	} else {
+		c.fallbackMode = true
+	}
+	if pn, ok := b.(PlanNotifier); ok {
+		pn.OnPlanChange(c.planChanged)
 	}
 	return c
+}
+
+// planChanged handles an elastic topology cutover that changed the
+// block set: everything cached is keyed (and epoch-guarded) by block
+// indices of the old topology, so the cache flushes wholesale and the
+// epoch guard resizes to the new block count. The flush bumps every
+// surviving epoch slot first, so an in-flight fill that snapshotted the
+// old epochs can never insert against the new topology.
+func (c *Cache) planChanged(numBlocks int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.invalidateAllLocked()
+	if numBlocks <= 0 {
+		numBlocks = 1
+	}
+	if numBlocks != len(c.epochs) {
+		next := make([]uint64, numBlocks)
+		copy(next, c.epochs)
+		c.epochs = next
+	}
+	c.planFlushes.Inc()
 }
 
 // selectPins runs the space-budgeted benefit greedy over the schema
@@ -313,8 +362,14 @@ func (c *Cache) snapshotEpochs(blocks []int) []uint64 {
 }
 
 // epochsUnchangedLocked reports whether the guard epochs still match.
+// Fail-closed: a snapshot whose shape no longer fits the epoch guard (a
+// plan change resized it, or a block index left the valid range) counts
+// as changed — an unverifiable fill must not be kept.
 func (c *Cache) epochsUnchangedLocked(blocks []int, snap []uint64) bool {
 	if blocks == nil {
+		if len(snap) != len(c.epochs) {
+			return false
+		}
 		for i, e := range c.epochs {
 			if snap[i] != e {
 				return false
@@ -323,7 +378,7 @@ func (c *Cache) epochsUnchangedLocked(blocks []int, snap []uint64) bool {
 		return true
 	}
 	for i, b := range blocks {
-		if b >= 0 && b < len(c.epochs) && c.epochs[b] != snap[i] {
+		if b < 0 || b >= len(c.epochs) || c.epochs[b] != snap[i] {
 			return false
 		}
 	}
@@ -481,6 +536,7 @@ func containsInt(s []int, x int) bool {
 //
 //cubelint:hotpath cached-query serving path
 func (c *Cache) Total() (float64, error) {
+	c.maybeFlushFallback()
 	if e, ok := c.lookup(totalKey); ok {
 		return e.scalar, nil
 	}
@@ -521,6 +577,7 @@ func (c *Cache) dimSetOf(dims []string) (lattice.DimSet, bool) {
 //
 //cubelint:hotpath cached-query serving path
 func (c *Cache) GroupBy(dims ...string) (server.Result, error) {
+	c.maybeFlushFallback()
 	kb := appendGroupByKey(make([]byte, 0, 64), dims)
 	if e, ok := c.lookup(kb); ok && e.table != nil {
 		return e.table, nil
@@ -577,6 +634,7 @@ func (c *Cache) projectChild(parent *entry, dims []string) (server.Result, error
 //
 //cubelint:hotpath cached-query serving path
 func (c *Cache) Query(stmt string) (server.Result, error) {
+	c.maybeFlushFallback()
 	kb := append(append(make([]byte, 0, 64), 'Q', ' '), stmt...)
 	if e, ok := c.lookup(kb); ok && e.table != nil {
 		return e.table, nil
@@ -597,6 +655,7 @@ func (c *Cache) Query(stmt string) (server.Result, error) {
 //
 //cubelint:hotpath cached-query serving path
 func (c *Cache) Value(dims []string, coords []int) (float64, error) {
+	c.maybeFlushFallback()
 	kb := appendValueKey(make([]byte, 0, 96), dims, coords)
 	if e, ok := c.lookup(kb); ok {
 		return e.scalar, nil
@@ -656,9 +715,7 @@ func (c *Cache) Delta(rows []server.Row, lsn uint64) (uint64, bool, error) {
 	}
 	appliedLSN, applied, err := db.Delta(rows, lsn)
 	if err == nil && applied {
-		if _, notifies := c.inner.(IngestNotifier); !notifies {
-			c.InvalidateAll()
-		}
+		c.noteFallbackWrite()
 	}
 	return appliedLSN, applied, err
 }
@@ -675,9 +732,34 @@ func (c *Cache) DeltaBatch(recs []server.LoggedDelta) (uint64, int, error) {
 	}
 	lastLSN, applied, err := bb.DeltaBatch(recs)
 	if applied > 0 {
-		if _, notifies := c.inner.(IngestNotifier); !notifies {
-			c.InvalidateAll()
-		}
+		c.noteFallbackWrite()
 	}
 	return lastLSN, applied, err
+}
+
+// noteFallbackWrite records an applied delta through a backend that
+// publishes no ingest events. Instead of dropping the cache here — once
+// per delta, which under a write burst is an invalidation storm doing
+// nothing a single drop wouldn't — the write marks the cache dirty and
+// the next read front flushes once. The mark is set before the delta's
+// acknowledgement reaches the client, so no read that starts after the
+// ack can observe pre-delta cached state.
+func (c *Cache) noteFallbackWrite() {
+	if !c.fallbackMode {
+		return
+	}
+	c.fallbackDirty.Store(true)
+	c.fallbackDeferred.Inc()
+}
+
+// maybeFlushFallback runs at every read front: if notifier-less writes
+// marked the cache dirty since the last read, drop everything once.
+func (c *Cache) maybeFlushFallback() {
+	if !c.fallbackMode {
+		return
+	}
+	if c.fallbackDirty.CompareAndSwap(true, false) {
+		c.InvalidateAll()
+		c.fallbackFlushes.Inc()
+	}
 }

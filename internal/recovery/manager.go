@@ -274,6 +274,59 @@ func (m *Manager) checkpointLocked() error {
 	return m.log.TrimBelow(trimTo)
 }
 
+// ExportCheckpoint publishes a fresh checkpoint at the current log
+// position and returns its LSN and raw state bytes — the payload a
+// migration ships to a joining node (SHIPCKPT). Exporting through the
+// checkpoint path (rather than calling snap directly) means the bytes
+// handed out are exactly a CRC-verified durable artifact: whatever a
+// restart of this node would restore, the new node starts from.
+//
+//cubelint:ignore lock-order the snapshot fsync must exclude appends, so it runs under m.mu by design, same as Checkpoint
+func (m *Manager) ExportCheckpoint() (uint64, []byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, nil, errors.New("recovery: manager is closed")
+	}
+	if err := m.checkpointLocked(); err != nil {
+		return 0, nil, err
+	}
+	lsn, state, skipped, err := latestValidCheckpoint(m.dir)
+	m.ckptSkipped.Add(int64(skipped))
+	if err != nil {
+		return 0, nil, err
+	}
+	if state == nil && lsn != m.ckptLSN {
+		return 0, nil, errors.New("recovery: checkpoint vanished between publish and export")
+	}
+	return lsn, state, nil
+}
+
+// Adopt makes a shipped remote checkpoint this node's durable base: the
+// node must be empty (no log records, no checkpoint of its own), its
+// log is fast-forwarded to lsn so lockstep appends continue the donor's
+// LSN sequence, and a checkpoint of the owner's current state — which
+// the owner restored from the shipped bytes before calling — is
+// published at that position. After Adopt, a crash restores exactly the
+// adopted state plus whatever catch-up records landed after it.
+//
+//cubelint:ignore lock-order adopt replaces the durable base wholesale and must exclude appends; its fsyncs run under m.mu by design
+func (m *Manager) Adopt(lsn uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errors.New("recovery: manager is closed")
+	}
+	if m.log.LastLSN() != 0 || m.ckptLSN != 0 {
+		return fmt.Errorf("recovery: adopt requires an empty node (log at %d, checkpoint at %d)",
+			m.log.LastLSN(), m.ckptLSN)
+	}
+	if err := m.log.Reset(lsn); err != nil {
+		return fmt.Errorf("recovery: fast-forwarding log to adopted LSN %d: %w", lsn, err)
+	}
+	return m.checkpointLocked()
+}
+
 // ErrBelowCheckpoint reports a Rebuild target below the newest
 // checkpoint: the records past the target are already baked into every
 // retained snapshot, so the Manager cannot reconstruct the older state.

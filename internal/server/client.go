@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"net"
 	"strconv"
 	"strings"
@@ -470,6 +471,82 @@ func (c *Client) Truncate(lsn uint64) (uint64, error) {
 		return 0, fmt.Errorf("server: malformed truncate ack %q", payload)
 	}
 	return last, nil
+}
+
+// CkptExport asks a durable node to publish a fresh checkpoint and
+// stream it back: the donor side of a migration's state transfer.
+func (c *Client) CkptExport() (lsn uint64, state []byte, err error) {
+	payload, err := c.roundTrip("CKPTEXPORT")
+	if err != nil {
+		return 0, nil, err
+	}
+	f := parseFields(payload)
+	if lsn, err = strconv.ParseUint(f["lsn"], 10, 64); err != nil {
+		return 0, nil, fmt.Errorf("server: malformed export header %q", payload)
+	}
+	n, err := strconv.ParseInt(f["bytes"], 10, 64)
+	if err != nil || n < 0 || n > maxShipBytes {
+		return 0, nil, fmt.Errorf("server: implausible export size %q", f["bytes"])
+	}
+	state = make([]byte, n)
+	c.arm()
+	if _, err := io.ReadFull(c.r, state); err != nil {
+		return 0, nil, err
+	}
+	return lsn, state, nil
+}
+
+// ShipCkpt transfers an exported checkpoint to a fresh node, which
+// adopts it as its durable base (SHIPCKPT); only empty nodes accept.
+func (c *Client) ShipCkpt(lsn uint64, state []byte) error {
+	c.arm()
+	if _, err := fmt.Fprintf(c.w, "SHIPCKPT %d %d\n", lsn, len(state)); err != nil {
+		return err
+	}
+	c.arm()
+	if _, err := c.w.Write(state); err != nil {
+		return err
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	c.arm()
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return err
+	}
+	_, err = parseOK(line)
+	return err
+}
+
+// Join asks a coordinator's elastic controller to migrate the shard
+// node at addr into the cluster.
+func (c *Client) Join(addr string) error {
+	_, err := c.roundTrip("JOIN " + addr)
+	return err
+}
+
+// Drain asks a coordinator's elastic controller to migrate every group
+// off the node at addr and retire it from the serving set.
+func (c *Client) Drain(addr string) error {
+	_, err := c.roundTrip("DRAIN " + addr)
+	return err
+}
+
+// Rebalance asks a coordinator's elastic controller to re-plan over
+// nodes shard nodes and execute the minimal migration set; it returns
+// how many groups moved.
+func (c *Client) Rebalance(nodes int) (int, error) {
+	payload, err := c.roundTrip(fmt.Sprintf("REBALANCE %d", nodes))
+	if err != nil {
+		return 0, err
+	}
+	f := parseFields(payload)
+	moves, err := strconv.Atoi(f["moves"])
+	if err != nil {
+		return 0, fmt.Errorf("server: malformed rebalance ack %q", payload)
+	}
+	return moves, nil
 }
 
 // Top fetches the k largest cells of a group-by.

@@ -26,6 +26,15 @@
 //	                              logged cell (rows of one record share an LSN), then "."
 //	TRUNCATE <lsn>             -> "OK lsn=<n>"; durably discards log records above <lsn> and
 //	                              rebuilds state without them (rejoin divergence repair)
+//	CKPTEXPORT                 -> "OK lsn=<n> bytes=<b>", then exactly b raw checkpoint-state
+//	                              bytes — the donor side of a migration transfer
+//	SHIPCKPT <lsn> <bytes>     -> then exactly <bytes> raw state bytes; the (empty) node
+//	                              adopts them as its durable base and answers "OK lsn=<n>"
+//	JOIN <addr>                -> "OK joined=<addr>"; asks the elastic controller to migrate
+//	                              the shard node at <addr> into the cluster (coordinators)
+//	DRAIN <addr>               -> "OK drained=<addr>"; migrates the node's groups away and
+//	                              removes it from the serving set (coordinators)
+//	REBALANCE <nodes>          -> "OK moves=<n>"; re-plans over <nodes> nodes (coordinators)
 //	QUIT                       -> closes the connection
 //	MUX <window>               -> "OK mux window=<w>"; upgrades the connection to the
 //	                              multiplexed framing layer (internal/mux): many concurrent
@@ -44,6 +53,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"strconv"
 	"strings"
@@ -142,6 +152,36 @@ type TruncateBackend interface {
 	TruncateTail(lsn uint64) (uint64, error)
 }
 
+// CheckpointBackend is an optional Backend refinement for whole-state
+// transfer: the migration engine exports a durable checkpoint from a
+// live donor (CKPTEXPORT) and ships it to a fresh node (SHIPCKPT),
+// which adopts it as its durable base before WAL catch-up begins.
+type CheckpointBackend interface {
+	// ExportCheckpoint publishes a fresh checkpoint and returns its LSN
+	// and raw state bytes.
+	ExportCheckpoint() (lsn uint64, state []byte, err error)
+	// ImportCheckpoint adopts shipped state as the node's durable base.
+	// Only an empty node (no log records, no checkpoint) accepts it.
+	ImportCheckpoint(lsn uint64, state []byte) error
+}
+
+// ElasticController is the cluster-membership surface a coordinator
+// exposes over the wire (JOIN/DRAIN/REBALANCE): internal/elastic's
+// manager implements it. Installed with SetElastic — a type assertion
+// on the backend would not reach it, because serving-layer wrappers
+// (the query cache) sit between the server and the coordinator.
+type ElasticController interface {
+	// Join migrates the shard node at addr into the cluster: checkpoint
+	// ship, WAL catch-up, and an atomic read cutover.
+	Join(addr string) error
+	// Drain migrates every group off the node at addr and removes it
+	// from the serving set; the node serves reads until the cutover.
+	Drain(addr string) error
+	// Rebalance re-plans over nodes shard nodes and executes the minimal
+	// migration set, returning how many groups moved.
+	Rebalance(nodes int) (moves int, err error)
+}
+
 // StatsReporter is an optional Backend refinement that appends extra
 // key=value fields to the STATS response (the coordinator reports fan-out
 // and failover counters this way).
@@ -159,6 +199,9 @@ type ShardInfo struct {
 	Op string
 	// Block renders the served global sub-box, e.g. "[0:8,0:16]".
 	Block string
+	// Epoch is the plan epoch the node was started under (0 when the
+	// plan predates epochs); coordinators echo their serving epoch.
+	Epoch uint64
 }
 
 // Server serves one backend.
@@ -187,6 +230,7 @@ type Server struct {
 	closing bool
 	wg      sync.WaitGroup
 	shard   *ShardInfo
+	elastic ElasticController
 
 	start       time.Time
 	queries     atomic.Int64
@@ -279,6 +323,14 @@ func (s *Server) ConfigureAdmission(cfg mux.AdmissionConfig) *mux.Admission {
 func (s *Server) SetShardInfo(info ShardInfo) {
 	s.mu.Lock()
 	s.shard = &info
+	s.mu.Unlock()
+}
+
+// SetElastic installs the cluster-membership controller behind the
+// JOIN, DRAIN, and REBALANCE commands. Call before Listen.
+func (s *Server) SetElastic(ec ElasticController) {
+	s.mu.Lock()
+	s.elastic = ec
 	s.mu.Unlock()
 }
 
@@ -493,6 +545,8 @@ var knownCommands = map[string]string{
 	"QUERY": "query", "VALUE": "value", "TOP": "top",
 	"DELTA": "delta", "DELTABATCH": "deltabatch",
 	"DELTASINCE": "deltasince", "TRUNCATE": "truncate",
+	"CKPTEXPORT": "ckptexport", "SHIPCKPT": "shipckpt",
+	"JOIN": "join", "DRAIN": "drain", "REBALANCE": "rebalance",
 }
 
 // maxDeltaCells bounds one DELTA batch. The declared count is untrusted
@@ -560,6 +614,9 @@ func (s *Server) handle(conn net.Conn, r *bufio.Reader, w *bufio.Writer, line st
 		fmt.Fprintf(w, "OK id=%d op=%s block=%s", info.ID, info.Op, info.Block)
 		if wb, ok := s.backend.(WALTailBackend); ok {
 			fmt.Fprintf(w, " lsn=%d", wb.LastLSN())
+		}
+		if info.Epoch > 0 {
+			fmt.Fprintf(w, " epoch=%d", info.Epoch)
 		}
 		fmt.Fprintln(w)
 	case "SCHEMA":
@@ -647,6 +704,61 @@ func (s *Server) handle(conn net.Conn, r *bufio.Reader, w *bufio.Writer, line st
 		return s.handleDelta(conn, r, w, fields[1:])
 	case "DELTABATCH":
 		return s.handleDeltaBatch(conn, r, w, fields[1:])
+	case "CKPTEXPORT":
+		cb, ok := s.backend.(CheckpointBackend)
+		if !ok {
+			s.errf(w, "backend has no checkpoint store")
+			return false
+		}
+		lsn, state, err := cb.ExportCheckpoint()
+		if err != nil {
+			s.errf(w, "%v", err)
+			return false
+		}
+		fmt.Fprintf(w, "OK lsn=%d bytes=%d\n", lsn, len(state))
+		if _, err := w.Write(state); err != nil {
+			return true
+		}
+	case "SHIPCKPT":
+		return s.handleShipCkpt(conn, r, w, fields[1:])
+	case "JOIN", "DRAIN", "REBALANCE":
+		s.mu.Lock()
+		ec := s.elastic
+		s.mu.Unlock()
+		if ec == nil {
+			s.errf(w, "no elastic controller (not a coordinator)")
+			return false
+		}
+		if len(fields) != 2 {
+			s.errf(w, "%s needs one argument", cmd)
+			return false
+		}
+		switch cmd {
+		case "JOIN":
+			if err := ec.Join(fields[1]); err != nil {
+				s.errf(w, "%v", err)
+				return false
+			}
+			fmt.Fprintf(w, "OK joined=%s\n", fields[1])
+		case "DRAIN":
+			if err := ec.Drain(fields[1]); err != nil {
+				s.errf(w, "%v", err)
+				return false
+			}
+			fmt.Fprintf(w, "OK drained=%s\n", fields[1])
+		case "REBALANCE":
+			nodes, err := strconv.Atoi(fields[1])
+			if err != nil || nodes < 1 {
+				s.errf(w, "bad node count %q", fields[1])
+				return false
+			}
+			moves, err := ec.Rebalance(nodes)
+			if err != nil {
+				s.errf(w, "%v", err)
+				return false
+			}
+			fmt.Fprintf(w, "OK moves=%d\n", moves)
+		}
 	case "DELTASINCE":
 		wb, ok := s.backend.(WALTailBackend)
 		if !ok {
@@ -793,6 +905,55 @@ func (s *Server) handleDelta(conn net.Conn, r *bufio.Reader, w *bufio.Writer, ar
 // maxBatchRecords bounds one DELTABATCH's declared record count; like
 // maxDeltaCells it rejects untrusted wire input before any allocation.
 const maxBatchRecords = 4096
+
+// maxShipBytes bounds a SHIPCKPT payload. The declared size is
+// untrusted wire input; the bound rejects it before allocation
+// (cubelint untrusted-alloc), and mirrors what one node's block
+// sub-cube can plausibly checkpoint to.
+const maxShipBytes = int64(1) << 30 // 1 GiB
+
+// handleShipCkpt reads a SHIPCKPT transfer — header "SHIPCKPT <lsn>
+// <bytes>" then exactly <bytes> raw checkpoint-state bytes — and hands
+// it to the checkpoint backend. Any payload short-read closes the
+// connection: the stream position is unknowable after it.
+//
+//cubelint:ignore hot-fmt SHIPCKPT runs once per migration, not per query; the OK reply is the line protocol's wire format
+func (s *Server) handleShipCkpt(conn net.Conn, r *bufio.Reader, w *bufio.Writer, args []string) bool {
+	if r == nil {
+		s.errf(w, "SHIPCKPT needs a streaming connection")
+		return false
+	}
+	if len(args) != 2 {
+		s.errf(w, "SHIPCKPT needs an LSN and a byte count")
+		return true
+	}
+	lsn, err := strconv.ParseUint(args[0], 10, 64)
+	if err != nil {
+		s.errf(w, "bad LSN %q", args[0])
+		return true
+	}
+	n, err := strconv.ParseInt(args[1], 10, 64)
+	if err != nil || n < 0 || n > maxShipBytes {
+		s.errf(w, "bad byte count %q (0..%d)", args[1], maxShipBytes)
+		return true
+	}
+	state := make([]byte, n)
+	s.armRead(conn)
+	if _, err := io.ReadFull(r, state); err != nil {
+		return true
+	}
+	cb, ok := s.backend.(CheckpointBackend)
+	if !ok {
+		s.errf(w, "backend has no checkpoint store")
+		return false
+	}
+	if err := cb.ImportCheckpoint(lsn, state); err != nil {
+		s.errf(w, "%v", err)
+		return false
+	}
+	fmt.Fprintf(w, "OK lsn=%d\n", lsn)
+	return false
+}
 
 // handleDeltaBatch reads a DELTABATCH payload — per record a
 // "<cells> <lsn>" header line then its cell lines, closed by "." — and

@@ -177,8 +177,8 @@ func TestKillNineMidGroupCommitTornBatch(t *testing.T) {
 	dc := startLockstepPairCfg(t, ds, func(o *DurableOptions) {
 		o.GroupCommit = true
 	})
-	g := dc.coord.blocks[0]
-	rep := g.replicas[0]
+	g := dc.coord.groups()[0]
+	rep := g.replicaList()[0]
 
 	// Six acknowledged records through the coordinator's batch path.
 	recs := make([]server.LoggedDelta, 6)
@@ -282,8 +282,8 @@ func TestLostBatchAckDivergenceRepaired(t *testing.T) {
 	dc := startLockstepPairCfg(t, ds, func(o *DurableOptions) {
 		o.GroupCommit = true
 	})
-	g := dc.coord.blocks[0]
-	rep := g.replicas[0]
+	g := dc.coord.groups()[0]
+	rep := g.replicaList()[0]
 
 	for i := 0; i < 3; i++ {
 		rows := []server.Row{{Coords: blockCell(dc.nodes[0], i), Value: float64(i + 1)}}

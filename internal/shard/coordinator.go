@@ -85,8 +85,24 @@ type replica struct {
 
 // blockGroup is a block and its replicas, preferred in order.
 type blockGroup struct {
-	block    nd.Block
-	replicas []*replica
+	block nd.Block
+	// reps holds the group's replica list as an immutable snapshot:
+	// readers load it lock-free, and membership changes (elastic attach,
+	// drain) swap a fresh copy under writeMu. A reader iterating an old
+	// snapshot may still talk to a just-drained replica — which keeps
+	// serving until its connections wind down, the zero-downtime drain
+	// contract.
+	reps atomic.Pointer[[]*replica]
+
+	// retired, guarded by writeMu, marks a group replaced by a split
+	// cutover: its block is now served by child groups in a newer
+	// topology. Ingest that reaches a retired group (through a stale
+	// topology snapshot) is refused with errGroupRetired and re-routed by
+	// the caller against the current topology; reads need no such check —
+	// the group's replicas still hold a complete, consistent copy of the
+	// block's history up to the cutover, and the cutover drained every
+	// pending write first.
+	retired bool
 
 	// writeMu serializes ingest into this block so every replica's WAL
 	// assigns identical LSNs to identical deltas (replica lockstep).
@@ -115,6 +131,33 @@ type blockGroup struct {
 	ileader bool
 }
 
+// replicaList returns the group's current replica snapshot.
+func (g *blockGroup) replicaList() []*replica {
+	if p := g.reps.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// setReplicas publishes a new replica snapshot; membership changes call
+// it under writeMu so concurrent cutovers cannot lose each other's
+// updates.
+func (g *blockGroup) setReplicas(reps []*replica) { g.reps.Store(&reps) }
+
+// topology is one immutable serving-plan snapshot: the epoch and the
+// block groups serving under it. Queries and ingest load exactly one
+// snapshot per operation; membership changes publish a successor with a
+// bumped epoch. Group indices are stable across cutovers — a split
+// reuses the parent's slot for its first child and appends the rest — so
+// a block index taken from one snapshot still names the same (or an
+// enclosing, for the reused parent slot) region in any later one, which
+// is what keeps index-keyed cache invalidation sound across the swap
+// window.
+type topology struct {
+	epoch  uint64
+	groups []*blockGroup
+}
+
 // Coordinator answers the cube line protocol by scatter-gathering shard
 // nodes: every query fans out to one owner of each block, partial tables
 // merge element-wise under the cube's aggregation operator, and a failed
@@ -123,18 +166,32 @@ type blockGroup struct {
 // extension), so server.NewBackend turns it into a drop-in replacement
 // for a single-node cube server.
 type Coordinator struct {
-	cfg    Config
-	op     agg.Op
-	names  []string
-	sizes  []int
-	blocks []*blockGroup
+	cfg   Config
+	op    agg.Op
+	names []string
+	sizes []int
+
+	// top is the serving topology: queries and ingest load one snapshot
+	// per operation, membership changes publish a successor under topMu.
+	// Lock order: a group's writeMu (when held) comes before topMu.
+	top   atomic.Pointer[topology]
+	topMu sync.Mutex
 
 	stats *counters
 
 	// ingestHooks are called after every applied delta with the block
 	// group it landed in — the query cache's exact invalidation feed.
+	// planHooks are called after every topology swap that changed the
+	// block-group set (a split cutover), with the new group count.
 	hooksMu     sync.RWMutex
 	ingestHooks []func(block int)
+	planHooks   []func(numBlocks int)
+
+	// retiredReps keeps replicas removed from the serving topology
+	// (drained nodes, split parents) alive until Close: in-flight
+	// operations on older topology snapshots may still hold their pools.
+	retiredMu   sync.Mutex
+	retiredReps []*replica
 
 	// rejoin loop lifecycle; stop is nil when the loop never started.
 	stop      chan struct{}
@@ -142,6 +199,9 @@ type Coordinator struct {
 	closeOnce sync.Once
 	closeErr  error
 }
+
+// groups returns the current topology's block groups.
+func (c *Coordinator) groups() []*blockGroup { return c.top.Load().groups }
 
 // NewCoordinator dials every shard, performs the SHARDINFO handshake, and
 // assembles the serving topology. It fails if the shards disagree on
@@ -154,6 +214,7 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	}
 	c := &Coordinator{cfg: cfg, stats: newCounters()}
 	groups := make(map[string]*blockGroup)
+	repsOf := make(map[string][]*replica)
 	var order []string
 	for _, addr := range cfg.Addrs {
 		p := newPool(addr, cfg.Timeout)
@@ -222,21 +283,24 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 				g.lastLSN = lsn
 			}
 		}
-		g.replicas = append(g.replicas, rep)
+		repsOf[key] = append(repsOf[key], rep)
 	}
+	var serving []*blockGroup
 	for _, key := range order {
 		g := groups[key]
+		g.setReplicas(repsOf[key])
 		// Replicas announcing the group high-water mark hold its tail
 		// record; peers behind it are caught up (and verified) through the
 		// same rejoin path as a mid-run failure before they can diverge.
-		for _, rep := range g.replicas {
+		for _, rep := range repsOf[key] {
 			if rep.durable && rep.handshakeLSN == g.lastLSN {
 				g.tailAckers[rep.addr] = true
 			}
 		}
-		c.blocks = append(c.blocks, g)
+		serving = append(serving, g)
 	}
-	if err := c.validateTiling(); err != nil {
+	c.top.Store(&topology{epoch: 1, groups: serving})
+	if err := c.validateTiling(serving); err != nil {
 		_ = c.Close() // constructor failed; tiling error is the one to report
 		return nil, err
 	}
@@ -250,8 +314,8 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 
 // anyDurable reports whether any replica announced a WAL position.
 func (c *Coordinator) anyDurable() bool {
-	for _, g := range c.blocks {
-		for _, r := range g.replicas {
+	for _, g := range c.groups() {
+		for _, r := range g.replicaList() {
 			if r.durable {
 				return true
 			}
@@ -260,17 +324,17 @@ func (c *Coordinator) anyDurable() bool {
 	return false
 }
 
-// validateTiling checks the discovered blocks partition the schema's
+// validateTiling checks the given blocks partition the schema's
 // array exactly: right rank, in bounds, pairwise disjoint, and jointly
 // covering (disjoint + total volume = array volume).
-func (c *Coordinator) validateTiling() error {
+func (c *Coordinator) validateTiling(blocks []*blockGroup) error {
 	rank := len(c.sizes)
 	total := 1
 	for _, s := range c.sizes {
 		total *= s
 	}
 	covered := 0
-	for i, g := range c.blocks {
+	for i, g := range blocks {
 		if g.block.Rank() != rank {
 			return fmt.Errorf("shard: block %s has rank %d, schema has %d", g.block, g.block.Rank(), rank)
 		}
@@ -280,7 +344,7 @@ func (c *Coordinator) validateTiling() error {
 			}
 		}
 		covered += g.block.Size()
-		for _, h := range c.blocks[i+1:] {
+		for _, h := range blocks[i+1:] {
 			if blocksOverlap(g.block, h.block) {
 				return fmt.Errorf("shard: blocks %s and %s overlap", g.block, h.block)
 			}
@@ -343,11 +407,20 @@ func (c *Coordinator) Close() error {
 			c.wg.Wait()
 		}
 		var errs []error
-		for _, g := range c.blocks {
-			for _, r := range g.replicas {
+		for _, g := range c.groups() {
+			for _, r := range g.replicaList() {
 				if err := r.pool.close(); err != nil {
 					errs = append(errs, fmt.Errorf("shard: closing pool for %s: %w", r.addr, err))
 				}
+			}
+		}
+		c.retiredMu.Lock()
+		retired := c.retiredReps
+		c.retiredReps = nil
+		c.retiredMu.Unlock()
+		for _, r := range retired {
+			if err := r.pool.close(); err != nil {
+				errs = append(errs, fmt.Errorf("shard: closing pool for retired %s: %w", r.addr, err))
 			}
 		}
 		c.closeErr = errors.Join(errs...)
@@ -367,12 +440,14 @@ func (c *Coordinator) Metrics() *obs.Registry { return c.stats.reg }
 // registry (counters plus ask/merge latency histograms) to the server's
 // STATS reply.
 func (c *Coordinator) StatsFields() []string {
+	topo := c.top.Load()
 	replicas := 0
-	for _, g := range c.blocks {
-		replicas += len(g.replicas)
+	for _, g := range topo.groups {
+		replicas += len(g.replicaList())
 	}
 	fields := []string{
-		fmt.Sprintf("blocks=%d", len(c.blocks)),
+		fmt.Sprintf("plan_epoch=%d", topo.epoch),
+		fmt.Sprintf("blocks=%d", len(topo.groups)),
 		fmt.Sprintf("shards=%d", replicas),
 	}
 	return append(fields, c.stats.reg.Fields()...)
@@ -384,7 +459,7 @@ func (c *Coordinator) SchemaDims() ([]string, []int) {
 }
 
 // NumBlocks reports how many block groups tile the array.
-func (c *Coordinator) NumBlocks() int { return len(c.blocks) }
+func (c *Coordinator) NumBlocks() int { return len(c.groups()) }
 
 // Op returns the cluster's aggregation operator, discovered at
 // handshake.
@@ -402,13 +477,52 @@ func (c *Coordinator) OnIngest(fn func(block int)) {
 }
 
 // notifyIngest fans one applied-delta event out to the registered
-// hooks.
-func (c *Coordinator) notifyIngest(b int) {
+// hooks. The block index is resolved against the CURRENT topology — not
+// the snapshot the delta committed under — so a subscriber keyed by
+// block index (the query cache) invalidates the slot the group occupies
+// now. A group no longer in the topology was retired by a split whose
+// plan-change hook already invalidated everything, so its event can be
+// dropped.
+func (c *Coordinator) notifyIngest(g *blockGroup) {
 	c.hooksMu.RLock()
 	hooks := c.ingestHooks
 	c.hooksMu.RUnlock()
+	if len(hooks) == 0 {
+		return
+	}
+	b := -1
+	for i, h := range c.groups() {
+		if h == g {
+			b = i
+			break
+		}
+	}
+	if b < 0 {
+		return
+	}
 	for _, fn := range hooks {
 		fn(b)
+	}
+}
+
+// OnPlanChange registers fn to run after every topology cutover that
+// changed the block-group set (a split), with the new group count. The
+// query cache subscribes here to flush wholesale and resize its
+// per-block epoch guards; hooks must be fast and non-blocking.
+func (c *Coordinator) OnPlanChange(fn func(numBlocks int)) {
+	c.hooksMu.Lock()
+	c.planHooks = append(c.planHooks, fn)
+	c.hooksMu.Unlock()
+}
+
+// notifyPlanChange fans one plan-change event out to the registered
+// hooks.
+func (c *Coordinator) notifyPlanChange(numBlocks int) {
+	c.hooksMu.RLock()
+	hooks := c.planHooks
+	c.hooksMu.RUnlock()
+	for _, fn := range hooks {
+		fn(numBlocks)
 	}
 }
 
@@ -504,14 +618,15 @@ func (c *Coordinator) askHedged(candidates []*replica, fetch func(cl *server.Cli
 // yet), it falls back to everyone rather than failing without an
 // attempt.
 func liveCandidates(g *blockGroup) []*replica {
-	candidates := make([]*replica, 0, len(g.replicas))
-	for _, rep := range g.replicas {
+	reps := g.replicaList()
+	candidates := make([]*replica, 0, len(reps))
+	for _, rep := range reps {
 		if !rep.down.Load() {
 			candidates = append(candidates, rep)
 		}
 	}
 	if len(candidates) == 0 {
-		candidates = g.replicas
+		candidates = reps
 	}
 	return candidates
 }
@@ -524,8 +639,7 @@ func liveCandidates(g *blockGroup) []*replica {
 // exponentially growing backoff. When all attempts fail, the returned
 // error names the block, the replicas tried, and the last underlying
 // cause.
-func (c *Coordinator) askBlock(b int, fetch func(cl *server.Client) (any, error)) (any, error) {
-	g := c.blocks[b]
+func (c *Coordinator) askGroup(g *blockGroup, fetch func(cl *server.Client) (any, error)) (any, error) {
 	c.stats.fanouts.Inc()
 	start := time.Now()
 	defer c.stats.askNs.ObserveSince(start)
@@ -558,8 +672,9 @@ func (c *Coordinator) askBlock(b int, fetch func(cl *server.Client) (any, error)
 			return v, nil
 		}
 	}
-	addrs := make([]string, len(g.replicas))
-	for i, rep := range g.replicas {
+	reps := g.replicaList()
+	addrs := make([]string, len(reps))
+	for i, rep := range reps {
 		addrs[i] = rep.addr
 	}
 	return nil, fmt.Errorf("shard: block %s unavailable after %d attempts across replicas %s (last error: %v); partial results discarded",
@@ -571,14 +686,15 @@ func (c *Coordinator) askBlock(b int, fetch func(cl *server.Client) (any, error)
 //
 //cubelint:hotpath coordinator fan-out, once per distributed query
 func (c *Coordinator) scatter(fetch func(b int, cl *server.Client) (any, error)) ([]any, error) {
-	vals := make([]any, len(c.blocks))
-	errs := make([]error, len(c.blocks))
+	groups := c.groups() // one topology snapshot covers the whole fan-out
+	vals := make([]any, len(groups))
+	errs := make([]error, len(groups))
 	var wg sync.WaitGroup
-	for b := range c.blocks {
+	for b := range groups {
 		wg.Add(1)
 		go func(b int) {
 			defer wg.Done()
-			vals[b], errs[b] = c.askBlock(b, func(cl *server.Client) (any, error) { return fetch(b, cl) })
+			vals[b], errs[b] = c.askGroup(groups[b], func(cl *server.Client) (any, error) { return fetch(b, cl) })
 		}(b)
 	}
 	wg.Wait()
@@ -684,11 +800,17 @@ func (c *Coordinator) Total() (float64, error) {
 // invalidate point lookups per block group. With no dimensions (the
 // grand total) every block contributes.
 func (c *Coordinator) BlocksForValue(dims []string, coords []int) ([]int, error) {
+	return c.blocksForValueIn(c.groups(), dims, coords)
+}
+
+// blocksForValueIn is BlocksForValue against one topology snapshot, so a
+// caller fanning a query out can resolve and ask under the same plan.
+func (c *Coordinator) blocksForValueIn(groups []*blockGroup, dims []string, coords []int) ([]int, error) {
 	if len(dims) == 0 {
 		if len(coords) != 0 {
 			return nil, fmt.Errorf("shard: grand total takes no coordinates")
 		}
-		all := make([]int, len(c.blocks))
+		all := make([]int, len(groups))
 		for b := range all {
 			all[b] = b
 		}
@@ -707,8 +829,8 @@ func (c *Coordinator) BlocksForValue(dims []string, coords []int) ([]int, error)
 				coords[i], c.sizes[axis], dims[i])
 		}
 	}
-	owning := make([]int, 0, len(c.blocks))
-	for b, g := range c.blocks {
+	owning := make([]int, 0, len(groups))
+	for b, g := range groups {
 		contains := true
 		for i, axis := range axes {
 			if coords[i] < g.block.Lo[axis] || coords[i] >= g.block.Hi[axis] {
@@ -735,7 +857,8 @@ func (c *Coordinator) Value(dims []string, coords []int) (float64, error) {
 		}
 		return c.Total()
 	}
-	owning, err := c.BlocksForValue(dims, coords)
+	groups := c.groups() // resolve and ask under one topology snapshot
+	owning, err := c.blocksForValueIn(groups, dims, coords)
 	if err != nil {
 		return 0, err
 	}
@@ -747,7 +870,7 @@ func (c *Coordinator) Value(dims []string, coords []int) (float64, error) {
 		wg.Add(1)
 		go func(i, b int) {
 			defer wg.Done()
-			vals[i], errs[i] = c.askBlock(b, func(cl *server.Client) (any, error) {
+			vals[i], errs[i] = c.askGroup(groups[b], func(cl *server.Client) (any, error) {
 				return cl.Value(dims, coords)
 			})
 		}(i, b)

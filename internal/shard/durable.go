@@ -284,6 +284,49 @@ func (b *durableBackend) TruncateTail(lsn uint64) (uint64, error) {
 	return b.mgr.LastLSN(), nil
 }
 
+// ExportCheckpoint implements server.CheckpointBackend: publish a fresh
+// checkpoint of the live cube and hand out its bytes — the donor side
+// of a migration transfer.
+//
+//cubelint:ignore lock-order the exported snapshot must exclude deltas, so its fsync runs under b.mu by design, same as Checkpoint
+func (b *durableBackend) ExportCheckpoint() (uint64, []byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.poisoned != nil {
+		// Exporting now would ship the unlogged mutation to a new node.
+		return 0, nil, b.poisoned
+	}
+	return b.mgr.ExportCheckpoint()
+}
+
+// ImportCheckpoint implements server.CheckpointBackend: adopt shipped
+// state as this node's durable base. Only an empty node accepts (the
+// recovery manager enforces it). The shipped state may cover a LARGER
+// block than this node serves — a split child importing its parent's
+// checkpoint — so the cube is rebuilt from the state's fact table
+// restricted to the served block; for a same-block replica add the
+// restriction passes everything through.
+//
+//cubelint:ignore lock-order adoption replaces the durable base wholesale and must exclude deltas; its fsyncs run under b.mu by design
+func (b *durableBackend) ImportCheckpoint(lsn uint64, state []byte) error {
+	cube, err := parcube.ReadCubeStateBlock(bytes.NewReader(state), b.schema, b.op, b.block.Lo, b.block.Hi)
+	if err != nil {
+		return fmt.Errorf("shard: decoding shipped checkpoint: %w", err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.poisoned != nil {
+		return b.poisoned
+	}
+	prev := b.cube
+	b.cube = cube
+	if err := b.mgr.Adopt(lsn); err != nil {
+		b.cube = prev
+		return err
+	}
+	return nil
+}
+
 // DeltasSince implements server.WALTailBackend by decoding the log tail.
 func (b *durableBackend) DeltasSince(lsn uint64) ([]server.LoggedDelta, error) {
 	b.mu.RLock()
@@ -483,6 +526,7 @@ func StartDurableNode(plan *Plan, id int, ds *parcube.Dataset, addr string, dopt
 		ID:    id,
 		Op:    backend.op.String(),
 		Block: block.String(),
+		Epoch: plan.Epoch,
 	})
 	bound, err := n.srv.Listen(addr)
 	if err != nil {

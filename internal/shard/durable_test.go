@@ -444,8 +444,8 @@ func startLockstepPairCfg(t *testing.T, ds *parcube.Dataset, mutate func(*Durabl
 func TestLostAckDivergenceRepairedOnRejoin(t *testing.T) {
 	ds, ref := test4D(t)
 	dc := startLockstepPair(t, ds)
-	g := dc.coord.blocks[0]
-	rep := g.replicas[0] // nodes[0]: replicas follow Addrs order
+	g := dc.coord.groups()[0]
+	rep := g.replicaList()[0] // nodes[0]: replicas follow Addrs order
 
 	for i := 0; i < 3; i++ {
 		rows := []server.Row{{Coords: blockCell(dc.nodes[0], i), Value: float64(i + 1)}}
@@ -519,8 +519,8 @@ func TestLostAckDivergenceRepairedOnRejoin(t *testing.T) {
 func TestDivergentTailRepairedAfterRestart(t *testing.T) {
 	ds, ref := test4D(t)
 	dc := startLockstepPair(t, ds)
-	g := dc.coord.blocks[0]
-	rep := g.replicas[0]
+	g := dc.coord.groups()[0]
+	rep := g.replicaList()[0]
 
 	for i := 0; i < 3; i++ {
 		rows := []server.Row{{Coords: blockCell(dc.nodes[0], i), Value: float64(i + 1)}}
@@ -587,8 +587,8 @@ func TestDivergentTailRepairedAfterRestart(t *testing.T) {
 func TestOrphanTailTruncatedOnRejoin(t *testing.T) {
 	ds, ref := test4D(t)
 	dc := startLockstepPair(t, ds)
-	g := dc.coord.blocks[0]
-	rep := g.replicas[0]
+	g := dc.coord.groups()[0]
+	rep := g.replicaList()[0]
 
 	for i := 0; i < 2; i++ {
 		rows := []server.Row{{Coords: blockCell(dc.nodes[0], i), Value: float64(i + 1)}}

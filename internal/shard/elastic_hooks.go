@@ -1,0 +1,452 @@
+package shard
+
+// This file is the coordinator's membership-change surface: the
+// primitives internal/elastic drives to take a live cluster from plan P
+// to plan P' without failing a query. Three operations exist —
+//
+//   AttachReplica: admit a caught-up node as a new replica of a block
+//   group (the cutover of a grow migration);
+//   DetachReplica: remove a replica from a group while its peers keep
+//   serving (the cutover of a drain);
+//   SplitCutover:  replace one block group with child groups that tile
+//   its block exactly (the cutover of a hot-group split).
+//
+// All three follow the same discipline: every serving-state mutation
+// happens at the END, under the group's writeMu, after the incoming
+// state is provably caught up — so a migration that dies anywhere
+// earlier simply never happened (the old owners keep serving, no epoch
+// bump, nothing to undo). The topology swap itself is an atomic pointer
+// store of an immutable snapshot; in-flight queries and ingest finish
+// against the snapshot they loaded, which stays fully consistent.
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"parcube/internal/nd"
+)
+
+// PlanEpoch returns the serving topology's current epoch: 1 at startup,
+// +1 per membership cutover, strictly monotone for the life of the
+// coordinator.
+func (c *Coordinator) PlanEpoch() uint64 { return c.top.Load().epoch }
+
+// GroupStatus describes one block group of the current topology.
+type GroupStatus struct {
+	Index   int
+	Block   nd.Block
+	LastLSN uint64
+	// Addrs lists the group's replicas in preference order, IDs their
+	// shard ids in the same order; Live counts the ones not marked down.
+	Addrs []string
+	IDs   []int
+	Live  int
+}
+
+// Groups snapshots the current topology for the elastic control plane
+// and operator tooling.
+func (c *Coordinator) Groups() []GroupStatus {
+	groups := c.groups()
+	out := make([]GroupStatus, len(groups))
+	for b, g := range groups {
+		st := GroupStatus{Index: b, Block: g.block}
+		for _, rep := range g.replicaList() {
+			st.Addrs = append(st.Addrs, rep.addr)
+			st.IDs = append(st.IDs, rep.id)
+			if !rep.down.Load() {
+				st.Live++
+			}
+		}
+		g.writeMu.Lock()
+		st.LastLSN = g.lastLSN
+		g.writeMu.Unlock()
+		out[b] = st
+	}
+	return out
+}
+
+// GroupIndexByBlock resolves a block rendering (as exchanged by
+// SHARDINFO) to its group index in the current topology, or -1.
+func (c *Coordinator) GroupIndexByBlock(block string) int {
+	for b, g := range c.groups() {
+		if g.block.String() == block {
+			return b
+		}
+	}
+	return -1
+}
+
+// LiveAddr returns the address of a live durable replica of group b —
+// the checkpoint-export source of a migration.
+func (c *Coordinator) LiveAddr(b int) (string, error) {
+	groups := c.groups()
+	if b < 0 || b >= len(groups) {
+		return "", fmt.Errorf("shard: block group %d out of range [0,%d)", b, len(groups))
+	}
+	for _, rep := range groups[b].replicaList() {
+		if rep.durable && !rep.down.Load() {
+			return rep.addr, nil
+		}
+	}
+	return "", fmt.Errorf("shard: block %s has no live durable replica", groups[b].block)
+}
+
+// handshakeReplica dials addr, performs the SHARDINFO+SCHEMA handshake,
+// and returns the replica plus the block it announced. The cluster's
+// operator and schema must match; on any failure the pool is closed.
+func (c *Coordinator) handshakeReplica(addr string) (*replica, nd.Block, error) {
+	p := newPool(addr, c.cfg.Timeout)
+	fail := func(err error) (*replica, nd.Block, error) {
+		_ = p.close()
+		return nil, nd.Block{}, err
+	}
+	cl, err := p.get()
+	if err != nil {
+		return fail(fmt.Errorf("shard: handshake with %s: %w", addr, err))
+	}
+	info, err := cl.ShardInfo()
+	if err != nil {
+		p.discard(cl)
+		return fail(fmt.Errorf("shard: handshake with %s: %w", addr, err))
+	}
+	schema, err := cl.Schema()
+	if err != nil {
+		p.discard(cl)
+		return fail(fmt.Errorf("shard: schema from %s: %w", addr, err))
+	}
+	p.put(cl)
+
+	if got := info["op"]; got != c.op.String() {
+		return fail(fmt.Errorf("shard: %s aggregates with %s, cluster uses %v", addr, got, c.op))
+	}
+	names, sizes, err := parseSchema(schema)
+	if err != nil {
+		return fail(fmt.Errorf("shard: %s: %w", addr, err))
+	}
+	if !sameSchema(c.names, c.sizes, names, sizes) {
+		return fail(fmt.Errorf("shard: %s serves schema %v %v, cluster serves %v %v",
+			addr, names, sizes, c.names, c.sizes))
+	}
+	block, err := ParseBlock(info["block"])
+	if err != nil {
+		return fail(fmt.Errorf("shard: %s: %w", addr, err))
+	}
+	id, err := strconv.Atoi(info["id"])
+	if err != nil {
+		return fail(fmt.Errorf("shard: %s: malformed shard id %q", addr, info["id"]))
+	}
+	rep := &replica{addr: addr, id: id, pool: p}
+	if lsnField, ok := info["lsn"]; ok {
+		lsn, err := strconv.ParseUint(lsnField, 10, 64)
+		if err != nil {
+			return fail(fmt.Errorf("shard: %s: malformed lsn %q", addr, lsnField))
+		}
+		rep.durable = true
+		rep.handshakeLSN = lsn
+	}
+	return rep, block, nil
+}
+
+// bumpEpochLocked publishes the current group set under epoch+1; the
+// caller holds topMu (directly or transitively through a cutover).
+func (c *Coordinator) bumpEpochLocked() uint64 {
+	cur := c.top.Load()
+	next := &topology{epoch: cur.epoch + 1, groups: cur.groups}
+	c.top.Store(next)
+	return next.epoch
+}
+
+// AttachReplica admits the durable node at addr as a new replica of
+// block group b: handshake (the node must announce exactly the group's
+// block — the migration engine ships it a checkpoint first, so its
+// handshake LSN is the shipped position), bulk WAL catch-up from a live
+// peer outside the write lock, then a final catch-up under the lock
+// that must reach the group's high-water mark exactly before the
+// replica list is swapped and the epoch bumped. Returns the length of
+// the write-pause window (the cutover latency). Any failure before the
+// swap leaves the group untouched — the fail-safe rollback of the
+// migration state machine.
+func (c *Coordinator) AttachReplica(b int, addr string) (cutover time.Duration, err error) {
+	groups := c.groups()
+	if b < 0 || b >= len(groups) {
+		return 0, fmt.Errorf("shard: block group %d out of range [0,%d)", b, len(groups))
+	}
+	g := groups[b]
+	for _, rep := range g.replicaList() {
+		if rep.addr == addr {
+			return 0, fmt.Errorf("shard: %s is already a replica of block %s", addr, g.block)
+		}
+	}
+	rep, block, err := c.handshakeReplica(addr)
+	if err != nil {
+		return 0, err
+	}
+	fail := func(err error) (time.Duration, error) {
+		_ = rep.pool.close()
+		return 0, err
+	}
+	if !rep.durable {
+		return fail(fmt.Errorf("shard: %s is not durable; only durable nodes join live groups", addr))
+	}
+	if block.String() != g.block.String() {
+		return fail(fmt.Errorf("shard: %s serves block %s, group %d serves %s", addr, block, b, g.block))
+	}
+
+	cl, err := rep.pool.get()
+	if err != nil {
+		return fail(fmt.Errorf("shard: %s: %w", addr, err))
+	}
+	// Bulk catch-up with ingest still flowing: catchUp streams the
+	// records above the shipped checkpoint from a live peer (rep is not
+	// in the group's list yet, so it is never chosen as its own peer).
+	repLSN, err := c.catchUp(g, rep, cl, rep.handshakeLSN)
+	if err != nil {
+		rep.pool.discard(cl)
+		return fail(fmt.Errorf("shard: catching up %s: %w", addr, err))
+	}
+
+	// Cutover: pause the group's ingest, close the last gap, and only
+	// swap membership if the replica provably reached the high-water
+	// mark. The pause is the migration's entire write-unavailability.
+	start := time.Now()
+	g.writeMu.Lock()
+	defer g.writeMu.Unlock()
+	if g.retired {
+		rep.pool.discard(cl)
+		return fail(fmt.Errorf("shard: block %s was retired by a split during the migration", g.block))
+	}
+	repLSN, err = c.catchUp(g, rep, cl, repLSN)
+	if err != nil || repLSN != g.lastLSN {
+		rep.pool.discard(cl)
+		if err == nil {
+			err = fmt.Errorf("replica at lsn %d, group at %d with no reachable peer", repLSN, g.lastLSN)
+		}
+		return fail(fmt.Errorf("shard: final catch-up of %s: %w", addr, err))
+	}
+	rep.pool.put(cl)
+	g.setReplicas(append(append([]*replica(nil), g.replicaList()...), rep))
+	g.tailAckers[rep.addr] = true
+
+	c.topMu.Lock()
+	c.bumpEpochLocked()
+	c.topMu.Unlock()
+	return time.Since(start), nil
+}
+
+// DetachReplica removes the replica at addr from block group b — the
+// cutover of a drain. It refuses to remove the group's last live
+// tail-acking durable replica (the group would lose its verified tail).
+// The removed replica's pool moves to the retired set and stays open
+// until Close, so reads in flight on older topology snapshots finish
+// against it: the drained node keeps serving until its last reader
+// lets go, which is the zero-downtime drain contract.
+func (c *Coordinator) DetachReplica(b int, addr string) (err error) {
+	groups := c.groups()
+	if b < 0 || b >= len(groups) {
+		return fmt.Errorf("shard: block group %d out of range [0,%d)", b, len(groups))
+	}
+	g := groups[b]
+	g.writeMu.Lock()
+	defer g.writeMu.Unlock()
+	if g.retired {
+		return fmt.Errorf("shard: block %s was retired by a split", g.block)
+	}
+	reps := g.replicaList()
+	var victim *replica
+	remaining := make([]*replica, 0, len(reps))
+	survivorsAck := false
+	for _, rep := range reps {
+		if rep.addr == addr {
+			victim = rep
+			continue
+		}
+		remaining = append(remaining, rep)
+		if rep.durable && !rep.down.Load() && g.tailAckers[rep.addr] {
+			survivorsAck = true
+		}
+	}
+	if victim == nil {
+		return fmt.Errorf("shard: %s is not a replica of block %s", addr, g.block)
+	}
+	if len(remaining) == 0 {
+		return fmt.Errorf("shard: refusing to drain %s: it is the last replica of block %s", addr, g.block)
+	}
+	if victim.durable && !survivorsAck {
+		return fmt.Errorf("shard: refusing to drain %s: no remaining live replica holds block %s's verified tail", addr, g.block)
+	}
+	g.setReplicas(remaining)
+	delete(g.tailAckers, addr)
+	c.retiredMu.Lock()
+	c.retiredReps = append(c.retiredReps, victim)
+	c.retiredMu.Unlock()
+
+	c.topMu.Lock()
+	c.bumpEpochLocked()
+	c.topMu.Unlock()
+	return nil
+}
+
+// SplitCutover replaces block group parent with child groups served by
+// the nodes at childAddrs, which must jointly announce blocks tiling
+// the parent's block exactly. finalize runs under the parent's write
+// lock with the group's final LSN — the migration engine uses it to
+// drain the parent's last WAL records into the children — and after it
+// returns every child replica must agree on its block's LSN. The swap
+// keeps group indices stable: the first child takes the parent's slot,
+// the rest append. The parent is retired (stale-routed ingest re-routes
+// via errGroupRetired; see ingest.go) and its replicas move to the
+// retired set so in-flight reads finish. Failure anywhere before the
+// swap leaves the parent serving, untouched.
+func (c *Coordinator) SplitCutover(parent int, childAddrs []string, finalize func(parentLSN uint64) error) (err error) {
+	groups := c.groups()
+	if parent < 0 || parent >= len(groups) {
+		return fmt.Errorf("shard: block group %d out of range [0,%d)", parent, len(groups))
+	}
+	g := groups[parent]
+	if len(childAddrs) == 0 {
+		return fmt.Errorf("shard: split of block %s needs child nodes", g.block)
+	}
+
+	// Handshake every child and group its replicas by announced block.
+	type childGroup struct {
+		block nd.Block
+		reps  []*replica
+	}
+	var children []childGroup
+	byBlock := make(map[string]int)
+	var pools []*replica
+	fail := func(err error) error {
+		for _, rep := range pools {
+			_ = rep.pool.close()
+		}
+		return err
+	}
+	for _, addr := range childAddrs {
+		rep, block, err := c.handshakeReplica(addr)
+		if err != nil {
+			return fail(err)
+		}
+		pools = append(pools, rep)
+		if !rep.durable {
+			return fail(fmt.Errorf("shard: split child %s is not durable", addr))
+		}
+		key := block.String()
+		i, ok := byBlock[key]
+		if !ok {
+			i = len(children)
+			byBlock[key] = i
+			children = append(children, childGroup{block: block})
+		}
+		children[i].reps = append(children[i].reps, rep)
+	}
+
+	// The children must tile the parent exactly: inside it, pairwise
+	// disjoint, and jointly covering its volume.
+	covered := 0
+	for i, ch := range children {
+		if ch.block.Rank() != g.block.Rank() {
+			return fail(fmt.Errorf("shard: child %s has rank %d, parent %s has %d",
+				ch.block, ch.block.Rank(), g.block, g.block.Rank()))
+		}
+		for j := range ch.block.Lo {
+			if ch.block.Lo[j] < g.block.Lo[j] || ch.block.Hi[j] > g.block.Hi[j] {
+				return fail(fmt.Errorf("shard: child %s outside parent %s", ch.block, g.block))
+			}
+		}
+		covered += ch.block.Size()
+		for _, other := range children[i+1:] {
+			if blocksOverlap(ch.block, other.block) {
+				return fail(fmt.Errorf("shard: children %s and %s overlap", ch.block, other.block))
+			}
+		}
+	}
+	if covered != g.block.Size() {
+		return fail(fmt.Errorf("shard: children cover %d of parent %s's %d cells", covered, g.block, g.block.Size()))
+	}
+
+	// Cutover: pause the parent's ingest, drain its tail into the
+	// children, verify every child replica converged, then swap.
+	g.writeMu.Lock()
+	defer g.writeMu.Unlock()
+	if g.retired {
+		return fail(fmt.Errorf("shard: block %s already retired", g.block))
+	}
+	if finalize != nil {
+		if err := finalize(g.lastLSN); err != nil {
+			return fail(fmt.Errorf("shard: draining parent %s's tail: %w", g.block, err))
+		}
+	}
+	newGroups := make([]*blockGroup, 0, len(children))
+	for i := range children {
+		ch := &children[i]
+		ng := &blockGroup{block: ch.block, tailAckers: make(map[string]bool)}
+		first := true
+		var lsn uint64
+		for _, rep := range ch.reps {
+			cur, err := c.probeLSN(rep)
+			if err != nil {
+				return fail(fmt.Errorf("shard: probing split child %s: %w", rep.addr, err))
+			}
+			if first {
+				lsn, first = cur, false
+			} else if cur != lsn {
+				return fail(fmt.Errorf("shard: split child %s at lsn %d, its peer at %d — children diverged",
+					rep.addr, cur, lsn))
+			}
+			ng.tailAckers[rep.addr] = true
+		}
+		ng.lastLSN = lsn
+		ng.setReplicas(ch.reps)
+		newGroups = append(newGroups, ng)
+	}
+
+	// Swap: the first child takes the parent's slot, the rest append —
+	// stable indices keep index-keyed cache invalidation sound. The
+	// parent is located by pointer in the CURRENT topology (another
+	// group's split may have appended since our snapshot).
+	c.topMu.Lock()
+	cur := c.top.Load()
+	slot := -1
+	for i, h := range cur.groups {
+		if h == g {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		c.topMu.Unlock()
+		return fail(fmt.Errorf("shard: block %s vanished from the topology mid-split", g.block))
+	}
+	swapped := append([]*blockGroup(nil), cur.groups...)
+	swapped[slot] = newGroups[0]
+	swapped = append(swapped, newGroups[1:]...)
+	c.top.Store(&topology{epoch: cur.epoch + 1, groups: swapped})
+	c.topMu.Unlock()
+
+	g.retired = true
+	c.retiredMu.Lock()
+	c.retiredReps = append(c.retiredReps, g.replicaList()...)
+	c.retiredMu.Unlock()
+	c.notifyPlanChange(len(swapped))
+	return nil
+}
+
+// probeLSN reads a replica's current WAL position over its pool.
+func (c *Coordinator) probeLSN(rep *replica) (uint64, error) {
+	cl, err := rep.pool.get()
+	if err != nil {
+		return 0, err
+	}
+	info, err := cl.ShardInfo()
+	if err != nil {
+		rep.pool.discard(cl)
+		return 0, err
+	}
+	rep.pool.put(cl)
+	lsnField, ok := info["lsn"]
+	if !ok {
+		return 0, fmt.Errorf("no lsn in SHARDINFO (not durable)")
+	}
+	return strconv.ParseUint(lsnField, 10, 64)
+}

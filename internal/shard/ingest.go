@@ -72,9 +72,39 @@ func (c *Coordinator) Delta(rows []server.Row, lsn uint64) (uint64, bool, error)
 	if lsn != 0 {
 		return 0, false, fmt.Errorf("shard: the coordinator assigns LSNs; retry without lsn")
 	}
-	perBlock, err := c.splitByBlock(rows)
+	maxLSN, err := c.ingestRows(rows, 0)
 	if err != nil {
 		return 0, false, err
+	}
+	c.stats.deltas.Inc()
+	c.stats.deltaCells.Add(int64(len(rows)))
+	return maxLSN, true, nil
+}
+
+// errGroupRetired is the typed refusal a split cutover leaves behind: a
+// writer that routed rows against a topology snapshot the cutover has
+// since replaced re-splits them against the fresh topology and retries.
+// The cutover drained the parent's tail into the children before
+// retiring it, so the retried rows land exactly once.
+var errGroupRetired = errors.New("shard: block group retired by a split cutover")
+
+// maxRetiredRetries bounds how many topology swaps one delta will chase.
+// Each retry needs a fresh split cutover of the very group the rows
+// landed in, so the bound is never reached outside pathological churn.
+const maxRetiredRetries = 4
+
+// ingestRows splits rows by owning block against the current topology
+// and commits each part to its group in replica lockstep. A part
+// refused with errGroupRetired lost a race with a split cutover and is
+// re-routed against the then-current topology.
+func (c *Coordinator) ingestRows(rows []server.Row, depth int) (uint64, error) {
+	if depth > maxRetiredRetries {
+		return 0, fmt.Errorf("shard: delta re-routed through %d topology changes without landing", depth)
+	}
+	groups := c.groups()
+	perBlock, err := c.splitByBlock(groups, rows)
+	if err != nil {
+		return 0, err
 	}
 
 	var (
@@ -85,27 +115,28 @@ func (c *Coordinator) Delta(rows []server.Row, lsn uint64) (uint64, bool, error)
 	)
 	for b, part := range perBlock {
 		wg.Add(1)
-		go func(b int, part []server.Row) {
+		go func(g *blockGroup, part []server.Row) {
 			defer wg.Done()
-			blockLSN, err := c.ingestBlock(b, part)
+			blockLSN, err := c.ingestGroup(g, part)
+			if errors.Is(err, errGroupRetired) {
+				blockLSN, err = c.ingestRows(part, depth+1)
+			}
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
-				errs = append(errs, fmt.Errorf("block %s: %w", c.blocks[b].block, err))
+				errs = append(errs, fmt.Errorf("block %s: %w", g.block, err))
 				return
 			}
 			if blockLSN > maxLSN {
 				maxLSN = blockLSN
 			}
-		}(b, part)
+		}(groups[b], part)
 	}
 	wg.Wait()
 	if len(errs) > 0 {
-		return 0, false, errors.Join(errs...)
+		return 0, errors.Join(errs...)
 	}
-	c.stats.deltas.Inc()
-	c.stats.deltaCells.Add(int64(len(rows)))
-	return maxLSN, true, nil
+	return maxLSN, nil
 }
 
 // DeltaBatch applies a run of deltas through the cluster in one call.
@@ -124,20 +155,21 @@ func (c *Coordinator) DeltaBatch(recs []server.LoggedDelta) (uint64, int, error)
 	}
 	type pending struct {
 		rec int
-		b   int
+		g   *blockGroup
 		req *ingestReq
 	}
+	groups := c.groups() // one topology snapshot routes the whole batch
 	var (
 		waits   []pending
-		elected []int // block indices whose queue this call must lead
-		leading = make(map[int]bool)
+		elected []*blockGroup // groups whose queue this call must lead
+		leading = make(map[*blockGroup]bool)
 	)
 	recErr := make([]error, len(recs))
 	for i, rec := range recs {
 		if rec.LSN != 0 {
 			return 0, 0, fmt.Errorf("shard: batch record %d: the coordinator assigns LSNs; retry without lsn", i)
 		}
-		perBlock, err := c.splitByBlock(rec.Rows)
+		perBlock, err := c.splitByBlock(groups, rec.Rows)
 		if err != nil {
 			return 0, 0, fmt.Errorf("shard: batch record %d: %w", i, err)
 		}
@@ -145,22 +177,29 @@ func (c *Coordinator) DeltaBatch(recs []server.LoggedDelta) (uint64, int, error)
 		// the next record: per-group queue order is assignment order, so
 		// record order in the batch is LSN order in each group.
 		for b, part := range perBlock {
-			req, lead := c.blocks[b].enqueueIngest(part)
-			waits = append(waits, pending{rec: i, b: b, req: req})
-			if lead && !leading[b] {
-				leading[b] = true
-				elected = append(elected, b)
+			g := groups[b]
+			req, lead := g.enqueueIngest(part)
+			waits = append(waits, pending{rec: i, g: g, req: req})
+			if lead && !leading[g] {
+				leading[g] = true
+				elected = append(elected, g)
 			}
 		}
 	}
-	for _, b := range elected {
-		c.leadIngest(b)
+	for _, g := range elected {
+		c.leadIngest(g)
 	}
 	var maxLSN uint64
 	for _, p := range waits {
-		lsn, err := c.awaitIngest(p.b, p.req, false)
+		lsn, err := c.awaitIngest(p.g, p.req, false)
+		if errors.Is(err, errGroupRetired) {
+			// A split cutover replaced the group mid-batch: re-route this
+			// record's part against the fresh topology (the cutover drained
+			// the parent first, so nothing lands twice).
+			lsn, err = c.ingestRows(p.req.rows, 1)
+		}
 		if err != nil && recErr[p.rec] == nil {
-			recErr[p.rec] = fmt.Errorf("batch record %d: block %s: %w", p.rec, c.blocks[p.b].block, err)
+			recErr[p.rec] = fmt.Errorf("batch record %d: block %s: %w", p.rec, p.g.block, err)
 		}
 		if lsn > maxLSN {
 			maxLSN = lsn
@@ -187,8 +226,8 @@ func (c *Coordinator) DeltaBatch(recs []server.LoggedDelta) (uint64, int, error)
 }
 
 // splitByBlock validates rows against the schema and partitions them by
-// owning block group index.
-func (c *Coordinator) splitByBlock(rows []server.Row) (map[int][]server.Row, error) {
+// owning block group index within the given topology snapshot.
+func (c *Coordinator) splitByBlock(groups []*blockGroup, rows []server.Row) (map[int][]server.Row, error) {
 	if len(rows) == 0 {
 		return nil, fmt.Errorf("shard: empty delta")
 	}
@@ -200,7 +239,7 @@ func (c *Coordinator) splitByBlock(rows []server.Row) (map[int][]server.Row, err
 				len(row.Coords), rank)
 		}
 		owner := -1
-		for b, g := range c.blocks {
+		for b, g := range groups {
 			inside := true
 			for j, x := range row.Coords {
 				if x < g.block.Lo[j] || x >= g.block.Hi[j] {
@@ -232,11 +271,11 @@ type ingestReq struct {
 	lead chan struct{}
 }
 
-// ingestBlock queues one delta for a block group and waits for the
+// ingestGroup queues one delta for a block group and waits for the
 // group's commit leader (possibly this caller) to ship it.
-func (c *Coordinator) ingestBlock(b int, rows []server.Row) (uint64, error) {
-	req, elected := c.blocks[b].enqueueIngest(rows)
-	return c.awaitIngest(b, req, elected)
+func (c *Coordinator) ingestGroup(g *blockGroup, rows []server.Row) (uint64, error) {
+	req, elected := g.enqueueIngest(rows)
+	return c.awaitIngest(g, req, elected)
 }
 
 // enqueueIngest appends one record to the group's commit queue and
@@ -255,14 +294,14 @@ func (g *blockGroup) enqueueIngest(rows []server.Row) (*ingestReq, bool) {
 
 // awaitIngest blocks until req commits, leading the group's queue first
 // when elected at enqueue (or promoted while waiting).
-func (c *Coordinator) awaitIngest(b int, req *ingestReq, elected bool) (uint64, error) {
+func (c *Coordinator) awaitIngest(g *blockGroup, req *ingestReq, elected bool) (uint64, error) {
 	if elected {
-		c.leadIngest(b)
+		c.leadIngest(g)
 	} else {
 		select {
 		case <-req.done:
 		case <-req.lead:
-			c.leadIngest(b)
+			c.leadIngest(g)
 		}
 	}
 	<-req.done
@@ -273,14 +312,13 @@ func (c *Coordinator) awaitIngest(b int, req *ingestReq, elected bool) (uint64, 
 // wakes the waiters, and hands leadership to the head of whatever
 // queued up meanwhile (the queue refills while the round's network I/O
 // and fsyncs are in flight — that is what grows the groups).
-func (c *Coordinator) leadIngest(b int) {
-	g := c.blocks[b]
+func (c *Coordinator) leadIngest(g *blockGroup) {
 	g.imu.Lock()
 	batch := g.iqueue
 	g.iqueue = nil
 	g.imu.Unlock()
 	if len(batch) > 0 {
-		c.commitToGroup(b, batch)
+		c.commitToGroup(g, batch)
 		for _, req := range batch {
 			close(req.done)
 		}
@@ -303,10 +341,10 @@ func (c *Coordinator) leadIngest(b int) {
 // whole run — with the same per-record LSNs lockstep assignment would
 // produce. The group's cache-invalidation hooks fire once per committed
 // run per block.
-func (c *Coordinator) commitToGroup(b int, batch []*ingestReq) {
-	g := c.blocks[b]
-	durable, total := 0, len(g.replicas)
-	for _, rep := range g.replicas {
+func (c *Coordinator) commitToGroup(g *blockGroup, batch []*ingestReq) {
+	reps := g.replicaList()
+	durable, total := 0, len(reps)
+	for _, rep := range reps {
 		if rep.durable {
 			durable++
 		}
@@ -326,11 +364,20 @@ func (c *Coordinator) commitToGroup(b int, batch []*ingestReq) {
 
 	g.writeMu.Lock()
 	defer g.writeMu.Unlock()
+	if g.retired {
+		// A split cutover retired this group after the writer routed to it;
+		// the cutover drained the parent tail first, so refusing here and
+		// letting the writer re-route against the fresh topology is exact.
+		for _, req := range batch {
+			req.err = errGroupRetired
+		}
+		return
+	}
 	c.stats.ingestBatch.Observe(int64(len(batch)))
 	if len(batch) == 1 {
 		batch[0].lsn, batch[0].err = c.recordToGroupLocked(g, batch[0].rows)
 		if batch[0].err == nil {
-			c.notifyIngest(b)
+			c.notifyIngest(g)
 		}
 		return
 	}
@@ -341,9 +388,9 @@ func (c *Coordinator) commitToGroup(b int, batch []*ingestReq) {
 		recs[i] = server.LoggedDelta{LSN: base + 1 + uint64(i), Rows: req.rows}
 	}
 	acks := 0
-	ackers := make([]string, 0, len(g.replicas))
+	ackers := make([]string, 0, len(reps))
 	var lastErr error
-	for _, rep := range g.replicas {
+	for _, rep := range reps {
 		if rep.down.Load() {
 			continue
 		}
@@ -367,7 +414,7 @@ func (c *Coordinator) commitToGroup(b int, batch []*ingestReq) {
 				// diverged from the group, so evict it.
 				rep.pool.put(cl)
 				if acks == 0 {
-					c.lockstepFallbackLocked(b, g, batch)
+					c.lockstepFallbackLocked(g, batch)
 					return
 				}
 				c.markDown(rep)
@@ -411,7 +458,7 @@ func (c *Coordinator) commitToGroup(b int, batch []*ingestReq) {
 	for i, req := range batch {
 		req.lsn = base + 1 + uint64(i)
 	}
-	c.notifyIngest(b)
+	c.notifyIngest(g)
 }
 
 // lockstepFallbackLocked replays a queued run record by record after a
@@ -419,7 +466,7 @@ func (c *Coordinator) commitToGroup(b int, batch []*ingestReq) {
 // the rejected record fails alone (without advancing the group LSN)
 // while its neighbours land at exactly the positions per-record ingest
 // would have assigned them.
-func (c *Coordinator) lockstepFallbackLocked(b int, g *blockGroup, batch []*ingestReq) {
+func (c *Coordinator) lockstepFallbackLocked(g *blockGroup, batch []*ingestReq) {
 	applied := false
 	for _, req := range batch {
 		req.lsn, req.err = c.recordToGroupLocked(g, req.rows)
@@ -428,7 +475,7 @@ func (c *Coordinator) lockstepFallbackLocked(b int, g *blockGroup, batch []*inge
 		}
 	}
 	if applied {
-		c.notifyIngest(b)
+		c.notifyIngest(g)
 	}
 }
 
@@ -441,10 +488,11 @@ func (c *Coordinator) lockstepFallbackLocked(b int, g *blockGroup, batch []*inge
 // acknowledged.
 func (c *Coordinator) recordToGroupLocked(g *blockGroup, rows []server.Row) (uint64, error) {
 	lsn := g.lastLSN + 1
+	reps := g.replicaList()
 	acks := 0
-	ackers := make([]string, 0, len(g.replicas))
+	ackers := make([]string, 0, len(reps))
 	var lastErr error
-	for _, rep := range g.replicas {
+	for _, rep := range reps {
 		if rep.down.Load() {
 			continue
 		}
@@ -523,8 +571,8 @@ func (c *Coordinator) rejoinLoop() {
 			return
 		case <-tick.C:
 		}
-		for _, g := range c.blocks {
-			for _, rep := range g.replicas {
+		for _, g := range c.groups() {
+			for _, rep := range g.replicaList() {
 				if rep.down.Load() {
 					c.tryRejoin(g, rep)
 				}
@@ -741,7 +789,7 @@ func (c *Coordinator) readmit(rep *replica) {
 // livePeer finds a live durable peer of rep in g and returns a pooled
 // client for it; the caller returns the client to peer.pool.
 func (c *Coordinator) livePeer(g *blockGroup, rep *replica) (*replica, *server.Client, error) {
-	for _, p := range g.replicas {
+	for _, p := range g.replicaList() {
 		if p == rep || !p.durable || p.down.Load() {
 			continue
 		}

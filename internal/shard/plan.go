@@ -40,6 +40,12 @@ type Plan struct {
 	// at least Replicas of them.
 	Nodes    int
 	Replicas int
+	// Epoch versions the plan: NewPlan starts at 1 and every Rebalance
+	// returns a successor plan with Epoch+1, so plan versions are strictly
+	// monotone across the life of a cluster. The coordinator stamps its
+	// serving topology with the same counter and bumps it on every
+	// membership cutover.
+	Epoch uint64
 }
 
 // NewPlan partitions the schema's array into the largest power-of-two
@@ -95,6 +101,7 @@ func NewPlan(names []string, sizes []int, nodes, replicas int) (*Plan, error) {
 		Parts:    parts,
 		Nodes:    nodes,
 		Replicas: replicas,
+		Epoch:    1,
 	}
 	grid := make([]int, len(parts))
 	for b := 0; b < numBlocks; b++ {
@@ -142,6 +149,127 @@ func (p *Plan) BlockOfNode(node int) (nd.Block, error) {
 func (p *Plan) String() string {
 	return fmt.Sprintf("shard plan: %d nodes, %d blocks (parts %v), replication >= %d",
 		p.Nodes, len(p.Blocks), p.Parts, p.Replicas)
+}
+
+// MoveKind classifies one entry of a rebalance migration set.
+type MoveKind int
+
+const (
+	// MoveAddReplica adds the named nodes as new replicas of the block:
+	// checkpoint ship + WAL catch-up, then an atomic read cutover.
+	MoveAddReplica MoveKind = iota
+	// MoveDrain removes the named nodes from the block's replica set once
+	// at least one caught-up replica remains.
+	MoveDrain
+)
+
+// String names the move kind for logs.
+func (k MoveKind) String() string {
+	switch k {
+	case MoveAddReplica:
+		return "add-replica"
+	case MoveDrain:
+		return "drain"
+	}
+	return fmt.Sprintf("MoveKind(%d)", int(k))
+}
+
+// Move is one block group's migration under a rebalance: only groups
+// whose owner set changed appear in the migration set.
+type Move struct {
+	// Block indexes the (shared) block geometry of both plans.
+	Block int
+	Kind  MoveKind
+	// Nodes are the node ids added to or drained from the block.
+	Nodes []int
+}
+
+// Rebalance re-runs the ownership assignment over a new node count and
+// returns the successor plan plus the minimal migration set taking this
+// plan to it. The block geometry is deliberately kept: the Theorem 8
+// greedy partition for the old node budget stays communication-feasible
+// for any larger one, and keeping it means a node whose block assignment
+// did not change moves no data at all. Owners are dealt with the same
+// n mod B rule as NewPlan, so every surviving node keeps its block and
+// the migration set is exactly the added (grow) or removed (shrink)
+// replicas — the minimal set. The successor's epoch is Epoch+1, strictly
+// monotone across successive rebalances. Shrinking below one node per
+// block is refused: that would force block merges, which the migration
+// engine does not perform (drain down to NumBlocks nodes instead).
+func (p *Plan) Rebalance(nodes int) (*Plan, []Move, error) {
+	if nodes < len(p.Blocks) {
+		return nil, nil, fmt.Errorf("shard: rebalance to %d nodes would leave %d blocks unowned; the smallest node set for this geometry is %d",
+			nodes, len(p.Blocks)-nodes, len(p.Blocks))
+	}
+	next := &Plan{
+		Names:  append([]string(nil), p.Names...),
+		Sizes:  p.Sizes,
+		K:      append([]int(nil), p.K...),
+		Parts:  append([]int(nil), p.Parts...),
+		Blocks: append([]nd.Block(nil), p.Blocks...),
+		Nodes:  nodes,
+		Epoch:  p.Epoch + 1,
+	}
+	numBlocks := len(p.Blocks)
+	next.Owners = make([][]int, numBlocks)
+	for n := 0; n < nodes; n++ {
+		b := n % numBlocks
+		next.Owners[b] = append(next.Owners[b], n)
+	}
+	next.Replicas = nodes / numBlocks
+
+	var moves []Move
+	for b := range p.Blocks {
+		old := make(map[int]bool, len(p.Owners[b]))
+		for _, n := range p.Owners[b] {
+			old[n] = true
+		}
+		cur := make(map[int]bool, len(next.Owners[b]))
+		var added []int
+		for _, n := range next.Owners[b] {
+			cur[n] = true
+			if !old[n] {
+				added = append(added, n)
+			}
+		}
+		var drained []int
+		for _, n := range p.Owners[b] {
+			if !cur[n] {
+				drained = append(drained, n)
+			}
+		}
+		if len(added) > 0 {
+			moves = append(moves, Move{Block: b, Kind: MoveAddReplica, Nodes: added})
+		}
+		if len(drained) > 0 {
+			moves = append(moves, Move{Block: b, Kind: MoveDrain, Nodes: drained})
+		}
+	}
+	return next, moves, nil
+}
+
+// SplitBlock halves a block along its widest splittable dimension — the
+// same cut the greedy partitioner would add next if the block's group
+// became the hot spot — returning the two child sub-blocks. The children
+// tile the parent exactly, which is what a split cutover requires.
+func SplitBlock(b nd.Block) (nd.Block, nd.Block, error) {
+	axis, width := -1, 1
+	for j := range b.Lo {
+		if w := b.Hi[j] - b.Lo[j]; w > width {
+			axis, width = j, w
+		}
+	}
+	if axis < 0 {
+		return nd.Block{}, nd.Block{}, fmt.Errorf("shard: block %s has no splittable dimension", b)
+	}
+	mid := b.Lo[axis] + width/2
+	lo1 := append([]int(nil), b.Lo...)
+	hi1 := append([]int(nil), b.Hi...)
+	hi1[axis] = mid
+	lo2 := append([]int(nil), b.Lo...)
+	hi2 := append([]int(nil), b.Hi...)
+	lo2[axis] = mid
+	return nd.NewBlock(lo1, hi1), nd.NewBlock(lo2, hi2), nil
 }
 
 // ParseBlock parses the nd.Block rendering "[lo:hi,lo:hi,...]" exchanged

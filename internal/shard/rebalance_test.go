@@ -1,0 +1,156 @@
+package shard
+
+import (
+	"testing"
+)
+
+// TestRebalanceMinimalMoves asserts the planner's central elasticity
+// property: re-running the Theorem 8 assignment over a new node count
+// keeps the block geometry and moves only the replicas the node diff
+// forces — the minimal migration set.
+func TestRebalanceMinimalMoves(t *testing.T) {
+	plan, err := NewPlan([]string{"a", "b", "c", "d"}, []int{8, 6, 5, 4}, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	numBlocks := len(plan.Blocks)
+
+	// Grow 4 -> 8: every block gains exactly one replica, nothing drains,
+	// and no surviving node changes blocks.
+	next, moves, err := plan.Rebalance(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(next.Blocks) != numBlocks {
+		t.Fatalf("rebalance changed the block count: %d -> %d", numBlocks, len(next.Blocks))
+	}
+	for b := range plan.Blocks {
+		if plan.Blocks[b].String() != next.Blocks[b].String() {
+			t.Fatalf("block %d geometry moved: %s -> %s", b, plan.Blocks[b], next.Blocks[b])
+		}
+	}
+	if len(moves) != numBlocks {
+		t.Fatalf("grow 4->8 emitted %d moves, want %d (one add per block)", len(moves), numBlocks)
+	}
+	added := 0
+	for _, mv := range moves {
+		if mv.Kind != MoveAddReplica {
+			t.Fatalf("grow 4->8 emitted a %v move for block %d", mv.Kind, mv.Block)
+		}
+		added += len(mv.Nodes)
+	}
+	if added != 4 {
+		t.Fatalf("grow 4->8 moved %d replicas, want exactly the 4 new nodes", added)
+	}
+	// Every original owner survives in place.
+	for b := range plan.Owners {
+		owned := make(map[int]bool)
+		for _, n := range next.Owners[b] {
+			owned[n] = true
+		}
+		for _, n := range plan.Owners[b] {
+			if !owned[n] {
+				t.Fatalf("grow 4->8 moved surviving node %d off block %d", n, b)
+			}
+		}
+	}
+
+	// Shrink 8 -> 6: exactly two drains, no adds.
+	shrunk, moves, err := next.Rebalance(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drained := 0
+	for _, mv := range moves {
+		if mv.Kind != MoveDrain {
+			t.Fatalf("shrink 8->6 emitted a %v move for block %d", mv.Kind, mv.Block)
+		}
+		drained += len(mv.Nodes)
+	}
+	if drained != 2 {
+		t.Fatalf("shrink 8->6 drained %d replicas, want 2", drained)
+	}
+	if shrunk.Nodes != 6 {
+		t.Fatalf("shrunk plan has %d nodes, want 6", shrunk.Nodes)
+	}
+
+	// A same-size rebalance is a no-op migration set.
+	if _, moves, err := shrunk.Rebalance(6); err != nil || len(moves) != 0 {
+		t.Fatalf("identity rebalance = (%d moves, %v), want (0, nil)", len(moves), err)
+	}
+
+	// Shrinking below one node per block would force block merges.
+	if _, _, err := plan.Rebalance(numBlocks - 1); err == nil {
+		t.Fatalf("rebalance to %d nodes with %d blocks accepted", numBlocks-1, numBlocks)
+	}
+}
+
+// TestRebalanceEpochMonotone asserts plan epochs are strictly monotone
+// across successive rebalances, whatever direction the node count moves.
+func TestRebalanceEpochMonotone(t *testing.T) {
+	plan, err := NewPlan([]string{"a", "b"}, []int{16, 16}, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Epoch != 1 {
+		t.Fatalf("fresh plan epoch = %d, want 1", plan.Epoch)
+	}
+	last := plan.Epoch
+	for _, nodes := range []int{8, 12, 8, 4, 16, 4} {
+		next, _, err := plan.Rebalance(nodes)
+		if err != nil {
+			t.Fatalf("rebalance to %d: %v", nodes, err)
+		}
+		if next.Epoch <= last {
+			t.Fatalf("epoch not strictly monotone: %d -> %d (rebalance to %d)", last, next.Epoch, nodes)
+		}
+		last = next.Epoch
+		plan = next
+	}
+}
+
+// TestSplitBlockGeometry asserts SplitBlock halves the widest dimension
+// and that the children tile the parent exactly.
+func TestSplitBlockGeometry(t *testing.T) {
+	plan, err := NewPlan([]string{"a", "b", "c"}, []int{16, 4, 9}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, parent := range plan.Blocks {
+		c1, c2, err := SplitBlock(parent)
+		if err != nil {
+			t.Fatalf("block %d (%s): %v", b, parent, err)
+		}
+		if c1.Size()+c2.Size() != parent.Size() {
+			t.Fatalf("children of %s cover %d cells, parent has %d", parent, c1.Size()+c2.Size(), parent.Size())
+		}
+		if blocksOverlap(c1, c2) {
+			t.Fatalf("children %s and %s of %s overlap", c1, c2, parent)
+		}
+		// The cut lands on the widest dimension.
+		axis := -1
+		for j := range parent.Lo {
+			if c1.Hi[j] != c2.Hi[j] {
+				axis = j
+			}
+		}
+		if axis < 0 {
+			t.Fatalf("split of %s cut no dimension", parent)
+		}
+		w := parent.Hi[axis] - parent.Lo[axis]
+		for j := range parent.Lo {
+			if pw := parent.Hi[j] - parent.Lo[j]; pw > w {
+				t.Fatalf("split of %s cut dimension %d (width %d), but %d is wider (%d)", parent, axis, w, j, pw)
+			}
+		}
+	}
+
+	// A fully degenerate block cannot split.
+	one, err := NewPlan([]string{"a"}, []int{1}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SplitBlock(one.Blocks[0]); err == nil {
+		t.Fatal("split of a 1-cell block succeeded")
+	}
+}

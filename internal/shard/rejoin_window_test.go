@@ -24,8 +24,8 @@ func windowPair(t *testing.T, agreed, divergent int) (dc *durableCluster, ref *p
 	ds, refCube := test4D(t)
 	dc = startLockstepPair(t, ds)
 	ref = refCube
-	g = dc.coord.blocks[0]
-	rep = g.replicas[0] // nodes[0]: replicas follow Addrs order
+	g = dc.coord.groups()[0]
+	rep = g.replicaList()[0] // nodes[0]: replicas follow Addrs order
 
 	for i := 0; i < agreed; i++ {
 		rows := []server.Row{{Coords: blockCell(dc.nodes[0], i), Value: float64(i + 1)}}

@@ -291,8 +291,8 @@ func waitAllUp(t *testing.T, c *Coordinator) {
 	deadline := time.Now().Add(15 * time.Second)
 	for time.Now().Before(deadline) {
 		up := true
-		for _, g := range c.blocks {
-			for _, r := range g.replicas {
+		for _, g := range c.groups() {
+			for _, r := range g.replicaList() {
 				if r.down.Load() {
 					up = false
 				}

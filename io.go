@@ -261,6 +261,95 @@ func ReadCubeState(r io.Reader, schema *Schema, aggregator Aggregator) (*Cube, e
 	return cube, nil
 }
 
+// ReadCubeStateBlock restores a cube from WriteState output restricted
+// to the axis-aligned block [lo, hi): the serialized group-by snapshot
+// is skipped (its tables aggregate the WHOLE source cube, which is
+// wrong for a sub-block) and the cube is rebuilt from the fact-table
+// section's cells inside the block. This is how a split migration seeds
+// a child shard from its parent's checkpoint — the parent ships one
+// state blob and each child extracts exactly its half. The state must
+// carry its fact table (durable checkpoints always do); a snapshot-only
+// state cannot be restricted and is refused.
+func ReadCubeStateBlock(r io.Reader, schema *Schema, aggregator Aggregator, lo, hi []int) (*Cube, error) {
+	if !aggregator.op().Valid() {
+		return nil, fmt.Errorf("parcube: invalid aggregator %d", int(aggregator))
+	}
+	if len(lo) != schema.Dims() || len(hi) != schema.Dims() {
+		return nil, fmt.Errorf("parcube: block rank %d/%d, schema has %d dimensions", len(lo), len(hi), schema.Dims())
+	}
+	for j, s := range schema.Sizes() {
+		if lo[j] < 0 || hi[j] > s || lo[j] >= hi[j] {
+			return nil, fmt.Errorf("parcube: block [%d,%d) out of range [0,%d) on dimension %d", lo[j], hi[j], s, j)
+		}
+	}
+	magic := make([]byte, len(stateMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("parcube: reading state magic: %w", err)
+	}
+	if string(magic) != stateMagic {
+		return nil, fmt.Errorf("parcube: bad state magic %q", magic)
+	}
+	var snapLen uint64
+	if err := binary.Read(r, binary.LittleEndian, &snapLen); err != nil {
+		return nil, err
+	}
+	if int64(snapLen) > maxStateSection {
+		return nil, fmt.Errorf("parcube: implausible snapshot section of %d bytes", snapLen)
+	}
+	if _, err := io.CopyN(io.Discard, r, int64(snapLen)); err != nil {
+		return nil, fmt.Errorf("parcube: skipping state snapshot: %w", err)
+	}
+	var hasInput [1]byte
+	if _, err := io.ReadFull(r, hasInput[:]); err != nil {
+		return nil, fmt.Errorf("parcube: reading state input flag: %w", err)
+	}
+	if hasInput[0] == 0 {
+		return nil, fmt.Errorf("parcube: state has no fact table; cannot restrict to a block")
+	}
+	var inLen uint64
+	if err := binary.Read(r, binary.LittleEndian, &inLen); err != nil {
+		return nil, err
+	}
+	if int64(inLen) > maxStateSection {
+		return nil, fmt.Errorf("parcube: implausible input section of %d bytes", inLen)
+	}
+	sc, err := cubeio.NewSparseScanner(io.LimitReader(r, int64(inLen)))
+	if err != nil {
+		return nil, err
+	}
+	shape, err := nd.NewShape(schema.Sizes()...)
+	if err != nil {
+		return nil, err
+	}
+	if !sc.Shape().Equal(shape) {
+		return nil, fmt.Errorf("parcube: state input has shape %v, schema implies %v", sc.Shape(), shape)
+	}
+	ds := NewDataset(schema)
+	var addErr error
+	sc.Iter(func(coords []int, v float64) {
+		if addErr != nil {
+			return
+		}
+		for j, c := range coords {
+			if c < lo[j] || c >= hi[j] {
+				return
+			}
+		}
+		addErr = ds.Add(v, coords...)
+	})
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("parcube: state input: %w", err)
+	}
+	if addErr != nil {
+		return nil, addErr
+	}
+	cube, _, err := Build(ds, WithAggregator(aggregator))
+	if err != nil {
+		return nil, fmt.Errorf("parcube: rebuilding block state: %w", err)
+	}
+	return cube, nil
+}
+
 // validateStore cross-checks a deserialized store against the schema:
 // every group-by shaped as the schema implies, and all 2^n - 1 present.
 func validateStore(store *seq.Store, schema *Schema, what string) error {
